@@ -1,0 +1,88 @@
+// Shared infrastructure for the per-table / per-figure benchmark binaries.
+//
+// Every binary accepts:
+//   --scale    dataset scale factor (1.0 = the paper's polygon counts)
+//   --points   number of join points (paper: 1.23 B taxi pick-ups)
+//   --threads  worker threads for multi-threaded experiments
+//   --reps     measurement repetitions (max throughput reported)
+//   --csv      additionally print rows as CSV
+//   --full     paper-scale run (scale=1, more points)
+//
+// Defaults are sized so the complete suite regenerates every table and
+// figure on a small machine in minutes; --full reproduces the paper's
+// dataset sizes (slow: the 4 m census covering alone holds tens of millions
+// of cells).
+
+#ifndef ACTJOIN_BENCH_BENCH_COMMON_H_
+#define ACTJOIN_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "act/pipeline.h"
+#include "baselines/cell_indexes.h"
+#include "geo/grid.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "workloads/datasets.h"
+
+namespace actjoin::bench {
+
+struct BenchEnv {
+  double scale = 0.1;
+  uint64_t points = 2'000'000;
+  int threads = 1;
+  int reps = 2;
+  bool csv = false;
+  geo::Grid grid;
+};
+
+/// Parses the standard flags (plus optional extra registrations done by the
+/// caller on `flags` before calling).
+BenchEnv ParseEnv(int argc, char** argv, util::Flags* flags,
+                  double default_scale = 0.1,
+                  uint64_t default_points = 2'000'000);
+
+/// The paper's three NYC polygon datasets at the requested scale.
+std::vector<wl::PolygonDataset> NycDatasets(const BenchEnv& env);
+
+/// Clustered taxi-analog points over a dataset's extent.
+wl::PointSet Taxi(const BenchEnv& env, const geom::Rect& mbr,
+                  uint64_t seed = 7);
+/// Uniform synthetic points over a dataset's extent.
+wl::PointSet Uniform(const BenchEnv& env, const geom::Rect& mbr,
+                     uint64_t seed = 8);
+
+/// One data-structure measurement row (paper Table 2 / Fig. 7 vocabulary).
+struct StructureRun {
+  std::string name;       // ACT1 / ACT2 / ACT4 / GBT / LB
+  double build_s = 0;
+  uint64_t bytes = 0;
+  double mpoints_s = 0;   // throughput, millions of points per second
+  act::JoinStats stats;
+};
+
+/// Builds the five structures of Sec. 4.1 over one encoded covering and
+/// measures join throughput for each (mode/threads from opts).
+std::vector<StructureRun> RunAllStructures(
+    const act::EncodedCovering& enc,
+    const std::vector<geom::Polygon>& polygons, const act::JoinInput& input,
+    const act::JoinOptions& opts, int reps);
+
+/// Builds a super covering with the paper's default approximation config
+/// and optional precision bound; returns it with timings.
+act::SuperCovering BuildCovering(const wl::PolygonDataset& ds,
+                                 const BenchEnv& env,
+                                 const act::PolygonClassifier& classifier,
+                                 std::optional<double> precision_bound_m,
+                                 act::BuildTimings* timings);
+
+/// MiB with two decimals.
+std::string Mib(uint64_t bytes);
+
+/// Prints the table and, when env.csv, the CSV mirror.
+void Emit(const BenchEnv& env, const util::TablePrinter& table);
+
+}  // namespace actjoin::bench
+
+#endif  // ACTJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,91 @@
+// Reproduces paper Figure 10: single-threaded throughput of the *accurate*
+// join (coarse default coverings + refinement) comparing ACT1/ACT2/ACT4
+// against S2ShapeIndex analogs (SI1, SI10) and the R-tree (RT). Also prints
+// the index sizes quoted in the surrounding text.
+
+#include <cstdio>
+
+#include "act/act.h"
+#include "baselines/rtree.h"
+#include "baselines/shape_index.h"
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  BenchEnv env = ParseEnv(argc, argv, &flags);
+
+  std::printf("Figure 10: accurate join, single-threaded (scale=%.3g)\n\n",
+              env.scale);
+
+  util::TablePrinter table({"polygons", "index", "size [MiB]",
+                            "throughput [M points/s]", "PIP tests/point",
+                            "STH %"});
+  for (const wl::PolygonDataset& ds : NycDatasets(env)) {
+    act::PolygonClassifier classifier(ds.polygons, env.grid, env.threads);
+    // Coarse covering: the paper's default approximation config, no
+    // precision bound (Sec. 4.2: "super coverings that do not guarantee a
+    // certain precision").
+    act::SuperCovering sc =
+        BuildCovering(ds, env, classifier, std::nullopt, nullptr);
+    act::EncodedCovering enc = act::Encode(sc);
+    wl::PointSet pts = Taxi(env, ds.mbr);
+    act::JoinInput input = pts.AsJoinInput();
+    act::JoinOptions exact{act::JoinMode::kExact, 1};
+
+    for (const StructureRun& run :
+         RunAllStructures(enc, ds.polygons, input, exact, env.reps)) {
+      if (run.name == "GBT" || run.name == "LB") continue;  // not in Fig. 10
+      table.AddRow(
+          {ds.name, run.name, Mib(run.bytes),
+           util::TablePrinter::Fmt(run.mpoints_s, 2),
+           util::TablePrinter::Fmt(
+               static_cast<double>(run.stats.pip_tests) / input.size(), 3),
+           util::TablePrinter::Fmt(run.stats.SthPercent(), 1)});
+    }
+
+    for (int max_edges : {1, 10}) {
+      baselines::ShapeIndex si(ds.polygons, env.grid, {max_edges, 18});
+      act::JoinStats best;
+      for (int r = 0; r < env.reps; ++r) {
+        act::JoinStats stats =
+            baselines::ShapeIndexJoin(si, ds.polygons, input, 1);
+        if (stats.ThroughputMps() > best.ThroughputMps()) best = stats;
+      }
+      table.AddRow(
+          {ds.name, "SI" + std::to_string(max_edges), Mib(si.MemoryBytes()),
+           util::TablePrinter::Fmt(best.ThroughputMps(), 2),
+           util::TablePrinter::Fmt(
+               static_cast<double>(best.pip_tests) / input.size(), 3),
+           util::TablePrinter::Fmt(best.SthPercent(), 1)});
+    }
+
+    baselines::RTree rtree = baselines::BuildPolygonRTree(ds.polygons);
+    act::JoinStats best;
+    for (int r = 0; r < env.reps; ++r) {
+      act::JoinStats stats =
+          baselines::RTreeJoin(rtree, ds.polygons, input, 1);
+      if (stats.ThroughputMps() > best.ThroughputMps()) best = stats;
+    }
+    table.AddRow(
+        {ds.name, "RT", Mib(rtree.MemoryBytes()),
+         util::TablePrinter::Fmt(best.ThroughputMps(), 2),
+         util::TablePrinter::Fmt(
+             static_cast<double>(best.pip_tests) / input.size(), 3),
+         util::TablePrinter::Fmt(best.SthPercent(), 1)});
+  }
+  Emit(env, table);
+  std::printf(
+      "Paper shape: ACT4 wins everywhere (6.96x over SI1 on neighborhoods,\n"
+      "5.79x on census); RT collapses on boroughs (complex polygons make\n"
+      "every PIP test expensive; ACT refines only ~0.1%% of points there).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }

@@ -1,0 +1,96 @@
+// Reproduces paper Figure 7 (all three panels) for the approximate join on
+// taxi-analog points:
+//   left:   single-threaded throughput per data structure per NYC polygon
+//           dataset at 4 m precision
+//   middle: single-threaded throughput vs precision (60/15/4 m) on the
+//           neighborhoods dataset
+//   right:  multi-threaded speedup over single-threaded execution
+//           (neighborhoods, 4 m)
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  BenchEnv env = ParseEnv(argc, argv, &flags);
+  act::JoinOptions join_opts{act::JoinMode::kApproximate, 1};
+
+  // ----- Left panel ---------------------------------------------------------
+  std::printf(
+      "Figure 7 (left): single-threaded approximate-join throughput, 4 m "
+      "(scale=%.3g)\n\n",
+      env.scale);
+  util::TablePrinter left({"polygons", "index", "throughput [M points/s]"});
+  for (const wl::PolygonDataset& ds : NycDatasets(env)) {
+    act::PolygonClassifier classifier(ds.polygons, env.grid, env.threads);
+    act::SuperCovering sc = BuildCovering(ds, env, classifier, 4.0, nullptr);
+    act::EncodedCovering enc = act::Encode(sc);
+    wl::PointSet pts = Taxi(env, ds.mbr);
+    for (const StructureRun& run :
+         RunAllStructures(enc, ds.polygons, pts.AsJoinInput(), join_opts,
+                          env.reps)) {
+      left.AddRow({ds.name, run.name,
+                   util::TablePrinter::Fmt(run.mpoints_s, 2)});
+    }
+  }
+  Emit(env, left);
+
+  // ----- Middle panel -------------------------------------------------------
+  std::printf(
+      "Figure 7 (middle): throughput vs precision, neighborhoods\n\n");
+  util::TablePrinter middle(
+      {"precision [m]", "index", "throughput [M points/s]"});
+  wl::PolygonDataset nbh = wl::Neighborhoods(env.scale);
+  act::PolygonClassifier nbh_classifier(nbh.polygons, env.grid, env.threads);
+  wl::PointSet nbh_pts = Taxi(env, nbh.mbr);
+  for (double precision : {60.0, 15.0, 4.0}) {
+    act::SuperCovering sc =
+        BuildCovering(nbh, env, nbh_classifier, precision, nullptr);
+    act::EncodedCovering enc = act::Encode(sc);
+    for (const StructureRun& run :
+         RunAllStructures(enc, nbh.polygons, nbh_pts.AsJoinInput(), join_opts,
+                          env.reps)) {
+      middle.AddRow({util::TablePrinter::Fmt(precision, 0), run.name,
+                     util::TablePrinter::Fmt(run.mpoints_s, 2)});
+    }
+  }
+  Emit(env, middle);
+
+  // ----- Right panel --------------------------------------------------------
+  std::printf(
+      "Figure 7 (right): multi-threaded speedup over 1 thread "
+      "(neighborhoods, 4 m)\n"
+      "NOTE: flat speedups are expected on machines with few cores.\n\n");
+  util::TablePrinter right({"threads", "index", "throughput [M points/s]",
+                            "speedup"});
+  act::SuperCovering sc = BuildCovering(nbh, env, nbh_classifier, 4.0,
+                                        nullptr);
+  act::EncodedCovering enc = act::Encode(sc);
+  std::vector<double> base;
+  for (int threads : {1, 2, 4, 8, 16, 28}) {
+    act::JoinOptions opts{act::JoinMode::kApproximate, threads};
+    auto runs = RunAllStructures(enc, nbh.polygons, nbh_pts.AsJoinInput(),
+                                 opts, env.reps);
+    for (size_t k = 0; k < runs.size(); ++k) {
+      if (threads == 1) base.push_back(runs[k].mpoints_s);
+      right.AddRow({util::TablePrinter::FmtInt(threads), runs[k].name,
+                    util::TablePrinter::Fmt(runs[k].mpoints_s, 2),
+                    util::TablePrinter::Fmt(runs[k].mpoints_s / base[k], 2)});
+    }
+  }
+  Emit(env, right);
+  std::printf(
+      "Paper shape: ACT4 > ACT2 > ACT1 > GBT > LB everywhere; ACT4 reaches\n"
+      ">50 M points/s per core on neighborhoods; near-linear scaling to 8\n"
+      "threads on the paper's 14-core machine.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }

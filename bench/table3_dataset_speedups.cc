@@ -1,0 +1,55 @@
+// Reproduces paper Table 3: per-structure lookup speedups when joining
+// against smaller (coarser-grained) polygon datasets — boroughs over
+// neighborhoods, boroughs over census, neighborhoods over census.
+// ACT gains the most because larger cells sit higher in the radix tree.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  BenchEnv env = ParseEnv(argc, argv, &flags);
+  act::JoinOptions join_opts{act::JoinMode::kApproximate, 1};
+
+  std::printf("Table 3: speedups of lookups, coarse over fine datasets "
+              "(4 m, scale=%.3g)\n\n", env.scale);
+
+  // throughput[structure][dataset index 0=b, 1=n, 2=c]
+  std::map<std::string, std::array<double, 3>> tput;
+  int d = 0;
+  for (const wl::PolygonDataset& ds : NycDatasets(env)) {
+    act::PolygonClassifier classifier(ds.polygons, env.grid, env.threads);
+    act::SuperCovering sc = BuildCovering(ds, env, classifier, 4.0, nullptr);
+    act::EncodedCovering enc = act::Encode(sc);
+    wl::PointSet pts = Taxi(env, ds.mbr);
+    for (const StructureRun& run :
+         RunAllStructures(enc, ds.polygons, pts.AsJoinInput(), join_opts,
+                          env.reps)) {
+      tput[run.name][d] = run.mpoints_s;
+    }
+    ++d;
+  }
+
+  util::TablePrinter table({"index", "b over n", "b over c", "n over c"});
+  for (const char* name : {"ACT1", "ACT2", "ACT4", "GBT", "LB"}) {
+    const auto& t = tput[name];
+    table.AddRow({name, util::TablePrinter::Fmt(t[0] / t[1], 2) + "x",
+                  util::TablePrinter::Fmt(t[0] / t[2], 2) + "x",
+                  util::TablePrinter::Fmt(t[1] / t[2], 2) + "x"});
+  }
+  Emit(env, table);
+  std::printf(
+      "Paper: ACT1 2.63x/8.63x/3.28x, GBT 2.05x/3.51x/1.71x, LB\n"
+      "1.83x/2.63x/1.44x — ACT benefits most from coarse datasets.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }

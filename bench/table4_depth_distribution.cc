@@ -1,0 +1,67 @@
+// Reproduces paper Table 4: distribution of the ACT4 tree-traversal depth
+// (number of node accesses per probe) at 4 m precision, for uniform vs
+// taxi-analog points across the three NYC polygon datasets. Clustered real
+// data resolves higher in the tree (larger cells cover popular interiors);
+// finer polygon datasets push probes deeper.
+
+#include <cstdio>
+#include <vector>
+
+#include "act/act.h"
+#include "bench/bench_common.h"
+
+namespace actjoin::bench {
+namespace {
+
+std::vector<double> DepthHistogram(const act::AdaptiveCellTrie& trie,
+                                   const wl::PointSet& pts) {
+  std::vector<uint64_t> histo(16, 0);
+  int max_depth = 0;
+  for (uint64_t id : pts.cell_ids()) {
+    int depth = 0;
+    trie.ProbeCounting(id, &depth);
+    ++histo[depth];
+    max_depth = std::max(max_depth, depth);
+  }
+  std::vector<double> out(max_depth + 1);
+  for (int d = 0; d <= max_depth; ++d) {
+    out[d] = static_cast<double>(histo[d]) / pts.size();
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  BenchEnv env = ParseEnv(argc, argv, &flags, 0.1, 500'000);
+
+  std::printf("Table 4: ACT4 traversal depth distribution, 4 m "
+              "(scale=%.3g)\n\n", env.scale);
+
+  util::TablePrinter table({"points", "polygons", "depth", "fraction"});
+  for (const wl::PolygonDataset& ds : NycDatasets(env)) {
+    act::PolygonClassifier classifier(ds.polygons, env.grid, env.threads);
+    act::SuperCovering sc = BuildCovering(ds, env, classifier, 4.0, nullptr);
+    act::EncodedCovering enc = act::Encode(sc);
+    act::AdaptiveCellTrie trie(enc, {.bits_per_level = 8});
+
+    for (bool uniform : {true, false}) {
+      wl::PointSet pts = uniform ? Uniform(env, ds.mbr) : Taxi(env, ds.mbr);
+      std::vector<double> histo = DepthHistogram(trie, pts);
+      for (size_t d = 0; d < histo.size(); ++d) {
+        table.AddRow({uniform ? "uniform" : "taxi", ds.name,
+                      util::TablePrinter::FmtInt(d),
+                      util::TablePrinter::Fmt(histo[d], 3)});
+      }
+    }
+  }
+  Emit(env, table);
+  std::printf(
+      "Paper shape: uniform skews toward the root (large cells hit more\n"
+      "often); taxi data on census mostly ends at depth 3; boroughs at 1.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }

@@ -1,0 +1,54 @@
+// Reproduces paper Table 7: the effect of training on true-hit filtering.
+// STH (solely true hits) is the percentage of points that skip the
+// expensive refinement phase entirely; training with historical points
+// should raise it markedly for the finer polygon datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  BenchEnv env = ParseEnv(argc, argv, &flags, 0.1, 1'000'000);
+
+  std::printf("Table 7: solely-true-hits %% before -> after training "
+              "(scale=%.3g)\n\n", env.scale);
+
+  const uint64_t n_train = static_cast<uint64_t>(1'000'000 * env.scale * 10);
+
+  util::TablePrinter table(
+      {"metric", "boroughs", "neighborhoods", "census"});
+  std::vector<std::string> row{"STH (%)"};
+  for (const wl::PolygonDataset& ds : NycDatasets(env)) {
+    wl::PointSet history =
+        wl::TaxiPoints(ds.mbr, n_train, env.grid, /*seed=*/2009);
+    wl::PointSet query = Taxi(env, ds.mbr, /*seed=*/2010);
+
+    act::BuildOptions build_opts;
+    build_opts.threads = env.threads;
+    act::PolygonIndex index =
+        act::PolygonIndex::Build(ds.polygons, env.grid, build_opts);
+
+    act::JoinStats before =
+        index.Join(query.AsJoinInput(), {act::JoinMode::kExact, 1});
+    index.Train(history.AsJoinInput());
+    act::JoinStats after =
+        index.Join(query.AsJoinInput(), {act::JoinMode::kExact, 1});
+    row.push_back(util::TablePrinter::Fmt(before.SthPercent(), 1) + " -> " +
+                  util::TablePrinter::Fmt(after.SthPercent(), 1));
+  }
+  table.AddRow(row);
+  Emit(env, table);
+  std::printf(
+      "Paper: boroughs 99.9 -> 99.9, neighborhoods 87.2 -> 97.7, census\n"
+      "72.2 -> 88.7 — above 70%% everywhere even untrained.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }

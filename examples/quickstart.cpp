@@ -1,0 +1,80 @@
+// Quickstart: build an Adaptive Cell Trie index over a handful of polygons
+// and join a few points, in both approximate and exact mode.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "act/pipeline.h"
+#include "geo/grid.h"
+#include "geometry/polygon.h"
+
+int main() {
+  using namespace actjoin;
+
+  // Three "city zones" in lng/lat degrees (x = lng, y = lat).
+  std::vector<geom::Polygon> zones;
+  zones.push_back(geom::Polygon({{-74.02, 40.70},
+                                 {-73.97, 40.70},
+                                 {-73.97, 40.76},
+                                 {-74.02, 40.76}}));  // downtown
+  zones.push_back(geom::Polygon({{-73.97, 40.70},
+                                 {-73.93, 40.70},
+                                 {-73.93, 40.78},
+                                 {-73.97, 40.78}}));  // east side
+  zones.push_back(geom::Polygon({{-74.05, 40.60},
+                                 {-73.95, 40.60},
+                                 {-73.98, 40.66},
+                                 {-74.05, 40.66}}));  // airport area
+
+  // Build the index: coverings + interior coverings are merged into the
+  // super covering, refined to a 10 m precision bound, and loaded into the
+  // radix tree (ACT4 layout by default).
+  geo::Grid grid;
+  act::BuildOptions options;
+  options.precision_bound_m = 10.0;
+  act::PolygonIndex index = act::PolygonIndex::Build(zones, grid, options);
+
+  std::printf("index: %zu covering cells, %.2f MiB, built in %.3f s\n",
+              index.covering().size(),
+              index.MemoryBytes() / (1024.0 * 1024.0),
+              index.timings().individual_coverings_s +
+                  index.timings().super_covering_s +
+                  index.timings().refine_s + index.timings().trie_build_s);
+
+  // Incoming pings: (lng, lat) pairs. Cell ids are precomputed once.
+  std::vector<geom::Point> pings = {
+      {-74.00, 40.72},   // downtown
+      {-73.95, 40.75},   // east side
+      {-74.00, 40.63},   // airport
+      {-73.90, 40.90},   // outside every zone
+      {-73.97, 40.73},   // on the downtown/east-side border
+  };
+  std::vector<uint64_t> cell_ids;
+  for (const geom::Point& p : pings) {
+    cell_ids.push_back(grid.CellAt({p.y, p.x}).id());
+  }
+  act::JoinInput input{cell_ids, pings};
+
+  // Exact join: candidate hits are refined with a point-in-polygon test.
+  auto pairs = index.JoinPairs(input, act::JoinMode::kExact);
+  std::printf("\nexact join results (%zu pairs):\n", pairs.size());
+  for (const auto& [ping, zone] : pairs) {
+    std::printf("  ping %llu (%.2f, %.2f) -> zone %u\n",
+                static_cast<unsigned long long>(ping), pings[ping].x,
+                pings[ping].y, zone);
+  }
+
+  // Approximate join: no PIP tests at all; any false positive is within
+  // 10 m of its zone. Perfect for imprecise GPS pings.
+  act::JoinStats stats =
+      index.Join(input, {act::JoinMode::kApproximate, /*threads=*/1});
+  std::printf("\napproximate join: %llu pairs, %llu PIP tests\n",
+              static_cast<unsigned long long>(stats.result_pairs),
+              static_cast<unsigned long long>(stats.pip_tests));
+  for (uint32_t zone = 0; zone < zones.size(); ++zone) {
+    std::printf("  zone %u: %llu pings\n", zone,
+                static_cast<unsigned long long>(stats.counts[zone]));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "act/lookup_table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace actjoin::act {
+
+namespace {
+
+uint64_t HashEncoding(const std::vector<uint32_t>& enc) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t v : enc) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint32_t LookupTableBuilder::AddList(const RefList& refs) {
+  std::vector<uint32_t> true_hits;
+  std::vector<uint32_t> candidates;
+  for (const PolygonRef& r : refs) {
+    (r.interior ? true_hits : candidates).push_back(r.polygon_id);
+  }
+  std::sort(true_hits.begin(), true_hits.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<uint32_t> enc;
+  enc.reserve(refs.size() + 2);
+  enc.push_back(static_cast<uint32_t>(true_hits.size()));
+  enc.insert(enc.end(), true_hits.begin(), true_hits.end());
+  enc.push_back(static_cast<uint32_t>(candidates.size()));
+  enc.insert(enc.end(), candidates.begin(), candidates.end());
+
+  uint64_t h = HashEncoding(enc);
+  auto it = dedup_.find(h);
+  bool hash_taken = false;
+  if (it != dedup_.end()) {
+    // A hash hit must still match content: different lists could collide on
+    // the 64-bit hash.
+    const std::vector<uint32_t>& existing = it->second;
+    if (existing.size() == enc.size() + 1 &&
+        std::equal(enc.begin(), enc.end(), existing.begin() + 1)) {
+      return existing[0];
+    }
+    hash_taken = true;
+  }
+
+  uint32_t offset = static_cast<uint32_t>(table_.data_.size());
+  table_.data_.insert(table_.data_.end(), enc.begin(), enc.end());
+  if (!hash_taken) {
+    // On the (vanishingly rare) collision the new list is stored but not
+    // recorded for dedup; correctness is unaffected.
+    std::vector<uint32_t> stored;
+    stored.reserve(enc.size() + 1);
+    stored.push_back(offset);
+    stored.insert(stored.end(), enc.begin(), enc.end());
+    dedup_.emplace(h, std::move(stored));
+  }
+  return offset;
+}
+
+LookupTable LookupTableBuilder::Build() && {
+  dedup_.clear();
+  return std::move(table_);
+}
+
+}  // namespace actjoin::act

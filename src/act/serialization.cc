@@ -1,0 +1,159 @@
+#include "act/serialization.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+namespace actjoin::act {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4a544341;  // "ACTJ"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveIndex(const PolygonIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+
+  Put(out, kMagic);
+  Put(out, kVersion);
+
+  // Grid + build options.
+  Put(out, static_cast<uint8_t>(index.grid().curve()));
+  const BuildOptions& opts = index.options();
+  Put(out, static_cast<int32_t>(opts.approx.max_covering_cells));
+  Put(out, static_cast<int32_t>(opts.approx.max_covering_level));
+  Put(out, static_cast<int32_t>(opts.approx.max_interior_cells));
+  Put(out, static_cast<int32_t>(opts.approx.max_interior_level));
+  Put(out, static_cast<uint8_t>(opts.precision_bound_m.has_value()));
+  Put(out, opts.precision_bound_m.value_or(0.0));
+  Put(out, static_cast<int32_t>(opts.act.bits_per_level));
+  Put(out, static_cast<uint8_t>(opts.act.use_root_prefix));
+
+  // Polygons.
+  Put(out, static_cast<uint64_t>(index.polygons().size()));
+  for (const geom::Polygon& poly : index.polygons()) {
+    Put(out, static_cast<uint32_t>(poly.rings().size()));
+    for (const geom::Ring& ring : poly.rings()) {
+      Put(out, static_cast<uint32_t>(ring.size()));
+      for (const geom::Point& p : ring) {
+        Put(out, p.x);
+        Put(out, p.y);
+      }
+    }
+  }
+
+  // Covering (includes any precision refinement and training).
+  const SuperCovering& sc = index.covering();
+  Put(out, static_cast<uint64_t>(sc.size()));
+  for (size_t i = 0; i < sc.size(); ++i) {
+    Put(out, sc.cell(i).id());
+    const RefList& refs = sc.refs(i);
+    Put(out, static_cast<uint32_t>(refs.size()));
+    for (const PolygonRef& r : refs) Put(out, r.Encode());
+  }
+  return out.good();
+}
+
+std::optional<PolygonIndex> LoadIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  uint32_t magic = 0, version = 0;
+  if (!Get(in, &magic) || magic != kMagic) return std::nullopt;
+  if (!Get(in, &version) || version != kVersion) return std::nullopt;
+
+  uint8_t curve = 0;
+  if (!Get(in, &curve) || curve > 1) return std::nullopt;
+  geo::Grid grid(static_cast<geo::CurveType>(curve));
+
+  BuildOptions opts;
+  int32_t i32 = 0;
+  uint8_t u8 = 0;
+  double f64 = 0;
+  if (!Get(in, &i32)) return std::nullopt;
+  opts.approx.max_covering_cells = i32;
+  if (!Get(in, &i32)) return std::nullopt;
+  opts.approx.max_covering_level = i32;
+  if (!Get(in, &i32)) return std::nullopt;
+  opts.approx.max_interior_cells = i32;
+  if (!Get(in, &i32)) return std::nullopt;
+  opts.approx.max_interior_level = i32;
+  if (!Get(in, &u8)) return std::nullopt;
+  if (!Get(in, &f64)) return std::nullopt;
+  if (u8 != 0) opts.precision_bound_m = f64;
+  if (!Get(in, &i32) || i32 < 1 || i32 > 8) return std::nullopt;
+  opts.act.bits_per_level = i32;
+  if (!Get(in, &u8)) return std::nullopt;
+  opts.act.use_root_prefix = u8 != 0;
+
+  uint64_t n_polys = 0;
+  if (!Get(in, &n_polys)) return std::nullopt;
+  std::vector<geom::Polygon> polygons;
+  polygons.reserve(n_polys);
+  for (uint64_t k = 0; k < n_polys; ++k) {
+    uint32_t n_rings = 0;
+    if (!Get(in, &n_rings) || n_rings == 0) return std::nullopt;
+    geom::Polygon poly;
+    for (uint32_t r = 0; r < n_rings; ++r) {
+      uint32_t n_verts = 0;
+      if (!Get(in, &n_verts) || n_verts < 3) return std::nullopt;
+      geom::Ring ring;
+      ring.reserve(n_verts);
+      for (uint32_t v = 0; v < n_verts; ++v) {
+        geom::Point p;
+        if (!Get(in, &p.x) || !Get(in, &p.y)) return std::nullopt;
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) return std::nullopt;
+        ring.push_back(p);
+      }
+      poly.AddRing(std::move(ring));
+    }
+    polygons.push_back(std::move(poly));
+  }
+
+  uint64_t n_cells = 0;
+  if (!Get(in, &n_cells)) return std::nullopt;
+  std::vector<geo::CellId> cells;
+  std::vector<RefList> refs;
+  cells.reserve(n_cells);
+  refs.reserve(n_cells);
+  for (uint64_t k = 0; k < n_cells; ++k) {
+    uint64_t id = 0;
+    if (!Get(in, &id)) return std::nullopt;
+    geo::CellId cell(id);
+    if (!cell.is_valid()) return std::nullopt;
+    if (k > 0 && !(cells.back() < cell)) return std::nullopt;  // sorted
+    uint32_t n_refs = 0;
+    if (!Get(in, &n_refs) || n_refs == 0) return std::nullopt;
+    RefList list;
+    for (uint32_t r = 0; r < n_refs; ++r) {
+      uint32_t enc = 0;
+      if (!Get(in, &enc)) return std::nullopt;
+      PolygonRef ref = PolygonRef::Decode(enc);
+      if (ref.polygon_id >= n_polys) return std::nullopt;
+      list.push_back(ref);
+    }
+    cells.push_back(cell);
+    refs.push_back(std::move(list));
+  }
+
+  SuperCovering covering(std::move(cells), std::move(refs));
+  if (!covering.IsDisjoint()) return std::nullopt;
+  return PolygonIndex::FromComponents(std::move(polygons), grid, opts,
+                                      std::move(covering));
+}
+
+}  // namespace actjoin::act

@@ -1,0 +1,33 @@
+// Binary persistence for PolygonIndex.
+//
+// The paper's deployment model builds the index once over mostly static
+// polygons and serves it for a long time; persisting the build avoids
+// recomputing coverings on restart. The format stores the inputs plus the
+// (possibly refined and trained) super covering; the derived structures
+// (classifier, lookup table, trie) are rebuilt at load, which takes
+// milliseconds-to-seconds and keeps the format independent of in-memory
+// layout choices like the trie fanout.
+//
+// Format (little-endian): magic "ACTJ", version, grid curve, build options,
+// polygons (rings of lng/lat doubles), covering (cell ids + encoded refs).
+
+#ifndef ACTJOIN_ACT_SERIALIZATION_H_
+#define ACTJOIN_ACT_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+
+#include "act/pipeline.h"
+
+namespace actjoin::act {
+
+/// Writes the index to `path`. Returns false on I/O failure.
+bool SaveIndex(const PolygonIndex& index, const std::string& path);
+
+/// Reads an index written by SaveIndex. Returns nullopt if the file is
+/// missing, truncated, or not an index file of a supported version.
+std::optional<PolygonIndex> LoadIndex(const std::string& path);
+
+}  // namespace actjoin::act
+
+#endif  // ACTJOIN_ACT_SERIALIZATION_H_

@@ -1,0 +1,279 @@
+#include "act/super_covering.h"
+
+#include <algorithm>
+
+#include "cover/cell_union.h"
+#include "util/check.h"
+
+namespace actjoin::act {
+
+using geo::CellId;
+using geom::RegionRelation;
+
+// ---------------------------------------------------------------------------
+// SuperCovering
+// ---------------------------------------------------------------------------
+
+SuperCovering::SuperCovering(std::vector<CellId> cells,
+                             std::vector<RefList> refs)
+    : cells_(std::move(cells)), refs_(std::move(refs)) {
+  ACT_CHECK(cells_.size() == refs_.size());
+  ACT_CHECK(std::is_sorted(cells_.begin(), cells_.end()));
+}
+
+int64_t SuperCovering::FindContaining(const CellId& id) const {
+  auto it = std::lower_bound(cells_.begin(), cells_.end(), id);
+  if (it != cells_.end() && it->range_min() <= id) {
+    return it - cells_.begin();
+  }
+  if (it != cells_.begin() && std::prev(it)->range_max() >= id) {
+    return std::prev(it) - cells_.begin();
+  }
+  return -1;
+}
+
+uint64_t SuperCovering::CountExpensiveCells() const {
+  uint64_t n = 0;
+  for (const RefList& r : refs_) {
+    if (HasCandidate(r)) ++n;
+  }
+  return n;
+}
+
+bool SuperCovering::IsDisjoint() const {
+  for (size_t i = 1; i < cells_.size(); ++i) {
+    // Sorted + disjoint <=> each cell's range starts after the previous
+    // cell's range ends.
+    if (cells_[i].range_min() <= cells_[i - 1].range_max()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SuperCoveringBuilder (paper Listing 1, generalized)
+// ---------------------------------------------------------------------------
+
+void SuperCoveringBuilder::AddCovering(std::span<const CellId> cells,
+                                       uint32_t polygon_id, bool interior) {
+  RefList refs;
+  refs.push_back({polygon_id, interior});
+  for (const CellId& c : cells) Insert(c, refs);
+}
+
+void SuperCoveringBuilder::Insert(const CellId& cell, const RefList& refs) {
+  ACT_CHECK(cell.is_valid());
+  // Case 0: the cell already exists — merge reference lists.
+  auto exact = map_.find(cell);
+  if (exact != map_.end()) {
+    MergeRefs(&exact->second, refs);
+    return;
+  }
+
+  // Case 1: an existing ancestor c1 contains the new cell c2 = cell.
+  // Disjointness makes the ancestor (if any) adjacent to `cell` in id
+  // order: any id strictly between them would lie inside the ancestor's
+  // range and thus violate disjointness.
+  auto after = map_.upper_bound(cell);
+  auto TryAncestor = [&](std::map<CellId, RefList>::iterator it) -> bool {
+    if (it == map_.end() || !it->first.contains(cell)) return false;
+    CellId c1 = it->first;
+    RefList c1_refs = std::move(it->second);
+    map_.erase(it);
+    // Fig. 4: store c2 (with c1's refs merged in) and d = c1 - c2 (with
+    // c1's refs); c1 itself is dropped.
+    std::vector<CellId> diff;
+    cover::CellDifference(c1, cell, &diff);
+    RefList merged = c1_refs;
+    MergeRefs(&merged, refs);
+    map_.emplace(cell, std::move(merged));
+    for (const CellId& d : diff) {
+      // d-cells fall inside c1's former range, which contains no other
+      // cells, so plain emplacement is safe.
+      map_.emplace(d, c1_refs);
+    }
+    return true;
+  };
+  if (TryAncestor(after)) return;
+  if (after != map_.begin() && TryAncestor(std::prev(after))) return;
+
+  // Case 2: the new cell contains one or more existing cells. They occupy
+  // the contiguous id range [range_min, range_max].
+  auto lo = map_.lower_bound(cell.range_min());
+  auto hi = map_.upper_bound(cell.range_max());
+  if (lo == hi) {
+    // Case 3: no conflict at all.
+    map_.emplace(cell, refs);
+    return;
+  }
+  std::vector<CellId> holes;
+  for (auto it = lo; it != hi; ++it) {
+    ACT_CHECK(cell.contains(it->first));
+    holes.push_back(it->first);
+    MergeRefs(&it->second, refs);  // descendants inherit the new refs
+  }
+  std::vector<CellId> diff;
+  cover::CellDifferenceMulti(cell, holes, &diff);
+  for (const CellId& d : diff) {
+    map_.emplace(d, refs);
+  }
+}
+
+SuperCovering SuperCoveringBuilder::Build() {
+  std::vector<CellId> cells;
+  std::vector<RefList> refs;
+  cells.reserve(map_.size());
+  refs.reserve(map_.size());
+  for (auto& [cell, r] : map_) {
+    cells.push_back(cell);
+    refs.push_back(std::move(r));
+  }
+  map_.clear();
+  return SuperCovering(std::move(cells), std::move(refs));
+}
+
+const std::pair<const CellId, RefList>* SuperCoveringBuilder::FindContaining(
+    const CellId& id) const {
+  auto it = map_.lower_bound(id);
+  if (it != map_.end() && it->first.range_min() <= id) return &*it;
+  if (it != map_.begin()) {
+    --it;
+    if (it->first.range_max() >= id) return &*it;
+  }
+  return nullptr;
+}
+
+int64_t SuperCoveringBuilder::SplitCell(const CellId& cell,
+                                        const CellClassifier& classifier) {
+  auto it = map_.find(cell);
+  ACT_CHECK_MSG(it != map_.end(), "SplitCell: cell not present");
+  if (cell.is_leaf()) return 0;
+  RefList refs = std::move(it->second);
+  map_.erase(it);
+  int64_t added = -1;
+  for (int k = 0; k < 4; ++k) {
+    CellId child = cell.child(k);
+    RefList child_refs;
+    for (const PolygonRef& r : refs) {
+      if (r.interior) {
+        // Fully-contained stays fully contained for every descendant.
+        child_refs.push_back(r);
+        continue;
+      }
+      switch (classifier.Classify(r.polygon_id, child)) {
+        case RegionRelation::kContained:
+          child_refs.push_back({r.polygon_id, true});
+          break;
+        case RegionRelation::kIntersects:
+          child_refs.push_back({r.polygon_id, false});
+          break;
+        case RegionRelation::kDisjoint:
+          break;
+      }
+    }
+    if (!child_refs.empty()) {
+      map_.emplace(child, std::move(child_refs));
+      ++added;
+    }
+  }
+  return added;
+}
+
+// ---------------------------------------------------------------------------
+// Precision refinement (paper Sec. 3.2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void RefineCell(const CellId& cell, const RefList& refs, double bound_m,
+                const geo::Grid& grid, const CellClassifier& classifier,
+                std::vector<CellId>* out_cells, std::vector<RefList>* out_refs) {
+  // Interior-only cells are true hits at any size; emit as-is.
+  if (!HasCandidate(refs)) {
+    out_cells->push_back(cell);
+    out_refs->push_back(refs);
+    return;
+  }
+  // Re-classify boundary references against *this* cell before anything
+  // else. This is load-bearing for the precision guarantee: difference
+  // cells from the conflict resolution (paper Fig. 4) inherit all of c1's
+  // references, so a cell can carry a boundary ref for a polygon it does
+  // not actually touch; emitting it unchecked would produce false
+  // positives arbitrarily far from that polygon.
+  RefList live;
+  for (const PolygonRef& r : refs) {
+    if (r.interior) {
+      live.push_back(r);
+      continue;
+    }
+    switch (classifier.Classify(r.polygon_id, cell)) {
+      case RegionRelation::kContained:
+        live.push_back({r.polygon_id, true});
+        break;
+      case RegionRelation::kIntersects:
+        live.push_back({r.polygon_id, false});
+        break;
+      case RegionRelation::kDisjoint:
+        break;
+    }
+  }
+  if (live.empty()) return;
+  // The guarantee: any false positive is at most the diagonal of the
+  // largest boundary cell away from the polygon ("a distance of
+  // sqrt(2) * delta").
+  if (!HasCandidate(live) || cell.is_leaf() ||
+      grid.CellDiagonalMeters(cell) <= bound_m) {
+    out_cells->push_back(cell);
+    out_refs->push_back(live);
+    return;
+  }
+  for (int k = 0; k < 4; ++k) {
+    RefineCell(cell.child(k), live, bound_m, grid, classifier, out_cells,
+               out_refs);
+  }
+}
+
+}  // namespace
+
+SuperCovering RefineToPrecision(const SuperCovering& in, double bound_m,
+                                const geo::Grid& grid,
+                                const CellClassifier& classifier) {
+  ACT_CHECK(bound_m > 0);
+  std::vector<CellId> cells;
+  std::vector<RefList> refs;
+  cells.reserve(in.size());
+  refs.reserve(in.size());
+  // Children are emitted in curve order inside each original cell and
+  // original cells are sorted, so the output is sorted by construction.
+  for (size_t i = 0; i < in.size(); ++i) {
+    RefineCell(in.cell(i), in.refs(i), bound_m, grid, classifier, &cells,
+               &refs);
+  }
+  return SuperCovering(std::move(cells), std::move(refs));
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+EncodedCovering Encode(const SuperCovering& sc, bool inline_refs) {
+  EncodedCovering out;
+  out.cells.reserve(sc.size());
+  LookupTableBuilder builder;
+  for (size_t i = 0; i < sc.size(); ++i) {
+    const RefList& refs = sc.refs(i);
+    ACT_CHECK(!refs.empty());
+    TaggedEntry entry;
+    if (inline_refs && refs.size() == 1) {
+      entry = MakeOneRef(refs[0]);
+    } else if (inline_refs && refs.size() == 2) {
+      entry = MakeTwoRefs(refs[0], refs[1]);
+    } else {
+      entry = MakeTableOffset(builder.AddList(refs));
+    }
+    out.cells.emplace_back(sc.cell(i), entry);
+  }
+  out.table = std::move(builder).Build();
+  return out;
+}
+
+}  // namespace actjoin::act

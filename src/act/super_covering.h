@@ -1,0 +1,137 @@
+// Super covering: the merged, disjoint, multi-resolution approximation of an
+// entire polygon set (paper Sec. 3.1.1).
+//
+// "All grid cells are disjoint in the sense that each geographical point is
+// covered by at most one cell, even if two (or more) polygons overlap. A
+// single cell of the super covering can therefore be associated with
+// multiple polygons."
+//
+// The builder implements the precision-preserving conflict resolution of
+// Listing 1 / Fig. 4 (store c2 and d = c1 - c2 instead of c1 and c2),
+// generalized: inserting a cell that contains *several* existing cells
+// splits the new cell around all of them. The paper's pairwise listing is a
+// special case.
+
+#ifndef ACTJOIN_ACT_SUPER_COVERING_H_
+#define ACTJOIN_ACT_SUPER_COVERING_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "act/lookup_table.h"
+#include "act/polygon_ref.h"
+#include "act/tagged_entry.h"
+#include "geo/cell_id.h"
+#include "geo/grid.h"
+#include "geometry/pip.h"
+
+namespace actjoin::act {
+
+/// Classification callback: relation of cell to polygon `polygon_id`.
+/// Implemented by PolygonClassifier (see classifier.h); kept abstract here
+/// so the covering logic has no dependency on how classification is done.
+class CellClassifier {
+ public:
+  virtual ~CellClassifier() = default;
+  virtual geom::RegionRelation Classify(uint32_t polygon_id,
+                                        const geo::CellId& cell) const = 0;
+};
+
+/// Frozen super covering: cells sorted by id with parallel reference lists.
+class SuperCovering {
+ public:
+  SuperCovering() = default;
+  SuperCovering(std::vector<geo::CellId> cells, std::vector<RefList> refs);
+
+  size_t size() const { return cells_.size(); }
+  const std::vector<geo::CellId>& cells() const { return cells_; }
+  const geo::CellId& cell(size_t i) const { return cells_[i]; }
+  const RefList& refs(size_t i) const { return refs_[i]; }
+
+  /// Index of the unique cell containing `id` (cells are disjoint), or -1.
+  /// This is the reference probe all index structures must agree with.
+  int64_t FindContaining(const geo::CellId& id) const;
+
+  /// Number of cells whose reference list contains at least one candidate
+  /// (boundary) reference — the paper's "expensive" cells.
+  uint64_t CountExpensiveCells() const;
+
+  /// Verifies pairwise disjointness (test support; O(n)).
+  bool IsDisjoint() const;
+
+ private:
+  std::vector<geo::CellId> cells_;
+  std::vector<RefList> refs_;
+};
+
+/// Mutable form used by the builder (Listing 1) and by index training
+/// (Sec. 3.3.1), which must see its own refinements while processing
+/// training points.
+class SuperCoveringBuilder {
+ public:
+  /// Inserts all cells of one polygon covering. interior=false for the
+  /// boundary covering, true for the interior covering (paper Listing 1
+  /// processes all coverings first, then all interior coverings).
+  void AddCovering(std::span<const geo::CellId> cells, uint32_t polygon_id,
+                   bool interior);
+
+  /// General insertion with conflict resolution; exposed for tests.
+  void Insert(const geo::CellId& cell, const RefList& refs);
+
+  /// Freezes into the immutable form. The builder is left empty.
+  SuperCovering Build();
+
+  size_t size() const { return map_.size(); }
+
+  // --- Training support (paper Sec. 3.3.1) ---------------------------------
+
+  /// Iterator-ish handle to the cell containing `id`, or nullptr.
+  const std::pair<const geo::CellId, RefList>* FindContaining(
+      const geo::CellId& id) const;
+
+  /// Replaces an expensive cell with its (up to four) direct children,
+  /// re-classifying boundary references per child; children with no
+  /// remaining references are dropped. Returns the number of cells added
+  /// (children kept minus the removed original).
+  int64_t SplitCell(const geo::CellId& cell, const CellClassifier& classifier);
+
+ private:
+  std::map<geo::CellId, RefList> map_;
+};
+
+/// Options mirroring the paper's default covering configuration (Sec. 4).
+struct ApproximationOptions {
+  int max_covering_cells = 128;
+  int max_covering_level = geo::CellId::kMaxLevel;
+  int max_interior_cells = 256;
+  int max_interior_level = 20;
+};
+
+/// Precision-bound refinement (Sec. 3.2): replaces every boundary cell with
+/// descendants whose diagonal is at most `bound_m` meters, re-classifying
+/// each descendant against its referenced polygons. Cells that end up with
+/// no references are removed. Returns a new covering; `in` is unchanged.
+SuperCovering RefineToPrecision(const SuperCovering& in, double bound_m,
+                                const geo::Grid& grid,
+                                const CellClassifier& classifier);
+
+/// Indexable form shared by ACT and the B-tree / sorted-vector baselines:
+/// (cell id, tagged entry) pairs sorted by id plus the lookup table.
+struct EncodedCovering {
+  std::vector<std::pair<geo::CellId, TaggedEntry>> cells;
+  LookupTable table;
+
+  size_t RawKeyValueBytes() const { return cells.size() * 16; }
+};
+
+/// Encodes reference lists into tagged entries (inlining one or two refs,
+/// spilling longer lists to the lookup table). With inline_refs = false all
+/// lists go through the table — an ablation knob for the paper's "avoid an
+/// unnecessary indirection" design choice.
+EncodedCovering Encode(const SuperCovering& sc, bool inline_refs = true);
+
+}  // namespace actjoin::act
+
+#endif  // ACTJOIN_ACT_SUPER_COVERING_H_

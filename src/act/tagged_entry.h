@@ -1,0 +1,86 @@
+// Tagged 64-bit slot entries (paper Sec. 3.1.2, "Adaptive Cell Trie").
+//
+// "Using pointer tagging, we differentiate between pointers and values."
+// The two least significant bits of an 8-byte-aligned pointer are free, so a
+// tagged entry is one of:
+//   tag 00  pointer to a child node (entry 0 == the sentinel: a false hit)
+//   tag 01  one inlined 31-bit polygon reference
+//   tag 10  two inlined 31-bit polygon references
+//   tag 11  a 31-bit offset into the lookup table (>= 3 references)
+
+#ifndef ACTJOIN_ACT_TAGGED_ENTRY_H_
+#define ACTJOIN_ACT_TAGGED_ENTRY_H_
+
+#include <cstdint>
+
+#include "act/polygon_ref.h"
+#include "util/check.h"
+
+namespace actjoin::act {
+
+using TaggedEntry = uint64_t;
+
+inline constexpr TaggedEntry kSentinelEntry = 0;  // false hit / no hit
+
+enum class EntryKind : uint8_t {
+  kPointer = 0,
+  kOneRef = 1,
+  kTwoRefs = 2,
+  kTableOffset = 3,
+};
+
+inline EntryKind KindOf(TaggedEntry e) {
+  return static_cast<EntryKind>(e & 3);
+}
+
+inline bool IsValue(TaggedEntry e) { return (e & 3) != 0; }
+
+inline TaggedEntry MakePointer(const TaggedEntry* node) {
+  auto bits = reinterpret_cast<uint64_t>(node);
+  ACT_CHECK_MSG((bits & 3) == 0, "nodes must be 8-byte aligned");
+  return bits;
+}
+
+inline const TaggedEntry* PointerOf(TaggedEntry e) {
+  return reinterpret_cast<const TaggedEntry*>(e);
+}
+
+inline TaggedEntry* MutablePointerOf(TaggedEntry e) {
+  return reinterpret_cast<TaggedEntry*>(e);
+}
+
+inline TaggedEntry MakeOneRef(const PolygonRef& r) {
+  return (static_cast<uint64_t>(r.Encode()) << 2) |
+         static_cast<uint64_t>(EntryKind::kOneRef);
+}
+
+inline TaggedEntry MakeTwoRefs(const PolygonRef& a, const PolygonRef& b) {
+  return (static_cast<uint64_t>(a.Encode()) << 33) |
+         (static_cast<uint64_t>(b.Encode()) << 2) |
+         static_cast<uint64_t>(EntryKind::kTwoRefs);
+}
+
+inline TaggedEntry MakeTableOffset(uint32_t offset) {
+  ACT_CHECK(offset <= 0x7FFFFFFFu);
+  return (static_cast<uint64_t>(offset) << 2) |
+         static_cast<uint64_t>(EntryKind::kTableOffset);
+}
+
+inline PolygonRef FirstRefOf(TaggedEntry e) {
+  if (KindOf(e) == EntryKind::kTwoRefs) {
+    return PolygonRef::Decode(static_cast<uint32_t>((e >> 33) & 0x7FFFFFFFu));
+  }
+  return PolygonRef::Decode(static_cast<uint32_t>((e >> 2) & 0x7FFFFFFFu));
+}
+
+inline PolygonRef SecondRefOf(TaggedEntry e) {
+  return PolygonRef::Decode(static_cast<uint32_t>((e >> 2) & 0x7FFFFFFFu));
+}
+
+inline uint32_t TableOffsetOf(TaggedEntry e) {
+  return static_cast<uint32_t>((e >> 2) & 0x7FFFFFFFu);
+}
+
+}  // namespace actjoin::act
+
+#endif  // ACTJOIN_ACT_TAGGED_ENTRY_H_

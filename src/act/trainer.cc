@@ -1,0 +1,40 @@
+#include "act/trainer.h"
+
+#include "geo/cell_id.h"
+
+namespace actjoin::act {
+
+SuperCoveringBuilder ToBuilder(const SuperCovering& sc) {
+  SuperCoveringBuilder builder;
+  for (size_t i = 0; i < sc.size(); ++i) {
+    // Cells of a frozen covering are already disjoint: plain insertion never
+    // triggers conflict resolution.
+    builder.Insert(sc.cell(i), sc.refs(i));
+  }
+  return builder;
+}
+
+TrainStats TrainOnPoints(SuperCoveringBuilder* covering,
+                         const JoinInput& training_points,
+                         const CellClassifier& classifier,
+                         const TrainOptions& opts) {
+  TrainStats stats;
+  for (uint64_t p = 0; p < training_points.size(); ++p) {
+    if (covering->size() >= opts.max_cells) {
+      stats.budget_exhausted = true;
+      break;
+    }
+    ++stats.points_processed;
+    geo::CellId leaf(training_points.cell_ids[p]);
+    const auto* hit = covering->FindContaining(leaf);
+    if (hit == nullptr || !HasCandidate(hit->second)) continue;
+    ++stats.expensive_hits;
+    if (hit->first.is_leaf()) continue;  // cannot split below leaf level
+    geo::CellId cell = hit->first;
+    stats.cells_delta += covering->SplitCell(cell, classifier);
+    ++stats.cells_split;
+  }
+  return stats;
+}
+
+}  // namespace actjoin::act

@@ -1,0 +1,51 @@
+// Index training with historical points (paper Sec. 3.3.1).
+//
+// "When a training point hits an expensive cell, for each of its four child
+// cells we check whether they intersect, are fully contained in, or do not
+// intersect the referenced polygons at all, and update ACT accordingly. ...
+// we always replace an expensive cell with its direct children one level
+// below" — one level per hit, so popular areas deepen gradually and
+// outliers cannot over-refine a region.
+//
+// Training operates on the mutable super covering so each point observes
+// the refinements caused by earlier points, then the (immutable) trie is
+// rebuilt once — matching the paper's "all adaptation is performed at build
+// time".
+
+#ifndef ACTJOIN_ACT_TRAINER_H_
+#define ACTJOIN_ACT_TRAINER_H_
+
+#include <cstdint>
+
+#include "act/join.h"
+#include "act/super_covering.h"
+
+namespace actjoin::act {
+
+struct TrainOptions {
+  /// Memory budget expressed as a cap on super-covering cells ("in practice,
+  /// we would stop refining the index once a user-defined memory budget is
+  /// exhausted").
+  uint64_t max_cells = UINT64_MAX;
+};
+
+struct TrainStats {
+  uint64_t points_processed = 0;
+  uint64_t expensive_hits = 0;  // training points that hit an expensive cell
+  uint64_t cells_split = 0;
+  int64_t cells_delta = 0;      // net growth of the covering
+  bool budget_exhausted = false;
+};
+
+/// Trains the covering in place with the given historical points.
+TrainStats TrainOnPoints(SuperCoveringBuilder* covering,
+                         const JoinInput& training_points,
+                         const CellClassifier& classifier,
+                         const TrainOptions& opts = {});
+
+/// Convenience: rebuilds a mutable builder from a frozen covering.
+SuperCoveringBuilder ToBuilder(const SuperCovering& sc);
+
+}  // namespace actjoin::act
+
+#endif  // ACTJOIN_ACT_TRAINER_H_

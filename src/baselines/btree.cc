@@ -1,0 +1,551 @@
+#include "baselines/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "util/check.h"
+
+namespace actjoin::baselines {
+
+// Node memory layout: a fixed-size block of node_bytes_ holding a header
+// followed by the key array and then the value/child-pointer array.
+struct BTree::Node {
+  uint16_t count = 0;
+  bool is_leaf = false;
+};
+
+struct BTree::LeafNode {
+  Node h;
+  LeafNode* next = nullptr;
+  LeafNode* prev = nullptr;
+
+  uint64_t* keys() { return reinterpret_cast<uint64_t*>(this + 1); }
+  const uint64_t* keys() const {
+    return reinterpret_cast<const uint64_t*>(this + 1);
+  }
+  uint64_t* values(int cap) { return keys() + cap; }
+  const uint64_t* values(int cap) const { return keys() + cap; }
+};
+
+struct BTree::InnerNode {
+  Node h;  // h.count = number of children; separators = count - 1
+
+  uint64_t* seps() { return reinterpret_cast<uint64_t*>(this + 1); }
+  const uint64_t* seps() const {
+    return reinterpret_cast<const uint64_t*>(this + 1);
+  }
+  Node** children(int cap) {
+    return reinterpret_cast<Node**>(seps() + (cap - 1));
+  }
+  Node* const* children(int cap) const {
+    return reinterpret_cast<Node* const*>(seps() + (cap - 1));
+  }
+};
+
+namespace {
+
+int LeafCapacity(size_t node_bytes) {
+  size_t avail = node_bytes - sizeof(BTree::LeafNode);
+  int cap = static_cast<int>(avail / 16);
+  return std::max(cap, 2);
+}
+
+int InnerCapacity(size_t node_bytes) {
+  // cap children + (cap - 1) separators.
+  size_t avail = node_bytes - sizeof(BTree::InnerNode);
+  int cap = static_cast<int>((avail + 8) / 16);
+  return std::max(cap, 3);
+}
+
+}  // namespace
+
+BTree::BTree(size_t target_node_bytes) : node_bytes_(target_node_bytes) {
+  ACT_CHECK(target_node_bytes >= 64);
+  leaf_capacity_ = LeafCapacity(node_bytes_);
+  inner_capacity_ = InnerCapacity(node_bytes_);
+}
+
+BTree::~BTree() { Clear(); }
+
+BTree::BTree(BTree&& o) noexcept
+    : root_(o.root_),
+      first_leaf_(o.first_leaf_),
+      size_(o.size_),
+      height_(o.height_),
+      node_count_(o.node_count_),
+      leaf_capacity_(o.leaf_capacity_),
+      inner_capacity_(o.inner_capacity_),
+      node_bytes_(o.node_bytes_) {
+  o.root_ = nullptr;
+  o.first_leaf_ = nullptr;
+  o.size_ = 0;
+  o.height_ = 0;
+  o.node_count_ = 0;
+}
+
+BTree& BTree::operator=(BTree&& o) noexcept {
+  if (this != &o) {
+    Clear();
+    root_ = o.root_;
+    first_leaf_ = o.first_leaf_;
+    size_ = o.size_;
+    height_ = o.height_;
+    node_count_ = o.node_count_;
+    leaf_capacity_ = o.leaf_capacity_;
+    inner_capacity_ = o.inner_capacity_;
+    node_bytes_ = o.node_bytes_;
+    o.root_ = nullptr;
+    o.first_leaf_ = nullptr;
+    o.size_ = 0;
+    o.height_ = 0;
+    o.node_count_ = 0;
+  }
+  return *this;
+}
+
+namespace {
+
+void DeleteSubtree(BTree::Node* node, int inner_cap) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    auto* inner = reinterpret_cast<BTree::InnerNode*>(node);
+    for (int k = 0; k < node->count; ++k) {
+      DeleteSubtree(inner->children(inner_cap)[k], inner_cap);
+    }
+  }
+  ::operator delete(node);
+}
+
+}  // namespace
+
+void BTree::Clear() {
+  DeleteSubtree(root_, inner_capacity_);
+  root_ = nullptr;
+  first_leaf_ = nullptr;
+  size_ = 0;
+  height_ = 0;
+  node_count_ = 0;
+}
+
+BTree::LeafNode* BTree::FindLeaf(uint64_t key) const {
+  Node* node = root_;
+  if (node == nullptr) return nullptr;
+  while (!node->is_leaf) {
+    auto* inner = reinterpret_cast<InnerNode*>(node);
+    const uint64_t* seps = inner->seps();
+    int n_seps = node->count - 1;
+    int idx = static_cast<int>(
+        std::upper_bound(seps, seps + n_seps, key) - seps);
+    node = inner->children(inner_capacity_)[idx];
+  }
+  return reinterpret_cast<LeafNode*>(node);
+}
+
+bool BTree::Find(uint64_t key, uint64_t* value) const {
+  LeafNode* leaf = FindLeaf(key);
+  if (leaf == nullptr) return false;
+  const uint64_t* keys = leaf->keys();
+  const uint64_t* end = keys + leaf->h.count;
+  const uint64_t* it = std::lower_bound(keys, end, key);
+  if (it == end || *it != key) return false;
+  *value = leaf->values(leaf_capacity_)[it - keys];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load
+// ---------------------------------------------------------------------------
+
+void BTree::BulkLoad(
+    std::span<const std::pair<uint64_t, uint64_t>> sorted_pairs) {
+  Clear();
+  if (sorted_pairs.empty()) return;
+  for (size_t i = 1; i < sorted_pairs.size(); ++i) {
+    ACT_CHECK_MSG(sorted_pairs[i - 1].first < sorted_pairs[i].first,
+                  "bulk load requires sorted unique keys");
+  }
+
+  // Level 0: pack leaves.
+  std::vector<Node*> level;
+  std::vector<uint64_t> level_min_keys;
+  LeafNode* prev = nullptr;
+  size_t i = 0;
+  while (i < sorted_pairs.size()) {
+    auto* leaf = new (::operator new(node_bytes_)) LeafNode();
+    ++node_count_;
+    leaf->h.is_leaf = true;
+    int n = static_cast<int>(std::min<size_t>(leaf_capacity_,
+                                              sorted_pairs.size() - i));
+    // Avoid a dangling 1-entry final leaf: rebalance the last two.
+    if (static_cast<size_t>(n) == sorted_pairs.size() - i &&
+        n < leaf_capacity_ / 2 && prev != nullptr) {
+      // Final leaf would be underfull: steal the tail of the previous leaf
+      // so both satisfy the minimum fill.
+      int steal = leaf_capacity_ / 2 - n;
+      int pn = prev->h.count;
+      for (int k = 0; k < steal; ++k) {
+        leaf->keys()[k] = prev->keys()[pn - steal + k];
+        leaf->values(leaf_capacity_)[k] =
+            prev->values(leaf_capacity_)[pn - steal + k];
+      }
+      prev->h.count = static_cast<uint16_t>(pn - steal);
+      for (int k = 0; k < n; ++k) {
+        leaf->keys()[steal + k] = sorted_pairs[i + k].first;
+        leaf->values(leaf_capacity_)[steal + k] = sorted_pairs[i + k].second;
+      }
+      leaf->h.count = static_cast<uint16_t>(steal + n);
+    } else {
+      for (int k = 0; k < n; ++k) {
+        leaf->keys()[k] = sorted_pairs[i + k].first;
+        leaf->values(leaf_capacity_)[k] = sorted_pairs[i + k].second;
+      }
+      leaf->h.count = static_cast<uint16_t>(n);
+    }
+    i += n;
+    leaf->prev = prev;
+    if (prev != nullptr) prev->next = leaf;
+    if (first_leaf_ == nullptr) first_leaf_ = leaf;
+    prev = leaf;
+    level.push_back(&leaf->h);
+    level_min_keys.push_back(leaf->keys()[0]);
+  }
+  size_ = sorted_pairs.size();
+  height_ = 1;
+
+  // Upper levels: pack inner nodes over children; separators are the min
+  // keys of all children but the first.
+  while (level.size() > 1) {
+    std::vector<Node*> next_level;
+    std::vector<uint64_t> next_min_keys;
+    size_t j = 0;
+    while (j < level.size()) {
+      auto* inner = new (::operator new(node_bytes_)) InnerNode();
+      ++node_count_;
+      inner->h.is_leaf = false;
+      int n = static_cast<int>(std::min<size_t>(inner_capacity_,
+                                                level.size() - j));
+      if (static_cast<size_t>(n) == level.size() - j && n == 1 &&
+          !next_level.empty()) {
+        // Avoid a single-child inner node: give it a sibling by stealing
+        // one child from the previous inner node.
+        auto* prev_inner = reinterpret_cast<InnerNode*>(next_level.back());
+        int pn = prev_inner->h.count;
+        inner->children(inner_capacity_)[0] =
+            prev_inner->children(inner_capacity_)[pn - 1];
+        uint64_t stolen_min = prev_inner->seps()[pn - 2];
+        prev_inner->h.count = static_cast<uint16_t>(pn - 1);
+        inner->children(inner_capacity_)[1] = level[j];
+        inner->seps()[0] = level_min_keys[j];
+        inner->h.count = 2;
+        next_level.push_back(&inner->h);
+        next_min_keys.push_back(stolen_min);
+        ++j;
+        continue;
+      }
+      for (int k = 0; k < n; ++k) {
+        inner->children(inner_capacity_)[k] = level[j + k];
+        if (k > 0) inner->seps()[k - 1] = level_min_keys[j + k];
+      }
+      inner->h.count = static_cast<uint16_t>(n);
+      next_level.push_back(&inner->h);
+      next_min_keys.push_back(level_min_keys[j]);
+      j += n;
+    }
+    level = std::move(next_level);
+    level_min_keys = std::move(next_min_keys);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+// ---------------------------------------------------------------------------
+// Insertion with splits
+// ---------------------------------------------------------------------------
+
+void BTree::Insert(uint64_t key, uint64_t value) {
+  if (root_ == nullptr) {
+    auto* leaf = new (::operator new(node_bytes_)) LeafNode();
+    ++node_count_;
+    leaf->h.is_leaf = true;
+    leaf->h.count = 1;
+    leaf->keys()[0] = key;
+    leaf->values(leaf_capacity_)[0] = value;
+    root_ = &leaf->h;
+    first_leaf_ = leaf;
+    size_ = 1;
+    height_ = 1;
+    return;
+  }
+
+  // Descend, remembering the path.
+  std::vector<std::pair<InnerNode*, int>> path;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* inner = reinterpret_cast<InnerNode*>(node);
+    const uint64_t* seps = inner->seps();
+    int idx = static_cast<int>(
+        std::upper_bound(seps, seps + node->count - 1, key) - seps);
+    path.emplace_back(inner, idx);
+    node = inner->children(inner_capacity_)[idx];
+  }
+  auto* leaf = reinterpret_cast<LeafNode*>(node);
+  uint64_t* keys = leaf->keys();
+  uint64_t* values = leaf->values(leaf_capacity_);
+  int pos = static_cast<int>(
+      std::lower_bound(keys, keys + leaf->h.count, key) - keys);
+  if (pos < leaf->h.count && keys[pos] == key) {
+    values[pos] = value;  // overwrite
+    return;
+  }
+
+  // Make room (possibly splitting).
+  if (leaf->h.count < leaf_capacity_) {
+    std::memmove(keys + pos + 1, keys + pos,
+                 (leaf->h.count - pos) * sizeof(uint64_t));
+    std::memmove(values + pos + 1, values + pos,
+                 (leaf->h.count - pos) * sizeof(uint64_t));
+    keys[pos] = key;
+    values[pos] = value;
+    ++leaf->h.count;
+    ++size_;
+    return;
+  }
+
+  // Split the leaf: left keeps half, right gets the rest.
+  auto* right = new (::operator new(node_bytes_)) LeafNode();
+  ++node_count_;
+  right->h.is_leaf = true;
+  int left_n = (leaf->h.count + 1) / 2;
+  int right_n = leaf->h.count - left_n;
+  std::memcpy(right->keys(), keys + left_n, right_n * sizeof(uint64_t));
+  std::memcpy(right->values(leaf_capacity_), values + left_n,
+              right_n * sizeof(uint64_t));
+  right->h.count = static_cast<uint16_t>(right_n);
+  leaf->h.count = static_cast<uint16_t>(left_n);
+  right->next = leaf->next;
+  if (right->next != nullptr) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+
+  // Insert the new entry into the proper half.
+  LeafNode* target = key < right->keys()[0] ? leaf : right;
+  keys = target->keys();
+  values = target->values(leaf_capacity_);
+  pos = static_cast<int>(
+      std::lower_bound(keys, keys + target->h.count, key) - keys);
+  std::memmove(keys + pos + 1, keys + pos,
+               (target->h.count - pos) * sizeof(uint64_t));
+  std::memmove(values + pos + 1, values + pos,
+               (target->h.count - pos) * sizeof(uint64_t));
+  keys[pos] = key;
+  values[pos] = value;
+  ++target->h.count;
+  ++size_;
+
+  // Propagate the split upward.
+  uint64_t sep = right->keys()[0];
+  Node* new_child = &right->h;
+  while (!path.empty()) {
+    auto [inner, idx] = path.back();
+    path.pop_back();
+    if (inner->h.count < inner_capacity_) {
+      // Shift separators/children right of idx.
+      uint64_t* seps = inner->seps();
+      Node** children = inner->children(inner_capacity_);
+      std::memmove(seps + idx + 1, seps + idx,
+                   (inner->h.count - 1 - idx) * sizeof(uint64_t));
+      std::memmove(children + idx + 2, children + idx + 1,
+                   (inner->h.count - 1 - idx) * sizeof(Node*));
+      seps[idx] = sep;
+      children[idx + 1] = new_child;
+      ++inner->h.count;
+      return;
+    }
+    // Split the inner node.
+    auto* right_inner = new (::operator new(node_bytes_)) InnerNode();
+    ++node_count_;
+    right_inner->h.is_leaf = false;
+    // Gather count children + 1 and count separators into temporaries.
+    int n = inner->h.count;
+    std::vector<uint64_t> all_seps(inner->seps(), inner->seps() + n - 1);
+    std::vector<Node*> all_children(inner->children(inner_capacity_),
+                                    inner->children(inner_capacity_) + n);
+    all_seps.insert(all_seps.begin() + idx, sep);
+    all_children.insert(all_children.begin() + idx + 1, new_child);
+    int total_children = n + 1;
+    int left_c = (total_children + 1) / 2;
+    int right_c = total_children - left_c;
+    // Left keeps children [0, left_c), separators [0, left_c - 1).
+    for (int k = 0; k < left_c - 1; ++k) inner->seps()[k] = all_seps[k];
+    for (int k = 0; k < left_c; ++k) {
+      inner->children(inner_capacity_)[k] = all_children[k];
+    }
+    inner->h.count = static_cast<uint16_t>(left_c);
+    // Separator promoted to the parent.
+    uint64_t promoted = all_seps[left_c - 1];
+    // Right gets the rest.
+    for (int k = 0; k < right_c - 1; ++k) {
+      right_inner->seps()[k] = all_seps[left_c + k];
+    }
+    for (int k = 0; k < right_c; ++k) {
+      right_inner->children(inner_capacity_)[k] = all_children[left_c + k];
+    }
+    right_inner->h.count = static_cast<uint16_t>(right_c);
+    sep = promoted;
+    new_child = &right_inner->h;
+  }
+
+  // Split reached the root: grow the tree.
+  auto* new_root = new (::operator new(node_bytes_)) InnerNode();
+  ++node_count_;
+  new_root->h.is_leaf = false;
+  new_root->h.count = 2;
+  new_root->seps()[0] = sep;
+  new_root->children(inner_capacity_)[0] = root_;
+  new_root->children(inner_capacity_)[1] = new_child;
+  root_ = &new_root->h;
+  ++height_;
+}
+
+// ---------------------------------------------------------------------------
+// Iterators
+// ---------------------------------------------------------------------------
+
+uint64_t BTree::Iterator::key() const {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->keys()[idx_];
+}
+
+uint64_t BTree::Iterator::value() const {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  // The value array starts right after the key array of leaf_cap_ slots.
+  return leaf->keys()[leaf_cap_ + idx_];
+}
+
+void BTree::Iterator::Next() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  if (idx_ + 1 < leaf->h.count) {
+    ++idx_;
+    return;
+  }
+  leaf_ = leaf->next;
+  idx_ = 0;
+}
+
+void BTree::Iterator::Prev() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  if (idx_ > 0) {
+    --idx_;
+    return;
+  }
+  leaf_ = leaf->prev;
+  if (leaf_ != nullptr) {
+    idx_ = static_cast<const LeafNode*>(leaf_)->h.count - 1;
+  }
+}
+
+BTree::Iterator BTree::Begin() const {
+  return Iterator(first_leaf_, 0, leaf_capacity_);
+}
+
+BTree::Iterator BTree::LowerBound(uint64_t key) const {
+  LeafNode* leaf = FindLeaf(key);
+  if (leaf == nullptr) return Iterator(nullptr, 0, leaf_capacity_);
+  const uint64_t* keys = leaf->keys();
+  int idx = static_cast<int>(
+      std::lower_bound(keys, keys + leaf->h.count, key) - keys);
+  Iterator it(leaf, idx, leaf_capacity_);
+  if (idx == leaf->h.count) it.Next();
+  return it;
+}
+
+BTree::Iterator BTree::Predecessor(uint64_t key) const {
+  Iterator it = LowerBound(key);
+  if (it.Valid() && it.key() == key) return it;
+  if (!it.Valid()) {
+    // All keys are < key (or tree empty): the answer is the last entry.
+    LeafNode* leaf = first_leaf_;
+    if (leaf == nullptr) return it;
+    while (leaf->next != nullptr) leaf = leaf->next;
+    return Iterator(leaf, leaf->h.count - 1, leaf_capacity_);
+  }
+  it.Prev();
+  return it;
+}
+
+uint64_t BTree::MemoryBytes() const { return node_count_ * node_bytes_; }
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CheckResult {
+  bool ok = true;
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+  int depth = 0;
+};
+
+CheckResult CheckSubtree(const BTree::Node* node, int inner_cap,
+                         int leaf_cap) {
+  CheckResult r;
+  if (node->count == 0) {
+    r.ok = false;
+    return r;
+  }
+  if (node->is_leaf) {
+    const auto* leaf = reinterpret_cast<const BTree::LeafNode*>(node);
+    if (node->count > leaf_cap) r.ok = false;
+    for (int k = 1; k < node->count; ++k) {
+      if (leaf->keys()[k - 1] >= leaf->keys()[k]) r.ok = false;
+    }
+    r.min_key = leaf->keys()[0];
+    r.max_key = leaf->keys()[node->count - 1];
+    r.depth = 1;
+    return r;
+  }
+  const auto* inner = reinterpret_cast<const BTree::InnerNode*>(node);
+  if (node->count < 2 || node->count > inner_cap) r.ok = false;
+  CheckResult first =
+      CheckSubtree(inner->children(inner_cap)[0], inner_cap, leaf_cap);
+  r = first;
+  for (int k = 1; k < node->count; ++k) {
+    uint64_t sep = inner->seps()[k - 1];
+    CheckResult child =
+        CheckSubtree(inner->children(inner_cap)[k], inner_cap, leaf_cap);
+    if (!child.ok || child.depth != first.depth) r.ok = false;
+    if (child.min_key < sep) r.ok = false;
+    if (r.max_key >= child.min_key) r.ok = false;
+    r.max_key = child.max_key;
+  }
+  r.depth = first.depth + 1;
+  return r;
+}
+
+}  // namespace
+
+bool BTree::CheckInvariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  CheckResult r = CheckSubtree(root_, inner_capacity_, leaf_capacity_);
+  if (!r.ok || r.depth != height_) return false;
+  // Leaf chain must enumerate exactly size_ sorted entries.
+  size_t n = 0;
+  uint64_t prev_key = 0;
+  bool first = true;
+  for (const LeafNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (int k = 0; k < leaf->h.count; ++k) {
+      if (!first && leaf->keys()[k] <= prev_key) return false;
+      prev_key = leaf->keys()[k];
+      first = false;
+      ++n;
+    }
+    if (leaf->next != nullptr && leaf->next->prev != leaf) return false;
+  }
+  return n == size_;
+}
+
+}  // namespace actjoin::baselines

@@ -1,0 +1,101 @@
+// In-memory B+-tree over 64-bit keys/values (the paper's "GBT" baseline,
+// standing in for Google's cpp-btree).
+//
+// Nodes have a byte budget rather than a fixed arity; the paper found a
+// 256-byte target node the most query-efficient configuration for cell-id
+// lookups, which is the default here. Leaves are doubly linked so the cell
+// probe can inspect the predecessor of a lower_bound in O(1) — the same
+// two-candidate check the sorted-vector baseline uses.
+//
+// Supports bulk loading from sorted input (used for covering indexes) and
+// incremental insertion with node splits (exercised by tests).
+
+#ifndef ACTJOIN_BASELINES_BTREE_H_
+#define ACTJOIN_BASELINES_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace actjoin::baselines {
+
+class BTree {
+ public:
+  // Node types are defined in the .cc; public so file-local helpers there
+  // can take them as parameters.
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  /// target_node_bytes controls fanout; at 256 bytes a node holds 15 keys.
+  explicit BTree(size_t target_node_bytes = 256);
+  ~BTree();
+
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Bulk loads from sorted, unique-keyed pairs. Replaces all contents.
+  void BulkLoad(std::span<const std::pair<uint64_t, uint64_t>> sorted_pairs);
+
+  /// Inserts or overwrites a key.
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Point lookup. Returns true and sets *value on hit.
+  bool Find(uint64_t key, uint64_t* value) const;
+
+  /// Iterator over leaf entries. Valid() is false at end().
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    uint64_t key() const;
+    uint64_t value() const;
+    void Next();
+    void Prev();  // becomes invalid before the first entry
+
+   private:
+    friend class BTree;
+    Iterator(const void* leaf, int idx, int leaf_cap)
+        : leaf_(leaf), idx_(idx), leaf_cap_(leaf_cap) {}
+    const void* leaf_;
+    int idx_;
+    int leaf_cap_;  // all leaves of one tree share a capacity
+  };
+
+  Iterator Begin() const;
+  /// First entry with key >= `key` (invalid if none).
+  Iterator LowerBound(uint64_t key) const;
+  /// Last entry with key <= `key` (invalid if none).
+  Iterator Predecessor(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+  uint64_t node_count() const { return node_count_; }
+  /// Total allocated node bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Structural invariant check for tests: sorted keys, fill bounds,
+  /// consistent child separators.
+  bool CheckInvariants() const;
+
+ private:
+  void Clear();
+  LeafNode* FindLeaf(uint64_t key) const;
+
+  Node* root_ = nullptr;
+  LeafNode* first_leaf_ = nullptr;
+  size_t size_ = 0;
+  int height_ = 0;
+  uint64_t node_count_ = 0;
+  int leaf_capacity_;
+  int inner_capacity_;
+  size_t node_bytes_;
+};
+
+}  // namespace actjoin::baselines
+
+#endif  // ACTJOIN_BASELINES_BTREE_H_

@@ -1,0 +1,275 @@
+#include "baselines/raster_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/latlng.h"
+#include "geometry/pip.h"
+#include "geometry/segment.h"
+#include "util/check.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace actjoin::baselines {
+
+using geom::Point;
+using geom::Rect;
+
+RasterJoin::RasterJoin(const std::vector<geom::Polygon>& polygons,
+                       const Rect& mbr, const RasterJoinOptions& opts)
+    : polygons_(&polygons), mbr_(mbr), opts_(opts) {
+  ACT_CHECK(!mbr.IsEmpty());
+  ACT_CHECK(opts.native_resolution >= 16);
+
+  // Resolution from the precision bound: pixel diagonal <= bound, with the
+  // longitude scale evaluated where degrees are widest (closest to the
+  // equator), exactly like the grid's conservative diagonal.
+  if (opts_.precision_bound_m > 0) {
+    double widest_lat = (mbr.lo.y <= 0 && mbr.hi.y >= 0)
+                            ? 0
+                            : std::min(std::abs(mbr.lo.y), std::abs(mbr.hi.y));
+    double width_m = mbr.Width() * geo::MetersPerDegreeLng(widest_lat);
+    double height_m = mbr.Height() * geo::kMetersPerDegreeLat;
+    double side = opts_.precision_bound_m / std::sqrt(2.0);
+    nx_ = std::max(1, static_cast<int>(std::ceil(width_m / side)));
+    ny_ = std::max(1, static_cast<int>(std::ceil(height_m / side)));
+  } else {
+    nx_ = ny_ = opts_.native_resolution;
+  }
+  passes_x_ = (nx_ + opts_.native_resolution - 1) / opts_.native_resolution;
+  passes_y_ = (ny_ + opts_.native_resolution - 1) / opts_.native_resolution;
+  inv_px_ = nx_ / mbr_.Width();
+  inv_py_ = ny_ / mbr_.Height();
+
+  util::WallTimer timer;
+  Rasterize();
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+int RasterJoin::PixelX(double x) const {
+  int p = static_cast<int>((x - mbr_.lo.x) * inv_px_);
+  return std::clamp(p, 0, nx_ - 1);
+}
+
+int RasterJoin::PixelY(double y) const {
+  int p = static_cast<int>((y - mbr_.lo.y) * inv_py_);
+  return std::clamp(p, 0, ny_ - 1);
+}
+
+namespace {
+
+void MergePid(util::SmallVector<uint32_t, 2>* refs, uint32_t pid) {
+  for (uint32_t existing : *refs) {
+    if (existing == pid) return;
+  }
+  refs->push_back(pid);
+}
+
+}  // namespace
+
+void RasterJoin::Rasterize() {
+  rows_.assign(ny_, {});
+  double pw = mbr_.Width() / nx_;
+  double ph = mbr_.Height() / ny_;
+
+  // Conservative boundary rasterization: recursively split each edge until
+  // its pixel bounding box is small, then do exact segment/pixel tests.
+  // Guarantees every pixel the boundary touches is marked, which is what
+  // makes interior spans trustworthy (a span pixel without a boundary mark
+  // is uniformly inside).
+  auto mark_boundary = [&](uint32_t pid, Point a, Point b) {
+    struct Frame {
+      Point a, b;
+    };
+    std::vector<Frame> stack{{a, b}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      int x0 = PixelX(std::min(f.a.x, f.b.x));
+      int x1 = PixelX(std::max(f.a.x, f.b.x));
+      int y0 = PixelY(std::min(f.a.y, f.b.y));
+      int y1 = PixelY(std::max(f.a.y, f.b.y));
+      int64_t pixels =
+          static_cast<int64_t>(x1 - x0 + 1) * (y1 - y0 + 1);
+      if (pixels > 16) {
+        Point mid{(f.a.x + f.b.x) / 2, (f.a.y + f.b.y) / 2};
+        stack.push_back({f.a, mid});
+        stack.push_back({mid, f.b});
+        continue;
+      }
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          Rect pixel = Rect::Of(mbr_.lo.x + x * pw, mbr_.lo.y + y * ph,
+                                mbr_.lo.x + (x + 1) * pw,
+                                mbr_.lo.y + (y + 1) * ph);
+          if (geom::SegmentIntersectsRect(f.a, f.b, pixel)) {
+            MergePid(&boundary_[static_cast<uint64_t>(y) * nx_ + x], pid);
+          }
+        }
+      }
+    }
+  };
+
+  for (uint32_t pid = 0; pid < polygons_->size(); ++pid) {
+    const geom::Polygon& poly = (*polygons_)[pid];
+    for (uint32_t e = 0; e < poly.num_edges(); ++e) {
+      auto [a, b] = poly.Edge(e);
+      mark_boundary(pid, a, b);
+    }
+
+    // Interior spans via scanline at pixel-row centers.
+    int y_lo = PixelY(poly.mbr().lo.y);
+    int y_hi = PixelY(poly.mbr().hi.y);
+    std::vector<double> xs;
+    for (int y = y_lo; y <= y_hi; ++y) {
+      double yc = mbr_.lo.y + (y + 0.5) * ph;
+      xs.clear();
+      for (uint32_t e = 0; e < poly.num_edges(); ++e) {
+        auto [a, b] = poly.Edge(e);
+        if ((a.y > yc) != (b.y > yc)) {
+          xs.push_back(a.x + (yc - a.y) * (b.x - a.x) / (b.y - a.y));
+        }
+      }
+      if (xs.size() < 2) continue;
+      std::sort(xs.begin(), xs.end());
+      for (size_t k = 0; k + 1 < xs.size(); k += 2) {
+        // Pixels whose center x lies in (xs[k], xs[k+1]).
+        double c0 = (xs[k] - mbr_.lo.x) * inv_px_ - 0.5;
+        double c1 = (xs[k + 1] - mbr_.lo.x) * inv_px_ - 0.5;
+        int p0 = static_cast<int>(std::ceil(c0));
+        int p1 = static_cast<int>(std::floor(c1));
+        p0 = std::max(p0, 0);
+        p1 = std::min(p1, nx_ - 1);
+        if (p0 > p1) continue;
+        rows_[y].spans.push_back({p0, p1 + 1, pid});
+        ++num_spans_;
+      }
+    }
+  }
+  for (Row& row : rows_) {
+    std::sort(row.spans.begin(), row.spans.end(),
+              [](const Span& a, const Span& b) {
+                return a.x_begin < b.x_begin;
+              });
+    row.prefix_max.resize(row.spans.size());
+    int32_t running = INT32_MIN;
+    for (size_t k = 0; k < row.spans.size(); ++k) {
+      running = std::max(running, row.spans[k].x_end);
+      row.prefix_max[k] = running;
+    }
+  }
+}
+
+act::JoinStats RasterJoin::Execute(const act::JoinInput& input,
+                                   int threads) const {
+  if (threads <= 0) threads = util::DefaultThreadCount();
+  struct ThreadState {
+    std::vector<uint64_t> counts;
+    uint64_t matched = 0, pairs = 0, pip_tests = 0, pip_hits = 0;
+    uint64_t true_refs = 0, cand_refs = 0, sth = 0;
+  };
+  std::vector<ThreadState> states(threads);
+  for (auto& s : states) s.counts.assign(polygons_->size(), 0);
+
+  const int tile = opts_.native_resolution;
+  util::WallTimer timer;
+  // One rendering pass per scene tile; every pass scans the full point set
+  // and joins only the points in its viewport (the GPU pipeline's behavior
+  // once the scene must be split).
+  for (int ty = 0; ty < passes_y_; ++ty) {
+    for (int tx = 0; tx < passes_x_; ++tx) {
+      int vx0 = tx * tile, vx1 = std::min((tx + 1) * tile, nx_);
+      int vy0 = ty * tile, vy1 = std::min((ty + 1) * tile, ny_);
+      util::ParallelFor(
+          input.size(), threads, [&](uint64_t begin, uint64_t end, int tid) {
+            ThreadState& st = states[tid];
+            for (uint64_t p = begin; p < end; ++p) {
+              const Point& pt = input.points[p];
+              if (!mbr_.Contains(pt)) {
+                if (tx == 0 && ty == 0) ++st.sth;
+                continue;
+              }
+              int px = PixelX(pt.x);
+              int py = PixelY(pt.y);
+              if (px < vx0 || px >= vx1 || py < vy0 || py >= vy1) continue;
+
+              uint64_t pairs_before = st.pairs;
+              bool had_candidate = false;
+              // Boundary refs (candidates).
+              const BoundaryRefs* brefs = nullptr;
+              auto it = boundary_.find(static_cast<uint64_t>(py) * nx_ + px);
+              if (it != boundary_.end()) brefs = &it->second;
+              if (brefs != nullptr) {
+                had_candidate = true;
+                for (uint32_t pid : *brefs) {
+                  ++st.cand_refs;
+                  if (!opts_.accurate) {
+                    ++st.counts[pid];
+                    ++st.pairs;
+                    continue;
+                  }
+                  ++st.pip_tests;
+                  if (geom::ContainsPoint((*polygons_)[pid], pt)) {
+                    ++st.pip_hits;
+                    ++st.counts[pid];
+                    ++st.pairs;
+                  }
+                }
+              }
+              // Interior spans (true hits) for polygons without a boundary
+              // mark on this pixel.
+              const Row& row = rows_[py];
+              auto span_it = std::upper_bound(
+                  row.spans.begin(), row.spans.end(), px,
+                  [](int x, const Span& s) { return x < s.x_begin; });
+              while (span_it != row.spans.begin()) {
+                --span_it;
+                // All spans to the left end at or before prefix_max; once
+                // that bound drops below the pixel, nothing can cover it.
+                size_t idx = span_it - row.spans.begin();
+                if (row.prefix_max[idx] <= px) break;
+                if (span_it->x_end <= px) continue;
+                uint32_t pid = span_it->polygon_id;
+                bool on_boundary_pixel = false;
+                if (brefs != nullptr) {
+                  for (uint32_t b : *brefs) on_boundary_pixel |= (b == pid);
+                }
+                if (on_boundary_pixel) continue;  // handled above
+                ++st.true_refs;
+                ++st.counts[pid];
+                ++st.pairs;
+              }
+              if (st.pairs != pairs_before) ++st.matched;
+              if (!had_candidate) ++st.sth;
+            }
+          });
+    }
+  }
+
+  act::JoinStats out;
+  out.seconds = timer.ElapsedSeconds();
+  out.num_points = input.size();
+  out.counts.assign(polygons_->size(), 0);
+  for (const ThreadState& st : states) {
+    out.matched_points += st.matched;
+    out.result_pairs += st.pairs;
+    out.true_hit_refs += st.true_refs;
+    out.candidate_refs += st.cand_refs;
+    out.pip_tests += st.pip_tests;
+    out.pip_hits += st.pip_hits;
+    out.sth_points += st.sth;
+    for (size_t k = 0; k < out.counts.size(); ++k) {
+      out.counts[k] += st.counts[k];
+    }
+  }
+  return out;
+}
+
+uint64_t RasterJoin::MemoryBytes() const {
+  uint64_t bytes = num_spans_ * (sizeof(Span) + sizeof(int32_t));
+  bytes += boundary_.size() * (sizeof(uint64_t) + sizeof(BoundaryRefs) + 16);
+  bytes += rows_.size() * sizeof(Row);
+  return bytes;
+}
+
+}  // namespace actjoin::baselines

@@ -1,0 +1,257 @@
+#include "baselines/shape_index.h"
+
+#include <algorithm>
+
+#include "geometry/pip.h"
+#include "geometry/segment.h"
+#include "util/check.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace actjoin::baselines {
+
+using geo::CellId;
+using geom::Point;
+using geom::Rect;
+
+namespace {
+
+Rect CellRectOf(const geo::Grid& grid, const CellId& cell) {
+  geo::LatLngRect r = grid.CellRect(cell);
+  return Rect::Of(r.lng_lo, r.lat_lo, r.lng_hi, r.lat_hi);
+}
+
+}  // namespace
+
+ShapeIndex::ShapeIndex(const std::vector<geom::Polygon>& polygons,
+                       const geo::Grid& grid, const ShapeIndexOptions& opts)
+    : polygons_(&polygons), grid_(&grid), opts_(opts) {
+  ACT_CHECK(opts.max_edges_per_cell >= 1);
+  // Overall extent of the polygon set decides the seed faces.
+  Rect mbr;
+  for (const auto& poly : polygons) mbr.Expand(poly.mbr());
+  ACT_CHECK(!mbr.IsEmpty());
+  int face_lo = geo::Grid::FaceAt({mbr.lo.y, mbr.lo.x});
+  int face_hi = geo::Grid::FaceAt({mbr.hi.y, mbr.hi.x});
+  for (int f = face_lo; f <= face_hi; ++f) {
+    std::vector<BuildShape> shapes;
+    for (uint32_t pid = 0; pid < polygons.size(); ++pid) {
+      BuildShape s;
+      s.polygon_id = pid;
+      s.edges.resize(polygons[pid].num_edges());
+      for (uint32_t e = 0; e < polygons[pid].num_edges(); ++e) {
+        s.edges[e] = e;
+      }
+      shapes.push_back(std::move(s));
+    }
+    BuildCell(CellId::FromFace(f), shapes, {});
+  }
+
+  // The recursion emits cells in curve order per face and faces in order,
+  // so cell_ids_ is sorted; load the B-tree.
+  ACT_CHECK(std::is_sorted(cell_ids_.begin(), cell_ids_.end()));
+  cell_btree_.BulkLoad(cell_ids_);
+}
+
+void ShapeIndex::BuildCell(const CellId& cell,
+                           std::vector<BuildShape>& shapes,
+                           const std::vector<uint32_t>& contained) {
+  Rect rect = CellRectOf(*grid_, cell);
+
+  // Clip each shape's edges to this cell; shapes whose edges vanish are
+  // either disjoint (drop) or fully contain the cell (promote to
+  // contained).
+  std::vector<BuildShape> local;
+  std::vector<uint32_t> local_contained = contained;
+  size_t total_edges = 0;
+  for (BuildShape& s : shapes) {
+    const geom::Polygon& poly = (*polygons_)[s.polygon_id];
+    BuildShape clipped;
+    clipped.polygon_id = s.polygon_id;
+    for (uint32_t e : s.edges) {
+      auto [a, b] = poly.Edge(e);
+      if (geom::SegmentIntersectsRect(a, b, rect)) {
+        clipped.edges.push_back(e);
+      }
+    }
+    if (clipped.edges.empty()) {
+      // Uniform w.r.t. this polygon: inside or outside.
+      if (geom::ContainsPoint(poly, rect.Center())) {
+        local_contained.push_back(s.polygon_id);
+      }
+      continue;
+    }
+    total_edges += clipped.edges.size();
+    local.push_back(std::move(clipped));
+  }
+
+  if (local.empty()) {
+    if (!local_contained.empty()) EmitCell(cell, local, local_contained);
+    return;
+  }
+  if (total_edges <= static_cast<size_t>(opts_.max_edges_per_cell) ||
+      cell.level() >= opts_.max_cell_level || cell.is_leaf()) {
+    EmitCell(cell, local, local_contained);
+    return;
+  }
+  for (int k = 0; k < 4; ++k) {
+    BuildCell(cell.child(k), local, local_contained);
+  }
+}
+
+void ShapeIndex::EmitCell(const CellId& cell,
+                          const std::vector<BuildShape>& shapes,
+                          const std::vector<uint32_t>& contained) {
+  CellEntry entry;
+  entry.contained_begin = static_cast<uint32_t>(contained_pool_.size());
+  entry.contained_len = static_cast<uint32_t>(contained.size());
+  contained_pool_.insert(contained_pool_.end(), contained.begin(),
+                         contained.end());
+
+  // Pick a parity anchor off all local edges.
+  Rect rect = CellRectOf(*grid_, cell);
+  Point anchor = rect.Center();
+  auto on_any_edge = [&](const Point& q) {
+    for (const BuildShape& s : shapes) {
+      const geom::Polygon& poly = (*polygons_)[s.polygon_id];
+      for (uint32_t e : s.edges) {
+        auto [a, b] = poly.Edge(e);
+        if (geom::OnSegment(a, b, q)) return true;
+      }
+    }
+    return false;
+  };
+  double step_x = rect.Width() * 0.0137;
+  double step_y = rect.Height() * 0.0173;
+  for (int attempt = 0; attempt < 16 && on_any_edge(anchor); ++attempt) {
+    anchor.x += step_x;
+    anchor.y += step_y;
+  }
+  entry.anchor = anchor;
+
+  entry.clipped_begin = static_cast<uint32_t>(clipped_pool_.size());
+  entry.clipped_len = static_cast<uint32_t>(shapes.size());
+  for (const BuildShape& s : shapes) {
+    ClippedShape cs;
+    cs.polygon_id = s.polygon_id;
+    cs.edges_begin = static_cast<uint32_t>(edge_pool_.size());
+    cs.edges_len = static_cast<uint32_t>(s.edges.size());
+    edge_pool_.insert(edge_pool_.end(), s.edges.begin(), s.edges.end());
+    cs.center_inside =
+        geom::ContainsPoint((*polygons_)[s.polygon_id], anchor) &&
+        !geom::OnBoundary((*polygons_)[s.polygon_id], anchor);
+    clipped_pool_.push_back(cs);
+  }
+
+  cell_ids_.emplace_back(cell.id(), cells_.size());
+  cells_.push_back(entry);
+}
+
+bool ShapeIndex::FindCell(uint64_t leaf_cell_id, uint64_t* entry_idx) const {
+  BTree::Iterator it = cell_btree_.LowerBound(leaf_cell_id);
+  if (it.Valid() &&
+      CellId(it.key()).range_min().id() <= leaf_cell_id) {
+    *entry_idx = it.value();
+    return true;
+  }
+  if (it.Valid()) {
+    it.Prev();
+  } else {
+    it = cell_btree_.Predecessor(leaf_cell_id);
+  }
+  if (it.Valid() && CellId(it.key()).range_max().id() >= leaf_cell_id) {
+    *entry_idx = it.value();
+    return true;
+  }
+  return false;
+}
+
+bool ShapeIndex::CoversViaLocalEdges(const CellEntry& cell,
+                                     const ClippedShape& cs,
+                                     const Point& p) const {
+  const geom::Polygon& poly = (*polygons_)[cs.polygon_id];
+  // Boundary points are covered; degenerate anchor-to-point crossings fall
+  // back to the full test (rare).
+  int crossings = 0;
+  for (uint32_t k = 0; k < cs.edges_len; ++k) {
+    auto [a, b] = poly.Edge(edge_pool_[cs.edges_begin + k]);
+    if (geom::OnSegment(a, b, p)) return true;
+    if (geom::SegmentsCrossProperly(cell.anchor, p, a, b)) {
+      ++crossings;
+      continue;
+    }
+    if (geom::SegmentsIntersect(cell.anchor, p, a, b)) {
+      return geom::ContainsPoint(poly, p);
+    }
+  }
+  return cs.center_inside == ((crossings & 1) == 0);
+}
+
+uint64_t ShapeIndex::MemoryBytes() const {
+  return cell_btree_.MemoryBytes() + cells_.size() * sizeof(CellEntry) +
+         contained_pool_.size() * sizeof(uint32_t) +
+         clipped_pool_.size() * sizeof(ClippedShape) +
+         edge_pool_.size() * sizeof(uint32_t);
+}
+
+int ShapeIndex::MaxEdgesInAnyCell() const {
+  int max_edges = 0;
+  for (const CellEntry& cell : cells_) {
+    int n = 0;
+    for (uint32_t k = 0; k < cell.clipped_len; ++k) {
+      n += static_cast<int>(clipped_pool_[cell.clipped_begin + k].edges_len);
+    }
+    max_edges = std::max(max_edges, n);
+  }
+  return max_edges;
+}
+
+act::JoinStats ShapeIndexJoin(const ShapeIndex& index,
+                              const std::vector<geom::Polygon>& polygons,
+                              const act::JoinInput& input, int threads) {
+  if (threads <= 0) threads = util::DefaultThreadCount();
+  struct ThreadState {
+    std::vector<uint64_t> counts;
+    uint64_t matched = 0, pairs = 0, pip_tests = 0, true_refs = 0, sth = 0;
+  };
+  std::vector<ThreadState> states(threads);
+  for (auto& s : states) s.counts.assign(polygons.size(), 0);
+
+  util::WallTimer timer;
+  util::ParallelFor(
+      input.size(), threads, [&](uint64_t begin, uint64_t end, int tid) {
+        ThreadState& st = states[tid];
+        for (uint64_t p = begin; p < end; ++p) {
+          uint64_t pairs_before = st.pairs;
+          int tests = index.Query(
+              input.cell_ids[p], input.points[p],
+              [&](uint32_t pid, bool covers) {
+                if (covers) {
+                  ++st.counts[pid];
+                  ++st.pairs;
+                }
+              });
+          st.pip_tests += tests;
+          if (tests == 0) ++st.sth;
+          if (st.pairs != pairs_before) ++st.matched;
+        }
+      });
+
+  act::JoinStats out;
+  out.seconds = timer.ElapsedSeconds();
+  out.num_points = input.size();
+  out.counts.assign(polygons.size(), 0);
+  for (const ThreadState& st : states) {
+    out.matched_points += st.matched;
+    out.result_pairs += st.pairs;
+    out.pip_tests += st.pip_tests;
+    out.candidate_refs += st.pip_tests;
+    out.sth_points += st.sth;
+    for (size_t k = 0; k < out.counts.size(); ++k) {
+      out.counts[k] += st.counts[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace actjoin::baselines

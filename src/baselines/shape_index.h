@@ -1,0 +1,121 @@
+// Shape index: the S2ShapeIndex-style baseline ("SI1" / "SI10").
+//
+// A hierarchical grid maps cells to the *edges* of polygons intersecting
+// them; cells are subdivided until they hold at most max_edges_per_cell
+// edges (1 for SI1 — the finest possible — and 10 for SI10, S2's default).
+// Cells fully inside a polygon record it as *contained* (true-hit
+// filtering), and each cell stores a parity anchor so a query point can be
+// classified against a polygon by counting crossings with only the cell's
+// local edges — "restricts the [PIP] test to a subset of edges of the
+// polygon in question" (paper Sec. 4.2).
+//
+// The cell -> entry mapping lives in the byte-budgeted B-tree, matching the
+// paper's description of S2ShapeIndex ("internally mapping grid cells ...
+// to polygon edges using a B-tree").
+
+#ifndef ACTJOIN_BASELINES_SHAPE_INDEX_H_
+#define ACTJOIN_BASELINES_SHAPE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "act/join.h"
+#include "baselines/btree.h"
+#include "geo/grid.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace actjoin::baselines {
+
+struct ShapeIndexOptions {
+  /// Subdivide until a cell has at most this many edges (SI10 = 10, SI1 = 1).
+  int max_edges_per_cell = 10;
+  /// Hard stop for subdivision: edges sharing a vertex can never be
+  /// separated, so recursion must bottom out.
+  int max_cell_level = 18;
+};
+
+class ShapeIndex {
+ public:
+  ShapeIndex(const std::vector<geom::Polygon>& polygons,
+             const geo::Grid& grid, const ShapeIndexOptions& opts);
+
+  /// Visits (polygon_id, covers) decisions for every polygon that could
+  /// contain the point; `covers` is the exact ST_Covers verdict computed
+  /// from local edges. Contained polygons (true hits) are visited with
+  /// covers=true and no edge work. Returns the number of clipped-shape
+  /// (edge-restricted PIP) tests performed.
+  template <typename Fn>
+  int Query(uint64_t leaf_cell_id, const geom::Point& p, Fn&& fn) const {
+    uint64_t entry_idx;
+    if (!FindCell(leaf_cell_id, &entry_idx)) return 0;
+    const CellEntry& cell = cells_[entry_idx];
+    for (uint32_t k = 0; k < cell.contained_len; ++k) {
+      fn(contained_pool_[cell.contained_begin + k], true);
+    }
+    int tests = 0;
+    for (uint32_t k = 0; k < cell.clipped_len; ++k) {
+      const ClippedShape& cs = clipped_pool_[cell.clipped_begin + k];
+      ++tests;
+      fn(cs.polygon_id, CoversViaLocalEdges(cell, cs, p));
+    }
+    return tests;
+  }
+
+  uint64_t MemoryBytes() const;
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_edge_incidences() const { return edge_pool_.size(); }
+  const ShapeIndexOptions& options() const { return opts_; }
+
+  /// Test support: max edges per cell actually observed.
+  int MaxEdgesInAnyCell() const;
+
+ private:
+  struct ClippedShape {
+    uint32_t polygon_id;
+    uint32_t edges_begin;
+    uint32_t edges_len;
+    bool center_inside;
+  };
+  struct CellEntry {
+    geom::Point anchor;  // parity anchor, guaranteed off all local edges
+    uint32_t contained_begin, contained_len;
+    uint32_t clipped_begin, clipped_len;
+  };
+
+  struct BuildShape {
+    uint32_t polygon_id;
+    std::vector<uint32_t> edges;
+  };
+
+  void BuildCell(const geo::CellId& cell, std::vector<BuildShape>& shapes,
+                 const std::vector<uint32_t>& contained);
+  void EmitCell(const geo::CellId& cell,
+                const std::vector<BuildShape>& shapes,
+                const std::vector<uint32_t>& contained);
+  bool FindCell(uint64_t leaf_cell_id, uint64_t* entry_idx) const;
+  bool CoversViaLocalEdges(const CellEntry& cell, const ClippedShape& cs,
+                           const geom::Point& p) const;
+
+  const std::vector<geom::Polygon>* polygons_;
+  const geo::Grid* grid_;
+  ShapeIndexOptions opts_;
+
+  std::vector<std::pair<uint64_t, uint64_t>> cell_ids_;  // (cell id, entry)
+  BTree cell_btree_;
+  std::vector<CellEntry> cells_;
+  std::vector<uint32_t> contained_pool_;
+  std::vector<ClippedShape> clipped_pool_;
+  std::vector<uint32_t> edge_pool_;
+};
+
+/// Join driver: probe the shape index per point. Candidate verdicts come
+/// from local-edge tests; stats count them as PIP tests (they are the
+/// refinement work SI performs).
+act::JoinStats ShapeIndexJoin(const ShapeIndex& index,
+                              const std::vector<geom::Polygon>& polygons,
+                              const act::JoinInput& input, int threads);
+
+}  // namespace actjoin::baselines
+
+#endif  // ACTJOIN_BASELINES_SHAPE_INDEX_H_

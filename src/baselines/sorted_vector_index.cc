@@ -1,0 +1,59 @@
+#include "baselines/cell_indexes.h"
+
+#include <algorithm>
+
+namespace actjoin::baselines {
+
+using act::EncodedCovering;
+using act::TaggedEntry;
+using geo::CellId;
+
+SortedVectorIndex::SortedVectorIndex(const EncodedCovering& enc)
+    : cells_(&enc.cells) {}
+
+TaggedEntry SortedVectorIndex::Probe(uint64_t leaf_cell_id) const {
+  CellId leaf(leaf_cell_id);
+  auto it = std::lower_bound(
+      cells_->begin(), cells_->end(), leaf,
+      [](const auto& pair, const CellId& key) { return pair.first < key; });
+  if (it != cells_->end() && it->first.range_min() <= leaf) {
+    return it->second;
+  }
+  if (it != cells_->begin()) {
+    --it;
+    if (it->first.range_max() >= leaf) return it->second;
+  }
+  return act::kSentinelEntry;
+}
+
+BTreeCellIndex::BTreeCellIndex(const EncodedCovering& enc, size_t node_bytes)
+    : tree_(node_bytes) {
+  // CellId is a transparent wrapper over uint64_t with matching order, so
+  // the pair vector can be bulk loaded by reinterpretation-free copy.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  pairs.reserve(enc.cells.size());
+  for (const auto& [cell, entry] : enc.cells) {
+    pairs.emplace_back(cell.id(), entry);
+  }
+  tree_.BulkLoad(pairs);
+}
+
+TaggedEntry BTreeCellIndex::Probe(uint64_t leaf_cell_id) const {
+  BTree::Iterator it = tree_.LowerBound(leaf_cell_id);
+  if (it.Valid() &&
+      CellId(it.key()).range_min().id() <= leaf_cell_id) {
+    return it.value();
+  }
+  // lower_bound missed: predecessor may be an ancestor.
+  if (it.Valid()) {
+    it.Prev();
+  } else {
+    it = tree_.Predecessor(leaf_cell_id);
+  }
+  if (it.Valid() && CellId(it.key()).range_max().id() >= leaf_cell_id) {
+    return it.value();
+  }
+  return act::kSentinelEntry;
+}
+
+}  // namespace actjoin::baselines

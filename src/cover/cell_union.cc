@@ -1,0 +1,91 @@
+#include "cover/cell_union.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace actjoin::cover {
+
+using geo::CellId;
+
+void Normalize(std::vector<CellId>* cells, bool merge_siblings) {
+  std::sort(cells->begin(), cells->end());
+  std::vector<CellId> out;
+  out.reserve(cells->size());
+  for (const CellId& c : *cells) {
+    // Sorted order guarantees an ancestor precedes its descendants only if
+    // its id is smaller; an ancestor's id is the center of its range, so
+    // descendants in the first half of the range come first. Checking the
+    // last emitted cell is not enough; instead drop c if the previous kept
+    // cell contains it, and drop previous cells contained in c.
+    while (!out.empty() && c.contains(out.back())) out.pop_back();
+    if (!out.empty() && out.back().contains(c)) continue;
+    if (!out.empty() && out.back() == c) continue;
+    out.push_back(c);
+    if (merge_siblings) {
+      // Collapse complete sibling groups bottom-up.
+      while (out.size() >= 4) {
+        size_t n = out.size();
+        const CellId& a = out[n - 4];
+        if (a.is_face() || a.child_position(a.level()) != 0) break;
+        CellId parent = a.parent();
+        if (out[n - 3] != parent.child(1) || out[n - 2] != parent.child(2) ||
+            out[n - 1] != parent.child(3) || a != parent.child(0)) {
+          break;
+        }
+        out.resize(n - 4);
+        out.push_back(parent);
+      }
+    }
+  }
+  *cells = std::move(out);
+}
+
+bool NormalizedContains(const std::vector<CellId>& cells,
+                        const CellId& target) {
+  // First cell with id >= target either is an ancestor (its range_min is
+  // below target) or the predecessor is.
+  auto it = std::lower_bound(cells.begin(), cells.end(), target);
+  if (it != cells.end() && it->range_min() <= target) return true;
+  return it != cells.begin() && std::prev(it)->range_max() >= target;
+}
+
+void CellDifference(const CellId& c1, const CellId& c2,
+                    std::vector<CellId>* out) {
+  ACT_CHECK(c1.contains(c2) && c1 != c2);
+  CellId current = c1;
+  while (current != c2) {
+    int next_level = current.level() + 1;
+    int branch = c2.child_position(next_level);
+    for (int k = 0; k < 4; ++k) {
+      if (k != branch) out->push_back(current.child(k));
+    }
+    current = current.child(branch);
+  }
+}
+
+void CellDifferenceMulti(const CellId& c, const std::vector<CellId>& holes,
+                         std::vector<CellId>* out) {
+  if (holes.empty()) {
+    out->push_back(c);
+    return;
+  }
+  ACT_CHECK(!(holes.size() == 1 && holes[0] == c));
+  for (int k = 0; k < 4; ++k) {
+    CellId child = c.child(k);
+    // Partition the (sorted, disjoint) holes among the children by range.
+    std::vector<CellId> sub;
+    bool child_is_hole = false;
+    for (const CellId& h : holes) {
+      if (h == child) {
+        child_is_hole = true;
+        break;
+      }
+      if (child.contains(h)) sub.push_back(h);
+    }
+    if (child_is_hole) continue;
+    CellDifferenceMulti(child, sub, out);
+  }
+}
+
+}  // namespace actjoin::cover

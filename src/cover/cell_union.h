@@ -1,0 +1,42 @@
+// Operations on sets of hierarchical cells.
+//
+// The paper requires normalized coverings (no duplicate and no conflicting
+// cells — Sec. 2) and a cell-difference primitive for the precision-
+// preserving conflict resolution of the super covering build (Sec. 3.1.1,
+// Fig. 4: d = c1 - c2 with |d| = 3 * level-difference cells).
+
+#ifndef ACTJOIN_COVER_CELL_UNION_H_
+#define ACTJOIN_COVER_CELL_UNION_H_
+
+#include <vector>
+
+#include "geo/cell_id.h"
+
+namespace actjoin::cover {
+
+/// Sorts, deduplicates, and drops cells contained in other cells of the set.
+/// If merge_siblings is true, any four complete siblings are replaced by
+/// their parent (recursively), like S2CellUnion::Normalize.
+void Normalize(std::vector<geo::CellId>* cells, bool merge_siblings = false);
+
+/// True iff `cells` (normalized) contains `target`, i.e. some member is an
+/// ancestor-or-self of target. Binary search, O(log n).
+bool NormalizedContains(const std::vector<geo::CellId>& cells,
+                        const geo::CellId& target);
+
+/// The difference c1 - c2 where c1 strictly contains c2: the minimal set of
+/// cells covering c1's area minus c2's. Exactly 3 * (level(c2) - level(c1))
+/// cells. Appends to *out.
+void CellDifference(const geo::CellId& c1, const geo::CellId& c2,
+                    std::vector<geo::CellId>* out);
+
+/// Generalization used by the super covering build: covers c minus all of
+/// `holes` (each a strict descendant of c, mutually disjoint, sorted) with
+/// the minimal set of cells. Appends to *out.
+void CellDifferenceMulti(const geo::CellId& c,
+                         const std::vector<geo::CellId>& holes,
+                         std::vector<geo::CellId>* out);
+
+}  // namespace actjoin::cover
+
+#endif  // ACTJOIN_COVER_CELL_UNION_H_

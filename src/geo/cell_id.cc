@@ -1,0 +1,16 @@
+#include "geo/cell_id.h"
+
+namespace actjoin::geo {
+
+std::string CellId::ToString() const {
+  if (!is_valid()) return "(invalid)";
+  std::string out = std::to_string(face());
+  out += '/';
+  int l = level();
+  for (int k = 1; k <= l; ++k) {
+    out += static_cast<char>('0' + child_position(k));
+  }
+  return out;
+}
+
+}  // namespace actjoin::geo

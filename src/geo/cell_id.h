@@ -1,0 +1,144 @@
+// 64-bit hierarchical cell identifiers (S2CellId-compatible layout).
+//
+// Bit layout (MSB to LSB):
+//   [63:61]  face (0..5)
+//   [60:..]  2 bits per level of space-filling-curve position
+//   sentinel 1-bit marking the level, then zeros
+//
+// A level-l cell uses 2*l position bits; its sentinel sits at bit
+// 2*(kMaxLevel - l). This gives every cell a contiguous id range covering
+// exactly its descendants, so containment and ancestor tests are pure
+// integer arithmetic — the property both the radix tree and the sorted
+// baselines (B-tree, lower_bound) exploit (paper Sec. 2).
+
+#ifndef ACTJOIN_GEO_CELL_ID_H_
+#define ACTJOIN_GEO_CELL_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitops.h"
+#include "util/check.h"
+
+namespace actjoin::geo {
+
+class CellId {
+ public:
+  static constexpr int kMaxLevel = 30;
+  static constexpr int kFaceBits = 3;
+  static constexpr int kPosBits = 2 * kMaxLevel + 1;  // 61
+  static constexpr int kNumFaces = 6;
+
+  /// Invalid id (id 0 is never a valid cell: its face/sentinel bits are 0).
+  constexpr CellId() : id_(0) {}
+  constexpr explicit CellId(uint64_t id) : id_(id) {}
+
+  /// The level-0 cell covering an entire face.
+  static CellId FromFace(int face) {
+    return CellId((static_cast<uint64_t>(face) << kPosBits) |
+                  (uint64_t{1} << (kPosBits - 1)));
+  }
+
+  /// Cell at `level` whose curve position (2*level bits) is `pos`.
+  static CellId FromFaceLevelPos(int face, int level, uint64_t pos) {
+    ACT_CHECK(face >= 0 && face < kNumFaces);
+    ACT_CHECK(level >= 0 && level <= kMaxLevel);
+    uint64_t id = (static_cast<uint64_t>(face) << kPosBits) |
+                  (pos << (kPosBits - 2 * level)) |
+                  (uint64_t{1} << (2 * (kMaxLevel - level)));
+    return CellId(id);
+  }
+
+  uint64_t id() const { return id_; }
+  bool is_valid() const {
+    if (id_ == 0 || face() >= kNumFaces) return false;
+    int tz = util::CountTrailingZeros(id_);
+    return tz <= 2 * kMaxLevel && (tz % 2) == 0;
+  }
+
+  int face() const { return static_cast<int>(id_ >> kPosBits); }
+
+  int level() const {
+    return kMaxLevel - util::CountTrailingZeros(id_) / 2;
+  }
+
+  bool is_leaf() const { return (id_ & 1) != 0; }
+  bool is_face() const { return level() == 0; }
+
+  /// Lowest set bit: encodes the level and half the range width.
+  uint64_t lsb() const { return util::LowestSetBit(id_); }
+
+  /// Curve position of the cell: the 2*level() position digits.
+  uint64_t pos() const {
+    return (id_ & ((uint64_t{1} << kPosBits) - 1)) >>
+           (util::CountTrailingZeros(id_) + 1);
+  }
+
+  /// Smallest leaf-cell id contained in this cell.
+  CellId range_min() const { return CellId(id_ - (lsb() - 1)); }
+  /// Largest leaf-cell id contained in this cell.
+  CellId range_max() const { return CellId(id_ + (lsb() - 1)); }
+
+  bool contains(const CellId& o) const {
+    return o.id_ >= range_min().id_ && o.id_ <= range_max().id_;
+  }
+
+  bool intersects(const CellId& o) const {
+    return contains(o) || o.contains(*this);
+  }
+
+  /// Ancestor at the given (smaller or equal) level.
+  CellId parent(int level) const {
+    ACT_CHECK(level >= 0 && level <= this->level());
+    uint64_t new_lsb = uint64_t{1} << (2 * (kMaxLevel - level));
+    return CellId((id_ & (~new_lsb + 1)) | new_lsb);
+  }
+
+  CellId parent() const { return parent(level() - 1); }
+
+  /// k-th child in curve order, k in [0, 4).
+  CellId child(int k) const {
+    ACT_CHECK(!is_leaf());
+    ACT_CHECK(k >= 0 && k < 4);
+    uint64_t new_lsb = lsb() >> 2;
+    return CellId(id_ - lsb() + (2 * static_cast<uint64_t>(k) + 1) * new_lsb);
+  }
+
+  /// This cell's index (0..3) among the children of its ancestor at `level`
+  /// (level must be in [1, this->level()]).
+  int child_position(int level) const {
+    ACT_CHECK(level >= 1 && level <= this->level());
+    return static_cast<int>((id_ >> (2 * (kMaxLevel - level) + 1)) & 3);
+  }
+
+  /// Next/previous cell at this cell's level along the curve (may cross a
+  /// face boundary into an invalid id; caller checks is_valid()).
+  CellId next() const { return CellId(id_ + (lsb() << 1)); }
+  CellId prev() const { return CellId(id_ - (lsb() << 1)); }
+
+  /// Radix-tree key: the face is stripped (each face has its own tree) and
+  /// the 2*level() position bits are left-aligned in the 64-bit key.
+  /// Returns the key; *length_bits is set to 2 * level().
+  uint64_t PathKey(int* length_bits) const {
+    *length_bits = 2 * level();
+    uint64_t shifted = id_ << kFaceBits;       // drop face, keep sentinel
+    return shifted ^ (lsb() << kFaceBits);     // clear sentinel
+  }
+
+  bool operator==(const CellId& o) const { return id_ == o.id_; }
+  bool operator!=(const CellId& o) const { return id_ != o.id_; }
+  bool operator<(const CellId& o) const { return id_ < o.id_; }
+  bool operator<=(const CellId& o) const { return id_ <= o.id_; }
+  bool operator>(const CellId& o) const { return id_ > o.id_; }
+  bool operator>=(const CellId& o) const { return id_ >= o.id_; }
+
+  /// Debug form "f/0123..." (face, then one base-4 digit per level).
+  std::string ToString() const;
+
+ private:
+  uint64_t id_;
+};
+
+}  // namespace actjoin::geo
+
+#endif  // ACTJOIN_GEO_CELL_ID_H_

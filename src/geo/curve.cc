@@ -1,0 +1,98 @@
+#include "geo/curve.h"
+
+#include "util/check.h"
+
+namespace actjoin::geo {
+
+namespace {
+
+// Reflect/transpose the lower bits of (i, j) for the Hilbert recursion.
+// `mask` is the current block size minus one; bits above the block are
+// never read again, so flipping them is harmless.
+inline void HilbertRotate(uint32_t block, uint32_t* i, uint32_t* j,
+                          uint32_t ri, uint32_t rj) {
+  if (rj == 0) {
+    if (ri == 1) {
+      *i = (block - 1) - *i;
+      *j = (block - 1) - *j;
+    }
+    uint32_t t = *i;
+    *i = *j;
+    *j = t;
+  }
+}
+
+uint64_t HilbertIJToPos(int level, uint32_t i, uint32_t j) {
+  uint64_t pos = 0;
+  for (int k = level - 1; k >= 0; --k) {
+    uint32_t block = uint32_t{1} << k;
+    uint32_t ri = (i & block) ? 1 : 0;
+    uint32_t rj = (j & block) ? 1 : 0;
+    pos = (pos << 2) | ((3 * ri) ^ rj);
+    HilbertRotate(block, &i, &j, ri, rj);
+  }
+  return pos;
+}
+
+std::pair<uint32_t, uint32_t> HilbertPosToIJ(int level, uint64_t pos) {
+  uint32_t i = 0, j = 0;
+  for (int k = 0; k < level; ++k) {
+    uint32_t block = uint32_t{1} << k;
+    uint64_t digit = (pos >> (2 * k)) & 3;
+    uint32_t ri = static_cast<uint32_t>((digit >> 1) & 1);
+    uint32_t rj = static_cast<uint32_t>((digit ^ ri) & 1);
+    HilbertRotate(block, &i, &j, ri, rj);
+    i += block * ri;
+    j += block * rj;
+  }
+  return {i, j};
+}
+
+uint64_t MortonIJToPos(int level, uint32_t i, uint32_t j) {
+  uint64_t pos = 0;
+  for (int k = level - 1; k >= 0; --k) {
+    uint64_t bi = (i >> k) & 1;
+    uint64_t bj = (j >> k) & 1;
+    pos = (pos << 2) | (bi << 1) | bj;
+  }
+  return pos;
+}
+
+std::pair<uint32_t, uint32_t> MortonPosToIJ(int level, uint64_t pos) {
+  uint32_t i = 0, j = 0;
+  for (int k = 0; k < level; ++k) {
+    i |= static_cast<uint32_t>((pos >> (2 * k + 1)) & 1) << k;
+    j |= static_cast<uint32_t>((pos >> (2 * k)) & 1) << k;
+  }
+  return {i, j};
+}
+
+}  // namespace
+
+uint64_t IJToPos(CurveType curve, int level, uint32_t i, uint32_t j) {
+  ACT_CHECK(level >= 0 && level <= 30);
+  ACT_CHECK(level == 30 || (i >> level) == 0);
+  ACT_CHECK(level == 30 || (j >> level) == 0);
+  switch (curve) {
+    case CurveType::kHilbert:
+      return HilbertIJToPos(level, i, j);
+    case CurveType::kMorton:
+      return MortonIJToPos(level, i, j);
+  }
+  ACT_UNREACHABLE();
+}
+
+std::pair<uint32_t, uint32_t> PosToIJ(CurveType curve, int level,
+                                      uint64_t pos) {
+  ACT_CHECK(level >= 0 && level <= 30);
+  ACT_CHECK((pos >> (2 * level)) == 0 || level == 30);
+  switch (curve) {
+    case CurveType::kHilbert:
+      return HilbertPosToIJ(level, pos);
+    case CurveType::kMorton:
+      return MortonPosToIJ(level, pos);
+  }
+  ACT_UNREACHABLE();
+}
+
+}  // namespace actjoin::geo

@@ -1,0 +1,95 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace actjoin::geo {
+
+namespace {
+
+// Faces: 2 latitude halves (south 0-2, north 3-5) x 3 longitude slabs of
+// 120 degrees each; every face covers 120 x 90 degrees.
+constexpr double kFaceWidthDeg = 120.0;
+constexpr double kFaceHeightDeg = 90.0;
+constexpr uint32_t kLeafCells = uint32_t{1} << CellId::kMaxLevel;
+
+// Clamps a unit-interval coordinate to a valid leaf index.
+uint32_t UnitToLeaf(double u) {
+  if (u <= 0) return 0;
+  double scaled = u * static_cast<double>(kLeafCells);
+  if (scaled >= static_cast<double>(kLeafCells)) return kLeafCells - 1;
+  return static_cast<uint32_t>(scaled);
+}
+
+}  // namespace
+
+int Grid::FaceAt(const LatLng& p) {
+  int slab = std::clamp(
+      static_cast<int>(std::floor((p.lng + 180.0) / kFaceWidthDeg)), 0, 2);
+  int half = p.lat >= 0 ? 1 : 0;
+  return half * 3 + slab;
+}
+
+void Grid::FaceIJAt(const LatLng& p, int* face, uint32_t* i,
+                    uint32_t* j) const {
+  *face = FaceAt(p);
+  int slab = *face % 3;
+  int half = *face / 3;
+  double s = (p.lng + 180.0) / kFaceWidthDeg - slab;
+  double t = (p.lat + 90.0 - half * kFaceHeightDeg) / kFaceHeightDeg;
+  *i = UnitToLeaf(s);
+  *j = UnitToLeaf(t);
+}
+
+CellId Grid::CellAt(const LatLng& p, int level) const {
+  int face;
+  uint32_t i, j;
+  FaceIJAt(p, &face, &i, &j);
+  return CellFromFaceIJ(face, i, j, level);
+}
+
+CellId Grid::CellFromFaceIJ(int face, uint32_t i, uint32_t j,
+                            int level) const {
+  int shift = CellId::kMaxLevel - level;
+  uint64_t pos = IJToPos(curve_, level, i >> shift, j >> shift);
+  return CellId::FromFaceLevelPos(face, level, pos);
+}
+
+LatLngRect Grid::CellRect(const CellId& cell) const {
+  ACT_CHECK(cell.is_valid());
+  int level = cell.level();
+  auto [i, j] = PosToIJ(curve_, level, cell.pos());
+  double inv = 1.0 / static_cast<double>(uint64_t{1} << level);
+  double s_lo = i * inv;
+  double t_lo = j * inv;
+  int slab = cell.face() % 3;
+  int half = cell.face() / 3;
+  LatLngRect r;
+  r.lng_lo = slab * kFaceWidthDeg - 180.0 + s_lo * kFaceWidthDeg;
+  r.lng_hi = r.lng_lo + inv * kFaceWidthDeg;
+  r.lat_lo = -90.0 + half * kFaceHeightDeg + t_lo * kFaceHeightDeg;
+  r.lat_hi = r.lat_lo + inv * kFaceHeightDeg;
+  return r;
+}
+
+double Grid::CellDiagonalMeters(const CellId& cell) const {
+  return CellRect(cell).DiagonalMeters();
+}
+
+int Grid::LevelForDiagonal(double bound_m, const LatLngRect& region) const {
+  // Cell dimensions halve per level; the widest cell in the region sets the
+  // bound. Evaluate longitude extent at the latitude closest to the equator.
+  double widest_lat = (region.lat_lo <= 0 && region.lat_hi >= 0)
+                          ? 0
+                          : std::min(std::abs(region.lat_lo),
+                                     std::abs(region.lat_hi));
+  for (int level = 0; level <= CellId::kMaxLevel; ++level) {
+    double inv = 1.0 / static_cast<double>(uint64_t{1} << level);
+    double w = inv * kFaceWidthDeg * MetersPerDegreeLng(widest_lat);
+    double h = inv * kFaceHeightDeg * kMetersPerDegreeLat;
+    if (std::sqrt(w * w + h * h) <= bound_m) return level;
+  }
+  return CellId::kMaxLevel;
+}
+
+}  // namespace actjoin::geo

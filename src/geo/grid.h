@@ -1,0 +1,60 @@
+// Projection between geographic coordinates and hierarchical grid cells.
+//
+// The globe is split into six faces — three 120-degree longitude slabs per
+// hemisphere (2 latitude halves x 3 slabs) — mirroring S2's six cube faces
+// so the multi-tree code path of the index is exercised (paper Sec. 3.4,
+// "Face Nodes"). Each face spans 120 x 90 degrees, which makes cells nearly
+// square in meters at mid-latitudes (within ~2% at NYC); like S2, a 4 m
+// precision bound corresponds to cell level 22. Within a face, an
+// equirectangular map to the unit square is subdivided 30 times into
+// quadrants; cells are enumerated with a space-filling curve. The first
+// three id bits select the face/tree, exactly as in the paper.
+
+#ifndef ACTJOIN_GEO_GRID_H_
+#define ACTJOIN_GEO_GRID_H_
+
+#include <cstdint>
+
+#include "geo/cell_id.h"
+#include "geo/curve.h"
+#include "geo/latlng.h"
+
+namespace actjoin::geo {
+
+class Grid {
+ public:
+  explicit Grid(CurveType curve = CurveType::kHilbert) : curve_(curve) {}
+
+  CurveType curve() const { return curve_; }
+
+  /// Face (0..5) containing the coordinate.
+  static int FaceAt(const LatLng& p);
+
+  /// Cell containing `p` at the given level (default: leaf level 30).
+  CellId CellAt(const LatLng& p, int level = CellId::kMaxLevel) const;
+
+  /// Discrete face/i/j coordinates of `p` at leaf resolution.
+  void FaceIJAt(const LatLng& p, int* face, uint32_t* i, uint32_t* j) const;
+
+  /// Cell from face + leaf-resolution (i, j), truncated to `level`.
+  CellId CellFromFaceIJ(int face, uint32_t i, uint32_t j, int level) const;
+
+  /// Geographic extent of a cell.
+  LatLngRect CellRect(const CellId& cell) const;
+
+  /// Upper bound on the cell's diagonal in meters; this is the paper's
+  /// false-positive distance bound sqrt(2)*delta for boundary cells.
+  double CellDiagonalMeters(const CellId& cell) const;
+
+  /// Smallest level whose cells have diagonal <= bound_m everywhere inside
+  /// `region` (used to size uniform rasters and to report the level that a
+  /// precision bound implies). Returns kMaxLevel if even leaves exceed it.
+  int LevelForDiagonal(double bound_m, const LatLngRect& region) const;
+
+ private:
+  CurveType curve_;
+};
+
+}  // namespace actjoin::geo
+
+#endif  // ACTJOIN_GEO_GRID_H_

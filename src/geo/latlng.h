@@ -1,0 +1,86 @@
+// Geographic coordinates and the planar (equirectangular) local metric.
+//
+// The paper's implementation maps lat/lng to Google-S2 cell ids on a cube
+// projection. This reproduction keeps the identical 64-bit id scheme but
+// projects onto six equirectangular longitude slabs (see geo/grid.h); the
+// paper notes (Sec. 3.4) that any quadtree-based space partitioning with
+// prefix-hierarchical ids works. Distances are measured with the
+// equirectangular approximation, which is accurate to well under 1% at city
+// scale — the scale the paper (and its precision bounds of 60/15/4 m)
+// targets.
+
+#ifndef ACTJOIN_GEO_LATLNG_H_
+#define ACTJOIN_GEO_LATLNG_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace actjoin::geo {
+
+/// Meters per degree of latitude (WGS84 mean).
+inline constexpr double kMetersPerDegreeLat = 110574.0;
+/// Meters per degree of longitude at the equator.
+inline constexpr double kMetersPerDegreeLngEquator = 111320.0;
+inline constexpr double kDegToRad = 0.017453292519943295;
+
+/// Meters per degree of longitude at a given latitude.
+inline double MetersPerDegreeLng(double lat_deg) {
+  return kMetersPerDegreeLngEquator * std::cos(lat_deg * kDegToRad);
+}
+
+/// A point on the Earth in degrees. lat in [-90, 90], lng in [-180, 180].
+struct LatLng {
+  double lat = 0;
+  double lng = 0;
+
+  bool operator==(const LatLng& o) const {
+    return lat == o.lat && lng == o.lng;
+  }
+};
+
+/// Approximate ground distance in meters (equirectangular).
+inline double DistanceMeters(const LatLng& a, const LatLng& b) {
+  double mid_lat = 0.5 * (a.lat + b.lat);
+  double dx = (a.lng - b.lng) * MetersPerDegreeLng(mid_lat);
+  double dy = (a.lat - b.lat) * kMetersPerDegreeLat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// A closed latitude/longitude rectangle.
+struct LatLngRect {
+  double lat_lo = 0, lat_hi = 0;
+  double lng_lo = 0, lng_hi = 0;
+
+  bool Contains(const LatLng& p) const {
+    return p.lat >= lat_lo && p.lat <= lat_hi && p.lng >= lng_lo &&
+           p.lng <= lng_hi;
+  }
+
+  bool Intersects(const LatLngRect& o) const {
+    return lat_lo <= o.lat_hi && o.lat_lo <= lat_hi && lng_lo <= o.lng_hi &&
+           o.lng_lo <= lng_hi;
+  }
+
+  LatLng Center() const {
+    return {0.5 * (lat_lo + lat_hi), 0.5 * (lng_lo + lng_hi)};
+  }
+
+  double WidthDeg() const { return lng_hi - lng_lo; }
+  double HeightDeg() const { return lat_hi - lat_lo; }
+
+  /// Upper bound on the rectangle's diagonal in meters. Longitude width is
+  /// evaluated at the latitude closest to the equator inside the rect, where
+  /// a degree of longitude is longest.
+  double DiagonalMeters() const {
+    double widest_lat =
+        (lat_lo <= 0 && lat_hi >= 0) ? 0 : std::min(std::abs(lat_lo),
+                                                    std::abs(lat_hi));
+    double w = WidthDeg() * MetersPerDegreeLng(widest_lat);
+    double h = HeightDeg() * kMetersPerDegreeLat;
+    return std::sqrt(w * w + h * h);
+  }
+};
+
+}  // namespace actjoin::geo
+
+#endif  // ACTJOIN_GEO_LATLNG_H_

@@ -1,0 +1,30 @@
+// Planar point type for the geometry kernel.
+//
+// The kernel is projection-agnostic 2D; geographic callers use x = longitude
+// and y = latitude in degrees. Point-in-polygon containment is invariant
+// under the per-axis monotone map between degrees and the local metric, so
+// all predicates can run directly in degree space.
+
+#ifndef ACTJOIN_GEOMETRY_POINT_H_
+#define ACTJOIN_GEOMETRY_POINT_H_
+
+namespace actjoin::geom {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+
+  /// 2D cross product of this and o (z-component of the 3D cross product).
+  double Cross(const Point& o) const { return x * o.y - y * o.x; }
+  double Dot(const Point& o) const { return x * o.x + y * o.y; }
+};
+
+}  // namespace actjoin::geom
+
+#endif  // ACTJOIN_GEOMETRY_POINT_H_

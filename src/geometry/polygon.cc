@@ -1,0 +1,66 @@
+#include "geometry/polygon.h"
+
+#include "geometry/segment.h"
+#include "util/check.h"
+
+namespace actjoin::geom {
+
+void Polygon::AddRing(Ring ring) {
+  ACT_CHECK_MSG(ring.size() >= 3, "a ring needs at least 3 vertices");
+  if (ring_edge_offsets_.empty()) ring_edge_offsets_.push_back(0);
+  for (const Point& p : ring) mbr_.Expand(p);
+  num_vertices_ += static_cast<uint32_t>(ring.size());
+  ring_edge_offsets_.push_back(num_vertices_);
+  rings_.push_back(std::move(ring));
+}
+
+std::pair<Point, Point> Polygon::Edge(uint32_t e) const {
+  ACT_CHECK(e < num_vertices_);
+  // Rings are small in number; linear ring lookup is fine and avoids a
+  // binary search on every edge access.
+  size_t r = 0;
+  while (ring_edge_offsets_[r + 1] <= e) ++r;
+  const Ring& ring = rings_[r];
+  uint32_t local = e - ring_edge_offsets_[r];
+  uint32_t next = (local + 1 == ring.size()) ? 0 : local + 1;
+  return {ring[local], ring[next]};
+}
+
+double Polygon::SignedArea() const {
+  double total = 0;
+  for (const Ring& ring : rings_) {
+    double a = 0;
+    for (size_t k = 0; k < ring.size(); ++k) {
+      const Point& p = ring[k];
+      const Point& q = ring[(k + 1) % ring.size()];
+      a += p.Cross(q);
+    }
+    total += a / 2;
+  }
+  return total;
+}
+
+double Polygon::Area() const {
+  double a = SignedArea();
+  return a < 0 ? -a : a;
+}
+
+bool Polygon::IsSimple() const {
+  uint32_t n = num_edges();
+  for (uint32_t e1 = 0; e1 < n; ++e1) {
+    auto [a1, b1] = Edge(e1);
+    for (uint32_t e2 = e1 + 1; e2 < n; ++e2) {
+      auto [a2, b2] = Edge(e2);
+      // Consecutive edges of the same ring legitimately share a vertex.
+      bool adjacent = (a1 == a2) || (a1 == b2) || (b1 == a2) || (b1 == b2);
+      if (adjacent) {
+        if (SegmentsCrossProperly(a1, b1, a2, b2)) return false;
+        continue;
+      }
+      if (SegmentsIntersect(a1, b1, a2, b2)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace actjoin::geom

@@ -1,0 +1,62 @@
+// Polygons with optional holes / multiple shells, even-odd interior rule.
+//
+// A Polygon is a set of rings; a point is interior iff it lies inside an odd
+// number of rings, so a single type covers simple polygons, polygons with
+// holes, and multi-part polygons (the NYC borough analogs are multi-part).
+// Rings are stored open (last vertex != first); the closing edge is
+// implicit. Join predicates follow PostGIS ST_Covers: boundary points are
+// covered (paper Sec. 3.4).
+
+#ifndef ACTJOIN_GEOMETRY_POLYGON_H_
+#define ACTJOIN_GEOMETRY_POLYGON_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace actjoin::geom {
+
+using Ring = std::vector<Point>;
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(Ring shell) { AddRing(std::move(shell)); }
+
+  /// Appends a ring (shell or hole; the even-odd rule does not distinguish).
+  /// Rings must have >= 3 vertices and be stored without a closing duplicate
+  /// vertex.
+  void AddRing(Ring ring);
+
+  const std::vector<Ring>& rings() const { return rings_; }
+  const Rect& mbr() const { return mbr_; }
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  /// Total number of edges (== vertices for closed rings).
+  uint32_t num_edges() const { return num_vertices_; }
+
+  /// Edge by global index, ordered ring by ring.
+  std::pair<Point, Point> Edge(uint32_t e) const;
+
+  /// Signed area (positive for counter-clockwise shells); holes listed as
+  /// clockwise rings subtract, matching the even-odd interior.
+  double SignedArea() const;
+  double Area() const;
+
+  /// O(n^2) self/inter-ring intersection check; intended for tests and
+  /// generator validation, not for hot paths.
+  bool IsSimple() const;
+
+ private:
+  std::vector<Ring> rings_;
+  std::vector<uint32_t> ring_edge_offsets_;  // prefix sums for Edge()
+  Rect mbr_;
+  uint32_t num_vertices_ = 0;
+};
+
+}  // namespace actjoin::geom
+
+#endif  // ACTJOIN_GEOMETRY_POLYGON_H_

@@ -1,0 +1,69 @@
+// Axis-aligned rectangles (closed) for MBRs and cell extents.
+
+#ifndef ACTJOIN_GEOMETRY_RECT_H_
+#define ACTJOIN_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace actjoin::geom {
+
+struct Rect {
+  Point lo{std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Point hi{std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  static Rect Of(double x_lo, double y_lo, double x_hi, double y_hi) {
+    return Rect{{x_lo, y_lo}, {x_hi, y_hi}};
+  }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool Contains(const Rect& o) const {
+    return o.lo.x >= lo.x && o.hi.x <= hi.x && o.lo.y >= lo.y &&
+           o.hi.y <= hi.y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+
+  void Expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  void Expand(const Rect& o) {
+    if (o.IsEmpty()) return;
+    Expand(o.lo);
+    Expand(o.hi);
+  }
+
+  Point Center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+  double Width() const { return hi.x - lo.x; }
+  double Height() const { return hi.y - lo.y; }
+  double Area() const { return IsEmpty() ? 0 : Width() * Height(); }
+
+  /// Area of the union MBR minus own area; used by R-tree insertion.
+  double Enlargement(const Rect& o) const {
+    Rect u = *this;
+    u.Expand(o);
+    return u.Area() - Area();
+  }
+
+  double Perimeter() const { return IsEmpty() ? 0 : 2 * (Width() + Height()); }
+};
+
+}  // namespace actjoin::geom
+
+#endif  // ACTJOIN_GEOMETRY_RECT_H_

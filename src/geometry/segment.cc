@@ -1,0 +1,62 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace actjoin::geom {
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  double v = (b - a).Cross(c - a);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+bool SegmentsIntersect(const Point& p1, const Point& q1, const Point& p2,
+                       const Point& q2) {
+  int o1 = Orientation(p1, q1, p2);
+  int o2 = Orientation(p1, q1, q2);
+  int o3 = Orientation(p2, q2, p1);
+  int o4 = Orientation(p2, q2, q1);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear / endpoint-touching cases.
+  if (o1 == 0 && OnSegment(p1, q1, p2)) return true;
+  if (o2 == 0 && OnSegment(p1, q1, q2)) return true;
+  if (o3 == 0 && OnSegment(p2, q2, p1)) return true;
+  if (o4 == 0 && OnSegment(p2, q2, q1)) return true;
+  return false;
+}
+
+bool SegmentsCrossProperly(const Point& p1, const Point& q1, const Point& p2,
+                           const Point& q2) {
+  int o1 = Orientation(p1, q1, p2);
+  int o2 = Orientation(p1, q1, q2);
+  int o3 = Orientation(p2, q2, p1);
+  int o4 = Orientation(p2, q2, q1);
+  return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
+}
+
+bool SegmentIntersectsRect(const Point& a, const Point& b, const Rect& r) {
+  if (r.Contains(a) || r.Contains(b)) return true;
+  // Quick reject: segment bbox vs rect.
+  Rect sb;
+  sb.Expand(a);
+  sb.Expand(b);
+  if (!r.Intersects(sb)) return false;
+
+  Point c0 = r.lo;
+  Point c1{r.hi.x, r.lo.y};
+  Point c2 = r.hi;
+  Point c3{r.lo.x, r.hi.y};
+  return SegmentsIntersect(a, b, c0, c1) || SegmentsIntersect(a, b, c1, c2) ||
+         SegmentsIntersect(a, b, c2, c3) || SegmentsIntersect(a, b, c3, c0);
+}
+
+}  // namespace actjoin::geom

@@ -1,0 +1,34 @@
+// Segment predicates shared by point-in-polygon tests, the region coverer's
+// cell classification, and the rasterizer.
+
+#ifndef ACTJOIN_GEOMETRY_SEGMENT_H_
+#define ACTJOIN_GEOMETRY_SEGMENT_H_
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace actjoin::geom {
+
+/// Sign of the orientation of the triangle (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+/// True iff p lies on the closed segment [a, b].
+bool OnSegment(const Point& a, const Point& b, const Point& p);
+
+/// True iff closed segments [p1,q1] and [p2,q2] share at least one point
+/// (proper crossings, endpoint touches, and collinear overlap all count).
+bool SegmentsIntersect(const Point& p1, const Point& q1, const Point& p2,
+                       const Point& q2);
+
+/// True iff the segments cross properly: they intersect in exactly one point
+/// that is interior to both. Used for crossing-parity counting.
+bool SegmentsCrossProperly(const Point& p1, const Point& q1, const Point& p2,
+                           const Point& q2);
+
+/// True iff the closed segment [a, b] intersects the closed rectangle.
+bool SegmentIntersectsRect(const Point& a, const Point& b, const Rect& r);
+
+}  // namespace actjoin::geom
+
+#endif  // ACTJOIN_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,37 @@
+// Thin wrappers around <bit> for the 64-bit id arithmetic used throughout
+// the cell-id and radix-tree code.
+
+#ifndef ACTJOIN_UTIL_BITOPS_H_
+#define ACTJOIN_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace actjoin::util {
+
+/// Number of trailing zero bits; 64 for input 0.
+inline int CountTrailingZeros(uint64_t v) { return std::countr_zero(v); }
+
+/// Number of leading zero bits; 64 for input 0.
+inline int CountLeadingZeros(uint64_t v) { return std::countl_zero(v); }
+
+/// Lowest set bit of v (0 if v == 0).
+inline uint64_t LowestSetBit(uint64_t v) { return v & (~v + 1); }
+
+/// True iff v is a power of two (v != 0).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Extracts `count` bits of `v` starting at bit `pos` (LSB = bit 0).
+inline uint64_t ExtractBits(uint64_t v, int pos, int count) {
+  return (v >> pos) & ((count >= 64) ? ~uint64_t{0} : ((uint64_t{1} << count) - 1));
+}
+
+/// Length (in bits) of the common prefix of a and b, viewed as 64-bit
+/// strings starting at the MSB.
+inline int CommonPrefixLength(uint64_t a, uint64_t b) {
+  return CountLeadingZeros(a ^ b);
+}
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_BITOPS_H_

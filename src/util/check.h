@@ -1,0 +1,40 @@
+// Always-on invariant checking macros.
+//
+// Unlike assert(), ACT_CHECK* fire in release builds as well. Database index
+// code relies on structural invariants (disjointness, sortedness, alignment)
+// whose violation silently corrupts query results; failing fast is cheaper
+// than debugging a wrong join count.
+
+#ifndef ACTJOIN_UTIL_CHECK_H_
+#define ACTJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ACT_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ACT_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ACT_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ACT_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Documents unreachable code paths.
+#define ACT_UNREACHABLE()                                                   \
+  do {                                                                      \
+    std::fprintf(stderr, "ACT_UNREACHABLE hit at %s:%d\n", __FILE__,        \
+                 __LINE__);                                                 \
+    std::abort();                                                           \
+  } while (0)
+
+#endif  // ACTJOIN_UTIL_CHECK_H_

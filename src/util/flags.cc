@@ -1,0 +1,130 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace actjoin::util {
+
+void Flags::AddDouble(const std::string& name, double default_value,
+                      const std::string& help) {
+  flags_.push_back({name, Type::kDouble, help, default_value, 0, false, ""});
+}
+
+void Flags::AddInt(const std::string& name, int64_t default_value,
+                   const std::string& help) {
+  flags_.push_back({name, Type::kInt, help, 0, default_value, false, ""});
+}
+
+void Flags::AddBool(const std::string& name, bool default_value,
+                    const std::string& help) {
+  flags_.push_back({name, Type::kBool, help, 0, 0, default_value, ""});
+}
+
+void Flags::AddString(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help) {
+  flags_.push_back({name, Type::kString, help, 0, 0, false, default_value});
+}
+
+Flags::Flag* Flags::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const Flags::Flag* Flags::Find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void Flags::PrintUsage(const char* binary) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", binary);
+  for (const auto& f : flags_) {
+    const char* type = "";
+    switch (f.type) {
+      case Type::kDouble: type = "double"; break;
+      case Type::kInt: type = "int"; break;
+      case Type::kBool: type = "bool"; break;
+      case Type::kString: type = "string"; break;
+    }
+    std::fprintf(stderr, "  --%s (%s)  %s\n", f.name.c_str(), type,
+                 f.help.c_str());
+  }
+}
+
+void Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg);
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    std::string body = arg + 2;
+    if (body == "help") {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    }
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    Flag* f = Find(name);
+    if (f == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    if (!has_value) {
+      if (f->type == Type::kBool) {
+        f->b = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        std::exit(2);
+      }
+      value = argv[++i];
+    }
+    switch (f->type) {
+      case Type::kDouble: f->d = std::strtod(value.c_str(), nullptr); break;
+      case Type::kInt: f->i = std::strtoll(value.c_str(), nullptr, 10); break;
+      case Type::kBool: f->b = (value == "true" || value == "1"); break;
+      case Type::kString: f->s = value; break;
+    }
+  }
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  const Flag* f = Find(name);
+  return f ? f->d : 0;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  const Flag* f = Find(name);
+  return f ? f->i : 0;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  const Flag* f = Find(name);
+  return f ? f->b : false;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  static const std::string kEmpty;
+  const Flag* f = Find(name);
+  return f ? f->s : kEmpty;
+}
+
+}  // namespace actjoin::util

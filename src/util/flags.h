@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value` and `--name value`; unknown flags abort with a
+// usage message listing the registered flags. Benchmark binaries use this to
+// expose --scale / --points / --threads / --full without pulling in a flags
+// dependency.
+
+#ifndef ACTJOIN_UTIL_FLAGS_H_
+#define ACTJOIN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace actjoin::util {
+
+class Flags {
+ public:
+  /// Registers a flag with a default value and help text. Must be called
+  /// before Parse().
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv; prints usage and exits on --help or an unknown flag.
+  void Parse(int argc, char** argv);
+
+  double GetDouble(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  void PrintUsage(const char* binary) const;
+
+ private:
+  enum class Type { kDouble, kInt, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    std::string help;
+    double d = 0;
+    int64_t i = 0;
+    bool b = false;
+    std::string s;
+  };
+
+  Flag* Find(const std::string& name);
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_FLAGS_H_

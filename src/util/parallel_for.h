@@ -1,0 +1,38 @@
+// Batched parallel loop used by the probe phase of all joins.
+//
+// The paper parallelizes index probing by having worker threads fetch
+// batches of 16 tuples at a time, synchronizing on a single atomic counter
+// (Sec. 3.4). ParallelFor implements exactly that scheme and is reused by
+// every join driver and by the covering computation.
+
+#ifndef ACTJOIN_UTIL_PARALLEL_FOR_H_
+#define ACTJOIN_UTIL_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace actjoin::util {
+
+/// Default batch size from the paper: "Individual processing threads fetch
+/// batches of 16 tuples at a time and synchronize using an atomic counter."
+inline constexpr uint64_t kDefaultBatchSize = 16;
+
+/// Number of worker threads to use when `requested` is 0.
+int DefaultThreadCount();
+
+/// Runs fn(begin, end, thread_id) over [0, n) in batches of `batch` items.
+/// With threads == 1 the loop runs inline on the calling thread (no spawn),
+/// which keeps single-threaded measurements clean.
+void ParallelFor(uint64_t n, int threads, uint64_t batch,
+                 const std::function<void(uint64_t, uint64_t, int)>& fn);
+
+/// Convenience overload with the paper's batch size.
+inline void ParallelFor(uint64_t n, int threads,
+                        const std::function<void(uint64_t, uint64_t, int)>& fn) {
+  ParallelFor(n, threads, kDefaultBatchSize, fn);
+}
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_PARALLEL_FOR_H_

@@ -1,0 +1,57 @@
+// Hardware performance counter sampling (paper Table 5).
+//
+// Table 5 reports cycles, instructions, branch misses, and cache misses per
+// probed point. We read them through perf_event_open when the kernel allows
+// it; inside unprivileged containers that syscall is typically denied, in
+// which case cycles fall back to the TSC and the other counters are reported
+// as unavailable. Callers must check the per-counter validity flags.
+
+#ifndef ACTJOIN_UTIL_PERF_COUNTERS_H_
+#define ACTJOIN_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace actjoin::util {
+
+/// One sampled counter value; `valid` is false when the counter could not be
+/// programmed (e.g., perf_event_open denied by the container runtime).
+struct CounterValue {
+  uint64_t value = 0;
+  bool valid = false;
+};
+
+/// Deltas observed between Start() and Stop().
+struct PerfSample {
+  CounterValue cycles;
+  CounterValue instructions;
+  CounterValue branch_misses;
+  CounterValue cache_misses;
+};
+
+/// Groups the four Table-5 counters. Usage:
+///   PerfCounterGroup g;
+///   g.Start(); ... workload ...; PerfSample s = g.Stop();
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True if at least the hardware cycle counter is being read via perf
+  /// events (as opposed to the TSC fallback).
+  bool UsingHardwareEvents() const;
+
+  void Start();
+  PerfSample Stop();
+
+ private:
+  int fds_[4];
+  uint64_t start_[4];
+  uint64_t tsc_start_ = 0;
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_PERF_COUNTERS_H_

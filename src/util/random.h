@@ -1,0 +1,67 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// We avoid <random> engines in generator code because their output is not
+// guaranteed to be identical across standard library implementations;
+// reproducible datasets are a requirement for the benchmark harness.
+
+#ifndef ACTJOIN_UTIL_RANDOM_H_
+#define ACTJOIN_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace actjoin::util {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with explicit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) {
+    uint64_t x = seed;
+    for (auto& si : s_) si = (x = SplitMix64(x));
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// Standard normal deviate (Box-Muller, one value per call).
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_RANDOM_H_

@@ -1,0 +1,41 @@
+// Fixed-width table output for the benchmark harness.
+//
+// Each benchmark binary regenerates one table or figure from the paper; the
+// printer produces aligned, paste-able rows plus an optional CSV mirror so
+// results can be post-processed.
+
+#ifndef ACTJOIN_UTIL_TABLE_PRINTER_H_
+#define ACTJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace actjoin::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned table to stdout.
+  void Print() const;
+
+  /// Renders comma-separated rows (header first) to stdout.
+  void PrintCsv() const;
+
+  /// Numeric formatting helpers used by all benches.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtInt(uint64_t v);
+  /// Millions with 2 decimals, e.g. 13.96 for 13,960,000.
+  static std::string FmtM(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_TABLE_PRINTER_H_

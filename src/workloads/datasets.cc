@@ -1,0 +1,117 @@
+#include "workloads/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace actjoin::wl {
+
+namespace {
+
+// Rounds sqrt(n) to a grid dimension of at least 1.
+int GridDim(double n) {
+  return std::max(1, static_cast<int>(std::lround(std::sqrt(n))));
+}
+
+PolygonDataset FromSpec(const std::string& name, const PartitionSpec& spec) {
+  PolygonDataset d;
+  d.name = name;
+  d.polygons = JitteredPartition(spec);
+  d.mbr = spec.mbr;
+  return d;
+}
+
+}  // namespace
+
+geom::Rect NycMbr() {
+  // lng in [-74.26, -73.69], lat in [40.49, 40.92] — the taxi data extent.
+  return geom::Rect::Of(-74.26, 40.49, -73.69, 40.92);
+}
+
+PolygonDataset Boroughs(double scale, uint64_t seed) {
+  // 5 polygons with ~512 vertices each (paper: 5 / avg 662): a 1x5 split
+  // with deeply subdivided edges (2^7 = 128 segments per side, border
+  // sides straight but vertex-dense, interior sides jagged).
+  PartitionSpec spec;
+  spec.mbr = NycMbr();
+  spec.nx = std::max(2, static_cast<int>(std::lround(5 * scale)));
+  spec.ny = 1;
+  spec.edge_depth = 7;
+  spec.vertex_jitter = 0.3;
+  // Borough borders are tens of km long; keep the meander tube narrow
+  // (detail-rich but not space-filling) so interior coverings behave like
+  // they do on the real polygons.
+  spec.displacement = 0.02;
+  spec.subdivide_border = true;
+  spec.seed = seed;
+  return FromSpec("boroughs", spec);
+}
+
+PolygonDataset Neighborhoods(double scale, uint64_t seed) {
+  // 17x17 = 289 polygons at scale 1; edge_depth 3 => ~32 vertices each
+  // (paper: 289 polygons, avg 29.6 vertices).
+  PartitionSpec spec;
+  spec.mbr = NycMbr();
+  spec.nx = spec.ny = GridDim(17 * 17 * scale);
+  spec.edge_depth = 3;
+  spec.seed = seed;
+  return FromSpec("neighborhoods", spec);
+}
+
+PolygonDataset Census(double scale, uint64_t seed) {
+  // 198x198 = 39204 polygons at scale 1; edge_depth 1 => ~8-12 vertices
+  // (paper: 39184 polygons, avg 12.5 vertices).
+  PartitionSpec spec;
+  spec.mbr = NycMbr();
+  spec.nx = spec.ny = GridDim(198.0 * 198.0 * scale);
+  spec.edge_depth = 1;
+  spec.seed = seed;
+  return FromSpec("census", spec);
+}
+
+std::vector<PolygonDataset> NycDatasets(double scale) {
+  return {Boroughs(scale), Neighborhoods(scale), Census(scale)};
+}
+
+PolygonDataset City(const std::string& name, int polygon_count,
+                    uint64_t seed) {
+  // City extents roughly proportional to the real metros; exact values are
+  // immaterial, polygon count is the experimental variable (Fig. 9).
+  geom::Rect mbr;
+  if (name == "NYC") {
+    mbr = NycMbr();
+  } else if (name == "SF") {
+    mbr = geom::Rect::Of(-122.52, 37.70, -122.35, 37.83);
+  } else if (name == "LA") {
+    mbr = geom::Rect::Of(-118.67, 33.70, -118.16, 34.34);
+  } else {  // BOS
+    mbr = geom::Rect::Of(-71.19, 42.23, -70.92, 42.40);
+  }
+  PartitionSpec spec;
+  spec.mbr = mbr;
+  spec.nx = spec.ny = GridDim(polygon_count);
+  spec.edge_depth = 3;
+  spec.seed = seed;
+  return FromSpec(name, spec);
+}
+
+std::vector<PolygonDataset> TwitterCities(double scale) {
+  return {
+      City("NYC", std::max(1, static_cast<int>(289 * scale)), 101),
+      City("BOS", std::max(1, static_cast<int>(42 * scale)), 102),
+      City("LA", std::max(1, static_cast<int>(160 * scale)), 103),
+      City("SF", std::max(1, static_cast<int>(117 * scale)), 104),
+  };
+}
+
+PointSet TaxiPoints(const geom::Rect& mbr, uint64_t n, const geo::Grid& grid,
+                    uint64_t seed) {
+  return HotspotPoints(mbr, n, seed, grid, DefaultCityHotspots(mbr),
+                       /*background_weight=*/0.10);
+}
+
+PointSet SyntheticUniformPoints(const geom::Rect& mbr, uint64_t n,
+                                const geo::Grid& grid, uint64_t seed) {
+  return UniformPoints(mbr, n, seed, grid);
+}
+
+}  // namespace actjoin::wl

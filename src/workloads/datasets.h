@@ -1,0 +1,65 @@
+// Named dataset presets mirroring the paper's evaluation workloads.
+//
+// Polygon datasets (paper Table 1): boroughs (5 polygons, avg 662
+// vertices), neighborhoods (289 / 29.6), census (39184 / 12.5) — all over
+// the same NYC-sized extent. Twitter city presets (Fig. 9): NYC 289, SF
+// 117, LA 160, BOS 42 neighborhood polygons. A global `scale` shrinks the
+// polygon counts (and point counts) so benches fit small machines; scale=1
+// reproduces the paper's counts.
+
+#ifndef ACTJOIN_WORKLOADS_DATASETS_H_
+#define ACTJOIN_WORKLOADS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/point_gen.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::wl {
+
+/// NYC-sized extent (lng, lat degrees): the taxi dataset's home.
+geom::Rect NycMbr();
+
+struct PolygonDataset {
+  std::string name;
+  std::vector<geom::Polygon> polygons;
+  geom::Rect mbr;
+
+  double AvgVertices() const {
+    if (polygons.empty()) return 0;
+    double sum = 0;
+    for (const auto& p : polygons) sum += p.num_vertices();
+    return sum / polygons.size();
+  }
+};
+
+/// Boroughs analog: few polygons with very complex boundaries.
+PolygonDataset Boroughs(double scale = 1.0, uint64_t seed = 11);
+/// Neighborhoods analog: ~289 medium polygons at scale 1.
+PolygonDataset Neighborhoods(double scale = 1.0, uint64_t seed = 22);
+/// Census analog: tens of thousands of simple polygons at scale 1.
+PolygonDataset Census(double scale = 1.0, uint64_t seed = 33);
+
+/// The paper's three NYC datasets, coarse to fine.
+std::vector<PolygonDataset> NycDatasets(double scale = 1.0);
+
+/// Twitter-city analog: a neighborhoods-style partition with
+/// `polygon_count` polygons over a city-specific extent.
+PolygonDataset City(const std::string& name, int polygon_count,
+                    uint64_t seed);
+
+/// Fig. 9 presets: {NYC 289, SF 117, LA 160, BOS 42} at scale 1.
+std::vector<PolygonDataset> TwitterCities(double scale = 1.0);
+
+/// Taxi-analog points: clustered over the dataset's extent.
+PointSet TaxiPoints(const geom::Rect& mbr, uint64_t n, const geo::Grid& grid,
+                    uint64_t seed = 7);
+
+/// Uniform synthetic points over the dataset's extent (Fig. 8).
+PointSet SyntheticUniformPoints(const geom::Rect& mbr, uint64_t n,
+                                const geo::Grid& grid, uint64_t seed = 8);
+
+}  // namespace actjoin::wl
+
+#endif  // ACTJOIN_WORKLOADS_DATASETS_H_

@@ -1,0 +1,87 @@
+#include "workloads/point_gen.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace actjoin::wl {
+
+using geom::Point;
+using geom::Rect;
+
+PointSet::PointSet(std::vector<Point> points, const geo::Grid& grid)
+    : points_(std::move(points)) {
+  cell_ids_.reserve(points_.size());
+  for (const Point& p : points_) {
+    cell_ids_.push_back(grid.CellAt({p.y, p.x}).id());
+  }
+}
+
+PointSet UniformPoints(const Rect& mbr, uint64_t n, uint64_t seed,
+                       const geo::Grid& grid) {
+  ACT_CHECK(!mbr.IsEmpty());
+  util::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    pts.push_back({rng.Uniform(mbr.lo.x, mbr.hi.x),
+                   rng.Uniform(mbr.lo.y, mbr.hi.y)});
+  }
+  return PointSet(std::move(pts), grid);
+}
+
+PointSet HotspotPoints(const Rect& mbr, uint64_t n, uint64_t seed,
+                       const geo::Grid& grid,
+                       const std::vector<Hotspot>& hotspots,
+                       double background_weight) {
+  ACT_CHECK(!mbr.IsEmpty());
+  ACT_CHECK(!hotspots.empty());
+  ACT_CHECK(background_weight >= 0 && background_weight <= 1);
+  double total = 0;
+  for (const Hotspot& h : hotspots) total += h.weight;
+  ACT_CHECK(total > 0);
+
+  util::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  while (pts.size() < n) {
+    Point p;
+    if (rng.NextDouble() < background_weight) {
+      p = {rng.Uniform(mbr.lo.x, mbr.hi.x), rng.Uniform(mbr.lo.y, mbr.hi.y)};
+    } else {
+      double pick = rng.NextDouble() * total;
+      const Hotspot* h = &hotspots.back();
+      for (const Hotspot& cand : hotspots) {
+        if (pick < cand.weight) {
+          h = &cand;
+          break;
+        }
+        pick -= cand.weight;
+      }
+      p = {h->center.x + rng.Gaussian() * h->sigma_x,
+           h->center.y + rng.Gaussian() * h->sigma_y};
+      if (!mbr.Contains(p)) continue;  // redraw outside the dataset MBR
+    }
+    pts.push_back(p);
+  }
+  return PointSet(std::move(pts), grid);
+}
+
+std::vector<Hotspot> DefaultCityHotspots(const Rect& mbr) {
+  // Real pickup hotspots sit deep inside districts (midtown Manhattan, the
+  // airport aprons), not on administrative borders. The centers below are
+  // aligned with the centers of the synthetic borough columns (fifths of
+  // the extent) so the clustered mass is interior at every dataset
+  // granularity, mirroring the paper's ">90% of points in Manhattan".
+  double w = mbr.Width();
+  double h = mbr.Height();
+  Point c = mbr.Center();
+  return {
+      // Dense elongated downtown strip, ~75% of the clustered mass.
+      {{c.x - 0.2 * w, c.y + 0.05 * h}, 0.022 * w, 0.15 * h, 0.75},
+      // Two compact satellite clusters ("airports").
+      {{c.x + 0.2 * w, c.y - 0.22 * h}, 0.012 * w, 0.012 * h, 0.15},
+      {{c.x, c.y + 0.28 * h}, 0.010 * w, 0.010 * h, 0.10},
+  };
+}
+
+}  // namespace actjoin::wl

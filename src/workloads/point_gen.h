@@ -1,0 +1,81 @@
+// Synthetic point workloads (substitute for NYC taxi pick-ups and
+// geo-tagged tweets).
+//
+// The paper's throughput effects hinge on point skew: real taxi/tweet data
+// is highly clustered ("the majority of points located in Manhattan (>90%)
+// and around the airports"), which keeps hot trie paths cached, versus
+// uniform data which maximizes branch/cache misses. HotspotPoints emulates
+// the former with a Gaussian-mixture model (one dominant dense strip plus a
+// few satellite clusters over a uniform background); UniformPoints the
+// latter.
+
+#ifndef ACTJOIN_WORKLOADS_POINT_GEN_H_
+#define ACTJOIN_WORKLOADS_POINT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "act/join.h"
+#include "geo/grid.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace actjoin::wl {
+
+/// A materialized point workload: planar coordinates plus precomputed leaf
+/// cell ids (the paper converts to cell ids "prior to performing any
+/// experiments").
+class PointSet {
+ public:
+  PointSet() = default;
+  PointSet(std::vector<geom::Point> points, const geo::Grid& grid);
+
+  uint64_t size() const { return points_.size(); }
+  const std::vector<geom::Point>& points() const { return points_; }
+  const std::vector<uint64_t>& cell_ids() const { return cell_ids_; }
+
+  act::JoinInput AsJoinInput() const {
+    return {cell_ids_, points_};
+  }
+
+  /// First n points as a join input (prefix slicing for sweeps).
+  act::JoinInput Prefix(uint64_t n) const {
+    n = n > size() ? size() : n;
+    return {std::span(cell_ids_).subspan(0, n),
+            std::span(points_).subspan(0, n)};
+  }
+
+ private:
+  std::vector<geom::Point> points_;
+  std::vector<uint64_t> cell_ids_;
+};
+
+/// One Gaussian cluster of a hotspot mixture.
+struct Hotspot {
+  geom::Point center;
+  double sigma_x = 0;  // in the same units as the MBR (degrees)
+  double sigma_y = 0;
+  double weight = 0;   // relative mass
+};
+
+/// n points uniform in the MBR.
+PointSet UniformPoints(const geom::Rect& mbr, uint64_t n, uint64_t seed,
+                       const geo::Grid& grid);
+
+/// n points from the hotspot mixture; `background_weight` of the mass is
+/// uniform over the MBR. Samples falling outside the MBR are re-drawn, so
+/// every point lies inside (mirroring the paper's extraction of points by
+/// dataset MBR).
+PointSet HotspotPoints(const geom::Rect& mbr, uint64_t n, uint64_t seed,
+                       const geo::Grid& grid,
+                       const std::vector<Hotspot>& hotspots,
+                       double background_weight);
+
+/// Default taxi-like mixture for an MBR: one dominant dense strip
+/// ("Manhattan", ~75% of mass), two compact satellite clusters
+/// ("airports"), 10% uniform background.
+std::vector<Hotspot> DefaultCityHotspots(const geom::Rect& mbr);
+
+}  // namespace actjoin::wl
+
+#endif  // ACTJOIN_WORKLOADS_POINT_GEN_H_

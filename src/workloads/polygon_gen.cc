@@ -1,0 +1,144 @@
+#include "workloads/polygon_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace actjoin::wl {
+
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Ring;
+
+// Deterministic per-object seeds derived from the spec seed and an object
+// id, so shared edges are identical regardless of which polygon asks.
+uint64_t SubSeed(uint64_t seed, uint64_t kind, uint64_t id) {
+  return util::SplitMix64(seed ^ (kind * 0x9e3779b97f4a7c15ULL) ^ id);
+}
+
+// Recursive midpoint displacement between fixed endpoints. Appends the
+// interior vertices of the polyline (excluding both endpoints) to *out.
+// The maximum perpendicular excursion is bounded by
+// displacement * |b - a| * sum(0.5^k) < displacement * |b - a|,
+// so tube widths stay below half a grid cell for displacement < 0.5.
+void Subdivide(const Point& a, const Point& b, int depth, double displacement,
+               util::Rng* rng, std::vector<Point>* out) {
+  if (depth == 0) return;
+  Point mid{(a.x + b.x) / 2, (a.y + b.y) / 2};
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len = std::sqrt(dx * dx + dy * dy);
+  if (len > 0) {
+    // Perpendicular offset, uniform in [-displacement, displacement] * len.
+    double off = rng->Uniform(-displacement, displacement) * len;
+    mid.x += -dy / len * off;
+    mid.y += dx / len * off;
+  }
+  Subdivide(a, mid, depth - 1, displacement / 2, rng, out);
+  out->push_back(mid);
+  Subdivide(mid, b, depth - 1, displacement / 2, rng, out);
+}
+
+}  // namespace
+
+std::vector<Polygon> JitteredPartition(const PartitionSpec& spec) {
+  ACT_CHECK(spec.nx >= 1 && spec.ny >= 1);
+  ACT_CHECK(!spec.mbr.IsEmpty());
+  ACT_CHECK_MSG(spec.vertex_jitter >= 0 && spec.vertex_jitter < 0.5,
+                "vertex jitter must stay below half a cell");
+  ACT_CHECK_MSG(spec.displacement >= 0 && spec.displacement < 0.45,
+                "displacement must keep edge tubes inside cells");
+
+  const int nx = spec.nx, ny = spec.ny;
+  const double cw = spec.mbr.Width() / nx;
+  const double ch = spec.mbr.Height() / ny;
+
+  // Lattice vertices: boundary vertices stay fixed so the partition tiles
+  // the MBR exactly; interior vertices are jittered.
+  auto vertex = [&](int gx, int gy) -> Point {
+    Point p{spec.mbr.lo.x + gx * cw, spec.mbr.lo.y + gy * ch};
+    if (gx > 0 && gx < nx && gy > 0 && gy < ny) {
+      util::Rng rng(SubSeed(spec.seed, 1,
+                            static_cast<uint64_t>(gy) * (nx + 1) + gx));
+      p.x += rng.Uniform(-spec.vertex_jitter, spec.vertex_jitter) * cw;
+      p.y += rng.Uniform(-spec.vertex_jitter, spec.vertex_jitter) * ch;
+    }
+    return p;
+  };
+
+  // Shared edge polylines. Edge id encodes orientation and lattice slot;
+  // the polyline always runs from the lexicographically smaller endpoint.
+  // Straight MBR-boundary edges are not displaced.
+  auto edge_polyline = [&](int gx, int gy, bool horizontal) {
+    std::vector<Point> pts;
+    Point a = vertex(gx, gy);
+    Point b = horizontal ? vertex(gx + 1, gy) : vertex(gx, gy + 1);
+    bool on_border = horizontal ? (gy == 0 || gy == ny) : (gx == 0 || gx == nx);
+    pts.push_back(a);
+    if (spec.edge_depth > 0 && (!on_border || spec.subdivide_border)) {
+      uint64_t id = (static_cast<uint64_t>(horizontal ? 0 : 1) << 40) |
+                    (static_cast<uint64_t>(gy) << 20) |
+                    static_cast<uint64_t>(gx);
+      util::Rng rng(SubSeed(spec.seed, 2, id));
+      // Border edges stay straight (zero displacement) so the partition
+      // still tiles the MBR exactly.
+      double displacement = on_border ? 0.0 : spec.displacement;
+      Subdivide(a, b, spec.edge_depth, displacement, &rng, &pts);
+    }
+    pts.push_back(b);
+    return pts;
+  };
+
+  std::vector<Polygon> out;
+  out.reserve(static_cast<size_t>(nx) * ny);
+  for (int gy = 0; gy < ny; ++gy) {
+    for (int gx = 0; gx < nx; ++gx) {
+      Ring ring;
+      // Counter-clockwise: bottom edge forward, right edge forward, top
+      // edge reversed, left edge reversed. Shared polylines are regenerated
+      // from the same seed, so adjacent polygons match vertex for vertex.
+      auto append = [&](std::vector<Point> pts, bool reverse) {
+        if (reverse) std::reverse(pts.begin(), pts.end());
+        pts.pop_back();  // next edge contributes the shared corner
+        ring.insert(ring.end(), pts.begin(), pts.end());
+      };
+      append(edge_polyline(gx, gy, /*horizontal=*/true), false);   // bottom
+      append(edge_polyline(gx + 1, gy, /*horizontal=*/false), false);  // right
+      append(edge_polyline(gx, gy + 1, /*horizontal=*/true), true);    // top
+      append(edge_polyline(gx, gy, /*horizontal=*/false), true);       // left
+
+      if (spec.overlap_dilation > 0) {
+        Point c{0, 0};
+        for (const Point& p : ring) c = c + p;
+        c = c * (1.0 / ring.size());
+        for (Point& p : ring) {
+          p = c + (p - c) * (1.0 + spec.overlap_dilation);
+        }
+      }
+      out.emplace_back(std::move(ring));
+    }
+  }
+  return out;
+}
+
+Polygon RandomStarPolygon(const Point& center, double radius, int vertices,
+                          uint64_t seed) {
+  ACT_CHECK(vertices >= 3);
+  util::Rng rng(seed);
+  Ring ring;
+  ring.reserve(vertices);
+  for (int k = 0; k < vertices; ++k) {
+    double angle = 2 * 3.141592653589793 * k / vertices;
+    double r = radius * rng.Uniform(0.4, 1.0);
+    ring.push_back({center.x + r * std::cos(angle),
+                    center.y + r * std::sin(angle)});
+  }
+  return Polygon(std::move(ring));
+}
+
+}  // namespace actjoin::wl

@@ -1,0 +1,61 @@
+// Synthetic polygon datasets (substitute for the paper's NYC shapefiles).
+//
+// The paper joins against three NYC polygon datasets of increasing
+// granularity: boroughs (5 polygons, avg 662 vertices), neighborhoods (289,
+// avg 29.6), census blocks (39184, avg 12.5) — same area, very different
+// polygon complexity. What the experiments actually exercise is (a) polygon
+// count, (b) boundary complexity, (c) an exact spatial partition (largely
+// disjoint polygons).
+//
+// JitteredPartition reproduces those knobs: an nx * ny grid over an MBR
+// whose lattice vertices are jittered and whose shared edges are refined by
+// midpoint displacement (each shared polyline computed once from an
+// edge-specific seed, so neighboring polygons tile exactly with no gaps or
+// overlaps). edge_depth d gives 2^d segments per side, i.e. roughly 4*2^d
+// vertices per polygon.
+
+#ifndef ACTJOIN_WORKLOADS_POLYGON_GEN_H_
+#define ACTJOIN_WORKLOADS_POLYGON_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace actjoin::wl {
+
+struct PartitionSpec {
+  geom::Rect mbr;
+  int nx = 1;               // grid columns
+  int ny = 1;               // grid rows
+  int edge_depth = 0;       // midpoint-displacement recursion depth
+  double vertex_jitter = 0.35;   // lattice vertex jitter, fraction of cell
+  /// Midpoint displacement as a fraction of the current segment length.
+  /// Keep small: the displaced boundary meanders within a tube of roughly
+  /// +-1.3 * displacement * edge_length, and real administrative borders
+  /// have fine detail rather than wide meanders — an overly wide tube
+  /// depresses true-hit filtering below anything observed on real data.
+  double displacement = 0.08;
+  uint64_t seed = 1;
+  /// If > 0, every cell polygon is dilated outward around its centroid by
+  /// this fraction, producing overlapping polygons (tests the multi-
+  /// reference paths of the super covering).
+  double overlap_dilation = 0;
+  /// Also subdivide the straight MBR-border edges (zero displacement keeps
+  /// the partition tiling the MBR exactly). Raises vertex counts — used by
+  /// the borough analogs, whose PIP cost must reflect many edges.
+  bool subdivide_border = false;
+};
+
+/// Generates nx * ny polygons tiling spec.mbr (exactly, when
+/// overlap_dilation == 0). Polygon ids are row-major grid order.
+std::vector<geom::Polygon> JitteredPartition(const PartitionSpec& spec);
+
+/// Random star-shaped simple polygon around a center; unit-test helper.
+geom::Polygon RandomStarPolygon(const geom::Point& center, double radius,
+                                int vertices, uint64_t seed);
+
+}  // namespace actjoin::wl
+
+#endif  // ACTJOIN_WORKLOADS_POLYGON_GEN_H_

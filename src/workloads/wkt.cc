@@ -1,0 +1,167 @@
+#include "workloads/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace actjoin::wl {
+
+namespace {
+
+// Recursive-descent scanner over the WKT text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.size() - pos_ < word.size()) return false;
+    for (size_t k = 0; k < word.size(); ++k) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + k])) !=
+          word[k]) {
+        return false;
+      }
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Number(double* out) {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == begin) return false;
+    pos_ += static_cast<size_t>(ptr - begin);
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ( x y, x y, ... )  — returns an open ring (closing duplicate dropped).
+bool ParseRing(Scanner* s, geom::Ring* ring) {
+  if (!s->Consume('(')) return false;
+  do {
+    geom::Point p;
+    if (!s->Number(&p.x) || !s->Number(&p.y)) return false;
+    ring->push_back(p);
+  } while (s->Consume(','));
+  if (!s->Consume(')')) return false;
+  if (ring->size() >= 2 && ring->front() == ring->back()) ring->pop_back();
+  return ring->size() >= 3;
+}
+
+// ( ring, ring, ... ) appended to *poly.
+bool ParseRingList(Scanner* s, geom::Polygon* poly) {
+  if (!s->Consume('(')) return false;
+  do {
+    geom::Ring ring;
+    if (!ParseRing(s, &ring)) return false;
+    poly->AddRing(std::move(ring));
+  } while (s->Consume(','));
+  return s->Consume(')');
+}
+
+}  // namespace
+
+std::optional<geom::Polygon> ParseWkt(std::string_view text) {
+  Scanner s(text);
+  geom::Polygon poly;
+  if (s.ConsumeKeyword("MULTIPOLYGON")) {
+    if (!s.Consume('(')) return std::nullopt;
+    do {
+      if (!ParseRingList(&s, &poly)) return std::nullopt;
+    } while (s.Consume(','));
+    if (!s.Consume(')')) return std::nullopt;
+  } else if (s.ConsumeKeyword("POLYGON")) {
+    if (!ParseRingList(&s, &poly)) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  if (!s.AtEnd()) return std::nullopt;
+  return poly;
+}
+
+std::optional<std::vector<geom::Polygon>> ParseWktCollection(
+    std::string_view text, size_t* error_line) {
+  std::vector<geom::Polygon> out;
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(begin, end - begin);
+    ++line_no;
+    begin = end + 1;
+    // Trim and skip blanks/comments.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) {
+      if (end == text.size()) break;
+      continue;
+    }
+    if (line[first] == '#') continue;
+    std::optional<geom::Polygon> poly = ParseWkt(line.substr(first));
+    if (!poly.has_value()) {
+      if (error_line != nullptr) *error_line = line_no;
+      return std::nullopt;
+    }
+    out.push_back(std::move(*poly));
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+std::string ToWkt(const geom::Polygon& poly) {
+  std::string out;
+  bool multi = poly.rings().size() != 1;
+  out += multi ? "MULTIPOLYGON (" : "POLYGON (";
+  bool first_ring = true;
+  for (const geom::Ring& ring : poly.rings()) {
+    if (!first_ring) out += ", ";
+    first_ring = false;
+    out += multi ? "((" : "(";
+    char buf[64];
+    for (const geom::Point& p : ring) {
+      std::snprintf(buf, sizeof(buf), "%.9g %.9g, ", p.x, p.y);
+      out += buf;
+    }
+    // Close the ring by repeating the first vertex.
+    std::snprintf(buf, sizeof(buf), "%.9g %.9g", ring.front().x,
+                  ring.front().y);
+    out += buf;
+    out += multi ? "))" : ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace actjoin::wl

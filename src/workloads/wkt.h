@@ -1,0 +1,42 @@
+// Minimal WKT (Well-Known Text) polygon I/O.
+//
+// The paper's polygon inputs are real-world datasets (NYC boroughs,
+// neighborhoods, census blocks) that ship as WKT/shapefiles; this reader
+// lets users feed such data to the index without extra dependencies.
+// Supported: POLYGON and MULTIPOLYGON with optional holes, the subset
+// needed for largely disjoint region sets. Coordinates are lng lat (WKT
+// x y order), matching the geometry kernel.
+
+#ifndef ACTJOIN_WORKLOADS_WKT_H_
+#define ACTJOIN_WORKLOADS_WKT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace actjoin::wl {
+
+/// Parses one POLYGON ((...)) or MULTIPOLYGON (((...))) literal. Rings may
+/// repeat the first vertex at the end (standard WKT closure); the duplicate
+/// is dropped. Returns nullopt on malformed input.
+std::optional<geom::Polygon> ParseWkt(std::string_view text);
+
+/// Parses newline-separated WKT polygons, skipping blank lines and lines
+/// starting with '#'. Returns nullopt if any line fails to parse (the
+/// error line index is written to *error_line if provided).
+std::optional<std::vector<geom::Polygon>> ParseWktCollection(
+    std::string_view text, size_t* error_line = nullptr);
+
+/// Formats a polygon as POLYGON/MULTIPOLYGON (closing vertex repeated, 9
+/// significant digits). Single-ring polygons emit POLYGON; everything else
+/// MULTIPOLYGON with one ring per part (holes are not re-associated with
+/// shells — even-odd semantics make the flat form equivalent for point
+/// containment).
+std::string ToWkt(const geom::Polygon& poly);
+
+}  // namespace actjoin::wl
+
+#endif  // ACTJOIN_WORKLOADS_WKT_H_

@@ -1,0 +1,439 @@
+// Tests for the ACT core data model: polygon refs, tagged entries, the
+// lookup table, the super covering builder (Listing 1), and precision
+// refinement (Sec. 3.2).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "act/classifier.h"
+#include "act/lookup_table.h"
+#include "act/polygon_ref.h"
+#include "act/super_covering.h"
+#include "act/tagged_entry.h"
+#include "cover/coverer.h"
+#include "geo/grid.h"
+#include "util/random.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::act {
+namespace {
+
+using actjoin::util::Rng;
+using geo::CellId;
+using geo::Grid;
+
+TEST(PolygonRefTest, EncodeDecodeRoundTrip) {
+  for (uint32_t pid : {0u, 1u, 12345u, kMaxPolygonId}) {
+    for (bool interior : {false, true}) {
+      PolygonRef r{pid, interior};
+      PolygonRef d = PolygonRef::Decode(r.Encode());
+      EXPECT_EQ(d.polygon_id, pid);
+      EXPECT_EQ(d.interior, interior);
+    }
+  }
+}
+
+TEST(PolygonRefTest, MergeAbsorbsBoundaryIntoInterior) {
+  RefList list;
+  MergeRef(&list, {7, false});
+  MergeRef(&list, {7, true});
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list[0].interior);
+
+  RefList list2;
+  MergeRef(&list2, {7, true});
+  MergeRef(&list2, {7, false});
+  ASSERT_EQ(list2.size(), 1u);
+  EXPECT_TRUE(list2[0].interior);
+}
+
+TEST(PolygonRefTest, MergeKeepsDistinctPolygons) {
+  RefList list;
+  MergeRef(&list, {1, false});
+  MergeRef(&list, {2, true});
+  MergeRef(&list, {1, false});
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(HasCandidate(list));
+}
+
+TEST(TaggedEntryTest, Kinds) {
+  EXPECT_EQ(KindOf(kSentinelEntry), EntryKind::kPointer);
+  EXPECT_FALSE(IsValue(kSentinelEntry));
+
+  TaggedEntry one = MakeOneRef({42, true});
+  EXPECT_EQ(KindOf(one), EntryKind::kOneRef);
+  EXPECT_TRUE(IsValue(one));
+  EXPECT_EQ(FirstRefOf(one).polygon_id, 42u);
+  EXPECT_TRUE(FirstRefOf(one).interior);
+
+  TaggedEntry two = MakeTwoRefs({1, false}, {kMaxPolygonId, true});
+  EXPECT_EQ(KindOf(two), EntryKind::kTwoRefs);
+  EXPECT_EQ(FirstRefOf(two).polygon_id, 1u);
+  EXPECT_FALSE(FirstRefOf(two).interior);
+  EXPECT_EQ(SecondRefOf(two).polygon_id, kMaxPolygonId);
+  EXPECT_TRUE(SecondRefOf(two).interior);
+
+  TaggedEntry off = MakeTableOffset(123456);
+  EXPECT_EQ(KindOf(off), EntryKind::kTableOffset);
+  EXPECT_EQ(TableOffsetOf(off), 123456u);
+}
+
+TEST(TaggedEntryTest, PointerRoundTrip) {
+  alignas(8) TaggedEntry node[4] = {};
+  TaggedEntry e = MakePointer(node);
+  EXPECT_EQ(KindOf(e), EntryKind::kPointer);
+  EXPECT_EQ(PointerOf(e), node);
+}
+
+TEST(LookupTableTest, EncodesListsSplitByHitKind) {
+  LookupTableBuilder builder;
+  RefList refs;
+  refs.push_back({5, true});
+  refs.push_back({3, false});
+  refs.push_back({9, true});
+  refs.push_back({1, false});
+  uint32_t off = builder.AddList(refs);
+  LookupTable table = std::move(builder).Build();
+
+  EXPECT_EQ(table.NumTrueHits(off), 2u);
+  EXPECT_EQ(table.NumCandidates(off), 2u);
+  std::vector<std::pair<uint32_t, bool>> seen;
+  table.VisitEntry(off, [&](uint32_t pid, bool true_hit) {
+    seen.emplace_back(pid, true_hit);
+  });
+  // True hits first (sorted), then candidates (sorted).
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], std::make_pair(5u, true));
+  EXPECT_EQ(seen[1], std::make_pair(9u, true));
+  EXPECT_EQ(seen[2], std::make_pair(1u, false));
+  EXPECT_EQ(seen[3], std::make_pair(3u, false));
+}
+
+TEST(LookupTableTest, DeduplicatesIdenticalLists) {
+  LookupTableBuilder builder;
+  RefList a;
+  a.push_back({1, true});
+  a.push_back({2, false});
+  a.push_back({3, false});
+  RefList b;  // same set, different order
+  b.push_back({3, false});
+  b.push_back({1, true});
+  b.push_back({2, false});
+  uint32_t off_a = builder.AddList(a);
+  uint32_t off_b = builder.AddList(b);
+  EXPECT_EQ(off_a, off_b);
+
+  RefList c;
+  c.push_back({1, true});
+  c.push_back({2, false});
+  c.push_back({4, false});
+  EXPECT_NE(builder.AddList(c), off_a);
+}
+
+// ---------------------------------------------------------------------------
+// SuperCoveringBuilder: conflict resolution
+// ---------------------------------------------------------------------------
+
+RefList OneRef(uint32_t pid, bool interior) {
+  RefList l;
+  l.push_back({pid, interior});
+  return l;
+}
+
+TEST(SuperCoveringBuilder, PlainInsertNoConflict) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId c1 = grid.CellAt({40.7, -74.0}, 10);
+  CellId c2 = grid.CellAt({10.0, 50.0}, 12);
+  b.Insert(c1, OneRef(0, false));
+  b.Insert(c2, OneRef(1, true));
+  SuperCovering sc = b.Build();
+  EXPECT_EQ(sc.size(), 2u);
+  EXPECT_TRUE(sc.IsDisjoint());
+}
+
+TEST(SuperCoveringBuilder, DuplicateCellMergesRefs) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId c = grid.CellAt({40.7, -74.0}, 10);
+  b.Insert(c, OneRef(0, false));
+  b.Insert(c, OneRef(1, true));
+  SuperCovering sc = b.Build();
+  ASSERT_EQ(sc.size(), 1u);
+  EXPECT_EQ(sc.refs(0).size(), 2u);
+}
+
+TEST(SuperCoveringBuilder, AncestorConflictPreservesPrecision) {
+  // Insert a small cell, then its ancestor: Fig. 4 resolution must keep the
+  // small cell (with both refs) and split the ancestor into the difference.
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId small = grid.CellAt({40.7, -74.0}, 12);
+  CellId big = small.parent(10);
+  b.Insert(small, OneRef(0, true));
+  b.Insert(big, OneRef(1, false));
+  SuperCovering sc = b.Build();
+  // difference (3 cells per level * 2 levels = 6) + small = 7.
+  EXPECT_EQ(sc.size(), 7u);
+  EXPECT_TRUE(sc.IsDisjoint());
+
+  int64_t idx = sc.FindContaining(small.range_min());
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(sc.cell(idx), small);
+  // The small cell carries both polygons' refs, with its own interior flag
+  // preserved (precision-preserving).
+  const RefList& refs = sc.refs(idx);
+  ASSERT_EQ(refs.size(), 2u);
+  std::map<uint32_t, bool> by_pid;
+  for (const auto& r : refs) by_pid[r.polygon_id] = r.interior;
+  EXPECT_TRUE(by_pid.at(0));
+  EXPECT_FALSE(by_pid.at(1));
+
+  // Difference cells carry only the ancestor's polygon.
+  CellId probe = big.child(3);  // some area of big away from small
+  if (!probe.contains(small) && probe != small) {
+    int64_t d_idx = sc.FindContaining(probe.range_min());
+    ASSERT_GE(d_idx, 0);
+    const RefList& d_refs = sc.refs(d_idx);
+    for (const auto& r : d_refs) EXPECT_EQ(r.polygon_id, 1u);
+  }
+}
+
+TEST(SuperCoveringBuilder, DescendantConflictReversedOrder) {
+  // Insert the ancestor first, then the descendant: same outcome.
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId small = grid.CellAt({40.7, -74.0}, 12);
+  CellId big = small.parent(10);
+  b.Insert(big, OneRef(1, false));
+  b.Insert(small, OneRef(0, true));
+  SuperCovering sc = b.Build();
+  EXPECT_EQ(sc.size(), 7u);
+  EXPECT_TRUE(sc.IsDisjoint());
+  int64_t idx = sc.FindContaining(small.range_min());
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(sc.cell(idx), small);
+  EXPECT_EQ(sc.refs(idx).size(), 2u);
+}
+
+TEST(SuperCoveringBuilder, MultiDescendantConflict) {
+  // A big cell inserted over two existing small cells in different
+  // children: the generalized resolution the paper's listing implies.
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId big = grid.CellAt({40.7, -74.0}, 8);
+  CellId s1 = big.child(0).child(1);
+  CellId s2 = big.child(2).child(3);
+  b.Insert(s1, OneRef(0, true));
+  b.Insert(s2, OneRef(1, true));
+  b.Insert(big, OneRef(2, false));
+  SuperCovering sc = b.Build();
+  EXPECT_TRUE(sc.IsDisjoint());
+
+  // s1 keeps its refs plus polygon 2.
+  int64_t i1 = sc.FindContaining(s1.range_min());
+  ASSERT_GE(i1, 0);
+  EXPECT_EQ(sc.cell(i1), s1);
+  EXPECT_EQ(sc.refs(i1).size(), 2u);
+
+  // Every leaf inside big must resolve to a cell referencing polygon 2.
+  Rng rng(3);
+  for (int s = 0; s < 200; ++s) {
+    uint64_t leaf_id =
+        big.range_min().id() +
+        rng.UniformInt(big.range_max().id() - big.range_min().id() + 1);
+    // Snap to a valid leaf id (even ids are not leaves).
+    leaf_id |= 1;
+    int64_t idx = sc.FindContaining(CellId(leaf_id));
+    ASSERT_GE(idx, 0);
+    bool has_p2 = false;
+    for (const auto& r : sc.refs(idx)) has_p2 |= r.polygon_id == 2;
+    ASSERT_TRUE(has_p2);
+  }
+}
+
+TEST(SuperCoveringBuilder, InteriorAbsorbsBoundarySamePolygon) {
+  // Covering cell of polygon 0 contains an interior cell of polygon 0: the
+  // contained area must end up flagged interior, the ring around boundary.
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId boundary_cell = grid.CellAt({40.7, -74.0}, 10);
+  CellId interior_cell = boundary_cell.child(1).child(2);
+  b.Insert(boundary_cell, OneRef(0, false));
+  b.Insert(interior_cell, OneRef(0, true));
+  SuperCovering sc = b.Build();
+  EXPECT_TRUE(sc.IsDisjoint());
+  int64_t idx = sc.FindContaining(interior_cell.range_min());
+  ASSERT_GE(idx, 0);
+  ASSERT_EQ(sc.refs(idx).size(), 1u);
+  EXPECT_TRUE(sc.refs(idx)[0].interior);
+  // A difference cell stays boundary.
+  int64_t d_idx = sc.FindContaining(boundary_cell.child(0).range_min());
+  ASSERT_GE(d_idx, 0);
+  EXPECT_FALSE(sc.refs(d_idx)[0].interior);
+}
+
+// Property: the merged covering preserves exactly the per-polygon cell
+// information of the individual coverings.
+TEST(SuperCoveringBuilder, PreservesPerPolygonClaims) {
+  Grid grid;
+  Rng rng(5150);
+  // Random cells for 6 polygons, many conflicts.
+  std::vector<std::vector<std::pair<CellId, bool>>> claims(6);
+  SuperCoveringBuilder b;
+  for (int pid = 0; pid < 6; ++pid) {
+    for (int k = 0; k < 30; ++k) {
+      geo::LatLng p{rng.Uniform(40.5, 40.9), rng.Uniform(-74.2, -73.8)};
+      int level = 8 + static_cast<int>(rng.UniformInt(8));
+      CellId c = grid.CellAt(p, level);
+      bool interior = rng.NextDouble() < 0.4;
+      claims[pid].emplace_back(c, interior);
+      b.Insert(c, OneRef(pid, interior));
+    }
+  }
+  SuperCovering sc = b.Build();
+  ASSERT_TRUE(sc.IsDisjoint());
+
+  // For random probe leaves: polygon pid must be referenced iff some claim
+  // cell of pid contains the leaf; flag must be interior iff some interior
+  // claim contains it.
+  for (int s = 0; s < 2000; ++s) {
+    geo::LatLng p{rng.Uniform(40.4, 41.0), rng.Uniform(-74.3, -73.7)};
+    CellId leaf = grid.CellAt(p);
+    std::map<uint32_t, bool> expected;  // pid -> interior
+    for (uint32_t pid = 0; pid < 6; ++pid) {
+      for (const auto& [cell, interior] : claims[pid]) {
+        if (cell.contains(leaf)) {
+          auto [it, inserted] = expected.emplace(pid, interior);
+          if (!inserted) it->second = it->second || interior;
+        }
+      }
+    }
+    int64_t idx = sc.FindContaining(leaf);
+    std::map<uint32_t, bool> actual;
+    if (idx >= 0) {
+      for (const auto& r : sc.refs(idx)) actual[r.polygon_id] = r.interior;
+    }
+    ASSERT_EQ(actual, expected) << "probe " << leaf.ToString();
+  }
+}
+
+TEST(SuperCovering, FindContainingMissesOutside) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  b.Insert(grid.CellAt({40.7, -74.0}, 10), OneRef(0, true));
+  SuperCovering sc = b.Build();
+  EXPECT_EQ(sc.FindContaining(grid.CellAt({0.0, 0.0})), -1);
+  EXPECT_EQ(sc.CountExpensiveCells(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Precision refinement
+// ---------------------------------------------------------------------------
+
+TEST(RefineToPrecision, BoundaryCellsMeetBound) {
+  Grid grid;
+  wl::PartitionSpec spec;
+  spec.mbr = geom::Rect::Of(-74.05, 40.6, -73.95, 40.75);
+  spec.nx = spec.ny = 3;
+  spec.edge_depth = 2;
+  spec.seed = 77;
+  auto polys = wl::JitteredPartition(spec);
+  PolygonClassifier classifier(polys, grid);
+
+  SuperCoveringBuilder b;
+  cover::CovererOptions copts{64, 30, 0};
+  cover::CovererOptions iopts{128, 16, 0};
+  for (uint32_t pid = 0; pid < polys.size(); ++pid) {
+    cover::Coverer coverer(classifier.edge_grid(pid), grid);
+    b.AddCovering(coverer.Covering(copts), pid, false);
+    b.AddCovering(coverer.InteriorCovering(iopts), pid, true);
+  }
+  SuperCovering coarse = b.Build();
+
+  size_t prev_size = 0;
+  for (double bound : {500.0, 120.0, 30.0}) {
+    SuperCovering fine = RefineToPrecision(coarse, bound, grid, classifier);
+    ASSERT_TRUE(fine.IsDisjoint());
+    // Tighter bounds need more cells (note: refinement may also *shrink* a
+    // coarse covering by pruning inherited references that do not actually
+    // touch their cell, so only the relative ordering is asserted).
+    EXPECT_GT(fine.size(), prev_size);
+    prev_size = fine.size();
+    for (size_t i = 0; i < fine.size(); ++i) {
+      const RefList& refs = fine.refs(i);
+      if (HasCandidate(refs)) {
+        ASSERT_LE(grid.CellDiagonalMeters(fine.cell(i)), bound)
+            << fine.cell(i).ToString();
+      }
+      // Every boundary ref must genuinely touch its cell — the invariant
+      // behind the approximate join's distance guarantee.
+      geo::LatLngRect r = grid.CellRect(fine.cell(i));
+      geom::Rect rect = geom::Rect::Of(r.lng_lo, r.lat_lo, r.lng_hi, r.lat_hi);
+      for (const PolygonRef& ref : refs) {
+        ASSERT_NE(geom::Classify(polys[ref.polygon_id], rect),
+                  geom::RegionRelation::kDisjoint);
+      }
+    }
+  }
+}
+
+TEST(RefineToPrecision, InteriorOnlyCellsUntouched) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId big = grid.CellAt({40.7, -74.0}, 6);  // huge cell, large diagonal
+  b.Insert(big, OneRef(0, true));
+  SuperCovering sc = b.Build();
+  // No classifier calls should happen; pass a classifier over an empty-ish
+  // polygon set won't be consulted for interior refs. Use a real polygon to
+  // be safe.
+  std::vector<geom::Polygon> polys;
+  polys.push_back(geom::Polygon({{-75, 40}, {-73, 40}, {-73, 41}, {-75, 41}}));
+  PolygonClassifier classifier(polys, grid);
+  SuperCovering refined = RefineToPrecision(sc, 4.0, grid, classifier);
+  ASSERT_EQ(refined.size(), 1u);
+  EXPECT_EQ(refined.cell(0), big);
+}
+
+TEST(Encode, InlinesUpToTwoRefs) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  b.Insert(grid.CellAt({40.7, -74.0}, 10), OneRef(3, true));
+  CellId c2 = grid.CellAt({10.0, 10.0}, 10);
+  RefList two;
+  two.push_back({1, false});
+  two.push_back({2, true});
+  b.Insert(c2, two);
+  CellId c3 = grid.CellAt({-30.0, 100.0}, 10);
+  RefList three;
+  three.push_back({1, false});
+  three.push_back({2, true});
+  three.push_back({3, true});
+  b.Insert(c3, three);
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  ASSERT_EQ(enc.cells.size(), 3u);
+
+  std::map<uint64_t, TaggedEntry> by_id;
+  for (const auto& [cell, entry] : enc.cells) by_id[cell.id()] = entry;
+  EXPECT_EQ(KindOf(by_id.at(grid.CellAt({40.7, -74.0}, 10).id())),
+            EntryKind::kOneRef);
+  EXPECT_EQ(KindOf(by_id.at(c2.id())), EntryKind::kTwoRefs);
+  EXPECT_EQ(KindOf(by_id.at(c3.id())), EntryKind::kTableOffset);
+  EXPECT_FALSE(enc.table.empty());
+}
+
+TEST(Encode, NoInlineForcesTable) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  b.Insert(grid.CellAt({40.7, -74.0}, 10), OneRef(3, true));
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc, /*inline_refs=*/false);
+  EXPECT_EQ(KindOf(enc.cells[0].second), EntryKind::kTableOffset);
+}
+
+}  // namespace
+}  // namespace actjoin::act

@@ -1,0 +1,326 @@
+// Tests for the Adaptive Cell Trie: probe correctness against the
+// super-covering reference probe across all fanouts, key extension, root
+// prefix handling, multi-face trees, and structural stats.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "act/act.h"
+#include "act/classifier.h"
+#include "act/pipeline.h"
+#include "act/super_covering.h"
+#include "geo/grid.h"
+#include "util/random.h"
+#include "workloads/datasets.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::act {
+namespace {
+
+using actjoin::util::Rng;
+using geo::CellId;
+using geo::Grid;
+
+RefList OneRef(uint32_t pid, bool interior) {
+  RefList l;
+  l.push_back({pid, interior});
+  return l;
+}
+
+// Decodes an entry's refs into a normalized form for comparison.
+std::vector<std::pair<uint32_t, bool>> DecodeRefs(TaggedEntry e,
+                                                  const LookupTable& table) {
+  std::vector<std::pair<uint32_t, bool>> out;
+  if (e == kSentinelEntry) return out;
+  switch (KindOf(e)) {
+    case EntryKind::kOneRef: {
+      PolygonRef r = FirstRefOf(e);
+      out.emplace_back(r.polygon_id, r.interior);
+      break;
+    }
+    case EntryKind::kTwoRefs: {
+      PolygonRef a = FirstRefOf(e);
+      PolygonRef b = SecondRefOf(e);
+      out.emplace_back(a.polygon_id, a.interior);
+      out.emplace_back(b.polygon_id, b.interior);
+      break;
+    }
+    case EntryKind::kTableOffset:
+      table.VisitEntry(TableOffsetOf(e), [&](uint32_t pid, bool th) {
+        out.emplace_back(pid, th);
+      });
+      break;
+    case EntryKind::kPointer:
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint32_t, bool>> ReferenceRefs(const SuperCovering& sc,
+                                                     const CellId& leaf) {
+  std::vector<std::pair<uint32_t, bool>> out;
+  int64_t idx = sc.FindContaining(leaf);
+  if (idx < 0) return out;
+  for (const auto& r : sc.refs(idx)) {
+    out.emplace_back(r.polygon_id, r.interior);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class TrieFanoutTest : public ::testing::TestWithParam<int> {};
+
+// 2/4/8 bits = the paper's ACT1/ACT2/ACT4; the odd widths exercise the
+// ragged key-extension path (60 path bits not divisible by the width).
+INSTANTIATE_TEST_SUITE_P(Fanouts, TrieFanoutTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST_P(TrieFanoutTest, ProbeMatchesReferenceOnRandomCells) {
+  Grid grid;
+  Rng rng(2024);
+  SuperCoveringBuilder b;
+  // Random cells at many levels, including conflicts.
+  for (int k = 0; k < 500; ++k) {
+    geo::LatLng p{rng.Uniform(40.4, 41.0), rng.Uniform(-74.3, -73.7)};
+    int level = 3 + static_cast<int>(rng.UniformInt(25));
+    b.Insert(grid.CellAt(p, level),
+             OneRef(static_cast<uint32_t>(rng.UniformInt(20)),
+                    rng.NextDouble() < 0.5));
+  }
+  SuperCovering sc = b.Build();
+  ASSERT_TRUE(sc.IsDisjoint());
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie trie(enc, {.bits_per_level = GetParam()});
+
+  for (int s = 0; s < 5000; ++s) {
+    geo::LatLng p{rng.Uniform(40.3, 41.1), rng.Uniform(-74.4, -73.6)};
+    CellId leaf = grid.CellAt(p);
+    ASSERT_EQ(DecodeRefs(trie.Probe(leaf.id()), enc.table),
+              ReferenceRefs(sc, leaf))
+        << "leaf " << leaf.ToString();
+  }
+}
+
+TEST_P(TrieFanoutTest, AllIndexedLevelsProbeCorrectly) {
+  // One disjoint cell per level 0..30, exercising key extension at every
+  // alignment: level 0 gets its own face; levels 1..30 form a staircase on
+  // face 1 (cell at level l is child(1) of the level-(l-1) spine node, the
+  // spine continues through child(0)).
+  Grid grid;
+  SuperCoveringBuilder b;
+  std::vector<CellId> cells;
+  cells.push_back(CellId::FromFace(0));
+  CellId spine = CellId::FromFace(1);
+  for (int level = 1; level <= 30; ++level) {
+    cells.push_back(spine.child(1));
+    if (level < 30) spine = spine.child(0);
+  }
+  for (int level = 0; level <= 30; ++level) {
+    ASSERT_EQ(cells[level].level(), level);
+    b.Insert(cells[level],
+             OneRef(static_cast<uint32_t>(level), level % 2 == 0));
+  }
+  SuperCovering sc = b.Build();
+  ASSERT_EQ(sc.size(), 31u);  // no conflicts by construction
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie trie(enc, {.bits_per_level = GetParam()});
+
+  Rng rng(1);
+  for (int level = 0; level <= 30; ++level) {
+    const CellId& c = cells[level];
+    // Probe several leaves inside the cell.
+    for (int s = 0; s < 30; ++s) {
+      uint64_t span = c.range_max().id() - c.range_min().id();
+      uint64_t leaf_id =
+          c.range_min().id() + (span == 0 ? 0 : rng.UniformInt(span + 1));
+      leaf_id |= 1;
+      TaggedEntry e = trie.Probe(leaf_id);
+      ASSERT_NE(e, kSentinelEntry) << "level " << level;
+      ASSERT_EQ(FirstRefOf(e).polygon_id, static_cast<uint32_t>(level));
+    }
+    // And just outside.
+    CellId neighbor = c.next();
+    if (neighbor.is_valid() && sc.FindContaining(neighbor.range_min()) < 0) {
+      EXPECT_EQ(trie.Probe(neighbor.range_min().id() | 1), kSentinelEntry);
+    }
+  }
+}
+
+TEST_P(TrieFanoutTest, RootPrefixOnOffEquivalent) {
+  Grid grid;
+  Rng rng(31337);
+  SuperCoveringBuilder b;
+  // A tightly clustered covering: long shared prefix.
+  for (int k = 0; k < 200; ++k) {
+    geo::LatLng p{rng.Uniform(40.70, 40.71), rng.Uniform(-74.01, -74.00)};
+    b.Insert(grid.CellAt(p, 18 + static_cast<int>(rng.UniformInt(10))),
+             OneRef(static_cast<uint32_t>(k % 7), k % 3 == 0));
+  }
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie with(enc, {.bits_per_level = GetParam(),
+                              .use_root_prefix = true});
+  AdaptiveCellTrie without(enc, {.bits_per_level = GetParam(),
+                                 .use_root_prefix = false});
+  EXPECT_LT(with.stats().node_count, without.stats().node_count);
+  for (int s = 0; s < 3000; ++s) {
+    geo::LatLng p{rng.Uniform(40.69, 40.72), rng.Uniform(-74.02, -73.99)};
+    uint64_t leaf = grid.CellAt(p).id();
+    ASSERT_EQ(DecodeRefs(with.Probe(leaf), enc.table),
+              DecodeRefs(without.Probe(leaf), enc.table));
+  }
+}
+
+TEST(Trie, EmptyishSingleCellFace) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  CellId only = grid.CellAt({40.7, -74.0}, 14);
+  b.Insert(only, OneRef(9, true));
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  for (int bits : {2, 4, 8}) {
+    AdaptiveCellTrie trie(enc, {.bits_per_level = bits});
+    // With root prefix the whole key collapses: probe inside hits...
+    EXPECT_NE(trie.Probe(only.range_min().id() | 1), kSentinelEntry);
+    EXPECT_NE(trie.Probe(only.range_max().id()), kSentinelEntry);
+    // ...and probes outside miss (different prefix or sentinel).
+    EXPECT_EQ(trie.Probe(grid.CellAt({0.0, 0.0}).id()), kSentinelEntry);
+    EXPECT_EQ(trie.Probe(only.next().range_min().id() | 1), kSentinelEntry);
+  }
+}
+
+TEST(Trie, FaceLevelCellValueAtRoot) {
+  SuperCoveringBuilder b;
+  b.Insert(CellId::FromFace(2), OneRef(5, true));
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie trie(enc, {.bits_per_level = 8});
+  Grid grid;
+  // Anything on face 2 (south, lng in [60, 180)) hits with depth 0; other
+  // faces miss.
+  int depth = -1;
+  TaggedEntry e = trie.ProbeCounting(grid.CellAt({-10, 100.0}).id(), &depth);
+  ASSERT_NE(e, kSentinelEntry);
+  EXPECT_EQ(FirstRefOf(e).polygon_id, 5u);
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(trie.Probe(grid.CellAt({10, 100.0}).id()), kSentinelEntry);
+}
+
+TEST(Trie, MultiFaceCovering) {
+  Grid grid;
+  SuperCoveringBuilder b;
+  // Cells on several faces (south 0..2, north 3..5).
+  b.Insert(grid.CellAt({-10.0, -150.0}, 8), OneRef(0, true));  // face 0
+  b.Insert(grid.CellAt({10.0, -90.0}, 8), OneRef(1, true));    // face 3
+  b.Insert(grid.CellAt({10.0, 150.0}, 8), OneRef(5, false));   // face 5
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie trie(enc, {.bits_per_level = 8});
+  EXPECT_EQ(FirstRefOf(trie.Probe(grid.CellAt({-10.0, -150.0}).id()))
+                .polygon_id, 0u);
+  EXPECT_EQ(FirstRefOf(trie.Probe(grid.CellAt({10.0, -90.0}).id()))
+                .polygon_id, 1u);
+  EXPECT_EQ(FirstRefOf(trie.Probe(grid.CellAt({10.0, 150.0}).id()))
+                .polygon_id, 5u);
+  EXPECT_EQ(trie.Probe(grid.CellAt({-10.0, 30.0}).id()), kSentinelEntry);
+}
+
+TEST(Trie, DepthBoundsMatchFanout) {
+  // ACT4: ceil(60/8) = 8 node accesses max; ACT2: 15; ACT1: 30.
+  Grid grid;
+  Rng rng(5);
+  SuperCoveringBuilder b;
+  for (int k = 0; k < 300; ++k) {
+    geo::LatLng p{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+    b.Insert(grid.CellAt(p, 20 + static_cast<int>(rng.UniformInt(11))),
+             OneRef(1, true));
+  }
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  struct Bound {
+    int bits;
+    int max_depth;
+  };
+  for (Bound bound : {Bound{2, 30}, Bound{4, 15}, Bound{8, 8}}) {
+    AdaptiveCellTrie trie(enc, {.bits_per_level = bound.bits,
+                                .use_root_prefix = false});
+    EXPECT_LE(trie.stats().max_depth, bound.max_depth);
+    for (int s = 0; s < 500; ++s) {
+      geo::LatLng p{rng.Uniform(-85, 85), rng.Uniform(-179, 179)};
+      int depth = 0;
+      trie.ProbeCounting(grid.CellAt(p).id(), &depth);
+      ASSERT_LE(depth, bound.max_depth);
+    }
+  }
+}
+
+TEST(Trie, StatsAreConsistent) {
+  Grid grid;
+  Rng rng(6);
+  SuperCoveringBuilder b;
+  for (int k = 0; k < 400; ++k) {
+    geo::LatLng p{rng.Uniform(40.4, 41.0), rng.Uniform(-74.3, -73.7)};
+    b.Insert(grid.CellAt(p, 10 + static_cast<int>(rng.UniformInt(10))),
+             OneRef(static_cast<uint32_t>(k % 11), k % 2 == 0));
+  }
+  SuperCovering sc = b.Build();
+  EncodedCovering enc = Encode(sc);
+  AdaptiveCellTrie trie(enc, {.bits_per_level = 8});
+  const ActStats& st = trie.stats();
+  EXPECT_GT(st.node_count, 0u);
+  EXPECT_EQ(st.memory_bytes, st.node_count * 256 * 8);
+  EXPECT_GT(st.value_slots, 0u);
+  EXPECT_GE(st.avg_value_depth, 1.0);
+  EXPECT_LE(st.avg_value_depth, st.max_depth);
+  // Occupancy fractions are valid probabilities.
+  for (double occ : st.occupancy_by_depth) {
+    EXPECT_GE(occ, 0.0);
+    EXPECT_LE(occ, 1.0);
+  }
+  // Higher fanout => fewer, larger nodes.
+  AdaptiveCellTrie narrow(enc, {.bits_per_level = 2});
+  EXPECT_GT(narrow.stats().node_count, st.node_count);
+}
+
+TEST(Trie, EndToEndPipelineProbesMatchReference) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);  // ~25 polygons
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  const SuperCovering& sc = index.covering();
+  ASSERT_TRUE(sc.IsDisjoint());
+
+  Rng rng(7);
+  for (int s = 0; s < 4000; ++s) {
+    geo::LatLng p{rng.Uniform(40.45, 40.95), rng.Uniform(-74.3, -73.65)};
+    CellId leaf = grid.CellAt(p);
+    ASSERT_EQ(DecodeRefs(index.trie().Probe(leaf.id()),
+                         index.encoded().table),
+              ReferenceRefs(sc, leaf));
+  }
+}
+
+TEST(Trie, PrecisionBoundPipeline) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  BuildOptions opts;
+  opts.threads = 1;
+  opts.precision_bound_m = 100.0;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  for (size_t i = 0; i < index.covering().size(); ++i) {
+    if (HasCandidate(index.covering().refs(i))) {
+      ASSERT_LE(grid.CellDiagonalMeters(index.covering().cell(i)), 100.0);
+    }
+  }
+  EXPECT_GT(index.timings().refine_s, 0.0);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace actjoin::act

@@ -1,0 +1,311 @@
+// Tests for cell unions (normalize / difference) and the region coverer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cover/cell_union.h"
+#include "cover/coverer.h"
+#include "geo/grid.h"
+#include "geometry/pip.h"
+#include "util/random.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::cover {
+namespace {
+
+using actjoin::util::Rng;
+using actjoin::wl::RandomStarPolygon;
+using geo::CellId;
+using geo::Grid;
+using geo::LatLng;
+
+bool AreDisjointSorted(const std::vector<CellId>& cells) {
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i].range_min() <= cells[i - 1].range_max()) return false;
+  }
+  return true;
+}
+
+TEST(Normalize, RemovesDuplicatesAndContained) {
+  Grid grid;
+  CellId big = grid.CellAt({40.7, -74.0}, 8);
+  CellId small = grid.CellAt({40.7, -74.0}, 15);
+  CellId other = grid.CellAt({10.0, 30.0}, 12);
+  std::vector<CellId> cells{small, big, other, big, small};
+  Normalize(&cells);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+  EXPECT_TRUE(AreDisjointSorted(cells));
+  EXPECT_NE(std::find(cells.begin(), cells.end(), big), cells.end());
+}
+
+TEST(Normalize, MergesCompleteSiblingGroups) {
+  Grid grid;
+  CellId parent = grid.CellAt({40.7, -74.0}, 9);
+  std::vector<CellId> cells;
+  for (int k = 0; k < 4; ++k) cells.push_back(parent.child(k));
+  Normalize(&cells, /*merge_siblings=*/true);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], parent);
+}
+
+TEST(Normalize, MergesRecursively) {
+  Grid grid;
+  CellId parent = grid.CellAt({40.7, -74.0}, 9);
+  std::vector<CellId> cells;
+  // Children 1..3 plus all four children of child 0: merges to parent.
+  for (int k = 1; k < 4; ++k) cells.push_back(parent.child(k));
+  for (int k = 0; k < 4; ++k) cells.push_back(parent.child(0).child(k));
+  Normalize(&cells, /*merge_siblings=*/true);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], parent);
+}
+
+TEST(Normalize, NoMergeWithoutFlag) {
+  Grid grid;
+  CellId parent = grid.CellAt({40.7, -74.0}, 9);
+  std::vector<CellId> cells;
+  for (int k = 0; k < 4; ++k) cells.push_back(parent.child(k));
+  Normalize(&cells, /*merge_siblings=*/false);
+  EXPECT_EQ(cells.size(), 4u);
+}
+
+TEST(NormalizedContains, FindsAncestors) {
+  Grid grid;
+  CellId a = grid.CellAt({40.7, -74.0}, 10);
+  CellId b = grid.CellAt({-20.0, 100.0}, 14);
+  std::vector<CellId> cells{a, b};
+  Normalize(&cells);
+  EXPECT_TRUE(NormalizedContains(cells, grid.CellAt({40.7, -74.0}, 30)));
+  EXPECT_TRUE(NormalizedContains(cells, a));
+  EXPECT_TRUE(NormalizedContains(cells, grid.CellAt({-20.0, 100.0}, 20)));
+  EXPECT_FALSE(NormalizedContains(cells, grid.CellAt({0.0, 0.0}, 25)));
+}
+
+TEST(CellDifference, CountIsThreePerLevel) {
+  Grid grid;
+  for (int delta = 1; delta <= 6; ++delta) {
+    CellId c1 = grid.CellAt({40.7, -74.0}, 10);
+    CellId c2 = grid.CellAt({40.7, -74.0}, 10 + delta);
+    std::vector<CellId> d;
+    CellDifference(c1, c2, &d);
+    EXPECT_EQ(d.size(), static_cast<size_t>(3 * delta));
+  }
+}
+
+TEST(CellDifference, UnionReassemblesAncestor) {
+  Grid grid;
+  Rng rng(17);
+  for (int iter = 0; iter < 200; ++iter) {
+    LatLng p{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+    int l1 = static_cast<int>(rng.UniformInt(25));
+    int l2 = l1 + 1 + static_cast<int>(rng.UniformInt(5));
+    CellId c1 = grid.CellAt(p, l1);
+    CellId c2 = grid.CellAt(p, l2);
+    std::vector<CellId> parts;
+    CellDifference(c1, c2, &parts);
+    parts.push_back(c2);
+    // Disjoint and union == c1: sorted ranges must tile c1's range exactly.
+    std::sort(parts.begin(), parts.end());
+    ASSERT_TRUE(AreDisjointSorted(parts));
+    ASSERT_EQ(parts.front().range_min(), c1.range_min());
+    ASSERT_EQ(parts.back().range_max(), c1.range_max());
+    for (size_t k = 1; k < parts.size(); ++k) {
+      // Leaf ids are odd; consecutive ranges are 2 apart in id space.
+      ASSERT_EQ(parts[k].range_min().id(),
+                parts[k - 1].range_max().id() + 2);
+    }
+  }
+}
+
+TEST(CellDifferenceMulti, MultipleHoles) {
+  Grid grid;
+  CellId c = grid.CellAt({40.7, -74.0}, 8);
+  // Two grandchildren in different children.
+  CellId h1 = c.child(0).child(1);
+  CellId h2 = c.child(3).child(2);
+  std::vector<CellId> holes{h1, h2};
+  std::sort(holes.begin(), holes.end());
+  std::vector<CellId> parts;
+  CellDifferenceMulti(c, holes, &parts);
+  // Tiles c minus holes: parts + holes must tile c's range.
+  for (const CellId& h : holes) parts.push_back(h);
+  std::sort(parts.begin(), parts.end());
+  ASSERT_TRUE(AreDisjointSorted(parts));
+  ASSERT_EQ(parts.front().range_min(), c.range_min());
+  ASSERT_EQ(parts.back().range_max(), c.range_max());
+  for (size_t k = 1; k < parts.size(); ++k) {
+    ASSERT_EQ(parts[k].range_min().id(), parts[k - 1].range_max().id() + 2);
+  }
+}
+
+TEST(CellDifferenceMulti, NoHolesYieldsSelf) {
+  Grid grid;
+  CellId c = grid.CellAt({40.7, -74.0}, 12);
+  std::vector<CellId> parts;
+  CellDifferenceMulti(c, {}, &parts);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], c);
+}
+
+// ---------------------------------------------------------------------------
+// Coverer properties
+// ---------------------------------------------------------------------------
+
+class CovererPropertyTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CovererPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(CovererPropertyTest, CoveringContainsPolygonPoints) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 16, GetParam());
+  Coverer coverer(poly, grid);
+  auto covering = coverer.Covering({128, 30, 0});
+  ASSERT_FALSE(covering.empty());
+  ASSERT_LE(covering.size(), 128u);
+  ASSERT_TRUE(AreDisjointSorted(covering));
+
+  // Every point of the polygon must fall in some covering cell.
+  Rng rng(GetParam() * 100);
+  const geom::Rect& mbr = poly.mbr();
+  for (int s = 0; s < 1000; ++s) {
+    geom::Point q{rng.Uniform(mbr.lo.x, mbr.hi.x),
+                  rng.Uniform(mbr.lo.y, mbr.hi.y)};
+    if (!geom::ContainsPoint(poly, q)) continue;
+    CellId leaf = grid.CellAt({q.y, q.x});
+    ASSERT_TRUE(NormalizedContains(covering, leaf))
+        << "point (" << q.x << "," << q.y << ") escaped the covering";
+  }
+}
+
+TEST_P(CovererPropertyTest, InteriorCoveringInsidePolygon) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 16, GetParam());
+  Coverer coverer(poly, grid);
+  auto interior = coverer.InteriorCovering({256, 20, 0});
+  ASSERT_TRUE(AreDisjointSorted(interior));
+  ASSERT_LE(interior.size(), 256u);
+
+  Rng rng(GetParam() * 200);
+  for (const CellId& cell : interior) {
+    geo::LatLngRect r = grid.CellRect(cell);
+    for (int s = 0; s < 20; ++s) {
+      geom::Point q{rng.Uniform(r.lng_lo, r.lng_hi),
+                    rng.Uniform(r.lat_lo, r.lat_hi)};
+      ASSERT_TRUE(geom::ContainsPoint(poly, q))
+          << "interior cell " << cell.ToString() << " leaks outside";
+    }
+  }
+}
+
+TEST_P(CovererPropertyTest, InteriorIsSubsetOfCoveringArea) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 16, GetParam());
+  Coverer coverer(poly, grid);
+  auto covering = coverer.Covering({128, 30, 0});
+  auto interior = coverer.InteriorCovering({256, 20, 0});
+  for (const CellId& cell : interior) {
+    // Sample leaves of the interior cell: all must be in the covering.
+    ASSERT_TRUE(NormalizedContains(covering, cell.range_min()));
+    ASSERT_TRUE(NormalizedContains(covering, cell.range_max()));
+  }
+}
+
+TEST(Coverer, RespectsMaxLevel) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.05, 10, 42);
+  Coverer coverer(poly, grid);
+  for (int max_level : {8, 12, 16}) {
+    auto covering = coverer.Covering({256, max_level, 0});
+    for (const CellId& c : covering) {
+      ASSERT_LE(c.level(), max_level);
+    }
+  }
+}
+
+TEST(Coverer, RespectsMinLevel) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.05, 10, 43);
+  Coverer coverer(poly, grid);
+  auto covering = coverer.Covering({512, 30, 10});
+  for (const CellId& c : covering) {
+    ASSERT_GE(c.level(), 10);
+  }
+}
+
+TEST(Coverer, MoreCellsMeansTighterApproximation) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 16, 44);
+  Coverer coverer(poly, grid);
+  double poly_area_deg = poly.Area();
+  double prev_area = 1e100;
+  for (int max_cells : {8, 32, 128, 512}) {
+    auto covering = coverer.Covering({max_cells, 30, 0});
+    double area = 0;
+    for (const CellId& c : covering) {
+      geo::LatLngRect r = grid.CellRect(c);
+      area += r.WidthDeg() * r.HeightDeg();
+    }
+    EXPECT_LE(area, prev_area * 1.001);
+    EXPECT_GE(area, poly_area_deg * 0.999);
+    prev_area = area;
+  }
+}
+
+TEST(Coverer, ClassifyMatchesGeometry) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 12, 45);
+  Coverer coverer(poly, grid);
+  Rng rng(46);
+  for (int iter = 0; iter < 300; ++iter) {
+    LatLng p{rng.Uniform(40.5, 40.9), rng.Uniform(-74.2, -73.8)};
+    CellId cell = grid.CellAt(p, 8 + static_cast<int>(rng.UniformInt(12)));
+    geo::LatLngRect r = grid.CellRect(cell);
+    geom::Rect rect = geom::Rect::Of(r.lng_lo, r.lat_lo, r.lng_hi, r.lat_hi);
+    ASSERT_EQ(coverer.Classify(cell), geom::Classify(poly, rect));
+  }
+}
+
+TEST(Coverer, TinyBudgetStillCovers) {
+  Grid grid;
+  geom::Polygon poly = RandomStarPolygon({-74.0, 40.7}, 0.08, 16, 47);
+  Coverer coverer(poly, grid);
+  auto covering = coverer.Covering({4, 30, 0});
+  ASSERT_FALSE(covering.empty());
+  ASSERT_LE(covering.size(), 4u);
+  Rng rng(48);
+  const geom::Rect& mbr = poly.mbr();
+  for (int s = 0; s < 300; ++s) {
+    geom::Point q{rng.Uniform(mbr.lo.x, mbr.hi.x),
+                  rng.Uniform(mbr.lo.y, mbr.hi.y)};
+    if (!geom::ContainsPoint(poly, q)) continue;
+    ASSERT_TRUE(NormalizedContains(covering, grid.CellAt({q.y, q.x})));
+  }
+}
+
+TEST(Coverer, MultiFacePolygonCovered) {
+  // A polygon straddling the face boundary at lng = -60 (north).
+  Grid grid;
+  geom::Polygon poly({{-61, 10}, {-59, 10}, {-59, 12}, {-61, 12}});
+  Coverer coverer(poly, grid);
+  auto covering = coverer.Covering({64, 30, 0});
+  ASSERT_FALSE(covering.empty());
+  bool face3 = false, face4 = false;
+  for (const CellId& c : covering) {
+    face3 |= c.face() == 3;
+    face4 |= c.face() == 4;
+  }
+  EXPECT_TRUE(face3);
+  EXPECT_TRUE(face4);
+  Rng rng(49);
+  for (int s = 0; s < 500; ++s) {
+    geom::Point q{rng.Uniform(-61, -59), rng.Uniform(10, 12)};
+    ASSERT_TRUE(NormalizedContains(covering, grid.CellAt({q.y, q.x})));
+  }
+}
+
+}  // namespace
+}  // namespace actjoin::cover

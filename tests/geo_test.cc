@@ -1,0 +1,376 @@
+// Unit and property tests for the geo subsystem: space-filling curves,
+// cell-id algebra, and the grid projection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/cell_id.h"
+#include "geo/curve.h"
+#include "geo/grid.h"
+#include "geo/latlng.h"
+#include "util/random.h"
+
+namespace actjoin::geo {
+namespace {
+
+using actjoin::util::Rng;
+
+class CurveTest : public ::testing::TestWithParam<CurveType> {};
+
+INSTANTIATE_TEST_SUITE_P(Curves, CurveTest,
+                         ::testing::Values(CurveType::kHilbert,
+                                           CurveType::kMorton),
+                         [](const auto& info) {
+                           return CurveName(info.param);
+                         });
+
+TEST_P(CurveTest, RoundTripExhaustiveSmallLevels) {
+  CurveType curve = GetParam();
+  for (int level = 0; level <= 5; ++level) {
+    uint32_t n = uint32_t{1} << level;
+    std::vector<bool> seen(uint64_t{1} << (2 * level), false);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        uint64_t pos = IJToPos(curve, level, i, j);
+        ASSERT_LT(pos, uint64_t{1} << (2 * level));
+        ASSERT_FALSE(seen[pos]) << "duplicate pos at level " << level;
+        seen[pos] = true;
+        auto [i2, j2] = PosToIJ(curve, level, pos);
+        ASSERT_EQ(i, i2);
+        ASSERT_EQ(j, j2);
+      }
+    }
+  }
+}
+
+TEST_P(CurveTest, RoundTripRandomDeepLevels) {
+  CurveType curve = GetParam();
+  Rng rng(123);
+  for (int iter = 0; iter < 2000; ++iter) {
+    int level = 6 + static_cast<int>(rng.UniformInt(25));  // 6..30
+    uint32_t mask = level == 32 ? ~0u : ((uint32_t{1} << level) - 1);
+    uint32_t i = static_cast<uint32_t>(rng.Next()) & mask;
+    uint32_t j = static_cast<uint32_t>(rng.Next()) & mask;
+    uint64_t pos = IJToPos(curve, level, i, j);
+    auto [i2, j2] = PosToIJ(curve, level, pos);
+    ASSERT_EQ(i, i2);
+    ASSERT_EQ(j, j2);
+  }
+}
+
+TEST_P(CurveTest, PrefixProperty) {
+  // The curve position of the parent cell is the child's position shifted
+  // right by two bits — the property the whole indexing scheme rests on.
+  CurveType curve = GetParam();
+  Rng rng(456);
+  for (int iter = 0; iter < 2000; ++iter) {
+    int level = 1 + static_cast<int>(rng.UniformInt(30));  // 1..30
+    uint32_t mask = (level == 32) ? ~0u : ((uint32_t{1} << level) - 1);
+    uint32_t i = static_cast<uint32_t>(rng.Next()) & mask;
+    uint32_t j = static_cast<uint32_t>(rng.Next()) & mask;
+    uint64_t pos = IJToPos(curve, level, i, j);
+    uint64_t parent_pos = IJToPos(curve, level - 1, i >> 1, j >> 1);
+    ASSERT_EQ(parent_pos, pos >> 2)
+        << "level " << level << " i " << i << " j " << j;
+  }
+}
+
+TEST(HilbertCurve, ConsecutivePositionsAreAdjacent) {
+  // The defining Hilbert property (Morton does not have it).
+  for (int level : {3, 6}) {
+    uint64_t n_pos = uint64_t{1} << (2 * level);
+    auto [pi, pj] = PosToIJ(CurveType::kHilbert, level, 0);
+    for (uint64_t pos = 1; pos < n_pos; ++pos) {
+      auto [i, j] = PosToIJ(CurveType::kHilbert, level, pos);
+      int manhattan = std::abs(static_cast<int>(i) - static_cast<int>(pi)) +
+                      std::abs(static_cast<int>(j) - static_cast<int>(pj));
+      ASSERT_EQ(manhattan, 1) << "level " << level << " pos " << pos;
+      pi = i;
+      pj = j;
+    }
+  }
+}
+
+TEST(CellIdTest, FaceCellBasics) {
+  for (int f = 0; f < CellId::kNumFaces; ++f) {
+    CellId c = CellId::FromFace(f);
+    EXPECT_TRUE(c.is_valid());
+    EXPECT_EQ(c.face(), f);
+    EXPECT_EQ(c.level(), 0);
+    EXPECT_TRUE(c.is_face());
+    EXPECT_FALSE(c.is_leaf());
+  }
+}
+
+TEST(CellIdTest, InvalidIds) {
+  EXPECT_FALSE(CellId().is_valid());
+  EXPECT_FALSE(CellId(0).is_valid());
+  // Face 6 and 7 are invalid.
+  EXPECT_FALSE(CellId(uint64_t{6} << 61 | 1).is_valid());
+  EXPECT_FALSE(CellId(~uint64_t{0}).is_valid());
+  // Odd trailing-zero count => no sentinel at an even position.
+  EXPECT_FALSE(CellId(0b10).is_valid());
+}
+
+TEST(CellIdTest, ParentChildRoundTrip) {
+  Rng rng(99);
+  Grid grid;
+  for (int iter = 0; iter < 1000; ++iter) {
+    double lat = rng.Uniform(-89, 89);
+    double lng = rng.Uniform(-179, 179);
+    int level = 1 + static_cast<int>(rng.UniformInt(30));
+    CellId c = grid.CellAt({lat, lng}, level);
+    ASSERT_TRUE(c.is_valid());
+    ASSERT_EQ(c.level(), level);
+    CellId p = c.parent();
+    ASSERT_EQ(p.level(), level - 1);
+    ASSERT_TRUE(p.contains(c));
+    int pos = c.child_position(level);
+    ASSERT_EQ(p.child(pos), c);
+  }
+}
+
+TEST(CellIdTest, ChildrenPartitionParentRange) {
+  // Leaf ids are odd (their sentinel is bit 0), so id space advances in
+  // steps of 2 between consecutive leaves.
+  Grid grid;
+  CellId c = grid.CellAt({40.7, -74.0}, 10);
+  CellId prev_min = c.range_min();
+  for (int k = 0; k < 4; ++k) {
+    CellId child = c.child(k);
+    EXPECT_EQ(child.level(), 11);
+    EXPECT_TRUE(c.contains(child));
+    EXPECT_EQ(child.range_min(), prev_min);
+    prev_min = CellId(child.range_max().id() + 2);
+  }
+  EXPECT_EQ(prev_min.id(), c.range_max().id() + 2);
+}
+
+TEST(CellIdTest, ContainsIsRangeBased) {
+  Grid grid;
+  CellId big = grid.CellAt({40.7, -74.0}, 8);
+  CellId small = grid.CellAt({40.7, -74.0}, 25);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.intersects(small));
+  EXPECT_TRUE(small.intersects(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(CellIdTest, OwnIdNeverInsideStrictDescendantRange) {
+  // The structural property the super-covering builder's range scans rely
+  // on: an ancestor's id value is never within a strict descendant's range.
+  Grid grid;
+  Rng rng(5);
+  for (int iter = 0; iter < 500; ++iter) {
+    double lat = rng.Uniform(-80, 80);
+    double lng = rng.Uniform(-179, 179);
+    int lp = static_cast<int>(rng.UniformInt(29));
+    int lc = lp + 1 + static_cast<int>(rng.UniformInt(30 - lp));
+    CellId parent = grid.CellAt({lat, lng}, lp);
+    CellId child = grid.CellAt({lat, lng}, lc);
+    ASSERT_TRUE(parent.contains(child));
+    ASSERT_FALSE(parent.id() >= child.range_min().id() &&
+                 parent.id() <= child.range_max().id());
+  }
+}
+
+TEST(CellIdTest, NextPrevWalkTheLevel) {
+  Grid grid;
+  CellId c = grid.CellAt({10.0, 10.0}, 12);
+  CellId n = c.next();
+  ASSERT_TRUE(n.is_valid());
+  EXPECT_EQ(n.level(), 12);
+  EXPECT_EQ(n.prev(), c);
+  EXPECT_GT(n.id(), c.range_max().id());
+}
+
+TEST(CellIdTest, PathKeyLeftAligned) {
+  CellId face = CellId::FromFace(3);
+  int len = -1;
+  uint64_t key = face.PathKey(&len);
+  EXPECT_EQ(len, 0);
+  EXPECT_EQ(key, 0u);
+
+  CellId child = face.child(2);
+  key = child.PathKey(&len);
+  EXPECT_EQ(len, 2);
+  EXPECT_EQ(key >> 62, 2u);
+  EXPECT_EQ(key & ((uint64_t{1} << 62) - 1), 0u);
+}
+
+TEST(CellIdTest, SortedOrderMatchesPathKeyOrder) {
+  Grid grid;
+  Rng rng(31);
+  std::vector<CellId> cells;
+  for (int iter = 0; iter < 300; ++iter) {
+    double lat = rng.Uniform(5, 85);       // northern hemisphere...
+    double lng = rng.Uniform(-175, -65);   // ...slab 0 => face 3 only
+    cells.push_back(grid.CellAt({lat, lng},
+                                5 + static_cast<int>(rng.UniformInt(20))));
+  }
+  // Drop cells contained in others so the comparison below is well-defined.
+  std::sort(cells.begin(), cells.end());
+  std::vector<CellId> disjoint;
+  for (const CellId& c : cells) {
+    while (!disjoint.empty() && c.contains(disjoint.back())) {
+      disjoint.pop_back();
+    }
+    if (!disjoint.empty() &&
+        (disjoint.back().contains(c) || disjoint.back() == c)) {
+      continue;
+    }
+    disjoint.push_back(c);
+  }
+  for (size_t k = 1; k < disjoint.size(); ++k) {
+    int la, lb;
+    uint64_t ka = disjoint[k - 1].PathKey(&la);
+    uint64_t kb = disjoint[k].PathKey(&lb);
+    ASSERT_LT(ka, kb);
+  }
+}
+
+TEST(CellIdTest, ToStringFormat) {
+  CellId c = CellId::FromFace(2).child(1).child(3);
+  EXPECT_EQ(c.ToString(), "2/13");
+  EXPECT_EQ(CellId().ToString(), "(invalid)");
+}
+
+TEST(GridTest, FaceSelection) {
+  // Faces: southern hemisphere 0..2, northern 3..5, 120-degree slabs.
+  EXPECT_EQ(Grid::FaceAt({-10.0, -180.0}), 0);
+  EXPECT_EQ(Grid::FaceAt({-10.0, -60.0001}), 0);
+  EXPECT_EQ(Grid::FaceAt({-10.0, 0.0}), 1);
+  EXPECT_EQ(Grid::FaceAt({-10.0, 100.0}), 2);
+  EXPECT_EQ(Grid::FaceAt({40.7, -74.0}), 3);  // NYC
+  EXPECT_EQ(Grid::FaceAt({10.0, 0.0}), 4);
+  EXPECT_EQ(Grid::FaceAt({10.0, 179.999}), 5);
+  EXPECT_EQ(Grid::FaceAt({10.0, 180.0}), 5);  // clamped
+  EXPECT_EQ(Grid::FaceAt({0.0, -74.0}), 3);   // equator goes north
+}
+
+TEST(GridTest, CellRectContainsGeneratingPoint) {
+  Grid grid;
+  Rng rng(77);
+  for (int iter = 0; iter < 2000; ++iter) {
+    LatLng p{rng.Uniform(-89.9, 89.9), rng.Uniform(-179.9, 179.9)};
+    int level = static_cast<int>(rng.UniformInt(31));
+    CellId c = grid.CellAt(p, level);
+    LatLngRect r = grid.CellRect(c);
+    ASSERT_TRUE(r.Contains(p))
+        << "level " << level << " lat " << p.lat << " lng " << p.lng;
+  }
+}
+
+TEST(GridTest, ChildRectNestsInParentRect) {
+  Grid grid;
+  Rng rng(78);
+  for (int iter = 0; iter < 500; ++iter) {
+    LatLng p{rng.Uniform(-89, 89), rng.Uniform(-179, 179)};
+    int level = static_cast<int>(rng.UniformInt(30));
+    CellId c = grid.CellAt(p, level);
+    LatLngRect pr = grid.CellRect(c);
+    for (int k = 0; k < 4; ++k) {
+      LatLngRect cr = grid.CellRect(c.child(k));
+      ASSERT_GE(cr.lat_lo, pr.lat_lo - 1e-12);
+      ASSERT_LE(cr.lat_hi, pr.lat_hi + 1e-12);
+      ASSERT_GE(cr.lng_lo, pr.lng_lo - 1e-12);
+      ASSERT_LE(cr.lng_hi, pr.lng_hi + 1e-12);
+    }
+  }
+}
+
+TEST(GridTest, SiblingRectsTileParent) {
+  Grid grid;
+  CellId c = grid.CellAt({40.7, -74.0}, 9);
+  LatLngRect pr = grid.CellRect(c);
+  double child_area_sum = 0;
+  for (int k = 0; k < 4; ++k) {
+    LatLngRect cr = grid.CellRect(c.child(k));
+    child_area_sum += cr.WidthDeg() * cr.HeightDeg();
+  }
+  EXPECT_NEAR(child_area_sum, pr.WidthDeg() * pr.HeightDeg(),
+              1e-9 * child_area_sum);
+}
+
+TEST(GridTest, DiagonalShrinksByHalfPerLevel) {
+  Grid grid;
+  LatLng nyc{40.7, -74.0};
+  double prev = grid.CellDiagonalMeters(grid.CellAt(nyc, 5));
+  for (int level = 6; level <= 25; ++level) {
+    double d = grid.CellDiagonalMeters(grid.CellAt(nyc, level));
+    EXPECT_NEAR(d, prev / 2, prev * 0.02) << "level " << level;
+    prev = d;
+  }
+}
+
+TEST(GridTest, LevelForDiagonalIsSufficient) {
+  Grid grid;
+  LatLngRect nyc{40.49, 40.92, -74.26, -73.69};
+  for (double bound : {60.0, 15.0, 4.0}) {
+    int level = grid.LevelForDiagonal(bound, nyc);
+    ASSERT_GT(level, 0);
+    // Every cell at that level inside the region satisfies the bound.
+    Rng rng(101);
+    for (int iter = 0; iter < 200; ++iter) {
+      LatLng p{rng.Uniform(nyc.lat_lo, nyc.lat_hi),
+               rng.Uniform(nyc.lng_lo, nyc.lng_hi)};
+      ASSERT_LE(grid.CellDiagonalMeters(grid.CellAt(p, level)), bound);
+    }
+    // One level coarser must violate it somewhere (tightness).
+    double coarse =
+        grid.CellDiagonalMeters(grid.CellAt(nyc.Center(), level - 1));
+    EXPECT_GT(coarse, bound);
+  }
+}
+
+TEST(GridTest, PrecisionLevelsMatchPaper) {
+  // Paper (S2 projection): 4 m precision <=> level 22. The 120x90-degree
+  // faces make cells nearly square at NYC's latitude, matching that level.
+  Grid grid;
+  LatLngRect nyc{40.49, 40.92, -74.26, -73.69};
+  EXPECT_EQ(grid.LevelForDiagonal(4.0, nyc), 22);
+  // Cells at NYC are close to square in meters (within ~5%).
+  CellId c = grid.CellAt({40.7, -74.0}, 18);
+  LatLngRect r = grid.CellRect(c);
+  double w = r.WidthDeg() * MetersPerDegreeLng(40.7);
+  double h = r.HeightDeg() * kMetersPerDegreeLat;
+  EXPECT_NEAR(w / h, 1.0, 0.05);
+}
+
+TEST(GridTest, MortonGridAlsoWorks) {
+  Grid grid(CurveType::kMorton);
+  LatLng p{40.7, -74.0};
+  CellId c = grid.CellAt(p, 18);
+  EXPECT_TRUE(grid.CellRect(c).Contains(p));
+}
+
+TEST(GridTest, PolesAndAntimeridianClamp) {
+  Grid grid;
+  for (LatLng p : {LatLng{90, 180}, LatLng{-90, -180}, LatLng{90, -180},
+                   LatLng{-90, 180}}) {
+    CellId c = grid.CellAt(p, 30);
+    EXPECT_TRUE(c.is_valid());
+  }
+}
+
+TEST(LatLngTest, DistanceMeters) {
+  // One degree of latitude is ~110.6 km.
+  EXPECT_NEAR(DistanceMeters({40.0, -74.0}, {41.0, -74.0}), 110574, 200);
+  // One degree of longitude at 40.7N is ~84.4 km.
+  double d = DistanceMeters({40.7, -74.0}, {40.7, -73.0});
+  EXPECT_NEAR(d, 111320 * std::cos(40.7 * kDegToRad), 300);
+  EXPECT_EQ(DistanceMeters({1, 2}, {1, 2}), 0);
+}
+
+TEST(LatLngTest, RectDiagonalConservative) {
+  LatLngRect r{40.0, 41.0, -74.0, -73.0};
+  // Diagonal must be at least the distance between opposite corners.
+  double corner = DistanceMeters({40.0, -74.0}, {41.0, -73.0});
+  EXPECT_GE(r.DiagonalMeters(), corner * 0.999);
+}
+
+}  // namespace
+}  // namespace actjoin::geo

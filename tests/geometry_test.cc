@@ -1,0 +1,399 @@
+// Unit and property tests for the geometry kernel: segment predicates,
+// polygons, point-in-polygon, classification, and the edge-grid accelerator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/edge_grid.h"
+#include "geometry/pip.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+#include "util/random.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::geom {
+namespace {
+
+using actjoin::util::Rng;
+using actjoin::wl::JitteredPartition;
+using actjoin::wl::PartitionSpec;
+using actjoin::wl::RandomStarPolygon;
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+// A square with a square hole from (0.25,0.25) to (0.75,0.75).
+Polygon SquareWithHole() {
+  Polygon p({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  p.AddRing({{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}});
+  return p;
+}
+
+// Concave "L" shape.
+Polygon LShape() {
+  return Polygon({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(Segment, Orientation) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(Orientation({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);
+}
+
+TEST(Segment, OnSegment) {
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {1, 1}));
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {0, 0}));
+  EXPECT_TRUE(OnSegment({0, 0}, {2, 2}, {2, 2}));
+  EXPECT_FALSE(OnSegment({0, 0}, {2, 2}, {3, 3}));  // collinear but outside
+  EXPECT_FALSE(OnSegment({0, 0}, {2, 2}, {1, 1.01}));
+}
+
+TEST(Segment, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_TRUE(SegmentsCrossProperly({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(Segment, EndpointTouchIsImproper) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_FALSE(SegmentsCrossProperly({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Segment, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsCrossProperly({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(Segment, ParallelDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(Segment, RectIntersection) {
+  Rect r = Rect::Of(0, 0, 1, 1);
+  EXPECT_TRUE(SegmentIntersectsRect({0.5, 0.5}, {2, 2}, r));   // endpoint in
+  EXPECT_TRUE(SegmentIntersectsRect({-1, 0.5}, {2, 0.5}, r));  // pass through
+  EXPECT_TRUE(SegmentIntersectsRect({-1, -1}, {1, 3}, r));     // cut corner?
+  EXPECT_FALSE(SegmentIntersectsRect({-1, -1}, {-0.5, 3}, r));
+  EXPECT_FALSE(SegmentIntersectsRect({2, 2}, {3, 3}, r));
+  // Touching an edge counts (closed semantics).
+  EXPECT_TRUE(SegmentIntersectsRect({1, 0.2}, {2, 0.2}, r));
+}
+
+TEST(Rect, BasicOps) {
+  Rect r = Rect::Of(0, 0, 2, 1);
+  EXPECT_TRUE(r.Contains(Point{1, 0.5}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));  // closed
+  EXPECT_FALSE(r.Contains(Point{2.1, 0.5}));
+  EXPECT_DOUBLE_EQ(r.Area(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 6.0);
+  Rect e;
+  EXPECT_TRUE(e.IsEmpty());
+  e.Expand(Point{1, 1});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+}
+
+TEST(Rect, Enlargement) {
+  Rect r = Rect::Of(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(r.Enlargement(Rect::Of(0.2, 0.2, 0.8, 0.8)), 0.0);
+  EXPECT_DOUBLE_EQ(r.Enlargement(Rect::Of(0, 0, 2, 1)), 1.0);
+}
+
+TEST(Polygon, EdgeIterationAndArea) {
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(sq.num_edges(), 4u);
+  auto [a, b] = sq.Edge(3);
+  EXPECT_EQ(a, (Point{0, 1}));
+  EXPECT_EQ(b, (Point{0, 0}));  // closing edge wraps
+  EXPECT_DOUBLE_EQ(sq.Area(), 1.0);
+  EXPECT_DOUBLE_EQ(sq.SignedArea(), 1.0);  // CCW
+}
+
+TEST(Polygon, HoleAreaSubtracts) {
+  Polygon p = SquareWithHole();
+  // Hole ring as listed is CCW too; SignedArea adds. Area semantics for
+  // even-odd polygons are tested through containment instead.
+  EXPECT_EQ(p.rings().size(), 2u);
+  EXPECT_EQ(p.num_edges(), 8u);
+}
+
+TEST(Polygon, MbrCoversAllVertices) {
+  Polygon p = LShape();
+  EXPECT_EQ(p.mbr().lo, (Point{0, 0}));
+  EXPECT_EQ(p.mbr().hi, (Point{2, 2}));
+}
+
+TEST(Polygon, SimplicityCheck) {
+  EXPECT_TRUE(UnitSquare().IsSimple());
+  // Bowtie: self-intersecting.
+  Polygon bowtie({{0, 0}, {1, 1}, {1, 0}, {0, 1}});
+  EXPECT_FALSE(bowtie.IsSimple());
+}
+
+TEST(Pip, SquareInterior) {
+  Polygon sq = UnitSquare();
+  EXPECT_TRUE(ContainsPoint(sq, {0.5, 0.5}));
+  EXPECT_FALSE(ContainsPoint(sq, {1.5, 0.5}));
+  EXPECT_FALSE(ContainsPoint(sq, {-0.1, 0.5}));
+}
+
+TEST(Pip, BoundaryIsCovered) {
+  // ST_Covers semantics: edges and vertices count as inside.
+  Polygon sq = UnitSquare();
+  EXPECT_TRUE(ContainsPoint(sq, {0, 0.5}));
+  EXPECT_TRUE(ContainsPoint(sq, {1, 1}));
+  EXPECT_TRUE(ContainsPoint(sq, {0.5, 0}));
+  EXPECT_TRUE(OnBoundary(sq, {0.5, 1}));
+  EXPECT_FALSE(OnBoundary(sq, {0.5, 0.5}));
+}
+
+TEST(Pip, HoleExcluded) {
+  Polygon p = SquareWithHole();
+  EXPECT_TRUE(ContainsPoint(p, {0.1, 0.1}));
+  EXPECT_FALSE(ContainsPoint(p, {0.5, 0.5}));      // inside the hole
+  EXPECT_TRUE(ContainsPoint(p, {0.25, 0.5}));      // on the hole boundary
+}
+
+TEST(Pip, ConcaveShape) {
+  Polygon l = LShape();
+  EXPECT_TRUE(ContainsPoint(l, {0.5, 1.5}));
+  EXPECT_TRUE(ContainsPoint(l, {1.5, 0.5}));
+  EXPECT_FALSE(ContainsPoint(l, {1.5, 1.5}));  // the notch
+}
+
+TEST(Pip, CrossingAndWindingAgreeOnRandomStars) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 50; ++iter) {
+    Polygon p = RandomStarPolygon({0, 0}, 1.0, 12, iter + 1);
+    for (int s = 0; s < 200; ++s) {
+      Point q{rng.Uniform(-1.2, 1.2), rng.Uniform(-1.2, 1.2)};
+      ASSERT_EQ(ContainsPoint(p, q), WindingContainsPoint(p, q))
+          << "iter " << iter << " q=(" << q.x << "," << q.y << ")";
+    }
+  }
+}
+
+TEST(Pip, VertexRayDoesNotDoubleCount) {
+  // A query point horizontally aligned with a vertex: the classic
+  // ray-casting pitfall.
+  Polygon diamond({{1, 0}, {2, 1}, {1, 2}, {0, 1}});
+  EXPECT_TRUE(ContainsPoint(diamond, {1, 1}));
+  EXPECT_FALSE(ContainsPoint(diamond, {-0.5, 1}));  // left of the vertex
+  EXPECT_FALSE(ContainsPoint(diamond, {2.5, 1}));
+}
+
+TEST(Classify, SquareCases) {
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(Classify(sq, Rect::Of(0.4, 0.4, 0.6, 0.6)),
+            RegionRelation::kContained);
+  EXPECT_EQ(Classify(sq, Rect::Of(2, 2, 3, 3)), RegionRelation::kDisjoint);
+  EXPECT_EQ(Classify(sq, Rect::Of(0.5, 0.5, 2, 2)),
+            RegionRelation::kIntersects);
+  // Rect covering the whole polygon straddles the boundary.
+  EXPECT_EQ(Classify(sq, Rect::Of(-1, -1, 2, 2)),
+            RegionRelation::kIntersects);
+}
+
+TEST(Classify, HoleMakesInnerRectDisjoint) {
+  Polygon p = SquareWithHole();
+  EXPECT_EQ(Classify(p, Rect::Of(0.4, 0.4, 0.6, 0.6)),
+            RegionRelation::kDisjoint);
+  EXPECT_EQ(Classify(p, Rect::Of(0.05, 0.05, 0.15, 0.15)),
+            RegionRelation::kContained);
+}
+
+TEST(Classify, AgreesWithSampling) {
+  Rng rng(777);
+  for (int iter = 0; iter < 30; ++iter) {
+    Polygon p = RandomStarPolygon({0, 0}, 1.0, 14, 1000 + iter);
+    for (int r = 0; r < 60; ++r) {
+      double x = rng.Uniform(-1.2, 1.0);
+      double y = rng.Uniform(-1.2, 1.0);
+      Rect rect = Rect::Of(x, y, x + rng.Uniform(0.01, 0.4),
+                           y + rng.Uniform(0.01, 0.4));
+      RegionRelation rel = Classify(p, rect);
+      // Sample points inside the rect and check consistency.
+      int inside = 0, total = 64;
+      for (int s = 0; s < total; ++s) {
+        Point q{rng.Uniform(rect.lo.x, rect.hi.x),
+                rng.Uniform(rect.lo.y, rect.hi.y)};
+        inside += ContainsPoint(p, q) ? 1 : 0;
+      }
+      if (rel == RegionRelation::kContained) {
+        ASSERT_EQ(inside, total);
+      } else if (rel == RegionRelation::kDisjoint) {
+        ASSERT_EQ(inside, 0);
+      }
+      // kIntersects is conservative: no assertion.
+    }
+  }
+}
+
+TEST(Distance, InsideIsZero) {
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(DistanceToPolygonMeters(sq, {0.5, 0.5}), 0);
+  EXPECT_EQ(DistanceToPolygonMeters(sq, {0, 0}), 0);  // boundary covered
+}
+
+TEST(Distance, MatchesLatitudeScale) {
+  Polygon sq = UnitSquare();
+  // 0.001 degrees north of the top edge at y=1: ~110.6 m.
+  double d = DistanceToPolygonMeters(sq, {0.5, 1.001});
+  EXPECT_NEAR(d, 110.574, 1.0);
+  // 0.001 degrees east of the right edge at lat ~0.5: ~111.3 m * cos(0.5°).
+  d = DistanceToPolygonMeters(sq, {1.001, 0.5});
+  EXPECT_NEAR(d, 111.32 * std::cos(0.5 * 0.017453292519943295), 1.0);
+}
+
+TEST(EdgeGrid, ContainsMatchesRawPipOnPartitions) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(-74.26, 40.49, -73.69, 40.92);
+  spec.nx = spec.ny = 4;
+  spec.edge_depth = 4;
+  spec.seed = 5;
+  auto polys = JitteredPartition(spec);
+  Rng rng(4242);
+  for (const Polygon& p : polys) {
+    EdgeGrid grid(p);
+    for (int s = 0; s < 400; ++s) {
+      Point q{rng.Uniform(spec.mbr.lo.x, spec.mbr.hi.x),
+              rng.Uniform(spec.mbr.lo.y, spec.mbr.hi.y)};
+      ASSERT_EQ(grid.ContainsPoint(q), ContainsPoint(p, q))
+          << "q=(" << q.x << "," << q.y << ")";
+    }
+  }
+}
+
+TEST(EdgeGrid, ClassifyMatchesExactClassify) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 10, 10);
+  spec.nx = spec.ny = 3;
+  spec.edge_depth = 3;
+  spec.seed = 6;
+  auto polys = JitteredPartition(spec);
+  Rng rng(888);
+  for (const Polygon& p : polys) {
+    EdgeGrid grid(p);
+    for (int s = 0; s < 300; ++s) {
+      double x = rng.Uniform(-0.5, 9.5);
+      double y = rng.Uniform(-0.5, 9.5);
+      Rect rect = Rect::Of(x, y, x + rng.Uniform(0.01, 1.0),
+                           y + rng.Uniform(0.01, 1.0));
+      ASSERT_EQ(grid.Classify(rect), Classify(p, rect));
+    }
+  }
+}
+
+TEST(EdgeGrid, StarPolygonAgreement) {
+  for (int iter = 0; iter < 10; ++iter) {
+    Polygon p = RandomStarPolygon({5, 5}, 3.0, 30, 50 + iter);
+    EdgeGrid grid(p);
+    Rng rng(iter);
+    for (int s = 0; s < 500; ++s) {
+      Point q{rng.Uniform(1, 9), rng.Uniform(1, 9)};
+      ASSERT_EQ(grid.ContainsPoint(q), ContainsPoint(p, q));
+    }
+  }
+}
+
+TEST(PolygonGen, PartitionTilesExactly) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 1, 1);
+  spec.nx = 5;
+  spec.ny = 4;
+  spec.edge_depth = 3;
+  spec.seed = 9;
+  auto polys = JitteredPartition(spec);
+  ASSERT_EQ(polys.size(), 20u);
+  double total = 0;
+  for (const Polygon& p : polys) total += p.Area();
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PolygonGen, EveryInteriorPointInExactlyOnePolygon) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(-74.26, 40.49, -73.69, 40.92);
+  spec.nx = spec.ny = 6;
+  spec.edge_depth = 3;
+  spec.seed = 10;
+  auto polys = JitteredPartition(spec);
+  Rng rng(11);
+  int boundary_hits = 0;
+  for (int s = 0; s < 2000; ++s) {
+    Point q{rng.Uniform(spec.mbr.lo.x, spec.mbr.hi.x),
+            rng.Uniform(spec.mbr.lo.y, spec.mbr.hi.y)};
+    int owners = 0;
+    for (const Polygon& p : polys) owners += ContainsPoint(p, q) ? 1 : 0;
+    // Random points hit shared boundaries with probability ~0; owners == 2
+    // would indicate a genuine overlap.
+    if (owners != 1) ++boundary_hits;
+  }
+  EXPECT_EQ(boundary_hits, 0);
+}
+
+TEST(PolygonGen, VertexCountMatchesDepth) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 4, 4);
+  spec.nx = spec.ny = 4;
+  spec.edge_depth = 3;
+  spec.seed = 12;
+  auto polys = JitteredPartition(spec);
+  // Interior polygons: 4 sides * 2^3 segments = 32 vertices.
+  const Polygon& inner = polys[1 * 4 + 1];
+  EXPECT_EQ(inner.num_vertices(), 32u);
+}
+
+TEST(PolygonGen, DeterministicAcrossCalls) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 2, 2);
+  spec.nx = spec.ny = 3;
+  spec.edge_depth = 4;
+  spec.seed = 13;
+  auto a = JitteredPartition(spec);
+  auto b = JitteredPartition(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].rings()[0].size(), b[i].rings()[0].size());
+    for (size_t v = 0; v < a[i].rings()[0].size(); ++v) {
+      ASSERT_EQ(a[i].rings()[0][v], b[i].rings()[0][v]);
+    }
+  }
+}
+
+TEST(PolygonGen, PartitionPolygonsAreSimple) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 3, 3);
+  spec.nx = spec.ny = 3;
+  spec.edge_depth = 4;
+  spec.seed = 21;
+  auto polys = JitteredPartition(spec);
+  for (const Polygon& p : polys) {
+    ASSERT_TRUE(p.IsSimple());
+  }
+}
+
+TEST(PolygonGen, OverlapDilationProducesOverlap) {
+  PartitionSpec spec;
+  spec.mbr = Rect::Of(0, 0, 2, 2);
+  spec.nx = spec.ny = 2;
+  spec.edge_depth = 2;
+  spec.seed = 14;
+  spec.overlap_dilation = 0.15;
+  auto polys = JitteredPartition(spec);
+  Rng rng(15);
+  int multi_owner = 0;
+  for (int s = 0; s < 3000; ++s) {
+    Point q{rng.Uniform(0, 2), rng.Uniform(0, 2)};
+    int owners = 0;
+    for (const Polygon& p : polys) owners += ContainsPoint(p, q) ? 1 : 0;
+    multi_owner += owners > 1 ? 1 : 0;
+  }
+  EXPECT_GT(multi_owner, 0);
+}
+
+}  // namespace
+}  // namespace actjoin::geom

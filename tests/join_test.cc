@@ -1,0 +1,290 @@
+// Integration tests for the join algorithms: exactness against the
+// brute-force oracle, the approximate join's distance bound, training
+// effects, and multithreaded consistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "act/pipeline.h"
+#include "geo/grid.h"
+#include "geometry/pip.h"
+#include "util/random.h"
+#include "workloads/datasets.h"
+#include "workloads/point_gen.h"
+#include "workloads/polygon_gen.h"
+
+namespace actjoin::act {
+namespace {
+
+using actjoin::util::Rng;
+using geo::Grid;
+
+struct JoinFixtureParam {
+  double dataset_scale;
+  int bits_per_level;
+};
+
+class ExactJoinTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndFanouts, ExactJoinTest,
+    ::testing::Combine(::testing::Values(0.02, 0.08),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& info) {
+      return "scale" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_bits" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ExactJoinTest, MatchesBruteForce) {
+  auto [scale, bits] = GetParam();
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(scale);
+  BuildOptions opts;
+  opts.threads = 1;
+  opts.act.bits_per_level = bits;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, /*seed=*/1);
+  auto got = index.JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+  auto want = BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons);
+  ASSERT_EQ(got, want);
+}
+
+TEST(ExactJoin, MatchesBruteForceOnBoroughsAnalog) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Boroughs(0.6);  // 3 complex polygons
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 2);
+  EXPECT_EQ(index.JoinPairs(pts.AsJoinInput(), JoinMode::kExact),
+            BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons));
+}
+
+TEST(ExactJoin, MatchesBruteForceWithOverlappingPolygons) {
+  Grid grid;
+  wl::PartitionSpec spec;
+  spec.mbr = wl::NycMbr();
+  spec.nx = spec.ny = 4;
+  spec.edge_depth = 2;
+  spec.seed = 3;
+  spec.overlap_dilation = 0.2;  // polygons genuinely overlap
+  std::vector<geom::Polygon> polys = wl::JitteredPartition(spec);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(polys, grid, opts);
+  wl::PointSet pts = wl::SyntheticUniformPoints(spec.mbr, 2500, grid, 4);
+  EXPECT_EQ(index.JoinPairs(pts.AsJoinInput(), JoinMode::kExact),
+            BruteForceJoinPairs(pts.AsJoinInput(), polys));
+}
+
+TEST(ExactJoin, UniformPointsIncludingMisses) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  // Sample points from a larger rect so many miss all polygons.
+  geom::Rect wide = ds.mbr;
+  wide.lo.x -= 0.2;
+  wide.hi.x += 0.2;
+  wide.lo.y -= 0.2;
+  wide.hi.y += 0.2;
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet pts = wl::SyntheticUniformPoints(wide, 3000, grid, 5);
+  EXPECT_EQ(index.JoinPairs(pts.AsJoinInput(), JoinMode::kExact),
+            BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons));
+}
+
+TEST(ApproxJoin, FalsePositivesWithinPrecisionBound) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const double bound_m = 120.0;
+  BuildOptions opts;
+  opts.threads = 1;
+  opts.precision_bound_m = bound_m;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 4000, grid, 6);
+  auto approx = index.JoinPairs(pts.AsJoinInput(), JoinMode::kApproximate);
+  auto exact = BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons);
+
+  // (a) No false negatives: approx is a superset of exact.
+  ASSERT_TRUE(std::includes(approx.begin(), approx.end(), exact.begin(),
+                            exact.end()));
+  // (b) Every false positive is within bound_m of the polygon (paper's
+  // guarantee: distance <= diagonal of the largest boundary cell).
+  std::vector<std::pair<uint64_t, uint32_t>> extras;
+  std::set_difference(approx.begin(), approx.end(), exact.begin(),
+                      exact.end(), std::back_inserter(extras));
+  for (const auto& [pt_idx, pid] : extras) {
+    double d = geom::DistanceToPolygonMeters(ds.polygons[pid],
+                                             pts.points()[pt_idx]);
+    ASSERT_LE(d, bound_m * 1.01)
+        << "false positive " << d << " m from polygon " << pid;
+  }
+}
+
+TEST(ApproxJoin, TighterBoundFewerFalsePositives) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 4000, grid, 7);
+  auto exact = BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons);
+
+  uint64_t prev_extras = ~uint64_t{0};
+  for (double bound : {500.0, 120.0, 30.0}) {
+    BuildOptions opts;
+    opts.threads = 1;
+    opts.precision_bound_m = bound;
+    PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+    auto approx = index.JoinPairs(pts.AsJoinInput(), JoinMode::kApproximate);
+    std::vector<std::pair<uint64_t, uint32_t>> extras;
+    std::set_difference(approx.begin(), approx.end(), exact.begin(),
+                        exact.end(), std::back_inserter(extras));
+    EXPECT_LE(extras.size(), prev_extras);
+    prev_extras = extras.size();
+  }
+}
+
+TEST(JoinStatsTest, CountsAreConsistent) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 5000, grid, 8);
+  JoinStats stats = index.Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  EXPECT_EQ(stats.num_points, 5000u);
+  uint64_t count_sum = 0;
+  for (uint64_t c : stats.counts) count_sum += c;
+  EXPECT_EQ(count_sum, stats.result_pairs);
+  EXPECT_EQ(stats.result_pairs, stats.true_hit_refs + stats.pip_hits);
+  EXPECT_EQ(stats.pip_tests, stats.candidate_refs);
+  EXPECT_LE(stats.matched_points, stats.num_points);
+  EXPECT_GT(stats.sth_points, 0u);
+  // Against the oracle.
+  auto want = BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons);
+  EXPECT_EQ(stats.result_pairs, want.size());
+}
+
+TEST(JoinStatsTest, ApproximateDoesNoPipTests) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  BuildOptions opts;
+  opts.threads = 1;
+  opts.precision_bound_m = 60.0;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 9);
+  JoinStats stats = index.Join(pts.AsJoinInput(), {JoinMode::kApproximate, 1});
+  EXPECT_EQ(stats.pip_tests, 0u);
+}
+
+TEST(JoinStatsTest, MultithreadedMatchesSingleThreaded) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 20000, grid, 10);
+
+  JoinStats single = index.Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+  for (int threads : {2, 4, 7}) {
+    JoinStats multi =
+        index.Join(pts.AsJoinInput(), {JoinMode::kExact, threads});
+    ASSERT_EQ(multi.counts, single.counts);
+    ASSERT_EQ(multi.result_pairs, single.result_pairs);
+    ASSERT_EQ(multi.pip_tests, single.pip_tests);
+    ASSERT_EQ(multi.sth_points, single.sth_points);
+  }
+}
+
+TEST(Training, PreservesExactness) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet history = wl::TaxiPoints(ds.mbr, 20000, grid, 11);
+  wl::PointSet today = wl::TaxiPoints(ds.mbr, 3000, grid, 12);
+
+  auto before = index.JoinPairs(today.AsJoinInput(), JoinMode::kExact);
+  TrainStats tstats = index.Train(history.AsJoinInput());
+  EXPECT_GT(tstats.cells_split, 0u);
+  auto after = index.JoinPairs(today.AsJoinInput(), JoinMode::kExact);
+  ASSERT_EQ(before, after);
+  ASSERT_TRUE(index.covering().IsDisjoint());
+}
+
+TEST(Training, ReducesPipTestsAndRaisesSth) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  // Train and join on the same distribution, different samples — the
+  // paper's year-2009-train / 2010-2016-join split.
+  wl::PointSet history = wl::TaxiPoints(ds.mbr, 30000, grid, 13);
+  wl::PointSet today = wl::TaxiPoints(ds.mbr, 10000, grid, 14);
+
+  JoinStats before = index.Join(today.AsJoinInput(), {JoinMode::kExact, 1});
+  index.Train(history.AsJoinInput());
+  JoinStats after = index.Join(today.AsJoinInput(), {JoinMode::kExact, 1});
+
+  EXPECT_LT(after.pip_tests, before.pip_tests);
+  EXPECT_GE(after.SthPercent(), before.SthPercent());
+  EXPECT_EQ(after.result_pairs, before.result_pairs);
+}
+
+TEST(Training, RespectsCellBudget) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  uint64_t base_cells = index.covering().size();
+  wl::PointSet history = wl::TaxiPoints(ds.mbr, 50000, grid, 15);
+
+  TrainOptions topts;
+  topts.max_cells = base_cells + 50;
+  SuperCoveringBuilder builder = ToBuilder(index.covering());
+  TrainStats stats = TrainOnPoints(&builder, history.AsJoinInput(),
+                                   index.classifier(), topts);
+  EXPECT_TRUE(stats.budget_exhausted);
+  // Each split adds at most 3 net cells.
+  EXPECT_LE(builder.size(), base_cells + 50 + 3);
+}
+
+TEST(Training, IdempotentOnFullyRefinedArea) {
+  // Training twice with the same points: the second pass should split far
+  // fewer cells (most expensive cells already split one level).
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  BuildOptions opts;
+  opts.threads = 1;
+  PolygonIndex index = PolygonIndex::Build(ds.polygons, grid, opts);
+  wl::PointSet history = wl::TaxiPoints(ds.mbr, 5000, grid, 16);
+  TrainStats first = index.Train(history.AsJoinInput());
+  TrainStats second = index.Train(history.AsJoinInput());
+  EXPECT_LT(second.cells_split, first.cells_split);
+}
+
+TEST(BruteForce, OracleSanity) {
+  // The oracle itself on a trivial configuration.
+  std::vector<geom::Polygon> polys;
+  polys.push_back(geom::Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  polys.push_back(geom::Polygon({{2, 0}, {3, 0}, {3, 1}, {2, 1}}));
+  std::vector<geom::Point> pts{{0.5, 0.5}, {2.5, 0.5}, {5, 5}};
+  std::vector<uint64_t> ids{0, 0, 0};  // ids unused by brute force
+  JoinInput input{ids, pts};
+  auto pairs = BruteForceJoinPairs(input, polys);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], std::make_pair(uint64_t{0}, uint32_t{0}));
+  EXPECT_EQ(pairs[1], std::make_pair(uint64_t{1}, uint32_t{1}));
+}
+
+}  // namespace
+}  // namespace actjoin::act

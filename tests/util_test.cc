@@ -1,0 +1,197 @@
+// Unit tests for the util subsystem.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/bitops.h"
+#include "util/parallel_for.h"
+#include "util/random.h"
+#include "util/small_vector.h"
+#include "util/table_printer.h"
+
+namespace actjoin::util {
+namespace {
+
+TEST(BitOps, TrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros(1), 0);
+  EXPECT_EQ(CountTrailingZeros(8), 3);
+  EXPECT_EQ(CountTrailingZeros(uint64_t{1} << 60), 60);
+  EXPECT_EQ(CountTrailingZeros(0), 64);
+}
+
+TEST(BitOps, LeadingZeros) {
+  EXPECT_EQ(CountLeadingZeros(uint64_t{1} << 63), 0);
+  EXPECT_EQ(CountLeadingZeros(1), 63);
+  EXPECT_EQ(CountLeadingZeros(0), 64);
+}
+
+TEST(BitOps, LowestSetBit) {
+  EXPECT_EQ(LowestSetBit(0b1011000), uint64_t{0b1000});
+  EXPECT_EQ(LowestSetBit(0), uint64_t{0});
+  EXPECT_EQ(LowestSetBit(uint64_t{1} << 63), uint64_t{1} << 63);
+}
+
+TEST(BitOps, ExtractBits) {
+  EXPECT_EQ(ExtractBits(0xABCD, 4, 8), uint64_t{0xBC});
+  EXPECT_EQ(ExtractBits(~uint64_t{0}, 0, 64), ~uint64_t{0});
+}
+
+TEST(BitOps, CommonPrefixLength) {
+  EXPECT_EQ(CommonPrefixLength(0, 0), 64);
+  EXPECT_EQ(CommonPrefixLength(uint64_t{1} << 63, 0), 0);
+  uint64_t a = 0xFF00000000000000ULL;
+  uint64_t b = 0xFF80000000000000ULL;
+  EXPECT_EQ(CommonPrefixLength(a, b), 8);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff_seed_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(SmallVector, InlineBasics) {
+  SmallVector<int, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v.capacity(), 2u);
+}
+
+TEST(SmallVector, SpillsToHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_GT(v.capacity(), 2u);
+}
+
+TEST(SmallVector, CopyAndMove) {
+  SmallVector<int, 2> v{1, 2, 3, 4};
+  SmallVector<int, 2> copy(v);
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_TRUE(copy == v);
+
+  SmallVector<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved[3], 4);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT: moved-from is empty by contract
+
+  SmallVector<int, 2> assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned == copy);
+  SmallVector<int, 2> move_assigned;
+  move_assigned = std::move(copy);
+  EXPECT_EQ(move_assigned.size(), 4u);
+}
+
+TEST(SmallVector, InlineCopyIndependence) {
+  SmallVector<int, 4> a{1, 2};
+  SmallVector<int, 4> b(a);
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+}
+
+TEST(SmallVector, PopAndClear) {
+  SmallVector<int, 2> v{5, 6, 7};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 6);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, ResizeZeroFills) {
+  SmallVector<uint64_t, 2> v{1};
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 1u);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(v[i], 0u);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  for (int threads : {1, 2, 4}) {
+    const uint64_t n = 10007;
+    std::vector<std::atomic<int>> seen(n);
+    ParallelFor(n, threads, [&](uint64_t b, uint64_t e, int) {
+      for (uint64_t i = b; i < e; ++i) seen[i].fetch_add(1);
+    });
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyRange) {
+  bool called = false;
+  ParallelFor(0, 4, [&](uint64_t, uint64_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, BatchBoundsRespected) {
+  ParallelFor(100, 2, 16, [&](uint64_t b, uint64_t e, int) {
+    EXPECT_LE(e - b, 16u);
+    EXPECT_LT(b, e);
+  });
+}
+
+TEST(ParallelFor, ThreadIdsInRange) {
+  std::atomic<bool> ok{true};
+  ParallelFor(1000, 3, [&](uint64_t, uint64_t, int tid) {
+    if (tid < 0 || tid >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FmtInt(42), "42");
+  EXPECT_EQ(TablePrinter::FmtM(13960000), "13.96");
+}
+
+TEST(SplitMix, Avalanche) {
+  // Neighboring inputs should produce very different outputs.
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 1000; ++i) outs.insert(SplitMix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace actjoin::util

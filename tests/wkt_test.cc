@@ -1,0 +1,117 @@
+// Tests for WKT polygon parsing and formatting.
+
+#include <gtest/gtest.h>
+
+#include "geometry/pip.h"
+#include "workloads/datasets.h"
+#include "workloads/wkt.h"
+
+namespace actjoin::wl {
+namespace {
+
+TEST(Wkt, ParsesSimplePolygon) {
+  auto poly = ParseWkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(poly.has_value());
+  ASSERT_EQ(poly->rings().size(), 1u);
+  EXPECT_EQ(poly->rings()[0].size(), 4u);  // closing duplicate dropped
+  EXPECT_TRUE(geom::ContainsPoint(*poly, {2, 2}));
+  EXPECT_FALSE(geom::ContainsPoint(*poly, {5, 2}));
+}
+
+TEST(Wkt, ParsesUnclosedRingToo) {
+  auto poly = ParseWkt("POLYGON((0 0, 4 0, 4 4, 0 4))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_EQ(poly->rings()[0].size(), 4u);
+}
+
+TEST(Wkt, ParsesHole) {
+  auto poly = ParseWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(poly.has_value());
+  ASSERT_EQ(poly->rings().size(), 2u);
+  EXPECT_TRUE(geom::ContainsPoint(*poly, {1, 1}));
+  EXPECT_FALSE(geom::ContainsPoint(*poly, {5, 5}));  // inside the hole
+}
+
+TEST(Wkt, ParsesMultiPolygon) {
+  auto poly = ParseWkt(
+      "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), "
+      "((5 5, 7 5, 7 7, 5 7, 5 5)))");
+  ASSERT_TRUE(poly.has_value());
+  ASSERT_EQ(poly->rings().size(), 2u);
+  EXPECT_TRUE(geom::ContainsPoint(*poly, {1, 1}));
+  EXPECT_TRUE(geom::ContainsPoint(*poly, {6, 6}));
+  EXPECT_FALSE(geom::ContainsPoint(*poly, {3.5, 3.5}));
+}
+
+TEST(Wkt, NegativeAndScientificCoordinates) {
+  auto poly = ParseWkt(
+      "POLYGON ((-74.26 40.49, -73.69 40.49, -73.69 40.92, -74.26 40.92, "
+      "-74.26 40.49))");
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_TRUE(geom::ContainsPoint(*poly, {-74.0, 40.7}));
+  auto sci = ParseWkt("POLYGON ((0 0, 1e1 0, 1e1 1e1, 0 1e1))");
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_TRUE(geom::ContainsPoint(*sci, {5, 5}));
+}
+
+TEST(Wkt, CaseInsensitiveKeywordAndWhitespace) {
+  EXPECT_TRUE(ParseWkt("polygon((0 0,1 0,1 1))").has_value());
+  EXPECT_TRUE(ParseWkt("  PoLyGoN ( ( 0 0 , 1 0 , 1 1 ) )  ").has_value());
+}
+
+TEST(Wkt, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWkt("").has_value());
+  EXPECT_FALSE(ParseWkt("POINT (1 2)").has_value());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0))").has_value());      // 2 verts
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 1 1)").has_value());  // no )
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 x, 1 1))").has_value());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 1 1)) junk").has_value());
+}
+
+TEST(Wkt, RoundTripThroughFormatter) {
+  auto original = ParseWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(original.has_value());
+  std::string text = ToWkt(*original);
+  auto reparsed = ParseWkt(text);
+  ASSERT_TRUE(reparsed.has_value());
+  ASSERT_EQ(reparsed->rings().size(), original->rings().size());
+  for (size_t r = 0; r < original->rings().size(); ++r) {
+    ASSERT_EQ(reparsed->rings()[r], original->rings()[r]);
+  }
+}
+
+TEST(Wkt, RoundTripSyntheticDatasets) {
+  // Every generated polygon must survive format -> parse bit-for-bit in
+  // containment behavior (9 significant digits is plenty at city scale).
+  PolygonDataset ds = Neighborhoods(0.03);
+  for (const geom::Polygon& poly : ds.polygons) {
+    auto reparsed = ParseWkt(ToWkt(poly));
+    ASSERT_TRUE(reparsed.has_value());
+    ASSERT_EQ(reparsed->num_vertices(), poly.num_vertices());
+  }
+}
+
+TEST(Wkt, CollectionParsing) {
+  std::string text =
+      "# zones\n"
+      "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\n"
+      "\n"
+      "POLYGON ((2 0, 3 0, 3 1, 2 1, 2 0))\n";
+  auto polys = ParseWktCollection(text);
+  ASSERT_TRUE(polys.has_value());
+  EXPECT_EQ(polys->size(), 2u);
+}
+
+TEST(Wkt, CollectionReportsErrorLine) {
+  std::string text =
+      "POLYGON ((0 0, 1 0, 1 1))\n"
+      "POLYGON ((broken\n";
+  size_t error_line = 0;
+  EXPECT_FALSE(ParseWktCollection(text, &error_line).has_value());
+  EXPECT_EQ(error_line, 2u);
+}
+
+}  // namespace
+}  // namespace actjoin::wl

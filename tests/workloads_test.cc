@@ -1,0 +1,191 @@
+// Tests for the synthetic workload generators: dataset presets, point
+// generators, determinism, and the statistical properties the experiments
+// rely on (clustering, coverage, scale behavior).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/grid.h"
+#include "geometry/pip.h"
+#include "util/random.h"
+#include "workloads/datasets.h"
+#include "workloads/point_gen.h"
+
+namespace actjoin::wl {
+namespace {
+
+using geo::Grid;
+
+TEST(Datasets, NycPresetsMatchPaperShape) {
+  // Polygon counts and complexity must be ordered like the paper's Table 1:
+  // few complex boroughs, medium neighborhoods, many simple census blocks.
+  PolygonDataset b = Boroughs(1.0);
+  PolygonDataset n = Neighborhoods(1.0);
+  PolygonDataset c = Census(0.05);  // scaled; count ordering still holds
+
+  EXPECT_EQ(b.polygons.size(), 5u);
+  EXPECT_EQ(n.polygons.size(), 289u);
+  EXPECT_GT(c.polygons.size(), n.polygons.size());
+
+  EXPECT_GT(b.AvgVertices(), 300);   // paper: 662
+  EXPECT_NEAR(n.AvgVertices(), 29.6, 8);  // paper: 29.6
+  EXPECT_LT(c.AvgVertices(), 15);    // paper: 12.5
+}
+
+TEST(Datasets, AllNycDatasetsShareTheExtent) {
+  // "All three polygon datasets cover approximately the same area."
+  auto sets = NycDatasets(0.1);
+  for (const auto& ds : sets) {
+    EXPECT_EQ(ds.mbr.lo.x, NycMbr().lo.x);
+    EXPECT_EQ(ds.mbr.hi.y, NycMbr().hi.y);
+  }
+}
+
+TEST(Datasets, ScaleControlsPolygonCount) {
+  EXPECT_LT(Neighborhoods(0.1).polygons.size(),
+            Neighborhoods(1.0).polygons.size());
+  EXPECT_LT(Census(0.01).polygons.size(), Census(0.1).polygons.size());
+}
+
+TEST(Datasets, TwitterCityPresets) {
+  auto cities = TwitterCities(1.0);
+  ASSERT_EQ(cities.size(), 4u);
+  EXPECT_EQ(cities[0].name, "NYC");
+  EXPECT_EQ(cities[1].name, "BOS");
+  // Paper polygon counts: NYC 289, BOS 42, LA 160, SF 117.
+  EXPECT_EQ(cities[0].polygons.size(), 289u);
+  EXPECT_NEAR(cities[1].polygons.size(), 42, 10);
+  EXPECT_NEAR(cities[2].polygons.size(), 160, 12);
+  EXPECT_NEAR(cities[3].polygons.size(), 117, 12);
+  // Different cities, different extents.
+  EXPECT_FALSE(cities[0].mbr.Intersects(cities[1].mbr));
+}
+
+TEST(PointGen, UniformBoundsAndDeterminism) {
+  Grid grid;
+  geom::Rect mbr = NycMbr();
+  PointSet a = UniformPoints(mbr, 5000, 77, grid);
+  PointSet b = UniformPoints(mbr, 5000, 77, grid);
+  PointSet c = UniformPoints(mbr, 5000, 78, grid);
+  ASSERT_EQ(a.size(), 5000u);
+  bool identical = true, differs = false;
+  for (uint64_t k = 0; k < a.size(); ++k) {
+    ASSERT_TRUE(mbr.Contains(a.points()[k]));
+    identical &= a.points()[k] == b.points()[k];
+    differs |= !(a.points()[k] == c.points()[k]);
+  }
+  EXPECT_TRUE(identical);
+  EXPECT_TRUE(differs);
+}
+
+TEST(PointGen, CellIdsMatchGrid) {
+  Grid grid;
+  PointSet pts = UniformPoints(NycMbr(), 2000, 79, grid);
+  for (uint64_t k = 0; k < pts.size(); ++k) {
+    const geom::Point& p = pts.points()[k];
+    ASSERT_EQ(pts.cell_ids()[k], grid.CellAt({p.y, p.x}).id());
+  }
+}
+
+TEST(PointGen, HotspotPointsAreClustered) {
+  // The clustered generator must concentrate mass: the densest 10% of a
+  // coarse grid should hold far more than 10% of the points (real taxi
+  // data: >90% in Manhattan).
+  Grid grid;
+  geom::Rect mbr = NycMbr();
+  PointSet pts = TaxiPoints(mbr, 50'000, grid, 80);
+
+  constexpr int kBuckets = 20;
+  std::vector<uint64_t> histogram(kBuckets * kBuckets, 0);
+  for (const geom::Point& p : pts.points()) {
+    int bx = std::min(kBuckets - 1,
+                      static_cast<int>((p.x - mbr.lo.x) / mbr.Width() *
+                                       kBuckets));
+    int by = std::min(kBuckets - 1,
+                      static_cast<int>((p.y - mbr.lo.y) / mbr.Height() *
+                                       kBuckets));
+    ++histogram[by * kBuckets + bx];
+  }
+  std::sort(histogram.rbegin(), histogram.rend());
+  uint64_t top10pct = 0;
+  for (int k = 0; k < kBuckets * kBuckets / 10; ++k) top10pct += histogram[k];
+  EXPECT_GT(static_cast<double>(top10pct) / pts.size(), 0.5);
+}
+
+TEST(PointGen, UniformIsNotClustered) {
+  Grid grid;
+  geom::Rect mbr = NycMbr();
+  PointSet pts = UniformPoints(mbr, 50'000, 81, grid);
+  constexpr int kBuckets = 20;
+  std::vector<uint64_t> histogram(kBuckets * kBuckets, 0);
+  for (const geom::Point& p : pts.points()) {
+    int bx = std::min(kBuckets - 1,
+                      static_cast<int>((p.x - mbr.lo.x) / mbr.Width() *
+                                       kBuckets));
+    int by = std::min(kBuckets - 1,
+                      static_cast<int>((p.y - mbr.lo.y) / mbr.Height() *
+                                       kBuckets));
+    ++histogram[by * kBuckets + bx];
+  }
+  std::sort(histogram.rbegin(), histogram.rend());
+  uint64_t top10pct = 0;
+  for (int k = 0; k < kBuckets * kBuckets / 10; ++k) top10pct += histogram[k];
+  double share = static_cast<double>(top10pct) / pts.size();
+  EXPECT_GT(share, 0.09);
+  EXPECT_LT(share, 0.15);
+}
+
+TEST(PointGen, HotspotPointsStayInMbr) {
+  Grid grid;
+  geom::Rect mbr = NycMbr();
+  PointSet pts = TaxiPoints(mbr, 20'000, grid, 82);
+  for (const geom::Point& p : pts.points()) {
+    ASSERT_TRUE(mbr.Contains(p));
+  }
+}
+
+TEST(PointGen, PrefixSlicing) {
+  Grid grid;
+  PointSet pts = UniformPoints(NycMbr(), 1000, 83, grid);
+  act::JoinInput half = pts.Prefix(500);
+  EXPECT_EQ(half.size(), 500u);
+  EXPECT_EQ(half.cell_ids[0], pts.cell_ids()[0]);
+  act::JoinInput over = pts.Prefix(5000);  // clamped
+  EXPECT_EQ(over.size(), 1000u);
+}
+
+TEST(PointGen, CustomHotspots) {
+  Grid grid;
+  geom::Rect mbr = geom::Rect::Of(0, 0, 10, 10);
+  std::vector<Hotspot> spots = {{{2, 2}, 0.1, 0.1, 1.0}};
+  PointSet pts = HotspotPoints(mbr, 5000, 84, grid, spots,
+                               /*background_weight=*/0.0);
+  // Nearly all points within 5 sigma of the single hotspot.
+  uint64_t near = 0;
+  for (const geom::Point& p : pts.points()) {
+    if (std::abs(p.x - 2) < 0.5 && std::abs(p.y - 2) < 0.5) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / pts.size(), 0.99);
+}
+
+TEST(PointGen, TaxiPointsMostlyInsideSomePolygon) {
+  // The join experiments assume most clustered points match a polygon.
+  Grid grid;
+  PolygonDataset ds = Neighborhoods(0.1);
+  PointSet pts = TaxiPoints(ds.mbr, 2000, grid, 85);
+  uint64_t inside = 0;
+  for (const geom::Point& p : pts.points()) {
+    for (const auto& poly : ds.polygons) {
+      if (geom::ContainsPoint(poly, p)) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(inside) / pts.size(), 0.95);
+}
+
+}  // namespace
+}  // namespace actjoin::wl
