@@ -28,6 +28,7 @@ double MeasureTrieThroughput(const act::EncodedCovering& enc,
         trie, enc.table, input, polys, {act::JoinMode::kApproximate, 1});
     best = std::max(best, stats.ThroughputMps());
   }
+  NoteThroughput(best);
   return best;
 }
 
@@ -151,6 +152,7 @@ int Run(int argc, char** argv) {
                            {act::JoinMode::kApproximate, 1});
       best = std::max(best, stats.ThroughputMps());
     }
+    NoteThroughput(best);
     nodes.AddRow({util::TablePrinter::FmtInt(bytes),
                   util::TablePrinter::FmtInt(gbt.tree().height()),
                   Mib(gbt.MemoryBytes()),
@@ -163,4 +165,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "ablation",
+                                   actjoin::bench::Run);
+}

@@ -9,6 +9,17 @@
 
 namespace actjoin::bench {
 
+namespace {
+
+// Smoke-report state shared between ParseEnv (which learns the report path
+// from the flags), NoteThroughput (called from measurement loops), and
+// BenchMain (which writes the line). One bench binary = one process, so
+// plain globals are sufficient.
+std::string g_smoke_report_path;
+double g_best_mpoints_s = 0;
+
+}  // namespace
+
 BenchEnv ParseEnv(int argc, char** argv, util::Flags* flags,
                   double default_scale, uint64_t default_points) {
   flags->AddDouble("scale", default_scale,
@@ -19,6 +30,10 @@ BenchEnv ParseEnv(int argc, char** argv, util::Flags* flags,
   flags->AddInt("reps", 2, "measurement repetitions (max reported)");
   flags->AddBool("csv", false, "also print CSV rows");
   flags->AddBool("full", false, "paper-scale run (scale=1, 20M points)");
+  flags->AddBool("smoke", false,
+                 "tiny verification run, seconds (overrides --full)");
+  flags->AddString("smoke_report", "",
+                   "append a JSON result line to this file after the run");
   flags->Parse(argc, argv);
 
   BenchEnv env;
@@ -31,6 +46,13 @@ BenchEnv ParseEnv(int argc, char** argv, util::Flags* flags,
     env.scale = 1.0;
     env.points = std::max<uint64_t>(env.points, 20'000'000);
   }
+  if (flags->GetBool("smoke")) {
+    env.smoke = true;
+    env.scale = std::min(env.scale, 0.02);
+    env.points = std::min<uint64_t>(env.points, 50'000);
+    env.reps = 1;
+  }
+  g_smoke_report_path = flags->GetString("smoke_report");
   return env;
 }
 
@@ -68,6 +90,7 @@ StructureRun MeasureJoin(const std::string& name, const Index& index,
       run.stats = stats;
     }
   }
+  NoteThroughput(run.mpoints_s);
   return run;
 }
 
@@ -135,6 +158,36 @@ void Emit(const BenchEnv& env, const util::TablePrinter& table) {
     table.PrintCsv();
   }
   std::printf("\n");
+}
+
+void NoteThroughput(double mpoints_s) {
+  g_best_mpoints_s = std::max(g_best_mpoints_s, mpoints_s);
+}
+
+void AppendSmokeReport(const std::string& path, const char* name,
+                       double throughput_mps, double wall_ms) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "smoke_report: cannot open %s\n", path.c_str());
+    return;
+  }
+  // One fprintf -> one write on a line-sized buffer: concurrent appenders
+  // (ctest -j) cannot interleave mid-line.
+  std::fprintf(
+      f, "{\"name\":\"%s\",\"throughput_mps\":%.4f,\"wall_ms\":%.1f}\n",
+      name, throughput_mps, wall_ms);
+  std::fclose(f);
+}
+
+int BenchMain(int argc, char** argv, const char* name,
+              int (*run)(int argc, char** argv)) {
+  util::WallTimer timer;
+  int rc = run(argc, argv);
+  double wall_ms = timer.ElapsedMillis();
+  if (rc == 0 && !g_smoke_report_path.empty()) {
+    AppendSmokeReport(g_smoke_report_path, name, g_best_mpoints_s, wall_ms);
+  }
+  return rc;
 }
 
 }  // namespace actjoin::bench

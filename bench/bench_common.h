@@ -1,17 +1,21 @@
 // Shared infrastructure for the per-table / per-figure benchmark binaries.
 //
 // Every binary accepts:
-//   --scale    dataset scale factor (1.0 = the paper's polygon counts)
-//   --points   number of join points (paper: 1.23 B taxi pick-ups)
-//   --threads  worker threads for multi-threaded experiments
-//   --reps     measurement repetitions (max throughput reported)
-//   --csv      additionally print rows as CSV
-//   --full     paper-scale run (scale=1, more points)
+//   --scale         dataset scale factor (1.0 = the paper's polygon counts)
+//   --points        number of join points (paper: 1.23 B taxi pick-ups)
+//   --threads       worker threads for multi-threaded experiments
+//   --reps          measurement repetitions (max throughput reported)
+//   --csv           additionally print rows as CSV
+//   --full          paper-scale run (scale=1, more points)
+//   --smoke         tiny verification run (seconds; overrides --full)
+//   --smoke_report  path: append one JSON line {name, throughput_mps,
+//                   wall_ms} after a successful run (ctest wires this to
+//                   <build>/bench_smoke.json)
 //
 // Defaults are sized so the complete suite regenerates every table and
 // figure on a small machine in minutes; --full reproduces the paper's
 // dataset sizes (slow: the 4 m census covering alone holds tens of millions
-// of cells).
+// of cells); --smoke only proves the binary still runs end to end.
 
 #ifndef ACTJOIN_BENCH_BENCH_COMMON_H_
 #define ACTJOIN_BENCH_BENCH_COMMON_H_
@@ -34,6 +38,7 @@ struct BenchEnv {
   int threads = 1;
   int reps = 2;
   bool csv = false;
+  bool smoke = false;
   geo::Grid grid;
 };
 
@@ -82,6 +87,23 @@ std::string Mib(uint64_t bytes);
 
 /// Prints the table and, when env.csv, the CSV mirror.
 void Emit(const BenchEnv& env, const util::TablePrinter& table);
+
+/// Records one throughput observation (millions of points per second); the
+/// maximum across the whole run lands in the --smoke_report JSON line.
+/// RunAllStructures calls this automatically; benches that measure joins
+/// some other way call it themselves.
+void NoteThroughput(double mpoints_s);
+
+/// Appends `{"name":...,"throughput_mps":...,"wall_ms":...}\n` to `path`.
+/// One line, one write: safe under parallel ctest appenders.
+void AppendSmokeReport(const std::string& path, const char* name,
+                       double throughput_mps, double wall_ms);
+
+/// Entry point used by every bench binary's main(). Times the whole run
+/// and, when the run parsed --smoke_report=<path> via ParseEnv, appends
+/// this binary's JSON line on success.
+int BenchMain(int argc, char** argv, const char* name,
+              int (*run)(int argc, char** argv));
 
 }  // namespace actjoin::bench
 

@@ -55,6 +55,7 @@ int Run(int argc, char** argv) {
             act::ExecuteJoin(trie, enc.table, input, ds.polygons, jopts);
         act_best = std::max(act_best, stats.ThroughputMps());
       }
+      NoteThroughput(act_best);
       table.AddRow({ds.name, mode.label, "ACT4",
                     util::TablePrinter::Fmt(act_best, 2), "-"});
 
@@ -74,6 +75,7 @@ int Run(int argc, char** argv) {
         act::JoinStats stats = raster.Execute(input, env.threads);
         raster_best = std::max(raster_best, stats.ThroughputMps());
       }
+      NoteThroughput(raster_best);
       table.AddRow({ds.name, mode.label,
                     ropts.accurate ? "ARJ" : "BRJ",
                     util::TablePrinter::Fmt(raster_best, 2),
@@ -92,4 +94,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "fig11_raster",
+                                   actjoin::bench::Run);
+}

@@ -93,4 +93,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "fig7_throughput",
+                                   actjoin::bench::Run);
+}

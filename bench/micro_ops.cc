@@ -6,7 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "act/act.h"
+#include "bench/bench_common.h"
+#include "util/timer.h"
 #include "act/classifier.h"
 #include "act/pipeline.h"
 #include "baselines/cell_indexes.h"
@@ -186,4 +192,38 @@ BENCHMARK(BM_SuperCoveringInsert);
 }  // namespace
 }  // namespace actjoin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus the repo-wide --smoke / --smoke_report protocol
+// (see bench/CMakeLists.txt). --smoke caps each micro-benchmark at a few
+// milliseconds of measurement; --smoke_report appends the standard JSON
+// line with throughput 0 (micro-op items/s are not join points/s).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string report_path;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kReport = "--smoke_report=";
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.substr(0, kReport.size()) == kReport) {
+      report_path = std::string(arg.substr(kReport.size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char kMinTime[] = "--benchmark_min_time=0.005";
+  if (smoke) args.push_back(kMinTime);
+  args.push_back(nullptr);
+  int n = static_cast<int>(args.size()) - 1;
+
+  actjoin::util::WallTimer timer;
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!report_path.empty()) {
+    actjoin::bench::AppendSmokeReport(report_path, "micro_ops", 0.0,
+                                      timer.ElapsedMillis());
+  }
+  return 0;
+}

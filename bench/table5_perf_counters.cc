@@ -28,7 +28,7 @@ CounterRow MeasureCounters(const Index& index, const act::LookupTable& table,
   act::JoinStats stats = act::ExecuteJoin(
       index, table, input, polys, {act::JoinMode::kApproximate, 1});
   util::PerfSample sample = group.Stop();
-  (void)stats;
+  NoteThroughput(stats.ThroughputMps());
   CounterRow row;
   double n = static_cast<double>(input.size());
   if (sample.cycles.valid) row.cycles = sample.cycles.value / n;
@@ -104,4 +104,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "table5_perf_counters",
+                                   actjoin::bench::Run);
+}

@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
         act::JoinStats stats = idx.Join(input, {act::JoinMode::kExact, 1});
         if (stats.ThroughputMps() > best.ThroughputMps()) best = stats;
       }
+      NoteThroughput(best.ThroughputMps());
       return best;
     };
 
@@ -90,4 +91,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "table6_training",
+                                   actjoin::bench::Run);
+}

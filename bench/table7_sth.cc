@@ -37,6 +37,7 @@ int Run(int argc, char** argv) {
     index.Train(history.AsJoinInput());
     act::JoinStats after =
         index.Join(query.AsJoinInput(), {act::JoinMode::kExact, 1});
+    NoteThroughput(after.ThroughputMps());
     row.push_back(util::TablePrinter::Fmt(before.SthPercent(), 1) + " -> " +
                   util::TablePrinter::Fmt(after.SthPercent(), 1));
   }
@@ -51,4 +52,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace actjoin::bench
 
-int main(int argc, char** argv) { return actjoin::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "table7_sth",
+                                   actjoin::bench::Run);
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# One-shot build & verification runner.
+#
+#   scripts/check.sh              # release build + full ctest suite
+#   scripts/check.sh asan         # the same under AddressSanitizer
+#   scripts/check.sh ubsan        # the same under UBSan
+#   scripts/check.sh all          # release, then asan, then ubsan
+#
+# Any extra arguments are forwarded to ctest, e.g.:
+#   scripts/check.sh release -R Serialization
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset=$1; shift
+  echo "==> ${preset}: configure"
+  cmake --preset "${preset}"
+  echo "==> ${preset}: build"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "==> ${preset}: ctest"
+  ctest --preset "${preset}" "$@"
+  echo "==> ${preset}: OK"
+}
+
+mode=${1:-release}
+[ $# -gt 0 ] && shift
+
+case "${mode}" in
+  release|debug|asan|ubsan)
+    run_preset "${mode}" "$@"
+    ;;
+  all)
+    run_preset release "$@"
+    run_preset asan "$@"
+    run_preset ubsan "$@"
+    ;;
+  *)
+    echo "usage: $0 [release|debug|asan|ubsan|all] [ctest args...]" >&2
+    exit 2
+    ;;
+esac

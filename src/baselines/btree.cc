@@ -29,7 +29,11 @@ struct BTree::LeafNode {
 };
 
 struct BTree::InnerNode {
-  Node h;  // h.count = number of children; separators = count - 1
+  // h.count = number of children; separators = count - 1. The header is
+  // padded to 8 bytes so the separator/child arrays appended at `this + 1`
+  // are aligned for uint64_t / Node* access (LeafNode gets this for free
+  // from its chain pointers).
+  alignas(8) Node h;
 
   uint64_t* seps() { return reinterpret_cast<uint64_t*>(this + 1); }
   const uint64_t* seps() const {

@@ -4,26 +4,32 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/check.h"
+
 namespace actjoin::util {
 
 void Flags::AddDouble(const std::string& name, double default_value,
                       const std::string& help) {
+  ACT_CHECK_MSG(Find(name) == nullptr, "duplicate flag registration");
   flags_.push_back({name, Type::kDouble, help, default_value, 0, false, ""});
 }
 
 void Flags::AddInt(const std::string& name, int64_t default_value,
                    const std::string& help) {
+  ACT_CHECK_MSG(Find(name) == nullptr, "duplicate flag registration");
   flags_.push_back({name, Type::kInt, help, 0, default_value, false, ""});
 }
 
 void Flags::AddBool(const std::string& name, bool default_value,
                     const std::string& help) {
+  ACT_CHECK_MSG(Find(name) == nullptr, "duplicate flag registration");
   flags_.push_back({name, Type::kBool, help, 0, 0, default_value, ""});
 }
 
 void Flags::AddString(const std::string& name,
                       const std::string& default_value,
                       const std::string& help) {
+  ACT_CHECK_MSG(Find(name) == nullptr, "duplicate flag registration");
   flags_.push_back({name, Type::kString, help, 0, 0, false, default_value});
 }
 
@@ -58,17 +64,27 @@ void Flags::PrintUsage(const char* binary) const {
 
 void Flags::Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--", 2) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg);
-      PrintUsage(argv[0]);
-      std::exit(2);
-    }
-    std::string body = arg + 2;
-    if (body == "help") {
+    if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage(argv[0]);
       std::exit(0);
     }
+  }
+  std::string error;
+  if (!TryParse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    PrintUsage(argv[0]);
+    std::exit(2);
+  }
+}
+
+bool Flags::TryParse(int argc, char** argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      *error = "unexpected argument: " + std::string(arg);
+      return false;
+    }
+    std::string body = arg + 2;
     std::string name;
     std::string value;
     bool has_value = false;
@@ -82,9 +98,8 @@ void Flags::Parse(int argc, char** argv) {
     }
     Flag* f = Find(name);
     if (f == nullptr) {
-      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
-      PrintUsage(argv[0]);
-      std::exit(2);
+      *error = "unknown flag: --" + name;
+      return false;
     }
     if (!has_value) {
       if (f->type == Type::kBool) {
@@ -92,18 +107,45 @@ void Flags::Parse(int argc, char** argv) {
         continue;
       }
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
-        std::exit(2);
+        *error = "flag --" + name + " requires a value";
+        return false;
       }
       value = argv[++i];
     }
+    const char* cstr = value.c_str();
+    char* end = nullptr;
     switch (f->type) {
-      case Type::kDouble: f->d = std::strtod(value.c_str(), nullptr); break;
-      case Type::kInt: f->i = std::strtoll(value.c_str(), nullptr, 10); break;
-      case Type::kBool: f->b = (value == "true" || value == "1"); break;
-      case Type::kString: f->s = value; break;
+      case Type::kDouble:
+        f->d = std::strtod(cstr, &end);
+        if (value.empty() || *end != '\0') {
+          *error = "malformed value for --" + name + ": '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kInt:
+        f->i = std::strtoll(cstr, &end, 10);
+        if (value.empty() || *end != '\0') {
+          *error = "malformed value for --" + name + ": '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          f->b = true;
+        } else if (value == "false" || value == "0") {
+          f->b = false;
+        } else {
+          *error = "malformed value for --" + name + ": '" + value +
+                   "' (want true/false/1/0)";
+          return false;
+        }
+        break;
+      case Type::kString:
+        f->s = value;
+        break;
     }
   }
+  return true;
 }
 
 double Flags::GetDouble(const std::string& name) const {

@@ -1,7 +1,10 @@
 // Minimal command-line flag parsing for benchmark and example binaries.
 //
-// Supports `--name=value` and `--name value`; unknown flags abort with a
-// usage message listing the registered flags. Benchmark binaries use this to
+// Supports `--name=value` and `--name value`; unknown flags, malformed
+// values, and missing values abort with a usage message listing the
+// registered flags (TryParse offers the same checks without exiting, for
+// embedding and for tests). Registering the same flag name twice is a
+// programming error and fails an ACT_CHECK. Benchmark binaries use this to
 // expose --scale / --points / --threads / --full without pulling in a flags
 // dependency.
 
@@ -17,7 +20,7 @@ namespace actjoin::util {
 class Flags {
  public:
   /// Registers a flag with a default value and help text. Must be called
-  /// before Parse().
+  /// before Parse(). Registering a name twice fails an ACT_CHECK.
   void AddDouble(const std::string& name, double default_value,
                  const std::string& help);
   void AddInt(const std::string& name, int64_t default_value,
@@ -27,8 +30,16 @@ class Flags {
   void AddString(const std::string& name, const std::string& default_value,
                  const std::string& help);
 
-  /// Parses argv; prints usage and exits on --help or an unknown flag.
+  /// Parses argv; prints usage and exits 0 on --help, prints the error plus
+  /// usage and exits 2 on any parse error.
   void Parse(int argc, char** argv);
+
+  /// Parses argv without exiting (--help is an error here: the caller owns
+  /// the response). Returns false and sets *error on: an unknown flag, a
+  /// positional argument, a missing value, or a malformed value (int and
+  /// double flags require a full numeric parse; bool values must be one of
+  /// true/false/1/0).
+  bool TryParse(int argc, char** argv, std::string* error);
 
   double GetDouble(const std::string& name) const;
   int64_t GetInt(const std::string& name) const;

@@ -2,6 +2,12 @@
 // lookup table, the super covering builder (Listing 1), and precision
 // refinement (Sec. 3.2).
 
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from util::Rng with explicit literal seeds or from the workload
+// factories, whose default seeds are fixed compile-time constants -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
 #include <gtest/gtest.h>
 
 #include <map>

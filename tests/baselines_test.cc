@@ -3,6 +3,12 @@
 // raw PIP), and the raster join (ARJ exactness, BRJ error bound,
 // multi-pass invariance).
 
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from util::Rng with explicit literal seeds or from the workload
+// factories, whose default seeds are fixed compile-time constants -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
 #include <gtest/gtest.h>
 
 #include <algorithm>

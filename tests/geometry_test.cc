@@ -1,6 +1,12 @@
 // Unit and property tests for the geometry kernel: segment predicates,
 // polygons, point-in-polygon, classification, and the edge-grid accelerator.
 
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from util::Rng with explicit literal seeds or from the workload
+// factories, whose default seeds are fixed compile-time constants -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -3,6 +3,12 @@
 // malformed polygons, out-of-range ids), and the batch probe must be
 // bit-identical to the scalar probe.
 
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from util::Rng with explicit literal seeds or from the workload
+// factories, whose default seeds are fixed compile-time constants -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -126,7 +132,7 @@ TEST(PerfCounters, StartStopProducesCycles) {
   util::PerfCounterGroup group;
   group.Start();
   volatile uint64_t sink = 0;
-  for (int k = 0; k < 100000; ++k) sink += k;
+  for (int k = 0; k < 100000; ++k) sink = sink + k;
   util::PerfSample sample = group.Stop();
   // Cycles are always available (hardware event or TSC fallback) and the
   // busy loop above must have consumed a visible amount.

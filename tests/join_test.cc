@@ -2,6 +2,12 @@
 // brute-force oracle, the approximate join's distance bound, training
 // effects, and multithreaded consistency.
 
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from util::Rng with explicit literal seeds or from the workload
+// factories, whose default seeds are fixed compile-time constants -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
