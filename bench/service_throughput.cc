@@ -1,0 +1,169 @@
+// Serving-layer throughput (src/service/): sharded executors vs a single
+// index over the same polygon set, plus the end-to-end JoinService path
+// (bounded queue + worker pool + snapshot registry).
+//
+//   direct 1-shard:   ShardedIndex with num_shards=1 — the unsharded
+//                     baseline behind the same routing interface
+//   direct N-shards:  Hilbert-range sharding; points bucket-sorted by
+//                     shard, probed shard-by-shard
+//   service N-shards: Submit()-ed in fixed-size batches through the
+//                     worker pool, measured end to end (queue included)
+//
+// Extra flags: --shards (default 8), --batch (points per service request),
+// --workers (service worker threads; default = --threads).
+// At --smoke the run pins --threads=8 so the sharded-vs-single comparison
+// matches the acceptance configuration.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/join_service.h"
+#include "service/sharded_index.h"
+#include "util/timer.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  flags.AddInt("shards", 8,
+               "shard count for the sharded configurations (floored to 2; "
+               "the 1-shard baseline always runs)");
+  flags.AddInt("batch", 65536, "points per JoinService request");
+  flags.AddInt("workers", 0,
+               "JoinService worker threads (0 => same as --threads)");
+  BenchEnv env = ParseEnv(argc, argv, &flags);
+  if (env.smoke) {
+    // The acceptance comparison is "N shards vs 1 shard at 8 threads";
+    // repetitions keep the tiny smoke workload out of timer noise.
+    env.threads = 8;
+    env.reps = 5;
+  }
+  const int shards = std::max(2, static_cast<int>(flags.GetInt("shards")));
+  const uint64_t batch_points =
+      std::max<int64_t>(1, flags.GetInt("batch"));
+  int workers = static_cast<int>(flags.GetInt("workers"));
+  if (workers <= 0) workers = env.threads;
+
+  wl::PolygonDataset ds = wl::Neighborhoods(env.scale);
+  wl::PointSet pts = Taxi(env, ds.mbr);
+  act::JoinInput input = pts.AsJoinInput();
+  act::JoinOptions join_opts{act::JoinMode::kApproximate, env.threads};
+
+  service::ShardingOptions base;
+  base.build.precision_bound_m = 60.0;  // the paper's serving-grade bound
+  base.build.threads = env.threads;
+
+  std::printf(
+      "Serving-layer throughput: %zu polygons, %llu points, %d threads "
+      "(scale=%.3g)\n\n",
+      ds.polygons.size(), static_cast<unsigned long long>(input.size()),
+      env.threads, env.scale);
+  util::TablePrinter table({"config", "build [s]", "index [MiB]",
+                            "throughput [M points/s]"});
+
+  // Direct joins: identical routing code path, only the shard count
+  // differs, so the delta is the sharding effect itself. Measurement
+  // rounds interleave the two configurations so load drift hits both.
+  std::vector<int> shard_counts{1, shards};
+  std::vector<service::ShardedIndex> indexes;
+  for (int num_shards : shard_counts) {
+    service::ShardingOptions opts = base;
+    opts.num_shards = num_shards;
+    indexes.push_back(
+        service::ShardedIndex::Build(ds.polygons, env.grid, opts));
+  }
+  // At smoke size one join lasts ~1 ms — too short a window against
+  // scheduler jitter from 8 oversubscribed threads. Several joins per
+  // timed measurement keep the comparison out of the noise floor.
+  const int iters_per_rep = input.size() < 200'000 ? 4 : 1;
+  std::vector<double> best(indexes.size(), 0);
+  for (int r = 0; r < env.reps; ++r) {
+    for (size_t k = 0; k < indexes.size(); ++k) {
+      util::WallTimer timer;
+      for (int it = 0; it < iters_per_rep; ++it) {
+        indexes[k].Join(input, join_opts);
+      }
+      double seconds = timer.ElapsedSeconds();
+      if (seconds > 0) {
+        best[k] = std::max(best[k], static_cast<double>(input.size()) *
+                                        iters_per_rep / seconds / 1e6);
+      }
+    }
+  }
+  for (size_t k = 0; k < indexes.size(); ++k) {
+    NoteThroughput(best[k]);
+    char name[64];
+    std::snprintf(name, sizeof(name), "direct %d-shard", shard_counts[k]);
+    table.AddRow({name,
+                  util::TablePrinter::Fmt(indexes[k].build_seconds(), 2),
+                  Mib(indexes[k].MemoryBytes()),
+                  util::TablePrinter::Fmt(best[k], 2)});
+  }
+  double single_mps = best[0];
+  double multi_mps = best[1];
+
+  // End-to-end service path: same sharded index behind the queue + pool.
+  {
+    service::ShardingOptions opts = base;
+    opts.num_shards = shards;
+    auto index = std::make_shared<const service::ShardedIndex>(
+        service::ShardedIndex::Build(ds.polygons, env.grid, opts));
+    service::ServiceOptions sopts;
+    sopts.worker_threads = workers;
+    sopts.queue_capacity = 256;
+    double best = 0;
+    service::ServiceStats sstats;
+    for (int r = 0; r < env.reps; ++r) {
+      service::JoinService server(index, sopts);
+      std::vector<std::future<service::JoinResult>> futures;
+      util::WallTimer timer;
+      for (uint64_t begin = 0; begin < input.size(); begin += batch_points) {
+        uint64_t end = std::min(begin + batch_points, input.size());
+        service::QueryBatch batch;
+        batch.cell_ids.assign(input.cell_ids.begin() + begin,
+                              input.cell_ids.begin() + end);
+        batch.points.assign(input.points.begin() + begin,
+                            input.points.begin() + end);
+        batch.mode = act::JoinMode::kApproximate;
+        futures.push_back(server.Submit(std::move(batch)));
+      }
+      uint64_t served = 0;
+      for (auto& f : futures) served += f.get().stats.num_points;
+      double seconds = timer.ElapsedSeconds();
+      if (seconds > 0) {
+        best = std::max(best, static_cast<double>(served) / seconds / 1e6);
+      }
+      sstats = server.Stats();
+      server.Shutdown();
+    }
+    NoteThroughput(best);
+    char name[64];
+    std::snprintf(name, sizeof(name), "service %d-shard", shards);
+    table.AddRow({name, "-", Mib(index->MemoryBytes()),
+                  util::TablePrinter::Fmt(best, 2)});
+    std::printf(
+        "service stats: %llu requests, queue-wait p50/p99 %.2f/%.2f ms, "
+        "service p50/p99 %.2f/%.2f ms\n\n",
+        static_cast<unsigned long long>(sstats.completed_requests),
+        sstats.queue_wait_p50_ms, sstats.queue_wait_p99_ms,
+        sstats.service_p50_ms, sstats.service_p99_ms);
+  }
+
+  Emit(env, table);
+  std::printf("%d-shard vs 1-shard direct throughput at %d threads: %.2fx\n",
+              shards, env.threads,
+              single_mps > 0 ? multi_mps / single_mps : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "service_throughput",
+                                   actjoin::bench::Run);
+}

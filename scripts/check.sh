@@ -4,7 +4,8 @@
 #   scripts/check.sh              # release build + full ctest suite
 #   scripts/check.sh asan         # the same under AddressSanitizer
 #   scripts/check.sh ubsan        # the same under UBSan
-#   scripts/check.sh all          # release, then asan, then ubsan
+#   scripts/check.sh tsan         # serving-layer suite under ThreadSanitizer
+#   scripts/check.sh all          # release, then asan, then ubsan, then tsan
 #
 # Any extra arguments are forwarded to ctest, e.g.:
 #   scripts/check.sh release -R Serialization
@@ -30,13 +31,21 @@ case "${mode}" in
   release|debug|asan|ubsan)
     run_preset "${mode}" "$@"
     ;;
+  tsan)
+    # TSan exists for the concurrent serving layer; the sequential suites
+    # triple their runtime under it for no additional coverage. The filter
+    # comes last so a forwarded -R cannot accidentally widen the run
+    # (ctest honors the last -R).
+    run_preset tsan "$@" -R '^Service'
+    ;;
   all)
     run_preset release "$@"
     run_preset asan "$@"
     run_preset ubsan "$@"
+    run_preset tsan "$@" -R '^Service'
     ;;
   *)
-    echo "usage: $0 [release|debug|asan|ubsan|all] [ctest args...]" >&2
+    echo "usage: $0 [release|debug|asan|ubsan|tsan|all] [ctest args...]" >&2
     exit 2
     ;;
 esac

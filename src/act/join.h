@@ -37,7 +37,11 @@ enum class JoinMode {
 
 struct JoinOptions {
   JoinMode mode = JoinMode::kExact;
-  int threads = 1;
+  /// Library-wide thread convention (same as BuildOptions.threads):
+  /// 0 => util::DefaultThreadCount() (hardware concurrency), positive
+  /// values are taken literally. Benchmarks that need a clean
+  /// single-threaded measurement pass 1 explicitly.
+  int threads = 0;
 };
 
 /// Join input: parallel arrays of leaf cell ids and planar coordinates

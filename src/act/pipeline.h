@@ -36,7 +36,10 @@ struct BuildOptions {
   /// join.
   std::optional<double> precision_bound_m;
   ActOptions act;                // fanout etc.
-  int threads = 0;               // 0 => hardware concurrency
+  /// Library-wide thread convention (same as JoinOptions.threads):
+  /// 0 => util::DefaultThreadCount() (hardware concurrency), positive
+  /// values are taken literally.
+  int threads = 0;
 };
 
 struct BuildTimings {
@@ -65,6 +68,23 @@ class PolygonIndex {
   /// Trains with historical points and rebuilds the trie (Sec. 3.3.1).
   TrainStats Train(const JoinInput& training_points,
                    const TrainOptions& opts = {});
+
+  // --- Snapshot support (src/service/ serving layer) ------------------------
+
+  /// Cheap independent copy: reuses the already-computed super covering
+  /// (the expensive pipeline phase) and re-derives only classifier,
+  /// encoding, and trie. The clone shares nothing with the original, so an
+  /// updater can Clone a published snapshot, apply AddPolygons /
+  /// RemovePolygons / Train to the clone, and publish the result while
+  /// readers keep probing the original.
+  PolygonIndex Clone() const {
+    return FromComponents(polygons_, grid_, opts_, covering_);
+  }
+
+  /// Clone() boxed for the snapshot registry (see service/index_registry.h).
+  std::shared_ptr<const PolygonIndex> CloneShared() const {
+    return std::make_shared<const PolygonIndex>(Clone());
+  }
 
   // --- Updates (the paper's Sec. 3.1.2 outlook: "the same procedure could
   // be used to add new polygons at runtime") ---------------------------------

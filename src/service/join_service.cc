@@ -1,0 +1,116 @@
+#include "service/join_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/parallel_for.h"
+
+namespace actjoin::service {
+
+namespace {
+
+int ResolveWorkers(int requested) {
+  return requested <= 0 ? util::DefaultThreadCount() : requested;
+}
+
+std::future<JoinResult> FailedFuture(const char* what) {
+  std::promise<JoinResult> p;
+  p.set_exception(std::make_exception_ptr(std::runtime_error(what)));
+  return p.get_future();
+}
+
+}  // namespace
+
+JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
+    : opts_(opts),
+      registry_(std::move(initial)),
+      queue_(std::max<size_t>(1, opts.queue_capacity)),
+      stats_(ResolveWorkers(opts.worker_threads)) {
+  opts_.queue_capacity = queue_.capacity();
+  ACT_CHECK_MSG(registry_.epoch() != 0,
+                "JoinService requires a non-null initial index");
+  opts_.worker_threads = ResolveWorkers(opts_.worker_threads);
+  if (opts_.threads_per_join < 1) opts_.threads_per_join = 1;
+  if (opts_.autostart) Start();
+}
+
+JoinService::~JoinService() { Shutdown(); }
+
+void JoinService::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ || shut_down_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(opts_.worker_threads));
+  for (int w = 0; w < opts_.worker_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+std::future<JoinResult> JoinService::Submit(QueryBatch batch) {
+  auto req = std::make_unique<Request>();
+  req->batch = std::move(batch);
+  std::future<JoinResult> future = req->promise.get_future();
+  if (!queue_.Push(std::move(req))) {
+    stats_.RecordRejected();
+    return FailedFuture("JoinService: submit after shutdown");
+  }
+  return future;
+}
+
+bool JoinService::TrySubmit(QueryBatch batch,
+                            std::future<JoinResult>* result) {
+  auto req = std::make_unique<Request>();
+  req->batch = std::move(batch);
+  std::future<JoinResult> future = req->promise.get_future();
+  if (!queue_.TryPush(req)) {
+    stats_.RecordRejected();
+    return false;
+  }
+  if (result != nullptr) *result = std::move(future);
+  return true;
+}
+
+uint64_t JoinService::SwapIndex(Snapshot next) {
+  return registry_.Publish(std::move(next));
+}
+
+void JoinService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // Close lets workers drain the backlog, then their Pop() returns
+  // nullopt and they exit. With the pool never started, drain the backlog
+  // here so accepted requests still complete (on the caller's thread).
+  queue_.Close();
+  if (workers_.empty()) {
+    while (auto req = queue_.Pop()) Execute(**req, 0);
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void JoinService::WorkerLoop(int worker_id) {
+  while (auto req = queue_.Pop()) Execute(**req, worker_id);
+}
+
+void JoinService::Execute(Request& req, int worker_id) {
+  double queue_wait_ms = req.enqueued.ElapsedMillis();
+  util::WallTimer service_timer;
+
+  JoinResult result;
+  Snapshot snapshot = registry_.Acquire(&result.epoch);
+  act::JoinInput input{req.batch.cell_ids, req.batch.points};
+  result.stats =
+      snapshot->Join(input, {req.batch.mode, opts_.threads_per_join});
+  result.queue_wait_ms = queue_wait_ms;
+  result.service_ms = service_timer.ElapsedMillis();
+
+  stats_.RecordServed(worker_id, queue_wait_ms * 1e3, result.service_ms * 1e3,
+                      input.size());
+  req.promise.set_value(std::move(result));
+}
+
+}  // namespace actjoin::service

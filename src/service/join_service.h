@@ -1,0 +1,146 @@
+// JoinService: the embeddable geo-join server.
+//
+// Turns the paper's batch pipeline (build one index, run one Join) into a
+// concurrent serving layer:
+//
+//   * Clients Submit() QueryBatches and get std::future<JoinResult> back;
+//     a bounded MPMC queue (util::MpmcQueue) decouples producers from the
+//     worker pool and applies backpressure (Submit blocks when full,
+//     TrySubmit refuses).
+//   * A pool of worker threads drains the queue; each request is joined
+//     against the snapshot pinned at execution time, with the per-request
+//     JoinMode (exact / approximate).
+//   * The index is hot-swappable: SwapIndex() publishes a new ShardedIndex
+//     through a SnapshotRegistry while in-flight queries finish on the
+//     snapshot they pinned — no stop-the-world, no torn reads.
+//   * Per-service stats: QPS, queue-wait and service-latency p50/p99,
+//     queue depth, snapshot epoch (see service_stats.h).
+//
+// Typical use:
+//   auto idx = std::make_shared<const service::ShardedIndex>(
+//       service::ShardedIndex::Build(polygons, grid, {.num_shards = 8}));
+//   service::JoinService server(idx, {.worker_threads = 4});
+//   auto future = server.Submit({cell_ids, points, act::JoinMode::kExact});
+//   act::JoinStats stats = future.get().stats;
+
+#ifndef ACTJOIN_SERVICE_JOIN_SERVICE_H_
+#define ACTJOIN_SERVICE_JOIN_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "act/join.h"
+#include "geometry/point.h"
+#include "service/index_registry.h"
+#include "service/service_stats.h"
+#include "service/sharded_index.h"
+#include "util/mpmc_queue.h"
+#include "util/timer.h"
+
+namespace actjoin::service {
+
+struct ServiceOptions {
+  /// Worker threads draining the request queue. Library convention:
+  /// 0 => util::DefaultThreadCount().
+  int worker_threads = 0;
+  /// Bounded request-queue capacity (backpressure threshold); clamped to
+  /// >= 1 like the other options here.
+  size_t queue_capacity = 256;
+  /// ParallelFor width *inside* one request's probe loop. Default 1: with
+  /// a pool of workers, cross-request parallelism already saturates the
+  /// cores without oversubscription.
+  int threads_per_join = 1;
+  /// Start the worker pool in the constructor. Tests set false to fill the
+  /// queue deterministically, then call Start().
+  bool autostart = true;
+};
+
+/// One request: owned point data (the service outlives the caller's
+/// buffers) plus the join mode.
+struct QueryBatch {
+  std::vector<uint64_t> cell_ids;
+  std::vector<geom::Point> points;
+  act::JoinMode mode = act::JoinMode::kExact;
+};
+
+struct JoinResult {
+  act::JoinStats stats;
+  /// Registry epoch of the snapshot that served this request.
+  uint64_t epoch = 0;
+  double queue_wait_ms = 0;
+  double service_ms = 0;
+};
+
+class JoinService {
+ public:
+  using Snapshot = std::shared_ptr<const ShardedIndex>;
+
+  /// Serves `initial` until the first SwapIndex. `initial` must be
+  /// non-null.
+  explicit JoinService(Snapshot initial, const ServiceOptions& opts = {});
+
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  /// Shuts down (drains queued requests first).
+  ~JoinService();
+
+  /// Launches the worker pool; idempotent. Only needed when constructed
+  /// with autostart = false.
+  void Start();
+
+  /// Enqueues a batch; blocks while the queue is full. After Shutdown the
+  /// returned future carries a std::runtime_error.
+  std::future<JoinResult> Submit(QueryBatch batch);
+
+  /// Non-blocking submit: false (and no future) when the queue is full or
+  /// the service is shut down; counted in ServiceStats.rejected_requests.
+  bool TrySubmit(QueryBatch batch, std::future<JoinResult>* result);
+
+  /// Publishes a new index snapshot and returns its epoch. In-flight and
+  /// already-dequeued requests finish on the snapshot they pinned;
+  /// requests dequeued after the swap see the new one.
+  uint64_t SwapIndex(Snapshot next);
+
+  /// Pins and returns the currently published snapshot.
+  Snapshot CurrentIndex() const { return registry_.Acquire(); }
+
+  uint64_t epoch() const { return registry_.epoch(); }
+
+  /// Closes the queue, drains every already-accepted request, and joins
+  /// the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServiceStats Stats() const {
+    return stats_.Snapshot(queue_.size(), registry_.epoch());
+  }
+
+  size_t QueueDepth() const { return queue_.size(); }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    QueryBatch batch;
+    std::promise<JoinResult> promise;
+    util::WallTimer enqueued;  // starts ticking at Submit time
+  };
+
+  void WorkerLoop(int worker_id);
+  void Execute(Request& req, int worker_id);
+
+  ServiceOptions opts_;
+  SnapshotRegistry<ShardedIndex> registry_;
+  util::MpmcQueue<std::unique_ptr<Request>> queue_;
+  ServiceStatsRecorder stats_;
+  std::vector<std::thread> workers_;
+  std::mutex lifecycle_mu_;  // guards Start/Shutdown transitions
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_JOIN_SERVICE_H_

@@ -1,0 +1,104 @@
+// Per-service observability: queue depth, QPS, latency quantiles.
+//
+// Workers record into worker-local slots (one mutex per worker, so
+// recording never contends across workers); Snapshot() merges all slots
+// into one consistent read. Latencies use util::LatencyHistogram, so p50 /
+// p99 are bucket-accurate (~4.4%) at O(1) record cost.
+
+#ifndef ACTJOIN_SERVICE_SERVICE_STATS_H_
+#define ACTJOIN_SERVICE_SERVICE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/latency_histogram.h"
+#include "util/timer.h"
+
+namespace actjoin::service {
+
+/// One consistent snapshot of a JoinService's counters.
+struct ServiceStats {
+  uint64_t completed_requests = 0;
+  /// Requests refused at the door: TrySubmit with the queue full or
+  /// closed, and Submit after shutdown (which also fails its future).
+  uint64_t rejected_requests = 0;
+  uint64_t points_served = 0;
+  double uptime_s = 0;
+  double qps = 0;                   // completed_requests / uptime
+  double points_per_s = 0;
+  double queue_wait_p50_ms = 0;
+  double queue_wait_p99_ms = 0;
+  double service_p50_ms = 0;        // join execution only
+  double service_p99_ms = 0;
+  size_t queue_depth = 0;
+  uint64_t epoch = 0;               // index snapshot currently published
+};
+
+class ServiceStatsRecorder {
+ public:
+  explicit ServiceStatsRecorder(int workers)
+      : slots_(static_cast<size_t>(workers)) {
+    for (auto& slot : slots_) slot = std::make_unique<WorkerSlot>();
+  }
+
+  void RecordServed(int worker, double queue_wait_us, double service_us,
+                    uint64_t points) {
+    WorkerSlot& slot = *slots_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.queue_wait.Record(queue_wait_us);
+    slot.service.Record(service_us);
+    slot.points += points;
+    ++slot.completed;
+  }
+
+  void RecordRejected() {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Merges all worker slots; `queue_depth` and `epoch` are provided by
+  /// the service (they live outside the recorder).
+  ServiceStats Snapshot(size_t queue_depth, uint64_t epoch) const {
+    util::LatencyHistogram queue_wait, service;
+    ServiceStats out;
+    for (const auto& slot : slots_) {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      queue_wait.Merge(slot->queue_wait);
+      service.Merge(slot->service);
+      out.points_served += slot->points;
+      out.completed_requests += slot->completed;
+    }
+    out.rejected_requests = rejected_.load(std::memory_order_relaxed);
+    out.uptime_s = uptime_.ElapsedSeconds();
+    if (out.uptime_s > 0) {
+      out.qps = static_cast<double>(out.completed_requests) / out.uptime_s;
+      out.points_per_s = static_cast<double>(out.points_served) / out.uptime_s;
+    }
+    out.queue_wait_p50_ms = queue_wait.P50Micros() / 1e3;
+    out.queue_wait_p99_ms = queue_wait.P99Micros() / 1e3;
+    out.service_p50_ms = service.P50Micros() / 1e3;
+    out.service_p99_ms = service.P99Micros() / 1e3;
+    out.queue_depth = queue_depth;
+    out.epoch = epoch;
+    return out;
+  }
+
+ private:
+  struct WorkerSlot {
+    mutable std::mutex mu;
+    util::LatencyHistogram queue_wait;
+    util::LatencyHistogram service;
+    uint64_t points = 0;
+    uint64_t completed = 0;
+  };
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::atomic<uint64_t> rejected_{0};
+  util::WallTimer uptime_;
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_SERVICE_STATS_H_

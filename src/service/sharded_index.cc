@@ -1,0 +1,223 @@
+#include "service/sharded_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "cover/coverer.h"
+#include "util/check.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace actjoin::service {
+
+// Shard s owns the leaf-id interval [floor(s * 2^64 / N),
+// floor((s+1) * 2^64 / N)): equal Hilbert-range slices of the whole id
+// space. The 128-bit multiply-shift is the exact inverse map.
+int ShardedIndex::ShardOf(uint64_t leaf_cell_id) const {
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(leaf_cell_id) *
+       static_cast<unsigned>(shards_.size())) >> 64);
+}
+
+ShardedIndex ShardedIndex::Build(const std::vector<geom::Polygon>& polygons,
+                                 const geo::Grid& grid,
+                                 const ShardingOptions& opts) {
+  ShardedIndex out(grid);
+  out.opts_ = opts;
+  if (out.opts_.num_shards < 1) out.opts_.num_shards = 1;
+  if (out.opts_.routing_cover_cells < 1) out.opts_.routing_cover_cells = 1;
+  out.num_polygons_ = polygons.size();
+
+  util::WallTimer timer;
+  const int ns = out.opts_.num_shards;
+  out.shards_.resize(ns);
+
+  // Coarse per-polygon routing coverings, parallelized over polygons like
+  // the index build's own covering phase.
+  int threads = out.opts_.build.threads <= 0 ? util::DefaultThreadCount()
+                                             : out.opts_.build.threads;
+  cover::CovererOptions routing_opts{out.opts_.routing_cover_cells,
+                                     geo::CellId::kMaxLevel, 0};
+  std::vector<std::vector<geo::CellId>> routing(polygons.size());
+  util::ParallelFor(polygons.size(), threads, /*batch=*/1,
+                    [&](uint64_t begin, uint64_t end, int) {
+                      for (uint64_t i = begin; i < end; ++i) {
+                        routing[i] =
+                            cover::ComputeCovering(polygons[i], grid,
+                                                   routing_opts);
+                      }
+                    });
+
+  // A polygon belongs to every shard its routing covering touches. The
+  // covering contains the polygon, so any point inside the polygon routes
+  // to a shard that indexes it; over-assignment (from the coarse covering
+  // sticking out past the polygon) costs memory, never correctness.
+  std::vector<uint32_t> last_assigned(ns, UINT32_MAX);
+  for (uint32_t pid = 0; pid < polygons.size(); ++pid) {
+    for (const geo::CellId& cell : routing[pid]) {
+      int s0 = out.ShardOf(cell.range_min().id());
+      int s1 = out.ShardOf(cell.range_max().id());
+      for (int s = s0; s <= s1; ++s) {
+        if (last_assigned[s] != pid) {
+          last_assigned[s] = pid;
+          out.shards_[s].global_ids.push_back(pid);
+        }
+      }
+    }
+  }
+
+  // One independent PolygonIndex per non-empty shard (each build is itself
+  // parallel over its polygons).
+  for (int s = 0; s < ns; ++s) {
+    Shard& shard = out.shards_[s];
+    if (shard.global_ids.empty()) continue;
+    std::vector<geom::Polygon> subset;
+    subset.reserve(shard.global_ids.size());
+    for (uint32_t pid : shard.global_ids) subset.push_back(polygons[pid]);
+    shard.index = std::make_unique<const act::PolygonIndex>(
+        act::PolygonIndex::Build(subset, grid, out.opts_.build));
+  }
+  out.build_seconds_ = timer.ElapsedSeconds();
+  return out;
+}
+
+namespace {
+
+// Bucket-sorts the batch into shard-contiguous (= Hilbert) order.
+// offsets[s]..offsets[s+1] delimit shard s's slice of the scratch arrays;
+// orig (when non-null) maps scratch position back to the input position.
+void RouteBatch(const ShardedIndex& index, const act::JoinInput& input,
+                std::vector<uint64_t>* offsets, std::vector<uint64_t>* cells,
+                std::vector<geom::Point>* points,
+                std::vector<uint64_t>* orig) {
+  const uint64_t n = input.size();
+  const int ns = index.num_shards();
+  std::vector<uint32_t> shard_of(n);
+  offsets->assign(static_cast<size_t>(ns) + 1, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t s = static_cast<uint32_t>(index.ShardOf(input.cell_ids[i]));
+    shard_of[i] = s;
+    ++(*offsets)[s + 1];
+  }
+  for (int s = 0; s < ns; ++s) (*offsets)[s + 1] += (*offsets)[s];
+
+  cells->resize(n);
+  points->resize(n);
+  if (orig != nullptr) orig->resize(n);
+  std::vector<uint64_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t pos = cursor[shard_of[i]]++;
+    (*cells)[pos] = input.cell_ids[i];
+    (*points)[pos] = input.points[i];
+    if (orig != nullptr) (*orig)[pos] = i;
+  }
+}
+
+}  // namespace
+
+act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
+                                  const act::JoinOptions& opts) const {
+  util::WallTimer timer;
+  const uint64_t n = input.size();
+  act::JoinStats out;
+  out.num_points = n;
+  out.counts.assign(num_polygons_, 0);
+  if (n == 0) {
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<uint64_t> offsets, cells;
+  std::vector<geom::Point> points;
+  RouteBatch(*this, input, &offsets, &cells, &points, nullptr);
+
+  // Sharded executors: shards run concurrently, each owning an equal
+  // static slice of the thread budget for its inner batch-of-16 probe
+  // loop (when the budget exceeds the shard count, that inner loop is a
+  // nested ParallelFor of width budget/num_shards). The static split caps
+  // total threads at ~budget regardless of shard count — spawns are a
+  // real cost at serving-size batches. It can under-width a hot shard on
+  // heavily skewed giant batches; measured here, widening busy shards
+  // dynamically costs more in extra thread spawns than it recovers (work
+  // stealing across shard executors is the real fix — see ROADMAP). The
+  // serving path is unaffected: JoinService defaults to threads_per_join
+  // = 1 and gets its parallelism from the worker pool.
+  const int ns = num_shards();
+  const int budget =
+      opts.threads <= 0 ? util::DefaultThreadCount() : opts.threads;
+  act::JoinOptions shard_opts = opts;
+  shard_opts.threads = std::max(1, budget / ns);
+  std::vector<act::JoinStats> per_shard(ns);
+  util::ParallelFor(
+      static_cast<uint64_t>(ns), std::min(budget, ns), /*batch=*/1,
+      [&](uint64_t begin, uint64_t end, int) {
+        for (uint64_t s = begin; s < end; ++s) {
+          uint64_t count = offsets[s + 1] - offsets[s];
+          if (count == 0 || shards_[s].index == nullptr) continue;
+          act::JoinInput sub{std::span(cells).subspan(offsets[s], count),
+                             std::span(points).subspan(offsets[s], count)};
+          per_shard[s] = shards_[s].index->Join(sub, shard_opts);
+        }
+      });
+
+  for (int s = 0; s < ns; ++s) {
+    uint64_t count = offsets[s + 1] - offsets[s];
+    if (count == 0) continue;
+    const Shard& shard = shards_[s];
+    if (shard.index == nullptr) {
+      // No polygons reach this shard: every point here is a guaranteed
+      // miss (the sharded analog of the sentinel probe).
+      out.sth_points += count;
+      continue;
+    }
+    const act::JoinStats& st = per_shard[s];
+    out.matched_points += st.matched_points;
+    out.result_pairs += st.result_pairs;
+    out.true_hit_refs += st.true_hit_refs;
+    out.candidate_refs += st.candidate_refs;
+    out.pip_tests += st.pip_tests;
+    out.pip_hits += st.pip_hits;
+    out.sth_points += st.sth_points;
+    for (size_t k = 0; k < st.counts.size(); ++k) {
+      out.counts[shard.global_ids[k]] += st.counts[k];
+    }
+  }
+  out.seconds = timer.ElapsedSeconds();  // includes routing, fair total
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> ShardedIndex::JoinPairs(
+    const act::JoinInput& input, act::JoinMode mode) const {
+  std::vector<std::pair<uint64_t, uint32_t>> out;
+  if (input.size() == 0) return out;
+
+  std::vector<uint64_t> offsets, cells, orig;
+  std::vector<geom::Point> points;
+  RouteBatch(*this, input, &offsets, &cells, &points, &orig);
+
+  for (int s = 0; s < num_shards(); ++s) {
+    uint64_t count = offsets[s + 1] - offsets[s];
+    const Shard& shard = shards_[s];
+    if (count == 0 || shard.index == nullptr) continue;
+    act::JoinInput sub{std::span(cells).subspan(offsets[s], count),
+                       std::span(points).subspan(offsets[s], count)};
+    for (const auto& [local_point, local_pid] :
+         shard.index->JoinPairs(sub, mode)) {
+      out.emplace_back(orig[offsets[s] + local_point],
+                       shard.global_ids[local_pid]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t ShardedIndex::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.index != nullptr) total += shard.index->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace actjoin::service

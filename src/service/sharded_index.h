@@ -1,0 +1,111 @@
+// Spatially sharded polygon index: N per-shard Adaptive Cell Tries behind
+// a Hilbert-range router.
+//
+// A single trie's probe phase is bound by memory access latencies (paper
+// Sec. 4.1); past one socket's memory bandwidth the way to scale is to
+// shard. Cell ids already linearize space along a Hilbert curve, so a
+// shard is simply a contiguous interval of the 64-bit id space: the id
+// space is split into num_shards equal intervals, each polygon is assigned
+// to every shard its (coarse) covering intersects, and each shard builds
+// its own act::PolygonIndex over just its polygons.
+//
+// A join routes each point to exactly one shard by its leaf cell id —
+// bucket-sorting the batch into shard order (which is Hilbert order, so
+// per-shard probes stay spatially local) — then runs the paper's
+// batch-of-16 atomic-counter probe loop inside each shard and merges
+// per-shard results back to global polygon ids. Because every polygon
+// whose covering reaches a shard is indexed there, the exact-mode join is
+// byte-identical to one index over the full set (both equal the PIP ground
+// truth). Approximate-mode results keep the precision bound but may emit
+// *fewer* false positives than the unsharded index: a point is only tested
+// against the covering cells of its own shard.
+//
+// A ShardedIndex is immutable after Build, making it a snapshot type for
+// SnapshotRegistry / JoinService hot swaps.
+
+#ifndef ACTJOIN_SERVICE_SHARDED_INDEX_H_
+#define ACTJOIN_SERVICE_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "act/join.h"
+#include "act/pipeline.h"
+#include "geo/grid.h"
+#include "geometry/polygon.h"
+
+namespace actjoin::service {
+
+struct ShardingOptions {
+  /// Number of Hilbert-range shards; clamped to >= 1. One shard reproduces
+  /// the unsharded index behind the same routing interface.
+  int num_shards = 1;
+  /// Per-shard index build configuration (precision bound, fanout, ...).
+  act::BuildOptions build;
+  /// Cell budget for the coarse per-polygon covering used only to decide
+  /// which shards a polygon belongs to. Small on purpose: routing coverings
+  /// are conservative, so a too-coarse covering only over-assigns.
+  int routing_cover_cells = 8;
+};
+
+class ShardedIndex {
+ public:
+  /// Builds num_shards per-shard indexes over the polygons. Polygon ids in
+  /// join results are positions in `polygons`, exactly as with
+  /// act::PolygonIndex::Build over the same vector.
+  static ShardedIndex Build(const std::vector<geom::Polygon>& polygons,
+                            const geo::Grid& grid,
+                            const ShardingOptions& opts);
+
+  /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
+  /// by shard, probes each shard (opts.threads wide inside the shard), and
+  /// merges stats with counts remapped to global polygon ids.
+  act::JoinStats Join(const act::JoinInput& input,
+                      const act::JoinOptions& opts) const;
+
+  /// Routed equivalent of act::PolygonIndex::JoinPairs: sorted (point
+  /// index, global polygon id) pairs. Single-threaded, like the original.
+  std::vector<std::pair<uint64_t, uint32_t>> JoinPairs(
+      const act::JoinInput& input, act::JoinMode mode) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t num_polygons() const { return num_polygons_; }
+
+  /// Shard responsible for a leaf cell id.
+  int ShardOf(uint64_t leaf_cell_id) const;
+
+  /// Per-shard index; null for a shard with no polygons (its points cannot
+  /// match anything and short-circuit in the router).
+  const act::PolygonIndex* shard_index(int s) const {
+    return shards_[s].index.get();
+  }
+  /// Global polygon ids indexed by shard `s` (shard-local id -> global id).
+  const std::vector<uint32_t>& shard_polygon_ids(int s) const {
+    return shards_[s].global_ids;
+  }
+
+  uint64_t MemoryBytes() const;
+  double build_seconds() const { return build_seconds_; }
+  const ShardingOptions& options() const { return opts_; }
+  const geo::Grid& grid() const { return grid_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<const act::PolygonIndex> index;  // null when empty
+    std::vector<uint32_t> global_ids;                // local pid -> global
+  };
+
+  explicit ShardedIndex(const geo::Grid& grid) : grid_(grid) {}
+
+  geo::Grid grid_;
+  ShardingOptions opts_;
+  size_t num_polygons_ = 0;
+  std::vector<Shard> shards_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_SHARDED_INDEX_H_

@@ -1,0 +1,83 @@
+// Log-bucketed latency histogram for the serving layer's p50/p99 stats.
+//
+// Buckets grow geometrically — 16 buckets per power of two, so each
+// bucket is 2^(1/16) ~= 4.4% wider than the last — covering
+// 1 us .. ~70 s; quantile error is bounded by the bucket width while
+// Record() stays a handful of integer ops. Not thread-safe by
+// itself; the serving layer keeps one histogram per worker and merges on
+// read, so recording never contends.
+
+#ifndef ACTJOIN_UTIL_LATENCY_HISTOGRAM_H_
+#define ACTJOIN_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace actjoin::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 16;
+  static constexpr int kOctaves = 26;  // 1 us * 2^26 ~= 67 s
+  static constexpr int kNumBuckets = kBucketsPerOctave * kOctaves;
+
+  void Record(double micros) {
+    ++count_;
+    sum_micros_ += micros;
+    if (micros > max_micros_) max_micros_ = micros;
+    ++buckets_[BucketOf(micros)];
+  }
+
+  /// Adds another histogram's observations into this one.
+  void Merge(const LatencyHistogram& o) {
+    count_ += o.count_;
+    sum_micros_ += o.sum_micros_;
+    if (o.max_micros_ > max_micros_) max_micros_ = o.max_micros_;
+    for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += o.buckets_[b];
+  }
+
+  uint64_t count() const { return count_; }
+  double MeanMicros() const { return count_ == 0 ? 0 : sum_micros_ / count_; }
+  double MaxMicros() const { return max_micros_; }
+
+  /// Upper edge of the bucket holding the q-quantile observation (q in
+  /// [0, 1]); 0 when empty. The edge over-reports by at most one bucket
+  /// width (~4.4%), the conservative direction for a latency SLO.
+  double QuantileMicros(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) return BucketUpperMicros(b);
+    }
+    return BucketUpperMicros(kNumBuckets - 1);
+  }
+
+  double P50Micros() const { return QuantileMicros(0.50); }
+  double P99Micros() const { return QuantileMicros(0.99); }
+
+ private:
+  static int BucketOf(double micros) {
+    if (!(micros > 1.0)) return 0;  // also catches NaN / negatives
+    // log2(micros) * kBucketsPerOctave, clamped to the table.
+    int b = static_cast<int>(std::log2(micros) * kBucketsPerOctave);
+    return b >= kNumBuckets ? kNumBuckets - 1 : b;
+  }
+
+  static double BucketUpperMicros(int b) {
+    return std::exp2(static_cast<double>(b + 1) / kBucketsPerOctave);
+  }
+
+  uint64_t count_ = 0;
+  double sum_micros_ = 0;
+  double max_micros_ = 0;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_LATENCY_HISTOGRAM_H_

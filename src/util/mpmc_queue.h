@@ -1,0 +1,104 @@
+// Bounded multi-producer / multi-consumer queue for the serving layer.
+//
+// A classic mutex + two-condvar ring: producers block (or fail, with
+// TryPush) when the queue is full, consumers block when it is empty, and
+// Close() wakes everyone so a service can drain and shut down. Throughput
+// is bounded by the mutex, which is fine here: the serving layer enqueues
+// *batches* of points, so queue operations are off the per-point hot path
+// by construction.
+
+#ifndef ACTJOIN_UTIL_MPMC_QUEUE_H_
+#define ACTJOIN_UTIL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace actjoin::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {
+    ACT_CHECK(capacity > 0);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks until there is room; returns false (dropping `item`) when the
+  /// queue was closed first.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; returns nullopt once the queue is
+  /// closed *and* drained (a close still delivers everything queued).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: pushes start failing, pops drain the backlog and
+  /// then return nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_MPMC_QUEUE_H_

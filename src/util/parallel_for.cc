@@ -1,47 +1,12 @@
 #include "util/parallel_for.h"
 
-#include <algorithm>
 #include <thread>
-#include <vector>
-
-#include "util/check.h"
 
 namespace actjoin::util {
 
 int DefaultThreadCount() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(hc);
-}
-
-void ParallelFor(uint64_t n, int threads, uint64_t batch,
-                 const std::function<void(uint64_t, uint64_t, int)>& fn) {
-  ACT_CHECK(batch > 0);
-  if (threads <= 0) threads = DefaultThreadCount();
-  if (n == 0) return;
-
-  if (threads == 1) {
-    // Inline execution preserves batching so per-batch overheads are
-    // comparable with the multi-threaded path.
-    for (uint64_t begin = 0; begin < n; begin += batch) {
-      fn(begin, std::min(begin + batch, n), 0);
-    }
-    return;
-  }
-
-  std::atomic<uint64_t> next{0};
-  auto worker = [&](int tid) {
-    for (;;) {
-      uint64_t begin = next.fetch_add(batch, std::memory_order_relaxed);
-      if (begin >= n) return;
-      fn(begin, std::min(begin + batch, n), tid);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
-  worker(0);
-  for (auto& t : pool) t.join();
 }
 
 }  // namespace actjoin::util

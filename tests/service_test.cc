@@ -1,0 +1,502 @@
+// Tests for the serving layer (src/service/): sharded joins must be
+// byte-identical to the single-index join, snapshot swaps must never be
+// observable as torn or missing state by concurrent readers, and the
+// service's queue/lifecycle edges (full, never-started, shutdown) must be
+// deterministic. The concurrency tests here are the workload the TSan CI
+// preset exists for.
+//
+// Threading discipline: gtest assertions run only on the main thread;
+// worker threads record observations into plain structs that are joined
+// and then asserted.
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from the workload factories with explicit literal seeds -- never
+// time- or address-derived -- so every ctest run is bit-reproducible.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "act/join.h"
+#include "act/pipeline.h"
+#include "geo/grid.h"
+#include "service/index_registry.h"
+#include "service/join_service.h"
+#include "service/sharded_index.h"
+#include "util/latency_histogram.h"
+#include "util/mpmc_queue.h"
+#include "workloads/datasets.h"
+
+namespace actjoin::service {
+namespace {
+
+using act::JoinMode;
+using geo::Grid;
+
+std::shared_ptr<const ShardedIndex> BuildShared(
+    const std::vector<geom::Polygon>& polygons, const Grid& grid,
+    ShardingOptions opts) {
+  return std::make_shared<const ShardedIndex>(
+      ShardedIndex::Build(polygons, grid, opts));
+}
+
+// --- ShardedIndex ----------------------------------------------------------
+
+TEST(ServiceSharding, ExactJoinByteIdenticalToUnsharded) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 4000, grid, 41);
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  act::PolygonIndex single = act::PolygonIndex::Build(ds.polygons, grid, bopts);
+  auto want_pairs = single.JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+  act::JoinStats want =
+      single.Join(pts.AsJoinInput(), {JoinMode::kExact, /*threads=*/1});
+
+  for (int shards : {1, 2, 5, 8}) {
+    ShardedIndex sharded = ShardedIndex::Build(
+        ds.polygons, grid, {.num_shards = shards, .build = bopts});
+    EXPECT_EQ(sharded.num_shards(), shards);
+
+    auto got_pairs = sharded.JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+    EXPECT_EQ(got_pairs, want_pairs) << shards << " shards";
+
+    for (int threads : {1, 4}) {
+      act::JoinStats got =
+          sharded.Join(pts.AsJoinInput(), {JoinMode::kExact, threads});
+      EXPECT_EQ(got.counts, want.counts) << shards << " shards, " << threads
+                                         << " threads";
+      EXPECT_EQ(got.result_pairs, want.result_pairs);
+      EXPECT_EQ(got.matched_points, want.matched_points);
+      EXPECT_EQ(got.num_points, want.num_points);
+    }
+  }
+}
+
+TEST(ServiceSharding, ApproximateStaysWithinPrecisionBound) {
+  // Sharded approximate joins keep the paper's guarantee (every emitted
+  // pair within bound_m of the polygon) and never miss a true hit. They
+  // may emit fewer false positives than the unsharded index, so the
+  // comparison is containment, not equality.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2500, grid, 42);
+  const double bound_m = 100.0;
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  bopts.precision_bound_m = bound_m;
+  act::PolygonIndex single = act::PolygonIndex::Build(ds.polygons, grid, bopts);
+  auto unsharded =
+      single.JoinPairs(pts.AsJoinInput(), JoinMode::kApproximate);
+  auto exact = act::BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons);
+
+  ShardedIndex sharded = ShardedIndex::Build(ds.polygons, grid,
+                                             {.num_shards = 4, .build = bopts});
+  auto approx = sharded.JoinPairs(pts.AsJoinInput(), JoinMode::kApproximate);
+
+  ASSERT_TRUE(std::includes(approx.begin(), approx.end(), exact.begin(),
+                            exact.end()));
+  ASSERT_TRUE(std::includes(unsharded.begin(), unsharded.end(),
+                            approx.begin(), approx.end()));
+  for (const auto& [pi, pid] : approx) {
+    ASSERT_LE(geom::DistanceToPolygonMeters(ds.polygons[pid],
+                                            pts.points()[pi]),
+              bound_m * 1.01);
+  }
+}
+
+TEST(ServiceSharding, EveryPolygonAssignedAndRouterTotal) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  ShardedIndex sharded = ShardedIndex::Build(ds.polygons, grid,
+                                             {.num_shards = 6, .build = bopts});
+
+  std::vector<bool> assigned(ds.polygons.size(), false);
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    for (uint32_t pid : sharded.shard_polygon_ids(s)) {
+      ASSERT_LT(pid, ds.polygons.size());
+      assigned[pid] = true;
+    }
+  }
+  for (size_t pid = 0; pid < assigned.size(); ++pid) {
+    EXPECT_TRUE(assigned[pid]) << "polygon " << pid << " in no shard";
+  }
+
+  // The router is total: every leaf cell id maps to a valid shard.
+  wl::PointSet pts = wl::SyntheticUniformPoints(ds.mbr, 2000, grid, 43);
+  for (uint64_t id : pts.cell_ids()) {
+    int s = sharded.ShardOf(id);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, sharded.num_shards());
+  }
+}
+
+// --- PolygonIndex snapshot hooks ------------------------------------------
+
+TEST(ServiceRegistry, CloneIsIndependentOfOriginal) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first_half(ds.polygons.begin(),
+                                        ds.polygons.begin() + half);
+  std::vector<geom::Polygon> second_half(ds.polygons.begin() + half,
+                                         ds.polygons.end());
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  act::PolygonIndex original =
+      act::PolygonIndex::Build(first_half, grid, bopts);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 44);
+  auto before = original.JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+
+  // Mutating the clone (the updater's side of a snapshot swap) must not
+  // disturb the original that readers are still probing.
+  act::PolygonIndex clone = original.Clone();
+  clone.AddPolygons(second_half);
+
+  EXPECT_EQ(original.JoinPairs(pts.AsJoinInput(), JoinMode::kExact), before);
+  EXPECT_EQ(clone.JoinPairs(pts.AsJoinInput(), JoinMode::kExact),
+            act::BruteForceJoinPairs(pts.AsJoinInput(), ds.polygons));
+}
+
+TEST(ServiceRegistry, PublishBumpsEpochAndSwapsSnapshot) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+
+  IndexRegistry registry;
+  uint64_t epoch = 99;
+  EXPECT_EQ(registry.Acquire(&epoch), nullptr);
+  EXPECT_EQ(epoch, 0u);
+
+  auto a = std::make_shared<const act::PolygonIndex>(
+      act::PolygonIndex::Build(ds.polygons, grid, bopts));
+  EXPECT_EQ(registry.Publish(a), 1u);
+  EXPECT_EQ(registry.Acquire(&epoch), a);
+  EXPECT_EQ(epoch, 1u);
+
+  auto b = a->CloneShared();
+  EXPECT_EQ(registry.Publish(b), 2u);
+  EXPECT_EQ(registry.Acquire(&epoch), b);
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(registry.epoch(), 2u);
+}
+
+TEST(ServiceRegistry, ReadersHammeredBySwaps) {
+  // Reader threads continuously acquire snapshots and join against them
+  // while the writer republishes; every acquired snapshot must be intact
+  // (correct join result for whichever version was pinned) and epochs must
+  // be monotone per reader. This is the core data-race workload for TSan.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = std::make_shared<const act::PolygonIndex>(
+      act::PolygonIndex::Build(half_set, grid, bopts));
+  auto full = std::make_shared<const act::PolygonIndex>(
+      act::PolygonIndex::Build(ds.polygons, grid, bopts));
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 300, grid, 45);
+  auto want_half = half->JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+  auto want_full = full->JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+
+  IndexRegistry registry;
+  registry.Publish(half);
+
+  struct ReaderReport {
+    uint64_t iterations = 0;
+    uint64_t wrong_results = 0;
+    uint64_t null_snapshots = 0;
+    uint64_t epoch_regressions = 0;
+  };
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<ReaderReport> reports(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ReaderReport& report = reports[r];
+      uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t epoch = 0;
+        auto snap = registry.Acquire(&epoch);
+        if (snap == nullptr) {
+          ++report.null_snapshots;
+          continue;
+        }
+        if (epoch < last_epoch) ++report.epoch_regressions;
+        last_epoch = epoch;
+        auto got = snap->JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+        const auto& want =
+            snap->polygons().size() == half_count ? want_half : want_full;
+        if (got != want) ++report.wrong_results;
+        ++report.iterations;
+      }
+    });
+  }
+
+  constexpr int kSwaps = 40;
+  for (int i = 0; i < kSwaps; ++i) {
+    registry.Publish(i % 2 == 0 ? full : half);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  uint64_t total_iterations = 0;
+  for (const ReaderReport& report : reports) {
+    EXPECT_EQ(report.wrong_results, 0u);
+    EXPECT_EQ(report.null_snapshots, 0u);
+    EXPECT_EQ(report.epoch_regressions, 0u);
+    total_iterations += report.iterations;
+  }
+  EXPECT_GT(total_iterations, 0u);
+  EXPECT_EQ(registry.epoch(), static_cast<uint64_t>(kSwaps) + 1);
+}
+
+// --- util building blocks used by the service -----------------------------
+
+TEST(ServiceQueue, FifoAndTryPushBounds) {
+  util::MpmcQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  for (int v : {10, 11, 12}) {
+    int item = v;
+    EXPECT_TRUE(q.TryPush(item));
+  }
+  int overflow = 13;
+  EXPECT_FALSE(q.TryPush(overflow));  // full
+  EXPECT_EQ(overflow, 13);            // refused push leaves the item alone
+  EXPECT_EQ(q.size(), 3u);
+
+  EXPECT_EQ(q.Pop(), 10);  // FIFO
+  EXPECT_EQ(q.Pop(), 11);
+
+  q.Close();
+  int after_close = 14;
+  EXPECT_FALSE(q.TryPush(after_close));
+  EXPECT_FALSE(q.Push(15));
+  EXPECT_EQ(q.Pop(), 12);            // close still drains the backlog
+  EXPECT_EQ(q.Pop(), std::nullopt);  // drained + closed
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ServiceQueue, BlockingHandoffAcrossThreads) {
+  // A tiny capacity forces the producer to block on backpressure; all
+  // items must still arrive exactly once, in order.
+  constexpr int kItems = 200;
+  util::MpmcQueue<int> q(4);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    while (auto item = q.Pop()) received.push_back(*item);
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(q.Push(i));
+  }
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(ServiceStatsSuite, LatencyHistogramQuantiles) {
+  util::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50Micros(), 0.0);
+
+  for (int us = 1; us <= 1000; ++us) h.Record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed: quantile edges over-report by at most one bucket
+  // (2^(1/16) ~= 4.4%); the 1.1 factor leaves slack on top of that.
+  EXPECT_GE(h.P50Micros(), 500.0);
+  EXPECT_LE(h.P50Micros(), 500.0 * 1.1);
+  EXPECT_GE(h.P99Micros(), 990.0);
+  EXPECT_LE(h.P99Micros(), 990.0 * 1.1);
+  EXPECT_NEAR(h.MeanMicros(), 500.5, 0.01);
+  EXPECT_EQ(h.MaxMicros(), 1000.0);
+
+  util::LatencyHistogram other;
+  other.Record(5000.0);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_EQ(h.MaxMicros(), 5000.0);
+  EXPECT_GE(h.QuantileMicros(1.0), 5000.0);
+}
+
+// --- JoinService lifecycle -------------------------------------------------
+
+QueryBatch MakeBatch(const wl::PointSet& pts, JoinMode mode) {
+  return {pts.cell_ids(), pts.points(), mode};
+}
+
+TEST(ServiceLifecycle, QueueFullThenStartDrains) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 2, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 500, grid, 46);
+  act::JoinStats want = index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.queue_capacity = 4;
+  sopts.autostart = false;
+  JoinService service(index, sopts);
+
+  // With no workers running the bounded queue fills deterministically.
+  std::vector<std::future<JoinResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    std::future<JoinResult> f;
+    ASSERT_TRUE(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &f));
+    futures.push_back(std::move(f));
+  }
+  EXPECT_EQ(service.QueueDepth(), 4u);
+  std::future<JoinResult> rejected;
+  EXPECT_FALSE(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &rejected));
+  EXPECT_EQ(service.Stats().rejected_requests, 1u);
+
+  service.Start();
+  for (auto& f : futures) {
+    JoinResult result = f.get();
+    EXPECT_EQ(result.stats.counts, want.counts);
+    EXPECT_EQ(result.stats.result_pairs, want.result_pairs);
+    EXPECT_EQ(result.epoch, 1u);
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed_requests, 4u);
+  EXPECT_EQ(stats.points_served, 4u * pts.size());
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  service.Shutdown();
+  service.Shutdown();  // idempotent
+  auto dead = service.Submit(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_THROW(dead.get(), std::runtime_error);
+}
+
+TEST(ServiceLifecycle, ShutdownDrainsAcceptedRequestsWithoutStart) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 1, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 300, grid, 47);
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.queue_capacity = 8;
+  sopts.autostart = false;
+  JoinService service(index, sopts);
+
+  std::vector<std::future<JoinResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.Submit(MakeBatch(pts, JoinMode::kApproximate)));
+  }
+  // Accepted work is a promise: shutdown must complete it, started or not.
+  service.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().stats.num_points, pts.size());
+  }
+}
+
+TEST(ServiceLifecycle, ConcurrentClientsAcrossHotSwaps) {
+  // Clients submit while the writer hot-swaps the index; every result must
+  // be exactly right for the epoch that served it — the "safe index
+  // replacement while queries are in flight" contract.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 4, .build = bopts});
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 800, grid, 48);
+  uint64_t want_half =
+      half->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}).result_pairs;
+  uint64_t want_full =
+      full->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}).result_pairs;
+
+  constexpr int kSwaps = 12;
+  // Epoch e serves `full` for even e, `half` for odd e (epoch 1 = initial
+  // half index, each swap alternates). Precomputed so client threads can
+  // validate without touching gtest.
+  std::vector<uint64_t> want_by_epoch(kSwaps + 2);
+  for (int e = 1; e <= kSwaps + 1; ++e) {
+    want_by_epoch[e] = (e % 2 == 1) ? want_half : want_full;
+  }
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 3;
+  sopts.queue_capacity = 16;
+  JoinService service(half, sopts);
+
+  constexpr int kClients = 2;
+  constexpr int kRequestsPerClient = 25;
+  struct ClientReport {
+    uint64_t mismatches = 0;
+    uint64_t completed = 0;
+  };
+  std::vector<ClientReport> reports(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        JoinResult result =
+            service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+        if (result.epoch == 0 ||
+            result.epoch > static_cast<uint64_t>(kSwaps) + 1 ||
+            result.stats.result_pairs != want_by_epoch[result.epoch]) {
+          ++reports[c].mismatches;
+        }
+        ++reports[c].completed;
+      }
+    });
+  }
+
+  for (int i = 0; i < kSwaps; ++i) {
+    uint64_t epoch = service.SwapIndex(i % 2 == 0 ? full : half);
+    EXPECT_EQ(epoch, static_cast<uint64_t>(i) + 2);
+    std::this_thread::yield();
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+
+  for (const ClientReport& report : reports) {
+    EXPECT_EQ(report.mismatches, 0u);
+    EXPECT_EQ(report.completed, static_cast<uint64_t>(kRequestsPerClient));
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed_requests,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.epoch, static_cast<uint64_t>(kSwaps) + 1);
+  EXPECT_GT(stats.service_p50_ms, 0.0);
+  EXPECT_GE(stats.service_p99_ms, stats.service_p50_ms);
+}
+
+}  // namespace
+}  // namespace actjoin::service
