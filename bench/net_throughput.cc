@@ -1,0 +1,185 @@
+// Network front-end throughput (src/net/): the full loopback path —
+// JoinClient -> wire protocol -> epoll JoinServer -> admission control ->
+// JoinService -> sharded index — versus the same service driven in-process.
+// The delta is the whole cost of the network boundary (framing, syscalls,
+// loopback TCP), which is the number the ACT paper's throughput claims
+// need before they mean anything to a remote client.
+//
+//   in-process:  Submit() directly, batches of --batch points
+//   loopback xN: N client threads, each with its own connection, driving
+//                the same batches through the socket
+//
+// Extra flags: --shards (default 8), --batch (points per request),
+// --clients (loopback client threads), --workers (service worker
+// threads; default = --threads), --io_threads (server event loops).
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/join_client.h"
+#include "net/join_server.h"
+#include "service/join_service.h"
+#include "service/sharded_index.h"
+#include "util/timer.h"
+
+namespace actjoin::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  flags.AddInt("shards", 8, "shard count for the served index");
+  flags.AddInt("batch", 65536, "points per JOIN_BATCH request");
+  flags.AddInt("clients", 4, "loopback client threads");
+  flags.AddInt("workers", 0,
+               "JoinService worker threads (0 => same as --threads)");
+  flags.AddInt("io_threads", 2, "JoinServer event-loop threads");
+  BenchEnv env = ParseEnv(argc, argv, &flags);
+  if (env.smoke) {
+    env.threads = 4;
+    env.reps = 3;
+  }
+  const int shards = std::max(1, static_cast<int>(flags.GetInt("shards")));
+  const uint64_t batch_points = std::max<int64_t>(1, flags.GetInt("batch"));
+  const int clients = std::max(1, static_cast<int>(flags.GetInt("clients")));
+  const int io_threads =
+      std::max(1, static_cast<int>(flags.GetInt("io_threads")));
+  int workers = static_cast<int>(flags.GetInt("workers"));
+  if (workers <= 0) workers = env.threads;
+
+  wl::PolygonDataset ds = wl::Neighborhoods(env.scale);
+  wl::PointSet pts = Taxi(env, ds.mbr);
+  act::JoinInput input = pts.AsJoinInput();
+
+  service::ShardingOptions sharding;
+  sharding.num_shards = shards;
+  sharding.build.precision_bound_m = 60.0;
+  sharding.build.threads = env.threads;
+  auto index = std::make_shared<const service::ShardedIndex>(
+      service::ShardedIndex::Build(ds.polygons, env.grid, sharding));
+
+  // Pre-slice the workload once; both configurations replay these batches.
+  std::vector<service::QueryBatch> batches;
+  for (uint64_t begin = 0; begin < input.size(); begin += batch_points) {
+    uint64_t end = std::min(begin + batch_points, input.size());
+    service::QueryBatch batch;
+    batch.cell_ids.assign(input.cell_ids.begin() + begin,
+                          input.cell_ids.begin() + end);
+    batch.points.assign(input.points.begin() + begin,
+                        input.points.begin() + end);
+    batch.mode = act::JoinMode::kApproximate;
+    batches.push_back(std::move(batch));
+  }
+
+  std::printf(
+      "Network front-end throughput: %zu polygons, %llu points in %zu "
+      "batches, %d shards, %d workers, %d clients (scale=%.3g)\n\n",
+      ds.polygons.size(), static_cast<unsigned long long>(input.size()),
+      batches.size(), shards, workers, clients, env.scale);
+  util::TablePrinter table(
+      {"config", "throughput [M points/s]", "p50 [ms]", "p99 [ms]"});
+
+  double inproc_mps = 0;
+  {
+    service::ServiceOptions sopts;
+    sopts.worker_threads = workers;
+    service::ServiceStats sstats;
+    for (int r = 0; r < env.reps; ++r) {
+      service::JoinService service(index, sopts);
+      std::vector<std::future<service::JoinResult>> futures;
+      futures.reserve(batches.size());
+      util::WallTimer timer;
+      for (const service::QueryBatch& b : batches) {
+        futures.push_back(service.Submit(b));
+      }
+      uint64_t served = 0;
+      for (auto& f : futures) served += f.get().stats.num_points;
+      double seconds = timer.ElapsedSeconds();
+      if (seconds > 0) {
+        inproc_mps = std::max(
+            inproc_mps, static_cast<double>(served) / seconds / 1e6);
+      }
+      sstats = service.Stats();
+    }
+    NoteThroughput(inproc_mps);
+    table.AddRow({"in-process", util::TablePrinter::Fmt(inproc_mps, 2),
+                  util::TablePrinter::Fmt(sstats.service_p50_ms, 2),
+                  util::TablePrinter::Fmt(sstats.service_p99_ms, 2)});
+  }
+
+  double loopback_mps = 0;
+  {
+    service::ServiceOptions sopts;
+    sopts.worker_threads = workers;
+    service::ServiceStats sstats;
+    for (int r = 0; r < env.reps; ++r) {
+      service::JoinService service(index, sopts);
+      net::ServerOptions nopts;
+      nopts.io_threads = io_threads;
+      net::JoinServer server(&service, nopts);
+      std::string error;
+      if (!server.Start(&error)) {
+        std::fprintf(stderr, "JoinServer start failed: %s\n", error.c_str());
+        return 1;
+      }
+      // Clients pull batch indices round-robin; every batch is sent once.
+      std::vector<std::thread> pool;
+      std::vector<uint64_t> served_per_client(
+          static_cast<size_t>(clients), 0);
+      util::WallTimer timer;
+      for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          net::JoinClient client;
+          if (!client.Connect(server.host(), server.port())) return;
+          uint64_t served = 0;
+          for (size_t k = static_cast<size_t>(c); k < batches.size();
+               k += static_cast<size_t>(clients)) {
+            net::JoinClient::Reply reply = client.Join(batches[k]);
+            if (reply.ok) served += reply.result.stats.num_points;
+          }
+          served_per_client[static_cast<size_t>(c)] = served;
+        });
+      }
+      for (auto& t : pool) t.join();
+      double seconds = timer.ElapsedSeconds();
+      uint64_t served = 0;
+      for (uint64_t s : served_per_client) served += s;
+      if (served != input.size()) {
+        std::fprintf(stderr, "loopback run served %llu of %llu points\n",
+                     static_cast<unsigned long long>(served),
+                     static_cast<unsigned long long>(input.size()));
+        return 1;
+      }
+      if (seconds > 0) {
+        loopback_mps = std::max(
+            loopback_mps, static_cast<double>(served) / seconds / 1e6);
+      }
+      sstats = server.StatsWithAdmission();
+      server.Stop();
+    }
+    NoteThroughput(loopback_mps);
+    char name[64];
+    std::snprintf(name, sizeof(name), "loopback x%d", clients);
+    table.AddRow({name, util::TablePrinter::Fmt(loopback_mps, 2),
+                  util::TablePrinter::Fmt(sstats.service_p50_ms, 2),
+                  util::TablePrinter::Fmt(sstats.service_p99_ms, 2)});
+  }
+
+  Emit(env, table);
+  std::printf("wire-boundary cost at batch=%llu: %.1f%% of in-process "
+              "throughput retained\n",
+              static_cast<unsigned long long>(batch_points),
+              inproc_mps > 0 ? 100.0 * loopback_mps / inproc_mps : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace actjoin::bench
+
+int main(int argc, char** argv) {
+  return actjoin::bench::BenchMain(argc, argv, "net_throughput",
+                                   actjoin::bench::Run);
+}

@@ -1,0 +1,90 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace actjoin::net {
+
+const char* ToString(Admission verdict) {
+  switch (verdict) {
+    case Admission::kAdmitted:
+      return "admitted";
+    case Admission::kRateLimited:
+      return "rate limited";
+    case Admission::kInFlightBytes:
+      return "in-flight bytes exceeded";
+    case Admission::kQueueWatermark:
+      return "queue over watermark";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const AdmissionPolicy& policy,
+                                         size_t queue_capacity)
+    : policy_(policy), last_refill_(Clock::now()) {
+  ACT_CHECK_MSG(policy_.rate_limit_qps >= 0 && policy_.queue_watermark <= 1.0,
+                "AdmissionPolicy: qps must be >= 0, watermark in [0, 1]");
+  if (policy_.rate_burst <= 0) {
+    policy_.rate_burst = std::max(1.0, policy_.rate_limit_qps);
+  }
+  tokens_ = policy_.rate_burst;  // start full: the first burst is free
+  if (policy_.queue_watermark > 0) {
+    // "Deeper than watermark * capacity rejects"; floor keeps a watermark
+    // below 1/capacity meaningful (threshold 0 => any backlog rejects).
+    queue_threshold_ = static_cast<size_t>(
+        policy_.queue_watermark * static_cast<double>(queue_capacity));
+  } else {
+    queue_threshold_ = std::numeric_limits<size_t>::max();
+  }
+}
+
+Admission AdmissionController::TryAdmit(size_t request_bytes,
+                                        size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_depth > queue_threshold_) {
+    ++counters_.queue_watermark;
+    return Admission::kQueueWatermark;
+  }
+  if (policy_.max_in_flight_bytes > 0 &&
+      in_flight_bytes_ + request_bytes > policy_.max_in_flight_bytes) {
+    ++counters_.inflight_bytes;
+    return Admission::kInFlightBytes;
+  }
+  if (policy_.rate_limit_qps > 0) {
+    Clock::time_point now = Clock::now();
+    double elapsed_s =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(policy_.rate_burst,
+                       tokens_ + elapsed_s * policy_.rate_limit_qps);
+    if (tokens_ < 1.0) {
+      ++counters_.rate_limited;
+      return Admission::kRateLimited;
+    }
+    tokens_ -= 1.0;
+  }
+  in_flight_bytes_ += request_bytes;
+  ++counters_.admitted;
+  return Admission::kAdmitted;
+}
+
+void AdmissionController::Release(size_t request_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ACT_CHECK_MSG(in_flight_bytes_ >= request_bytes,
+                "Release without a matching TryAdmit admission");
+  in_flight_bytes_ -= request_bytes;
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t AdmissionController::in_flight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_bytes_;
+}
+
+}  // namespace actjoin::net

@@ -1,0 +1,138 @@
+#include "net/join_client.h"
+
+#include <utility>
+
+namespace actjoin::net {
+
+bool JoinClient::Connect(const std::string& host, uint16_t port,
+                         std::string* error) {
+  fd_ = ConnectTcp(host, port, error);
+  return fd_.valid();
+}
+
+bool JoinClient::Call(const std::vector<uint8_t>& frame, uint64_t request_id,
+                      MessageType expect, std::vector<uint8_t>* payload,
+                      Reply* reply) {
+  reply->ok = false;
+  reply->error = WireError::kNone;
+  if (!fd_.valid()) {
+    reply->message = "not connected";
+    return false;
+  }
+  std::string err;
+  if (!SendAll(fd_.get(), frame.data(), frame.size(), &err)) {
+    Close();
+    reply->message = err;
+    return false;
+  }
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!RecvAll(fd_.get(), header_bytes, sizeof(header_bytes), &err)) {
+    Close();
+    reply->message = err;
+    return false;
+  }
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError parse_err = WireError::kNone;
+  // The header alone decides validity; payload length is known after it.
+  if (TryParseFrame({header_bytes, sizeof(header_bytes)}, max_frame_bytes_,
+                    &header, &frame_bytes,
+                    &parse_err) == FrameParse::kProtocolError) {
+    Close();
+    reply->message = std::string("protocol error in response header: ") +
+                     ToString(parse_err);
+    return false;
+  }
+  payload->resize(header.payload_bytes);
+  if (header.payload_bytes > 0 &&
+      !RecvAll(fd_.get(), payload->data(), payload->size(), &err)) {
+    Close();
+    reply->message = err;
+    return false;
+  }
+  if (header.request_id != request_id) {
+    Close();
+    reply->message = "response request id does not match the request";
+    return false;
+  }
+  if (header.type == MessageType::kError) {
+    WireError code = WireError::kNone;
+    std::string message;
+    if (!DecodeError(*payload, &code, &message)) {
+      Close();
+      reply->message = "undecodable error response";
+      return false;
+    }
+    reply->error = code;
+    reply->message = std::move(message);
+    if (!IsRecoverable(code)) Close();
+    return false;
+  }
+  if (header.type != expect) {
+    Close();
+    reply->message = "unexpected response type";
+    return false;
+  }
+  reply->ok = true;
+  return true;
+}
+
+JoinClient::Reply JoinClient::Join(const service::QueryBatch& batch) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> frame = EncodeJoinBatchFrame(id, batch);
+  if (frame.size() > max_frame_bytes_) {
+    reply.message = "batch exceeds max_frame_bytes";
+    return reply;
+  }
+  std::vector<uint8_t> payload;
+  if (!Call(frame, id, MessageType::kJoinResult, &payload, &reply)) {
+    return reply;
+  }
+  if (!DecodeJoinResult(payload, &reply.result)) {
+    Close();
+    reply.ok = false;
+    reply.message = "undecodable join result";
+  }
+  return reply;
+}
+
+bool JoinClient::Ping(std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  bool ok = Call(EncodeEmptyFrame(MessageType::kPing, id), id,
+                 MessageType::kPong, &payload, &reply);
+  if (!ok && error != nullptr) *error = reply.message;
+  return ok;
+}
+
+bool JoinClient::GetStats(service::ServiceStats* out, std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeEmptyFrame(MessageType::kStats, id), id,
+            MessageType::kStatsResult, &payload, &reply)) {
+    if (error != nullptr) *error = reply.message;
+    return false;
+  }
+  if (!DecodeServiceStats(payload, out)) {
+    Close();
+    if (error != nullptr) *error = "undecodable stats response";
+    return false;
+  }
+  return true;
+}
+
+bool JoinClient::RequestShutdown(std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  bool ok = Call(EncodeEmptyFrame(MessageType::kShutdown, id), id,
+                 MessageType::kShutdownAck, &payload, &reply);
+  if (!ok && error != nullptr) *error = reply.message;
+  return ok;
+}
+
+}  // namespace actjoin::net

@@ -1,0 +1,79 @@
+// JoinClient: synchronous blocking client for the actjoin wire protocol.
+//
+// One connection, one outstanding request at a time: Call() writes a frame
+// and blocks until the matching response arrives, which is exactly the
+// shape tests, benches, and examples want (the server is the async side).
+// Every RPC surfaces three distinct failure layers:
+//
+//   * transport errors (connect/send/recv failed, peer closed) — the
+//     connection is dead, Reply.message says why;
+//   * typed wire errors (kError response: admission rejection, queue full,
+//     malformed payload, ...) — the connection is still usable, the code
+//     says which policy fired;
+//   * success — the decoded response payload.
+//
+// Thread-compatible, not thread-safe: share-nothing or lock around it.
+
+#ifndef ACTJOIN_NET_JOIN_CLIENT_H_
+#define ACTJOIN_NET_JOIN_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/join_service.h"
+
+namespace actjoin::net {
+
+class JoinClient {
+ public:
+  JoinClient() = default;
+  JoinClient(JoinClient&&) = default;
+  JoinClient& operator=(JoinClient&&) = default;
+
+  /// Blocking IPv4 connect. False + *error on failure.
+  bool Connect(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.Reset(); }
+
+  struct Reply {
+    bool ok = false;
+    /// kNone on success and on transport errors; a typed code when the
+    /// server answered with a kError frame (connection still usable).
+    WireError error = WireError::kNone;
+    std::string message;
+    /// Valid only for Join() with ok == true.
+    service::JoinResult result;
+  };
+
+  /// Round-trips one JOIN_BATCH. The batch's cell_ids/points must be
+  /// parallel arrays (same length).
+  Reply Join(const service::QueryBatch& batch);
+
+  bool Ping(std::string* error = nullptr);
+  bool GetStats(service::ServiceStats* out, std::string* error = nullptr);
+  /// Asks the server process to shut down (acked before it does).
+  bool RequestShutdown(std::string* error = nullptr);
+
+  /// Frames larger than this are refused client-side before sending.
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+  void set_max_frame_bytes(size_t bytes) { max_frame_bytes_ = bytes; }
+
+ private:
+  /// Sends `frame`, then blocks for the response to this request id.
+  /// On a kError response, fills reply.error/message; on the expected
+  /// type, returns the raw payload for the caller to decode.
+  bool Call(const std::vector<uint8_t>& frame, uint64_t request_id,
+            MessageType expect, std::vector<uint8_t>* payload, Reply* reply);
+
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace actjoin::net
+
+#endif  // ACTJOIN_NET_JOIN_CLIENT_H_

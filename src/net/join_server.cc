@@ -1,0 +1,610 @@
+#include "net/join_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace actjoin::net {
+
+namespace {
+
+// epoll user-data tokens. Connection ids start above the reserved ones.
+constexpr uint64_t kWakeToken = 0;
+constexpr uint64_t kListenerToken = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+// Read-buffer compaction threshold: below this the consumed prefix just
+// rides along; above it the erase is worth the memmove.
+constexpr size_t kCompactThreshold = 64 * 1024;
+
+// Cap on bytes drained from one connection per readable event. A client
+// streaming flat-out must not monopolize its event loop or grow conn.in
+// without bound: past the cap we stop, parse and dispatch what arrived,
+// and let level-triggered epoll re-report the rest after every other
+// ready connection has had its turn. Bounds the unparsed backlog at
+// roughly max_frame_bytes (one partial frame) + this.
+constexpr size_t kMaxReadBytesPerEvent = 256 * 1024;
+
+WireError ToWireError(Admission verdict) {
+  switch (verdict) {
+    case Admission::kRateLimited:
+      return WireError::kRateLimited;
+    case Admission::kInFlightBytes:
+      return WireError::kInFlightBytesExceeded;
+    case Admission::kQueueWatermark:
+      return WireError::kQueueWatermark;
+    case Admission::kAdmitted:
+      break;
+  }
+  ACT_UNREACHABLE();
+}
+
+}  // namespace
+
+struct JoinServer::Connection {
+  UniqueFd fd;
+  uint64_t id = 0;
+  /// Inbound bytes; [in_start, in.size()) is the unparsed suffix.
+  std::vector<uint8_t> in;
+  size_t in_start = 0;
+  /// Outbound frames; out_offset is the flushed prefix of out.front().
+  std::deque<std::vector<uint8_t>> out;
+  size_t out_offset = 0;
+  bool want_write = false;       // EPOLLOUT currently armed
+  bool close_after_flush = false;  // protocol error: drain writes, then close
+  bool dead = false;             // fatal I/O error: close at next safe point
+};
+
+struct JoinServer::IoThread {
+  UniqueFd epoll;
+  UniqueFd wake;  // eventfd
+  std::thread thread;
+  /// Owned exclusively by this thread; only the inbox crosses threads.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+  std::mutex inbox_mu;
+  std::vector<int> pending_accepts;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> pending_responses;
+};
+
+JoinServer::JoinServer(service::JoinService* service,
+                       const ServerOptions& opts)
+    : service_(service),
+      opts_(opts),
+      admission_(opts.admission, service->options().queue_capacity),
+      next_conn_id_(kFirstConnId) {
+  ACT_CHECK_MSG(service_ != nullptr, "JoinServer requires a JoinService");
+  if (opts_.io_threads < 1) opts_.io_threads = 1;
+  if (opts_.max_frame_bytes < kFrameHeaderBytes) {
+    opts_.max_frame_bytes = kFrameHeaderBytes;
+  }
+}
+
+JoinServer::~JoinServer() { Stop(); }
+
+bool JoinServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    if (error != nullptr) *error = "JoinServer already started";
+    return false;
+  }
+  listener_ = ListenTcp(opts_.host, opts_.port, /*backlog=*/128, &port_,
+                        error);
+  if (!listener_.valid()) return false;
+
+  io_.reserve(static_cast<size_t>(opts_.io_threads));
+  for (int t = 0; t < opts_.io_threads; ++t) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+    io->wake = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!io->epoll.valid() || !io->wake.valid()) {
+      if (error != nullptr) *error = ErrnoMessage("epoll_create1/eventfd");
+      io_.clear();
+      listener_.Reset();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeToken;
+    ACT_CHECK(::epoll_ctl(io->epoll.get(), EPOLL_CTL_ADD, io->wake.get(),
+                          &ev) == 0);
+    if (t == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.u64 = kListenerToken;
+      ACT_CHECK(::epoll_ctl(io->epoll.get(), EPOLL_CTL_ADD, listener_.get(),
+                            &lev) == 0);
+    }
+    io_.push_back(std::move(io));
+  }
+
+  running_.store(true, std::memory_order_release);
+  started_ = true;
+  for (int t = 0; t < opts_.io_threads; ++t) {
+    io_[static_cast<size_t>(t)]->thread = std::thread([this, t] { IoLoop(t); });
+  }
+  return true;
+}
+
+void JoinServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  // Phase 1: refuse new joins but keep the loops flushing, so every
+  // admitted join still gets its response on the wire. stopping_ flips
+  // under inflight_mu_: HandleJoinBatch checks it under the same mutex
+  // when it increments, so every join that passed the check is already
+  // counted by the time the wait below can observe zero — no admission
+  // can slip past the drain and run its hook on a destroyed server.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [&] { return inflight_joins_ == 0; });
+  }
+  // Phase 2: tear down the event loops.
+  running_.store(false, std::memory_order_release);
+  for (auto& io : io_) WakeThread(*io);
+  for (auto& io : io_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  for (auto& io : io_) {
+    connections_closed_.fetch_add(io->conns.size(),
+                                  std::memory_order_relaxed);
+    io->conns.clear();
+    // Sockets accepted but never adopted (still in the inbox when their
+    // thread exited) must be closed here or the raw fds leak.
+    std::lock_guard<std::mutex> lock(io->inbox_mu);
+    for (int fd : io->pending_accepts) ::close(fd);
+    io->pending_accepts.clear();
+    io->pending_responses.clear();
+  }
+  listener_.Reset();
+}
+
+bool JoinServer::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  return shutdown_requested_;
+}
+
+void JoinServer::WaitShutdownRequested() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void JoinServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+service::ServiceStats JoinServer::StatsWithAdmission() const {
+  service::ServiceStats out = service_->Stats();
+  AdmissionController::Counters a = admission_.counters();
+  out.rejected_rate_limit = a.rate_limited;
+  out.rejected_inflight_bytes = a.inflight_bytes;
+  out.rejected_queue_watermark = a.queue_watermark;
+  out.rejected_shutdown +=
+      rejected_stopping_.load(std::memory_order_relaxed);
+  out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown +
+                          a.TotalRejected();
+  return out;
+}
+
+ServerCounters JoinServer::counters() const {
+  ServerCounters out;
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  out.frames_received = frames_received_.load(std::memory_order_relaxed);
+  out.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void JoinServer::WakeThread(IoThread& io) {
+  uint64_t one = 1;
+  // The eventfd counter saturates rather than blocks; a failed write can
+  // only mean a pending wake already exists.
+  [[maybe_unused]] ssize_t n = ::write(io.wake.get(), &one, sizeof(one));
+}
+
+void JoinServer::IoLoop(int t) {
+  IoThread& io = *io_[static_cast<size_t>(t)];
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(io.epoll.get(), events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: tear down
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t token = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (token == kWakeToken) {
+        uint64_t drained;
+        while (::read(io.wake.get(), &drained, sizeof(drained)) > 0) {
+        }
+        ProcessInbox(t, io);
+        continue;
+      }
+      if (token == kListenerToken) {
+        AcceptNewConnections(io);
+        continue;
+      }
+      auto it = io.conns.find(token);
+      if (it == io.conns.end()) continue;  // closed earlier in this batch
+      Connection& conn = *it->second;
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(io, token);
+        continue;
+      }
+      if (ev & EPOLLIN) HandleReadable(t, io, conn);
+      // HandleReadable may have closed it; re-find before touching writes.
+      auto it2 = io.conns.find(token);
+      if (it2 == io.conns.end()) continue;
+      if (ev & EPOLLOUT) {
+        Connection& c = *it2->second;
+        FlushWrites(io, c);
+        if (c.dead || (c.close_after_flush && c.out.empty())) {
+          CloseConnection(io, token);
+        }
+      }
+    }
+  }
+  // Deliver any responses the final inbox wake posted, then give slow
+  // readers a bounded chance at bytes the nonblocking path could not
+  // write (an admitted join's response should not die with the loop).
+  ProcessInbox(t, io);
+  for (auto& [id, conn] : io.conns) FlushPendingBlocking(*conn);
+  connections_closed_.fetch_add(io.conns.size(), std::memory_order_relaxed);
+  io.conns.clear();
+}
+
+void JoinServer::FlushPendingBlocking(Connection& conn) {
+  if (conn.out.empty() || conn.dead) return;
+  int flags = ::fcntl(conn.fd.get(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(conn.fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  timeval timeout{/*tv_sec=*/1, /*tv_usec=*/0};
+  ::setsockopt(conn.fd.get(), SOL_SOCKET, SO_SNDTIMEO, &timeout,
+               sizeof(timeout));
+  while (!conn.out.empty()) {
+    const std::vector<uint8_t>& front = conn.out.front();
+    ssize_t w = ::send(conn.fd.get(), front.data() + conn.out_offset,
+                       front.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // timed out or the peer is gone: best effort is over
+    }
+    conn.out_offset += static_cast<size_t>(w);
+    if (conn.out_offset == front.size()) {
+      conn.out.pop_front();
+      conn.out_offset = 0;
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void JoinServer::AcceptNewConnections(IoThread& io) {
+  while (true) {
+    int cfd = ::accept4(listener_.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained the backlog
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t target = next_thread_.fetch_add(1, std::memory_order_relaxed) %
+                      static_cast<uint32_t>(io_.size());
+    if (target == 0) {
+      // The acceptor thread adopts directly — no inbox round-trip.
+      auto conn = std::make_unique<Connection>();
+      conn->fd = UniqueFd(cfd);
+      conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      ACT_CHECK(::epoll_ctl(io.epoll.get(), EPOLL_CTL_ADD, conn->fd.get(),
+                            &ev) == 0);
+      io.conns.emplace(conn->id, std::move(conn));
+    } else {
+      IoThread& dest = *io_[target];
+      {
+        std::lock_guard<std::mutex> lock(dest.inbox_mu);
+        dest.pending_accepts.push_back(cfd);
+      }
+      WakeThread(dest);
+    }
+  }
+}
+
+void JoinServer::ProcessInbox(int t, IoThread& io) {
+  std::vector<int> accepts;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> responses;
+  {
+    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    accepts.swap(io.pending_accepts);
+    responses.swap(io.pending_responses);
+  }
+  for (int cfd : accepts) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = UniqueFd(cfd);
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    ACT_CHECK(::epoll_ctl(io.epoll.get(), EPOLL_CTL_ADD, conn->fd.get(),
+                          &ev) == 0);
+    io.conns.emplace(conn->id, std::move(conn));
+  }
+  for (auto& [conn_id, frame] : responses) {
+    auto it = io.conns.find(conn_id);
+    if (it == io.conns.end()) continue;  // client went away; drop the reply
+    Connection& conn = *it->second;
+    QueueResponse(io, conn, std::move(frame));
+    if (conn.dead || (conn.close_after_flush && conn.out.empty())) {
+      CloseConnection(io, conn_id);
+    }
+  }
+  (void)t;
+}
+
+void JoinServer::HandleReadable(int t, IoThread& io, Connection& conn) {
+  uint8_t buf[64 * 1024];
+  bool peer_closed = false;
+  size_t drained = 0;
+  while (drained < kMaxReadBytesPerEvent) {
+    ssize_t r = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn.in.insert(conn.in.end(), buf, buf + r);
+      drained += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;
+    break;
+  }
+  if (!conn.dead) ParseFrames(t, io, conn);
+  if (conn.dead || peer_closed ||
+      (conn.close_after_flush && conn.out.empty())) {
+    CloseConnection(io, conn.id);
+  }
+}
+
+void JoinServer::ParseFrames(int t, IoThread& io, Connection& conn) {
+  while (!conn.dead && !conn.close_after_flush) {
+    std::span<const uint8_t> avail(conn.in.data() + conn.in_start,
+                                   conn.in.size() - conn.in_start);
+    FrameHeader header;
+    size_t frame_bytes = 0;
+    WireError err = WireError::kNone;
+    FrameParse verdict = TryParseFrame(avail, opts_.max_frame_bytes, &header,
+                                       &frame_bytes, &err);
+    if (verdict == FrameParse::kNeedMoreData) break;
+    if (verdict == FrameParse::kProtocolError) {
+      // Byte sync is lost: answer typed, then close once it is flushed.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(io, conn,
+                    EncodeErrorFrame(header.request_id, err, ToString(err)));
+      conn.close_after_flush = true;
+      break;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    DispatchFrame(t, io, conn, header,
+                  avail.subspan(kFrameHeaderBytes, header.payload_bytes));
+    conn.in_start += frame_bytes;
+  }
+  if (conn.in_start == conn.in.size()) {
+    conn.in.clear();
+    conn.in_start = 0;
+  } else if (conn.in_start > kCompactThreshold) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<ptrdiff_t>(conn.in_start));
+    conn.in_start = 0;
+  }
+}
+
+void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
+                               const FrameHeader& header,
+                               std::span<const uint8_t> payload) {
+  switch (header.type) {
+    case MessageType::kPing:
+      QueueResponse(io, conn,
+                    EncodeEmptyFrame(MessageType::kPong, header.request_id));
+      return;
+    case MessageType::kStats:
+      QueueResponse(io, conn, EncodeStatsResultFrame(header.request_id,
+                                                     StatsWithAdmission()));
+      return;
+    case MessageType::kShutdown:
+      QueueResponse(io, conn, EncodeEmptyFrame(MessageType::kShutdownAck,
+                                               header.request_id));
+      RequestShutdown();
+      return;
+    case MessageType::kJoinBatch:
+      HandleJoinBatch(t, io, conn, header, payload);
+      return;
+    default:
+      // Framing is intact, only the type is unknown: typed error, keep the
+      // connection (a newer client may mix in messages we don't speak).
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(io, conn,
+                    EncodeErrorFrame(header.request_id, WireError::kUnknownType,
+                                     ToString(WireError::kUnknownType)));
+      return;
+  }
+}
+
+void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
+                                 const FrameHeader& header,
+                                 std::span<const uint8_t> payload) {
+  // Load shedding comes first, and it only needs the payload *size*:
+  // a rejected request must cost O(1), not an O(payload) decode.
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+  const size_t bytes = payload.size();
+  Admission verdict = admission_.TryAdmit(bytes, service_->QueueDepth());
+  if (verdict != Admission::kAdmitted) {
+    WireError code = ToWireError(verdict);
+    QueueResponse(io, conn, EncodeErrorFrame(header.request_id, code,
+                                             ToString(code)));
+    return;
+  }
+
+  service::QueryBatch batch;
+  if (!DecodeQueryBatch(payload, &batch)) {
+    admission_.Release(bytes);
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                         ToString(WireError::kMalformedPayload)));
+    return;
+  }
+
+  bool stopping_now = false;
+  {
+    // The authoritative stopping check: under the same mutex Stop() uses
+    // to flip stopping_, so check-then-increment is atomic against the
+    // drain (the relaxed check above is just an early out).
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      stopping_now = true;
+    } else {
+      ++inflight_joins_;
+    }
+  }
+  if (stopping_now) {
+    admission_.Release(bytes);
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+  const uint64_t conn_id = conn.id;
+  const uint64_t request_id = header.request_id;
+  service::SubmitStatus status = service_->TrySubmitAsync(
+      std::move(batch),
+      // Runs on the service worker that executed the join.
+      [this, t, conn_id, request_id, bytes](service::JoinResult result) {
+        std::vector<uint8_t> frame =
+            EncodeJoinResultFrame(request_id, result);
+        admission_.Release(bytes);
+        DeliverAsync(t, conn_id, std::move(frame));
+        {
+          // Notify under the lock: Stop() may destroy this condvar the
+          // moment its wait observes zero, so the notify must complete
+          // before the waiter can acquire the mutex.
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          --inflight_joins_;
+          inflight_cv_.notify_all();
+        }
+      });
+  if (status != service::SubmitStatus::kAccepted) {
+    admission_.Release(bytes);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_joins_;
+      inflight_cv_.notify_all();  // under the lock; see the hook above
+    }
+    WireError code = status == service::SubmitStatus::kQueueFull
+                         ? WireError::kQueueFull
+                         : WireError::kShuttingDown;
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(request_id, code, ToString(code)));
+  }
+}
+
+void JoinServer::QueueResponse(IoThread& io, Connection& conn,
+                               std::vector<uint8_t> frame) {
+  conn.out.push_back(std::move(frame));
+  FlushWrites(io, conn);
+}
+
+bool JoinServer::FlushWrites(IoThread& io, Connection& conn) {
+  while (!conn.out.empty()) {
+    const std::vector<uint8_t>& front = conn.out.front();
+    ssize_t w = ::send(conn.fd.get(), front.data() + conn.out_offset,
+                       front.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateEpollInterest(io, conn, /*want_write=*/true);
+        return true;
+      }
+      conn.dead = true;
+      return false;
+    }
+    conn.out_offset += static_cast<size_t>(w);
+    if (conn.out_offset == front.size()) {
+      conn.out.pop_front();
+      conn.out_offset = 0;
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  UpdateEpollInterest(io, conn, /*want_write=*/false);
+  return true;
+}
+
+void JoinServer::UpdateEpollInterest(IoThread& io, Connection& conn,
+                                     bool want_write) {
+  if (conn.want_write == want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ACT_CHECK(::epoll_ctl(io.epoll.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) ==
+            0);
+}
+
+void JoinServer::CloseConnection(IoThread& io, uint64_t conn_id) {
+  auto it = io.conns.find(conn_id);
+  if (it == io.conns.end()) return;
+  // close() removes the fd from the epoll set implicitly.
+  io.conns.erase(it);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void JoinServer::DeliverAsync(int t, uint64_t conn_id,
+                              std::vector<uint8_t> frame) {
+  IoThread& io = *io_[static_cast<size_t>(t)];
+  {
+    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    io.pending_responses.emplace_back(conn_id, std::move(frame));
+  }
+  WakeThread(io);
+}
+
+}  // namespace actjoin::net

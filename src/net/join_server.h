@@ -1,0 +1,186 @@
+// JoinServer: the Linux epoll network front-end over service::JoinService.
+//
+// Architecture — a small I/O thread pool, each thread owning one epoll
+// instance and a disjoint set of connections (no connection is ever touched
+// by two I/O threads, so connection state needs no locks):
+//
+//   * Thread 0 additionally owns the nonblocking listener; accepted
+//     sockets are handed to a thread round-robin through a mutex-protected
+//     inbox + eventfd wakeup.
+//   * Reads are nonblocking and incremental: bytes accumulate per
+//     connection until TryParseFrame yields a complete frame, so slow or
+//     pipelining clients never stall the loop.
+//   * A decoded JOIN_BATCH passes admission control
+//     (net::AdmissionController) and then JoinService::TrySubmitAsync —
+//     both non-blocking by contract. The completion hook runs on the
+//     service worker that executed the join; it encodes the response and
+//     posts it back to the connection's owner thread, which writes it out.
+//     The event loop itself never waits on a join.
+//   * Every rejection (admission knob, queue full, shutting down) is a
+//     typed ERROR response on the same connection; the connection is
+//     closed only for errors that desynchronize the byte stream.
+//
+// PING answers from the event loop directly (a liveness probe must not sit
+// behind joins), STATS serializes JoinService stats with the admission
+// reject counters overlaid, and SHUTDOWN acks and raises a flag the
+// embedding process observes via WaitShutdownRequested() — the server
+// never tears itself down from inside an I/O thread.
+
+#ifndef ACTJOIN_NET_JOIN_SERVER_H_
+#define ACTJOIN_NET_JOIN_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/join_service.h"
+
+namespace actjoin::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 => kernel-chosen ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Event-loop threads; clamped to >= 1. Loopback serving saturates on
+  /// 1-2 threads — the joins, not the socket I/O, are the work.
+  int io_threads = 2;
+  /// Frames larger than this are a protocol error (kFrameTooLarge).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  AdmissionPolicy admission;
+};
+
+/// Transport-level counters (distinct from ServiceStats, which counts
+/// requests): exposed for tests and ops logging.
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t protocol_errors = 0;
+};
+
+class JoinServer {
+ public:
+  /// `service` must outlive the server and stay un-Shutdown() while the
+  /// server is running (a shut-down service turns joins into typed
+  /// kShuttingDown rejections, which is also fine).
+  explicit JoinServer(service::JoinService* service,
+                      const ServerOptions& opts = {});
+
+  JoinServer(const JoinServer&) = delete;
+  JoinServer& operator=(const JoinServer&) = delete;
+
+  /// Stop()s if still running.
+  ~JoinServer();
+
+  /// Binds, listens, and launches the I/O threads. False + *error on bind
+  /// failure. Not restartable after Stop().
+  bool Start(std::string* error = nullptr);
+
+  /// Drains in-flight joins (their responses still go out), then joins the
+  /// I/O threads and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return opts_.host; }
+
+  /// True once a SHUTDOWN request was received (or RequestShutdown() was
+  /// called in-process). The embedding process reacts by calling Stop().
+  bool shutdown_requested() const;
+  void WaitShutdownRequested();
+  void RequestShutdown();
+
+  /// Service stats with the admission-control reject counters overlaid
+  /// (the payload of a STATS response).
+  service::ServiceStats StatsWithAdmission() const;
+
+  AdmissionController::Counters admission_counters() const {
+    return admission_.counters();
+  }
+  ServerCounters counters() const;
+
+ private:
+  struct Connection;
+  struct IoThread;
+
+  void IoLoop(int t);
+  void AcceptNewConnections(IoThread& io);
+  void ProcessInbox(int t, IoThread& io);
+  /// Reads until EAGAIN, then parses and dispatches every complete frame.
+  void HandleReadable(int t, IoThread& io, Connection& conn);
+  void ParseFrames(int t, IoThread& io, Connection& conn);
+  void DispatchFrame(int t, IoThread& io, Connection& conn,
+                     const FrameHeader& header,
+                     std::span<const uint8_t> payload);
+  void HandleJoinBatch(int t, IoThread& io, Connection& conn,
+                       const FrameHeader& header,
+                       std::span<const uint8_t> payload);
+  /// Appends a response and flushes as much as the socket accepts.
+  void QueueResponse(IoThread& io, Connection& conn,
+                     std::vector<uint8_t> frame);
+  /// Writes queued bytes; arms/disarms EPOLLOUT as needed. False when the
+  /// connection died mid-write.
+  bool FlushWrites(IoThread& io, Connection& conn);
+  void CloseConnection(IoThread& io, uint64_t conn_id);
+  /// Loop-exit path: gives a slow reader a short, bounded chance (blocking
+  /// send with a timeout) to take responses still queued on a connection,
+  /// so Stop() does not silently drop an admitted join's reply.
+  void FlushPendingBlocking(Connection& conn);
+  void UpdateEpollInterest(IoThread& io, Connection& conn, bool want_write);
+  /// Posts a completed join response to the connection's owner thread
+  /// (called from service worker threads).
+  void DeliverAsync(int t, uint64_t conn_id, std::vector<uint8_t> frame);
+  void WakeThread(IoThread& io);
+
+  service::JoinService* service_;
+  ServerOptions opts_;
+  AdmissionController admission_;
+
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<IoThread>> io_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};  // joins rejected, loops still flush
+  bool started_ = false;               // guarded by lifecycle_mu_
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;
+
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<uint32_t> next_thread_{0};
+
+  /// Joins admitted but whose completion hook has not finished delivering.
+  /// Stop() waits for this to hit zero before tearing down the threads the
+  /// hooks deliver into — so the service must be draining (running or
+  /// Shutdown(), which drains synchronously) when Stop() is called.
+  uint64_t inflight_joins_ = 0;  // guarded by inflight_mu_
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  /// Net-level kShuttingDown rejections (server stopping; the service's
+  /// own counter only sees submits that reached its closed queue).
+  std::atomic<uint64_t> rejected_stopping_{0};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace actjoin::net
+
+#endif  // ACTJOIN_NET_JOIN_SERVER_H_

@@ -1,0 +1,68 @@
+// Thin POSIX socket helpers for the network front-end: RAII fd ownership
+// plus the handful of TCP setup / full-buffer I/O calls the server and
+// client share. Everything reports errors by string (errno text attached)
+// instead of exceptions, matching the library's no-throw convention.
+
+#ifndef ACTJOIN_NET_SOCKET_H_
+#define ACTJOIN_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace actjoin::net {
+
+/// Move-only owner of a file descriptor; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Appends ": <strerror(errno)>" to a message.
+std::string ErrnoMessage(const std::string& prefix);
+
+bool SetNonBlocking(int fd, std::string* error);
+
+/// Nonblocking IPv4 listener on host:port (port 0 => kernel-chosen
+/// ephemeral port, reported via *bound_port). Invalid UniqueFd + *error on
+/// failure.
+UniqueFd ListenTcp(const std::string& host, uint16_t port, int backlog,
+                   uint16_t* bound_port, std::string* error);
+
+/// Blocking IPv4 connect with TCP_NODELAY (the client writes one frame and
+/// waits; Nagle would add a spurious RTT).
+UniqueFd ConnectTcp(const std::string& host, uint16_t port,
+                    std::string* error);
+
+/// Blocking write of the whole buffer (retries short writes and EINTR).
+bool SendAll(int fd, const uint8_t* data, size_t n, std::string* error);
+
+/// Blocking read of exactly n bytes; a clean peer close mid-buffer is an
+/// error ("connection closed").
+bool RecvAll(int fd, uint8_t* data, size_t n, std::string* error);
+
+}  // namespace actjoin::net
+
+#endif  // ACTJOIN_NET_SOCKET_H_

@@ -1,0 +1,298 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace actjoin::net {
+
+const char* ToString(WireError error) {
+  switch (error) {
+    case WireError::kNone:
+      return "ok";
+    case WireError::kMalformedFrame:
+      return "malformed frame";
+    case WireError::kUnsupportedVersion:
+      return "unsupported protocol version";
+    case WireError::kUnknownType:
+      return "unknown message type";
+    case WireError::kFrameTooLarge:
+      return "frame exceeds size limit";
+    case WireError::kMalformedPayload:
+      return "malformed payload";
+    case WireError::kRateLimited:
+      return "admission: rate limited";
+    case WireError::kInFlightBytesExceeded:
+      return "admission: in-flight byte budget exceeded";
+    case WireError::kQueueWatermark:
+      return "admission: queue depth over watermark";
+    case WireError::kQueueFull:
+      return "service queue full";
+    case WireError::kShuttingDown:
+      return "service shutting down";
+  }
+  return "unknown error";
+}
+
+bool IsRecoverable(WireError error) {
+  switch (error) {
+    case WireError::kMalformedFrame:
+    case WireError::kUnsupportedVersion:
+    case WireError::kFrameTooLarge:
+      return false;
+    default:
+      return true;
+  }
+}
+
+FrameParse TryParseFrame(std::span<const uint8_t> buffer,
+                         size_t max_frame_bytes, FrameHeader* header,
+                         size_t* frame_bytes, WireError* error) {
+  *header = FrameHeader{};
+  if (buffer.size() < kFrameHeaderBytes) return FrameParse::kNeedMoreData;
+
+  util::ByteReader r(buffer.first(kFrameHeaderBytes));
+  uint32_t magic = r.U32();
+  header->version = r.U8();
+  header->type = static_cast<MessageType>(r.U8());
+  uint16_t reserved = r.U16();
+  header->request_id = r.U64();
+  header->payload_bytes = r.U32();
+  uint32_t reserved2 = r.U32();
+
+  if (magic != kWireMagic || reserved != 0 || reserved2 != 0) {
+    // A bad magic means the id field is garbage too; don't echo it.
+    header->request_id = magic != kWireMagic ? 0 : header->request_id;
+    *error = WireError::kMalformedFrame;
+    return FrameParse::kProtocolError;
+  }
+  if (header->version != kWireVersion) {
+    *error = WireError::kUnsupportedVersion;
+    return FrameParse::kProtocolError;
+  }
+  if (kFrameHeaderBytes + static_cast<size_t>(header->payload_bytes) >
+      max_frame_bytes) {
+    *error = WireError::kFrameTooLarge;
+    return FrameParse::kProtocolError;
+  }
+  size_t total = kFrameHeaderBytes + header->payload_bytes;
+  if (buffer.size() < total) return FrameParse::kNeedMoreData;
+  *frame_bytes = total;
+  return FrameParse::kFrame;
+}
+
+namespace {
+
+// Single-buffer frame construction: write the header with a zero length
+// placeholder, append the payload in place, then patch the length — no
+// second serialize-and-copy of a potentially multi-MB payload.
+void BeginFrame(util::ByteWriter* w, MessageType type, uint64_t request_id) {
+  w->PutU32(kWireMagic);
+  w->PutU8(kWireVersion);
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutU16(0);
+  w->PutU64(request_id);
+  w->PutU32(0);  // payload length, patched by FinishFrame
+  w->PutU32(0);
+}
+
+std::vector<uint8_t> FinishFrame(util::ByteWriter&& w) {
+  w.PatchU32(16, static_cast<uint32_t>(w.size() - kFrameHeaderBytes));
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(MessageType type, uint64_t request_id,
+                                 std::span<const uint8_t> payload) {
+  util::ByteWriter w(kFrameHeaderBytes + payload.size());
+  BeginFrame(&w, type, request_id);
+  w.PutBytes(payload.data(), payload.size());
+  return FinishFrame(std::move(w));
+}
+
+// QueryBatch payload:
+//   u8 mode (0 = approximate, 1 = exact), u8[3] reserved,
+//   u32 num_points, u64 cell_ids[num_points], f64 {x, y}[num_points]
+void AppendQueryBatch(const service::QueryBatch& batch, util::ByteWriter* w) {
+  ACT_CHECK_MSG(batch.cell_ids.size() == batch.points.size(),
+                "QueryBatch cell_ids and points must be parallel arrays");
+  w->PutU8(batch.mode == act::JoinMode::kExact ? 1 : 0);
+  w->PutU8(0);
+  w->PutU16(0);
+  w->PutU32(static_cast<uint32_t>(batch.points.size()));
+  for (uint64_t id : batch.cell_ids) w->PutU64(id);
+  for (const geom::Point& p : batch.points) {
+    w->PutF64(p.x);
+    w->PutF64(p.y);
+  }
+}
+
+bool DecodeQueryBatch(std::span<const uint8_t> payload,
+                      service::QueryBatch* out) {
+  util::ByteReader r(payload);
+  uint8_t mode = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  uint32_t n = r.U32();
+  if (!r.ok() || mode > 1 || pad8 != 0 || pad16 != 0) return false;
+  // Exact-size check before allocating: a forged count cannot make us
+  // reserve more than the payload that actually arrived.
+  if (r.remaining() != static_cast<size_t>(n) * 24) return false;
+  out->mode = mode == 1 ? act::JoinMode::kExact : act::JoinMode::kApproximate;
+  out->cell_ids.resize(n);
+  for (uint32_t i = 0; i < n; ++i) out->cell_ids[i] = r.U64();
+  out->points.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out->points[i].x = r.F64();
+    out->points[i].y = r.F64();
+  }
+  return r.AtEnd();
+}
+
+// JoinResult payload:
+//   u64 epoch, f64 queue_wait_ms, f64 service_ms, then act::JoinStats as
+//   8 u64 counters, f64 seconds, u64 counts_len, u64 counts[]
+void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w) {
+  w->PutU64(result.epoch);
+  w->PutF64(result.queue_wait_ms);
+  w->PutF64(result.service_ms);
+  const act::JoinStats& s = result.stats;
+  w->PutU64(s.num_points);
+  w->PutU64(s.matched_points);
+  w->PutU64(s.result_pairs);
+  w->PutU64(s.true_hit_refs);
+  w->PutU64(s.candidate_refs);
+  w->PutU64(s.pip_tests);
+  w->PutU64(s.pip_hits);
+  w->PutU64(s.sth_points);
+  w->PutF64(s.seconds);
+  w->PutU64(s.counts.size());
+  for (uint64_t c : s.counts) w->PutU64(c);
+}
+
+bool DecodeJoinResult(std::span<const uint8_t> payload,
+                      service::JoinResult* out) {
+  util::ByteReader r(payload);
+  out->epoch = r.U64();
+  out->queue_wait_ms = r.F64();
+  out->service_ms = r.F64();
+  act::JoinStats& s = out->stats;
+  s.num_points = r.U64();
+  s.matched_points = r.U64();
+  s.result_pairs = r.U64();
+  s.true_hit_refs = r.U64();
+  s.candidate_refs = r.U64();
+  s.pip_tests = r.U64();
+  s.pip_hits = r.U64();
+  s.sth_points = r.U64();
+  s.seconds = r.F64();
+  uint64_t counts_len = r.U64();
+  // Divide, don't multiply: counts_len is attacker-controlled and
+  // counts_len * 8 can wrap past the size check into a giant resize.
+  if (!r.ok() || r.remaining() % 8 != 0 || counts_len != r.remaining() / 8) {
+    return false;
+  }
+  s.counts.resize(counts_len);
+  for (uint64_t i = 0; i < counts_len; ++i) s.counts[i] = r.U64();
+  return r.AtEnd();
+}
+
+// ServiceStats payload: the struct's fields in declaration order.
+void AppendServiceStats(const service::ServiceStats& stats,
+                        util::ByteWriter* w) {
+  w->PutU64(stats.completed_requests);
+  w->PutU64(stats.rejected_requests);
+  w->PutU64(stats.rejected_queue_full);
+  w->PutU64(stats.rejected_shutdown);
+  w->PutU64(stats.rejected_rate_limit);
+  w->PutU64(stats.rejected_inflight_bytes);
+  w->PutU64(stats.rejected_queue_watermark);
+  w->PutU64(stats.cache_hits);
+  w->PutU64(stats.cache_misses);
+  w->PutU64(stats.points_served);
+  w->PutF64(stats.uptime_s);
+  w->PutF64(stats.qps);
+  w->PutF64(stats.points_per_s);
+  w->PutF64(stats.queue_wait_p50_ms);
+  w->PutF64(stats.queue_wait_p99_ms);
+  w->PutF64(stats.service_p50_ms);
+  w->PutF64(stats.service_p99_ms);
+  w->PutU64(stats.queue_depth);
+  w->PutU64(stats.epoch);
+}
+
+bool DecodeServiceStats(std::span<const uint8_t> payload,
+                        service::ServiceStats* out) {
+  util::ByteReader r(payload);
+  out->completed_requests = r.U64();
+  out->rejected_requests = r.U64();
+  out->rejected_queue_full = r.U64();
+  out->rejected_shutdown = r.U64();
+  out->rejected_rate_limit = r.U64();
+  out->rejected_inflight_bytes = r.U64();
+  out->rejected_queue_watermark = r.U64();
+  out->cache_hits = r.U64();
+  out->cache_misses = r.U64();
+  out->points_served = r.U64();
+  out->uptime_s = r.F64();
+  out->qps = r.F64();
+  out->points_per_s = r.F64();
+  out->queue_wait_p50_ms = r.F64();
+  out->queue_wait_p99_ms = r.F64();
+  out->service_p50_ms = r.F64();
+  out->service_p99_ms = r.F64();
+  out->queue_depth = static_cast<size_t>(r.U64());
+  out->epoch = r.U64();
+  return r.AtEnd();
+}
+
+// Error payload: u16 code, u16 reserved, length-prefixed message.
+bool DecodeError(std::span<const uint8_t> payload, WireError* code,
+                 std::string* message) {
+  util::ByteReader r(payload);
+  *code = static_cast<WireError>(r.U16());
+  uint16_t reserved = r.U16();
+  *message = r.String();
+  return r.AtEnd() && reserved == 0;
+}
+
+std::vector<uint8_t> EncodeJoinBatchFrame(uint64_t request_id,
+                                          const service::QueryBatch& batch) {
+  util::ByteWriter w(kFrameHeaderBytes + 8 + batch.points.size() * 24);
+  BeginFrame(&w, MessageType::kJoinBatch, request_id);
+  AppendQueryBatch(batch, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeJoinResultFrame(uint64_t request_id,
+                                           const service::JoinResult& result) {
+  util::ByteWriter w(kFrameHeaderBytes + 96 + result.stats.counts.size() * 8);
+  BeginFrame(&w, MessageType::kJoinResult, request_id);
+  AppendJoinResult(result, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeStatsResultFrame(
+    uint64_t request_id, const service::ServiceStats& stats) {
+  util::ByteWriter w(kFrameHeaderBytes + 160);
+  BeginFrame(&w, MessageType::kStatsResult, request_id);
+  AppendServiceStats(stats, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
+                                      std::string_view message) {
+  util::ByteWriter w(kFrameHeaderBytes + 8 + message.size());
+  BeginFrame(&w, MessageType::kError, request_id);
+  w.PutU16(static_cast<uint16_t>(code));
+  w.PutU16(0);
+  w.PutString(message);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeEmptyFrame(MessageType type, uint64_t request_id) {
+  return EncodeFrame(type, request_id, {});
+}
+
+}  // namespace actjoin::net

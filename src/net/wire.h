@@ -1,0 +1,150 @@
+// The actjoin binary wire protocol: versioned, length-prefixed frames.
+//
+// Every message — request or response — is one frame:
+//
+//   offset  size  field
+//   0       u32   magic "ACTJ" (0x4A544341 when read little-endian)
+//   4       u8    protocol version (kWireVersion)
+//   5       u8    message type (MessageType)
+//   6       u16   reserved, must be 0
+//   8       u64   request id: chosen by the client, echoed verbatim in the
+//                 response, so replies can be matched under pipelining
+//   16      u32   payload length in bytes
+//   20      u32   reserved, must be 0 (keeps the header 8-byte aligned)
+//   24      ...   payload (layout per message type; see docs/wire_protocol.md)
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern (util::ByteWriter / ByteReader). Requests are JOIN_BATCH, PING,
+// STATS, and SHUTDOWN; every request gets exactly one response — the
+// matching success type or ERROR with a typed WireError code. Admission
+// rejections are ordinary ERROR responses: the server never blocks and
+// never drops the connection for them. Framing errors (bad magic, bad
+// version, oversized frame) are not recoverable — the server answers with
+// ERROR and closes, because byte sync is lost.
+//
+// Versioning rules: the header layout is frozen; kWireVersion bumps
+// whenever any payload layout changes. A server answers a frame carrying a
+// version it does not speak with UNSUPPORTED_VERSION (request id echoed),
+// so old clients fail typed, not garbled.
+
+#ifndef ACTJOIN_NET_WIRE_H_
+#define ACTJOIN_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/join_service.h"
+#include "service/service_stats.h"
+#include "util/byte_io.h"
+
+namespace actjoin::net {
+
+inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Default cap on one frame (header + payload); a JOIN_BATCH point costs
+/// 24 payload bytes, so this admits ~2.7 M points per batch.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+enum class MessageType : uint8_t {
+  // Requests.
+  kJoinBatch = 1,  // QueryBatch payload -> kJoinResult
+  kPing = 2,       // empty payload      -> kPong
+  kStats = 3,      // empty payload      -> kStatsResult
+  kShutdown = 4,   // empty payload      -> kShutdownAck (+ server-side flag)
+  // Responses.
+  kJoinResult = 65,
+  kPong = 66,
+  kStatsResult = 67,
+  kShutdownAck = 68,
+  kError = 127,
+};
+
+/// Typed error codes carried by kError responses.
+enum class WireError : uint16_t {
+  kNone = 0,
+  // Protocol-level. kMalformedFrame / kUnsupportedVersion / kFrameTooLarge
+  // desynchronize the byte stream, so the server closes after sending.
+  kMalformedFrame = 1,
+  kUnsupportedVersion = 2,
+  kUnknownType = 3,      // valid frame, unknown type: connection survives
+  kFrameTooLarge = 4,
+  kMalformedPayload = 5,  // valid frame, undecodable payload: survives
+  // Admission-control rejections (connection always survives; retry later).
+  kRateLimited = 16,
+  kInFlightBytesExceeded = 17,
+  kQueueWatermark = 18,
+  // Service-door rejections surfaced by JoinService::TrySubmitAsync.
+  kQueueFull = 24,
+  kShuttingDown = 25,
+};
+
+const char* ToString(WireError error);
+
+/// True for rejections where the server keeps the connection open (the
+/// client may retry on the same socket).
+bool IsRecoverable(WireError error);
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  uint32_t payload_bytes = 0;
+};
+
+enum class FrameParse {
+  kNeedMoreData,   // keep reading; `buffer` holds only a frame prefix
+  kFrame,          // *header filled; payload at [kFrameHeaderBytes, ...)
+  kProtocolError,  // *error filled; stream is desynchronized
+};
+
+/// Incremental frame scanner over a receive buffer. On kFrame,
+/// *frame_bytes is the total frame size (header + payload) to consume and
+/// the payload is buffer.subspan(kFrameHeaderBytes, header->payload_bytes).
+/// On kProtocolError, header->request_id carries the id if the header was
+/// readable (so the error response can echo it), else 0.
+FrameParse TryParseFrame(std::span<const uint8_t> buffer,
+                         size_t max_frame_bytes, FrameHeader* header,
+                         size_t* frame_bytes, WireError* error);
+
+/// One complete frame: header + payload.
+std::vector<uint8_t> EncodeFrame(MessageType type, uint64_t request_id,
+                                 std::span<const uint8_t> payload);
+
+// --- Payload codecs --------------------------------------------------------
+
+void AppendQueryBatch(const service::QueryBatch& batch, util::ByteWriter* w);
+bool DecodeQueryBatch(std::span<const uint8_t> payload,
+                      service::QueryBatch* out);
+
+void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w);
+bool DecodeJoinResult(std::span<const uint8_t> payload,
+                      service::JoinResult* out);
+
+void AppendServiceStats(const service::ServiceStats& stats,
+                        util::ByteWriter* w);
+bool DecodeServiceStats(std::span<const uint8_t> payload,
+                        service::ServiceStats* out);
+
+bool DecodeError(std::span<const uint8_t> payload, WireError* code,
+                 std::string* message);
+
+// --- Whole-frame convenience builders --------------------------------------
+
+std::vector<uint8_t> EncodeJoinBatchFrame(uint64_t request_id,
+                                          const service::QueryBatch& batch);
+std::vector<uint8_t> EncodeJoinResultFrame(uint64_t request_id,
+                                           const service::JoinResult& result);
+std::vector<uint8_t> EncodeStatsResultFrame(
+    uint64_t request_id, const service::ServiceStats& stats);
+std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
+                                      std::string_view message);
+/// PING / PONG / STATS / SHUTDOWN / SHUTDOWN_ACK carry no payload.
+std::vector<uint8_t> EncodeEmptyFrame(MessageType type, uint64_t request_id);
+
+}  // namespace actjoin::net
+
+#endif  // ACTJOIN_NET_WIRE_H_

@@ -1,0 +1,125 @@
+// Hot-cell result cache: a small sharded LRU keyed by leaf cell id.
+//
+// Taxi-style workloads are heavily skewed (the paper's point sets put >90%
+// of probes in a few hotspots), so a tiny cache of cell -> polygon-ref
+// lists absorbs most trie walks: a hit replays the exact reference list the
+// probe loop would have visited — interior flags included — so exact mode
+// still runs its PIP refinement and results are identical to the uncached
+// path. Entries are tagged with the snapshot epoch that produced them; a
+// hot swap invalidates logically (stale entries miss and are overwritten)
+// with no cross-thread flush.
+//
+// Sharded by a multiplicative hash of the cell id, one mutex per shard:
+// concurrent workers probing different hot cells rarely contend, and the
+// per-entry cost is one lock + one hash lookup, far below a trie descent
+// only for genuinely hot cells.
+
+#ifndef ACTJOIN_SERVICE_HOT_CELL_CACHE_H_
+#define ACTJOIN_SERVICE_HOT_CELL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/sharded_index.h"
+#include "util/check.h"
+
+namespace actjoin::service {
+
+class HotCellCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (clamped so
+  /// every shard holds at least one entry). `num_shards` is rounded up to
+  /// a power of two for mask-based shard selection.
+  HotCellCache(size_t capacity, int num_shards) {
+    int ns = 1;
+    while (ns < num_shards) ns <<= 1;
+    shards_.reserve(static_cast<size_t>(ns));
+    for (int s = 0; s < ns; ++s) shards_.push_back(std::make_unique<Shard>());
+    per_shard_capacity_ = std::max<size_t>(1, capacity / shards_.size());
+  }
+
+  /// On hit, copies the cached reference list into `out` and returns true.
+  /// A cell cached under a different epoch is a miss (the entry is left to
+  /// be overwritten by the following Insert).
+  bool Lookup(uint64_t cell, uint64_t epoch, std::vector<CellRef>* out) {
+    Shard& shard = ShardFor(cell);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(cell);
+      if (it != shard.map.end() && it->second->epoch == epoch) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        *out = it->second->refs;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void Insert(uint64_t cell, uint64_t epoch, std::vector<CellRef> refs) {
+    Shard& shard = ShardFor(cell);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(cell);
+    if (it != shard.map.end()) {
+      // Refresh in place (covers the stale-epoch overwrite).
+      it->second->epoch = epoch;
+      it->second->refs = std::move(refs);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.map.erase(shard.lru.back().cell);
+      shard.lru.pop_back();
+    }
+    shard.lru.push_front(Entry{cell, epoch, std::move(refs)});
+    shard.map.emplace(cell, shard.lru.begin());
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->lru.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    uint64_t cell = 0;
+    uint64_t epoch = 0;
+    std::vector<CellRef> refs;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(uint64_t cell) {
+    // Fibonacci hash spreads consecutive Hilbert-adjacent cell ids across
+    // shards, so one hotspot's cells do not all hit one mutex.
+    uint64_t h = cell * 0x9E3779B97F4A7C15ull;
+    return *shards_[h >> 32 & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_capacity_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_HOT_CELL_CACHE_H_

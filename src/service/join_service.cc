@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "geometry/pip.h"
 #include "util/check.h"
 #include "util/parallel_for.h"
 
@@ -22,6 +23,18 @@ std::future<JoinResult> FailedFuture(const char* what) {
 
 }  // namespace
 
+const char* ToString(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kQueueFull:
+      return "queue full";
+    case SubmitStatus::kShutDown:
+      return "shut down";
+  }
+  return "unknown";
+}
+
 JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
     : opts_(opts),
       registry_(std::move(initial)),
@@ -32,6 +45,11 @@ JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
                 "JoinService requires a non-null initial index");
   opts_.worker_threads = ResolveWorkers(opts_.worker_threads);
   if (opts_.threads_per_join < 1) opts_.threads_per_join = 1;
+  if (opts_.cell_cache_shards < 1) opts_.cell_cache_shards = 1;
+  if (opts_.cell_cache_capacity > 0) {
+    cell_cache_ = std::make_unique<HotCellCache>(opts_.cell_cache_capacity,
+                                                 opts_.cell_cache_shards);
+  }
   if (opts_.autostart) Start();
 }
 
@@ -52,23 +70,41 @@ std::future<JoinResult> JoinService::Submit(QueryBatch batch) {
   req->batch = std::move(batch);
   std::future<JoinResult> future = req->promise.get_future();
   if (!queue_.Push(std::move(req))) {
-    stats_.RecordRejected();
+    stats_.RecordRejectedShutdown();
     return FailedFuture("JoinService: submit after shutdown");
   }
   return future;
 }
 
-bool JoinService::TrySubmit(QueryBatch batch,
-                            std::future<JoinResult>* result) {
+SubmitStatus JoinService::Enqueue(std::unique_ptr<Request> req) {
+  if (queue_.TryPush(req)) return SubmitStatus::kAccepted;
+  // TryPush refuses for exactly two reasons; closed() distinguishes them.
+  if (queue_.closed()) {
+    stats_.RecordRejectedShutdown();
+    return SubmitStatus::kShutDown;
+  }
+  stats_.RecordRejectedQueueFull();
+  return SubmitStatus::kQueueFull;
+}
+
+SubmitStatus JoinService::TrySubmit(QueryBatch batch,
+                                    std::future<JoinResult>* result) {
   auto req = std::make_unique<Request>();
   req->batch = std::move(batch);
   std::future<JoinResult> future = req->promise.get_future();
-  if (!queue_.TryPush(req)) {
-    stats_.RecordRejected();
-    return false;
+  SubmitStatus status = Enqueue(std::move(req));
+  if (status == SubmitStatus::kAccepted && result != nullptr) {
+    *result = std::move(future);
   }
-  if (result != nullptr) *result = std::move(future);
-  return true;
+  return status;
+}
+
+SubmitStatus JoinService::TrySubmitAsync(QueryBatch batch,
+                                         std::function<void(JoinResult)> done) {
+  auto req = std::make_unique<Request>();
+  req->batch = std::move(batch);
+  req->done = std::move(done);
+  return Enqueue(std::move(req));
 }
 
 uint64_t JoinService::SwapIndex(Snapshot next) {
@@ -92,8 +128,75 @@ void JoinService::Shutdown() {
   workers_.clear();
 }
 
+ServiceStats JoinService::Stats() const {
+  ServiceStats out = stats_.Snapshot(queue_.size(), registry_.epoch());
+  if (cell_cache_ != nullptr) {
+    out.cache_hits = cell_cache_->hits();
+    out.cache_misses = cell_cache_->misses();
+  }
+  return out;
+}
+
 void JoinService::WorkerLoop(int worker_id) {
   while (auto req = queue_.Pop()) Execute(**req, worker_id);
+}
+
+// Cache-assisted join: per point, replay the cached reference list (or
+// probe once and fill the cache), then apply the exact same per-reference
+// logic as act::ExecuteJoin — so every JoinStats field matches the
+// uncached ShardedIndex::Join bit for bit, modulo `seconds`.
+act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
+                                       const act::JoinInput& input,
+                                       act::JoinMode mode, uint64_t epoch) {
+  util::WallTimer timer;
+  const bool exact = mode == act::JoinMode::kExact;
+  act::JoinStats out;
+  out.num_points = input.size();
+  out.counts.assign(index.num_polygons(), 0);
+
+  std::vector<CellRef> refs;
+  for (uint64_t p = 0; p < input.size(); ++p) {
+    const uint64_t cell = input.cell_ids[p];
+    if (!cell_cache_->Lookup(cell, epoch, &refs)) {
+      index.ProbeCell(cell, &refs);
+      cell_cache_->Insert(cell, epoch, refs);
+    }
+    if (refs.empty()) {
+      ++out.sth_points;  // sentinel probe (or empty shard): guaranteed miss
+      continue;
+    }
+    const int s = index.ShardOf(cell);
+    const std::vector<uint32_t>& gids = index.shard_polygon_ids(s);
+    const act::PolygonIndex* shard = index.shard_index(s);
+    const uint64_t pairs_before = out.result_pairs;
+    bool had_candidate = false;
+    for (const CellRef& r : refs) {
+      if (r.interior) {
+        ++out.true_hit_refs;
+        ++out.counts[gids[r.local_pid]];
+        ++out.result_pairs;
+        continue;
+      }
+      ++out.candidate_refs;
+      had_candidate = true;
+      if (!exact) {
+        ++out.counts[gids[r.local_pid]];
+        ++out.result_pairs;
+        continue;
+      }
+      ++out.pip_tests;
+      if (geom::ContainsPoint(shard->polygons()[r.local_pid],
+                              input.points[p])) {
+        ++out.pip_hits;
+        ++out.counts[gids[r.local_pid]];
+        ++out.result_pairs;
+      }
+    }
+    if (out.result_pairs != pairs_before) ++out.matched_points;
+    if (!had_candidate) ++out.sth_points;
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
 }
 
 void JoinService::Execute(Request& req, int worker_id) {
@@ -103,14 +206,22 @@ void JoinService::Execute(Request& req, int worker_id) {
   JoinResult result;
   Snapshot snapshot = registry_.Acquire(&result.epoch);
   act::JoinInput input{req.batch.cell_ids, req.batch.points};
-  result.stats =
-      snapshot->Join(input, {req.batch.mode, opts_.threads_per_join});
+  if (cell_cache_ != nullptr) {
+    result.stats = CachedJoin(*snapshot, input, req.batch.mode, result.epoch);
+  } else {
+    result.stats =
+        snapshot->Join(input, {req.batch.mode, opts_.threads_per_join});
+  }
   result.queue_wait_ms = queue_wait_ms;
   result.service_ms = service_timer.ElapsedMillis();
 
   stats_.RecordServed(worker_id, queue_wait_ms * 1e3, result.service_ms * 1e3,
                       input.size());
-  req.promise.set_value(std::move(result));
+  if (req.done) {
+    req.done(std::move(result));
+  } else {
+    req.promise.set_value(std::move(result));
+  }
 }
 
 }  // namespace actjoin::service

@@ -5,8 +5,10 @@
 //
 //   * Clients Submit() QueryBatches and get std::future<JoinResult> back;
 //     a bounded MPMC queue (util::MpmcQueue) decouples producers from the
-//     worker pool and applies backpressure (Submit blocks when full,
-//     TrySubmit refuses).
+//     worker pool and applies backpressure (Submit blocks when full;
+//     TrySubmit / TrySubmitAsync never block and return a typed
+//     SubmitStatus rejection instead — the contract the network
+//     front-end's event loop depends on).
 //   * A pool of worker threads drains the queue; each request is joined
 //     against the snapshot pinned at execution time, with the per-request
 //     JoinMode (exact / approximate).
@@ -27,6 +29,7 @@
 #define ACTJOIN_SERVICE_JOIN_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -34,6 +37,7 @@
 
 #include "act/join.h"
 #include "geometry/point.h"
+#include "service/hot_cell_cache.h"
 #include "service/index_registry.h"
 #include "service/service_stats.h"
 #include "service/sharded_index.h"
@@ -56,7 +60,27 @@ struct ServiceOptions {
   /// Start the worker pool in the constructor. Tests set false to fill the
   /// queue deterministically, then call Start().
   bool autostart = true;
+  /// Hot-cell result cache: > 0 enables a sharded LRU of this many cells
+  /// (keyed by leaf cell id, tagged with the snapshot epoch so hot swaps
+  /// invalidate logically). Off by default — it pays off only under skewed
+  /// (taxi-like) probe distributions; results are identical either way.
+  /// Cached requests run their probe loop at width 1 (the worker pool
+  /// supplies the parallelism), so threads_per_join is ignored for them.
+  size_t cell_cache_capacity = 0;
+  /// Mutex shards inside the cache (rounded up to a power of two).
+  int cell_cache_shards = 8;
 };
+
+/// Typed verdict of a non-blocking submit. Everything except kAccepted is
+/// a rejection *reason* the caller can surface (the network front-end maps
+/// these onto wire error codes instead of blocking its event loop).
+enum class SubmitStatus {
+  kAccepted = 0,
+  kQueueFull,   // bounded queue at capacity; retry is reasonable
+  kShutDown,    // service no longer accepts work; retry is not
+};
+
+const char* ToString(SubmitStatus status);
 
 /// One request: owned point data (the service outlives the caller's
 /// buffers) plus the join mode.
@@ -96,9 +120,19 @@ class JoinService {
   /// returned future carries a std::runtime_error.
   std::future<JoinResult> Submit(QueryBatch batch);
 
-  /// Non-blocking submit: false (and no future) when the queue is full or
-  /// the service is shut down; counted in ServiceStats.rejected_requests.
-  bool TrySubmit(QueryBatch batch, std::future<JoinResult>* result);
+  /// Non-blocking submit with a typed verdict: on kAccepted, `*result` (if
+  /// non-null) receives the future; on rejection no future is produced and
+  /// the reason is counted per-split in ServiceStats. Never blocks — the
+  /// contract the event-driven network front-end depends on.
+  SubmitStatus TrySubmit(QueryBatch batch, std::future<JoinResult>* result);
+
+  /// Event-driven submit for callers that must not block *or* poll a
+  /// future (the epoll server): on kAccepted, `done` runs exactly once on
+  /// the worker thread that executed the batch, with the finished result.
+  /// On rejection `done` is dropped without being invoked. `done` must not
+  /// re-enter the service.
+  SubmitStatus TrySubmitAsync(QueryBatch batch,
+                              std::function<void(JoinResult)> done);
 
   /// Publishes a new index snapshot and returns its epoch. In-flight and
   /// already-dequeued requests finish on the snapshot they pinned;
@@ -114,9 +148,7 @@ class JoinService {
   /// the workers. Idempotent; called by the destructor.
   void Shutdown();
 
-  ServiceStats Stats() const {
-    return stats_.Snapshot(queue_.size(), registry_.epoch());
-  }
+  ServiceStats Stats() const;
 
   size_t QueueDepth() const { return queue_.size(); }
   const ServiceOptions& options() const { return opts_; }
@@ -125,15 +157,23 @@ class JoinService {
   struct Request {
     QueryBatch batch;
     std::promise<JoinResult> promise;
+    /// Completion hook (TrySubmitAsync); when set, the result goes here
+    /// instead of the promise.
+    std::function<void(JoinResult)> done;
     util::WallTimer enqueued;  // starts ticking at Submit time
   };
 
   void WorkerLoop(int worker_id);
   void Execute(Request& req, int worker_id);
+  SubmitStatus Enqueue(std::unique_ptr<Request> req);
+  act::JoinStats CachedJoin(const ShardedIndex& index,
+                            const act::JoinInput& input, act::JoinMode mode,
+                            uint64_t epoch);
 
   ServiceOptions opts_;
   SnapshotRegistry<ShardedIndex> registry_;
   util::MpmcQueue<std::unique_ptr<Request>> queue_;
+  std::unique_ptr<HotCellCache> cell_cache_;  // null when disabled
   ServiceStatsRecorder stats_;
   std::vector<std::thread> workers_;
   std::mutex lifecycle_mu_;  // guards Start/Shutdown transitions

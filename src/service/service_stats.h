@@ -22,9 +22,24 @@ namespace actjoin::service {
 /// One consistent snapshot of a JoinService's counters.
 struct ServiceStats {
   uint64_t completed_requests = 0;
-  /// Requests refused at the door: TrySubmit with the queue full or
-  /// closed, and Submit after shutdown (which also fails its future).
+  /// Requests refused at the door (all reasons summed): the service-level
+  /// splits below, plus — in a net::JoinServer STATS response — the
+  /// admission-control splits.
   uint64_t rejected_requests = 0;
+  /// TrySubmit with the queue at capacity.
+  uint64_t rejected_queue_full = 0;
+  /// TrySubmit or Submit after Shutdown (Submit also fails its future).
+  uint64_t rejected_shutdown = 0;
+  /// Net-layer admission rejects, one counter per AdmissionPolicy knob.
+  /// Always zero on a bare JoinService: net::JoinServer overlays them (and
+  /// adds them into rejected_requests) when composing a STATS response.
+  uint64_t rejected_rate_limit = 0;
+  uint64_t rejected_inflight_bytes = 0;
+  uint64_t rejected_queue_watermark = 0;
+  /// Hot-cell result cache counters; both zero while the cache is off
+  /// (ServiceOptions.cell_cache_capacity == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   uint64_t points_served = 0;
   double uptime_s = 0;
   double qps = 0;                   // completed_requests / uptime
@@ -54,8 +69,12 @@ class ServiceStatsRecorder {
     ++slot.completed;
   }
 
-  void RecordRejected() {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  void RecordRejectedQueueFull() {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordRejectedShutdown() {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Merges all worker slots; `queue_depth` and `epoch` are provided by
@@ -70,7 +89,10 @@ class ServiceStatsRecorder {
       out.points_served += slot->points;
       out.completed_requests += slot->completed;
     }
-    out.rejected_requests = rejected_.load(std::memory_order_relaxed);
+    out.rejected_queue_full =
+        rejected_queue_full_.load(std::memory_order_relaxed);
+    out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+    out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown;
     out.uptime_s = uptime_.ElapsedSeconds();
     if (out.uptime_s > 0) {
       out.qps = static_cast<double>(out.completed_requests) / out.uptime_s;
@@ -95,7 +117,8 @@ class ServiceStatsRecorder {
   };
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
-  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
   util::WallTimer uptime_;
 };
 

@@ -212,6 +212,38 @@ std::vector<std::pair<uint64_t, uint32_t>> ShardedIndex::JoinPairs(
   return out;
 }
 
+void ShardedIndex::ProbeCell(uint64_t leaf_cell_id,
+                             std::vector<CellRef>* out) const {
+  out->clear();
+  const Shard& shard = shards_[static_cast<size_t>(ShardOf(leaf_cell_id))];
+  if (shard.index == nullptr) return;
+  act::TaggedEntry entry = shard.index->trie().Probe(leaf_cell_id);
+  if (entry == act::kSentinelEntry) return;
+  auto visit = [&](uint32_t pid, bool interior) {
+    out->push_back({pid, interior});
+  };
+  switch (act::KindOf(entry)) {
+    case act::EntryKind::kOneRef: {
+      act::PolygonRef r = act::FirstRefOf(entry);
+      visit(r.polygon_id, r.interior);
+      break;
+    }
+    case act::EntryKind::kTwoRefs: {
+      act::PolygonRef a = act::FirstRefOf(entry);
+      act::PolygonRef b = act::SecondRefOf(entry);
+      visit(a.polygon_id, a.interior);
+      visit(b.polygon_id, b.interior);
+      break;
+    }
+    case act::EntryKind::kTableOffset:
+      shard.index->encoded().table.VisitEntry(act::TableOffsetOf(entry),
+                                              visit);
+      break;
+    case act::EntryKind::kPointer:
+      break;  // unreachable: sentinel handled above
+  }
+}
+
 uint64_t ShardedIndex::MemoryBytes() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {

@@ -1,0 +1,163 @@
+// Byte-order-independent frame codec helpers for the wire protocol.
+//
+// ByteWriter appends fixed-width little-endian integers / IEEE doubles to a
+// growable buffer; ByteReader consumes them with bounds checking. The
+// reader is *totalizing*: a read past the end does not throw or abort, it
+// flips a sticky ok() bit and returns 0, so frame decoders can parse an
+// attacker-controlled payload straight through and check ok() once at the
+// end. Explicit shift-based packing (not memcpy of host integers) keeps the
+// encoding identical on big- and little-endian hosts.
+
+#ifndef ACTJOIN_UTIL_BYTE_IO_H_
+#define ACTJOIN_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace actjoin::util {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  /// Writers that know their frame size up front can avoid regrowth.
+  explicit ByteWriter(size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// IEEE-754 doubles travel as their 64-bit representation.
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Length-prefixed (u32) string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  /// Patches a u32 written earlier (e.g. a payload-length slot) in place.
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return bytes_[pos_++];
+  }
+
+  uint16_t U16() {
+    if (!Require(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(bytes_[pos_] |
+                                       (static_cast<uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Length-prefixed string written by PutString. An over-long prefix
+  /// (longer than the remaining bytes) fails the reader instead of
+  /// allocating attacker-sized buffers.
+  std::string String() {
+    uint32_t n = U32();
+    if (!Require(n)) return {};
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Bulk read into caller storage (e.g. a u64 array payload).
+  bool ReadBytes(void* out, size_t n) {
+    if (!Require(n)) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  void Skip(size_t n) {
+    if (Require(n)) pos_ += n;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  /// Sticky: false once any read ran past the end of the buffer.
+  bool ok() const { return ok_; }
+  /// A fully consumed, error-free payload; decoders use this to reject
+  /// trailing garbage as firmly as truncation.
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_BYTE_IO_H_

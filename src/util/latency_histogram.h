@@ -23,6 +23,15 @@ class LatencyHistogram {
   static constexpr int kNumBuckets = kBucketsPerOctave * kOctaves;
 
   void Record(double micros) {
+    // Sanitize corrupt samples so one bad measurement cannot poison the
+    // aggregates: NaN and negatives count as 0 us (first bucket), +inf
+    // saturates to the top bucket's edge. count() still advances — a
+    // dropped sample would silently skew QPS-style rates derived from it.
+    if (std::isnan(micros) || micros < 0) {
+      micros = 0;
+    } else if (std::isinf(micros)) {
+      micros = BucketUpperMicros(kNumBuckets - 1);
+    }
     ++count_;
     sum_micros_ += micros;
     if (micros > max_micros_) max_micros_ = micros;

@@ -1,0 +1,139 @@
+// Dedicated edge-case suite for util::LatencyHistogram, the quantile
+// engine under every serving-layer p50/p99 (ServiceStats, the STATS wire
+// response, bench output). The serving tests exercise the happy path at
+// scale; this suite pins the boundaries: empty and one-sample quantiles,
+// corrupt samples (NaN / negative / infinite), merges of disjoint ranges,
+// and monotonicity across bucket edges.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/latency_histogram.h"
+
+namespace actjoin::util {
+namespace {
+
+constexpr double kBucketWidth = 1.0443;  // 2^(1/16), one bucket of slack
+
+TEST(LatencyHistogramEdge, EmptyHistogramIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+  EXPECT_EQ(h.MaxMicros(), 0.0);
+  EXPECT_EQ(h.P50Micros(), 0.0);
+  EXPECT_EQ(h.P99Micros(), 0.0);
+  EXPECT_EQ(h.QuantileMicros(0.0), 0.0);
+  EXPECT_EQ(h.QuantileMicros(1.0), 0.0);
+}
+
+TEST(LatencyHistogramEdge, OneSampleAnswersEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.MeanMicros(), 100.0);
+  EXPECT_EQ(h.MaxMicros(), 100.0);
+  // Every quantile of a one-sample histogram is that sample's bucket edge:
+  // never below the value, at most one bucket width above.
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.QuantileMicros(q), 100.0) << "q=" << q;
+    EXPECT_LE(h.QuantileMicros(q), 100.0 * kBucketWidth) << "q=" << q;
+  }
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_EQ(h.QuantileMicros(-0.5), h.QuantileMicros(0.0));
+  EXPECT_EQ(h.QuantileMicros(1.5), h.QuantileMicros(1.0));
+}
+
+TEST(LatencyHistogramEdge, NanAndNegativeSamplesAreSanitized) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(-123.0);
+  // Both count as 0 us observations: the count advances (rates derived
+  // from it stay honest) but no aggregate is poisoned.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+  EXPECT_EQ(h.MaxMicros(), 0.0);
+  EXPECT_FALSE(std::isnan(h.P99Micros()));
+  EXPECT_LE(h.P99Micros(), kBucketWidth);  // first bucket's upper edge
+
+  // Mixed with real samples, the sanitized zeros sort below everything.
+  h.Record(1000.0);
+  h.Record(1000.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_GE(h.QuantileMicros(1.0), 1000.0);
+  EXPECT_LE(h.QuantileMicros(0.0), kBucketWidth);
+}
+
+TEST(LatencyHistogramEdge, InfinitySaturatesToTopBucket) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(std::isfinite(h.MeanMicros()));
+  EXPECT_TRUE(std::isfinite(h.MaxMicros()));
+  EXPECT_TRUE(std::isfinite(h.QuantileMicros(1.0)));
+  // It still reads as "huge": beyond the histogram's nominal ~67 s range.
+  EXPECT_GE(h.MaxMicros(), 6e7);
+}
+
+TEST(LatencyHistogramEdge, MergeOfDisjointRangesKeepsBothTails) {
+  LatencyHistogram lo, hi;
+  for (int us = 1; us <= 100; ++us) lo.Record(us);
+  for (int i = 0; i < 100; ++i) hi.Record(1e6 + i);
+
+  LatencyHistogram merged;
+  merged.Merge(lo);
+  merged.Merge(hi);
+  EXPECT_EQ(merged.count(), 200u);
+  // The median straddles the gap: p50 comes from the low range, p99 and
+  // max from the high range, and nothing in between is invented.
+  EXPECT_LE(merged.P50Micros(), 100.0 * kBucketWidth);
+  EXPECT_GE(merged.P99Micros(), 1e6);
+  EXPECT_EQ(merged.MaxMicros(), 1e6 + 99);
+  EXPECT_NEAR(merged.MeanMicros(), (lo.MeanMicros() + hi.MeanMicros()) / 2,
+              1.0);
+
+  // Merging an empty histogram is the identity.
+  LatencyHistogram empty;
+  double p99_before = merged.P99Micros();
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_EQ(merged.P99Micros(), p99_before);
+  // And merging *into* an empty one reproduces the source.
+  LatencyHistogram copy;
+  copy.Merge(merged);
+  EXPECT_EQ(copy.count(), merged.count());
+  EXPECT_EQ(copy.P50Micros(), merged.P50Micros());
+}
+
+TEST(LatencyHistogramEdge, BucketEdgesAreMonotoneAndNeverUnderReport) {
+  // Sweep values multiplicatively across many bucket edges (including the
+  // exact powers of two where the bucket index changes): the reported
+  // quantile edge must never under-report the sample and must be monotone
+  // non-decreasing in the sample value.
+  double previous_edge = 0;
+  for (double v = 0.5; v < 1e7; v *= 1.31) {
+    LatencyHistogram h;
+    h.Record(v);
+    double edge = h.P50Micros();
+    EXPECT_GE(edge * 1.0000001, v) << "v=" << v;           // conservative
+    EXPECT_LE(edge, std::max(v, 1.0) * kBucketWidth * 1.0000001)
+        << "v=" << v;                                      // tight
+    EXPECT_GE(edge, previous_edge) << "v=" << v;           // monotone
+    previous_edge = edge;
+  }
+  // Exact powers of two sit on bucket boundaries; spot-check both sides.
+  for (double v : {2.0, 4.0, 1024.0, 65536.0}) {
+    LatencyHistogram h;
+    h.Record(v);
+    EXPECT_GE(h.P50Micros(), v);
+    LatencyHistogram h2;
+    h2.Record(std::nextafter(v, 0.0));
+    EXPECT_GE(h2.P50Micros(), std::nextafter(v, 0.0));
+    EXPECT_LE(h2.P50Micros(), h.P50Micros());
+  }
+}
+
+}  // namespace
+}  // namespace actjoin::util

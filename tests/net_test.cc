@@ -1,0 +1,740 @@
+// Tests for the network front-end (src/net/): the wire codec must round-
+// trip and reject malformed bytes typed, admission control must enforce
+// each policy knob with the right verdict, and the acceptance contract of
+// the subsystem — results fetched through JoinClient over loopback are
+// byte-identical to in-process JoinService::Submit, and admission
+// rejections come back as typed wire errors without blocking or dropping
+// the connection. Suites are named Net* so the TSan CI job's ^(Service|Net)
+// filter runs the concurrent ones under ThreadSanitizer.
+//
+// Threading discipline: gtest assertions run only on the main thread;
+// client threads record observations into plain structs that are joined
+// and then asserted.
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from the workload factories with explicit literal seeds.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "act/join.h"
+#include "geo/grid.h"
+#include "net/admission.h"
+#include "net/join_client.h"
+#include "net/join_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/join_service.h"
+#include "service/sharded_index.h"
+#include "workloads/datasets.h"
+
+namespace actjoin::net {
+namespace {
+
+using act::JoinMode;
+using geo::Grid;
+using service::JoinService;
+using service::QueryBatch;
+using service::ServiceOptions;
+using service::ShardedIndex;
+using service::ShardingOptions;
+
+std::shared_ptr<const ShardedIndex> BuildShared(
+    const std::vector<geom::Polygon>& polygons, const Grid& grid,
+    ShardingOptions opts) {
+  return std::make_shared<const ShardedIndex>(
+      ShardedIndex::Build(polygons, grid, opts));
+}
+
+QueryBatch MakeBatch(const wl::PointSet& pts, JoinMode mode) {
+  return {pts.cell_ids(), pts.points(), mode};
+}
+
+/// Everything in JoinStats is deterministic for a fixed input and index
+/// except the wall-clock `seconds`.
+void ExpectStatsEqual(const act::JoinStats& got, const act::JoinStats& want) {
+  EXPECT_EQ(got.num_points, want.num_points);
+  EXPECT_EQ(got.matched_points, want.matched_points);
+  EXPECT_EQ(got.result_pairs, want.result_pairs);
+  EXPECT_EQ(got.true_hit_refs, want.true_hit_refs);
+  EXPECT_EQ(got.candidate_refs, want.candidate_refs);
+  EXPECT_EQ(got.pip_tests, want.pip_tests);
+  EXPECT_EQ(got.pip_hits, want.pip_hits);
+  EXPECT_EQ(got.sth_points, want.sth_points);
+  EXPECT_EQ(got.counts, want.counts);
+}
+
+// --- Wire codec ------------------------------------------------------------
+
+TEST(NetWire, EmptyFrameRoundTrip) {
+  std::vector<uint8_t> frame = EncodeEmptyFrame(MessageType::kPing, 77);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes);
+
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(frame_bytes, frame.size());
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(header.type, MessageType::kPing);
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(header.payload_bytes, 0u);
+}
+
+TEST(NetWire, QueryBatchRoundTrip) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 64, grid, 51);
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    QueryBatch batch = MakeBatch(pts, mode);
+    util::ByteWriter w;
+    AppendQueryBatch(batch, &w);
+    QueryBatch got;
+    ASSERT_TRUE(DecodeQueryBatch(w.bytes(), &got));
+    EXPECT_EQ(got.mode, mode);
+    EXPECT_EQ(got.cell_ids, batch.cell_ids);
+    EXPECT_EQ(got.points, batch.points);
+  }
+}
+
+TEST(NetWire, QueryBatchRejectsMalformedPayloads) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 8, grid, 52);
+  util::ByteWriter w;
+  AppendQueryBatch(MakeBatch(pts, JoinMode::kExact), &w);
+  std::vector<uint8_t> good = w.bytes();
+
+  QueryBatch out;
+  // Truncation at every byte boundary must fail, never crash or misread.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<uint8_t> bad(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeQueryBatch(bad, &out)) << "cut=" << cut;
+  }
+  // Trailing garbage is as malformed as truncation.
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeQueryBatch(padded, &out));
+  // An invalid mode byte.
+  std::vector<uint8_t> bad_mode = good;
+  bad_mode[0] = 7;
+  EXPECT_FALSE(DecodeQueryBatch(bad_mode, &out));
+  // A forged count that disagrees with the payload size.
+  std::vector<uint8_t> forged = good;
+  forged[4] = static_cast<uint8_t>(forged[4] + 1);
+  EXPECT_FALSE(DecodeQueryBatch(forged, &out));
+}
+
+TEST(NetWire, JoinResultRoundTrip) {
+  service::JoinResult result;
+  result.epoch = 5;
+  result.queue_wait_ms = 0.25;
+  result.service_ms = 1.75;
+  result.stats.num_points = 100;
+  result.stats.matched_points = 60;
+  result.stats.result_pairs = 70;
+  result.stats.true_hit_refs = 40;
+  result.stats.candidate_refs = 30;
+  result.stats.pip_tests = 30;
+  result.stats.pip_hits = 30;
+  result.stats.sth_points = 40;
+  result.stats.seconds = 0.001;
+  result.stats.counts = {3, 0, 7, 60};
+
+  util::ByteWriter w;
+  AppendJoinResult(result, &w);
+  service::JoinResult got;
+  ASSERT_TRUE(DecodeJoinResult(w.bytes(), &got));
+  EXPECT_EQ(got.epoch, result.epoch);
+  EXPECT_EQ(got.queue_wait_ms, result.queue_wait_ms);
+  EXPECT_EQ(got.service_ms, result.service_ms);
+  EXPECT_EQ(got.stats.seconds, result.stats.seconds);
+  ExpectStatsEqual(got.stats, result.stats);
+
+  // Truncations fail typed.
+  std::vector<uint8_t> bytes = w.bytes();
+  for (size_t cut : {size_t{0}, size_t{7}, bytes.size() - 1}) {
+    std::vector<uint8_t> bad(bytes.begin(),
+                             bytes.begin() + static_cast<ptrdiff_t>(cut));
+    service::JoinResult out;
+    EXPECT_FALSE(DecodeJoinResult(bad, &out)) << "cut=" << cut;
+  }
+
+  // A forged counts_len chosen so that counts_len * 8 wraps to match the
+  // remaining byte count must be rejected by the overflow guard, not
+  // handed to a 2^61-element resize.
+  service::JoinResult empty_counts;
+  util::ByteWriter w2;
+  AppendJoinResult(empty_counts, &w2);
+  std::vector<uint8_t> forged = w2.bytes();
+  ASSERT_GE(forged.size(), 8u);
+  uint64_t huge = uint64_t{1} << 61;  // * 8 == 0 mod 2^64
+  for (int i = 0; i < 8; ++i) {
+    forged[forged.size() - 8 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(huge >> (8 * i));
+  }
+  service::JoinResult out;
+  EXPECT_FALSE(DecodeJoinResult(forged, &out));
+}
+
+TEST(NetWire, ServiceStatsRoundTrip) {
+  service::ServiceStats stats;
+  stats.completed_requests = 11;
+  stats.rejected_requests = 9;
+  stats.rejected_queue_full = 2;
+  stats.rejected_shutdown = 1;
+  stats.rejected_rate_limit = 3;
+  stats.rejected_inflight_bytes = 2;
+  stats.rejected_queue_watermark = 1;
+  stats.cache_hits = 100;
+  stats.cache_misses = 20;
+  stats.points_served = 12345;
+  stats.uptime_s = 2.5;
+  stats.qps = 4.4;
+  stats.points_per_s = 4938.0;
+  stats.queue_wait_p50_ms = 0.1;
+  stats.queue_wait_p99_ms = 0.9;
+  stats.service_p50_ms = 1.5;
+  stats.service_p99_ms = 6.5;
+  stats.queue_depth = 3;
+  stats.epoch = 8;
+
+  util::ByteWriter w;
+  AppendServiceStats(stats, &w);
+  service::ServiceStats got;
+  ASSERT_TRUE(DecodeServiceStats(w.bytes(), &got));
+  EXPECT_EQ(got.completed_requests, stats.completed_requests);
+  EXPECT_EQ(got.rejected_requests, stats.rejected_requests);
+  EXPECT_EQ(got.rejected_queue_full, stats.rejected_queue_full);
+  EXPECT_EQ(got.rejected_shutdown, stats.rejected_shutdown);
+  EXPECT_EQ(got.rejected_rate_limit, stats.rejected_rate_limit);
+  EXPECT_EQ(got.rejected_inflight_bytes, stats.rejected_inflight_bytes);
+  EXPECT_EQ(got.rejected_queue_watermark, stats.rejected_queue_watermark);
+  EXPECT_EQ(got.cache_hits, stats.cache_hits);
+  EXPECT_EQ(got.cache_misses, stats.cache_misses);
+  EXPECT_EQ(got.points_served, stats.points_served);
+  EXPECT_EQ(got.uptime_s, stats.uptime_s);
+  EXPECT_EQ(got.qps, stats.qps);
+  EXPECT_EQ(got.queue_depth, stats.queue_depth);
+  EXPECT_EQ(got.epoch, stats.epoch);
+}
+
+TEST(NetWire, ErrorFrameRoundTripAndRecoverability) {
+  std::vector<uint8_t> frame =
+      EncodeErrorFrame(42, WireError::kRateLimited, "slow down");
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError parse_err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &parse_err),
+            FrameParse::kFrame);
+  EXPECT_EQ(header.type, MessageType::kError);
+  EXPECT_EQ(header.request_id, 42u);
+
+  WireError code = WireError::kNone;
+  std::string message;
+  ASSERT_TRUE(DecodeError(
+      std::span(frame).subspan(kFrameHeaderBytes, header.payload_bytes),
+      &code, &message));
+  EXPECT_EQ(code, WireError::kRateLimited);
+  EXPECT_EQ(message, "slow down");
+
+  EXPECT_TRUE(IsRecoverable(WireError::kRateLimited));
+  EXPECT_TRUE(IsRecoverable(WireError::kQueueFull));
+  EXPECT_TRUE(IsRecoverable(WireError::kUnknownType));
+  EXPECT_FALSE(IsRecoverable(WireError::kMalformedFrame));
+  EXPECT_FALSE(IsRecoverable(WireError::kUnsupportedVersion));
+  EXPECT_FALSE(IsRecoverable(WireError::kFrameTooLarge));
+}
+
+TEST(NetWire, TryParseFrameEdges) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 4, grid, 53);
+  std::vector<uint8_t> frame =
+      EncodeJoinBatchFrame(9, MakeBatch(pts, JoinMode::kExact));
+
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  // Every proper prefix asks for more data — partial reads are normal.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    ASSERT_EQ(TryParseFrame(std::span(frame).first(cut), kDefaultMaxFrameBytes,
+                            &header, &frame_bytes, &err),
+              FrameParse::kNeedMoreData)
+        << "cut=" << cut;
+  }
+
+  // Corrupt magic: protocol error, request id not trusted.
+  std::vector<uint8_t> bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(TryParseFrame(bad_magic, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kProtocolError);
+  EXPECT_EQ(err, WireError::kMalformedFrame);
+  EXPECT_EQ(header.request_id, 0u);
+
+  // Wrong version: typed, with the id echoed for the error response.
+  std::vector<uint8_t> bad_version = frame;
+  bad_version[4] = kWireVersion + 1;
+  EXPECT_EQ(TryParseFrame(bad_version, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kProtocolError);
+  EXPECT_EQ(err, WireError::kUnsupportedVersion);
+  EXPECT_EQ(header.request_id, 9u);
+
+  // Over-limit payload length: typed before any allocation happens.
+  EXPECT_EQ(TryParseFrame(frame, /*max_frame_bytes=*/64, &header,
+                          &frame_bytes, &err),
+            FrameParse::kProtocolError);
+  EXPECT_EQ(err, WireError::kFrameTooLarge);
+}
+
+// --- Admission controller --------------------------------------------------
+
+TEST(NetAdmission, RateLimitTokenBucket) {
+  AdmissionPolicy policy;
+  policy.rate_limit_qps = 1e-6;  // refill is negligible within the test
+  policy.rate_burst = 2;
+  AdmissionController ac(policy, /*queue_capacity=*/64);
+
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kRateLimited);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kRateLimited);
+
+  AdmissionController::Counters c = ac.counters();
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.rate_limited, 2u);
+  EXPECT_EQ(c.TotalRejected(), 2u);
+  // Rate rejections reserve nothing.
+  EXPECT_EQ(ac.in_flight_bytes(), 20u);
+}
+
+TEST(NetAdmission, InFlightByteBudget) {
+  AdmissionPolicy policy;
+  policy.max_in_flight_bytes = 100;
+  AdmissionController ac(policy, 64);
+
+  EXPECT_EQ(ac.TryAdmit(60, 0), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(60, 0), Admission::kInFlightBytes);
+  ac.Release(60);
+  EXPECT_EQ(ac.TryAdmit(60, 0), Admission::kAdmitted);
+  // A single request above the whole budget can never be admitted.
+  ac.Release(60);
+  EXPECT_EQ(ac.TryAdmit(101, 0), Admission::kInFlightBytes);
+  EXPECT_EQ(ac.counters().inflight_bytes, 2u);
+  EXPECT_EQ(ac.in_flight_bytes(), 0u);
+}
+
+TEST(NetAdmission, QueueDepthWatermark) {
+  AdmissionPolicy policy;
+  policy.queue_watermark = 0.5;
+  AdmissionController ac(policy, /*queue_capacity=*/10);
+
+  EXPECT_EQ(ac.TryAdmit(1, /*queue_depth=*/5), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(1, /*queue_depth=*/6), Admission::kQueueWatermark);
+  EXPECT_EQ(ac.counters().queue_watermark, 1u);
+}
+
+TEST(NetAdmission, DisabledPolicyAdmitsEverything) {
+  AdmissionController ac(AdmissionPolicy{}, 4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(ac.TryAdmit(1 << 20, /*queue_depth=*/1000),
+              Admission::kAdmitted);
+  }
+  EXPECT_EQ(ac.counters().TotalRejected(), 0u);
+}
+
+// --- End-to-end over loopback ----------------------------------------------
+
+struct TestServer {
+  std::shared_ptr<const ShardedIndex> index;
+  std::unique_ptr<JoinService> service;
+  std::unique_ptr<JoinServer> server;
+
+  static TestServer Make(const ServiceOptions& sopts, ServerOptions nopts,
+                         int num_shards = 2) {
+    Grid grid;
+    wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+    act::BuildOptions bopts;
+    bopts.threads = 1;
+    TestServer out;
+    out.index =
+        BuildShared(ds.polygons, grid, {.num_shards = num_shards,
+                                        .build = bopts});
+    out.service = std::make_unique<JoinService>(out.index, sopts);
+    out.server = std::make_unique<JoinServer>(out.service.get(), nopts);
+    std::string error;
+    // gtest macros must run on the main thread; Make is only called there.
+    EXPECT_TRUE(out.server->Start(&error)) << error;
+    return out;
+  }
+};
+
+TEST(NetServer, LoopbackByteIdenticalToInProcessSubmit) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1500, grid, 54);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    service::JoinResult want =
+        ts.service->Submit(MakeBatch(pts, mode)).get();
+    JoinClient::Reply reply = client.Join(MakeBatch(pts, mode));
+    ASSERT_TRUE(reply.ok) << reply.message;
+    EXPECT_EQ(reply.result.epoch, want.epoch);
+    ExpectStatsEqual(reply.result.stats, want.stats);
+    EXPECT_GT(reply.result.stats.result_pairs, 0u);
+  }
+
+  // The batches also ran against the correct snapshot: spot-check against
+  // the index directly.
+  act::JoinStats direct =
+      ts.index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+  JoinClient::Reply reply = client.Join(MakeBatch(pts, JoinMode::kExact));
+  ASSERT_TRUE(reply.ok);
+  ExpectStatsEqual(reply.result.stats, direct);
+}
+
+TEST(NetServer, PingStatsAndShutdownRequest) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 200, grid, 55);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  ASSERT_TRUE(client.Ping(&error)) << error;
+
+  ASSERT_TRUE(client.Join(MakeBatch(pts, JoinMode::kExact)).ok);
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.completed_requests, 1u);
+  EXPECT_EQ(stats.points_served, pts.size());
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.rejected_requests, 0u);
+
+  EXPECT_FALSE(ts.server->shutdown_requested());
+  ASSERT_TRUE(client.RequestShutdown(&error)) << error;
+  ts.server->WaitShutdownRequested();
+  EXPECT_TRUE(ts.server->shutdown_requested());
+}
+
+TEST(NetServer, RateLimitRejectsTypedAndKeepsConnection) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  ServerOptions nopts;
+  nopts.admission.rate_limit_qps = 1e-6;  // one-shot bucket for the test
+  nopts.admission.rate_burst = 1;
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 100, grid, 56);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+
+  ASSERT_TRUE(client.Join(MakeBatch(pts, JoinMode::kApproximate)).ok);
+  JoinClient::Reply rejected = client.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, WireError::kRateLimited);
+
+  // Typed rejection, connection intact: the same socket keeps working.
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected_rate_limit, 1u);
+  EXPECT_EQ(stats.rejected_requests, 1u);
+  EXPECT_EQ(ts.server->admission_counters().rate_limited, 1u);
+}
+
+TEST(NetServer, InFlightByteBudgetRejectsTyped) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  ServerOptions nopts;
+  nopts.admission.max_in_flight_bytes = 64;  // smaller than any batch here
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 100, grid, 57);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  JoinClient::Reply reply = client.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, WireError::kInFlightBytesExceeded);
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected_inflight_bytes, 1u);
+}
+
+TEST(NetServer, QueueWatermarkAndQueueFullRejectTyped) {
+  // The service's pool is held back (autostart=false), so the queue depth
+  // is fully deterministic from the submits below.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.queue_capacity = 8;
+  sopts.autostart = false;
+  ServerOptions nopts;
+  nopts.admission.queue_watermark = 0.25;  // depth > 2 rejects
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 100, grid, 58);
+
+  std::vector<std::future<service::JoinResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(ts.service->Submit(MakeBatch(pts, JoinMode::kExact)));
+  }
+  ASSERT_EQ(ts.service->QueueDepth(), 3u);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  JoinClient::Reply reply = client.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, WireError::kQueueWatermark);
+  ASSERT_TRUE(client.connected());
+
+  // With the watermark out of the way, the bounded queue itself rejects —
+  // through the typed TrySubmit contract, not by blocking the event loop.
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(ts.service->Submit(MakeBatch(pts, JoinMode::kExact)));
+  }
+  ASSERT_EQ(ts.service->QueueDepth(), 8u);  // full
+  JoinClient client2;
+  ASSERT_TRUE(client2.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  ServerOptions no_watermark;  // fresh server sharing the service
+  JoinServer server2(ts.service.get(), no_watermark);
+  ASSERT_TRUE(server2.Start(&error)) << error;
+  JoinClient client3;
+  ASSERT_TRUE(client3.Connect(server2.host(), server2.port(), &error))
+      << error;
+  JoinClient::Reply full = client3.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_FALSE(full.ok);
+  EXPECT_EQ(full.error, WireError::kQueueFull);
+  ASSERT_TRUE(client3.Ping(&error)) << error;
+
+  service::ServiceStats stats = server2.StatsWithAdmission();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+
+  // Let the held-back pool drain the accepted requests before teardown.
+  ts.service->Start();
+  for (auto& f : futures) f.get();
+  server2.Stop();
+}
+
+TEST(NetServer, MalformedFrameAnsweredTypedThenClosed) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+
+  std::string error;
+  UniqueFd raw = ConnectTcp(ts.server->host(), ts.server->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  // 24 bytes of garbage: the magic check fails, the server answers with a
+  // typed error and then closes (framing is unrecoverable).
+  std::vector<uint8_t> garbage(kFrameHeaderBytes, 0xAB);
+  ASSERT_TRUE(SendAll(raw.get(), garbage.data(), garbage.size(), &error));
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(RecvAll(raw.get(), header_bytes, sizeof(header_bytes), &error))
+      << error;
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError parse_err = WireError::kNone;
+  ASSERT_NE(TryParseFrame({header_bytes, sizeof(header_bytes)},
+                          kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &parse_err),
+            FrameParse::kProtocolError);
+  ASSERT_EQ(header.type, MessageType::kError);
+  std::vector<uint8_t> payload(header.payload_bytes);
+  ASSERT_TRUE(RecvAll(raw.get(), payload.data(), payload.size(), &error));
+  WireError code = WireError::kNone;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kMalformedFrame);
+
+  // The server closed its side: the next read is EOF.
+  uint8_t byte;
+  EXPECT_FALSE(RecvAll(raw.get(), &byte, 1, &error));
+}
+
+TEST(NetServer, UnknownTypeIsRecoverableOnSameConnection) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+
+  std::string error;
+  UniqueFd raw = ConnectTcp(ts.server->host(), ts.server->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  std::vector<uint8_t> unknown =
+      EncodeEmptyFrame(static_cast<MessageType>(99), 5);
+  ASSERT_TRUE(SendAll(raw.get(), unknown.data(), unknown.size(), &error));
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(RecvAll(raw.get(), header_bytes, sizeof(header_bytes), &error));
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError parse_err = WireError::kNone;
+  TryParseFrame({header_bytes, sizeof(header_bytes)}, kDefaultMaxFrameBytes,
+                &header, &frame_bytes, &parse_err);
+  ASSERT_EQ(header.type, MessageType::kError);
+  EXPECT_EQ(header.request_id, 5u);
+  std::vector<uint8_t> payload(header.payload_bytes);
+  ASSERT_TRUE(RecvAll(raw.get(), payload.data(), payload.size(), &error));
+  WireError code = WireError::kNone;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kUnknownType);
+
+  // Framing stayed intact: a PING on the same socket still answers.
+  std::vector<uint8_t> ping = EncodeEmptyFrame(MessageType::kPing, 6);
+  ASSERT_TRUE(SendAll(raw.get(), ping.data(), ping.size(), &error));
+  ASSERT_TRUE(RecvAll(raw.get(), header_bytes, sizeof(header_bytes), &error));
+  TryParseFrame({header_bytes, sizeof(header_bytes)}, kDefaultMaxFrameBytes,
+                &header, &frame_bytes, &parse_err);
+  EXPECT_EQ(header.type, MessageType::kPong);
+  EXPECT_EQ(header.request_id, 6u);
+}
+
+TEST(NetServer, ConcurrentClientsAcrossHotSwapsOverLoopback) {
+  // The service_test hot-swap contract, but end to end through sockets:
+  // every wire result must be exactly right for the epoch that served it.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 4, .build = bopts});
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 400, grid, 59);
+  uint64_t want_half =
+      half->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}).result_pairs;
+  uint64_t want_full =
+      full->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}).result_pairs;
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(half, sopts);
+  ServerOptions nopts;
+  nopts.io_threads = 2;
+  JoinServer server(&service, nopts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kSwaps = 8;
+  std::vector<uint64_t> want_by_epoch(kSwaps + 2);
+  for (int e = 1; e <= kSwaps + 1; ++e) {
+    want_by_epoch[static_cast<size_t>(e)] =
+        (e % 2 == 1) ? want_half : want_full;
+  }
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 12;
+  struct ClientReport {
+    uint64_t transport_errors = 0;
+    uint64_t mismatches = 0;
+    uint64_t completed = 0;
+  };
+  std::vector<ClientReport> reports(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::string host = server.host();
+  uint16_t port = server.port();
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      JoinClient client;
+      if (!client.Connect(host, port)) {
+        ++reports[static_cast<size_t>(c)].transport_errors;
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        JoinClient::Reply reply =
+            client.Join({pts.cell_ids(), pts.points(), JoinMode::kExact});
+        ClientReport& report = reports[static_cast<size_t>(c)];
+        if (!reply.ok) {
+          ++report.transport_errors;
+          continue;
+        }
+        uint64_t epoch = reply.result.epoch;
+        if (epoch == 0 || epoch > static_cast<uint64_t>(kSwaps) + 1 ||
+            reply.result.stats.result_pairs !=
+                want_by_epoch[static_cast<size_t>(epoch)]) {
+          ++report.mismatches;
+        }
+        ++report.completed;
+      }
+    });
+  }
+
+  for (int i = 0; i < kSwaps; ++i) {
+    service.SwapIndex(i % 2 == 0 ? full : half);
+    std::this_thread::yield();
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  for (const ClientReport& report : reports) {
+    EXPECT_EQ(report.transport_errors, 0u);
+    EXPECT_EQ(report.mismatches, 0u);
+    EXPECT_EQ(report.completed,
+              static_cast<uint64_t>(kRequestsPerClient));
+  }
+  ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GE(counters.responses_sent,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(counters.protocol_errors, 0u);
+}
+
+TEST(NetServer, StopWhileIdleAndDoubleStop) {
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+  ts.server->Stop();
+  ts.server->Stop();  // idempotent
+  std::string error;
+  EXPECT_FALSE(ts.server->Start(&error));  // not restartable
+}
+
+}  // namespace
+}  // namespace actjoin::net

@@ -365,13 +365,16 @@ TEST(ServiceLifecycle, QueueFullThenStartDrains) {
   std::vector<std::future<JoinResult>> futures;
   for (int i = 0; i < 4; ++i) {
     std::future<JoinResult> f;
-    ASSERT_TRUE(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &f));
+    ASSERT_EQ(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &f),
+              SubmitStatus::kAccepted);
     futures.push_back(std::move(f));
   }
   EXPECT_EQ(service.QueueDepth(), 4u);
   std::future<JoinResult> rejected;
-  EXPECT_FALSE(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &rejected));
+  EXPECT_EQ(service.TrySubmit(MakeBatch(pts, JoinMode::kExact), &rejected),
+            SubmitStatus::kQueueFull);
   EXPECT_EQ(service.Stats().rejected_requests, 1u);
+  EXPECT_EQ(service.Stats().rejected_queue_full, 1u);
 
   service.Start();
   for (auto& f : futures) {
@@ -496,6 +499,166 @@ TEST(ServiceLifecycle, ConcurrentClientsAcrossHotSwaps) {
   EXPECT_EQ(stats.epoch, static_cast<uint64_t>(kSwaps) + 1);
   EXPECT_GT(stats.service_p50_ms, 0.0);
   EXPECT_GE(stats.service_p99_ms, stats.service_p50_ms);
+}
+
+// --- Typed submit + async hook ---------------------------------------------
+
+TEST(ServiceLifecycle, TrySubmitAsyncDeliversOnWorkerAndRejectsTyped) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 2, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 400, grid, 61);
+  act::JoinStats want = index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.queue_capacity = 2;
+  sopts.autostart = false;
+  JoinService service(index, sopts);
+
+  std::promise<JoinResult> delivered;
+  ASSERT_EQ(service.TrySubmitAsync(
+                MakeBatch(pts, JoinMode::kExact),
+                [&](JoinResult r) { delivered.set_value(std::move(r)); }),
+            SubmitStatus::kAccepted);
+  // Fill the rest of the queue, then observe the typed queue-full verdict
+  // (the hook must be dropped, not invoked).
+  ASSERT_EQ(service.TrySubmitAsync(MakeBatch(pts, JoinMode::kExact),
+                                   [](JoinResult) {}),
+            SubmitStatus::kAccepted);
+  bool rejected_hook_ran = false;
+  EXPECT_EQ(service.TrySubmitAsync(
+                MakeBatch(pts, JoinMode::kExact),
+                [&](JoinResult) { rejected_hook_ran = true; }),
+            SubmitStatus::kQueueFull);
+  EXPECT_EQ(service.Stats().rejected_queue_full, 1u);
+
+  service.Start();
+  JoinResult result = delivered.get_future().get();
+  EXPECT_EQ(result.stats.counts, want.counts);
+  EXPECT_EQ(result.epoch, 1u);
+  EXPECT_FALSE(rejected_hook_ran);
+
+  service.Shutdown();
+  EXPECT_EQ(service.TrySubmitAsync(MakeBatch(pts, JoinMode::kExact),
+                                   [](JoinResult) {}),
+            SubmitStatus::kShutDown);
+  EXPECT_EQ(service.Stats().rejected_shutdown, 1u);
+}
+
+// --- Hot-cell result cache -------------------------------------------------
+
+TEST(ServiceCache, ResultsIdenticalToUncachedForBothModes) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  bopts.precision_bound_m = 80.0;  // boundary cells => candidate refs exist
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 3, .build = bopts});
+  // Taxi skew: many points share hot cells, the workload the cache is for.
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 62);
+
+  ServiceOptions cached_opts;
+  cached_opts.worker_threads = 1;
+  cached_opts.cell_cache_capacity = 4096;
+  JoinService cached(index, cached_opts);
+  ServiceOptions plain_opts;
+  plain_opts.worker_threads = 1;
+  JoinService plain(index, plain_opts);
+
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    JoinResult want = plain.Submit(MakeBatch(pts, mode)).get();
+    // Twice: the first run fills the cache, the second hits it; both must
+    // be byte-identical to the uncached service.
+    for (int round = 0; round < 2; ++round) {
+      JoinResult got = cached.Submit(MakeBatch(pts, mode)).get();
+      EXPECT_EQ(got.stats.counts, want.stats.counts);
+      EXPECT_EQ(got.stats.result_pairs, want.stats.result_pairs);
+      EXPECT_EQ(got.stats.matched_points, want.stats.matched_points);
+      EXPECT_EQ(got.stats.true_hit_refs, want.stats.true_hit_refs);
+      EXPECT_EQ(got.stats.candidate_refs, want.stats.candidate_refs);
+      EXPECT_EQ(got.stats.pip_tests, want.stats.pip_tests);
+      EXPECT_EQ(got.stats.pip_hits, want.stats.pip_hits);
+      EXPECT_EQ(got.stats.sth_points, want.stats.sth_points);
+    }
+  }
+
+  ServiceStats stats = cached.Stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+  // Round two of each mode replays round one's cells: clustered points
+  // mean far more lookups hit than probe.
+  EXPECT_GT(stats.cache_hits, stats.cache_misses);
+  // The uncached service never touches a cache.
+  EXPECT_EQ(plain.Stats().cache_hits, 0u);
+  EXPECT_EQ(plain.Stats().cache_misses, 0u);
+}
+
+TEST(ServiceCache, HotSwapInvalidatesByEpochTag) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 2, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 800, grid, 63);
+  act::JoinStats want_half =
+      half->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+  act::JoinStats want_full =
+      full->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.cell_cache_capacity = 4096;
+  JoinService service(half, sopts);
+
+  // Warm the cache on epoch 1, swap, and verify epoch 2 results are the
+  // new index's — a stale cache entry must never leak across the swap.
+  EXPECT_EQ(service.Submit(MakeBatch(pts, JoinMode::kExact)).get().stats
+                .counts,
+            want_half.counts);
+  service.SwapIndex(full);
+  JoinResult after = service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_EQ(after.stats.counts, want_full.counts);
+  // And back again, onto cells now cached under epoch 2.
+  service.SwapIndex(half);
+  JoinResult back = service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+  EXPECT_EQ(back.epoch, 3u);
+  EXPECT_EQ(back.stats.counts, want_half.counts);
+}
+
+TEST(ServiceCache, LruEvictsUnderTinyCapacity) {
+  // A cache far smaller than the working set must still be correct — only
+  // slower (every lookup can miss).
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 1, .build = bopts});
+  wl::PointSet pts = wl::SyntheticUniformPoints(ds.mbr, 2000, grid, 64);
+  act::JoinStats want = index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.cell_cache_capacity = 8;  // uniform points thrash 8 entries
+  sopts.cell_cache_shards = 2;
+  JoinService service(index, sopts);
+  for (int round = 0; round < 2; ++round) {
+    JoinResult got = service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+    EXPECT_EQ(got.stats.counts, want.counts);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.cache_misses, 0u);
 }
 
 }  // namespace
