@@ -164,6 +164,8 @@ void NoteThroughput(double mpoints_s) {
   g_best_mpoints_s = std::max(g_best_mpoints_s, mpoints_s);
 }
 
+const std::string& SmokeReportPath() { return g_smoke_report_path; }
+
 void AppendSmokeReport(const std::string& path, const char* name,
                        double throughput_mps, double wall_ms) {
   std::FILE* f = std::fopen(path.c_str(), "a");

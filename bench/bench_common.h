@@ -99,6 +99,11 @@ void NoteThroughput(double mpoints_s);
 void AppendSmokeReport(const std::string& path, const char* name,
                        double throughput_mps, double wall_ms);
 
+/// The --smoke_report path parsed by ParseEnv ("" when absent). Benches
+/// that report extra named series beyond BenchMain's single summary line
+/// (e.g. an A/B pair the trajectory should track) append through this.
+const std::string& SmokeReportPath();
+
 /// Entry point used by every bench binary's main(). Times the whole run
 /// and, when the run parsed --smoke_report=<path> via ParseEnv, appends
 /// this binary's JSON line on success.

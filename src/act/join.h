@@ -66,6 +66,20 @@ struct JoinStats {
   double seconds = 0;
   std::vector<uint64_t> counts;  // per-polygon result counts
 
+  /// Adds `other`'s scalar probe counters into this one — every field
+  /// except num_points, seconds, and counts. The shared merge step of the
+  /// sharded and cache-assisted executors, whose per-polygon counts need
+  /// site-specific id remapping and so stay with the caller.
+  void AccumulateCounters(const JoinStats& other) {
+    matched_points += other.matched_points;
+    result_pairs += other.result_pairs;
+    true_hit_refs += other.true_hit_refs;
+    candidate_refs += other.candidate_refs;
+    pip_tests += other.pip_tests;
+    pip_hits += other.pip_hits;
+    sth_points += other.sth_points;
+  }
+
   double ThroughputMps() const {
     return seconds > 0 ? num_points / seconds / 1e6 : 0;
   }

@@ -77,6 +77,19 @@ void AdmissionController::Release(size_t request_bytes) {
   in_flight_bytes_ -= request_bytes;
 }
 
+void AdmissionController::Refund(size_t request_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ACT_CHECK_MSG(in_flight_bytes_ >= request_bytes,
+                "Refund without a matching TryAdmit admission");
+  in_flight_bytes_ -= request_bytes;
+  if (policy_.rate_limit_qps > 0) {
+    // Re-credit the token TryAdmit took; the burst ceiling still applies
+    // (refill may have topped the bucket up since).
+    tokens_ = std::min(policy_.rate_burst, tokens_ + 1.0);
+  }
+  ++counters_.refunded;
+}
+
 AdmissionController::Counters AdmissionController::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;

@@ -61,6 +61,8 @@ class AdmissionController {
     uint64_t rate_limited = 0;
     uint64_t inflight_bytes = 0;
     uint64_t queue_watermark = 0;
+    /// Admissions rolled back via Refund (the request never did work).
+    uint64_t refunded = 0;
 
     uint64_t TotalRejected() const {
       return rate_limited + inflight_bytes + queue_watermark;
@@ -77,9 +79,19 @@ class AdmissionController {
   /// request bounced by load does not also burn a rate token.
   Admission TryAdmit(size_t request_bytes, size_t queue_depth);
 
-  /// Returns an admitted request's bytes to the budget (call when its
-  /// response is complete, or when the service refused the submit).
+  /// Returns an admitted request's bytes to the budget; call when its
+  /// response is complete. The rate token stays consumed — the request
+  /// did real work (this is also the right call for malformed payloads:
+  /// a flood of garbage should still be rate-limited).
   void Release(size_t request_bytes);
+
+  /// Rolls back an admission whose request did *no* work because this
+  /// server refused it after the fact (service queue full, shutting
+  /// down): returns the bytes like Release and re-credits the rate token
+  /// TryAdmit consumed, so a queue-full burst cannot drain the bucket
+  /// and double-penalize clients. Pair with exactly one kAdmitted, in
+  /// place of (never in addition to) Release.
+  void Refund(size_t request_bytes);
 
   Counters counters() const;
   size_t in_flight_bytes() const;

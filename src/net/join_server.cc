@@ -505,7 +505,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
     }
   }
   if (stopping_now) {
-    admission_.Release(bytes);
+    admission_.Refund(bytes);  // no work done; see the queue-full refund
     rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
     QueueResponse(
         io, conn,
@@ -533,7 +533,10 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
         }
       });
   if (status != service::SubmitStatus::kAccepted) {
-    admission_.Release(bytes);
+    // The service refused after admission passed: the request did no work,
+    // so give the rate token back too — a queue-full burst must not drain
+    // the bucket and double-penalize the client.
+    admission_.Refund(bytes);
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       --inflight_joins_;

@@ -33,15 +33,26 @@ namespace actjoin::service {
 
 class HotCellCache {
  public:
-  /// `capacity` is the total entry budget across all shards (clamped so
-  /// every shard holds at least one entry). `num_shards` is rounded up to
-  /// a power of two for mask-based shard selection.
+  /// `capacity` is the total entry budget across all shards. `num_shards`
+  /// is rounded up to a power of two for mask-based shard selection. The
+  /// budget is distributed with its remainder spread over the first
+  /// `capacity % num_shards` shards (every shard holds at least one
+  /// entry), so capacity() always reports >= the requested budget —
+  /// flooring capacity / shards per shard used to shrink a 100-entry
+  /// budget over 64 shards to 64 entries.
   HotCellCache(size_t capacity, int num_shards) {
-    int ns = 1;
-    while (ns < num_shards) ns <<= 1;
-    shards_.reserve(static_cast<size_t>(ns));
-    for (int s = 0; s < ns; ++s) shards_.push_back(std::make_unique<Shard>());
-    per_shard_capacity_ = std::max<size_t>(1, capacity / shards_.size());
+    capacity = std::max<size_t>(1, capacity);
+    size_t ns = 1;
+    while (ns < static_cast<size_t>(num_shards)) ns <<= 1;
+    shards_.reserve(ns);
+    const size_t base = capacity / ns;
+    const size_t remainder = capacity % ns;
+    for (size_t s = 0; s < ns; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->capacity = std::max<size_t>(1, base + (s < remainder ? 1 : 0));
+      total_capacity_ += shard->capacity;
+      shards_.push_back(std::move(shard));
+    }
   }
 
   /// On hit, copies the cached reference list into `out` and returns true.
@@ -74,7 +85,7 @@ class HotCellCache {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    if (shard.lru.size() >= per_shard_capacity_) {
+    if (shard.lru.size() >= shard.capacity) {
       shard.map.erase(shard.lru.back().cell);
       shard.lru.pop_back();
     }
@@ -84,7 +95,9 @@ class HotCellCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  /// Total entries the cache can hold; >= the requested budget (the
+  /// at-least-one-entry-per-shard floor can round a tiny budget up).
+  size_t capacity() const { return total_capacity_; }
 
   size_t size() const {
     size_t n = 0;
@@ -103,6 +116,7 @@ class HotCellCache {
   };
   struct Shard {
     mutable std::mutex mu;
+    size_t capacity = 1;   // this shard's slice of the entry budget
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
   };
@@ -115,7 +129,7 @@ class HotCellCache {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  size_t per_shard_capacity_ = 0;
+  size_t total_capacity_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -45,6 +45,11 @@ JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
                 "JoinService requires a non-null initial index");
   opts_.worker_threads = ResolveWorkers(opts_.worker_threads);
   if (opts_.threads_per_join < 1) opts_.threads_per_join = 1;
+  if (opts_.shared_pool_workers < 0) opts_.shared_pool_workers = 0;
+  if (opts_.shared_pool_workers > 0) {
+    join_pool_ =
+        std::make_unique<util::WorkStealingPool>(opts_.shared_pool_workers);
+  }
   if (opts_.cell_cache_shards < 1) opts_.cell_cache_shards = 1;
   if (opts_.cell_cache_capacity > 0) {
     cell_cache_ = std::make_unique<HotCellCache>(opts_.cell_cache_capacity,
@@ -141,59 +146,112 @@ void JoinService::WorkerLoop(int worker_id) {
   while (auto req = queue_.Pop()) Execute(**req, worker_id);
 }
 
-// Cache-assisted join: per point, replay the cached reference list (or
+namespace {
+
+// Per-point sub-range of CachedJoin: replay the cached reference list (or
 // probe once and fill the cache), then apply the exact same per-reference
 // logic as act::ExecuteJoin — so every JoinStats field matches the
-// uncached ShardedIndex::Join bit for bit, modulo `seconds`.
-act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
-                                       const act::JoinInput& input,
-                                       act::JoinMode mode, uint64_t epoch) {
-  util::WallTimer timer;
-  const bool exact = mode == act::JoinMode::kExact;
-  act::JoinStats out;
-  out.num_points = input.size();
-  out.counts.assign(index.num_polygons(), 0);
-
+// uncached ShardedIndex::Join bit for bit, modulo `seconds`. The cache is
+// internally sharded+locked, so concurrent ranges may call it freely.
+void CachedJoinRange(const ShardedIndex& index, HotCellCache& cache,
+                     const act::JoinInput& input, bool exact, uint64_t epoch,
+                     uint64_t begin, uint64_t end, act::JoinStats* out) {
+  out->counts.assign(index.num_polygons(), 0);
   std::vector<CellRef> refs;
-  for (uint64_t p = 0; p < input.size(); ++p) {
+  for (uint64_t p = begin; p < end; ++p) {
     const uint64_t cell = input.cell_ids[p];
-    if (!cell_cache_->Lookup(cell, epoch, &refs)) {
+    if (!cache.Lookup(cell, epoch, &refs)) {
       index.ProbeCell(cell, &refs);
-      cell_cache_->Insert(cell, epoch, refs);
+      cache.Insert(cell, epoch, refs);
     }
     if (refs.empty()) {
-      ++out.sth_points;  // sentinel probe (or empty shard): guaranteed miss
+      ++out->sth_points;  // sentinel probe (or empty shard): guaranteed miss
       continue;
     }
     const int s = index.ShardOf(cell);
     const std::vector<uint32_t>& gids = index.shard_polygon_ids(s);
     const act::PolygonIndex* shard = index.shard_index(s);
-    const uint64_t pairs_before = out.result_pairs;
+    const uint64_t pairs_before = out->result_pairs;
     bool had_candidate = false;
     for (const CellRef& r : refs) {
       if (r.interior) {
-        ++out.true_hit_refs;
-        ++out.counts[gids[r.local_pid]];
-        ++out.result_pairs;
+        ++out->true_hit_refs;
+        ++out->counts[gids[r.local_pid]];
+        ++out->result_pairs;
         continue;
       }
-      ++out.candidate_refs;
+      ++out->candidate_refs;
       had_candidate = true;
       if (!exact) {
-        ++out.counts[gids[r.local_pid]];
-        ++out.result_pairs;
+        ++out->counts[gids[r.local_pid]];
+        ++out->result_pairs;
         continue;
       }
-      ++out.pip_tests;
+      ++out->pip_tests;
       if (geom::ContainsPoint(shard->polygons()[r.local_pid],
                               input.points[p])) {
-        ++out.pip_hits;
-        ++out.counts[gids[r.local_pid]];
-        ++out.result_pairs;
+        ++out->pip_hits;
+        ++out->counts[gids[r.local_pid]];
+        ++out->result_pairs;
       }
     }
-    if (out.result_pairs != pairs_before) ++out.matched_points;
-    if (!had_candidate) ++out.sth_points;
+    if (out->result_pairs != pairs_before) ++out->matched_points;
+    if (!had_candidate) ++out->sth_points;
+  }
+}
+
+// Range width matching the sharded executor's task floor: cache-assisted
+// points are cheaper than trie probes, so anything finer drowns in
+// per-range bookkeeping.
+constexpr uint64_t kMinCacheRangePoints = 2048;
+
+}  // namespace
+
+// Cache-assisted join, decomposed into point sub-ranges drained by the
+// shared pool (or a transient one at threads_per_join width), so the
+// cached path honors the same thread budget as the executor path. Partial
+// stats merge in fixed range order — integer counters, so results stay
+// byte-identical to the serial loop at any width.
+act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
+                                       const act::JoinInput& input,
+                                       act::JoinMode mode, uint64_t epoch) {
+  util::WallTimer timer;
+  const bool exact = mode == act::JoinMode::kExact;
+  const uint64_t n = input.size();
+  act::JoinStats out;
+  out.num_points = n;
+
+  util::WorkStealingPool* pool = join_pool_.get();
+  const int width = util::EffectiveWidth(pool, opts_.threads_per_join);
+  const uint64_t range_points = std::max(
+      kMinCacheRangePoints,
+      (n + static_cast<uint64_t>(width) - 1) / static_cast<uint64_t>(width));
+  const uint64_t num_ranges =
+      n == 0 ? 0 : (n + range_points - 1) / range_points;
+
+  if (num_ranges <= 1 || width <= 1) {
+    CachedJoinRange(index, *cell_cache_, input, exact, epoch, 0, n, &out);
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<act::JoinStats> partial(num_ranges);
+  auto run_range = [&](uint64_t r) {
+    CachedJoinRange(index, *cell_cache_, input, exact, epoch,
+                    r * range_points, std::min((r + 1) * range_points, n),
+                    &partial[r]);
+  };
+  if (pool != nullptr && pool->num_workers() > 0) {
+    pool->Run(num_ranges, run_range);
+  } else {
+    util::WorkStealingPool local(width - 1);
+    local.Run(num_ranges, run_range);
+  }
+
+  out.counts.assign(index.num_polygons(), 0);
+  for (const act::JoinStats& st : partial) {
+    out.AccumulateCounters(st);
+    for (size_t k = 0; k < st.counts.size(); ++k) out.counts[k] += st.counts[k];
   }
   out.seconds = timer.ElapsedSeconds();
   return out;
@@ -209,8 +267,10 @@ void JoinService::Execute(Request& req, int worker_id) {
   if (cell_cache_ != nullptr) {
     result.stats = CachedJoin(*snapshot, input, req.batch.mode, result.epoch);
   } else {
-    result.stats =
-        snapshot->Join(input, {req.batch.mode, opts_.threads_per_join});
+    // With a shared pool the join's task units drain through it (and this
+    // worker helps); otherwise the executor is threads_per_join wide.
+    result.stats = snapshot->Join(
+        input, {req.batch.mode, opts_.threads_per_join}, join_pool_.get());
   }
   result.queue_wait_ms = queue_wait_ms;
   result.service_ms = service_timer.ElapsedMillis();

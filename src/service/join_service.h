@@ -43,6 +43,7 @@
 #include "service/sharded_index.h"
 #include "util/mpmc_queue.h"
 #include "util/timer.h"
+#include "util/work_stealing_pool.h"
 
 namespace actjoin::service {
 
@@ -53,10 +54,20 @@ struct ServiceOptions {
   /// Bounded request-queue capacity (backpressure threshold); clamped to
   /// >= 1 like the other options here.
   size_t queue_capacity = 256;
-  /// ParallelFor width *inside* one request's probe loop. Default 1: with
-  /// a pool of workers, cross-request parallelism already saturates the
-  /// cores without oversubscription.
+  /// Probe width *inside* one request's join (both the sharded executor
+  /// and the cache-assisted path honor it). Default 1: with a pool of
+  /// workers, cross-request parallelism already saturates the cores
+  /// without oversubscription. Ignored when shared_pool_workers > 0 (the
+  /// shared pool's width applies instead).
   int threads_per_join = 1;
+  /// > 0: the service owns one util::WorkStealingPool with this many
+  /// worker threads, shared by every worker's join — all concurrent
+  /// requests' (shard, sub-range) task units drain through the same fixed
+  /// thread set instead of each join spawning threads_per_join threads
+  /// (no nested spawns, and a lone request on an idle service still runs
+  /// shared_pool_workers + 1 wide). 0 disables: each join is
+  /// threads_per_join wide on its own.
+  int shared_pool_workers = 0;
   /// Start the worker pool in the constructor. Tests set false to fill the
   /// queue deterministically, then call Start().
   bool autostart = true;
@@ -173,7 +184,8 @@ class JoinService {
   ServiceOptions opts_;
   SnapshotRegistry<ShardedIndex> registry_;
   util::MpmcQueue<std::unique_ptr<Request>> queue_;
-  std::unique_ptr<HotCellCache> cell_cache_;  // null when disabled
+  std::unique_ptr<util::WorkStealingPool> join_pool_;  // null when disabled
+  std::unique_ptr<HotCellCache> cell_cache_;           // null when disabled
   ServiceStatsRecorder stats_;
   std::vector<std::thread> workers_;
   std::mutex lifecycle_mu_;  // guards Start/Shutdown transitions

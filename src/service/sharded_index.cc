@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
+#include "util/work_stealing_pool.h"
 
 namespace actjoin::service {
 
@@ -114,10 +115,77 @@ void RouteBatch(const ShardedIndex& index, const act::JoinInput& input,
   }
 }
 
+// One executor task unit: a contiguous sub-range of one shard's routed
+// slice, addressed by absolute offsets into the scratch arrays. The task
+// list is generated shard-major, range-minor — the fixed order every
+// merge below follows, which is what makes results independent of which
+// thread ran which task.
+struct TaskUnit {
+  uint32_t shard = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+// Floor on points per task: below this the per-task bookkeeping (deque
+// ops, a per-task stats slot with its counts vector) stops being noise
+// next to the probe work.
+constexpr uint64_t kMinTaskPoints = 2048;
+// Tasks per thread the decomposition aims for when the batch is large
+// enough: slack for stealing to rebalance a skewed batch, coarse enough
+// that task overhead stays invisible.
+constexpr uint64_t kTasksPerThread = 8;
+
+// Splits each shard's routed slice [offsets[s], offsets[s+1]) into
+// sub-range tasks sized off the slice widths (empty and index-less shards
+// get no tasks — their points are guaranteed misses, handled at merge
+// time). A hot shard simply yields more tasks, which is exactly what lets
+// every thread in the budget converge on it.
+std::vector<TaskUnit> DecomposeBatch(const ShardedIndex& index,
+                                     const std::vector<uint64_t>& offsets,
+                                     uint64_t n, int budget) {
+  const uint64_t target_tasks =
+      static_cast<uint64_t>(std::max(1, budget)) * kTasksPerThread;
+  const uint64_t task_points =
+      std::max(kMinTaskPoints, (n + target_tasks - 1) / target_tasks);
+  std::vector<TaskUnit> tasks;
+  for (int s = 0; s < index.num_shards(); ++s) {
+    if (index.shard_index(s) == nullptr) continue;
+    for (uint64_t b = offsets[s]; b < offsets[s + 1]; b += task_points) {
+      tasks.push_back({static_cast<uint32_t>(s), b,
+                       std::min(b + task_points, offsets[s + 1])});
+    }
+  }
+  return tasks;
+}
+
+// Runs run_task(t) for every task, `budget` wide: inline when the budget
+// or task count makes parallelism pointless, on the caller's shared pool
+// when one was provided, else on a transient pool sized so pool workers
+// plus this thread equal the budget.
+template <typename Fn>
+void RunTasks(size_t num_tasks, int budget, util::WorkStealingPool* pool,
+              Fn&& run_task) {
+  // A lone task (or a width-1 budget) runs inline on the caller even when
+  // a shared pool exists: waking the pool's workers costs more than the
+  // task itself, and the serving path's small batches hit this case on
+  // every request. (budget >= 2 whenever the pool has workers.)
+  if (num_tasks <= 1 || budget <= 1) {
+    for (uint64_t t = 0; t < num_tasks; ++t) run_task(t);
+    return;
+  }
+  if (pool != nullptr && pool->num_workers() > 0) {
+    pool->Run(num_tasks, run_task);
+    return;
+  }
+  util::WorkStealingPool local(budget - 1);
+  local.Run(num_tasks, run_task);
+}
+
 }  // namespace
 
 act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
-                                  const act::JoinOptions& opts) const {
+                                  const act::JoinOptions& opts,
+                                  util::WorkStealingPool* pool) const {
   util::WallTimer timer;
   const uint64_t n = input.size();
   act::JoinStats out;
@@ -132,17 +200,66 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
   std::vector<geom::Point> points;
   RouteBatch(*this, input, &offsets, &cells, &points, nullptr);
 
-  // Sharded executors: shards run concurrently, each owning an equal
+  // Work-stealing executors: the routed batch becomes (shard, sub-range)
+  // task units and the whole thread budget drains whichever shard is hot
+  // — the static per-shard split this replaced under-widthed hot shards
+  // on exactly the skewed batches the paper targets (kept as
+  // JoinStaticSplit, the A/B baseline). Each task probes at width 1;
+  // parallelism comes only from the task fan-out, so nothing nests.
+  const int budget = util::EffectiveWidth(pool, opts.threads);
+  std::vector<TaskUnit> tasks = DecomposeBatch(*this, offsets, n, budget);
+  std::vector<act::JoinStats> task_stats(tasks.size());
+  act::JoinOptions task_opts = opts;
+  task_opts.threads = 1;
+  RunTasks(tasks.size(), budget, pool, [&](uint64_t t) {
+    const TaskUnit& u = tasks[t];
+    const uint64_t count = u.end - u.begin;
+    act::JoinInput sub{std::span(cells).subspan(u.begin, count),
+                       std::span(points).subspan(u.begin, count)};
+    task_stats[t] = shards_[u.shard].index->Join(sub, task_opts);
+  });
+
+  // Deterministic merge: task order is shard-major/range-minor by
+  // construction and JoinStats fields are exact integer counters, so the
+  // execution interleaving cannot leak into the result.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const Shard& shard = shards_[tasks[t].shard];
+    const act::JoinStats& st = task_stats[t];
+    out.AccumulateCounters(st);
+    for (size_t k = 0; k < st.counts.size(); ++k) {
+      out.counts[shard.global_ids[k]] += st.counts[k];
+    }
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    if (shards_[s].index != nullptr) continue;
+    // No polygons reach this shard: every point here is a guaranteed
+    // miss (the sharded analog of the sentinel probe).
+    out.sth_points += offsets[s + 1] - offsets[s];
+  }
+  out.seconds = timer.ElapsedSeconds();  // includes routing, fair total
+  return out;
+}
+
+act::JoinStats ShardedIndex::JoinStaticSplit(
+    const act::JoinInput& input, const act::JoinOptions& opts) const {
+  util::WallTimer timer;
+  const uint64_t n = input.size();
+  act::JoinStats out;
+  out.num_points = n;
+  out.counts.assign(num_polygons_, 0);
+  if (n == 0) {
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  std::vector<uint64_t> offsets, cells;
+  std::vector<geom::Point> points;
+  RouteBatch(*this, input, &offsets, &cells, &points, nullptr);
+
+  // The original executor: shards run concurrently, each owning an equal
   // static slice of the thread budget for its inner batch-of-16 probe
-  // loop (when the budget exceeds the shard count, that inner loop is a
-  // nested ParallelFor of width budget/num_shards). The static split caps
-  // total threads at ~budget regardless of shard count — spawns are a
-  // real cost at serving-size batches. It can under-width a hot shard on
-  // heavily skewed giant batches; measured here, widening busy shards
-  // dynamically costs more in extra thread spawns than it recovers (work
-  // stealing across shard executors is the real fix — see ROADMAP). The
-  // serving path is unaffected: JoinService defaults to threads_per_join
-  // = 1 and gets its parallelism from the worker pool.
+  // loop. Under-widths hot shards on skewed batches — which is the point
+  // of keeping it: the bench smoke measures the stealing Join against it.
   const int ns = num_shards();
   const int budget =
       opts.threads <= 0 ? util::DefaultThreadCount() : opts.threads;
@@ -172,13 +289,7 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
       continue;
     }
     const act::JoinStats& st = per_shard[s];
-    out.matched_points += st.matched_points;
-    out.result_pairs += st.result_pairs;
-    out.true_hit_refs += st.true_hit_refs;
-    out.candidate_refs += st.candidate_refs;
-    out.pip_tests += st.pip_tests;
-    out.pip_hits += st.pip_hits;
-    out.sth_points += st.sth_points;
+    out.AccumulateCounters(st);
     for (size_t k = 0; k < st.counts.size(); ++k) {
       out.counts[shard.global_ids[k]] += st.counts[k];
     }
@@ -188,7 +299,8 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
 }
 
 std::vector<std::pair<uint64_t, uint32_t>> ShardedIndex::JoinPairs(
-    const act::JoinInput& input, act::JoinMode mode) const {
+    const act::JoinInput& input, act::JoinMode mode, int threads,
+    util::WorkStealingPool* pool) const {
   std::vector<std::pair<uint64_t, uint32_t>> out;
   if (input.size() == 0) return out;
 
@@ -196,17 +308,35 @@ std::vector<std::pair<uint64_t, uint32_t>> ShardedIndex::JoinPairs(
   std::vector<geom::Point> points;
   RouteBatch(*this, input, &offsets, &cells, &points, &orig);
 
-  for (int s = 0; s < num_shards(); ++s) {
-    uint64_t count = offsets[s + 1] - offsets[s];
-    const Shard& shard = shards_[s];
-    if (count == 0 || shard.index == nullptr) continue;
-    act::JoinInput sub{std::span(cells).subspan(offsets[s], count),
-                       std::span(points).subspan(offsets[s], count)};
+  // Same (shard, sub-range) decomposition as Join; each task remaps its
+  // shard-local pairs to (original point index, global polygon id).
+  const int budget = util::EffectiveWidth(pool, threads);
+  std::vector<TaskUnit> tasks =
+      DecomposeBatch(*this, offsets, input.size(), budget);
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> task_pairs(
+      tasks.size());
+  RunTasks(tasks.size(), budget, pool, [&](uint64_t t) {
+    const TaskUnit& u = tasks[t];
+    const uint64_t count = u.end - u.begin;
+    const Shard& shard = shards_[u.shard];
+    act::JoinInput sub{std::span(cells).subspan(u.begin, count),
+                       std::span(points).subspan(u.begin, count)};
+    std::vector<std::pair<uint64_t, uint32_t>>& local = task_pairs[t];
     for (const auto& [local_point, local_pid] :
          shard.index->JoinPairs(sub, mode)) {
-      out.emplace_back(orig[offsets[s] + local_point],
-                       shard.global_ids[local_pid]);
+      local.emplace_back(orig[u.begin + local_point],
+                         shard.global_ids[local_pid]);
     }
+  });
+
+  // Concatenate in fixed task order, then sort: every width produces the
+  // same multiset of pairs, so the sorted vector is byte-identical to the
+  // serial path's — the determinism contract service_test pins.
+  size_t total = 0;
+  for (const auto& local : task_pairs) total += local.size();
+  out.reserve(total);
+  for (const auto& local : task_pairs) {
+    out.insert(out.end(), local.begin(), local.end());
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -11,9 +11,12 @@
 //
 // A join routes each point to exactly one shard by its leaf cell id —
 // bucket-sorting the batch into shard order (which is Hilbert order, so
-// per-shard probes stay spatially local) — then runs the paper's
-// batch-of-16 atomic-counter probe loop inside each shard and merges
-// per-shard results back to global polygon ids. Because every polygon
+// per-shard probes stay spatially local) — then decomposes the routed
+// batch into coarse (shard, sub-range) task units drained by a
+// work-stealing pool, so the whole thread budget converges on whichever
+// shard is hot instead of idling on a static per-shard slice (see
+// docs/executor.md), and merges per-task results back to global polygon
+// ids in fixed shard-then-range order. Because every polygon
 // whose covering reaches a shard is indexed there, the exact-mode join is
 // byte-identical to one index over the full set (both equal the PIP ground
 // truth). Approximate-mode results keep the precision bound but may emit
@@ -35,6 +38,7 @@
 #include "act/pipeline.h"
 #include "geo/grid.h"
 #include "geometry/polygon.h"
+#include "util/work_stealing_pool.h"
 
 namespace actjoin::service {
 
@@ -69,15 +73,38 @@ class ShardedIndex {
                             const ShardingOptions& opts);
 
   /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
-  /// by shard, probes each shard (opts.threads wide inside the shard), and
-  /// merges stats with counts remapped to global polygon ids.
-  act::JoinStats Join(const act::JoinInput& input,
-                      const act::JoinOptions& opts) const;
+  /// by shard, splits each shard's slice into (shard, sub-range) task
+  /// units, and drains them work-stealing-wide across the whole thread
+  /// budget (opts.threads; library convention 0 => DefaultThreadCount()).
+  /// Stats are merged in fixed shard-then-range order with counts remapped
+  /// to global polygon ids, so results are byte-identical to the unsharded
+  /// index regardless of which thread ran which task.
+  ///
+  /// When `pool` is non-null (and has workers) its workers execute the
+  /// tasks, the calling thread helps, and the pool's width replaces
+  /// opts.threads entirely — budget and task granularity both come from
+  /// util::EffectiveWidth(pool, ...). A null pool spawns a transient pool
+  /// of opts.threads for this call.
+  act::JoinStats Join(const act::JoinInput& input, const act::JoinOptions& opts,
+                      util::WorkStealingPool* pool = nullptr) const;
+
+  /// The pre-work-stealing executor: shards run concurrently, each owning
+  /// a static 1/num_shards slice of the thread budget. Kept as the A/B
+  /// baseline the bench smoke compares the stealing executor against (and
+  /// as the fallback should a pool regression ever need bisecting);
+  /// results are byte-identical to Join.
+  act::JoinStats JoinStaticSplit(const act::JoinInput& input,
+                                 const act::JoinOptions& opts) const;
 
   /// Routed equivalent of act::PolygonIndex::JoinPairs: sorted (point
-  /// index, global polygon id) pairs. Single-threaded, like the original.
+  /// index, global polygon id) pairs. `threads` follows the library
+  /// convention (0 => DefaultThreadCount()); the default 1 preserves the
+  /// historical single-threaded behavior. Output is identical at every
+  /// width: per-task pair lists are concatenated in fixed shard-then-range
+  /// order and the final sort canonicalizes.
   std::vector<std::pair<uint64_t, uint32_t>> JoinPairs(
-      const act::JoinInput& input, act::JoinMode mode) const;
+      const act::JoinInput& input, act::JoinMode mode, int threads = 1,
+      util::WorkStealingPool* pool = nullptr) const;
 
   /// Replaces `out` with the references the probe loop would visit for
   /// this leaf cell, in visit order. Empty output <=> a sentinel probe (a

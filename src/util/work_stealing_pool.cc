@@ -1,0 +1,146 @@
+#include "util/work_stealing_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/parallel_for.h"
+
+namespace actjoin::util {
+
+WorkStealingPool::WorkStealingPool(int workers) {
+  workers = std::max(0, workers);
+  deques_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkStealingPool::ExecuteTask(const Task& task) {
+  task.job->fn(task.job->ctx, task.index);
+  // Decrement + notify inside the job mutex. The submitter only returns
+  // (and destroys the stack-allocated Job) after passing through this
+  // mutex having observed pending == 0, so no finishing thread can still
+  // be touching the job once Run() returns — a bare decrement would let
+  // the submitter's lock-free re-check race this thread's notify.
+  std::lock_guard<std::mutex> lock(task.job->mu);
+  if (task.job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    task.job->done_cv.notify_all();
+  }
+}
+
+bool WorkStealingPool::RunOneTask(int self) {
+  const int n = static_cast<int>(deques_.size());
+  if (n == 0) return false;
+  if (self >= 0) {
+    WorkDeque& own = *deques_[self];
+    std::unique_lock<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      Task task = own.tasks.front();
+      own.tasks.pop_front();
+      lock.unlock();
+      ExecuteTask(task);
+      return true;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    // Start the victim scan just past self so thieves spread out instead
+    // of all hammering deque 0 (helpers with self == -1 start at 0).
+    WorkDeque& victim = *deques_[(self + 1 + i) % n];
+    std::unique_lock<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    Task task = victim.tasks.back();
+    victim.tasks.pop_back();
+    lock.unlock();
+    ExecuteTask(task);
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::WorkerMain(int self) {
+  for (;;) {
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      if (stop_) return;
+      epoch = submit_epoch_;
+    }
+    if (RunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    // A submit that landed between the empty scan and this wait bumped
+    // the epoch, so the predicate is already true and we re-scan.
+    idle_cv_.wait(lock,
+                  [&] { return stop_ || submit_epoch_ != epoch; });
+    if (stop_) return;
+  }
+}
+
+void WorkStealingPool::RunImpl(uint64_t num_tasks, void* ctx, TaskFn fn) {
+  if (num_tasks == 0) return;
+  const int n = static_cast<int>(deques_.size());
+  if (n == 0) {
+    for (uint64_t i = 0; i < num_tasks; ++i) fn(ctx, i);
+    return;
+  }
+
+  Job job;
+  job.ctx = ctx;
+  job.fn = fn;
+  job.pending.store(num_tasks, std::memory_order_relaxed);
+
+  // Block-distribute task indices: worker w starts with the contiguous
+  // range [w*n/W, (w+1)*n/W) in front-to-back order. The initial layout
+  // is the static split; stealing only moves work once a block drains.
+  for (int w = 0; w < n; ++w) {
+    uint64_t begin = num_tasks * static_cast<uint64_t>(w) / n;
+    uint64_t end = num_tasks * (static_cast<uint64_t>(w) + 1) / n;
+    if (begin == end) continue;
+    std::lock_guard<std::mutex> lock(deques_[w]->mu);
+    for (uint64_t i = begin; i < end; ++i) {
+      deques_[w]->tasks.push_back(Task{&job, i});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++submit_epoch_;
+  }
+  idle_cv_.notify_all();
+
+  // Help drain until every task of this job has *finished* (a stolen task
+  // still executing elsewhere keeps pending > 0). Helping may run tasks
+  // of other jobs — all of it is join work someone is waiting on.
+  while (job.pending.load(std::memory_order_acquire) > 0) {
+    if (RunOneTask(/*self=*/-1)) continue;
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.done_cv.wait(lock, [&] {
+      return job.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // The loop can exit on the bare atomic load while the last finisher is
+  // still inside its decrement-and-notify critical section. Passing
+  // through the mutex once orders this frame's destruction of `job`
+  // after that section.
+  std::lock_guard<std::mutex> drain(job.mu);
+}
+
+int EffectiveWidth(const WorkStealingPool* pool, int threads) {
+  if (pool != nullptr && pool->num_workers() > 0) {
+    return pool->num_workers() + 1;
+  }
+  return threads <= 0 ? DefaultThreadCount() : threads;
+}
+
+}  // namespace actjoin::util

@@ -346,6 +346,34 @@ TEST(NetAdmission, QueueDepthWatermark) {
   EXPECT_EQ(ac.counters().queue_watermark, 1u);
 }
 
+TEST(NetAdmission, RefundRestoresRateTokenAndBytes) {
+  // Refund is the rollback for admissions whose request did no work: it
+  // must return the in-flight bytes *and* the rate token (Release only
+  // returns the bytes — the token stays spent for completed work).
+  AdmissionPolicy policy;
+  policy.rate_limit_qps = 1e-6;  // refill is negligible within the test
+  policy.rate_burst = 2;
+  AdmissionController ac(policy, /*queue_capacity=*/64);
+
+  ASSERT_EQ(ac.TryAdmit(60, 0), Admission::kAdmitted);
+  ac.Refund(60);
+  EXPECT_EQ(ac.in_flight_bytes(), 0u);
+  EXPECT_EQ(ac.counters().refunded, 1u);
+
+  // The refunded token is spendable again: the full burst of 2 is still
+  // available, and only the third admission rate-limits.
+  ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kRateLimited);
+
+  // Refund never overfills past the burst ceiling.
+  ac.Refund(10);
+  ac.Refund(10);
+  ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kRateLimited);
+}
+
 TEST(NetAdmission, DisabledPolicyAdmitsEverything) {
   AdmissionController ac(AdmissionPolicy{}, 4);
   for (int i = 0; i < 1000; ++i) {
@@ -556,6 +584,53 @@ TEST(NetServer, QueueWatermarkAndQueueFullRejectTyped) {
   ts.service->Start();
   for (auto& f : futures) f.get();
   server2.Stop();
+}
+
+TEST(NetServer, QueueFullBurstDoesNotDrainRateBucket) {
+  // Regression: TryAdmit consumed a rate token, and when the service then
+  // answered kQueueFull the token was never refunded — a queue-full burst
+  // drained the bucket and clients were double-penalized (rejections for
+  // requests that did no work, followed by rate-limit rejections once the
+  // queue had room again). With the refund, every bounce in the burst
+  // stays typed kQueueFull and the bucket is still full afterwards.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.queue_capacity = 1;
+  sopts.autostart = false;  // held back => the queue stays deterministic
+  ServerOptions nopts;
+  nopts.admission.rate_limit_qps = 1e-6;  // refill negligible in-test
+  nopts.admission.rate_burst = 2;  // a burst any non-refunding server burns
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 100, grid, 59);
+
+  // Fill the service queue in-process so every wire join bounces.
+  std::vector<std::future<service::JoinResult>> futures;
+  futures.push_back(ts.service->Submit(MakeBatch(pts, JoinMode::kExact)));
+  ASSERT_EQ(ts.service->QueueDepth(), 1u);
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  // 5 bounces > burst 2: without the refund, bounce 3 onward would come
+  // back kRateLimited instead of kQueueFull.
+  for (int i = 0; i < 5; ++i) {
+    JoinClient::Reply reply = client.Join(MakeBatch(pts, JoinMode::kExact));
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, WireError::kQueueFull) << "bounce " << i;
+  }
+  EXPECT_EQ(ts.server->admission_counters().refunded, 5u);
+  EXPECT_EQ(ts.server->admission_counters().rate_limited, 0u);
+
+  // Drain the queue; the bucket must still hold its full burst.
+  ts.service->Start();
+  for (auto& f : futures) f.get();
+  JoinClient::Reply served = client.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_TRUE(served.ok) << "token was not refunded";
+  EXPECT_GT(served.result.stats.num_points, 0u);
 }
 
 TEST(NetServer, MalformedFrameAnsweredTypedThenClosed) {

@@ -26,11 +26,13 @@
 #include "act/join.h"
 #include "act/pipeline.h"
 #include "geo/grid.h"
+#include "service/hot_cell_cache.h"
 #include "service/index_registry.h"
 #include "service/join_service.h"
 #include "service/sharded_index.h"
 #include "util/latency_histogram.h"
 #include "util/mpmc_queue.h"
+#include "util/work_stealing_pool.h"
 #include "workloads/datasets.h"
 
 namespace actjoin::service {
@@ -139,6 +141,258 @@ TEST(ServiceSharding, EveryPolygonAssignedAndRouterTotal) {
     ASSERT_GE(s, 0);
     ASSERT_LT(s, sharded.num_shards());
   }
+}
+
+// All deterministic JoinStats fields (everything but wall-clock seconds).
+void ExpectStatsEqual(const act::JoinStats& got, const act::JoinStats& want) {
+  EXPECT_EQ(got.num_points, want.num_points);
+  EXPECT_EQ(got.matched_points, want.matched_points);
+  EXPECT_EQ(got.result_pairs, want.result_pairs);
+  EXPECT_EQ(got.true_hit_refs, want.true_hit_refs);
+  EXPECT_EQ(got.candidate_refs, want.candidate_refs);
+  EXPECT_EQ(got.pip_tests, want.pip_tests);
+  EXPECT_EQ(got.pip_hits, want.pip_hits);
+  EXPECT_EQ(got.sth_points, want.sth_points);
+  EXPECT_EQ(got.counts, want.counts);
+}
+
+QueryBatch MakeBatch(const wl::PointSet& pts, JoinMode mode) {
+  return {pts.cell_ids(), pts.points(), mode};
+}
+
+// Builds a batch of `total` points where >= `frac` of them route to the
+// index's most-populated shard — the hot-shard shape the work-stealing
+// executor exists for. Points are recycled from `pts` by routing verdict.
+QueryBatch MakeSkewedBatch(const ShardedIndex& index, const wl::PointSet& pts,
+                           size_t total, double frac, JoinMode mode) {
+  std::vector<size_t> per_shard(index.num_shards(), 0);
+  for (uint64_t id : pts.cell_ids()) ++per_shard[index.ShardOf(id)];
+  const int hot = static_cast<int>(
+      std::max_element(per_shard.begin(), per_shard.end()) -
+      per_shard.begin());
+
+  std::vector<size_t> hot_points, cold_points;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    (index.ShardOf(pts.cell_ids()[i]) == hot ? hot_points : cold_points)
+        .push_back(i);
+  }
+  // Tiny datasets can route everything to one shard; a hot-only batch is
+  // still a valid (maximal) skew.
+  if (cold_points.empty()) cold_points = hot_points;
+
+  QueryBatch batch;
+  batch.mode = mode;
+  batch.cell_ids.reserve(total);
+  batch.points.reserve(total);
+  const size_t hot_count = static_cast<size_t>(total * frac);
+  for (size_t k = 0; k < total; ++k) {
+    const std::vector<size_t>& from =
+        k < hot_count ? hot_points : cold_points;
+    size_t i = from[k % from.size()];
+    batch.cell_ids.push_back(pts.cell_ids()[i]);
+    batch.points.push_back(pts.points()[i]);
+  }
+  return batch;
+}
+
+// --- Work-stealing executor ------------------------------------------------
+
+TEST(ServiceExecutor, StealingAndStaticSplitByteIdentical) {
+  // The determinism contract of the executor swap: the work-stealing Join,
+  // the retired static-split executor, and the unsharded index all agree
+  // bit for bit, at every thread count, in both modes.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 5000, grid, 71);
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  act::PolygonIndex single = act::PolygonIndex::Build(ds.polygons, grid, bopts);
+  ShardedIndex sharded = ShardedIndex::Build(
+      ds.polygons, grid, {.num_shards = 8, .build = bopts});
+
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    act::JoinStats want_single =
+        single.Join(pts.AsJoinInput(), {mode, /*threads=*/1});
+    act::JoinStats serial =
+        sharded.Join(pts.AsJoinInput(), {mode, /*threads=*/1});
+    if (mode == JoinMode::kExact) {
+      // Exact sharded results equal the unsharded index; approximate may
+      // legitimately emit fewer false positives (covered elsewhere).
+      ExpectStatsEqual(serial, want_single);
+    }
+    for (int threads : {2, 4, 8}) {
+      act::JoinStats stealing =
+          sharded.Join(pts.AsJoinInput(), {mode, threads});
+      act::JoinStats static_split =
+          sharded.JoinStaticSplit(pts.AsJoinInput(), {mode, threads});
+      ExpectStatsEqual(stealing, serial);
+      ExpectStatsEqual(static_split, serial);
+    }
+  }
+}
+
+TEST(ServiceExecutor, JoinPairsParallelByteIdenticalToSerial) {
+  // JoinPairs used to be hard-serial; it now honors a thread budget and an
+  // external pool. Pin the contract: identical pairs at every width.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 5000, grid, 72);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  ShardedIndex sharded = ShardedIndex::Build(
+      ds.polygons, grid, {.num_shards = 5, .build = bopts});
+
+  util::WorkStealingPool pool(3);
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    auto serial = sharded.JoinPairs(pts.AsJoinInput(), mode);  // threads = 1
+    for (int threads : {2, 8}) {
+      EXPECT_EQ(sharded.JoinPairs(pts.AsJoinInput(), mode, threads), serial)
+          << threads << " threads";
+    }
+    EXPECT_EQ(sharded.JoinPairs(pts.AsJoinInput(), mode, /*threads=*/1,
+                                &pool),
+              serial)
+        << "shared pool";
+  }
+}
+
+TEST(ServiceExecutor, SkewedBatchResultsExactAtFullWidth) {
+  // >= 90% of the batch routed to one shard: the stealing executor runs
+  // the hot shard with the whole budget. Results must still match the
+  // unsharded index exactly.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 6000, grid, 73);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  act::PolygonIndex single = act::PolygonIndex::Build(ds.polygons, grid, bopts);
+  ShardedIndex sharded = ShardedIndex::Build(
+      ds.polygons, grid, {.num_shards = 8, .build = bopts});
+
+  QueryBatch batch =
+      MakeSkewedBatch(sharded, pts, 6000, 0.9, JoinMode::kExact);
+  size_t hot_max = 0;
+  std::vector<size_t> per_shard(sharded.num_shards(), 0);
+  for (uint64_t id : batch.cell_ids) {
+    hot_max = std::max(hot_max, ++per_shard[sharded.ShardOf(id)]);
+  }
+  ASSERT_GE(hot_max, batch.cell_ids.size() * 9 / 10);
+
+  act::JoinInput input{batch.cell_ids, batch.points};
+  act::JoinStats want = single.Join(input, {JoinMode::kExact, 1});
+  for (int threads : {1, 8}) {
+    ExpectStatsEqual(sharded.Join(input, {JoinMode::kExact, threads}), want);
+    ExpectStatsEqual(sharded.JoinStaticSplit(input, {JoinMode::kExact,
+                                                     threads}),
+                     want);
+  }
+}
+
+TEST(ServiceExecutor, SkewedBatchStressAcrossHotSwapsUnderSharedPool) {
+  // The TSan workload for the new pool: a service whose workers share one
+  // WorkStealingPool serves heavily skewed batches from concurrent clients
+  // while the writer hot-swaps the index. Exercises concurrent Run()
+  // submitters, the steal path (hot shard >= 90% of each batch), and
+  // epoch pinning, all at once. Assertions run on the main thread only.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 8, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 8, .build = bopts});
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 74);
+  QueryBatch batch = MakeSkewedBatch(*full, pts, 3000, 0.92, JoinMode::kExact);
+  act::JoinInput input{batch.cell_ids, batch.points};
+  uint64_t want_half = half->Join(input, {JoinMode::kExact, 1}).result_pairs;
+  uint64_t want_full = full->Join(input, {JoinMode::kExact, 1}).result_pairs;
+
+  constexpr int kSwaps = 8;
+  std::vector<uint64_t> want_by_epoch(kSwaps + 2);
+  for (int e = 1; e <= kSwaps + 1; ++e) {
+    want_by_epoch[e] = (e % 2 == 1) ? want_half : want_full;
+  }
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 3;
+  sopts.queue_capacity = 16;
+  sopts.shared_pool_workers = 3;
+  JoinService service(half, sopts);
+
+  constexpr int kClients = 2;
+  constexpr int kRequestsPerClient = 12;
+  struct ClientReport {
+    uint64_t mismatches = 0;
+    uint64_t completed = 0;
+  };
+  std::vector<ClientReport> reports(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        QueryBatch copy = batch;
+        JoinResult result = service.Submit(std::move(copy)).get();
+        if (result.epoch == 0 ||
+            result.epoch > static_cast<uint64_t>(kSwaps) + 1 ||
+            result.stats.result_pairs != want_by_epoch[result.epoch]) {
+          ++reports[c].mismatches;
+        }
+        ++reports[c].completed;
+      }
+    });
+  }
+
+  for (int i = 0; i < kSwaps; ++i) {
+    service.SwapIndex(i % 2 == 0 ? full : half);
+    std::this_thread::yield();
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+
+  for (const ClientReport& report : reports) {
+    EXPECT_EQ(report.mismatches, 0u);
+    EXPECT_EQ(report.completed,
+              static_cast<uint64_t>(kRequestsPerClient));
+  }
+  EXPECT_EQ(service.Stats().completed_requests,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+}
+
+TEST(ServiceExecutor, SharedPoolCachedJoinHonorsBudgetAndStaysIdentical) {
+  // The cache-assisted path also routes through the shared pool; results
+  // must stay byte-identical to the plain (uncached, serial) service.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  bopts.precision_bound_m = 80.0;  // boundary cells => candidate refs exist
+  auto index = BuildShared(ds.polygons, grid,
+                           {.num_shards = 3, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 75);
+
+  ServiceOptions pooled_opts;
+  pooled_opts.worker_threads = 1;
+  pooled_opts.shared_pool_workers = 3;
+  pooled_opts.cell_cache_capacity = 4096;
+  JoinService pooled(index, pooled_opts);
+  ServiceOptions plain_opts;
+  plain_opts.worker_threads = 1;
+  JoinService plain(index, plain_opts);
+
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    JoinResult want = plain.Submit(MakeBatch(pts, mode)).get();
+    for (int round = 0; round < 2; ++round) {  // cold cache, then warm
+      JoinResult got = pooled.Submit(MakeBatch(pts, mode)).get();
+      ExpectStatsEqual(got.stats, want.stats);
+    }
+  }
+  EXPECT_GT(pooled.Stats().cache_hits, 0u);
 }
 
 // --- PolygonIndex snapshot hooks ------------------------------------------
@@ -340,10 +594,6 @@ TEST(ServiceStatsSuite, LatencyHistogramQuantiles) {
 }
 
 // --- JoinService lifecycle -------------------------------------------------
-
-QueryBatch MakeBatch(const wl::PointSet& pts, JoinMode mode) {
-  return {pts.cell_ids(), pts.points(), mode};
-}
 
 TEST(ServiceLifecycle, QueueFullThenStartDrains) {
   Grid grid;
@@ -634,6 +884,58 @@ TEST(ServiceCache, HotSwapInvalidatesByEpochTag) {
   JoinResult back = service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
   EXPECT_EQ(back.epoch, 3u);
   EXPECT_EQ(back.stats.counts, want_half.counts);
+}
+
+TEST(ServiceCache, CapacityDistributesRemainderAcrossShards) {
+  // Regression: capacity / shards used to floor per shard, silently
+  // shrinking a 100-entry budget over 64 shards to 64 entries. The
+  // remainder is now distributed, so capacity() >= the requested budget
+  // for every awkward combination (shard counts round up to powers of
+  // two; each shard keeps at least one entry).
+  struct Combo {
+    size_t capacity;
+    int shards;       // pre-rounding
+    size_t rounded;   // post-rounding shard count
+  };
+  for (const Combo& c : {Combo{100, 64, 64}, Combo{100, 8, 8},
+                         Combo{1000, 64, 64}, Combo{7, 2, 2}, Combo{1, 1, 1},
+                         Combo{3, 8, 8}, Combo{65, 64, 64}, Combo{64, 64, 64},
+                         Combo{129, 33, 64}, Combo{0, 4, 4}}) {
+    HotCellCache cache(c.capacity, c.shards);
+    EXPECT_GE(cache.capacity(), std::max<size_t>(1, c.capacity))
+        << c.capacity << " entries over " << c.shards << " shards";
+    // The floor only lifts the budget when there are more shards than
+    // entries; otherwise the distribution is exact.
+    EXPECT_EQ(cache.capacity(),
+              std::max(std::max<size_t>(1, c.capacity), c.rounded))
+        << c.capacity << " entries over " << c.shards << " shards";
+  }
+}
+
+TEST(ServiceCache, CapacityIsEnforcedPerShardUnderLoad) {
+  // Fill far past the budget: size() must stay within capacity() and the
+  // cache must keep serving correct entries (LRU within each shard).
+  HotCellCache cache(/*capacity=*/100, /*num_shards=*/64);
+  ASSERT_EQ(cache.capacity(), 100u);
+  std::vector<CellRef> refs{{7, true}};
+  for (uint64_t cell = 0; cell < 10'000; ++cell) {
+    cache.Insert(cell, /*epoch=*/1, refs);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.size(), 0u);
+
+  // Whatever survived must read back intact.
+  std::vector<CellRef> got;
+  uint64_t readable = 0;
+  for (uint64_t cell = 0; cell < 10'000; ++cell) {
+    if (cache.Lookup(cell, 1, &got)) {
+      ++readable;
+      ASSERT_EQ(got.size(), 1u);
+      ASSERT_EQ(got[0].local_pid, 7u);
+      ASSERT_TRUE(got[0].interior);
+    }
+  }
+  EXPECT_EQ(readable, cache.size());
 }
 
 TEST(ServiceCache, LruEvictsUnderTinyCapacity) {

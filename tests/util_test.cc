@@ -16,6 +16,7 @@
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/bitops.h"
@@ -24,6 +25,7 @@
 #include "util/random.h"
 #include "util/small_vector.h"
 #include "util/table_printer.h"
+#include "util/work_stealing_pool.h"
 
 namespace actjoin::util {
 namespace {
@@ -339,6 +341,100 @@ TEST(FlagsDeathTest, DuplicateRegistrationIsFatal) {
                "duplicate flag registration");
   EXPECT_DEATH(flags.AddDouble("points", 2.0, "different type"),
                "duplicate flag registration");
+}
+
+// --- WorkStealingPool ------------------------------------------------------
+
+TEST(WorkStealingPool, EveryTaskRunsExactlyOnce) {
+  for (int workers : {0, 1, 3}) {
+    WorkStealingPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+    constexpr uint64_t kTasks = 500;
+    std::vector<std::atomic<uint32_t>> runs(kTasks);
+    pool.Run(kTasks, [&](uint64_t t) {
+      runs[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t t = 0; t < kTasks; ++t) {
+      EXPECT_EQ(runs[t].load(), 1u) << "task " << t << ", " << workers
+                                    << " workers";
+    }
+  }
+}
+
+TEST(WorkStealingPool, ZeroTasksAndZeroWorkersAreNoOps) {
+  WorkStealingPool pool(2);
+  pool.Run(0, [](uint64_t) { FAIL() << "no task should run"; });
+
+  // 0 workers: everything runs inline on the caller, in index order (the
+  // "width 1 means no spawn" convention).
+  WorkStealingPool inline_pool(0);
+  std::vector<uint64_t> order;
+  inline_pool.Run(5, [&](uint64_t t) { order.push_back(t); });
+  EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkStealingPool, TaskEffectsVisibleAfterRun) {
+  // Run() is a synchronization point: worker-side writes must be visible
+  // to the caller without extra fences (the executor's per-task stats
+  // slots depend on it). TSan validates the happens-before claim.
+  WorkStealingPool pool(3);
+  std::vector<uint64_t> slots(256, 0);
+  for (int round = 1; round <= 4; ++round) {
+    pool.Run(slots.size(), [&](uint64_t t) { slots[t] = t + round; });
+    for (uint64_t t = 0; t < slots.size(); ++t) {
+      ASSERT_EQ(slots[t], t + round);
+    }
+  }
+}
+
+TEST(WorkStealingPool, ConcurrentSubmittersShareOneWorkerSet) {
+  // Several threads Run() on the same pool at once — the JoinService
+  // shared-pool configuration. Every submitter's tasks must all run
+  // exactly once and each Run must only return after its own tasks
+  // finished (asserted via the per-submitter sum).
+  WorkStealingPool pool(2);
+  constexpr int kSubmitters = 4;
+  constexpr uint64_t kTasks = 200;
+  struct Report {
+    uint64_t sum = 0;
+    bool ok = false;
+  };
+  std::vector<Report> reports(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 5; ++round) {
+        std::vector<std::atomic<uint64_t>> got(kTasks);
+        pool.Run(kTasks, [&](uint64_t t) {
+          got[t].fetch_add(t, std::memory_order_relaxed);
+        });
+        uint64_t sum = 0;
+        for (auto& g : got) sum += g.load(std::memory_order_relaxed);
+        reports[s].sum += sum;
+      }
+      reports[s].ok =
+          reports[s].sum == 5 * (kTasks * (kTasks - 1) / 2);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (const Report& r : reports) {
+    EXPECT_TRUE(r.ok) << "sum=" << r.sum;
+  }
+}
+
+TEST(WorkStealingPool, SkewedTaskCostsStillComplete) {
+  // One task is far heavier than the rest (the hot-shard shape): the
+  // light tasks must not wait behind it, and everything still finishes.
+  WorkStealingPool pool(3);
+  std::atomic<uint64_t> done{0};
+  pool.Run(64, [&](uint64_t t) {
+    volatile uint64_t sink = 0;
+    const uint64_t spin = t == 0 ? 2'000'000 : 1'000;
+    for (uint64_t i = 0; i < spin; ++i) sink += i;
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 64u);
 }
 
 }  // namespace
