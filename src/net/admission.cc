@@ -23,13 +23,13 @@ const char* ToString(Admission verdict) {
 
 AdmissionController::AdmissionController(const AdmissionPolicy& policy,
                                          size_t queue_capacity)
-    : policy_(policy), last_refill_(Clock::now()) {
+    : policy_(policy) {
   ACT_CHECK_MSG(policy_.rate_limit_qps >= 0 && policy_.queue_watermark <= 1.0,
                 "AdmissionPolicy: qps must be >= 0, watermark in [0, 1]");
   if (policy_.rate_burst <= 0) {
     policy_.rate_burst = std::max(1.0, policy_.rate_limit_qps);
   }
-  tokens_ = policy_.rate_burst;  // start full: the first burst is free
+  if (policy_.max_peer_buckets < 1) policy_.max_peer_buckets = 1;
   if (policy_.queue_watermark > 0) {
     // "Deeper than watermark * capacity rejects"; floor keeps a watermark
     // below 1/capacity meaningful (threshold 0 => any backlog rejects).
@@ -40,8 +40,32 @@ AdmissionController::AdmissionController(const AdmissionPolicy& policy,
   }
 }
 
+AdmissionController::PeerBucket& AdmissionController::BucketFor(
+    std::string_view peer) {
+  auto it = buckets_.find(peer);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= policy_.max_peer_buckets) {
+      // Evict the longest-idle bucket: its peer has not sent a request
+      // for the longest time, so forgetting its split (never the global
+      // counters) is the cheapest memory to reclaim. O(buckets) only on
+      // the new-peer-at-cap path.
+      auto victim = buckets_.begin();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        if (b->second.last_refill < victim->second.last_refill) victim = b;
+      }
+      buckets_.erase(victim);
+    }
+    PeerBucket bucket;
+    bucket.tokens = policy_.rate_burst;  // start full: the first burst is free
+    bucket.last_refill = Clock::now();
+    it = buckets_.emplace(std::string(peer), bucket).first;
+  }
+  return it->second;
+}
+
 Admission AdmissionController::TryAdmit(size_t request_bytes,
-                                        size_t queue_depth) {
+                                        size_t queue_depth,
+                                        std::string_view peer) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_depth > queue_threshold_) {
     ++counters_.queue_watermark;
@@ -52,21 +76,24 @@ Admission AdmissionController::TryAdmit(size_t request_bytes,
     ++counters_.inflight_bytes;
     return Admission::kInFlightBytes;
   }
+  PeerBucket& bucket = BucketFor(peer);
   if (policy_.rate_limit_qps > 0) {
     Clock::time_point now = Clock::now();
     double elapsed_s =
-        std::chrono::duration<double>(now - last_refill_).count();
-    last_refill_ = now;
-    tokens_ = std::min(policy_.rate_burst,
-                       tokens_ + elapsed_s * policy_.rate_limit_qps);
-    if (tokens_ < 1.0) {
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.last_refill = now;
+    bucket.tokens = std::min(policy_.rate_burst,
+                             bucket.tokens + elapsed_s * policy_.rate_limit_qps);
+    if (bucket.tokens < 1.0) {
       ++counters_.rate_limited;
+      ++bucket.rate_limited;
       return Admission::kRateLimited;
     }
-    tokens_ -= 1.0;
+    bucket.tokens -= 1.0;
   }
   in_flight_bytes_ += request_bytes;
   ++counters_.admitted;
+  ++bucket.admitted;
   return Admission::kAdmitted;
 }
 
@@ -77,15 +104,16 @@ void AdmissionController::Release(size_t request_bytes) {
   in_flight_bytes_ -= request_bytes;
 }
 
-void AdmissionController::Refund(size_t request_bytes) {
+void AdmissionController::Refund(size_t request_bytes, std::string_view peer) {
   std::lock_guard<std::mutex> lock(mu_);
   ACT_CHECK_MSG(in_flight_bytes_ >= request_bytes,
                 "Refund without a matching TryAdmit admission");
   in_flight_bytes_ -= request_bytes;
   if (policy_.rate_limit_qps > 0) {
-    // Re-credit the token TryAdmit took; the burst ceiling still applies
-    // (refill may have topped the bucket up since).
-    tokens_ = std::min(policy_.rate_burst, tokens_ + 1.0);
+    // Re-credit the token TryAdmit took from this peer's bucket; the burst
+    // ceiling still applies (refill may have topped the bucket up since).
+    PeerBucket& bucket = BucketFor(peer);
+    bucket.tokens = std::min(policy_.rate_burst, bucket.tokens + 1.0);
   }
   ++counters_.refunded;
 }
@@ -93,6 +121,21 @@ void AdmissionController::Refund(size_t request_bytes) {
 AdmissionController::Counters AdmissionController::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::vector<service::PeerAdmissionStats> AdmissionController::PerPeer() const {
+  std::vector<service::PeerAdmissionStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(buckets_.size());
+    for (const auto& [peer, bucket] : buckets_) {
+      out.push_back({peer, bucket.admitted, bucket.rate_limited});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const service::PeerAdmissionStats& a,
+               const service::PeerAdmissionStats& b) { return a.peer < b.peer; });
+  return out;
 }
 
 size_t AdmissionController::in_flight_bytes() const {

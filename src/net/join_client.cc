@@ -125,6 +125,24 @@ bool JoinClient::GetStats(service::ServiceStats* out, std::string* error) {
   return true;
 }
 
+bool JoinClient::ListDatasets(std::vector<service::DatasetInfo>* out,
+                              std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeEmptyFrame(MessageType::kListDatasets, id), id,
+            MessageType::kDatasetList, &payload, &reply)) {
+    if (error != nullptr) *error = reply.message;
+    return false;
+  }
+  if (!DecodeDatasetList(payload, out)) {
+    Close();
+    if (error != nullptr) *error = "undecodable dataset list response";
+    return false;
+  }
+  return true;
+}
+
 bool JoinClient::RequestShutdown(std::string* error) {
   Reply reply;
   const uint64_t id = next_request_id_++;

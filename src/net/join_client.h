@@ -49,12 +49,17 @@ class JoinClient {
     service::JoinResult result;
   };
 
-  /// Round-trips one JOIN_BATCH. The batch's cell_ids/points must be
-  /// parallel arrays (same length).
+  /// Round-trips one JOIN_BATCH against batch.dataset_id. The batch's
+  /// cell_ids/points must be parallel arrays (same length). A server
+  /// without that dataset answers with a recoverable kUnknownDataset
+  /// error — list the catalog and retry on the same connection.
   Reply Join(const service::QueryBatch& batch);
 
   bool Ping(std::string* error = nullptr);
   bool GetStats(service::ServiceStats* out, std::string* error = nullptr);
+  /// Enumerates the server's dataset catalog (id, name, epoch, sizes).
+  bool ListDatasets(std::vector<service::DatasetInfo>* out,
+                    std::string* error = nullptr);
   /// Asks the server process to shut down (acked before it does).
   bool RequestShutdown(std::string* error = nullptr);
 

@@ -56,6 +56,10 @@ WireError ToWireError(Admission verdict) {
 struct JoinServer::Connection {
   UniqueFd fd;
   uint64_t id = 0;
+  /// Admission bucket key (per ServerOptions::peer_key), captured once at
+  /// adoption: completion hooks refund into the right bucket even after
+  /// the socket dies.
+  std::string peer;
   /// Inbound bytes; [in_start, in.size()) is the unparsed suffix.
   std::vector<uint8_t> in;
   size_t in_start = 0;
@@ -203,8 +207,11 @@ service::ServiceStats JoinServer::StatsWithAdmission() const {
   out.rejected_queue_watermark = a.queue_watermark;
   out.rejected_shutdown +=
       rejected_stopping_.load(std::memory_order_relaxed);
+  out.rejected_unknown_dataset +=
+      rejected_unknown_dataset_.load(std::memory_order_relaxed);
   out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown +
-                          a.TotalRejected();
+                          out.rejected_unknown_dataset + a.TotalRejected();
+  out.peers = admission_.PerPeer();
   return out;
 }
 
@@ -320,6 +327,8 @@ void JoinServer::AcceptNewConnections(IoThread& io) {
       auto conn = std::make_unique<Connection>();
       conn->fd = UniqueFd(cfd);
       conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+      conn->peer = PeerAddress(conn->fd.get(),
+                               opts_.peer_key == PeerKeyPolicy::kIpPort);
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.u64 = conn->id;
@@ -349,6 +358,8 @@ void JoinServer::ProcessInbox(int t, IoThread& io) {
     auto conn = std::make_unique<Connection>();
     conn->fd = UniqueFd(cfd);
     conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->peer = PeerAddress(conn->fd.get(),
+                             opts_.peer_key == PeerKeyPolicy::kIpPort);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = conn->id;
@@ -445,6 +456,13 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
                                                header.request_id));
       RequestShutdown();
       return;
+    case MessageType::kListDatasets:
+      // Catalog enumeration is a pointer walk + per-dataset epoch reads:
+      // cheap enough to answer from the event loop, like STATS.
+      QueueResponse(io, conn,
+                    EncodeDatasetListFrame(header.request_id,
+                                           service_->catalog().List()));
+      return;
     case MessageType::kJoinBatch:
       HandleJoinBatch(t, io, conn, header, payload);
       return;
@@ -472,8 +490,22 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
                          ToString(WireError::kShuttingDown)));
     return;
   }
+  // Unknown (or offline: reserved id with no loadable snapshot) datasets
+  // are knowable from the header alone — reject before the admission
+  // knobs so the bounce costs no rate token, and before the decode so it
+  // costs O(1). Ids and snapshots are assigned-only, so a positive check
+  // cannot be invalidated later.
+  if (!service_->catalog().Servable(header.dataset_id)) {
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kUnknownDataset,
+                         ToString(WireError::kUnknownDataset)));
+    return;
+  }
   const size_t bytes = payload.size();
-  Admission verdict = admission_.TryAdmit(bytes, service_->QueueDepth());
+  Admission verdict =
+      admission_.TryAdmit(bytes, service_->QueueDepth(), conn.peer);
   if (verdict != Admission::kAdmitted) {
     WireError code = ToWireError(verdict);
     QueueResponse(io, conn, EncodeErrorFrame(header.request_id, code,
@@ -483,7 +515,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
 
   service::QueryBatch batch;
   if (!DecodeQueryBatch(payload, &batch)) {
-    admission_.Release(bytes);
+    admission_.Release(bytes);  // garbage still burns the rate token
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     QueueResponse(
         io, conn,
@@ -505,7 +537,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
     }
   }
   if (stopping_now) {
-    admission_.Refund(bytes);  // no work done; see the queue-full refund
+    admission_.Refund(bytes, conn.peer);  // no work done; see queue-full
     rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
     QueueResponse(
         io, conn,
@@ -515,6 +547,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
   }
   const uint64_t conn_id = conn.id;
   const uint64_t request_id = header.request_id;
+  batch.dataset_id = header.dataset_id;
   service::SubmitStatus status = service_->TrySubmitAsync(
       std::move(batch),
       // Runs on the service worker that executed the join.
@@ -536,15 +569,26 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
     // The service refused after admission passed: the request did no work,
     // so give the rate token back too — a queue-full burst must not drain
     // the bucket and double-penalize the client.
-    admission_.Refund(bytes);
+    admission_.Refund(bytes, conn.peer);
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       --inflight_joins_;
       inflight_cv_.notify_all();  // under the lock; see the hook above
     }
-    WireError code = status == service::SubmitStatus::kQueueFull
-                         ? WireError::kQueueFull
-                         : WireError::kShuttingDown;
+    WireError code;
+    switch (status) {
+      case service::SubmitStatus::kQueueFull:
+        code = WireError::kQueueFull;
+        break;
+      case service::SubmitStatus::kUnknownDataset:
+        // Unreachable in practice (checked pre-admission above), but the
+        // mapping stays total in case the service grows new door checks.
+        code = WireError::kUnknownDataset;
+        break;
+      default:
+        code = WireError::kShuttingDown;
+        break;
+    }
     QueueResponse(io, conn,
                   EncodeErrorFrame(request_id, code, ToString(code)));
   }

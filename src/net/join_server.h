@@ -45,6 +45,13 @@
 
 namespace actjoin::net {
 
+/// How connections map onto admission-control peer buckets. kIp groups
+/// every connection from one host (a client cannot escape its bucket by
+/// reconnecting); kIpPort gives each connection its own bucket — the knob
+/// tests use to tell loopback clients apart, and the right choice behind
+/// a NAT that folds many tenants into one IP.
+enum class PeerKeyPolicy : uint8_t { kIp = 0, kIpPort };
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 => kernel-chosen ephemeral port (read it back with port()).
@@ -55,6 +62,7 @@ struct ServerOptions {
   /// Frames larger than this are a protocol error (kFrameTooLarge).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   AdmissionPolicy admission;
+  PeerKeyPolicy peer_key = PeerKeyPolicy::kIp;
 };
 
 /// Transport-level counters (distinct from ServiceStats, which counts
@@ -173,6 +181,10 @@ class JoinServer {
   /// Net-level kShuttingDown rejections (server stopping; the service's
   /// own counter only sees submits that reached its closed queue).
   std::atomic<uint64_t> rejected_stopping_{0};
+  /// JOIN_BATCH frames naming a dataset id the catalog never assigned
+  /// (rejected at the event loop, before admission — the service never
+  /// sees them).
+  std::atomic<uint64_t> rejected_unknown_dataset_{0};
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};

@@ -132,4 +132,22 @@ bool RecvAll(int fd, uint8_t* data, size_t n, std::string* error) {
   return true;
 }
 
+std::string PeerAddress(int fd, bool include_port) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return "unknown";
+  }
+  char ip[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr) {
+    return "unknown";
+  }
+  std::string out(ip);
+  if (include_port) {
+    out += ":" + std::to_string(ntohs(addr.sin_port));
+  }
+  return out;
+}
+
 }  // namespace actjoin::net

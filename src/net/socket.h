@@ -63,6 +63,12 @@ bool SendAll(int fd, const uint8_t* data, size_t n, std::string* error);
 /// error ("connection closed").
 bool RecvAll(int fd, uint8_t* data, size_t n, std::string* error);
 
+/// The connected peer's IPv4 address, "a.b.c.d" or "a.b.c.d:port" —
+/// the admission controller's per-peer bucket key. "unknown" when
+/// getpeername fails (the connection is dying anyway; a shared fallback
+/// bucket beats dropping the request on the floor).
+std::string PeerAddress(int fd, bool include_port);
+
 }  // namespace actjoin::net
 
 #endif  // ACTJOIN_NET_SOCKET_H_

@@ -30,6 +30,8 @@ const char* ToString(WireError error) {
       return "service queue full";
     case WireError::kShuttingDown:
       return "service shutting down";
+    case WireError::kUnknownDataset:
+      return "unknown dataset id";
   }
   return "unknown error";
 }
@@ -55,12 +57,16 @@ FrameParse TryParseFrame(std::span<const uint8_t> buffer,
   uint32_t magic = r.U32();
   header->version = r.U8();
   header->type = static_cast<MessageType>(r.U8());
-  uint16_t reserved = r.U16();
+  header->dataset_id = r.U16();
   header->request_id = r.U64();
   header->payload_bytes = r.U32();
   uint32_t reserved2 = r.U32();
 
-  if (magic != kWireMagic || reserved != 0 || reserved2 != 0) {
+  // dataset_id is meaningful only on JOIN_BATCH; everywhere else the
+  // field keeps its v1 must-be-zero contract so it stays available as
+  // compatible-extension space (and client conformance bugs fail loudly).
+  if (magic != kWireMagic || reserved2 != 0 ||
+      (header->dataset_id != 0 && header->type != MessageType::kJoinBatch)) {
     // A bad magic means the id field is garbage too; don't echo it.
     header->request_id = magic != kWireMagic ? 0 : header->request_id;
     *error = WireError::kMalformedFrame;
@@ -86,11 +92,12 @@ namespace {
 // Single-buffer frame construction: write the header with a zero length
 // placeholder, append the payload in place, then patch the length — no
 // second serialize-and-copy of a potentially multi-MB payload.
-void BeginFrame(util::ByteWriter* w, MessageType type, uint64_t request_id) {
+void BeginFrame(util::ByteWriter* w, MessageType type, uint64_t request_id,
+                uint16_t dataset_id = 0) {
   w->PutU32(kWireMagic);
   w->PutU8(kWireVersion);
   w->PutU8(static_cast<uint8_t>(type));
-  w->PutU16(0);
+  w->PutU16(dataset_id);
   w->PutU64(request_id);
   w->PutU32(0);  // payload length, patched by FinishFrame
   w->PutU32(0);
@@ -198,13 +205,16 @@ bool DecodeJoinResult(std::span<const uint8_t> payload,
   return r.AtEnd();
 }
 
-// ServiceStats payload: the struct's fields in declaration order.
+// ServiceStats payload: the struct's fields in declaration order, then the
+// per-peer admission table (u32 count, per peer: length-prefixed key, u64
+// admitted, u64 rate_limited).
 void AppendServiceStats(const service::ServiceStats& stats,
                         util::ByteWriter* w) {
   w->PutU64(stats.completed_requests);
   w->PutU64(stats.rejected_requests);
   w->PutU64(stats.rejected_queue_full);
   w->PutU64(stats.rejected_shutdown);
+  w->PutU64(stats.rejected_unknown_dataset);
   w->PutU64(stats.rejected_rate_limit);
   w->PutU64(stats.rejected_inflight_bytes);
   w->PutU64(stats.rejected_queue_watermark);
@@ -220,6 +230,13 @@ void AppendServiceStats(const service::ServiceStats& stats,
   w->PutF64(stats.service_p99_ms);
   w->PutU64(stats.queue_depth);
   w->PutU64(stats.epoch);
+  w->PutU64(stats.num_datasets);
+  w->PutU32(static_cast<uint32_t>(stats.peers.size()));
+  for (const service::PeerAdmissionStats& peer : stats.peers) {
+    w->PutString(peer.peer);
+    w->PutU64(peer.admitted);
+    w->PutU64(peer.rate_limited);
+  }
 }
 
 bool DecodeServiceStats(std::span<const uint8_t> payload,
@@ -229,6 +246,7 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
   out->rejected_requests = r.U64();
   out->rejected_queue_full = r.U64();
   out->rejected_shutdown = r.U64();
+  out->rejected_unknown_dataset = r.U64();
   out->rejected_rate_limit = r.U64();
   out->rejected_inflight_bytes = r.U64();
   out->rejected_queue_watermark = r.U64();
@@ -244,6 +262,58 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
   out->service_p99_ms = r.F64();
   out->queue_depth = static_cast<size_t>(r.U64());
   out->epoch = r.U64();
+  out->num_datasets = r.U64();
+  uint32_t num_peers = r.U32();
+  // A peer entry costs >= 20 payload bytes; bounding by what actually
+  // arrived keeps a forged count from reserving attacker-sized buffers.
+  if (!r.ok() || num_peers > r.remaining() / 20 + 1) return false;
+  out->peers.clear();
+  out->peers.reserve(num_peers);
+  for (uint32_t i = 0; i < num_peers; ++i) {
+    service::PeerAdmissionStats peer;
+    peer.peer = r.String();
+    peer.admitted = r.U64();
+    peer.rate_limited = r.U64();
+    if (!r.ok()) return false;
+    out->peers.push_back(std::move(peer));
+  }
+  return r.AtEnd();
+}
+
+// DatasetInfo payload: u32 count, per dataset: u16 id, u16 reserved, u32
+// num_shards, u64 epoch, u64 num_polygons, length-prefixed name.
+void AppendDatasetList(const std::vector<service::DatasetInfo>& datasets,
+                       util::ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(datasets.size()));
+  for (const service::DatasetInfo& ds : datasets) {
+    w->PutU16(ds.id);
+    w->PutU16(0);
+    w->PutU32(ds.num_shards);
+    w->PutU64(ds.epoch);
+    w->PutU64(ds.num_polygons);
+    w->PutString(ds.name);
+  }
+}
+
+bool DecodeDatasetList(std::span<const uint8_t> payload,
+                       std::vector<service::DatasetInfo>* out) {
+  util::ByteReader r(payload);
+  uint32_t count = r.U32();
+  // An entry costs >= 28 payload bytes (see the forged-count note above).
+  if (!r.ok() || count > r.remaining() / 28 + 1) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    service::DatasetInfo ds;
+    ds.id = r.U16();
+    uint16_t reserved = r.U16();
+    ds.num_shards = r.U32();
+    ds.epoch = r.U64();
+    ds.num_polygons = r.U64();
+    ds.name = r.String();
+    if (!r.ok() || reserved != 0) return false;
+    out->push_back(std::move(ds));
+  }
   return r.AtEnd();
 }
 
@@ -260,7 +330,7 @@ bool DecodeError(std::span<const uint8_t> payload, WireError* code,
 std::vector<uint8_t> EncodeJoinBatchFrame(uint64_t request_id,
                                           const service::QueryBatch& batch) {
   util::ByteWriter w(kFrameHeaderBytes + 8 + batch.points.size() * 24);
-  BeginFrame(&w, MessageType::kJoinBatch, request_id);
+  BeginFrame(&w, MessageType::kJoinBatch, request_id, batch.dataset_id);
   AppendQueryBatch(batch, &w);
   return FinishFrame(std::move(w));
 }
@@ -275,9 +345,17 @@ std::vector<uint8_t> EncodeJoinResultFrame(uint64_t request_id,
 
 std::vector<uint8_t> EncodeStatsResultFrame(
     uint64_t request_id, const service::ServiceStats& stats) {
-  util::ByteWriter w(kFrameHeaderBytes + 160);
+  util::ByteWriter w(kFrameHeaderBytes + 200 + stats.peers.size() * 48);
   BeginFrame(&w, MessageType::kStatsResult, request_id);
   AppendServiceStats(stats, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeDatasetListFrame(
+    uint64_t request_id, const std::vector<service::DatasetInfo>& datasets) {
+  util::ByteWriter w(kFrameHeaderBytes + 8 + datasets.size() * 64);
+  BeginFrame(&w, MessageType::kDatasetList, request_id);
+  AppendDatasetList(datasets, &w);
   return FinishFrame(std::move(w));
 }
 

@@ -6,7 +6,8 @@
 //   0       u32   magic "ACTJ" (0x4A544341 when read little-endian)
 //   4       u8    protocol version (kWireVersion)
 //   5       u8    message type (MessageType)
-//   6       u16   reserved, must be 0
+//   6       u16   dataset id (JOIN_BATCH requests; 0 elsewhere — was the
+//                 reserved field in protocol v1)
 //   8       u64   request id: chosen by the client, echoed verbatim in the
 //                 response, so replies can be matched under pipelining
 //   16      u32   payload length in bytes
@@ -15,17 +16,22 @@
 //
 // All integers are little-endian; doubles travel as their IEEE-754 bit
 // pattern (util::ByteWriter / ByteReader). Requests are JOIN_BATCH, PING,
-// STATS, and SHUTDOWN; every request gets exactly one response — the
-// matching success type or ERROR with a typed WireError code. Admission
-// rejections are ordinary ERROR responses: the server never blocks and
-// never drops the connection for them. Framing errors (bad magic, bad
-// version, oversized frame) are not recoverable — the server answers with
-// ERROR and closes, because byte sync is lost.
+// STATS, LIST_DATASETS, and SHUTDOWN; every request gets exactly one
+// response — the matching success type or ERROR with a typed WireError
+// code. Admission rejections and UNKNOWN_DATASET are ordinary ERROR
+// responses: the server never blocks and never drops the connection for
+// them. Framing errors (bad magic, bad version, oversized frame) are not
+// recoverable — the server answers with ERROR and closes, because byte
+// sync is lost.
 //
 // Versioning rules: the header layout is frozen; kWireVersion bumps
 // whenever any payload layout changes. A server answers a frame carrying a
 // version it does not speak with UNSUPPORTED_VERSION (request id echoed),
-// so old clients fail typed, not garbled.
+// so old clients fail typed, not garbled. v2 turned the reserved u16 at
+// offset 6 into dataset_id, added LIST_DATASETS / DATASET_LIST and the
+// UNKNOWN_DATASET error, and extended the STATS_RESULT payload with the
+// unknown-dataset reject counter, the dataset count, and per-peer
+// admission splits.
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -43,7 +49,7 @@
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -51,15 +57,17 @@ inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
 
 enum class MessageType : uint8_t {
   // Requests.
-  kJoinBatch = 1,  // QueryBatch payload -> kJoinResult
-  kPing = 2,       // empty payload      -> kPong
-  kStats = 3,      // empty payload      -> kStatsResult
-  kShutdown = 4,   // empty payload      -> kShutdownAck (+ server-side flag)
+  kJoinBatch = 1,      // QueryBatch payload -> kJoinResult
+  kPing = 2,           // empty payload      -> kPong
+  kStats = 3,          // empty payload      -> kStatsResult
+  kShutdown = 4,       // empty payload      -> kShutdownAck (+ server flag)
+  kListDatasets = 5,   // empty payload      -> kDatasetList
   // Responses.
   kJoinResult = 65,
   kPong = 66,
   kStatsResult = 67,
   kShutdownAck = 68,
+  kDatasetList = 69,
   kError = 127,
 };
 
@@ -80,6 +88,9 @@ enum class WireError : uint16_t {
   // Service-door rejections surfaced by JoinService::TrySubmitAsync.
   kQueueFull = 24,
   kShuttingDown = 25,
+  /// JOIN_BATCH against a dataset id the catalog never assigned. The
+  /// connection survives: fetch LIST_DATASETS and retry with a real id.
+  kUnknownDataset = 26,
 };
 
 const char* ToString(WireError error);
@@ -91,6 +102,8 @@ bool IsRecoverable(WireError error);
 struct FrameHeader {
   uint8_t version = kWireVersion;
   MessageType type = MessageType::kPing;
+  /// Target dataset for JOIN_BATCH; 0 on every other message.
+  uint16_t dataset_id = 0;
   uint64_t request_id = 0;
   uint32_t payload_bytes = 0;
 };
@@ -129,6 +142,11 @@ void AppendServiceStats(const service::ServiceStats& stats,
 bool DecodeServiceStats(std::span<const uint8_t> payload,
                         service::ServiceStats* out);
 
+void AppendDatasetList(const std::vector<service::DatasetInfo>& datasets,
+                       util::ByteWriter* w);
+bool DecodeDatasetList(std::span<const uint8_t> payload,
+                       std::vector<service::DatasetInfo>* out);
+
 bool DecodeError(std::span<const uint8_t> payload, WireError* code,
                  std::string* message);
 
@@ -140,6 +158,8 @@ std::vector<uint8_t> EncodeJoinResultFrame(uint64_t request_id,
                                            const service::JoinResult& result);
 std::vector<uint8_t> EncodeStatsResultFrame(
     uint64_t request_id, const service::ServiceStats& stats);
+std::vector<uint8_t> EncodeDatasetListFrame(
+    uint64_t request_id, const std::vector<service::DatasetInfo>& datasets);
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
                                       std::string_view message);
 /// PING / PONG / STATS / SHUTDOWN / SHUTDOWN_ACK carry no payload.

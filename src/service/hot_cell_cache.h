@@ -1,4 +1,4 @@
-// Hot-cell result cache: a small sharded LRU keyed by leaf cell id.
+// Hot-cell result cache: a small sharded LRU keyed by (dataset, leaf cell).
 //
 // Taxi-style workloads are heavily skewed (the paper's point sets put >90%
 // of probes in a few hotspots), so a tiny cache of cell -> polygon-ref
@@ -7,9 +7,11 @@
 // still runs its PIP refinement and results are identical to the uncached
 // path. Entries are tagged with the snapshot epoch that produced them; a
 // hot swap invalidates logically (stale entries miss and are overwritten)
-// with no cross-thread flush.
+// with no cross-thread flush. With the multi-dataset catalog, epochs are
+// per-dataset sequences, so the dataset id is part of the key — two
+// datasets both at epoch 1 must never read each other's reference lists.
 //
-// Sharded by a multiplicative hash of the cell id, one mutex per shard:
+// Sharded by a multiplicative hash of the key, one mutex per shard:
 // concurrent workers probing different hot cells rarely contend, and the
 // per-entry cost is one lock + one hash lookup, far below a trie descent
 // only for genuinely hot cells.
@@ -58,11 +60,13 @@ class HotCellCache {
   /// On hit, copies the cached reference list into `out` and returns true.
   /// A cell cached under a different epoch is a miss (the entry is left to
   /// be overwritten by the following Insert).
-  bool Lookup(uint64_t cell, uint64_t epoch, std::vector<CellRef>* out) {
-    Shard& shard = ShardFor(cell);
+  bool Lookup(uint16_t dataset, uint64_t cell, uint64_t epoch,
+              std::vector<CellRef>* out) {
+    const Key key{cell, dataset};
+    Shard& shard = ShardFor(key);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.map.find(cell);
+      auto it = shard.map.find(key);
       if (it != shard.map.end() && it->second->epoch == epoch) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         *out = it->second->refs;
@@ -74,10 +78,12 @@ class HotCellCache {
     return false;
   }
 
-  void Insert(uint64_t cell, uint64_t epoch, std::vector<CellRef> refs) {
-    Shard& shard = ShardFor(cell);
+  void Insert(uint16_t dataset, uint64_t cell, uint64_t epoch,
+              std::vector<CellRef> refs) {
+    const Key key{cell, dataset};
+    Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(cell);
+    auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // Refresh in place (covers the stale-epoch overwrite).
       it->second->epoch = epoch;
@@ -86,11 +92,11 @@ class HotCellCache {
       return;
     }
     if (shard.lru.size() >= shard.capacity) {
-      shard.map.erase(shard.lru.back().cell);
+      shard.map.erase(shard.lru.back().key);
       shard.lru.pop_back();
     }
-    shard.lru.push_front(Entry{cell, epoch, std::move(refs)});
-    shard.map.emplace(cell, shard.lru.begin());
+    shard.lru.push_front(Entry{key, epoch, std::move(refs)});
+    shard.map.emplace(key, shard.lru.begin());
   }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -109,8 +115,23 @@ class HotCellCache {
   }
 
  private:
-  struct Entry {
+  struct Key {
     uint64_t cell = 0;
+    uint16_t dataset = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Fibonacci hash spreads consecutive Hilbert-adjacent cell ids (and
+      // dataset ids) across buckets and shards.
+      return static_cast<size_t>(
+          (k.cell ^ (static_cast<uint64_t>(k.dataset) << 56 |
+                     static_cast<uint64_t>(k.dataset))) *
+          0x9E3779B97F4A7C15ull);
+    }
+  };
+  struct Entry {
+    Key key;
     uint64_t epoch = 0;
     std::vector<CellRef> refs;
   };
@@ -118,14 +139,11 @@ class HotCellCache {
     mutable std::mutex mu;
     size_t capacity = 1;   // this shard's slice of the entry budget
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
   };
 
-  Shard& ShardFor(uint64_t cell) {
-    // Fibonacci hash spreads consecutive Hilbert-adjacent cell ids across
-    // shards, so one hotspot's cells do not all hit one mutex.
-    uint64_t h = cell * 0x9E3779B97F4A7C15ull;
-    return *shards_[h >> 32 & (shards_.size() - 1)];
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHash{}(key) >> 32 & (shards_.size() - 1)];
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -31,18 +31,23 @@ const char* ToString(SubmitStatus status) {
       return "queue full";
     case SubmitStatus::kShutDown:
       return "shut down";
+    case SubmitStatus::kUnknownDataset:
+      return "unknown dataset";
   }
   return "unknown";
 }
 
 JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
+    : JoinService(opts) {
+  ACT_CHECK_MSG(catalog_.Add("default", std::move(initial)).has_value(),
+                "JoinService requires a non-null initial index");
+}
+
+JoinService::JoinService(const ServiceOptions& opts)
     : opts_(opts),
-      registry_(std::move(initial)),
       queue_(std::max<size_t>(1, opts.queue_capacity)),
       stats_(ResolveWorkers(opts.worker_threads)) {
   opts_.queue_capacity = queue_.capacity();
-  ACT_CHECK_MSG(registry_.epoch() != 0,
-                "JoinService requires a non-null initial index");
   opts_.worker_threads = ResolveWorkers(opts_.worker_threads);
   if (opts_.threads_per_join < 1) opts_.threads_per_join = 1;
   if (opts_.shared_pool_workers < 0) opts_.shared_pool_workers = 0;
@@ -71,6 +76,10 @@ void JoinService::Start() {
 }
 
 std::future<JoinResult> JoinService::Submit(QueryBatch batch) {
+  if (!catalog_.Servable(batch.dataset_id)) {
+    stats_.RecordRejectedUnknownDataset();
+    return FailedFuture("JoinService: unknown dataset");
+  }
   auto req = std::make_unique<Request>();
   req->batch = std::move(batch);
   std::future<JoinResult> future = req->promise.get_future();
@@ -82,6 +91,13 @@ std::future<JoinResult> JoinService::Submit(QueryBatch batch) {
 }
 
 SubmitStatus JoinService::Enqueue(std::unique_ptr<Request> req) {
+  // Dataset ids and snapshots are assigned-only (never revoked), so a
+  // positive check here cannot be invalidated between enqueue and
+  // execution.
+  if (!catalog_.Servable(req->batch.dataset_id)) {
+    stats_.RecordRejectedUnknownDataset();
+    return SubmitStatus::kUnknownDataset;
+  }
   if (queue_.TryPush(req)) return SubmitStatus::kAccepted;
   // TryPush refuses for exactly two reasons; closed() distinguishes them.
   if (queue_.closed()) {
@@ -112,8 +128,10 @@ SubmitStatus JoinService::TrySubmitAsync(QueryBatch batch,
   return Enqueue(std::move(req));
 }
 
-uint64_t JoinService::SwapIndex(Snapshot next) {
-  return registry_.Publish(std::move(next));
+uint64_t JoinService::SwapIndex(uint16_t dataset_id, Snapshot next) {
+  ServiceCatalog::Registry* registry = catalog_.Find(dataset_id);
+  ACT_CHECK_MSG(registry != nullptr, "SwapIndex on an unassigned dataset id");
+  return registry->Publish(std::move(next));
 }
 
 void JoinService::Shutdown() {
@@ -134,7 +152,8 @@ void JoinService::Shutdown() {
 }
 
 ServiceStats JoinService::Stats() const {
-  ServiceStats out = stats_.Snapshot(queue_.size(), registry_.epoch());
+  ServiceStats out = stats_.Snapshot(queue_.size(), epoch());
+  out.num_datasets = catalog_.size();
   if (cell_cache_ != nullptr) {
     out.cache_hits = cell_cache_->hits();
     out.cache_misses = cell_cache_->misses();
@@ -154,15 +173,16 @@ namespace {
 // uncached ShardedIndex::Join bit for bit, modulo `seconds`. The cache is
 // internally sharded+locked, so concurrent ranges may call it freely.
 void CachedJoinRange(const ShardedIndex& index, HotCellCache& cache,
-                     const act::JoinInput& input, bool exact, uint64_t epoch,
-                     uint64_t begin, uint64_t end, act::JoinStats* out) {
+                     const act::JoinInput& input, bool exact,
+                     uint16_t dataset_id, uint64_t epoch, uint64_t begin,
+                     uint64_t end, act::JoinStats* out) {
   out->counts.assign(index.num_polygons(), 0);
   std::vector<CellRef> refs;
   for (uint64_t p = begin; p < end; ++p) {
     const uint64_t cell = input.cell_ids[p];
-    if (!cache.Lookup(cell, epoch, &refs)) {
+    if (!cache.Lookup(dataset_id, cell, epoch, &refs)) {
       index.ProbeCell(cell, &refs);
-      cache.Insert(cell, epoch, refs);
+      cache.Insert(dataset_id, cell, epoch, refs);
     }
     if (refs.empty()) {
       ++out->sth_points;  // sentinel probe (or empty shard): guaranteed miss
@@ -214,7 +234,8 @@ constexpr uint64_t kMinCacheRangePoints = 2048;
 // byte-identical to the serial loop at any width.
 act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
                                        const act::JoinInput& input,
-                                       act::JoinMode mode, uint64_t epoch) {
+                                       act::JoinMode mode, uint16_t dataset_id,
+                                       uint64_t epoch) {
   util::WallTimer timer;
   const bool exact = mode == act::JoinMode::kExact;
   const uint64_t n = input.size();
@@ -230,14 +251,15 @@ act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
       n == 0 ? 0 : (n + range_points - 1) / range_points;
 
   if (num_ranges <= 1 || width <= 1) {
-    CachedJoinRange(index, *cell_cache_, input, exact, epoch, 0, n, &out);
+    CachedJoinRange(index, *cell_cache_, input, exact, dataset_id, epoch, 0, n,
+                    &out);
     out.seconds = timer.ElapsedSeconds();
     return out;
   }
 
   std::vector<act::JoinStats> partial(num_ranges);
   auto run_range = [&](uint64_t r) {
-    CachedJoinRange(index, *cell_cache_, input, exact, epoch,
+    CachedJoinRange(index, *cell_cache_, input, exact, dataset_id, epoch,
                     r * range_points, std::min((r + 1) * range_points, n),
                     &partial[r]);
   };
@@ -262,10 +284,17 @@ void JoinService::Execute(Request& req, int worker_id) {
   util::WallTimer service_timer;
 
   JoinResult result;
-  Snapshot snapshot = registry_.Acquire(&result.epoch);
+  // The submit-side catalog check plus assigned-only ids guarantee the
+  // registry exists and holds a non-null snapshot by the time a request
+  // is dequeued.
+  const ServiceCatalog::Registry* registry =
+      catalog_.Find(req.batch.dataset_id);
+  ACT_CHECK_MSG(registry != nullptr, "request routed to an unknown dataset");
+  Snapshot snapshot = registry->Acquire(&result.epoch);
   act::JoinInput input{req.batch.cell_ids, req.batch.points};
   if (cell_cache_ != nullptr) {
-    result.stats = CachedJoin(*snapshot, input, req.batch.mode, result.epoch);
+    result.stats = CachedJoin(*snapshot, input, req.batch.mode,
+                              req.batch.dataset_id, result.epoch);
   } else {
     // With a shared pool the join's task units drain through it (and this
     // worker helps); otherwise the executor is threads_per_join wide.

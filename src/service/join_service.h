@@ -12,8 +12,11 @@
 //   * A pool of worker threads drains the queue; each request is joined
 //     against the snapshot pinned at execution time, with the per-request
 //     JoinMode (exact / approximate).
-//   * The index is hot-swappable: SwapIndex() publishes a new ShardedIndex
-//     through a SnapshotRegistry while in-flight queries finish on the
+//   * The service serves a catalog of named datasets (ServiceCatalog):
+//     each request routes by QueryBatch::dataset_id, an unknown id is a
+//     typed kUnknownDataset rejection, and every dataset hot-swaps
+//     independently: SwapIndex() publishes a new ShardedIndex through that
+//     dataset's SnapshotRegistry while in-flight queries finish on the
 //     snapshot they pinned — no stop-the-world, no torn reads.
 //   * Per-service stats: QPS, queue-wait and service-latency p50/p99,
 //     queue depth, snapshot epoch (see service_stats.h).
@@ -39,6 +42,7 @@
 #include "geometry/point.h"
 #include "service/hot_cell_cache.h"
 #include "service/index_registry.h"
+#include "service/service_catalog.h"
 #include "service/service_stats.h"
 #include "service/sharded_index.h"
 #include "util/mpmc_queue.h"
@@ -87,18 +91,22 @@ struct ServiceOptions {
 /// these onto wire error codes instead of blocking its event loop).
 enum class SubmitStatus {
   kAccepted = 0,
-  kQueueFull,   // bounded queue at capacity; retry is reasonable
-  kShutDown,    // service no longer accepts work; retry is not
+  kQueueFull,        // bounded queue at capacity; retry is reasonable
+  kShutDown,         // service no longer accepts work; retry is not
+  kUnknownDataset,   // dataset_id was never assigned by the catalog
 };
 
 const char* ToString(SubmitStatus status);
 
 /// One request: owned point data (the service outlives the caller's
-/// buffers) plus the join mode.
+/// buffers), the join mode, and the target dataset. dataset_id 0 is the
+/// first dataset added — for a single-dataset service constructed the
+/// pre-catalog way, the default routes exactly as before.
 struct QueryBatch {
   std::vector<uint64_t> cell_ids;
   std::vector<geom::Point> points;
   act::JoinMode mode = act::JoinMode::kExact;
+  uint16_t dataset_id = 0;
 };
 
 struct JoinResult {
@@ -113,9 +121,15 @@ class JoinService {
  public:
   using Snapshot = std::shared_ptr<const ShardedIndex>;
 
-  /// Serves `initial` until the first SwapIndex. `initial` must be
-  /// non-null.
+  /// Serves `initial` as dataset 0 ("default") until the first SwapIndex.
+  /// `initial` must be non-null.
   explicit JoinService(Snapshot initial, const ServiceOptions& opts = {});
+
+  /// Starts with an empty catalog: every submit is kUnknownDataset until
+  /// datasets are added via catalog().Add (the warm-restart boot path —
+  /// the store populates the catalog from its manifest, then the server
+  /// opens its port).
+  explicit JoinService(const ServiceOptions& opts);
 
   JoinService(const JoinService&) = delete;
   JoinService& operator=(const JoinService&) = delete;
@@ -145,15 +159,34 @@ class JoinService {
   SubmitStatus TrySubmitAsync(QueryBatch batch,
                               std::function<void(JoinResult)> done);
 
-  /// Publishes a new index snapshot and returns its epoch. In-flight and
+  /// Publishes a new snapshot for dataset 0 and returns its epoch (the
+  /// single-dataset API; datasets must be non-empty). In-flight and
   /// already-dequeued requests finish on the snapshot they pinned;
   /// requests dequeued after the swap see the new one.
-  uint64_t SwapIndex(Snapshot next);
+  uint64_t SwapIndex(Snapshot next) { return SwapIndex(0, std::move(next)); }
 
-  /// Pins and returns the currently published snapshot.
-  Snapshot CurrentIndex() const { return registry_.Acquire(); }
+  /// Publishes a new snapshot for one dataset of the catalog; the id must
+  /// be assigned.
+  uint64_t SwapIndex(uint16_t dataset_id, Snapshot next);
 
-  uint64_t epoch() const { return registry_.epoch(); }
+  /// Pins and returns dataset 0's published snapshot (null before any
+  /// dataset exists).
+  Snapshot CurrentIndex() const {
+    const ServiceCatalog::Registry* r = catalog_.Find(0);
+    return r == nullptr ? nullptr : r->Acquire();
+  }
+
+  /// Dataset 0's epoch (0 before any dataset exists). Per-dataset epochs
+  /// come from catalog().List().
+  uint64_t epoch() const {
+    const ServiceCatalog::Registry* r = catalog_.Find(0);
+    return r == nullptr ? 0 : r->epoch();
+  }
+
+  /// The dataset catalog: add datasets, list them, reach per-dataset
+  /// registries. Lives exactly as long as the service.
+  ServiceCatalog& catalog() { return catalog_; }
+  const ServiceCatalog& catalog() const { return catalog_; }
 
   /// Closes the queue, drains every already-accepted request, and joins
   /// the workers. Idempotent; called by the destructor.
@@ -179,10 +212,10 @@ class JoinService {
   SubmitStatus Enqueue(std::unique_ptr<Request> req);
   act::JoinStats CachedJoin(const ShardedIndex& index,
                             const act::JoinInput& input, act::JoinMode mode,
-                            uint64_t epoch);
+                            uint16_t dataset_id, uint64_t epoch);
 
   ServiceOptions opts_;
-  SnapshotRegistry<ShardedIndex> registry_;
+  ServiceCatalog catalog_;
   util::MpmcQueue<std::unique_ptr<Request>> queue_;
   std::unique_ptr<util::WorkStealingPool> join_pool_;  // null when disabled
   std::unique_ptr<HotCellCache> cell_cache_;           // null when disabled

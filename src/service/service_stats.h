@@ -12,12 +12,26 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "util/latency_histogram.h"
 #include "util/timer.h"
 
 namespace actjoin::service {
+
+/// Per-peer admission figures (net layer): the token bucket is sharded by
+/// peer address, so one greedy client's rejections are attributable to
+/// that client — and visible in a STATS response — instead of dissolving
+/// into a global counter while it starves everyone else.
+struct PeerAdmissionStats {
+  std::string peer;
+  uint64_t admitted = 0;
+  uint64_t rate_limited = 0;
+
+  friend bool operator==(const PeerAdmissionStats&,
+                         const PeerAdmissionStats&) = default;
+};
 
 /// One consistent snapshot of a JoinService's counters.
 struct ServiceStats {
@@ -30,6 +44,8 @@ struct ServiceStats {
   uint64_t rejected_queue_full = 0;
   /// TrySubmit or Submit after Shutdown (Submit also fails its future).
   uint64_t rejected_shutdown = 0;
+  /// Submits naming a dataset id the catalog has never assigned.
+  uint64_t rejected_unknown_dataset = 0;
   /// Net-layer admission rejects, one counter per AdmissionPolicy knob.
   /// Always zero on a bare JoinService: net::JoinServer overlays them (and
   /// adds them into rejected_requests) when composing a STATS response.
@@ -49,7 +65,11 @@ struct ServiceStats {
   double service_p50_ms = 0;        // join execution only
   double service_p99_ms = 0;
   size_t queue_depth = 0;
-  uint64_t epoch = 0;               // index snapshot currently published
+  uint64_t epoch = 0;      // snapshot epoch of dataset 0 (compat metric)
+  uint64_t num_datasets = 0;
+  /// Per-peer admission splits (net::JoinServer overlays these, sorted by
+  /// peer key; empty on a bare JoinService).
+  std::vector<PeerAdmissionStats> peers;
 };
 
 class ServiceStatsRecorder {
@@ -77,6 +97,10 @@ class ServiceStatsRecorder {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  void RecordRejectedUnknownDataset() {
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Merges all worker slots; `queue_depth` and `epoch` are provided by
   /// the service (they live outside the recorder).
   ServiceStats Snapshot(size_t queue_depth, uint64_t epoch) const {
@@ -92,7 +116,10 @@ class ServiceStatsRecorder {
     out.rejected_queue_full =
         rejected_queue_full_.load(std::memory_order_relaxed);
     out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-    out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown;
+    out.rejected_unknown_dataset =
+        rejected_unknown_dataset_.load(std::memory_order_relaxed);
+    out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown +
+                            out.rejected_unknown_dataset;
     out.uptime_s = uptime_.ElapsedSeconds();
     if (out.uptime_s > 0) {
       out.qps = static_cast<double>(out.completed_requests) / out.uptime_s;
@@ -119,6 +146,7 @@ class ServiceStatsRecorder {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::atomic<uint64_t> rejected_queue_full_{0};
   std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> rejected_unknown_dataset_{0};
   util::WallTimer uptime_;
 };
 

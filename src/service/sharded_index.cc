@@ -83,6 +83,34 @@ ShardedIndex ShardedIndex::Build(const std::vector<geom::Polygon>& polygons,
   return out;
 }
 
+ShardedIndex ShardedIndex::FromParts(const geo::Grid& grid,
+                                     const ShardingOptions& opts,
+                                     size_t num_polygons,
+                                     std::vector<ShardParts> parts) {
+  util::WallTimer timer;
+  ShardedIndex out(grid);
+  out.opts_ = opts;
+  out.opts_.num_shards = static_cast<int>(parts.size());
+  ACT_CHECK_MSG(!parts.empty(), "FromParts requires at least one shard");
+  out.num_polygons_ = num_polygons;
+  out.shards_.resize(parts.size());
+  for (size_t s = 0; s < parts.size(); ++s) {
+    ACT_CHECK_MSG((parts[s].index == nullptr) == parts[s].global_ids.empty(),
+                  "a shard has an index iff it has polygons");
+    ACT_CHECK_MSG(parts[s].index == nullptr ||
+                      parts[s].index->polygons().size() ==
+                          parts[s].global_ids.size(),
+                  "shard id map must cover the shard's polygons");
+    for (uint32_t gid : parts[s].global_ids) {
+      ACT_CHECK_MSG(gid < num_polygons, "global polygon id out of range");
+    }
+    out.shards_[s].index = std::move(parts[s].index);
+    out.shards_[s].global_ids = std::move(parts[s].global_ids);
+  }
+  out.build_seconds_ = timer.ElapsedSeconds();
+  return out;
+}
+
 namespace {
 
 // Bucket-sorts the batch into shard-contiguous (= Hilbert) order.

@@ -72,6 +72,25 @@ class ShardedIndex {
                             const geo::Grid& grid,
                             const ShardingOptions& opts);
 
+  /// One persisted shard: the (possibly null, for an empty shard) per-shard
+  /// index plus its local-to-global polygon id map. The unit the snapshot
+  /// store serializes.
+  struct ShardParts {
+    std::unique_ptr<const act::PolygonIndex> index;  // null when empty
+    std::vector<uint32_t> global_ids;                // local pid -> global
+  };
+
+  /// Reassembles an index from persisted shards (src/store/): the inverse
+  /// of decomposing via shard_index()/shard_polygon_ids(). `parts.size()`
+  /// becomes the shard count and must match opts.num_shards (the routing
+  /// function is derived from it); per-shard coverings are taken as-is, so
+  /// no covering work is redone — that is the entire point of the store.
+  /// Joins against the result are byte-identical to the saved index.
+  static ShardedIndex FromParts(const geo::Grid& grid,
+                                const ShardingOptions& opts,
+                                size_t num_polygons,
+                                std::vector<ShardParts> parts);
+
   /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
   /// by shard, splits each shard's slice into (shard, sub-range) task
   /// units, and drains them work-stealing-wide across the whole thread

@@ -1,0 +1,101 @@
+// Checkpointer: background persistence for hot-swapped index snapshots.
+//
+// SwapIndex publishes a new snapshot in nanoseconds; making it durable
+// costs a file write. The checkpointer moves that cost off the serving
+// path: a single background thread watches every catalog dataset's epoch,
+// persists snapshots whose epoch advanced since their last checkpoint
+// (pinning the snapshot via the registry, so serving is never blocked —
+// the writer holds a shared_ptr, not a lock), and garbage-collects
+// superseded generations afterwards.
+//
+// Epochs are compared, not subscribed: a dataset swapped five times
+// between two sweeps is persisted once, at its newest snapshot — exactly
+// the semantics a store wants (intermediate states were never durable
+// promises). A swap *during* a sweep is caught by the next sweep.
+//
+// Failure policy: a failed Put is counted, logged, and retried on the
+// next sweep (the last-persisted epoch is only advanced on success). The
+// serving path never notices.
+
+#ifndef ACTJOIN_STORE_CHECKPOINTER_H_
+#define ACTJOIN_STORE_CHECKPOINTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/join_service.h"
+#include "store/snapshot_store.h"
+
+namespace actjoin::store {
+
+struct CheckpointerOptions {
+  /// Sweep period. Checkpoints lag swaps by at most this (plus the write
+  /// itself); crash-loss window for a just-swapped index is the same.
+  int interval_ms = 1000;
+  /// Run GarbageCollect after every sweep that persisted something.
+  bool gc = true;
+  /// Start the background thread in the constructor. Tests set false and
+  /// drive sweeps deterministically via CheckpointNow().
+  bool autostart = true;
+};
+
+struct CheckpointerStats {
+  uint64_t sweeps = 0;
+  uint64_t checkpoints = 0;    // snapshots persisted
+  uint64_t failures = 0;       // Put failures (retried next sweep)
+  uint64_t files_removed = 0;  // by post-sweep GC
+};
+
+class Checkpointer {
+ public:
+  /// `store` must be Open; both pointers must outlive the checkpointer.
+  Checkpointer(SnapshotStore* store, service::JoinService* service,
+               const CheckpointerOptions& opts = {});
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Stop()s if still running.
+  ~Checkpointer();
+
+  /// Launches the background thread; idempotent.
+  void Start();
+
+  /// Joins the thread (a started Put completes; durability is never torn
+  /// by Stop), then runs one final sweep so every epoch published before
+  /// Stop is durable on a clean shutdown. Idempotent; a no-op when the
+  /// background thread was never started.
+  void Stop();
+
+  /// One synchronous sweep over the catalog; returns snapshots persisted.
+  /// Safe alongside the background thread (sweeps serialize).
+  uint64_t CheckpointNow();
+
+  CheckpointerStats stats() const;
+
+ private:
+  void Loop();
+
+  SnapshotStore* store_;
+  service::JoinService* service_;
+  CheckpointerOptions opts_;
+
+  std::mutex sweep_mu_;  // serializes sweeps (background vs CheckpointNow)
+  /// dataset name -> epoch of its last successfully persisted snapshot.
+  std::map<std::string, uint64_t> persisted_epoch_;
+
+  mutable std::mutex mu_;  // guards stats_ + lifecycle flags + wakeups
+  std::condition_variable cv_;
+  CheckpointerStats stats_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace actjoin::store
+
+#endif  // ACTJOIN_STORE_CHECKPOINTER_H_

@@ -1,0 +1,711 @@
+#include "store/snapshot_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "util/byte_io.h"
+#include "util/check.h"
+
+namespace actjoin::store {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x53544341;  // "ACTS"
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kManifestMagic = 0x4D544341;  // "ACTM"
+constexpr uint32_t kManifestVersion = 1;
+
+// Section tags (the act index body owns tags 1..3).
+constexpr uint32_t kStoreHeaderTag = 16;
+constexpr uint32_t kShardMetaTag = 17;
+constexpr uint32_t kManifestTag = 32;
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestBakName = "MANIFEST.bak";
+
+std::string ErrnoMessage(const std::string& prefix) {
+  return prefix + ": " + std::strerror(errno);
+}
+
+/// fsyncs the directory itself so the renames/links inside it are durable
+/// (a file fsync makes the *bytes* durable; the directory entry needs its
+/// own). Best-effort: some filesystems refuse directory fsync.
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// The atomic-publish idiom: write <path>.tmp, fsync it, rename over
+/// <path>, fsync the directory. A crash leaves either the old file, the
+/// new file, or a stray .tmp — never a torn <path>.
+bool WriteFileDurable(const std::string& dir, const std::string& path,
+                      const std::vector<uint8_t>& bytes, bool do_fsync,
+                      std::string* error) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoMessage("open " + tmp);
+    return false;
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t w = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = ErrnoMessage("write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(w);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    if (error != nullptr) *error = ErrnoMessage("fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = ErrnoMessage("rename " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (do_fsync) FsyncDir(dir);
+  return true;
+}
+
+void Fail(act::LoadError* error, act::LoadError what) {
+  if (error != nullptr) *error = what;
+}
+
+// --- Snapshot file codec ---------------------------------------------------
+
+std::vector<uint8_t> EncodeSnapshot(const std::string& name,
+                                    uint64_t generation,
+                                    const service::ShardedIndex& index) {
+  util::ByteWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+
+  size_t s = act::BeginSection(&w, kStoreHeaderTag);
+  w.PutU32(static_cast<uint32_t>(index.num_shards()));
+  w.PutU32(static_cast<uint32_t>(index.options().routing_cover_cells));
+  w.PutU8(static_cast<uint8_t>(index.grid().curve()));
+  w.PutU64(index.num_polygons());
+  w.PutU64(generation);
+  w.PutString(name);
+  act::EndSection(&w, s);
+
+  for (int shard = 0; shard < index.num_shards(); ++shard) {
+    const act::PolygonIndex* shard_index = index.shard_index(shard);
+    const std::vector<uint32_t>& gids = index.shard_polygon_ids(shard);
+    s = act::BeginSection(&w, kShardMetaTag);
+    w.PutU8(shard_index != nullptr ? 1 : 0);
+    w.PutU32(static_cast<uint32_t>(gids.size()));
+    for (uint32_t gid : gids) w.PutU32(gid);
+    act::EndSection(&w, s);
+    // The per-shard index rides as a regular act index body (its own
+    // CRC-framed sections), so shard loads reuse the act parser verbatim.
+    if (shard_index != nullptr) act::AppendIndexBody(*shard_index, &w);
+  }
+  return w.Take();
+}
+
+std::shared_ptr<const service::ShardedIndex> ParseSnapshot(
+    const std::vector<uint8_t>& bytes, const std::string& expect_name,
+    act::LoadError* error) {
+  Fail(error, act::LoadError::kNone);
+  if (bytes.size() < 8) {
+    Fail(error, act::LoadError::kTruncated);
+    return nullptr;
+  }
+  util::ByteReader head(bytes);
+  if (head.U32() != kSnapshotMagic) {
+    Fail(error, act::LoadError::kBadMagic);
+    return nullptr;
+  }
+  if (head.U32() != kSnapshotVersion) {
+    Fail(error, act::LoadError::kBadVersion);
+    return nullptr;
+  }
+
+  size_t offset = 8;
+  std::span<const uint8_t> payload;
+  if (!act::ReadSection(bytes, &offset, kStoreHeaderTag, &payload, error)) {
+    return nullptr;
+  }
+  util::ByteReader r(payload);
+  uint32_t num_shards = r.U32();
+  uint32_t routing_cover_cells = r.U32();
+  uint8_t curve = r.U8();
+  uint64_t num_polygons = r.U64();
+  r.U64();  // generation: advisory (the file name is authoritative)
+  std::string name = r.String();
+  // num_polygons feeds counts.assign() on every join: bound it by the
+  // file size (a real polygon costs far more than one byte in some shard
+  // body) so a forged header cannot plant a multi-exabyte allocation
+  // that detonates at query time.
+  if (!r.AtEnd() || num_shards == 0 || num_shards > 1u << 20 || curve > 1 ||
+      num_polygons > bytes.size() || name != expect_name) {
+    Fail(error, act::LoadError::kBadData);
+    return nullptr;
+  }
+
+  std::vector<service::ShardedIndex::ShardParts> parts(num_shards);
+  act::BuildOptions build;  // taken from the first non-empty shard
+  bool have_build = false;
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    if (!act::ReadSection(bytes, &offset, kShardMetaTag, &payload, error)) {
+      return nullptr;
+    }
+    util::ByteReader meta(payload);
+    uint8_t has_index = meta.U8();
+    uint32_t n_gids = meta.U32();
+    if (!meta.ok() || has_index > 1 || n_gids > meta.remaining() / 4 + 1) {
+      Fail(error, act::LoadError::kBadData);
+      return nullptr;
+    }
+    std::vector<uint32_t>& gids = parts[shard].global_ids;
+    gids.reserve(n_gids);
+    for (uint32_t i = 0; i < n_gids; ++i) {
+      uint32_t gid = meta.U32();
+      if (!meta.ok() || gid >= num_polygons) {
+        Fail(error, act::LoadError::kBadData);
+        return nullptr;
+      }
+      gids.push_back(gid);
+    }
+    if (!meta.AtEnd() || (has_index == 0) != gids.empty()) {
+      Fail(error, act::LoadError::kBadData);
+      return nullptr;
+    }
+    if (has_index != 0) {
+      std::optional<act::PolygonIndex> index =
+          act::ParseIndexBody(bytes, &offset, error);
+      if (!index.has_value()) return nullptr;
+      if (index->polygons().size() != gids.size()) {
+        Fail(error, act::LoadError::kBadData);
+        return nullptr;
+      }
+      if (!have_build) {
+        build = index->options();
+        have_build = true;
+      }
+      parts[shard].index =
+          std::make_unique<const act::PolygonIndex>(*std::move(index));
+    }
+  }
+  if (offset != bytes.size()) {
+    Fail(error, act::LoadError::kBadData);
+    return nullptr;
+  }
+
+  service::ShardingOptions opts;
+  opts.num_shards = static_cast<int>(num_shards);
+  opts.routing_cover_cells = static_cast<int>(routing_cover_cells);
+  opts.build = build;
+  return std::make_shared<const service::ShardedIndex>(
+      service::ShardedIndex::FromParts(
+          geo::Grid(static_cast<geo::CurveType>(curve)), opts, num_polygons,
+          std::move(parts)));
+}
+
+}  // namespace
+
+// --- SnapshotStore ---------------------------------------------------------
+
+std::string SnapshotStore::SnapshotPath(const std::string& name,
+                                        uint64_t generation) const {
+  return opts_.dir + "/" + name + "-" + std::to_string(generation) + ".snap";
+}
+
+bool SnapshotStore::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+namespace {
+
+std::vector<uint8_t> EncodeManifest(uint64_t next_generation,
+                                    const std::vector<DatasetRecord>& entries) {
+  util::ByteWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  size_t s = act::BeginSection(&w, kManifestTag);
+  w.PutU64(next_generation);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const DatasetRecord& e : entries) {
+    w.PutString(e.name);
+    w.PutU64(e.generation);
+  }
+  act::EndSection(&w, s);
+  return w.Take();
+}
+
+bool ParseManifest(const std::vector<uint8_t>& bytes,
+                   uint64_t* next_generation,
+                   std::vector<DatasetRecord>* entries,
+                   act::LoadError* error) {
+  if (bytes.size() < 8) {
+    Fail(error, act::LoadError::kTruncated);
+    return false;
+  }
+  util::ByteReader head(bytes);
+  if (head.U32() != kManifestMagic) {
+    Fail(error, act::LoadError::kBadMagic);
+    return false;
+  }
+  if (head.U32() != kManifestVersion) {
+    Fail(error, act::LoadError::kBadVersion);
+    return false;
+  }
+  size_t offset = 8;
+  std::span<const uint8_t> payload;
+  if (!act::ReadSection(bytes, &offset, kManifestTag, &payload, error)) {
+    return false;
+  }
+  if (offset != bytes.size()) {
+    Fail(error, act::LoadError::kBadData);
+    return false;
+  }
+  util::ByteReader r(payload);
+  *next_generation = r.U64();
+  uint32_t count = r.U32();
+  if (!r.ok() || count > r.remaining() / 12 + 1) {
+    Fail(error, act::LoadError::kBadData);
+    return false;
+  }
+  entries->clear();
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DatasetRecord rec;
+    rec.name = r.String();
+    rec.generation = r.U64();
+    if (!r.ok() || !service::IsValidDatasetName(rec.name) ||
+        rec.generation == 0 || rec.generation >= *next_generation) {
+      Fail(error, act::LoadError::kBadData);
+      return false;
+    }
+    entries->push_back(std::move(rec));
+  }
+  if (!r.AtEnd()) {
+    Fail(error, act::LoadError::kBadData);
+    return false;
+  }
+  return true;
+}
+
+/// Splits "<name>-<gen>.snap" at the *last* dash (names may contain
+/// dashes; the generation is all digits). False for anything else.
+bool ParseSnapshotFileName(const std::string& file, std::string* name,
+                           uint64_t* generation) {
+  constexpr const char* kSuffix = ".snap";
+  constexpr size_t kSuffixLen = 5;
+  if (file.size() <= kSuffixLen ||
+      file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+    return false;
+  }
+  const std::string stem = file.substr(0, file.size() - kSuffixLen);
+  const size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= stem.size()) {
+    return false;
+  }
+  uint64_t gen = 0;
+  for (size_t i = dash + 1; i < stem.size(); ++i) {
+    if (stem[i] < '0' || stem[i] > '9') return false;
+    if (gen > (UINT64_MAX - 9) / 10) return false;
+    gen = gen * 10 + static_cast<uint64_t>(stem[i] - '0');
+  }
+  *name = stem.substr(0, dash);
+  *generation = gen;
+  return *generation != 0 && service::IsValidDatasetName(*name);
+}
+
+std::vector<std::string> ListDirectory(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string file = entry->d_name;
+    if (file != "." && file != "..") out.push_back(file);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ACT_CHECK_MSG(!open_, "SnapshotStore::Open called twice");
+  opts_ = opts;
+  if (opts_.keep_generations < 1) opts_.keep_generations = 1;
+  if (opts_.dir.empty()) {
+    if (error != nullptr) *error = "StoreOptions.dir must be set";
+    return false;
+  }
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (error != nullptr) *error = ErrnoMessage("mkdir " + opts_.dir);
+    return false;
+  }
+
+  // Manifest recovery ladder: primary -> .bak -> directory scan. Each
+  // rung only engages when the one above is missing or fails validation,
+  // and the scan trusts snapshot files themselves (they were fsynced
+  // before any manifest ever referenced them).
+  manifest_ = Manifest{};
+  act::LoadError manifest_error = act::LoadError::kNone;
+  for (const char* candidate : {kManifestName, kManifestBakName}) {
+    std::vector<uint8_t> bytes;
+    act::LoadError read_error = act::LoadError::kNone;
+    const std::string path = opts_.dir + "/" + candidate;
+    if (!act::ReadFileBytes(path, &bytes, &read_error)) {
+      if (manifest_error == act::LoadError::kNone) {
+        manifest_error = read_error;
+      }
+      continue;
+    }
+    if (ParseManifest(bytes, &manifest_.next_generation, &manifest_.entries,
+                      &read_error)) {
+      open_ = true;
+      manifest_primary_healthy_ = candidate == kManifestName;
+      if (candidate != kManifestName) {
+        std::fprintf(stderr,
+                     "[store] %s unusable (%s); recovered catalog from %s\n",
+                     kManifestName, act::ToString(manifest_error), candidate);
+        // Heal the primary now: the next WriteManifestLocked hard-links
+        // the primary over the .bak before renaming, so leaving a
+        // corrupt primary in place would let a crash inside that next
+        // rewrite destroy the only good copy.
+        std::string rewrite_error;
+        if (!WriteManifestLocked(&rewrite_error)) {
+          std::fprintf(stderr, "[store] manifest heal failed: %s\n",
+                       rewrite_error.c_str());
+        }
+      }
+      return true;
+    }
+    std::fprintf(stderr, "[store] %s corrupt: %s\n", candidate,
+                 act::ToString(read_error));
+    if (manifest_error == act::LoadError::kNone ||
+        candidate == kManifestName) {
+      manifest_error = read_error;
+    }
+  }
+
+  // Directory scan: newest generation per dataset. Manifest order (=
+  // first-Put order, what keeps catalog ids stable) is reconstructed
+  // best-effort by each dataset's *minimum* surviving generation —
+  // generations are globally monotonic, so absent GC this is exactly
+  // first-Put order; after GC it can renumber, which is why the log
+  // below tells clients to re-resolve ids via LIST_DATASETS. kMissing
+  // for both manifests is the fresh-store case, not a recovery.
+  struct Scanned {
+    uint64_t min_generation;
+    uint64_t max_generation;
+  };
+  std::unordered_map<std::string, Scanned> scanned;
+  uint64_t max_generation = 0;
+  for (const std::string& file : ListDirectory(opts_.dir)) {
+    std::string name;
+    uint64_t generation = 0;
+    if (!ParseSnapshotFileName(file, &name, &generation)) continue;
+    max_generation = std::max(max_generation, generation);
+    auto [it, inserted] = scanned.emplace(name, Scanned{generation, generation});
+    if (!inserted) {
+      it->second.min_generation =
+          std::min(it->second.min_generation, generation);
+      it->second.max_generation =
+          std::max(it->second.max_generation, generation);
+    }
+  }
+  std::vector<std::pair<uint64_t, DatasetRecord>> ordered;
+  ordered.reserve(scanned.size());
+  for (const auto& [name, gens] : scanned) {
+    ordered.emplace_back(gens.min_generation,
+                         DatasetRecord{name, gens.max_generation});
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [min_gen, rec] : ordered) {
+    manifest_.entries.push_back(std::move(rec));
+  }
+  manifest_.next_generation = max_generation + 1;
+  if (!manifest_.entries.empty()) {
+    std::fprintf(stderr,
+                 "[store] no manifest (%s); recovered %zu dataset(s) by "
+                 "directory scan — catalog ids may be renumbered, clients "
+                 "should re-resolve names via LIST_DATASETS\n",
+                 act::ToString(manifest_error), manifest_.entries.size());
+  }
+  open_ = true;
+  return true;
+}
+
+std::vector<DatasetRecord> SnapshotStore::Datasets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.entries;
+}
+
+bool SnapshotStore::WriteManifestLocked(std::string* error) {
+  const std::string path = opts_.dir + "/" + kManifestName;
+  const std::string bak = opts_.dir + "/" + kManifestBakName;
+  // Preserve the current manifest as a hard link before the rename
+  // replaces it: the primary's inode stays reachable, so external
+  // corruption of the new primary still leaves one complete catalog.
+  // Rotation is skipped while the primary is known-bad (Open recovered
+  // from .bak and is healing) — linking a corrupt primary over the .bak
+  // would destroy the only good copy right before a crash could strand
+  // us with neither.
+  if (manifest_primary_healthy_) {
+    ::unlink(bak.c_str());
+    ::link(path.c_str(), bak.c_str());  // ENOENT on first write: fine
+  }
+  if (!WriteFileDurable(
+          opts_.dir, path,
+          EncodeManifest(manifest_.next_generation, manifest_.entries),
+          opts_.fsync, error)) {
+    return false;
+  }
+  manifest_primary_healthy_ = true;
+  return true;
+}
+
+bool SnapshotStore::Put(const std::string& name,
+                        const service::ShardedIndex& index,
+                        uint64_t* generation, std::string* error) {
+  if (!service::IsValidDatasetName(name)) {
+    if (error != nullptr) *error = "invalid dataset name: " + name;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) {
+    if (error != nullptr) *error = "store is not open";
+    return false;
+  }
+  const uint64_t gen = manifest_.next_generation;
+
+  // Order is the crash-safety contract: (1) snapshot file becomes durable
+  // under its final name, (2) the manifest commits it. A crash between
+  // the two leaves an orphan file the manifest never references.
+  if (!WriteFileDurable(opts_.dir, SnapshotPath(name, gen),
+                        EncodeSnapshot(name, gen, index), opts_.fsync,
+                        error)) {
+    return false;
+  }
+
+  Manifest rollback = manifest_;
+  manifest_.next_generation = gen + 1;
+  bool found = false;
+  for (DatasetRecord& rec : manifest_.entries) {
+    if (rec.name == name) {
+      rec.generation = gen;
+      found = true;
+      break;
+    }
+  }
+  if (!found) manifest_.entries.push_back({name, gen});
+  if (!WriteManifestLocked(error)) {
+    manifest_ = std::move(rollback);  // the orphan file is GC's problem
+    return false;
+  }
+  if (generation != nullptr) *generation = gen;
+  return true;
+}
+
+std::vector<uint64_t> SnapshotStore::DiskGenerations(
+    const std::string& name) const {
+  std::vector<uint64_t> out;
+  for (const std::string& file : ListDirectory(opts_.dir)) {
+    std::string file_name;
+    uint64_t generation = 0;
+    if (ParseSnapshotFileName(file, &file_name, &generation) &&
+        file_name == name) {
+      out.push_back(generation);
+    }
+  }
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
+    const std::string& name, LoadReport* report) const {
+  LoadReport local;
+  LoadReport& rep = report != nullptr ? *report : local;
+  rep = LoadReport{};
+
+  uint64_t current = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) {
+      rep.error = act::LoadError::kMissing;
+      rep.detail = "store is not open";
+      return nullptr;
+    }
+    for (const DatasetRecord& rec : manifest_.entries) {
+      if (rec.name == name) {
+        current = rec.generation;
+        break;
+      }
+    }
+  }
+  if (current == 0) {
+    rep.error = act::LoadError::kMissing;
+    rep.detail = "dataset not in manifest";
+    return nullptr;
+  }
+
+  // Candidate ladder: the manifest's generation, then — only if it
+  // fails, so the common clean load never pays a directory scan — every
+  // older on-disk generation, newest first. Newer-than-manifest orphans
+  // are skipped on purpose: an uncommitted Put must stay invisible,
+  // exactly as if the crash had hit one instruction earlier.
+  auto try_generation =
+      [&](uint64_t gen,
+          act::LoadError* err) -> std::shared_ptr<const service::ShardedIndex> {
+    std::vector<uint8_t> bytes;
+    if (!act::ReadFileBytes(SnapshotPath(name, gen), &bytes, err)) {
+      return nullptr;
+    }
+    return ParseSnapshot(bytes, name, err);
+  };
+
+  act::LoadError err = act::LoadError::kNone;
+  if (auto index = try_generation(current, &err)) {
+    rep.generation = current;
+    return index;
+  }
+  rep.error = err;
+  rep.detail = "gen " + std::to_string(current) + ": " + act::ToString(err);
+
+  for (uint64_t gen : DiskGenerations(name)) {
+    if (gen >= current) continue;
+    if (auto index = try_generation(gen, &err)) {
+      rep.generation = gen;
+      rep.fell_back = true;
+      std::fprintf(stderr,
+                   "[store] dataset '%s': generation %llu unusable (%s); "
+                   "serving generation %llu\n",
+                   name.c_str(), static_cast<unsigned long long>(current),
+                   act::ToString(rep.error),
+                   static_cast<unsigned long long>(gen));
+      return index;
+    }
+    rep.detail += "; gen " + std::to_string(gen) + ": " + act::ToString(err);
+  }
+  std::fprintf(stderr, "[store] dataset '%s': no loadable generation (%s)\n",
+               name.c_str(), rep.detail.c_str());
+  return nullptr;
+}
+
+int SnapshotStore::GarbageCollect(std::string* error) {
+  // Runs entirely under mu_: the keep/orphan decision must be made
+  // against the *live* manifest, or a Put committing between a manifest
+  // copy and the unlink walk would see its freshly committed file
+  // classified as an uncommitted orphan and deleted. The lock is held
+  // across directory I/O, which only delays other Put/Load manifest
+  // peeks by milliseconds — none of this is on the serving path.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) {
+    if (error != nullptr) *error = "store is not open";
+    return 0;
+  }
+  const std::string& dir = opts_.dir;
+  const auto keep = static_cast<size_t>(opts_.keep_generations);
+
+  // One directory pass, grouped by dataset name.
+  std::vector<std::string> tmp_files;
+  struct File {
+    std::string path;
+    uint64_t generation;
+  };
+  std::unordered_map<std::string, std::vector<File>> by_name;
+  for (const std::string& file : ListDirectory(dir)) {
+    const std::string path = dir + "/" + file;
+    if (file.size() > 4 && file.compare(file.size() - 4, 4, ".tmp") == 0) {
+      tmp_files.push_back(path);  // interrupted write
+      continue;
+    }
+    std::string name;
+    uint64_t generation = 0;
+    if (!ParseSnapshotFileName(file, &name, &generation)) continue;
+    by_name[name].push_back({path, generation});
+  }
+
+  int removed = 0;
+  for (const std::string& path : tmp_files) {
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  for (auto& [name, files] : by_name) {
+    const DatasetRecord* rec = nullptr;
+    for (const DatasetRecord& e : manifest_.entries) {
+      if (e.name == name) {
+        rec = &e;
+        break;
+      }
+    }
+    // Keep the manifest's generation plus keep-1 predecessors as Load's
+    // corruption fallbacks; anything older is superseded. Generations
+    // above the manifest's are orphans of an uncommitted Put, and files
+    // of datasets the manifest does not know have no owner at all.
+    std::sort(files.begin(), files.end(),
+              [](const File& a, const File& b) {
+                return a.generation > b.generation;
+              });
+    size_t kept = 0;
+    for (const File& f : files) {
+      const bool committed = rec != nullptr && f.generation <= rec->generation;
+      if (committed && kept < keep) {
+        ++kept;
+        continue;
+      }
+      if (::unlink(f.path.c_str()) == 0) ++removed;
+    }
+  }
+  if (removed > 0 && opts_.fsync) FsyncDir(dir);
+  return removed;
+}
+
+size_t WarmStart(const SnapshotStore& store, service::ServiceCatalog* catalog,
+                 std::vector<std::string>* failed) {
+  size_t served = 0;
+  for (const DatasetRecord& rec : store.Datasets()) {
+    LoadReport report;
+    std::shared_ptr<const service::ShardedIndex> index =
+        store.Load(rec.name, &report);
+    if (index == nullptr) {
+      // Reserve the id anyway: catalog ids are positional, so skipping
+      // this slot would route every later dataset's cached client ids to
+      // the wrong data. Offline datasets reject joins typed until a good
+      // snapshot is published into their registry.
+      catalog->AddOffline(rec.name);
+      if (failed != nullptr) {
+        failed->push_back(rec.name + ": " + report.detail);
+      }
+      continue;
+    }
+    if (!catalog->Add(rec.name, std::move(index)).has_value()) {
+      if (failed != nullptr) {
+        failed->push_back(rec.name + ": catalog refused (duplicate name?)");
+      }
+      continue;
+    }
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace actjoin::store

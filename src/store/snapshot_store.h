@@ -1,0 +1,180 @@
+// SnapshotStore: a durable, crash-safe home for served index snapshots.
+//
+// The paper's deployment is build-once, serve-long: polygons change
+// rarely, queries never stop. Without a store, every restart re-runs the
+// expensive covering pipeline for every dataset; with it, a restart is a
+// sequential file read plus the milliseconds-scale classifier/trie
+// rebuild that loading already does. The store owns one directory:
+//
+//   <dir>/MANIFEST            current catalog: dataset name -> generation
+//   <dir>/MANIFEST.bak        previous manifest (hard link, kept across
+//                             rewrites as the bit-rot fallback)
+//   <dir>/<name>-<gen>.snap   one immutable snapshot file per generation
+//   <dir>/*.tmp               in-progress writes (crash leftovers; GC'd)
+//
+// Crash safety is the postgres discipline, applied twice:
+//
+//   * Snapshot files are immutable once visible: Put writes
+//     <file>.tmp, fsyncs, then rename(2)s into place — a reader can never
+//     observe a half-written snapshot under its final name.
+//   * The manifest commits a Put: it is rewritten the same way (tmp +
+//     fsync + atomic rename + directory fsync), so it always parses as
+//     either the old or the new catalog, never a torn mix. The previous
+//     manifest survives as a hard link (MANIFEST.bak) to cover external
+//     corruption of the primary, and Open falls back primary -> .bak ->
+//     directory scan, so the store recovers to the last complete
+//     generation no matter where a crash (or a flipped bit) landed.
+//
+// A crash *between* snapshot write and manifest rename leaves an orphan
+// <name>-<gen>.snap the manifest never references: invisible to Load,
+// overwritten by the next Put of that generation number, removed by
+// GarbageCollect. Generations come from one monotonic counter persisted
+// in the manifest, so a committed generation number is never reissued.
+//
+// Snapshot file format (v1, little-endian; section framing and LoadError
+// from act/serialization.h — every section carries a CRC32C):
+//
+//   u32 magic "ACTS" | u32 version
+//   header section:  num_shards, routing_cover_cells, num_polygons,
+//                    generation, dataset name
+//   per shard:       shard-meta section (has_index flag + global id map),
+//                    then — for non-empty shards — the act index body
+//                    (options/polygons/covering sections, as on a
+//                    single-index file)
+//
+// Loading re-derives classifier/encoding/trie per shard but never redoes
+// covering work; ShardedIndex::FromParts reassembles the exact shard
+// layout, so joins against a loaded snapshot are byte-identical to the
+// saved index (asserted end-to-end over the wire in tests/store_test.cc).
+//
+// Thread safety: all members are safe to call concurrently (one mutex
+// around the manifest; snapshot files are immutable so reads run
+// unlocked). Typical writers: one Checkpointer; typical readers: warm
+// restart + operator tooling.
+
+#ifndef ACTJOIN_STORE_SNAPSHOT_STORE_H_
+#define ACTJOIN_STORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "act/serialization.h"
+#include "service/service_catalog.h"
+#include "service/sharded_index.h"
+
+namespace actjoin::store {
+
+struct StoreOptions {
+  std::string dir;
+  /// fsync snapshot files, the manifest, and the directory at every
+  /// commit point. On by default — this is what makes a crash recoverable
+  /// — but logic-only tests may turn it off to spare iops.
+  bool fsync = true;
+  /// Snapshot generations GarbageCollect keeps per dataset (>= 1): the
+  /// current one plus keep_generations - 1 older fallbacks for Load's
+  /// corruption recovery.
+  int keep_generations = 2;
+};
+
+struct DatasetRecord {
+  std::string name;
+  uint64_t generation = 0;
+
+  friend bool operator==(const DatasetRecord&, const DatasetRecord&) = default;
+};
+
+/// Load's audit trail: which generation was actually served and what went
+/// wrong on the way there (surfaced in store/server logs, so operators can
+/// tell bit-rot from absence).
+struct LoadReport {
+  /// Error of the *first* (manifest-referenced) attempt; kNone when it
+  /// loaded cleanly.
+  act::LoadError error = act::LoadError::kNone;
+  /// Generation actually loaded; 0 when every candidate failed.
+  uint64_t generation = 0;
+  /// True when an older generation had to stand in for a corrupt current
+  /// one.
+  bool fell_back = false;
+  /// Human-readable failure trail ("gen 7: checksum mismatch; ...").
+  std::string detail;
+};
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Opens (creating the directory if needed) and recovers the manifest:
+  /// primary, then MANIFEST.bak, then a directory scan of *.snap files.
+  /// False + *error only on real I/O trouble (directory not creatable /
+  /// readable); an empty directory is a valid empty store.
+  bool Open(const StoreOptions& opts, std::string* error = nullptr);
+  bool is_open() const;
+
+  /// Current manifest entries, in manifest (= first-Put) order — the
+  /// order WarmStart replays, so catalog ids are stable across restarts.
+  std::vector<DatasetRecord> Datasets() const;
+
+  /// Persists `index` as the next generation of `name` (creating the
+  /// dataset on first Put) and commits it to the manifest. On return the
+  /// snapshot is durable: a crash at any later point recovers it.
+  bool Put(const std::string& name, const service::ShardedIndex& index,
+           uint64_t* generation = nullptr, std::string* error = nullptr);
+
+  /// Loads `name`'s current generation. If that file is corrupt, falls
+  /// back to older on-disk generations (newest first) so one bad block
+  /// costs a generation, not the dataset; the trail lands in *report.
+  /// Null when the dataset is unknown or no candidate loads.
+  std::shared_ptr<const service::ShardedIndex> Load(
+      const std::string& name, LoadReport* report = nullptr) const;
+
+  /// Removes files the manifest does not vouch for: *.tmp leftovers,
+  /// generations beyond keep_generations, orphans from interrupted Puts,
+  /// and files of datasets the manifest does not know. Returns the number
+  /// of files removed.
+  int GarbageCollect(std::string* error = nullptr);
+
+  const StoreOptions& options() const { return opts_; }
+  /// The absolute snapshot path a (name, generation) pair maps to.
+  std::string SnapshotPath(const std::string& name, uint64_t generation) const;
+
+ private:
+  struct Manifest {
+    uint64_t next_generation = 1;
+    std::vector<DatasetRecord> entries;  // manifest order == first-Put order
+  };
+
+  bool WriteManifestLocked(std::string* error);
+  /// All on-disk generations of `name`, newest first.
+  std::vector<uint64_t> DiskGenerations(const std::string& name) const;
+
+  StoreOptions opts_;
+  bool open_ = false;
+
+  mutable std::mutex mu_;
+  Manifest manifest_;
+  /// False while the on-disk primary MANIFEST is known-bad (Open
+  /// recovered from .bak or a scan): WriteManifestLocked must not rotate
+  /// it over the good .bak until a fresh primary is durable.
+  bool manifest_primary_healthy_ = false;
+};
+
+/// Boots a catalog from the store: loads every manifest entry (in manifest
+/// order, so dataset ids reproduce the original Add order) and publishes
+/// each as a catalog dataset. A dataset that fails to load entirely is
+/// registered *offline* (its id slot is reserved, joins against it reject
+/// typed — positional ids must not shift onto the wrong data) and reported
+/// in *failed with its LoadReport detail — a warm restart serves what it
+/// can instead of refusing to start. Returns the number of datasets
+/// actually served.
+size_t WarmStart(const SnapshotStore& store, service::ServiceCatalog* catalog,
+                 std::vector<std::string>* failed = nullptr);
+
+}  // namespace actjoin::store
+
+#endif  // ACTJOIN_STORE_SNAPSHOT_STORE_H_

@@ -66,6 +66,14 @@ class ByteWriter {
     }
   }
 
+  /// Patches a u64 written earlier (the persistence layer's section-length
+  /// slots) in place.
+  void PatchU64(size_t offset, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
   size_t size() const { return buf_.size(); }
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }

@@ -1,0 +1,61 @@
+#include "util/crc32c.h"
+
+namespace actjoin::util {
+
+namespace {
+
+// Reflected Castagnoli polynomial (CRC32C processes bits LSB-first).
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  uint32_t t[8][256];
+
+  constexpr Tables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    // Slice tables: t[k][b] advances byte b through k extra zero bytes.
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  const auto& t = kTables.t;
+  while (n >= 8) {
+    // Explicit little-endian assembly of the two words keeps the result
+    // identical on big-endian hosts (matching the on-disk byte order the
+    // rest of the persistence layer uses).
+    uint32_t lo = static_cast<uint32_t>(p[0]) |
+                  static_cast<uint32_t>(p[1]) << 8 |
+                  static_cast<uint32_t>(p[2]) << 16 |
+                  static_cast<uint32_t>(p[3]) << 24;
+    uint32_t hi = static_cast<uint32_t>(p[4]) |
+                  static_cast<uint32_t>(p[5]) << 8 |
+                  static_cast<uint32_t>(p[6]) << 16 |
+                  static_cast<uint32_t>(p[7]) << 24;
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+}  // namespace actjoin::util

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for on-disk integrity checks.
+//
+// The persistence layer (act serialization v2, the snapshot store's
+// manifest) frames every section as [tag | length | payload | crc32c] so
+// truncation and bit-rot are detected at load time, not at query time.
+// CRC32C is the checksum used by ext4 metadata, iSCSI, and RocksDB block
+// trailers: 32 bits is plenty for detecting storage corruption (this is
+// not an authenticity check), and the Castagnoli polynomial has the best
+// known Hamming-distance profile at these lengths.
+//
+// Implementation: slice-by-8 table lookup, ~1 byte/cycle without any
+// special instructions — index files load once per process lifetime, so
+// portable beats SSE4.2 dispatch complexity here.
+
+#ifndef ACTJOIN_UTIL_CRC32C_H_
+#define ACTJOIN_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace actjoin::util {
+
+/// CRC32C of `n` bytes. Chainable: pass a previous result as `seed` to
+/// checksum discontiguous buffers as one logical stream (Crc32c(b, seed =
+/// Crc32c(a)) == Crc32c(a ++ b)). Seed 0 with n == 0 returns 0.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_CRC32C_H_

@@ -186,12 +186,75 @@ TEST(NetWire, JoinResultRoundTrip) {
   EXPECT_FALSE(DecodeJoinResult(forged, &out));
 }
 
+TEST(NetWire, JoinBatchHeaderCarriesDatasetId) {
+  // The v1-reserved u16 at offset 6 is the dataset id in v2: it must ride
+  // in the header (so the server can route and reject unknown datasets
+  // without decoding the payload) and parse back exactly.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 4, grid, 50);
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  batch.dataset_id = 513;
+  std::vector<uint8_t> frame = EncodeJoinBatchFrame(12, batch);
+
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(header.dataset_id, 513u);
+  EXPECT_EQ(header.request_id, 12u);
+  // Non-join frames carry dataset 0 — and the parser *enforces* it, so
+  // the field stays validated extension space on every other type.
+  std::vector<uint8_t> ping = EncodeEmptyFrame(MessageType::kPing, 1);
+  ASSERT_EQ(TryParseFrame(ping, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(header.dataset_id, 0u);
+  ping[6] = 1;  // nonzero dataset id on a PING: malformed
+  EXPECT_EQ(TryParseFrame(ping, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kProtocolError);
+  EXPECT_EQ(err, WireError::kMalformedFrame);
+}
+
+TEST(NetWire, DatasetListRoundTripAndMalformedRejection) {
+  std::vector<service::DatasetInfo> datasets;
+  datasets.push_back({0, "zones", 3, 289, 8});
+  datasets.push_back({1, "census-2020", 1, 39184, 16});
+  util::ByteWriter w;
+  AppendDatasetList(datasets, &w);
+
+  std::vector<service::DatasetInfo> got;
+  ASSERT_TRUE(DecodeDatasetList(w.bytes(), &got));
+  EXPECT_EQ(got, datasets);
+
+  // Truncation at every byte boundary fails typed, never crashes.
+  std::vector<uint8_t> good = w.bytes();
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<uint8_t> bad(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeDatasetList(bad, &got)) << "cut=" << cut;
+  }
+  // Trailing garbage is as malformed as truncation.
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeDatasetList(padded, &got));
+  // A forged count cannot over-allocate or mis-decode.
+  std::vector<uint8_t> forged = good;
+  forged[0] = 0xFF;
+  forged[1] = 0xFF;
+  EXPECT_FALSE(DecodeDatasetList(forged, &got));
+}
+
 TEST(NetWire, ServiceStatsRoundTrip) {
   service::ServiceStats stats;
   stats.completed_requests = 11;
   stats.rejected_requests = 9;
   stats.rejected_queue_full = 2;
   stats.rejected_shutdown = 1;
+  stats.rejected_unknown_dataset = 4;
   stats.rejected_rate_limit = 3;
   stats.rejected_inflight_bytes = 2;
   stats.rejected_queue_watermark = 1;
@@ -207,6 +270,9 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   stats.service_p99_ms = 6.5;
   stats.queue_depth = 3;
   stats.epoch = 8;
+  stats.num_datasets = 2;
+  stats.peers.push_back({"10.0.0.1", 40, 2});
+  stats.peers.push_back({"10.0.0.2:5151", 1, 0});
 
   util::ByteWriter w;
   AppendServiceStats(stats, &w);
@@ -226,6 +292,14 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   EXPECT_EQ(got.qps, stats.qps);
   EXPECT_EQ(got.queue_depth, stats.queue_depth);
   EXPECT_EQ(got.epoch, stats.epoch);
+  EXPECT_EQ(got.rejected_unknown_dataset, stats.rejected_unknown_dataset);
+  EXPECT_EQ(got.num_datasets, stats.num_datasets);
+  EXPECT_EQ(got.peers, stats.peers);
+
+  // The per-peer table is length-delimited: truncating inside it fails.
+  std::vector<uint8_t> bytes = w.bytes();
+  std::vector<uint8_t> bad(bytes.begin(), bytes.end() - 1);
+  EXPECT_FALSE(DecodeServiceStats(bad, &got));
 }
 
 TEST(NetWire, ErrorFrameRoundTripAndRecoverability) {
@@ -372,6 +446,63 @@ TEST(NetAdmission, RefundRestoresRateTokenAndBytes) {
   ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
   ASSERT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);
   EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kRateLimited);
+}
+
+TEST(NetAdmission, RateBucketsAreShardedByPeer) {
+  // The ROADMAP item this exists for: a greedy client must drain only its
+  // own bucket. Peer A exhausts its burst; peer B (and the anonymous ""
+  // peer) still admit at full burst, and the per-peer counters attribute
+  // every rejection to A.
+  AdmissionPolicy policy;
+  policy.rate_limit_qps = 1e-6;  // refill is negligible within the test
+  policy.rate_burst = 2;
+  AdmissionController ac(policy, /*queue_capacity=*/64);
+
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.1"), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.1"), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.1"), Admission::kRateLimited);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.1"), Admission::kRateLimited);
+
+  // A's exhaustion is invisible to B.
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.2"), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.2"), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.2"), Admission::kRateLimited);
+  EXPECT_EQ(ac.TryAdmit(10, 0), Admission::kAdmitted);  // "" bucket
+
+  // Refund goes back to the right peer's bucket.
+  ac.Refund(10, "10.0.0.1");
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.1"), Admission::kAdmitted);
+  EXPECT_EQ(ac.TryAdmit(10, 0, "10.0.0.2"), Admission::kRateLimited);
+
+  std::vector<service::PeerAdmissionStats> peers = ac.PerPeer();
+  ASSERT_EQ(peers.size(), 3u);  // sorted: "", 10.0.0.1, 10.0.0.2
+  EXPECT_EQ(peers[0], (service::PeerAdmissionStats{"", 1, 0}));
+  EXPECT_EQ(peers[1], (service::PeerAdmissionStats{"10.0.0.1", 3, 2}));
+  EXPECT_EQ(peers[2], (service::PeerAdmissionStats{"10.0.0.2", 2, 2}));
+  EXPECT_EQ(ac.counters().rate_limited, 4u);  // global view still adds up
+}
+
+TEST(NetAdmission, PeerBucketTableIsBoundedWithIdleEviction) {
+  // A long-running server must not grow a bucket per peer forever (nor
+  // serialize an unbounded table into STATS): at the cap, a new peer
+  // evicts the longest-idle bucket. Global counters are unaffected.
+  AdmissionPolicy policy;
+  policy.rate_limit_qps = 1e-6;
+  policy.rate_burst = 1;
+  policy.max_peer_buckets = 4;
+  AdmissionController ac(policy, /*queue_capacity=*/64);
+
+  for (int i = 0; i < 32; ++i) {
+    std::string peer = "10.0.0." + std::to_string(i);
+    ASSERT_EQ(ac.TryAdmit(1, 0, peer), Admission::kAdmitted) << peer;
+    ac.Release(1);
+  }
+  EXPECT_LE(ac.PerPeer().size(), 4u);
+  EXPECT_EQ(ac.counters().admitted, 32u);  // eviction never loses totals
+
+  // A surviving (recent) peer keeps its drained bucket: the most recent
+  // peer was not evicted and is still rate-limited.
+  EXPECT_EQ(ac.TryAdmit(1, 0, "10.0.0.31"), Admission::kRateLimited);
 }
 
 TEST(NetAdmission, DisabledPolicyAdmitsEverything) {
@@ -799,6 +930,135 @@ TEST(NetServer, ConcurrentClientsAcrossHotSwapsOverLoopback) {
   EXPECT_GE(counters.responses_sent,
             static_cast<uint64_t>(kClients) * kRequestsPerClient);
   EXPECT_EQ(counters.protocol_errors, 0u);
+}
+
+TEST(NetServer, MultiDatasetJoinsRouteByIdAndListDatasets) {
+  // Two catalog datasets behind one server: joins route by the header's
+  // dataset id (results match each dataset's own index), LIST_DATASETS
+  // enumerates the catalog, and an unknown id is a typed, recoverable
+  // error on the same connection.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 4, .build = bopts});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(half, sopts);  // dataset 0 = "default"
+  ASSERT_TRUE(service.catalog().Add("census", full).has_value());
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 800, grid, 61);
+  act::JoinStats want_half =
+      half->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+  act::JoinStats want_full =
+      full->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+
+  std::vector<service::DatasetInfo> datasets;
+  ASSERT_TRUE(client.ListDatasets(&datasets, &error)) << error;
+  ASSERT_EQ(datasets.size(), 2u);
+  EXPECT_EQ(datasets[0].name, "default");
+  EXPECT_EQ(datasets[0].num_polygons, half_set.size());
+  EXPECT_EQ(datasets[1].name, "census");
+  EXPECT_EQ(datasets[1].num_polygons, ds.polygons.size());
+
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  batch.dataset_id = 0;
+  JoinClient::Reply reply = client.Join(batch);
+  ASSERT_TRUE(reply.ok) << reply.message;
+  ExpectStatsEqual(reply.result.stats, want_half);
+  batch.dataset_id = 1;
+  reply = client.Join(batch);
+  ASSERT_TRUE(reply.ok) << reply.message;
+  ExpectStatsEqual(reply.result.stats, want_full);
+
+  // Unknown id: typed error, connection survives, counter visible.
+  batch.dataset_id = 9;
+  reply = client.Join(batch);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, WireError::kUnknownDataset);
+  EXPECT_TRUE(IsRecoverable(WireError::kUnknownDataset));
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected_unknown_dataset, 1u);
+  EXPECT_EQ(stats.rejected_requests, 1u);
+  EXPECT_EQ(stats.num_datasets, 2u);
+  EXPECT_EQ(stats.completed_requests, 2u);
+}
+
+TEST(NetServer, PerPeerRateLimitIsolatesClients) {
+  // One greedy connection drains only its own bucket (PeerKeyPolicy::
+  // kIpPort tells loopback clients apart): the second client is admitted
+  // at full burst, and STATS attributes every rejection to the greedy
+  // peer.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  ServerOptions nopts;
+  nopts.admission.rate_limit_qps = 1e-6;  // refill negligible in-test
+  nopts.admission.rate_burst = 2;
+  nopts.peer_key = PeerKeyPolicy::kIpPort;
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 100, grid, 62);
+
+  JoinClient greedy;
+  std::string error;
+  ASSERT_TRUE(greedy.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  int greedy_ok = 0, greedy_limited = 0;
+  for (int i = 0; i < 6; ++i) {
+    JoinClient::Reply reply = greedy.Join(MakeBatch(pts, JoinMode::kExact));
+    if (reply.ok) {
+      ++greedy_ok;
+    } else {
+      ASSERT_EQ(reply.error, WireError::kRateLimited) << "i=" << i;
+      ++greedy_limited;
+    }
+  }
+  EXPECT_EQ(greedy_ok, 2);
+  EXPECT_EQ(greedy_limited, 4);
+
+  // A different client (different ephemeral port => different bucket)
+  // still gets its full burst, after the flood.
+  JoinClient second;
+  ASSERT_TRUE(second.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  for (int i = 0; i < 2; ++i) {
+    JoinClient::Reply reply = second.Join(MakeBatch(pts, JoinMode::kExact));
+    EXPECT_TRUE(reply.ok) << reply.message;
+  }
+
+  service::ServiceStats stats;
+  ASSERT_TRUE(second.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected_rate_limit, 4u);
+  ASSERT_EQ(stats.peers.size(), 2u);  // two ip:port keys
+  uint64_t limited_total = 0, admitted_total = 0;
+  bool greedy_seen = false;
+  for (const service::PeerAdmissionStats& peer : stats.peers) {
+    limited_total += peer.rate_limited;
+    admitted_total += peer.admitted;
+    if (peer.rate_limited == 4) {
+      greedy_seen = true;
+      EXPECT_EQ(peer.admitted, 2u);
+    }
+  }
+  EXPECT_TRUE(greedy_seen) << "one peer must own all rejections";
+  EXPECT_EQ(limited_total, 4u);
+  EXPECT_EQ(admitted_total, 4u);
 }
 
 TEST(NetServer, StopWhileIdleAndDoubleStop) {

@@ -919,7 +919,7 @@ TEST(ServiceCache, CapacityIsEnforcedPerShardUnderLoad) {
   ASSERT_EQ(cache.capacity(), 100u);
   std::vector<CellRef> refs{{7, true}};
   for (uint64_t cell = 0; cell < 10'000; ++cell) {
-    cache.Insert(cell, /*epoch=*/1, refs);
+    cache.Insert(/*dataset=*/0, cell, /*epoch=*/1, refs);
   }
   EXPECT_LE(cache.size(), cache.capacity());
   EXPECT_GT(cache.size(), 0u);
@@ -928,7 +928,7 @@ TEST(ServiceCache, CapacityIsEnforcedPerShardUnderLoad) {
   std::vector<CellRef> got;
   uint64_t readable = 0;
   for (uint64_t cell = 0; cell < 10'000; ++cell) {
-    if (cache.Lookup(cell, 1, &got)) {
+    if (cache.Lookup(/*dataset=*/0, cell, 1, &got)) {
       ++readable;
       ASSERT_EQ(got.size(), 1u);
       ASSERT_EQ(got[0].local_pid, 7u);

@@ -1,0 +1,675 @@
+// Tests for the persistence layer (src/store/): snapshot round trips that
+// keep joins byte-identical, the manifest's temp+fsync+rename atomicity
+// under simulated crashes and corruption (truncations at every offset,
+// flipped bits per CRC section), generation fallback, garbage collection,
+// the background checkpointer, and the subsystem's acceptance contract —
+// a warm restart from the store serves every dataset over the wire with
+// results byte-identical to the pre-restart in-process service, for both
+// join modes. Suites are named Store* so the TSan CI job's
+// ^(Service|Net|Store) filter runs the concurrent ones under
+// ThreadSanitizer.
+//
+// Seeding convention (full rationale in util_test.cc): random data comes
+// only from the workload factories with explicit literal seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "act/join.h"
+#include "act/serialization.h"
+#include "geo/grid.h"
+#include "net/join_client.h"
+#include "net/join_server.h"
+#include "service/join_service.h"
+#include "service/service_catalog.h"
+#include "service/sharded_index.h"
+#include "store/checkpointer.h"
+#include "store/snapshot_store.h"
+#include "workloads/datasets.h"
+
+namespace actjoin::store {
+namespace {
+
+using act::JoinMode;
+using act::LoadError;
+using geo::Grid;
+using service::JoinService;
+using service::QueryBatch;
+using service::ServiceCatalog;
+using service::ServiceOptions;
+using service::ShardedIndex;
+using service::ShardingOptions;
+
+/// Fresh, empty store directory per test (removes leftovers from a
+/// previous run of the same test binary).
+std::string FreshDir(const char* name) {
+  std::string dir = std::string(::testing::TempDir()) + "/store_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string bytes(size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::shared_ptr<const ShardedIndex> BuildIndex(
+    const std::vector<geom::Polygon>& polygons, const Grid& grid,
+    int num_shards) {
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  return std::make_shared<const ShardedIndex>(ShardedIndex::Build(
+      polygons, grid, {.num_shards = num_shards, .build = bopts}));
+}
+
+/// Everything in JoinStats is deterministic for a fixed input and index
+/// except the wall-clock `seconds`.
+void ExpectStatsEqual(const act::JoinStats& got, const act::JoinStats& want) {
+  EXPECT_EQ(got.num_points, want.num_points);
+  EXPECT_EQ(got.matched_points, want.matched_points);
+  EXPECT_EQ(got.result_pairs, want.result_pairs);
+  EXPECT_EQ(got.true_hit_refs, want.true_hit_refs);
+  EXPECT_EQ(got.candidate_refs, want.candidate_refs);
+  EXPECT_EQ(got.pip_tests, want.pip_tests);
+  EXPECT_EQ(got.pip_hits, want.pip_hits);
+  EXPECT_EQ(got.sth_points, want.sth_points);
+  EXPECT_EQ(got.counts, want.counts);
+}
+
+// --- Round trips -----------------------------------------------------------
+
+TEST(StoreSnapshot, PutLoadRoundTripIsByteIdenticalBothModes) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  auto index = BuildIndex(ds.polygons, grid, 4);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 71);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("roundtrip")}, &error)) << error;
+  uint64_t generation = 0;
+  ASSERT_TRUE(store.Put("zones", *index, &generation, &error)) << error;
+  EXPECT_EQ(generation, 1u);
+
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  EXPECT_EQ(report.error, LoadError::kNone);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_FALSE(report.fell_back);
+
+  EXPECT_EQ(loaded->num_shards(), index->num_shards());
+  EXPECT_EQ(loaded->num_polygons(), index->num_polygons());
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    act::JoinStats want = index->Join(pts.AsJoinInput(), {mode, 1});
+    act::JoinStats got = loaded->Join(pts.AsJoinInput(), {mode, 1});
+    ExpectStatsEqual(got, want);
+    EXPECT_GT(got.result_pairs, 0u);
+    EXPECT_EQ(loaded->JoinPairs(pts.AsJoinInput(), mode),
+              index->JoinPairs(pts.AsJoinInput(), mode));
+  }
+}
+
+TEST(StoreSnapshot, MultipleDatasetsAndGenerations) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto index_a = BuildIndex(first, grid, 2);
+  auto index_b = BuildIndex(ds.polygons, grid, 3);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("multi")}, &error)) << error;
+  uint64_t gen = 0;
+  ASSERT_TRUE(store.Put("alpha", *index_a, &gen, &error)) << error;
+  EXPECT_EQ(gen, 1u);
+  ASSERT_TRUE(store.Put("beta", *index_b, &gen, &error)) << error;
+  EXPECT_EQ(gen, 2u);  // one monotonic counter across datasets
+  ASSERT_TRUE(store.Put("alpha", *index_b, &gen, &error)) << error;
+  EXPECT_EQ(gen, 3u);
+
+  // Manifest order is first-Put order; generations are current.
+  std::vector<DatasetRecord> records = store.Datasets();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (DatasetRecord{"alpha", 3}));
+  EXPECT_EQ(records[1], (DatasetRecord{"beta", 2}));
+
+  // alpha serves its *new* snapshot (the full polygon set).
+  std::shared_ptr<const ShardedIndex> alpha = store.Load("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->num_polygons(), ds.polygons.size());
+
+  // Unknown dataset: typed missing, no crash.
+  LoadReport report;
+  EXPECT_EQ(store.Load("gamma", &report), nullptr);
+  EXPECT_EQ(report.error, LoadError::kMissing);
+}
+
+TEST(StoreSnapshot, RejectsInvalidDatasetNames) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.03);
+  auto index = BuildIndex(ds.polygons, grid, 1);
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("names")}, &error)) << error;
+  for (const char* bad : {"", "UPPER", "sp ace", "dot.dot", "a/b",
+                          "0123456789012345678901234567890123456789"
+                          "0123456789012345678901234567"}) {
+    EXPECT_FALSE(store.Put(bad, *index, nullptr, &error)) << bad;
+  }
+  EXPECT_TRUE(store.Put("ok-name_2", *index, nullptr, &error)) << error;
+}
+
+TEST(StoreSnapshot, ReopenServesWhatWasPut) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  auto index = BuildIndex(ds.polygons, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1500, grid, 72);
+  act::JoinStats want = index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  std::string dir = FreshDir("reopen");
+  {
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    ASSERT_TRUE(store.Put("zones", *index, nullptr, &error)) << error;
+  }  // destroyed: everything must come back from disk
+
+  SnapshotStore reopened;
+  std::string error;
+  ASSERT_TRUE(reopened.Open({.dir = dir}, &error)) << error;
+  ASSERT_EQ(reopened.Datasets().size(), 1u);
+  std::shared_ptr<const ShardedIndex> loaded = reopened.Load("zones");
+  ASSERT_NE(loaded, nullptr);
+  ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
+                   want);
+  // The next generation continues, never reuses.
+  uint64_t gen = 0;
+  ASSERT_TRUE(reopened.Put("zones", *index, &gen, &error)) << error;
+  EXPECT_EQ(gen, 2u);
+}
+
+// --- Crash safety ----------------------------------------------------------
+
+TEST(StoreCrash, OrphanSnapshotFromCrashBeforeManifestCommitIsInvisible) {
+  // Simulated crash between snapshot write and manifest rename: a
+  // generation-5 file exists, the manifest still says generation 1. The
+  // orphan must be invisible to Load, survive nothing past GC, and its
+  // generation number must be safely reissued by the next Put.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto committed = BuildIndex(first, grid, 2);
+
+  std::string dir = FreshDir("orphan");
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  ASSERT_TRUE(store.Put("zones", *committed, nullptr, &error)) << error;
+
+  // The "crash": a snapshot file for a generation the manifest never
+  // committed (contents arbitrary but valid-shaped — copy of gen 1).
+  WriteFile(store.SnapshotPath("zones", 5),
+            ReadFile(store.SnapshotPath("zones", 1)));
+
+  // Invisible to Load (fresh open, like a restart).
+  SnapshotStore reopened;
+  ASSERT_TRUE(reopened.Open({.dir = dir}, &error)) << error;
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded =
+      reopened.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(loaded->num_polygons(), first.size());
+
+  // GC removes the orphan; the committed generation stays.
+  EXPECT_GE(reopened.GarbageCollect(&error), 1) << error;
+  EXPECT_FALSE(FileExists(reopened.SnapshotPath("zones", 5)));
+  EXPECT_TRUE(FileExists(reopened.SnapshotPath("zones", 1)));
+}
+
+TEST(StoreCrash, ManifestTruncationAtEveryOffsetRecoversLastGeneration) {
+  // Two committed generations, then the primary MANIFEST is truncated at
+  // every byte offset. Every truncation must recover through MANIFEST.bak
+  // to the *previous* complete catalog (generation 1) and serve it.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto gen1 = BuildIndex(first, grid, 2);
+  auto gen2 = BuildIndex(ds.polygons, grid, 2);
+
+  std::string dir = FreshDir("manifest_trunc");
+  {
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    ASSERT_TRUE(store.Put("zones", *gen1, nullptr, &error)) << error;
+    ASSERT_TRUE(store.Put("zones", *gen2, nullptr, &error)) << error;
+  }
+  const std::string manifest_path = dir + "/MANIFEST";
+  const std::string pristine = ReadFile(manifest_path);
+  ASSERT_GT(pristine.size(), 16u);
+
+  for (size_t cut = 0; cut < pristine.size(); ++cut) {
+    WriteFile(manifest_path, pristine.substr(0, cut));
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << "cut=" << cut << error;
+    std::vector<DatasetRecord> records = store.Datasets();
+    ASSERT_EQ(records.size(), 1u) << "cut=" << cut;
+    // The .bak manifest is the generation-1 catalog.
+    EXPECT_EQ(records[0], (DatasetRecord{"zones", 1})) << "cut=" << cut;
+    std::shared_ptr<const ShardedIndex> loaded = store.Load("zones");
+    ASSERT_NE(loaded, nullptr) << "cut=" << cut;
+    EXPECT_EQ(loaded->num_polygons(), first.size()) << "cut=" << cut;
+  }
+
+  // Restored primary: the full generation-2 catalog is back.
+  WriteFile(manifest_path, pristine);
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  ASSERT_EQ(store.Datasets().size(), 1u);
+  EXPECT_EQ(store.Datasets()[0].generation, 2u);
+}
+
+TEST(StoreCrash, BothManifestsGoneRecoversByDirectoryScan) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  auto index = BuildIndex(ds.polygons, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1000, grid, 73);
+  act::JoinStats want = index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  std::string dir = FreshDir("scan");
+  {
+    SnapshotStore store;
+    std::string error;
+    // "zones" is registered before "alpha": scan recovery must restore
+    // that first-Put order (via minimum surviving generation), not
+    // alphabetical order — positional catalog ids depend on it.
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    ASSERT_TRUE(store.Put("zones", *index, nullptr, &error)) << error;
+    ASSERT_TRUE(store.Put("alpha", *index, nullptr, &error)) << error;
+    ASSERT_TRUE(store.Put("zones", *index, nullptr, &error)) << error;
+  }
+  std::remove((dir + "/MANIFEST").c_str());
+  std::remove((dir + "/MANIFEST.bak").c_str());
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  std::vector<DatasetRecord> records = store.Datasets();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (DatasetRecord{"zones", 3}));  // newest on disk
+  EXPECT_EQ(records[1], (DatasetRecord{"alpha", 2}));
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("zones");
+  ASSERT_NE(loaded, nullptr);
+  ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
+                   want);
+  // Generation numbering resumes past everything seen on disk.
+  uint64_t gen = 0;
+  ASSERT_TRUE(store.Put("zones", *index, &gen, &error)) << error;
+  EXPECT_EQ(gen, 4u);
+}
+
+TEST(StoreCrash, SnapshotTruncationFallsBackToPreviousGeneration) {
+  // Truncate the *current* snapshot file at every (strided) offset: Load
+  // must type the failure and fall back to the previous generation, every
+  // time — one bad block costs a generation, not the dataset.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.03);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto gen1 = BuildIndex(first, grid, 2);
+  auto gen2 = BuildIndex(ds.polygons, grid, 2);
+
+  std::string dir = FreshDir("snap_trunc");
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir, .keep_generations = 2}, &error))
+      << error;
+  ASSERT_TRUE(store.Put("zones", *gen1, nullptr, &error)) << error;
+  ASSERT_TRUE(store.Put("zones", *gen2, nullptr, &error)) << error;
+
+  const std::string current = store.SnapshotPath("zones", 2);
+  const std::string pristine = ReadFile(current);
+  ASSERT_GT(pristine.size(), 256u);
+  size_t checked = 0;
+  for (size_t cut = 0; cut < pristine.size();
+       cut += (cut < 128 ? 1 : 1571)) {
+    WriteFile(current, pristine.substr(0, cut));
+    LoadReport report;
+    std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+    ASSERT_NE(loaded, nullptr) << "cut=" << cut << " " << report.detail;
+    EXPECT_TRUE(report.fell_back) << "cut=" << cut;
+    EXPECT_EQ(report.generation, 1u) << "cut=" << cut;
+    EXPECT_NE(report.error, LoadError::kNone) << "cut=" << cut;
+    EXPECT_EQ(loaded->num_polygons(), first.size()) << "cut=" << cut;
+    ++checked;
+  }
+  EXPECT_GT(checked, 128u);
+
+  // Restored: the current generation serves again, no fallback.
+  WriteFile(current, pristine);
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_EQ(report.generation, 2u);
+}
+
+TEST(StoreCrash, BitFlipInAnySectionIsTypedChecksumAndFallsBack) {
+  // Flip one byte inside each CRC-framed region of the snapshot file
+  // (header, shard metas, index bodies — strided across the whole file):
+  // the load must fail kBadChecksum / kBadData (never a wrong answer) and
+  // fall back to the intact previous generation.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.03);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto gen1 = BuildIndex(first, grid, 2);
+  auto gen2 = BuildIndex(ds.polygons, grid, 2);
+
+  std::string dir = FreshDir("bitflip");
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  ASSERT_TRUE(store.Put("zones", *gen1, nullptr, &error)) << error;
+  ASSERT_TRUE(store.Put("zones", *gen2, nullptr, &error)) << error;
+
+  const std::string current = store.SnapshotPath("zones", 2);
+  const std::string pristine = ReadFile(current);
+  for (size_t pos = 8; pos < pristine.size();
+       pos += std::max<size_t>(1, pristine.size() / 64)) {
+    std::string flipped = pristine;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+    WriteFile(current, flipped);
+    LoadReport report;
+    std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+    ASSERT_NE(loaded, nullptr) << "pos=" << pos;
+    EXPECT_TRUE(report.fell_back) << "pos=" << pos;
+    EXPECT_EQ(report.generation, 1u) << "pos=" << pos;
+    EXPECT_EQ(loaded->num_polygons(), first.size()) << "pos=" << pos;
+  }
+}
+
+// --- Garbage collection ----------------------------------------------------
+
+TEST(StoreGc, KeepsConfiguredGenerationsRemovesTmpAndStrays) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.03);
+  auto index = BuildIndex(ds.polygons, grid, 1);
+
+  std::string dir = FreshDir("gc");
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir, .keep_generations = 2}, &error))
+      << error;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Put("zones", *index, nullptr, &error)) << error;
+  }
+  // Crash leftovers: a stray tmp and a snapshot of a dataset the manifest
+  // does not know.
+  WriteFile(dir + "/zones-9.snap.tmp", "half-written");
+  WriteFile(dir + "/ghost-1.snap", "no manifest entry");
+
+  int removed = store.GarbageCollect(&error);
+  EXPECT_EQ(removed, 4) << error;  // gens 1+2, the tmp, the ghost
+  EXPECT_FALSE(FileExists(store.SnapshotPath("zones", 1)));
+  EXPECT_FALSE(FileExists(store.SnapshotPath("zones", 2)));
+  EXPECT_TRUE(FileExists(store.SnapshotPath("zones", 3)));   // fallback
+  EXPECT_TRUE(FileExists(store.SnapshotPath("zones", 4)));   // current
+  EXPECT_FALSE(FileExists(dir + "/zones-9.snap.tmp"));
+  EXPECT_FALSE(FileExists(dir + "/ghost-1.snap"));
+  EXPECT_EQ(store.GarbageCollect(&error), 0);  // idempotent
+}
+
+// --- Checkpointer ----------------------------------------------------------
+
+TEST(StoreCheckpointer, PersistsEachSwapOnceAndGarbageCollects) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto small = BuildIndex(first, grid, 2);
+  auto big = BuildIndex(ds.polygons, grid, 2);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("ckpt"), .keep_generations = 1},
+                         &error))
+      << error;
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  JoinService service(small, sopts);
+  ASSERT_TRUE(service.catalog().Add("extra", big).has_value());
+
+  CheckpointerOptions copts;
+  copts.autostart = false;  // deterministic, manually driven sweeps
+  Checkpointer ckpt(&store, &service, copts);
+
+  // First sweep: both datasets are new to the store.
+  EXPECT_EQ(ckpt.CheckpointNow(), 2u);
+  EXPECT_EQ(store.Datasets().size(), 2u);
+  // Nothing changed: a sweep persists nothing.
+  EXPECT_EQ(ckpt.CheckpointNow(), 0u);
+
+  // One dataset swaps; only it is re-persisted, and GC drops its old
+  // generation (keep_generations = 1).
+  service.SwapIndex(0, big);
+  EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+  CheckpointerStats stats = ckpt.stats();
+  EXPECT_EQ(stats.sweeps, 3u);
+  EXPECT_EQ(stats.checkpoints, 3u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GE(stats.files_removed, 1u);
+
+  // What the store now serves for "default" is the swapped-in snapshot.
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("default");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_polygons(), ds.polygons.size());
+}
+
+TEST(StoreCheckpointer, BackgroundThreadPersistsWithoutBlockingServing) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  auto index = BuildIndex(ds.polygons, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 500, grid, 74);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("ckpt_bg")}, &error)) << error;
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(index, sopts);
+  {
+    CheckpointerOptions copts;
+    copts.interval_ms = 1;
+    Checkpointer ckpt(&store, &service, copts);
+    // Serve while the checkpointer writes; swaps race the sweeps (TSan
+    // coverage for the pin-and-persist path).
+    for (int i = 0; i < 20; ++i) {
+      QueryBatch batch{pts.cell_ids(), pts.points(), JoinMode::kExact, 0};
+      service::JoinResult result = service.Submit(std::move(batch)).get();
+      EXPECT_GT(result.stats.result_pairs, 0u);
+      if (i % 5 == 0) service.SwapIndex(index);
+    }
+  }  // ~Checkpointer: Stop() joins the thread; in-flight Put completes
+
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("default");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_polygons(), ds.polygons.size());
+}
+
+// --- Warm restart: the acceptance contract ---------------------------------
+
+TEST(StoreWarmRestart, ServesEveryDatasetByteIdenticalOverTheWire) {
+  // The full round-trip property: an in-process service with two datasets
+  // answers batches; everything is persisted; the "process" is torn down;
+  // a new service warm-starts from the store alone and a JoinServer
+  // serves it over loopback. Every dataset must answer JOIN_BATCH with
+  // results byte-identical to the pre-restart in-process results, for
+  // both join modes — and the catalog must enumerate over the wire.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 75);
+
+  std::string dir = FreshDir("warm");
+  std::vector<service::JoinResult> want;  // [dataset][mode] flattened
+  {
+    auto zones = BuildIndex(first, grid, 2);
+    auto census = BuildIndex(ds.polygons, grid, 4);
+    ServiceOptions sopts;
+    sopts.worker_threads = 2;
+    JoinService service(sopts);  // empty catalog: the multi-dataset ctor
+    ASSERT_TRUE(service.catalog().Add("zones", zones).has_value());
+    ASSERT_TRUE(service.catalog().Add("census", census).has_value());
+
+    for (uint16_t dataset : {0, 1}) {
+      for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+        QueryBatch batch{pts.cell_ids(), pts.points(), mode, dataset};
+        want.push_back(service.Submit(std::move(batch)).get());
+        EXPECT_GT(want.back().stats.result_pairs, 0u);
+      }
+    }
+
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    Checkpointer ckpt(&store, &service, {.autostart = false});
+    EXPECT_EQ(ckpt.CheckpointNow(), 2u);
+  }  // the old process is gone; only the store directory survives
+
+  // --- Restart ---
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(sopts);
+  std::vector<std::string> failed;
+  ASSERT_EQ(WarmStart(store, &service.catalog(), &failed), 2u)
+      << (failed.empty() ? "" : failed[0]);
+  // Manifest order == Add order: ids reproduce.
+  EXPECT_EQ(service.catalog().IdOf("zones"), std::optional<uint16_t>(0));
+  EXPECT_EQ(service.catalog().IdOf("census"), std::optional<uint16_t>(1));
+
+  net::JoinServer server(&service, net::ServerOptions{});
+  ASSERT_TRUE(server.Start(&error)) << error;
+  net::JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+
+  // LIST_DATASETS enumerates the warm-started catalog.
+  std::vector<service::DatasetInfo> datasets;
+  ASSERT_TRUE(client.ListDatasets(&datasets, &error)) << error;
+  ASSERT_EQ(datasets.size(), 2u);
+  EXPECT_EQ(datasets[0].name, "zones");
+  EXPECT_EQ(datasets[0].num_polygons, first.size());
+  EXPECT_EQ(datasets[1].name, "census");
+  EXPECT_EQ(datasets[1].num_polygons, ds.polygons.size());
+
+  size_t i = 0;
+  for (uint16_t dataset : {0, 1}) {
+    for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+      QueryBatch batch{pts.cell_ids(), pts.points(), mode, dataset};
+      net::JoinClient::Reply reply = client.Join(batch);
+      ASSERT_TRUE(reply.ok) << reply.message;
+      ExpectStatsEqual(reply.result.stats, want[i].stats);
+      ++i;
+    }
+  }
+
+  // Unknown dataset over the wire: typed, connection intact.
+  QueryBatch bogus{pts.cell_ids(), pts.points(), JoinMode::kExact, 7};
+  net::JoinClient::Reply reply = client.Join(bogus);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, net::WireError::kUnknownDataset);
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.rejected_unknown_dataset, 1u);
+  EXPECT_EQ(stats.num_datasets, 2u);
+  server.Stop();
+}
+
+TEST(StoreWarmRestart, UnloadableDatasetGoesOfflineWithoutShiftingIds) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.03);
+  auto index = BuildIndex(ds.polygons, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 200, grid, 76);
+
+  std::string dir = FreshDir("warm_partial");
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+  ASSERT_TRUE(store.Put("bad", *index, nullptr, &error)) << error;
+  ASSERT_TRUE(store.Put("good", *index, nullptr, &error)) << error;
+  // Total loss of "bad": its only snapshot truncated to garbage.
+  WriteFile(store.SnapshotPath("bad", 1), "ACTS");
+
+  // "bad" registered first, so its id slot (0) must survive its death —
+  // a client that cached id 1 for "good" must keep reaching "good", not
+  // have every later dataset shift down onto the wrong data.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  JoinService service(sopts);
+  std::vector<std::string> failed;
+  EXPECT_EQ(WarmStart(store, &service.catalog(), &failed), 1u);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].substr(0, 4), "bad:");
+  EXPECT_EQ(service.catalog().IdOf("bad"), std::optional<uint16_t>(0));
+  EXPECT_EQ(service.catalog().IdOf("good"), std::optional<uint16_t>(1));
+  EXPECT_FALSE(service.catalog().Servable(0));
+  EXPECT_TRUE(service.catalog().Servable(1));
+
+  // The offline slot rejects typed; the survivor serves.
+  QueryBatch to_bad{pts.cell_ids(), pts.points(), JoinMode::kExact, 0};
+  EXPECT_EQ(service.TrySubmit(std::move(to_bad), nullptr),
+            service::SubmitStatus::kUnknownDataset);
+  QueryBatch to_good{pts.cell_ids(), pts.points(), JoinMode::kExact, 1};
+  EXPECT_GT(service.Submit(std::move(to_good)).get().stats.result_pairs, 0u);
+
+  // Publishing a repaired snapshot brings the offline dataset back.
+  service.SwapIndex(0, index);
+  QueryBatch repaired{pts.cell_ids(), pts.points(), JoinMode::kExact, 0};
+  EXPECT_GT(service.Submit(std::move(repaired)).get().stats.result_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace actjoin::store
