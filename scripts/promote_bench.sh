@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Promote a build's bench-smoke report into the checked-in perf trajectory.
+#
+#   scripts/promote_bench.sh 6            # build/bench_smoke.json -> BENCH_6.json
+#   scripts/promote_bench.sh 7 build/release
+#
+# Each BENCH_<n>.json is the verbatim bench_smoke.json of PR <n>: one JSON
+# line per bench binary ({"name":...,"throughput_mps":...,"wall_ms":...}),
+# written by a full `ctest -L bench_smoke` run (the reset fixture guarantees
+# exactly one line per binary). Committing one per PR gives the roadmap's
+# perf trajectory an in-repo record that diffs meaningfully across PRs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+n=${1:?usage: $0 <pr-number> [build-dir]}
+build_dir=${2:-build}
+src="${build_dir}/bench_smoke.json"
+dst="BENCH_${n}.json"
+
+if ! [ -s "${src}" ]; then
+  echo "error: ${src} missing or empty — run ctest -L bench_smoke first" >&2
+  exit 1
+fi
+# Every line must be a complete record; a partial line means a bench was
+# interrupted mid-append and the report is not trustworthy.
+if grep -nv '"name".*"throughput_mps".*"wall_ms"' "${src}" >&2; then
+  echo "error: ${src} has malformed lines (above) — re-run the smoke suite" >&2
+  exit 1
+fi
+
+cp "${src}" "${dst}"
+echo "promoted ${src} ($(wc -l <"${src}") benches) -> ${dst}"

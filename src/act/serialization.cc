@@ -192,6 +192,17 @@ bool ParseCovering(std::span<const uint8_t> payload, size_t n_polys,
 
 }  // namespace
 
+void AppendPolygonsBlob(const std::vector<geom::Polygon>& polygons,
+                        util::ByteWriter* w) {
+  AppendPolygons(polygons, w);
+}
+
+bool ParsePolygonsBlob(std::span<const uint8_t> payload,
+                       std::vector<geom::Polygon>* polygons,
+                       LoadError* error) {
+  return ParsePolygons(payload, polygons, error);
+}
+
 const char* ToString(LoadError error) {
   switch (error) {
     case LoadError::kNone:

@@ -82,6 +82,26 @@ void AppendIndexBody(const PolygonIndex& index, util::ByteWriter* w);
 std::optional<PolygonIndex> ParseIndexBody(std::span<const uint8_t> bytes,
                                            size_t* offset, LoadError* error);
 
+// --- Polygon blob codec ----------------------------------------------------
+// The v2 polygons-section payload, exposed standalone: u64 count, then per
+// polygon a u32 ring count and per ring a u32 vertex count followed by f64
+// x/y pairs. Reused by the wire protocol's ADD_POLYGONS payload and the
+// snapshot store's delta records, so a polygon batch is encoded identically
+// whether it travels over the wire, sits in a delta file, or is embedded in
+// a full snapshot.
+
+/// Appends the raw polygon blob (no section framing) for `polygons`.
+void AppendPolygonsBlob(const std::vector<geom::Polygon>& polygons,
+                        util::ByteWriter* w);
+
+/// Parses a blob written by AppendPolygonsBlob. The payload must be exactly
+/// one blob (trailing bytes fail as kBadData); vertices are validated
+/// (finite, >= 3 per ring) and forged counts are bounded by the payload
+/// size before any allocation.
+bool ParsePolygonsBlob(std::span<const uint8_t> payload,
+                       std::vector<geom::Polygon>* polygons,
+                       LoadError* error);
+
 // --- Whole-file API --------------------------------------------------------
 
 /// Writes the index to `path` (format v2). Returns false on I/O failure.

@@ -98,6 +98,61 @@ JoinClient::Reply JoinClient::Join(const service::QueryBatch& batch) {
   return reply;
 }
 
+JoinClient::Reply JoinClient::AddPolygons(
+    uint16_t dataset_id, const std::vector<geom::Polygon>& polygons) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> frame =
+      EncodeAddPolygonsFrame(id, dataset_id, polygons);
+  if (frame.size() > max_frame_bytes_) {
+    reply.message = "polygon batch exceeds max_frame_bytes";
+    return reply;
+  }
+  std::vector<uint8_t> payload;
+  if (!Call(frame, id, MessageType::kMutateResult, &payload, &reply)) {
+    return reply;
+  }
+  if (!DecodeMutationAck(payload, &reply.ack)) {
+    Close();
+    reply.ok = false;
+    reply.message = "undecodable mutation ack";
+  }
+  return reply;
+}
+
+JoinClient::Reply JoinClient::RemovePolygons(
+    uint16_t dataset_id, const std::vector<uint32_t>& polygon_ids) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeRemovePolygonsFrame(id, dataset_id, polygon_ids), id,
+            MessageType::kMutateResult, &payload, &reply)) {
+    return reply;
+  }
+  if (!DecodeMutationAck(payload, &reply.ack)) {
+    Close();
+    reply.ok = false;
+    reply.message = "undecodable mutation ack";
+  }
+  return reply;
+}
+
+JoinClient::Reply JoinClient::DropDataset(uint16_t dataset_id) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeDropDatasetFrame(id, dataset_id), id,
+            MessageType::kMutateResult, &payload, &reply)) {
+    return reply;
+  }
+  if (!DecodeMutationAck(payload, &reply.ack)) {
+    Close();
+    reply.ok = false;
+    reply.message = "undecodable mutation ack";
+  }
+  return reply;
+}
+
 bool JoinClient::Ping(std::string* error) {
   Reply reply;
   const uint64_t id = next_request_id_++;

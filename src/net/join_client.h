@@ -47,6 +47,8 @@ class JoinClient {
     std::string message;
     /// Valid only for Join() with ok == true.
     service::JoinResult result;
+    /// Valid only for the mutation RPCs with ok == true.
+    MutationAck ack;
   };
 
   /// Round-trips one JOIN_BATCH against batch.dataset_id. The batch's
@@ -54,6 +56,16 @@ class JoinClient {
   /// without that dataset answers with a recoverable kUnknownDataset
   /// error — list the catalog and retry on the same connection.
   Reply Join(const service::QueryBatch& batch);
+
+  /// Live mutations (wire v3). On ok, Reply.ack carries the published
+  /// epoch / id assignments; a tombstoned target answers with the
+  /// recoverable kDatasetDropped, a content-refused batch with
+  /// kInvalidMutation — the connection survives both.
+  Reply AddPolygons(uint16_t dataset_id,
+                    const std::vector<geom::Polygon>& polygons);
+  Reply RemovePolygons(uint16_t dataset_id,
+                       const std::vector<uint32_t>& polygon_ids);
+  Reply DropDataset(uint16_t dataset_id);
 
   bool Ping(std::string* error = nullptr);
   bool GetStats(service::ServiceStats* out, std::string* error = nullptr);

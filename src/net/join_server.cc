@@ -466,6 +466,11 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
     case MessageType::kJoinBatch:
       HandleJoinBatch(t, io, conn, header, payload);
       return;
+    case MessageType::kAddPolygons:
+    case MessageType::kRemovePolygons:
+    case MessageType::kDropDataset:
+      HandleMutation(t, io, conn, header, payload);
+      return;
     default:
       // Framing is intact, only the type is unknown: typed error, keep the
       // connection (a newer client may mix in messages we don't speak).
@@ -496,11 +501,15 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
   // costs O(1). Ids and snapshots are assigned-only, so a positive check
   // cannot be invalidated later.
   if (!service_->catalog().Servable(header.dataset_id)) {
+    // A tombstoned id gets the more specific error: the id exists, its
+    // data was dropped — retrying with the same id is pointless until a
+    // full publish resurrects it.
+    WireError code = service_->catalog().IsDropped(header.dataset_id)
+                         ? WireError::kDatasetDropped
+                         : WireError::kUnknownDataset;
     rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
-    QueueResponse(
-        io, conn,
-        EncodeErrorFrame(header.request_id, WireError::kUnknownDataset,
-                         ToString(WireError::kUnknownDataset)));
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(header.request_id, code, ToString(code)));
     return;
   }
   const size_t bytes = payload.size();
@@ -583,6 +592,177 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
       case service::SubmitStatus::kUnknownDataset:
         // Unreachable in practice (checked pre-admission above), but the
         // mapping stays total in case the service grows new door checks.
+        code = WireError::kUnknownDataset;
+        break;
+      default:
+        code = WireError::kShuttingDown;
+        break;
+    }
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(request_id, code, ToString(code)));
+  }
+}
+
+void JoinServer::HandleMutation(int t, IoThread& io, Connection& conn,
+                                const FrameHeader& header,
+                                std::span<const uint8_t> payload) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+  // Ids the catalog never assigned are knowable from the header alone:
+  // reject before the admission knobs (no rate token) and before the
+  // decode (O(1)). Tombstones likewise. Anything subtler — an offline
+  // snapshot, a drop racing this frame — is re-checked authoritatively by
+  // the service, whose typed verdict wins.
+  if (!service_->catalog().Contains(header.dataset_id) ||
+      service_->catalog().IsDropped(header.dataset_id)) {
+    WireError code = service_->catalog().IsDropped(header.dataset_id)
+                         ? WireError::kDatasetDropped
+                         : WireError::kUnknownDataset;
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(header.request_id, code, ToString(code)));
+    return;
+  }
+  const size_t bytes = payload.size();
+  Admission verdict =
+      admission_.TryAdmit(bytes, service_->QueueDepth(), conn.peer);
+  if (verdict != Admission::kAdmitted) {
+    WireError code = ToWireError(verdict);
+    QueueResponse(io, conn, EncodeErrorFrame(header.request_id, code,
+                                             ToString(code)));
+    return;
+  }
+
+  // Refund discipline: a mutation that fails anywhere past this point —
+  // undecodable payload, drain, door rejection, or the service's own
+  // typed refusal — gets a full Refund (bytes *and* rate token), never a
+  // bare Release. It caused no index work, and a client whose update was
+  // refused typed must not also find its rate bucket drained. Exactly one
+  // of Refund / Release runs per admitted frame.
+  std::vector<geom::Polygon> add;
+  std::vector<uint32_t> remove;
+  bool decoded = true;
+  switch (header.type) {
+    case MessageType::kAddPolygons:
+      decoded = DecodeAddPolygons(payload, &add);
+      break;
+    case MessageType::kRemovePolygons:
+      decoded = DecodeRemovePolygons(payload, &remove);
+      break;
+    default:  // kDropDataset carries no payload
+      decoded = payload.empty();
+      break;
+  }
+  if (!decoded) {
+    admission_.Refund(bytes, conn.peer);
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                         ToString(WireError::kMalformedPayload)));
+    return;
+  }
+
+  bool stopping_now = false;
+  {
+    // Authoritative stopping check; see HandleJoinBatch.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      stopping_now = true;
+    } else {
+      ++inflight_joins_;
+    }
+  }
+  if (stopping_now) {
+    admission_.Refund(bytes, conn.peer);
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+
+  const uint64_t conn_id = conn.id;
+  const uint64_t request_id = header.request_id;
+  const uint16_t dataset_id = header.dataset_id;
+  const MessageType op = header.type;
+  // The apply itself — clone-on-write over the touched shards — takes
+  // milliseconds, far too long for the epoll loop: it runs on a service
+  // worker via the mutation queue.
+  service::SubmitStatus status = service_->TryMutateAsync(
+      dataset_id,
+      [this, t, conn_id, request_id, bytes, dataset_id, op,
+       peer = conn.peer, add = std::move(add),
+       remove = std::move(remove)]() mutable {
+        service::MutationResult r;
+        switch (op) {
+          case MessageType::kAddPolygons:
+            r = service_->AddPolygons(dataset_id, std::move(add));
+            break;
+          case MessageType::kRemovePolygons:
+            r = service_->RemovePolygons(dataset_id, std::move(remove));
+            break;
+          default:
+            r = service_->DropDataset(dataset_id);
+            break;
+        }
+        std::vector<uint8_t> frame;
+        if (r.status == service::MutationStatus::kApplied) {
+          MutationAck ack;
+          ack.op = op;
+          ack.epoch = r.epoch;
+          ack.num_polygons = r.num_polygons;
+          ack.first_id = r.first_id;
+          admission_.Release(bytes);
+          frame = EncodeMutateResultFrame(request_id, ack);
+        } else {
+          WireError code;
+          switch (r.status) {
+            case service::MutationStatus::kUnknownDataset:
+              code = WireError::kUnknownDataset;
+              break;
+            case service::MutationStatus::kDropped:
+              code = WireError::kDatasetDropped;
+              break;
+            case service::MutationStatus::kInvalidMutation:
+              code = WireError::kInvalidMutation;
+              break;
+            default:
+              code = WireError::kShuttingDown;
+              break;
+          }
+          admission_.Refund(bytes, peer);
+          frame = EncodeErrorFrame(request_id, code, ToString(code));
+        }
+        DeliverAsync(t, conn_id, std::move(frame));
+        {
+          // Notify under the lock; see the join completion hook.
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          --inflight_joins_;
+          inflight_cv_.notify_all();
+        }
+      });
+  if (status != service::SubmitStatus::kAccepted) {
+    // The door dropped the work closure unrun: full refund.
+    admission_.Refund(bytes, conn.peer);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_joins_;
+      inflight_cv_.notify_all();
+    }
+    WireError code;
+    switch (status) {
+      case service::SubmitStatus::kQueueFull:
+        code = WireError::kQueueFull;
+        break;
+      case service::SubmitStatus::kUnknownDataset:
         code = WireError::kUnknownDataset;
         break;
       default:

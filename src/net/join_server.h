@@ -132,6 +132,14 @@ class JoinServer {
   void HandleJoinBatch(int t, IoThread& io, Connection& conn,
                        const FrameHeader& header,
                        std::span<const uint8_t> payload);
+  /// ADD_POLYGONS / REMOVE_POLYGONS / DROP_DATASET: same admission and
+  /// drain discipline as joins, but routed through TryMutateAsync so the
+  /// clone-on-write apply runs on a service worker, never the epoll loop.
+  /// A mutation that fails after admission refunds its rate token and
+  /// bytes exactly once (it caused no index work).
+  void HandleMutation(int t, IoThread& io, Connection& conn,
+                      const FrameHeader& header,
+                      std::span<const uint8_t> payload);
   /// Appends a response and flushes as much as the socket accepts.
   void QueueResponse(IoThread& io, Connection& conn,
                      std::vector<uint8_t> frame);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "act/serialization.h"
 #include "util/check.h"
 
 namespace actjoin::net {
@@ -32,6 +33,10 @@ const char* ToString(WireError error) {
       return "service shutting down";
     case WireError::kUnknownDataset:
       return "unknown dataset id";
+    case WireError::kDatasetDropped:
+      return "dataset dropped";
+    case WireError::kInvalidMutation:
+      return "invalid mutation";
   }
   return "unknown error";
 }
@@ -62,11 +67,16 @@ FrameParse TryParseFrame(std::span<const uint8_t> buffer,
   header->payload_bytes = r.U32();
   uint32_t reserved2 = r.U32();
 
-  // dataset_id is meaningful only on JOIN_BATCH; everywhere else the
-  // field keeps its v1 must-be-zero contract so it stays available as
-  // compatible-extension space (and client conformance bugs fail loudly).
+  // dataset_id is meaningful only on JOIN_BATCH and the mutation
+  // requests; everywhere else the field keeps its v1 must-be-zero
+  // contract so it stays available as compatible-extension space (and
+  // client conformance bugs fail loudly).
+  const bool routed = header->type == MessageType::kJoinBatch ||
+                      header->type == MessageType::kAddPolygons ||
+                      header->type == MessageType::kRemovePolygons ||
+                      header->type == MessageType::kDropDataset;
   if (magic != kWireMagic || reserved2 != 0 ||
-      (header->dataset_id != 0 && header->type != MessageType::kJoinBatch)) {
+      (header->dataset_id != 0 && !routed)) {
     // A bad magic means the id field is garbage too; don't echo it.
     header->request_id = magic != kWireMagic ? 0 : header->request_id;
     *error = WireError::kMalformedFrame;
@@ -231,6 +241,8 @@ void AppendServiceStats(const service::ServiceStats& stats,
   w->PutU64(stats.queue_depth);
   w->PutU64(stats.epoch);
   w->PutU64(stats.num_datasets);
+  w->PutU64(stats.mutations_applied);
+  w->PutU64(stats.rejected_mutations);
   w->PutU32(static_cast<uint32_t>(stats.peers.size()));
   for (const service::PeerAdmissionStats& peer : stats.peers) {
     w->PutString(peer.peer);
@@ -263,6 +275,8 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
   out->queue_depth = static_cast<size_t>(r.U64());
   out->epoch = r.U64();
   out->num_datasets = r.U64();
+  out->mutations_applied = r.U64();
+  out->rejected_mutations = r.U64();
   uint32_t num_peers = r.U32();
   // A peer entry costs >= 20 payload bytes; bounding by what actually
   // arrived keeps a forged count from reserving attacker-sized buffers.
@@ -280,14 +294,15 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
   return r.AtEnd();
 }
 
-// DatasetInfo payload: u32 count, per dataset: u16 id, u16 reserved, u32
-// num_shards, u64 epoch, u64 num_polygons, length-prefixed name.
+// DatasetInfo payload: u32 count, per dataset: u16 id, u16 flags (bit 0:
+// dropped; was reserved in v2), u32 num_shards, u64 epoch, u64
+// num_polygons, length-prefixed name.
 void AppendDatasetList(const std::vector<service::DatasetInfo>& datasets,
                        util::ByteWriter* w) {
   w->PutU32(static_cast<uint32_t>(datasets.size()));
   for (const service::DatasetInfo& ds : datasets) {
     w->PutU16(ds.id);
-    w->PutU16(0);
+    w->PutU16(ds.dropped ? 1 : 0);
     w->PutU32(ds.num_shards);
     w->PutU64(ds.epoch);
     w->PutU64(ds.num_polygons);
@@ -306,15 +321,77 @@ bool DecodeDatasetList(std::span<const uint8_t> payload,
   for (uint32_t i = 0; i < count; ++i) {
     service::DatasetInfo ds;
     ds.id = r.U16();
-    uint16_t reserved = r.U16();
+    uint16_t flags = r.U16();
     ds.num_shards = r.U32();
     ds.epoch = r.U64();
     ds.num_polygons = r.U64();
     ds.name = r.String();
-    if (!r.ok() || reserved != 0) return false;
+    if (!r.ok() || flags > 1) return false;
+    ds.dropped = (flags & 1) != 0;
     out->push_back(std::move(ds));
   }
   return r.AtEnd();
+}
+
+// ADD_POLYGONS payload: exactly the act polygons blob (shared with the
+// snapshot store's delta records), so the server can hand the decoded
+// polygons straight to the mutation path.
+void AppendAddPolygons(const std::vector<geom::Polygon>& polygons,
+                       util::ByteWriter* w) {
+  act::AppendPolygonsBlob(polygons, w);
+}
+
+bool DecodeAddPolygons(std::span<const uint8_t> payload,
+                       std::vector<geom::Polygon>* out) {
+  act::LoadError error = act::LoadError::kNone;
+  return act::ParsePolygonsBlob(payload, out, &error);
+}
+
+// REMOVE_POLYGONS payload: u32 count, then count u32 global polygon ids.
+void AppendRemovePolygons(const std::vector<uint32_t>& ids,
+                          util::ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(ids.size()));
+  for (uint32_t id : ids) w->PutU32(id);
+}
+
+bool DecodeRemovePolygons(std::span<const uint8_t> payload,
+                          std::vector<uint32_t>* out) {
+  util::ByteReader r(payload);
+  uint32_t n = r.U32();
+  // Exact-size check before allocating (see DecodeQueryBatch).
+  if (!r.ok() || r.remaining() != static_cast<size_t>(n) * 4) return false;
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) (*out)[i] = r.U32();
+  return r.AtEnd();
+}
+
+// MUTATE_RESULT payload: u8 op, u8[3] reserved, u32 first_id, u64 epoch,
+// u64 num_polygons.
+void AppendMutationAck(const MutationAck& ack, util::ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(ack.op));
+  w->PutU8(0);
+  w->PutU16(0);
+  w->PutU32(ack.first_id);
+  w->PutU64(ack.epoch);
+  w->PutU64(ack.num_polygons);
+}
+
+bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out) {
+  util::ByteReader r(payload);
+  uint8_t op = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  out->first_id = r.U32();
+  out->epoch = r.U64();
+  out->num_polygons = r.U64();
+  if (!r.ok() || !r.AtEnd() || pad8 != 0 || pad16 != 0) return false;
+  if (op != static_cast<uint8_t>(MessageType::kAddPolygons) &&
+      op != static_cast<uint8_t>(MessageType::kRemovePolygons) &&
+      op != static_cast<uint8_t>(MessageType::kDropDataset)) {
+    return false;
+  }
+  out->op = static_cast<MessageType>(op);
+  return true;
 }
 
 // Error payload: u16 code, u16 reserved, length-prefixed message.
@@ -356,6 +433,39 @@ std::vector<uint8_t> EncodeDatasetListFrame(
   util::ByteWriter w(kFrameHeaderBytes + 8 + datasets.size() * 64);
   BeginFrame(&w, MessageType::kDatasetList, request_id);
   AppendDatasetList(datasets, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeAddPolygonsFrame(
+    uint64_t request_id, uint16_t dataset_id,
+    const std::vector<geom::Polygon>& polygons) {
+  util::ByteWriter w(kFrameHeaderBytes + 16 + polygons.size() * 64);
+  BeginFrame(&w, MessageType::kAddPolygons, request_id, dataset_id);
+  AppendAddPolygons(polygons, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeRemovePolygonsFrame(
+    uint64_t request_id, uint16_t dataset_id,
+    const std::vector<uint32_t>& ids) {
+  util::ByteWriter w(kFrameHeaderBytes + 8 + ids.size() * 4);
+  BeginFrame(&w, MessageType::kRemovePolygons, request_id, dataset_id);
+  AppendRemovePolygons(ids, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeDropDatasetFrame(uint64_t request_id,
+                                            uint16_t dataset_id) {
+  util::ByteWriter w(kFrameHeaderBytes);
+  BeginFrame(&w, MessageType::kDropDataset, request_id, dataset_id);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
+                                             const MutationAck& ack) {
+  util::ByteWriter w(kFrameHeaderBytes + 24);
+  BeginFrame(&w, MessageType::kMutateResult, request_id);
+  AppendMutationAck(ack, &w);
   return FinishFrame(std::move(w));
 }
 

@@ -6,8 +6,8 @@
 //   0       u32   magic "ACTJ" (0x4A544341 when read little-endian)
 //   4       u8    protocol version (kWireVersion)
 //   5       u8    message type (MessageType)
-//   6       u16   dataset id (JOIN_BATCH requests; 0 elsewhere — was the
-//                 reserved field in protocol v1)
+//   6       u16   dataset id (JOIN_BATCH and the mutation requests; 0
+//                 elsewhere — was the reserved field in protocol v1)
 //   8       u64   request id: chosen by the client, echoed verbatim in the
 //                 response, so replies can be matched under pipelining
 //   16      u32   payload length in bytes
@@ -16,13 +16,14 @@
 //
 // All integers are little-endian; doubles travel as their IEEE-754 bit
 // pattern (util::ByteWriter / ByteReader). Requests are JOIN_BATCH, PING,
-// STATS, LIST_DATASETS, and SHUTDOWN; every request gets exactly one
+// STATS, LIST_DATASETS, SHUTDOWN, and the mutation trio ADD_POLYGONS /
+// REMOVE_POLYGONS / DROP_DATASET; every request gets exactly one
 // response — the matching success type or ERROR with a typed WireError
-// code. Admission rejections and UNKNOWN_DATASET are ordinary ERROR
-// responses: the server never blocks and never drops the connection for
-// them. Framing errors (bad magic, bad version, oversized frame) are not
-// recoverable — the server answers with ERROR and closes, because byte
-// sync is lost.
+// code. Admission rejections, UNKNOWN_DATASET, DATASET_DROPPED, and
+// INVALID_MUTATION are ordinary ERROR responses: the server never blocks
+// and never drops the connection for them. Framing errors (bad magic, bad
+// version, oversized frame) are not recoverable — the server answers with
+// ERROR and closes, because byte sync is lost.
 //
 // Versioning rules: the header layout is frozen; kWireVersion bumps
 // whenever any payload layout changes. A server answers a frame carrying a
@@ -31,7 +32,11 @@
 // offset 6 into dataset_id, added LIST_DATASETS / DATASET_LIST and the
 // UNKNOWN_DATASET error, and extended the STATS_RESULT payload with the
 // unknown-dataset reject counter, the dataset count, and per-peer
-// admission splits.
+// admission splits. v3 added the live-mutation requests (ADD_POLYGONS /
+// REMOVE_POLYGONS / DROP_DATASET -> MUTATE_RESULT), the DATASET_DROPPED
+// and INVALID_MUTATION errors, the mutation counters in STATS_RESULT, and
+// turned the DATASET_LIST per-entry reserved u16 into a flags field
+// (bit 0: dropped).
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -42,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "geometry/polygon.h"
 #include "service/join_service.h"
 #include "service/service_stats.h"
 #include "util/byte_io.h"
@@ -49,7 +55,7 @@
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -57,17 +63,23 @@ inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
 
 enum class MessageType : uint8_t {
   // Requests.
-  kJoinBatch = 1,      // QueryBatch payload -> kJoinResult
-  kPing = 2,           // empty payload      -> kPong
-  kStats = 3,          // empty payload      -> kStatsResult
-  kShutdown = 4,       // empty payload      -> kShutdownAck (+ server flag)
-  kListDatasets = 5,   // empty payload      -> kDatasetList
+  kJoinBatch = 1,       // QueryBatch payload -> kJoinResult
+  kPing = 2,            // empty payload      -> kPong
+  kStats = 3,           // empty payload      -> kStatsResult
+  kShutdown = 4,        // empty payload      -> kShutdownAck (+ server flag)
+  kListDatasets = 5,    // empty payload      -> kDatasetList
+  // Live mutations (v3). All carry the target in the header's dataset_id
+  // and answer with kMutateResult on success.
+  kAddPolygons = 6,     // polygons blob      -> kMutateResult
+  kRemovePolygons = 7,  // u32 count + ids    -> kMutateResult
+  kDropDataset = 8,     // empty payload      -> kMutateResult
   // Responses.
   kJoinResult = 65,
   kPong = 66,
   kStatsResult = 67,
   kShutdownAck = 68,
   kDatasetList = 69,
+  kMutateResult = 70,
   kError = 127,
 };
 
@@ -91,6 +103,14 @@ enum class WireError : uint16_t {
   /// JOIN_BATCH against a dataset id the catalog never assigned. The
   /// connection survives: fetch LIST_DATASETS and retry with a real id.
   kUnknownDataset = 26,
+  /// The dataset id is assigned but tombstoned by DROP_DATASET: joins and
+  /// mutations against it reject typed (the slot may be resurrected by a
+  /// later full publish). Connection survives.
+  kDatasetDropped = 27,
+  /// A mutation the service refused on its content: empty add/remove,
+  /// remove ids out of range, polygon id space exhausted. Connection
+  /// survives.
+  kInvalidMutation = 28,
 };
 
 const char* ToString(WireError error);
@@ -102,7 +122,8 @@ bool IsRecoverable(WireError error);
 struct FrameHeader {
   uint8_t version = kWireVersion;
   MessageType type = MessageType::kPing;
-  /// Target dataset for JOIN_BATCH; 0 on every other message.
+  /// Target dataset for JOIN_BATCH and the mutation requests; 0 on every
+  /// other message.
   uint16_t dataset_id = 0;
   uint64_t request_id = 0;
   uint32_t payload_bytes = 0;
@@ -147,6 +168,38 @@ void AppendDatasetList(const std::vector<service::DatasetInfo>& datasets,
 bool DecodeDatasetList(std::span<const uint8_t> payload,
                        std::vector<service::DatasetInfo>* out);
 
+/// MUTATE_RESULT payload: what a successful mutation published.
+struct MutationAck {
+  /// Echo of the request's MessageType (kAddPolygons / kRemovePolygons /
+  /// kDropDataset), so a pipelined client can sanity-check the pairing.
+  MessageType op = MessageType::kAddPolygons;
+  /// Snapshot epoch the mutation published.
+  uint64_t epoch = 0;
+  /// Dataset polygon-id-space size after the mutation (removed ids keep
+  /// their slots; 0 after a drop).
+  uint64_t num_polygons = 0;
+  /// First global id assigned to the added polygons (kAddPolygons only;
+  /// the batch got [first_id, first_id + count) in order).
+  uint32_t first_id = 0;
+
+  friend bool operator==(const MutationAck&, const MutationAck&) = default;
+};
+
+/// ADD_POLYGONS payload: the act polygons blob (u64 count, then rings).
+void AppendAddPolygons(const std::vector<geom::Polygon>& polygons,
+                       util::ByteWriter* w);
+bool DecodeAddPolygons(std::span<const uint8_t> payload,
+                       std::vector<geom::Polygon>* out);
+
+/// REMOVE_POLYGONS payload: u32 count, then count u32 global polygon ids.
+void AppendRemovePolygons(const std::vector<uint32_t>& ids,
+                          util::ByteWriter* w);
+bool DecodeRemovePolygons(std::span<const uint8_t> payload,
+                          std::vector<uint32_t>* out);
+
+void AppendMutationAck(const MutationAck& ack, util::ByteWriter* w);
+bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out);
+
 bool DecodeError(std::span<const uint8_t> payload, WireError* code,
                  std::string* message);
 
@@ -160,6 +213,16 @@ std::vector<uint8_t> EncodeStatsResultFrame(
     uint64_t request_id, const service::ServiceStats& stats);
 std::vector<uint8_t> EncodeDatasetListFrame(
     uint64_t request_id, const std::vector<service::DatasetInfo>& datasets);
+std::vector<uint8_t> EncodeAddPolygonsFrame(
+    uint64_t request_id, uint16_t dataset_id,
+    const std::vector<geom::Polygon>& polygons);
+std::vector<uint8_t> EncodeRemovePolygonsFrame(
+    uint64_t request_id, uint16_t dataset_id,
+    const std::vector<uint32_t>& ids);
+std::vector<uint8_t> EncodeDropDatasetFrame(uint64_t request_id,
+                                            uint16_t dataset_id);
+std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
+                                             const MutationAck& ack);
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
                                       std::string_view message);
 /// PING / PONG / STATS / SHUTDOWN / SHUTDOWN_ACK carry no payload.

@@ -19,6 +19,7 @@
 #ifndef ACTJOIN_SERVICE_HOT_CELL_CACHE_H_
 #define ACTJOIN_SERVICE_HOT_CELL_CACHE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -85,9 +86,16 @@ class HotCellCache {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      // Refresh in place (covers the stale-epoch overwrite).
-      it->second->epoch = epoch;
-      it->second->refs = std::move(refs);
+      // Never downgrade: a worker still pinning an older snapshot may race
+      // its Insert against one from the new epoch (or against
+      // InvalidateRanges carrying the entry forward). Writing the old
+      // epoch's refs over the newer entry would leave a (new epoch, stale
+      // refs) pair visible to the next Lookup once the epochs collide —
+      // the stale-read window the Delta* TSan regression hammers. The
+      // entry is replaced wholesale under the shard lock, epoch and refs
+      // together, so a Lookup can never observe one without the other.
+      if (it->second->epoch > epoch) return;
+      *it->second = Entry{key, epoch, std::move(refs)};
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
@@ -97,6 +105,60 @@ class HotCellCache {
     }
     shard.lru.push_front(Entry{key, epoch, std::move(refs)});
     shard.map.emplace(key, shard.lru.begin());
+  }
+
+  /// Migrates a dataset's entries across a delta publish: entries whose
+  /// cell falls inside one of the sorted, coalesced `ranges` (leaf-id
+  /// intervals [first, last] — ShardedIndex::DeltaResult::touched_ranges)
+  /// are erased; every other entry still replays byte-identically against
+  /// the new snapshot, so it is carried forward from `old_epoch` to
+  /// `new_epoch` instead of being left to age out as a miss. Entries at
+  /// other epochs (older snapshots still pinned by in-flight joins) are
+  /// left alone. This is what makes a delta invalidate exactly the touched
+  /// (dataset, cell) entries rather than logically flushing the dataset.
+  void InvalidateRanges(
+      uint16_t dataset, uint64_t old_epoch, uint64_t new_epoch,
+      const std::vector<std::pair<uint64_t, uint64_t>>& ranges) {
+    auto touched = [&](uint64_t cell) {
+      auto it = std::upper_bound(
+          ranges.begin(), ranges.end(), cell,
+          [](uint64_t c, const std::pair<uint64_t, uint64_t>& r) {
+            return c < r.first;
+          });
+      return it != ranges.begin() && cell <= std::prev(it)->second;
+    };
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (it->key.dataset != dataset || it->epoch != old_epoch) {
+          ++it;
+          continue;
+        }
+        if (touched(it->key.cell)) {
+          shard->map.erase(it->key);
+          it = shard->lru.erase(it);
+        } else {
+          it->epoch = new_epoch;
+          ++it;
+        }
+      }
+    }
+  }
+
+  /// Drops every entry of one dataset regardless of epoch (DROP_DATASET:
+  /// nothing cached for it can ever be replayed again).
+  void InvalidateDataset(uint16_t dataset) {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (it->key.dataset == dataset) {
+          shard->map.erase(it->key);
+          it = shard->lru.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }

@@ -37,6 +37,22 @@ const char* ToString(SubmitStatus status) {
   return "unknown";
 }
 
+const char* ToString(MutationStatus status) {
+  switch (status) {
+    case MutationStatus::kApplied:
+      return "applied";
+    case MutationStatus::kUnknownDataset:
+      return "unknown dataset";
+    case MutationStatus::kDropped:
+      return "dataset dropped";
+    case MutationStatus::kInvalidMutation:
+      return "invalid mutation";
+    case MutationStatus::kShutDown:
+      return "shut down";
+  }
+  return "unknown";
+}
+
 JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
     : JoinService(opts) {
   ACT_CHECK_MSG(catalog_.Add("default", std::move(initial)).has_value(),
@@ -131,7 +147,155 @@ SubmitStatus JoinService::TrySubmitAsync(QueryBatch batch,
 uint64_t JoinService::SwapIndex(uint16_t dataset_id, Snapshot next) {
   ServiceCatalog::Registry* registry = catalog_.Find(dataset_id);
   ACT_CHECK_MSG(registry != nullptr, "SwapIndex on an unassigned dataset id");
-  return registry->Publish(std::move(next));
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  uint64_t epoch = registry->Publish(std::move(next));
+  // A full publish obsoletes the delta chain: nothing at or before this
+  // epoch will ever need replay, and a tombstoned dataset is resurrected.
+  if (MutationJournal* journal = catalog_.JournalOf(dataset_id)) {
+    journal->Reset(epoch);
+  }
+  catalog_.MarkDropped(dataset_id, false);
+  return epoch;
+}
+
+MutationResult JoinService::AddPolygons(uint16_t dataset_id,
+                                        std::vector<geom::Polygon> polygons) {
+  return Mutate(dataset_id, MutationRecord::Kind::kAdd, std::move(polygons),
+                {});
+}
+
+MutationResult JoinService::RemovePolygons(
+    uint16_t dataset_id, std::vector<uint32_t> polygon_ids) {
+  return Mutate(dataset_id, MutationRecord::Kind::kRemove, {},
+                std::move(polygon_ids));
+}
+
+MutationResult JoinService::DropDataset(uint16_t dataset_id) {
+  return Mutate(dataset_id, MutationRecord::Kind::kDrop, {}, {});
+}
+
+MutationResult JoinService::Mutate(uint16_t dataset_id,
+                                   MutationRecord::Kind kind,
+                                   std::vector<geom::Polygon> add,
+                                   std::vector<uint32_t> remove) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  MutationResult out;
+  ServiceCatalog::Registry* registry = catalog_.Find(dataset_id);
+  if (registry == nullptr || registry->epoch() == 0) {
+    out.status = MutationStatus::kUnknownDataset;
+    stats_.RecordRejectedMutation();
+    return out;
+  }
+  if (catalog_.IsDropped(dataset_id)) {
+    out.status = MutationStatus::kDropped;
+    stats_.RecordRejectedMutation();
+    return out;
+  }
+
+  uint64_t old_epoch = 0;
+  Snapshot base = registry->Acquire(&old_epoch);
+  Snapshot next;
+  ShardedIndex::DeltaResult delta_result;
+  switch (kind) {
+    case MutationRecord::Kind::kAdd: {
+      // Polygon ids are 30-bit (act::kMaxPolygonId); a batch that would
+      // overflow the id space rejects whole, like an out-of-range remove.
+      if (add.empty() ||
+          base->num_polygons() + add.size() > act::kMaxPolygonId + uint64_t{1}) {
+        out.status = MutationStatus::kInvalidMutation;
+        stats_.RecordRejectedMutation();
+        return out;
+      }
+      for (const geom::Polygon& p : add) {
+        if (p.rings().empty()) {
+          out.status = MutationStatus::kInvalidMutation;
+          stats_.RecordRejectedMutation();
+          return out;
+        }
+      }
+      ShardedIndex::Delta delta;
+      delta.add = add;
+      delta_result = ShardedIndex::ApplyDelta(*base, delta);
+      next = delta_result.index;
+      out.first_id = delta_result.first_added_id;
+      break;
+    }
+    case MutationRecord::Kind::kRemove: {
+      if (remove.empty()) {
+        out.status = MutationStatus::kInvalidMutation;
+        stats_.RecordRejectedMutation();
+        return out;
+      }
+      for (uint32_t gid : remove) {
+        if (gid >= base->num_polygons()) {
+          out.status = MutationStatus::kInvalidMutation;
+          stats_.RecordRejectedMutation();
+          return out;
+        }
+      }
+      ShardedIndex::Delta delta;
+      delta.remove = remove;
+      delta_result = ShardedIndex::ApplyDelta(*base, delta);
+      next = delta_result.index;
+      break;
+    }
+    case MutationRecord::Kind::kDrop: {
+      // Retire by publishing an empty snapshot (catalog rule: datasets are
+      // never removed) and tombstoning the id before the publish, so no
+      // new join admits against the dropped name.
+      next = std::make_shared<const ShardedIndex>(ShardedIndex::Build(
+          {}, base->grid(), base->options()));
+      catalog_.MarkDropped(dataset_id, true);
+      break;
+    }
+  }
+
+  out.epoch = registry->Publish(std::move(next));
+  out.num_polygons =
+      kind == MutationRecord::Kind::kDrop
+          ? 0
+          : base->num_polygons() + add.size();
+  if (cell_cache_ != nullptr) {
+    if (kind == MutationRecord::Kind::kDrop) {
+      cell_cache_->InvalidateDataset(dataset_id);
+    } else {
+      cell_cache_->InvalidateRanges(dataset_id, old_epoch, out.epoch,
+                                    delta_result.touched_ranges);
+    }
+  }
+  if (MutationJournal* journal = catalog_.JournalOf(dataset_id)) {
+    MutationRecord rec;
+    rec.kind = kind;
+    rec.epoch = out.epoch;
+    rec.added = std::move(add);
+    rec.removed = std::move(remove);
+    journal->Append(std::move(rec));
+  }
+  stats_.RecordMutationApplied();
+  return out;
+}
+
+SubmitStatus JoinService::TryMutateAsync(uint16_t dataset_id,
+                                         std::function<void()> work) {
+  // Unlike the join door, a dropped or offline dataset still enqueues:
+  // the mutation's own typed verdict (kDropped / kUnknownDataset) is more
+  // useful to the client than a generic door rejection, and the race
+  // between a door check and the worker running the mutation is decided
+  // once, inside Mutate, under the mutation mutex.
+  if (!catalog_.Contains(dataset_id)) {
+    stats_.RecordRejectedMutation();
+    return SubmitStatus::kUnknownDataset;
+  }
+  auto req = std::make_unique<Request>();
+  req->batch.dataset_id = dataset_id;
+  req->work = std::move(work);
+  if (queue_.TryPush(req)) return SubmitStatus::kAccepted;
+  if (queue_.closed()) {
+    stats_.RecordRejectedShutdown();
+    return SubmitStatus::kShutDown;
+  }
+  stats_.RecordRejectedQueueFull();
+  return SubmitStatus::kQueueFull;
 }
 
 void JoinService::Shutdown() {
@@ -280,6 +444,13 @@ act::JoinStats JoinService::CachedJoin(const ShardedIndex& index,
 }
 
 void JoinService::Execute(Request& req, int worker_id) {
+  if (req.work) {
+    // Mutation task: runs the delta apply + publish on this worker thread
+    // and delivers its own typed result; none of the join bookkeeping
+    // below applies.
+    req.work();
+    return;
+  }
   double queue_wait_ms = req.enqueued.ElapsedMillis();
   util::WallTimer service_timer;
 

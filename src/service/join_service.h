@@ -98,6 +98,30 @@ enum class SubmitStatus {
 
 const char* ToString(SubmitStatus status);
 
+/// Typed verdict of a live mutation (AddPolygons / RemovePolygons /
+/// DropDataset). Everything except kApplied left the dataset untouched.
+enum class MutationStatus {
+  kApplied = 0,
+  kUnknownDataset,   // id unassigned, or assigned but offline (no snapshot)
+  kDropped,          // tombstoned: only a full SwapIndex can resurrect it
+  kInvalidMutation,  // empty batch, out-of-range ids, or id space exhausted
+  kShutDown,         // service no longer accepts work
+};
+
+const char* ToString(MutationStatus status);
+
+struct MutationResult {
+  MutationStatus status = MutationStatus::kApplied;
+  /// Epoch the mutation published (0 unless kApplied).
+  uint64_t epoch = 0;
+  /// AddPolygons: global id assigned to the first added polygon (they are
+  /// contiguous from here). 0 for the other operations.
+  uint32_t first_id = 0;
+  /// Size of the dataset's id space after the mutation (assign-only, so
+  /// removals do not shrink it).
+  uint64_t num_polygons = 0;
+};
+
 /// One request: owned point data (the service outlives the caller's
 /// buffers), the join mode, and the target dataset. dataset_id 0 is the
 /// first dataset added — for a single-dataset service constructed the
@@ -166,8 +190,49 @@ class JoinService {
   uint64_t SwapIndex(Snapshot next) { return SwapIndex(0, std::move(next)); }
 
   /// Publishes a new snapshot for one dataset of the catalog; the id must
-  /// be assigned.
+  /// be assigned. A full publish resets the dataset's mutation journal
+  /// (the next checkpoint starts a fresh delta chain) and clears a
+  /// DROP_DATASET tombstone — this is how a dropped dataset is
+  /// resurrected.
   uint64_t SwapIndex(uint16_t dataset_id, Snapshot next);
+
+  // --- Live mutation (wire protocol v3 meets the paper's update path) ------
+  //
+  // Each call applies one delta copy-on-write (ShardedIndex::ApplyDelta)
+  // and publishes the result through the dataset's SnapshotRegistry:
+  // in-flight joins finish on the snapshot they pinned, the hot-cell
+  // cache invalidates exactly the touched (dataset, cell) entries, and
+  // the mutation is appended to the dataset's journal so the Checkpointer
+  // can persist it as an O(churn) delta file. Mutations serialize on one
+  // mutation mutex (publishes stay epoch-contiguous for the journal);
+  // joins never take it.
+
+  /// Appends polygons; ids are assigned contiguously from the dataset's
+  /// current num_polygons (MutationResult::first_id).
+  MutationResult AddPolygons(uint16_t dataset_id,
+                             std::vector<geom::Polygon> polygons);
+
+  /// Removes polygons by global id; ids stay assigned (zero counts
+  /// forever) and are never reused. Out-of-range ids reject the whole
+  /// batch typed; removing an already-removed id is a no-op.
+  MutationResult RemovePolygons(uint16_t dataset_id,
+                                std::vector<uint32_t> polygon_ids);
+
+  /// Retires the dataset: publishes an empty snapshot and tombstones the
+  /// id (joins and further mutations reject typed; the id and name stay
+  /// assigned). A later full SwapIndex resurrects it.
+  MutationResult DropDataset(uint16_t dataset_id);
+
+  /// Queue-routed mutation for the event-driven front-end: on kAccepted,
+  /// `work` runs exactly once on a worker thread — mutations take
+  /// milliseconds and must never run on the epoll loop. `work` itself
+  /// calls AddPolygons / RemovePolygons / DropDataset and delivers the
+  /// typed result; the door here only rejects ids the catalog never
+  /// assigned (a dropped or offline dataset still enqueues, so the
+  /// mutation's own typed verdict — not a generic door rejection — makes
+  /// it back to the client). On rejection `work` is dropped unrun.
+  SubmitStatus TryMutateAsync(uint16_t dataset_id,
+                              std::function<void()> work);
 
   /// Pins and returns dataset 0's published snapshot (null before any
   /// dataset exists).
@@ -204,12 +269,18 @@ class JoinService {
     /// Completion hook (TrySubmitAsync); when set, the result goes here
     /// instead of the promise.
     std::function<void(JoinResult)> done;
+    /// Mutation task (TryMutateAsync); when set, the worker runs it and
+    /// the join fields above are unused.
+    std::function<void()> work;
     util::WallTimer enqueued;  // starts ticking at Submit time
   };
 
   void WorkerLoop(int worker_id);
   void Execute(Request& req, int worker_id);
   SubmitStatus Enqueue(std::unique_ptr<Request> req);
+  MutationResult Mutate(uint16_t dataset_id, MutationRecord::Kind kind,
+                        std::vector<geom::Polygon> add,
+                        std::vector<uint32_t> remove);
   act::JoinStats CachedJoin(const ShardedIndex& index,
                             const act::JoinInput& input, act::JoinMode mode,
                             uint16_t dataset_id, uint64_t epoch);
@@ -222,6 +293,10 @@ class JoinService {
   ServiceStatsRecorder stats_;
   std::vector<std::thread> workers_;
   std::mutex lifecycle_mu_;  // guards Start/Shutdown transitions
+  /// Serializes mutations and full swaps across all datasets, so each
+  /// journal sees its publishes in epoch order with no gaps. Never taken
+  /// on the join path.
+  std::mutex mutation_mu_;
   bool started_ = false;
   bool shut_down_ = false;
 };

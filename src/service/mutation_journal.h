@@ -1,0 +1,137 @@
+// MutationJournal: the in-memory change log that maps snapshot epochs onto
+// delta records, one journal per dataset.
+//
+// The Gromox-style contract (change numbers onto generations): every live
+// mutation publishes a new snapshot epoch through SnapshotRegistry, and the
+// journal remembers, for a contiguous epoch interval (base, last], exactly
+// what changed at each epoch. The Checkpointer then persists the span
+// (persisted_epoch, current_epoch] as an O(churn) delta file instead of
+// rewriting the whole index — but only when the journal still covers that
+// span. A full-snapshot publish (SwapIndex) or journal overflow resets the
+// chain, which simply downgrades the next checkpoint to a full rewrite;
+// coverage is an optimization contract, never a correctness one.
+//
+// Thread safety: all methods lock the journal's own mutex. Writers (the
+// mutation path, which already serializes publishes per service) append;
+// the Checkpointer snapshots and prunes concurrently from its sweep thread.
+
+#ifndef ACTJOIN_SERVICE_MUTATION_JOURNAL_H_
+#define ACTJOIN_SERVICE_MUTATION_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace actjoin::service {
+
+/// What one epoch changed. Exactly one of the three kinds per record:
+/// kAdd carries the appended polygons (ids were assigned contiguously from
+/// the dataset's previous num_polygons), kRemove the removed global ids,
+/// kDrop nothing (the dataset was retired; ids stay assign-only and the
+/// epoch keeps counting, so a later full publish can resurrect the slot).
+struct MutationRecord {
+  enum class Kind : uint8_t { kAdd = 1, kRemove = 2, kDrop = 3 };
+  Kind kind = Kind::kAdd;
+  uint64_t epoch = 0;
+  std::vector<geom::Polygon> added;    // kAdd
+  std::vector<uint32_t> removed;       // kRemove
+};
+
+class MutationJournal {
+ public:
+  /// Records kept per journal before it declares overflow. Bounds serving
+  /// memory for a dataset whose checkpointer is slow or stopped; past the
+  /// cap the journal stops covering and the next checkpoint is a full
+  /// snapshot (which prunes everything and restarts the chain).
+  static constexpr size_t kMaxRecords = 1024;
+
+  /// Forgets everything and restarts the chain at `epoch` (a full publish:
+  /// nothing before or at `epoch` will ever need delta replay).
+  void Reset(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    base_epoch_ = epoch;
+    overflowed_ = false;
+  }
+
+  /// Appends the record for a freshly published epoch. Epochs must arrive
+  /// in publish order (the mutation path serializes them); a gap — e.g. a
+  /// record arriving after a Reset raced ahead — breaks coverage the same
+  /// way overflow does.
+  void Append(MutationRecord rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t expected =
+        records_.empty() ? base_epoch_ + 1 : records_.back().epoch + 1;
+    if (rec.epoch != expected) {
+      records_.clear();
+      overflowed_ = true;
+      base_epoch_ = rec.epoch;
+      return;
+    }
+    if (records_.size() >= kMaxRecords) {
+      overflowed_ = true;
+      return;
+    }
+    records_.push_back(std::move(rec));
+  }
+
+  /// True when the journal holds a record for every epoch in (from, to] —
+  /// the precondition for persisting that span as a delta.
+  bool Covers(uint64_t from_epoch, uint64_t to_epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return CoversLocked(from_epoch, to_epoch);
+  }
+
+  /// Copies the records for (from, to]; empty when not covered.
+  std::vector<MutationRecord> Snapshot(uint64_t from_epoch,
+                                       uint64_t to_epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MutationRecord> out;
+    if (!CoversLocked(from_epoch, to_epoch)) return out;
+    for (const MutationRecord& rec : records_) {
+      if (rec.epoch > from_epoch && rec.epoch <= to_epoch) {
+        out.push_back(rec);
+      }
+    }
+    return out;
+  }
+
+  /// Drops records at or below `epoch` (they are durable now).
+  void Prune(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!records_.empty() && records_.front().epoch <= epoch) {
+      records_.pop_front();
+    }
+    if (base_epoch_ < epoch) base_epoch_ = epoch;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  bool CoversLocked(uint64_t from_epoch, uint64_t to_epoch) const {
+    if (from_epoch > to_epoch || overflowed_) return false;
+    if (from_epoch == to_epoch) return true;
+    if (records_.empty()) return false;
+    // Records are contiguous by construction; the interval is covered iff
+    // both endpoints are within [front-1, back].
+    return records_.front().epoch <= from_epoch + 1 &&
+           to_epoch <= records_.back().epoch;
+  }
+
+  mutable std::mutex mu_;
+  /// Epochs <= base_epoch_ never need replay (full snapshot or pruned).
+  uint64_t base_epoch_ = 0;
+  bool overflowed_ = false;
+  std::deque<MutationRecord> records_;  // contiguous epochs, ascending
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_MUTATION_JOURNAL_H_

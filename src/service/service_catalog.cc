@@ -85,6 +85,7 @@ std::vector<DatasetInfo> ServiceCatalog::List() const {
       info.num_polygons = snap->num_polygons();
       info.num_shards = static_cast<uint32_t>(snap->num_shards());
     }
+    info.dropped = entries[i]->dropped.load(std::memory_order_acquire);
     out.push_back(std::move(info));
   }
   return out;

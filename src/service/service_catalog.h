@@ -17,8 +17,12 @@
 // Ids are assigned densely in Add() order and are never reused; datasets
 // are never removed (retiring a dataset is publishing an empty index —
 // removal would turn every in-flight id into a use-after-free question).
-// The id space is u16 because the wire header carries dataset_id in the
-// reserved u16 at offset 6.
+// DROP_DATASET follows the same rule: it publishes an empty snapshot and
+// sets a tombstone flag on the id, so the slot (and the name) stay
+// assigned, joins against it reject typed (kDatasetDropped, not
+// kUnknownDataset), and a later full publish can resurrect it. The id
+// space is u16 because the wire header carries dataset_id in the reserved
+// u16 at offset 6.
 
 #ifndef ACTJOIN_SERVICE_SERVICE_CATALOG_H_
 #define ACTJOIN_SERVICE_SERVICE_CATALOG_H_
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "service/index_registry.h"
+#include "service/mutation_journal.h"
 #include "service/sharded_index.h"
 
 namespace actjoin::service {
@@ -44,6 +49,7 @@ struct DatasetInfo {
   uint64_t epoch = 0;          // current snapshot epoch (0: none published)
   uint64_t num_polygons = 0;   // of the current snapshot
   uint32_t num_shards = 0;     // of the current snapshot
+  bool dropped = false;        // tombstoned by DROP_DATASET
 
   friend bool operator==(const DatasetInfo&, const DatasetInfo&) = default;
 };
@@ -99,12 +105,40 @@ class ServiceCatalog {
   bool Contains(uint16_t id) const { return Find(id) != nullptr; }
 
   /// True when the id is assigned *and* has a published snapshot (an
-  /// AddOffline reservation becomes servable at its first Publish).
-  /// Snapshots are only ever added, so a true verdict cannot be
-  /// invalidated by the time a request executes.
+  /// AddOffline reservation becomes servable at its first Publish) *and*
+  /// is not tombstoned. Snapshots are only ever added, so — dropping
+  /// aside — a true verdict cannot be invalidated by the time a request
+  /// executes; a drop racing a join merely serves the join from the last
+  /// pre-drop snapshot, the same guarantee any hot swap gives.
   bool Servable(uint16_t id) const {
-    const Registry* registry = Find(id);
-    return registry != nullptr && registry->epoch() != 0;
+    if (id >= size_.load(std::memory_order_acquire)) return false;
+    const Dataset& ds = *datasets_[id];
+    return ds.registry.epoch() != 0 &&
+           !ds.dropped.load(std::memory_order_acquire);
+  }
+
+  /// True when the id is assigned and tombstoned by DROP_DATASET. Lock-free
+  /// like Find: the serving path uses this to turn a rejection into the
+  /// typed kDatasetDropped instead of kUnknownDataset.
+  bool IsDropped(uint16_t id) const {
+    if (id >= size_.load(std::memory_order_acquire)) return false;
+    return datasets_[id]->dropped.load(std::memory_order_acquire);
+  }
+
+  /// Sets / clears the tombstone. Publishing a fresh full snapshot through
+  /// JoinService::SwapIndex resurrects a dropped dataset (clears the flag);
+  /// ids and names stay assigned either way.
+  void MarkDropped(uint16_t id, bool dropped) {
+    if (id >= size_.load(std::memory_order_acquire)) return;
+    datasets_[id]->dropped.store(dropped, std::memory_order_release);
+  }
+
+  /// The dataset's mutation journal (epoch -> delta records, consumed by
+  /// the Checkpointer). Stable pointer, same lifetime rules as Find();
+  /// null for an unassigned id.
+  MutationJournal* JournalOf(uint16_t id) {
+    if (id >= size_.load(std::memory_order_acquire)) return nullptr;
+    return &datasets_[id]->journal;
   }
 
   /// All datasets in id order, with live epoch/snapshot figures.
@@ -116,6 +150,8 @@ class ServiceCatalog {
   struct Dataset {
     std::string name;
     Registry registry;
+    MutationJournal journal;
+    std::atomic<bool> dropped{false};
   };
 
   std::optional<uint16_t> AddEntry(const std::string& name, Snapshot initial);

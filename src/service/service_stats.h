@@ -56,6 +56,12 @@ struct ServiceStats {
   /// (ServiceOptions.cell_cache_capacity == 0).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Live mutations (ADD_POLYGONS / REMOVE_POLYGONS / DROP_DATASET)
+  /// published as new epochs, and mutations refused with a typed error
+  /// (unknown dataset, dropped dataset, invalid payload). Not part of
+  /// rejected_requests: a refused mutation is not a refused join.
+  uint64_t mutations_applied = 0;
+  uint64_t rejected_mutations = 0;
   uint64_t points_served = 0;
   double uptime_s = 0;
   double qps = 0;                   // completed_requests / uptime
@@ -101,6 +107,14 @@ class ServiceStatsRecorder {
     rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  void RecordMutationApplied() {
+    mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordRejectedMutation() {
+    rejected_mutations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Merges all worker slots; `queue_depth` and `epoch` are provided by
   /// the service (they live outside the recorder).
   ServiceStats Snapshot(size_t queue_depth, uint64_t epoch) const {
@@ -120,6 +134,9 @@ class ServiceStatsRecorder {
         rejected_unknown_dataset_.load(std::memory_order_relaxed);
     out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown +
                             out.rejected_unknown_dataset;
+    out.mutations_applied = mutations_applied_.load(std::memory_order_relaxed);
+    out.rejected_mutations =
+        rejected_mutations_.load(std::memory_order_relaxed);
     out.uptime_s = uptime_.ElapsedSeconds();
     if (out.uptime_s > 0) {
       out.qps = static_cast<double>(out.completed_requests) / out.uptime_s;
@@ -147,6 +164,8 @@ class ServiceStatsRecorder {
   std::atomic<uint64_t> rejected_queue_full_{0};
   std::atomic<uint64_t> rejected_shutdown_{0};
   std::atomic<uint64_t> rejected_unknown_dataset_{0};
+  std::atomic<uint64_t> mutations_applied_{0};
+  std::atomic<uint64_t> rejected_mutations_{0};
   util::WallTimer uptime_;
 };
 

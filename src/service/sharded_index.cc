@@ -76,11 +76,162 @@ ShardedIndex ShardedIndex::Build(const std::vector<geom::Polygon>& polygons,
     std::vector<geom::Polygon> subset;
     subset.reserve(shard.global_ids.size());
     for (uint32_t pid : shard.global_ids) subset.push_back(polygons[pid]);
-    shard.index = std::make_unique<const act::PolygonIndex>(
+    shard.index = std::make_shared<const act::PolygonIndex>(
         act::PolygonIndex::Build(subset, grid, out.opts_.build));
   }
   out.build_seconds_ = timer.ElapsedSeconds();
   return out;
+}
+
+namespace {
+
+// Collapses an unsorted interval list into sorted, coalesced form so the
+// cache invalidation walk can binary-search it.
+void NormalizeRanges(std::vector<std::pair<uint64_t, uint64_t>>* ranges) {
+  if (ranges->empty()) return;
+  std::sort(ranges->begin(), ranges->end());
+  size_t w = 0;
+  for (size_t i = 1; i < ranges->size(); ++i) {
+    auto& cur = (*ranges)[w];
+    const auto& next = (*ranges)[i];
+    // Adjacent leaf intervals coalesce too (max avoids overflow bait).
+    if (next.first <= cur.second || next.first == cur.second + 1) {
+      cur.second = std::max(cur.second, next.second);
+    } else {
+      (*ranges)[++w] = next;
+    }
+  }
+  ranges->resize(w + 1);
+}
+
+}  // namespace
+
+ShardedIndex::DeltaResult ShardedIndex::ApplyDelta(const ShardedIndex& base,
+                                                   const Delta& delta) {
+  util::WallTimer timer;
+  const int ns = static_cast<int>(base.shards_.size());
+  DeltaResult result;
+  result.first_added_id = static_cast<uint32_t>(base.num_polygons_);
+
+  auto out = std::make_shared<ShardedIndex>(ShardedIndex(base.grid_));
+  out->opts_ = base.opts_;
+  out->num_polygons_ = base.num_polygons_ + delta.add.size();
+  out->shards_.resize(ns);
+
+  // Membership vector over the base id space; removes of already-removed
+  // ids are harmless no-ops in the per-shard rebuilds below.
+  std::vector<bool> removed(base.num_polygons_, false);
+  for (uint32_t gid : delta.remove) {
+    ACT_CHECK_MSG(gid < base.num_polygons_,
+                  "removed polygon id out of range");
+    removed[gid] = true;
+  }
+
+  // Route added polygons to shards exactly as Build does, so a delta-built
+  // index and a from-scratch Build over the final set agree shard by shard.
+  int threads = base.opts_.build.threads <= 0 ? util::DefaultThreadCount()
+                                              : base.opts_.build.threads;
+  cover::CovererOptions routing_opts{base.opts_.routing_cover_cells,
+                                     geo::CellId::kMaxLevel, 0};
+  std::vector<std::vector<geo::CellId>> routing(delta.add.size());
+  util::ParallelFor(delta.add.size(), threads, /*batch=*/1,
+                    [&](uint64_t begin, uint64_t end, int) {
+                      for (uint64_t i = begin; i < end; ++i) {
+                        routing[i] = cover::ComputeCovering(delta.add[i],
+                                                            base.grid_,
+                                                            routing_opts);
+                      }
+                    });
+  // added_in[s] holds positions into delta.add, in id order.
+  std::vector<std::vector<uint32_t>> added_in(ns);
+  std::vector<uint32_t> last_assigned(ns, UINT32_MAX);
+  for (uint32_t i = 0; i < delta.add.size(); ++i) {
+    for (const geo::CellId& cell : routing[i]) {
+      int s0 = base.ShardOf(cell.range_min().id());
+      int s1 = base.ShardOf(cell.range_max().id());
+      for (int s = s0; s <= s1; ++s) {
+        if (last_assigned[s] != i) {
+          last_assigned[s] = i;
+          added_in[s].push_back(i);
+        }
+      }
+    }
+  }
+
+  for (int s = 0; s < ns; ++s) {
+    const Shard& from = base.shards_[s];
+    Shard& to = out->shards_[s];
+
+    // Shard-local ids of polygons this delta removes from shard s.
+    std::vector<uint32_t> removed_local;
+    for (uint32_t local = 0; local < from.global_ids.size(); ++local) {
+      if (removed[from.global_ids[local]]) removed_local.push_back(local);
+    }
+
+    if (added_in[s].empty() && removed_local.empty()) {
+      // Untouched: alias the base shard's trie into the new snapshot.
+      to.index = from.index;
+      to.global_ids = from.global_ids;
+      continue;
+    }
+
+    // Clone-on-write: reuse the shard's already-computed covering, drop
+    // the removed references, extend with the added polygons' coverings.
+    const size_t old_local_count = from.global_ids.size();
+    to.global_ids = from.global_ids;
+    std::vector<geom::Polygon> subset;
+    subset.reserve(added_in[s].size());
+    for (uint32_t i : added_in[s]) {
+      subset.push_back(delta.add[i]);
+      to.global_ids.push_back(result.first_added_id + i);
+    }
+    if (from.index == nullptr) {
+      to.index = std::make_shared<const act::PolygonIndex>(
+          act::PolygonIndex::Build(subset, base.grid_, base.opts_.build));
+    } else {
+      act::PolygonIndex next = from.index->Clone();
+      if (!removed_local.empty()) next.RemovePolygons(removed_local);
+      if (!subset.empty()) next.AddPolygons(subset);
+      to.index = std::make_shared<const act::PolygonIndex>(std::move(next));
+    }
+
+    // Invalidation set: every base covering cell that referenced a removed
+    // polygon (its reference list shrank, or the cell vanished entirely)
+    // and every new covering cell referencing an added polygon. Cells a
+    // conflict split merely subdivided keep their reference lists, so
+    // cached probe replays for them stay byte-identical.
+    if (!removed_local.empty() && from.index != nullptr) {
+      std::vector<bool> removed_here(old_local_count, false);
+      for (uint32_t local : removed_local) removed_here[local] = true;
+      const act::SuperCovering& cov = from.index->covering();
+      for (size_t i = 0; i < cov.size(); ++i) {
+        for (const act::PolygonRef& r : cov.refs(i)) {
+          if (removed_here[r.polygon_id]) {
+            result.touched_ranges.emplace_back(
+                cov.cell(i).range_min().id(), cov.cell(i).range_max().id());
+            break;
+          }
+        }
+      }
+    }
+    if (!added_in[s].empty()) {
+      const act::SuperCovering& cov = to.index->covering();
+      for (size_t i = 0; i < cov.size(); ++i) {
+        for (const act::PolygonRef& r : cov.refs(i)) {
+          if (r.polygon_id >= old_local_count) {
+            result.touched_ranges.emplace_back(
+                cov.cell(i).range_min().id(), cov.cell(i).range_max().id());
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  NormalizeRanges(&result.touched_ranges);
+  out->build_seconds_ = timer.ElapsedSeconds();
+  result.index = std::move(out);
+  return result;
 }
 
 ShardedIndex ShardedIndex::FromParts(const geo::Grid& grid,

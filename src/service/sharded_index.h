@@ -24,13 +24,21 @@
 // against the covering cells of its own shard.
 //
 // A ShardedIndex is immutable after Build, making it a snapshot type for
-// SnapshotRegistry / JoinService hot swaps.
+// SnapshotRegistry / JoinService hot swaps. Live mutation therefore never
+// edits a published index: ApplyDelta clones only the shards a delta
+// touches (clone-on-write at shard granularity — the covering, the
+// expensive build phase, is reused and only extended for the new
+// polygons), shares every untouched shard's trie with the base snapshot,
+// and returns a new index to publish through the registry swap, plus the
+// leaf-id ranges whose probe results changed so the hot-cell cache can
+// invalidate exactly the touched (dataset, cell) entries.
 
 #ifndef ACTJOIN_SERVICE_SHARDED_INDEX_H_
 #define ACTJOIN_SERVICE_SHARDED_INDEX_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -74,9 +82,11 @@ class ShardedIndex {
 
   /// One persisted shard: the (possibly null, for an empty shard) per-shard
   /// index plus its local-to-global polygon id map. The unit the snapshot
-  /// store serializes.
+  /// store serializes. Shared ownership is what makes delta application
+  /// cheap: an untouched shard's index is aliased into the next snapshot
+  /// instead of copied.
   struct ShardParts {
-    std::unique_ptr<const act::PolygonIndex> index;  // null when empty
+    std::shared_ptr<const act::PolygonIndex> index;  // null when empty
     std::vector<uint32_t> global_ids;                // local pid -> global
   };
 
@@ -90,6 +100,40 @@ class ShardedIndex {
                                 const ShardingOptions& opts,
                                 size_t num_polygons,
                                 std::vector<ShardParts> parts);
+
+  /// One live mutation against a published snapshot: polygons to append
+  /// (assigned the next global ids, in order) and/or global ids to remove.
+  /// Ids are assign-only — a removed id keeps its slot (zero counts
+  /// forever) and is never reused, exactly as with
+  /// act::PolygonIndex::RemovePolygons.
+  struct Delta {
+    std::vector<geom::Polygon> add;
+    std::vector<uint32_t> remove;  // global polygon ids, < num_polygons()
+  };
+
+  /// ApplyDelta's output: the next snapshot plus the cache-invalidation
+  /// set. `touched_ranges` is a sorted, coalesced list of leaf-cell-id
+  /// intervals [first, last] covering every covering cell whose reference
+  /// list changed; a cached probe result for a leaf outside every range is
+  /// still byte-identical against the new snapshot.
+  struct DeltaResult {
+    std::shared_ptr<const ShardedIndex> index;
+    std::vector<std::pair<uint64_t, uint64_t>> touched_ranges;
+    uint32_t first_added_id = 0;
+  };
+
+  /// Applies a delta copy-on-write: shards whose polygon set changes are
+  /// cloned (reusing their already-computed coverings; only the added
+  /// polygons' coverings are computed, which is what makes delta-apply ≪ a
+  /// full rebuild) and re-encoded; untouched shards are shared with
+  /// `base`. The result is a fully independent snapshot to publish through
+  /// SnapshotRegistry; `base` is never modified and in-flight joins
+  /// against it are unaffected. Incremental insertion and fresh build
+  /// produce the same covering, so joins against the result are
+  /// byte-identical to a from-scratch Build over the final polygon set
+  /// with the same id assignment. Ids in `delta.remove` must be <
+  /// base.num_polygons() (checked).
+  static DeltaResult ApplyDelta(const ShardedIndex& base, const Delta& delta);
 
   /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
   /// by shard, splits each shard's slice into (shard, sub-range) task
@@ -155,7 +199,7 @@ class ShardedIndex {
 
  private:
   struct Shard {
-    std::unique_ptr<const act::PolygonIndex> index;  // null when empty
+    std::shared_ptr<const act::PolygonIndex> index;  // null when empty
     std::vector<uint32_t> global_ids;                // local pid -> global
   };
 

@@ -17,6 +17,7 @@ Checkpointer::Checkpointer(SnapshotStore* store,
                 "Checkpointer requires a store and a service");
   ACT_CHECK_MSG(store_->is_open(), "Checkpointer requires an open store");
   if (opts_.interval_ms < 1) opts_.interval_ms = 1;
+  if (opts_.max_delta_chain < 0) opts_.max_delta_chain = 0;
   if (opts_.autostart) Start();
 }
 
@@ -30,21 +31,30 @@ void Checkpointer::Start() {
 }
 
 void Checkpointer::Stop() {
+  bool join_thread = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
+    if (stop_) return;  // second Stop: the first already quiesced
     stop_ = true;
+    join_thread = running_;
   }
-  cv_.notify_all();
-  thread_.join();
-  {
+  if (join_thread) {
+    cv_.notify_all();
+    thread_.join();
     std::lock_guard<std::mutex> lock(mu_);
     running_ = false;
   }
-  // Final sweep: a clean shutdown persists every epoch that was published
+  // Quiesce: a clean shutdown persists every epoch that was published
   // before Stop — the crash-loss window exists for crashes, not for
-  // orderly exits.
-  CheckpointNow();
+  // orderly exits. One final sweep is not enough: an epoch published
+  // between that sweep's catalog scan and its return would be missed, so
+  // sweep until a whole sweep finds nothing new. This runs whether or not
+  // the background thread was ever started — an autostart=false
+  // checkpointer owes Stop the same durability. (The loop assumes the
+  // mutation source is wound down around shutdown; a writer that never
+  // stops would keep the quiesce honest but busy.)
+  while (CheckpointNow() > 0) {
+  }
 }
 
 void Checkpointer::Loop() {
@@ -61,10 +71,18 @@ void Checkpointer::Loop() {
 uint64_t Checkpointer::CheckpointNow() {
   std::lock_guard<std::mutex> sweep_lock(sweep_mu_);
   uint64_t persisted = 0;
+  uint64_t delta_persisted = 0;
   uint64_t failures = 0;
+  // The compaction decision needs the *on-disk* chain length, not
+  // in-memory state: one store catalog read per sweep.
+  std::map<std::string, size_t> chain_len;
+  for (const DatasetRecord& rec : store_->Datasets()) {
+    chain_len[rec.name] = rec.delta_generations.size();
+  }
   for (const service::DatasetInfo& info : service_->catalog().List()) {
     auto it = persisted_epoch_.find(info.name);
-    if (it != persisted_epoch_.end() && it->second >= info.epoch) continue;
+    const uint64_t last = it != persisted_epoch_.end() ? it->second : 0;
+    if (last >= info.epoch) continue;
 
     // Pin the snapshot *with* its epoch: the registry hands them out
     // consistently, so the pair we persist is a state that was actually
@@ -77,14 +95,64 @@ uint64_t Checkpointer::CheckpointNow() {
     service::ServiceCatalog::Snapshot snapshot = registry->Acquire(&epoch);
     if (snapshot == nullptr) continue;
 
+    service::MutationJournal* journal =
+        service_->catalog().JournalOf(info.id);
     std::string error;
-    if (store_->Put(info.name, *snapshot, nullptr, &error)) {
-      persisted_epoch_[info.name] = epoch;
-      ++persisted;
-    } else {
-      ++failures;
-      std::fprintf(stderr, "[checkpointer] dataset '%s': put failed: %s\n",
-                   info.name.c_str(), error.c_str());
+    bool done = false;
+
+    // Delta path: the journal must cover the exact epoch span since the
+    // last checkpoint, and the chain must still have room — otherwise
+    // this checkpoint compacts with a full Put. `last != 0` keeps a
+    // dataset's very first checkpoint full: a delta needs a base.
+    auto cl = chain_len.find(info.name);
+    const size_t chain = cl != chain_len.end() ? cl->second : 0;
+    if (opts_.deltas && journal != nullptr && last != 0 &&
+        chain < static_cast<size_t>(opts_.max_delta_chain) &&
+        journal->Covers(last, epoch)) {
+      std::vector<service::MutationRecord> records =
+          journal->Snapshot(last, epoch);
+      if (!records.empty() &&
+          store_->PutDelta(info.name, records, nullptr, &error)) {
+        journal->Prune(epoch);
+        persisted_epoch_[info.name] = epoch;
+        ++persisted;
+        ++delta_persisted;
+        done = true;
+      } else if (!records.empty()) {
+        std::fprintf(stderr,
+                     "[checkpointer] dataset '%s': delta put failed (%s); "
+                     "falling back to full snapshot\n",
+                     info.name.c_str(), error.c_str());
+      }
+    }
+
+    if (!done) {
+      if (store_->Put(info.name, *snapshot, nullptr, &error)) {
+        persisted_epoch_[info.name] = epoch;
+        // The full snapshot is the new chain base; whatever the journal
+        // held is superseded (and overflow state clears with it).
+        if (journal != nullptr) journal->Reset(epoch);
+        // A full snapshot of a dropped dataset is just an empty index —
+        // the tombstone itself is carried by a trailing drop delta, so a
+        // restart rebuilds not only the (empty) data but the typed
+        // reject-joins state too.
+        if (info.dropped) {
+          service::MutationRecord drop;
+          drop.kind = service::MutationRecord::Kind::kDrop;
+          if (!store_->PutDelta(info.name, {drop}, nullptr, &error)) {
+            ++failures;
+            std::fprintf(stderr,
+                         "[checkpointer] dataset '%s': tombstone delta "
+                         "failed: %s\n",
+                         info.name.c_str(), error.c_str());
+          }
+        }
+        ++persisted;
+      } else {
+        ++failures;
+        std::fprintf(stderr, "[checkpointer] dataset '%s': put failed: %s\n",
+                     info.name.c_str(), error.c_str());
+      }
     }
   }
 
@@ -96,6 +164,7 @@ uint64_t Checkpointer::CheckpointNow() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.sweeps;
   stats_.checkpoints += persisted;
+  stats_.delta_checkpoints += delta_persisted;
   stats_.failures += failures;
   stats_.files_removed += removed;
   return persisted;

@@ -11,7 +11,19 @@
 // Epochs are compared, not subscribed: a dataset swapped five times
 // between two sweeps is persisted once, at its newest snapshot — exactly
 // the semantics a store wants (intermediate states were never durable
-// promises). A swap *during* a sweep is caught by the next sweep.
+// promises). A swap *during* a sweep is caught by the next sweep — and on
+// Stop, a quiesce loop keeps sweeping until a sweep persists nothing, so
+// an epoch published concurrently with shutdown cannot slip between the
+// final scan and the stop flag.
+//
+// Live mutations checkpoint as deltas: when the dataset's mutation
+// journal still covers (last persisted epoch, current epoch], the sweep
+// writes that span as an O(churn) delta file (SnapshotStore::PutDelta)
+// instead of rewriting the whole index. Once the on-disk chain reaches
+// max_delta_chain — or the journal lost coverage (overflow, full swap) —
+// the sweep compacts: one full Put resets the chain, bounding restart
+// replay cost. Deltas are an optimization, never a correctness
+// dependency; any doubt downgrades to a full snapshot.
 //
 // Failure policy: a failed Put is counted, logged, and retried on the
 // next sweep (the last-persisted epoch is only advanced on success). The
@@ -41,13 +53,22 @@ struct CheckpointerOptions {
   /// Start the background thread in the constructor. Tests set false and
   /// drive sweeps deterministically via CheckpointNow().
   bool autostart = true;
+  /// Persist mutation spans as O(churn) delta files when the dataset's
+  /// journal covers (last persisted, current] epoch-for-epoch. Off, every
+  /// checkpoint is a full snapshot (the pre-delta behavior).
+  bool deltas = true;
+  /// Delta files allowed on one full snapshot before the next checkpoint
+  /// compacts the chain back to a full (bounds restart replay cost).
+  /// Clamped to >= 0; 0 compacts every time, like deltas = false.
+  int max_delta_chain = 8;
 };
 
 struct CheckpointerStats {
   uint64_t sweeps = 0;
-  uint64_t checkpoints = 0;    // snapshots persisted
-  uint64_t failures = 0;       // Put failures (retried next sweep)
-  uint64_t files_removed = 0;  // by post-sweep GC
+  uint64_t checkpoints = 0;         // snapshots persisted (full + delta)
+  uint64_t delta_checkpoints = 0;   // of which were delta files
+  uint64_t failures = 0;            // Put failures (retried next sweep)
+  uint64_t files_removed = 0;       // by post-sweep GC
 };
 
 class Checkpointer {
@@ -66,9 +87,11 @@ class Checkpointer {
   void Start();
 
   /// Joins the thread (a started Put completes; durability is never torn
-  /// by Stop), then runs one final sweep so every epoch published before
-  /// Stop is durable on a clean shutdown. Idempotent; a no-op when the
-  /// background thread was never started.
+  /// by Stop), then sweeps until a sweep persists nothing, so every epoch
+  /// published before — or concurrently with — Stop is durable on a clean
+  /// shutdown. The final sweeps run even when the background thread was
+  /// never started (an autostart=false checkpointer owes the same
+  /// durability on Stop); only a repeated Stop is a no-op.
   void Stop();
 
   /// One synchronous sweep over the catalog; returns snapshots persisted.

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "act/polygon_ref.h"
 #include "util/byte_io.h"
 #include "util/check.h"
 
@@ -21,12 +22,18 @@ namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x53544341;  // "ACTS"
 constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kDeltaMagic = 0x44544341;  // "ACTD"
+constexpr uint32_t kDeltaVersion = 1;
 constexpr uint32_t kManifestMagic = 0x4D544341;  // "ACTM"
-constexpr uint32_t kManifestVersion = 1;
+// v2 added the delta chain (base generation + delta generations) per
+// entry; v1 manifests still parse (base = generation, no deltas).
+constexpr uint32_t kManifestVersion = 2;
 
 // Section tags (the act index body owns tags 1..3).
 constexpr uint32_t kStoreHeaderTag = 16;
 constexpr uint32_t kShardMetaTag = 17;
+constexpr uint32_t kDeltaHeaderTag = 18;
+constexpr uint32_t kDeltaRecordTag = 19;
 constexpr uint32_t kManifestTag = 32;
 
 constexpr const char* kManifestName = "MANIFEST";
@@ -204,7 +211,7 @@ std::shared_ptr<const service::ShardedIndex> ParseSnapshot(
         have_build = true;
       }
       parts[shard].index =
-          std::make_unique<const act::PolygonIndex>(*std::move(index));
+          std::make_shared<const act::PolygonIndex>(*std::move(index));
     }
   }
   if (offset != bytes.size()) {
@@ -222,6 +229,200 @@ std::shared_ptr<const service::ShardedIndex> ParseSnapshot(
           std::move(parts)));
 }
 
+// --- Delta file codec -------------------------------------------------------
+
+/// A well-formed record carries exactly the payload its kind implies; the
+/// writer refuses anything else so the reader never has to guess.
+bool ValidDeltaRecord(const service::MutationRecord& rec) {
+  switch (rec.kind) {
+    case service::MutationRecord::Kind::kAdd:
+      return !rec.added.empty() && rec.removed.empty();
+    case service::MutationRecord::Kind::kRemove:
+      return rec.added.empty() && !rec.removed.empty();
+    case service::MutationRecord::Kind::kDrop:
+      return rec.added.empty() && rec.removed.empty();
+  }
+  return false;
+}
+
+std::vector<uint8_t> EncodeDelta(
+    const std::string& name, uint64_t generation, uint64_t base_generation,
+    uint64_t prev_generation,
+    const std::vector<service::MutationRecord>& records) {
+  util::ByteWriter w;
+  w.PutU32(kDeltaMagic);
+  w.PutU32(kDeltaVersion);
+
+  size_t s = act::BeginSection(&w, kDeltaHeaderTag);
+  w.PutString(name);
+  w.PutU64(generation);
+  w.PutU64(base_generation);
+  w.PutU64(prev_generation);
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  act::EndSection(&w, s);
+
+  for (const service::MutationRecord& rec : records) {
+    s = act::BeginSection(&w, kDeltaRecordTag);
+    w.PutU8(static_cast<uint8_t>(rec.kind));
+    switch (rec.kind) {
+      case service::MutationRecord::Kind::kAdd:
+        act::AppendPolygonsBlob(rec.added, &w);
+        break;
+      case service::MutationRecord::Kind::kRemove:
+        w.PutU32(static_cast<uint32_t>(rec.removed.size()));
+        for (uint32_t gid : rec.removed) w.PutU32(gid);
+        break;
+      case service::MutationRecord::Kind::kDrop:
+        break;
+    }
+    act::EndSection(&w, s);
+  }
+  return w.Take();
+}
+
+/// Parses <name>-<gen>.delta and cross-checks it against its place in the
+/// manifest's chain: the header's name/generation/base/prev must all match
+/// what the manifest claims, so a delta renamed or re-chained on disk is a
+/// typed kBadData, never a silently wrong replay.
+bool ParseDelta(const std::vector<uint8_t>& bytes,
+                const std::string& expect_name, uint64_t expect_generation,
+                uint64_t expect_base, uint64_t expect_prev,
+                std::vector<service::MutationRecord>* records,
+                act::LoadError* error) {
+  Fail(error, act::LoadError::kNone);
+  if (bytes.size() < 8) {
+    Fail(error, act::LoadError::kTruncated);
+    return false;
+  }
+  util::ByteReader head(bytes);
+  if (head.U32() != kDeltaMagic) {
+    Fail(error, act::LoadError::kBadMagic);
+    return false;
+  }
+  if (head.U32() != kDeltaVersion) {
+    Fail(error, act::LoadError::kBadVersion);
+    return false;
+  }
+
+  size_t offset = 8;
+  std::span<const uint8_t> payload;
+  if (!act::ReadSection(bytes, &offset, kDeltaHeaderTag, &payload, error)) {
+    return false;
+  }
+  util::ByteReader r(payload);
+  std::string name = r.String();
+  uint64_t generation = r.U64();
+  uint64_t base_generation = r.U64();
+  uint64_t prev_generation = r.U64();
+  uint32_t count = r.U32();
+  if (!r.ok() || !r.AtEnd() || name != expect_name ||
+      generation != expect_generation || base_generation != expect_base ||
+      prev_generation != expect_prev ||
+      count > (bytes.size() - offset) / act::kSectionOverheadBytes + 1) {
+    Fail(error, act::LoadError::kBadData);
+    return false;
+  }
+
+  records->clear();
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!act::ReadSection(bytes, &offset, kDeltaRecordTag, &payload, error)) {
+      return false;
+    }
+    util::ByteReader rec_r(payload);
+    const uint8_t kind = rec_r.U8();
+    service::MutationRecord rec;
+    if (!rec_r.ok()) {
+      Fail(error, act::LoadError::kBadData);
+      return false;
+    }
+    switch (kind) {
+      case static_cast<uint8_t>(service::MutationRecord::Kind::kAdd): {
+        rec.kind = service::MutationRecord::Kind::kAdd;
+        if (!act::ParsePolygonsBlob(payload.subspan(1), &rec.added, error)) {
+          return false;
+        }
+        if (rec.added.empty()) {
+          Fail(error, act::LoadError::kBadData);
+          return false;
+        }
+        break;
+      }
+      case static_cast<uint8_t>(service::MutationRecord::Kind::kRemove): {
+        rec.kind = service::MutationRecord::Kind::kRemove;
+        uint32_t n = rec_r.U32();
+        if (!rec_r.ok() || n == 0 || n > rec_r.remaining() / 4) {
+          Fail(error, act::LoadError::kBadData);
+          return false;
+        }
+        rec.removed.reserve(n);
+        for (uint32_t k = 0; k < n; ++k) rec.removed.push_back(rec_r.U32());
+        if (!rec_r.ok() || !rec_r.AtEnd()) {
+          Fail(error, act::LoadError::kBadData);
+          return false;
+        }
+        break;
+      }
+      case static_cast<uint8_t>(service::MutationRecord::Kind::kDrop): {
+        rec.kind = service::MutationRecord::Kind::kDrop;
+        if (!rec_r.AtEnd()) {
+          Fail(error, act::LoadError::kBadData);
+          return false;
+        }
+        break;
+      }
+      default:
+        Fail(error, act::LoadError::kBadData);
+        return false;
+    }
+    records->push_back(std::move(rec));
+  }
+  if (offset != bytes.size()) {
+    Fail(error, act::LoadError::kBadData);
+    return false;
+  }
+  return true;
+}
+
+/// Applies one parsed record onto the replay cursor. False on a record the
+/// current state cannot absorb (remove of an id that does not exist, add
+/// overflowing the id space) — the caller abandons the chain typed.
+bool ApplyDeltaRecord(const service::MutationRecord& rec,
+                      std::shared_ptr<const service::ShardedIndex>* cur,
+                      bool* dropped) {
+  const service::ShardedIndex& base = **cur;
+  switch (rec.kind) {
+    case service::MutationRecord::Kind::kAdd: {
+      if (base.num_polygons() + rec.added.size() >
+          uint64_t{act::kMaxPolygonId} + 1) {
+        return false;
+      }
+      service::ShardedIndex::Delta delta;
+      delta.add = rec.added;
+      *cur = service::ShardedIndex::ApplyDelta(base, delta).index;
+      *dropped = false;
+      return true;
+    }
+    case service::MutationRecord::Kind::kRemove: {
+      for (uint32_t gid : rec.removed) {
+        if (gid >= base.num_polygons()) return false;
+      }
+      service::ShardedIndex::Delta delta;
+      delta.remove = rec.removed;
+      *cur = service::ShardedIndex::ApplyDelta(base, delta).index;
+      *dropped = false;
+      return true;
+    }
+    case service::MutationRecord::Kind::kDrop: {
+      *cur = std::make_shared<const service::ShardedIndex>(
+          service::ShardedIndex::Build({}, base.grid(), base.options()));
+      *dropped = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 // --- SnapshotStore ---------------------------------------------------------
@@ -229,6 +430,11 @@ std::shared_ptr<const service::ShardedIndex> ParseSnapshot(
 std::string SnapshotStore::SnapshotPath(const std::string& name,
                                         uint64_t generation) const {
   return opts_.dir + "/" + name + "-" + std::to_string(generation) + ".snap";
+}
+
+std::string SnapshotStore::DeltaPath(const std::string& name,
+                                     uint64_t generation) const {
+  return opts_.dir + "/" + name + "-" + std::to_string(generation) + ".delta";
 }
 
 bool SnapshotStore::is_open() const {
@@ -249,6 +455,9 @@ std::vector<uint8_t> EncodeManifest(uint64_t next_generation,
   for (const DatasetRecord& e : entries) {
     w.PutString(e.name);
     w.PutU64(e.generation);
+    w.PutU64(e.base_generation);
+    w.PutU32(static_cast<uint32_t>(e.delta_generations.size()));
+    for (uint64_t gen : e.delta_generations) w.PutU64(gen);
   }
   act::EndSection(&w, s);
   return w.Take();
@@ -267,7 +476,10 @@ bool ParseManifest(const std::vector<uint8_t>& bytes,
     Fail(error, act::LoadError::kBadMagic);
     return false;
   }
-  if (head.U32() != kManifestVersion) {
+  const uint32_t version = head.U32();
+  // v1 (pre-delta) manifests upgrade in place: base = generation, empty
+  // chain — exactly the state a v1 store was in.
+  if (version != 1 && version != kManifestVersion) {
     Fail(error, act::LoadError::kBadVersion);
     return false;
   }
@@ -293,8 +505,35 @@ bool ParseManifest(const std::vector<uint8_t>& bytes,
     DatasetRecord rec;
     rec.name = r.String();
     rec.generation = r.U64();
+    if (version >= 2) {
+      rec.base_generation = r.U64();
+      uint32_t n_deltas = r.U32();
+      if (!r.ok() || n_deltas > r.remaining() / 8) {
+        Fail(error, act::LoadError::kBadData);
+        return false;
+      }
+      rec.delta_generations.reserve(n_deltas);
+      for (uint32_t k = 0; k < n_deltas; ++k) {
+        rec.delta_generations.push_back(r.U64());
+      }
+    } else {
+      rec.base_generation = rec.generation;
+    }
+    // Chain invariants: base <= every delta (strictly ascending) and the
+    // last delta is the current generation; an empty chain means base ==
+    // generation. All generations were issued by the counter, so all are
+    // below next_generation.
+    bool chain_ok = rec.base_generation != 0 &&
+                    rec.base_generation <= rec.generation;
+    uint64_t prev = rec.base_generation;
+    for (uint64_t gen : rec.delta_generations) {
+      chain_ok = chain_ok && gen > prev;
+      prev = gen;
+    }
+    chain_ok = chain_ok && prev == rec.generation;
     if (!r.ok() || !service::IsValidDatasetName(rec.name) ||
-        rec.generation == 0 || rec.generation >= *next_generation) {
+        rec.generation == 0 || rec.generation >= *next_generation ||
+        !chain_ok) {
       Fail(error, act::LoadError::kBadData);
       return false;
     }
@@ -307,17 +546,15 @@ bool ParseManifest(const std::vector<uint8_t>& bytes,
   return true;
 }
 
-/// Splits "<name>-<gen>.snap" at the *last* dash (names may contain
+/// Splits "<name>-<gen><suffix>" at the *last* dash (names may contain
 /// dashes; the generation is all digits). False for anything else.
-bool ParseSnapshotFileName(const std::string& file, std::string* name,
-                           uint64_t* generation) {
-  constexpr const char* kSuffix = ".snap";
-  constexpr size_t kSuffixLen = 5;
-  if (file.size() <= kSuffixLen ||
-      file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+bool ParseStoreFileName(const std::string& file, const std::string& suffix,
+                        std::string* name, uint64_t* generation) {
+  if (file.size() <= suffix.size() ||
+      file.compare(file.size() - suffix.size(), suffix.size(), suffix) != 0) {
     return false;
   }
-  const std::string stem = file.substr(0, file.size() - kSuffixLen);
+  const std::string stem = file.substr(0, file.size() - suffix.size());
   const size_t dash = stem.rfind('-');
   if (dash == std::string::npos || dash == 0 || dash + 1 >= stem.size()) {
     return false;
@@ -331,6 +568,16 @@ bool ParseSnapshotFileName(const std::string& file, std::string* name,
   *name = stem.substr(0, dash);
   *generation = gen;
   return *generation != 0 && service::IsValidDatasetName(*name);
+}
+
+bool ParseSnapshotFileName(const std::string& file, std::string* name,
+                           uint64_t* generation) {
+  return ParseStoreFileName(file, ".snap", name, generation);
+}
+
+bool ParseDeltaFileName(const std::string& file, std::string* name,
+                        uint64_t* generation) {
+  return ParseStoreFileName(file, ".delta", name, generation);
 }
 
 std::vector<std::string> ListDirectory(const std::string& dir) {
@@ -422,6 +669,12 @@ bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
   for (const std::string& file : ListDirectory(opts_.dir)) {
     std::string name;
     uint64_t generation = 0;
+    if (ParseDeltaFileName(file, &name, &generation)) {
+      // Orphaned deltas are not recovered (see below), but their
+      // generation numbers were issued: keep the counter past them.
+      max_generation = std::max(max_generation, generation);
+      continue;
+    }
     if (!ParseSnapshotFileName(file, &name, &generation)) continue;
     max_generation = std::max(max_generation, generation);
     auto [it, inserted] = scanned.emplace(name, Scanned{generation, generation});
@@ -435,8 +688,15 @@ bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
   std::vector<std::pair<uint64_t, DatasetRecord>> ordered;
   ordered.reserve(scanned.size());
   for (const auto& [name, gens] : scanned) {
-    ordered.emplace_back(gens.min_generation,
-                         DatasetRecord{name, gens.max_generation});
+    // Scan recovery is fulls-only: a delta chain is only replayable in the
+    // exact order a manifest vouched for, and the manifest is gone. The
+    // newest full generation becomes base and current; orphaned .delta
+    // files fall to GC.
+    DatasetRecord rec;
+    rec.name = name;
+    rec.generation = gens.max_generation;
+    rec.base_generation = gens.max_generation;
+    ordered.emplace_back(gens.min_generation, std::move(rec));
   }
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -512,12 +772,82 @@ bool SnapshotStore::Put(const std::string& name,
   bool found = false;
   for (DatasetRecord& rec : manifest_.entries) {
     if (rec.name == name) {
+      // A full snapshot compacts: it becomes the new chain base and the
+      // old delta files are superseded (GC reclaims them).
       rec.generation = gen;
+      rec.base_generation = gen;
+      rec.delta_generations.clear();
       found = true;
       break;
     }
   }
-  if (!found) manifest_.entries.push_back({name, gen});
+  if (!found) {
+    DatasetRecord rec;
+    rec.name = name;
+    rec.generation = gen;
+    rec.base_generation = gen;
+    manifest_.entries.push_back(std::move(rec));
+  }
+  if (!WriteManifestLocked(error)) {
+    manifest_ = std::move(rollback);  // the orphan file is GC's problem
+    return false;
+  }
+  if (generation != nullptr) *generation = gen;
+  return true;
+}
+
+bool SnapshotStore::PutDelta(const std::string& name,
+                             const std::vector<service::MutationRecord>& records,
+                             uint64_t* generation, std::string* error) {
+  if (!service::IsValidDatasetName(name)) {
+    if (error != nullptr) *error = "invalid dataset name: " + name;
+    return false;
+  }
+  if (records.empty()) {
+    if (error != nullptr) *error = "empty delta for dataset: " + name;
+    return false;
+  }
+  for (const service::MutationRecord& rec : records) {
+    if (!ValidDeltaRecord(rec)) {
+      if (error != nullptr) *error = "malformed delta record for: " + name;
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) {
+    if (error != nullptr) *error = "store is not open";
+    return false;
+  }
+  DatasetRecord* rec = nullptr;
+  for (DatasetRecord& e : manifest_.entries) {
+    if (e.name == name) {
+      rec = &e;
+      break;
+    }
+  }
+  if (rec == nullptr) {
+    if (error != nullptr) {
+      *error = "dataset '" + name + "' has no full snapshot to delta against";
+    }
+    return false;
+  }
+  const uint64_t gen = manifest_.next_generation;
+
+  // Same crash-safety order as Put: the delta file becomes durable under
+  // its final name, then the manifest commits the extended chain. A crash
+  // between the two leaves an orphan .delta that Load never replays.
+  if (!WriteFileDurable(
+          opts_.dir, DeltaPath(name, gen),
+          EncodeDelta(name, gen, rec->base_generation, rec->generation,
+                      records),
+          opts_.fsync, error)) {
+    return false;
+  }
+
+  Manifest rollback = manifest_;
+  manifest_.next_generation = gen + 1;
+  rec->generation = gen;
+  rec->delta_generations.push_back(gen);
   if (!WriteManifestLocked(error)) {
     manifest_ = std::move(rollback);  // the orphan file is GC's problem
     return false;
@@ -547,7 +877,7 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
   LoadReport& rep = report != nullptr ? *report : local;
   rep = LoadReport{};
 
-  uint64_t current = 0;
+  DatasetRecord rec;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!open_) {
@@ -555,24 +885,26 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
       rep.detail = "store is not open";
       return nullptr;
     }
-    for (const DatasetRecord& rec : manifest_.entries) {
-      if (rec.name == name) {
-        current = rec.generation;
+    for (const DatasetRecord& e : manifest_.entries) {
+      if (e.name == name) {
+        rec = e;
         break;
       }
     }
   }
-  if (current == 0) {
+  if (rec.generation == 0) {
     rep.error = act::LoadError::kMissing;
     rep.detail = "dataset not in manifest";
     return nullptr;
   }
 
-  // Candidate ladder: the manifest's generation, then — only if it
-  // fails, so the common clean load never pays a directory scan — every
-  // older on-disk generation, newest first. Newer-than-manifest orphans
-  // are skipped on purpose: an uncommitted Put must stay invisible,
-  // exactly as if the crash had hit one instruction earlier.
+  // Candidate ladder: the manifest's base full generation (plus its delta
+  // chain), then — only if the base fails, so the common clean load never
+  // pays a directory scan — every older on-disk full generation, newest
+  // first, without deltas (the chain replays only on its exact base).
+  // Newer-than-manifest orphans are skipped on purpose: an uncommitted
+  // Put must stay invisible, exactly as if the crash had hit one
+  // instruction earlier.
   auto try_generation =
       [&](uint64_t gen,
           act::LoadError* err) -> std::shared_ptr<const service::ShardedIndex> {
@@ -584,22 +916,63 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
   };
 
   act::LoadError err = act::LoadError::kNone;
-  if (auto index = try_generation(current, &err)) {
-    rep.generation = current;
-    return index;
+  if (auto base = try_generation(rec.base_generation, &err)) {
+    // Replay the delta chain on top of the base. Any unusable delta —
+    // unreadable, corrupt, or inconsistent with the current state —
+    // abandons the *whole* chain: partial replay would serve a state
+    // that was never published, so the base full stands in alone.
+    std::shared_ptr<const service::ShardedIndex> cur = base;
+    uint64_t prev_gen = rec.base_generation;
+    bool dropped = false;
+    for (uint64_t dgen : rec.delta_generations) {
+      std::vector<uint8_t> bytes;
+      std::vector<service::MutationRecord> records;
+      bool ok =
+          act::ReadFileBytes(DeltaPath(name, dgen), &bytes, &err) &&
+          ParseDelta(bytes, name, dgen, rec.base_generation, prev_gen,
+                     &records, &err);
+      for (size_t i = 0; ok && i < records.size(); ++i) {
+        if (!ApplyDeltaRecord(records[i], &cur, &dropped)) {
+          err = act::LoadError::kBadData;
+          ok = false;
+        }
+      }
+      if (!ok) {
+        rep.error = err;
+        rep.fell_back = true;
+        rep.deltas_applied = 0;
+        rep.generation = rec.base_generation;
+        rep.detail = "delta gen " + std::to_string(dgen) + ": " +
+                     act::ToString(err);
+        std::fprintf(stderr,
+                     "[store] dataset '%s': delta generation %llu unusable "
+                     "(%s); serving base full generation %llu\n",
+                     name.c_str(), static_cast<unsigned long long>(dgen),
+                     act::ToString(err),
+                     static_cast<unsigned long long>(rec.base_generation));
+        return base;
+      }
+      prev_gen = dgen;
+      ++rep.deltas_applied;
+    }
+    rep.generation = rec.generation;
+    rep.dropped = dropped;
+    return cur;
   }
   rep.error = err;
-  rep.detail = "gen " + std::to_string(current) + ": " + act::ToString(err);
+  rep.detail =
+      "gen " + std::to_string(rec.base_generation) + ": " + act::ToString(err);
 
   for (uint64_t gen : DiskGenerations(name)) {
-    if (gen >= current) continue;
+    if (gen >= rec.base_generation) continue;
     if (auto index = try_generation(gen, &err)) {
       rep.generation = gen;
       rep.fell_back = true;
       std::fprintf(stderr,
                    "[store] dataset '%s': generation %llu unusable (%s); "
                    "serving generation %llu\n",
-                   name.c_str(), static_cast<unsigned long long>(current),
+                   name.c_str(),
+                   static_cast<unsigned long long>(rec.base_generation),
                    act::ToString(rep.error),
                    static_cast<unsigned long long>(gen));
       return index;
@@ -633,6 +1006,7 @@ int SnapshotStore::GarbageCollect(std::string* error) {
     uint64_t generation;
   };
   std::unordered_map<std::string, std::vector<File>> by_name;
+  std::unordered_map<std::string, std::vector<File>> deltas_by_name;
   for (const std::string& file : ListDirectory(dir)) {
     const std::string path = dir + "/" + file;
     if (file.size() > 4 && file.compare(file.size() - 4, 4, ".tmp") == 0) {
@@ -641,6 +1015,10 @@ int SnapshotStore::GarbageCollect(std::string* error) {
     }
     std::string name;
     uint64_t generation = 0;
+    if (ParseDeltaFileName(file, &name, &generation)) {
+      deltas_by_name[name].push_back({path, generation});
+      continue;
+    }
     if (!ParseSnapshotFileName(file, &name, &generation)) continue;
     by_name[name].push_back({path, generation});
   }
@@ -648,6 +1026,29 @@ int SnapshotStore::GarbageCollect(std::string* error) {
   int removed = 0;
   for (const std::string& path : tmp_files) {
     if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  // A delta file is alive only while the manifest's chain references it:
+  // a full Put supersedes the whole chain at once, and orphans of an
+  // uncommitted PutDelta were never replayable to begin with. (Older full
+  // generations kept as corruption fallbacks load without deltas, so no
+  // delta needs to outlive its chain.)
+  for (auto& [name, files] : deltas_by_name) {
+    const DatasetRecord* rec = nullptr;
+    for (const DatasetRecord& e : manifest_.entries) {
+      if (e.name == name) {
+        rec = &e;
+        break;
+      }
+    }
+    for (const File& f : files) {
+      const bool referenced =
+          rec != nullptr &&
+          std::find(rec->delta_generations.begin(),
+                    rec->delta_generations.end(),
+                    f.generation) != rec->delta_generations.end();
+      if (referenced) continue;
+      if (::unlink(f.path.c_str()) == 0) ++removed;
+    }
   }
   for (auto& [name, files] : by_name) {
     const DatasetRecord* rec = nullptr;
@@ -697,12 +1098,16 @@ size_t WarmStart(const SnapshotStore& store, service::ServiceCatalog* catalog,
       }
       continue;
     }
-    if (!catalog->Add(rec.name, std::move(index)).has_value()) {
+    std::optional<uint16_t> id = catalog->Add(rec.name, std::move(index));
+    if (!id.has_value()) {
       if (failed != nullptr) {
         failed->push_back(rec.name + ": catalog refused (duplicate name?)");
       }
       continue;
     }
+    // A chain ending in DROP_DATASET restarts as it shut down: empty
+    // snapshot published, tombstone set, joins rejecting typed.
+    if (report.dropped) catalog->MarkDropped(*id, true);
     ++served;
   }
   return served;

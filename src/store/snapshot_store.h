@@ -7,9 +7,12 @@
 // rebuild that loading already does. The store owns one directory:
 //
 //   <dir>/MANIFEST            current catalog: dataset name -> generation
+//                             chain (base full snapshot + delta files)
 //   <dir>/MANIFEST.bak        previous manifest (hard link, kept across
 //                             rewrites as the bit-rot fallback)
-//   <dir>/<name>-<gen>.snap   one immutable snapshot file per generation
+//   <dir>/<name>-<gen>.snap   one immutable full snapshot per generation
+//   <dir>/<name>-<gen>.delta  one immutable delta (mutation span) per
+//                             generation, chained off the last full
 //   <dir>/*.tmp               in-progress writes (crash leftovers; GC'd)
 //
 // Crash safety is the postgres discipline, applied twice:
@@ -47,6 +50,28 @@
 // layout, so joins against a loaded snapshot are byte-identical to the
 // saved index (asserted end-to-end over the wire in tests/store_test.cc).
 //
+// Delta files (the live-mutation half of the store) make checkpointing a
+// mutated dataset O(churn) instead of O(index): PutDelta persists a span
+// of mutation records — the adds/removes/drop the journal accumulated
+// since the last checkpoint — as <name>-<gen>.delta, and the manifest
+// records the chain: one base full generation plus the ascending delta
+// generations on top of it. Load replays the chain through
+// ShardedIndex::ApplyDelta, which reuses the base coverings, so restart
+// cost tracks churn, not dataset size. Delta file format (v1):
+//
+//   u32 magic "ACTD" | u32 version
+//   header section:  name, generation, base generation, previous
+//                    generation in the chain, record count
+//   per record:      one section — kind byte, then the polygons blob
+//                    (kAdd) / id list (kRemove) / nothing (kDrop)
+//
+// A corrupt or missing delta anywhere in the chain falls back — typed,
+// in the LoadReport — to the base full generation alone: deltas are an
+// optimization, never the only copy of data that was ever checkpointed
+// full. A full Put resets the chain (and GC then removes the superseded
+// delta files). The directory-scan manifest recovery remains fulls-only:
+// a chain is only trusted when a manifest vouches for its exact order.
+//
 // Thread safety: all members are safe to call concurrently (one mutex
 // around the manifest; snapshot files are immutable so reads run
 // unlocked). Typical writers: one Checkpointer; typical readers: warm
@@ -63,6 +88,7 @@
 #include <vector>
 
 #include "act/serialization.h"
+#include "service/mutation_journal.h"
 #include "service/service_catalog.h"
 #include "service/sharded_index.h"
 
@@ -82,7 +108,14 @@ struct StoreOptions {
 
 struct DatasetRecord {
   std::string name;
+  /// Current logical generation: the last delta's, or base_generation
+  /// when the chain is empty.
   uint64_t generation = 0;
+  /// Generation of the full snapshot the delta chain replays on top of.
+  uint64_t base_generation = 0;
+  /// Delta generations in chain (= Put) order, strictly ascending, each >
+  /// base_generation; the last equals `generation`.
+  std::vector<uint64_t> delta_generations;
 
   friend bool operator==(const DatasetRecord&, const DatasetRecord&) = default;
 };
@@ -97,8 +130,15 @@ struct LoadReport {
   /// Generation actually loaded; 0 when every candidate failed.
   uint64_t generation = 0;
   /// True when an older generation had to stand in for a corrupt current
-  /// one.
+  /// one (including a delta chain falling back to its base full).
   bool fell_back = false;
+  /// Delta files replayed on top of the base full generation (0 when the
+  /// chain was empty or had to be abandoned).
+  uint32_t deltas_applied = 0;
+  /// True when the replayed chain ends in a DROP_DATASET tombstone: the
+  /// returned (empty) index should be published with the dataset marked
+  /// dropped, so joins keep rejecting typed across a restart.
+  bool dropped = false;
   /// Human-readable failure trail ("gen 7: checksum mismatch; ...").
   std::string detail;
 };
@@ -122,26 +162,46 @@ class SnapshotStore {
 
   /// Persists `index` as the next generation of `name` (creating the
   /// dataset on first Put) and commits it to the manifest. On return the
-  /// snapshot is durable: a crash at any later point recovers it.
+  /// snapshot is durable: a crash at any later point recovers it. A full
+  /// Put resets the dataset's delta chain (compaction): the new
+  /// generation becomes the base and the superseded deltas go to GC.
   bool Put(const std::string& name, const service::ShardedIndex& index,
            uint64_t* generation = nullptr, std::string* error = nullptr);
 
-  /// Loads `name`'s current generation. If that file is corrupt, falls
-  /// back to older on-disk generations (newest first) so one bad block
-  /// costs a generation, not the dataset; the trail lands in *report.
-  /// Null when the dataset is unknown or no candidate loads.
+  /// Persists a span of mutation records as the next generation of
+  /// `name`'s delta chain — O(churn), not O(index) — and commits it to
+  /// the manifest. The dataset must already have a full snapshot (a delta
+  /// with no base would be replayable against nothing). Records must be
+  /// well-formed (kAdd with polygons, kRemove with ids, kDrop bare);
+  /// their epoch field is not persisted — generations are the store's
+  /// ordering axis.
+  bool PutDelta(const std::string& name,
+                const std::vector<service::MutationRecord>& records,
+                uint64_t* generation = nullptr, std::string* error = nullptr);
+
+  /// Loads `name`'s current state: the base full generation, then the
+  /// delta chain replayed on top (ShardedIndex::ApplyDelta, reusing the
+  /// base coverings). A corrupt delta anywhere in the chain abandons the
+  /// chain and serves the base full alone (typed in *report); a corrupt
+  /// base falls back to older full generations (newest first, without
+  /// deltas — they chain off the exact base) so one bad block costs a
+  /// generation, not the dataset. Null when the dataset is unknown or no
+  /// candidate loads.
   std::shared_ptr<const service::ShardedIndex> Load(
       const std::string& name, LoadReport* report = nullptr) const;
 
   /// Removes files the manifest does not vouch for: *.tmp leftovers,
   /// generations beyond keep_generations, orphans from interrupted Puts,
-  /// and files of datasets the manifest does not know. Returns the number
-  /// of files removed.
+  /// delta files outside every dataset's current chain, and files of
+  /// datasets the manifest does not know. Returns the number of files
+  /// removed.
   int GarbageCollect(std::string* error = nullptr);
 
   const StoreOptions& options() const { return opts_; }
   /// The absolute snapshot path a (name, generation) pair maps to.
   std::string SnapshotPath(const std::string& name, uint64_t generation) const;
+  /// The absolute delta path a (name, generation) pair maps to.
+  std::string DeltaPath(const std::string& name, uint64_t generation) const;
 
  private:
   struct Manifest {
@@ -170,8 +230,10 @@ class SnapshotStore {
 /// registered *offline* (its id slot is reserved, joins against it reject
 /// typed — positional ids must not shift onto the wrong data) and reported
 /// in *failed with its LoadReport detail — a warm restart serves what it
-/// can instead of refusing to start. Returns the number of datasets
-/// actually served.
+/// can instead of refusing to start. A dataset whose chain ends in a
+/// DROP_DATASET tombstone is registered with its (empty) snapshot and
+/// marked dropped, so it keeps rejecting joins typed after the restart.
+/// Returns the number of datasets actually served.
 size_t WarmStart(const SnapshotStore& store, service::ServiceCatalog* catalog,
                  std::vector<std::string>* failed = nullptr);
 

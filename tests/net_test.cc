@@ -1071,5 +1071,259 @@ TEST(NetServer, StopWhileIdleAndDoubleStop) {
   EXPECT_FALSE(ts.server->Start(&error));  // not restartable
 }
 
+// --- Live mutation over the wire (v3) --------------------------------------
+
+TEST(DeltaNet, MutationCodecsRoundTripAndRejectMalformed) {
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+
+  // ADD_POLYGONS: the act polygons blob round-trips and carries the
+  // dataset id in the frame header.
+  std::vector<uint8_t> frame = EncodeAddPolygonsFrame(31, 7, ds.polygons);
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(header.type, MessageType::kAddPolygons);
+  EXPECT_EQ(header.dataset_id, 7u);
+  EXPECT_EQ(header.request_id, 31u);
+  std::vector<geom::Polygon> polys;
+  ASSERT_TRUE(DecodeAddPolygons(
+      std::span(frame).subspan(kFrameHeaderBytes, header.payload_bytes),
+      &polys));
+  ASSERT_EQ(polys.size(), ds.polygons.size());
+  EXPECT_EQ(polys[0].rings(), ds.polygons[0].rings());
+  std::vector<uint8_t> garbage(16, 0xFF);
+  EXPECT_FALSE(DecodeAddPolygons(garbage, &polys));
+
+  // REMOVE_POLYGONS: exact-size id list; trailing or missing bytes fail.
+  std::vector<uint32_t> ids{5, 0, 99};
+  util::ByteWriter w;
+  AppendRemovePolygons(ids, &w);
+  std::vector<uint32_t> got_ids;
+  ASSERT_TRUE(DecodeRemovePolygons(w.bytes(), &got_ids));
+  EXPECT_EQ(got_ids, ids);
+  std::vector<uint8_t> bytes = w.bytes();
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeRemovePolygons(bytes, &got_ids));
+  bytes.resize(w.bytes().size() - 1);
+  EXPECT_FALSE(DecodeRemovePolygons(bytes, &got_ids));
+
+  // MUTATE_RESULT: the ack round-trips; a response whose op byte is not a
+  // mutation request type is malformed.
+  MutationAck ack;
+  ack.op = MessageType::kRemovePolygons;
+  ack.epoch = 12;
+  ack.num_polygons = 345;
+  ack.first_id = 67;
+  util::ByteWriter aw;
+  AppendMutationAck(ack, &aw);
+  MutationAck got_ack;
+  ASSERT_TRUE(DecodeMutationAck(aw.bytes(), &got_ack));
+  EXPECT_EQ(got_ack, ack);
+  std::vector<uint8_t> bad_op = aw.bytes();
+  bad_op[0] = static_cast<uint8_t>(MessageType::kPing);
+  EXPECT_FALSE(DecodeMutationAck(bad_op, &got_ack));
+
+  // STATS carries the mutation counters now.
+  service::ServiceStats stats;
+  stats.mutations_applied = 21;
+  stats.rejected_mutations = 4;
+  util::ByteWriter sw;
+  AppendServiceStats(stats, &sw);
+  service::ServiceStats got_stats;
+  ASSERT_TRUE(DecodeServiceStats(sw.bytes(), &got_stats));
+  EXPECT_EQ(got_stats.mutations_applied, 21u);
+  EXPECT_EQ(got_stats.rejected_mutations, 4u);
+
+  // DATASET_LIST: the per-entry flags field carries the tombstone; any
+  // unknown flag bit is malformed (reserved for future use, must be 0).
+  std::vector<service::DatasetInfo> datasets(2);
+  datasets[0].name = "live";
+  datasets[1].name = "gone";
+  datasets[1].dropped = true;
+  util::ByteWriter dw;
+  AppendDatasetList(datasets, &dw);
+  std::vector<service::DatasetInfo> got_list;
+  ASSERT_TRUE(DecodeDatasetList(dw.bytes(), &got_list));
+  ASSERT_EQ(got_list.size(), 2u);
+  EXPECT_FALSE(got_list[0].dropped);
+  EXPECT_TRUE(got_list[1].dropped);
+
+  // The new rejections are recoverable: clients retry on the same socket.
+  EXPECT_TRUE(IsRecoverable(WireError::kDatasetDropped));
+  EXPECT_TRUE(IsRecoverable(WireError::kInvalidMutation));
+}
+
+TEST(DeltaNet, LiveMutationOverLoopbackMatchesFreshBuild) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  std::vector<geom::Polygon> add_set(ds.polygons.begin() + half_count,
+                                     ds.polygons.end());
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 2, .build = bopts});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(half, sopts);
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 800, grid, 66);
+
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+
+  // Streamed add: the served result becomes byte-identical to a fresh
+  // build over the final polygon set, in both modes.
+  JoinClient::Reply ack = client.AddPolygons(0, add_set);
+  ASSERT_TRUE(ack.ok) << ack.message;
+  EXPECT_EQ(ack.ack.op, MessageType::kAddPolygons);
+  EXPECT_EQ(ack.ack.epoch, 2u);
+  EXPECT_EQ(ack.ack.first_id, static_cast<uint32_t>(half_count));
+  EXPECT_EQ(ack.ack.num_polygons, ds.polygons.size());
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    act::JoinStats want = full->Join(pts.AsJoinInput(), {mode, 1});
+    JoinClient::Reply joined = client.Join(MakeBatch(pts, mode));
+    ASSERT_TRUE(joined.ok) << joined.message;
+    EXPECT_EQ(joined.result.epoch, 2u);
+    ExpectStatsEqual(joined.result.stats, want);
+  }
+
+  // Streamed remove: id slots survive; the removed polygon stops matching.
+  JoinClient::Reply rm = client.RemovePolygons(0, {0});
+  ASSERT_TRUE(rm.ok) << rm.message;
+  EXPECT_EQ(rm.ack.op, MessageType::kRemovePolygons);
+  EXPECT_EQ(rm.ack.epoch, 3u);
+  EXPECT_EQ(rm.ack.num_polygons, ds.polygons.size());
+  JoinClient::Reply after_rm = client.Join(MakeBatch(pts, JoinMode::kExact));
+  ASSERT_TRUE(after_rm.ok) << after_rm.message;
+  ASSERT_EQ(after_rm.result.stats.counts.size(), ds.polygons.size());
+  EXPECT_EQ(after_rm.result.stats.counts[0], 0u);
+
+  // Typed content rejections: empty batches and out-of-range removes.
+  JoinClient::Reply bad = client.AddPolygons(0, {});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, WireError::kInvalidMutation);
+  bad = client.RemovePolygons(
+      0, {static_cast<uint32_t>(ds.polygons.size())});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, WireError::kInvalidMutation);
+  bad = client.AddPolygons(9, add_set);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, WireError::kUnknownDataset);
+
+  // Drop: acked, then joins and mutations reject typed on the same
+  // connection, and the catalog lists the tombstone.
+  JoinClient::Reply drop = client.DropDataset(0);
+  ASSERT_TRUE(drop.ok) << drop.message;
+  EXPECT_EQ(drop.ack.op, MessageType::kDropDataset);
+  EXPECT_EQ(drop.ack.epoch, 4u);
+  EXPECT_EQ(drop.ack.num_polygons, 0u);
+  JoinClient::Reply dead = client.Join(MakeBatch(pts, JoinMode::kExact));
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.error, WireError::kDatasetDropped);
+  dead = client.AddPolygons(0, add_set);
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.error, WireError::kDatasetDropped);
+  std::vector<service::DatasetInfo> datasets;
+  ASSERT_TRUE(client.ListDatasets(&datasets, &error)) << error;
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_TRUE(datasets[0].dropped);
+
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.mutations_applied, 3u);  // add, remove, drop
+  // Only rejections that reach the service count here: the empty add and
+  // the out-of-range remove. Unknown-dataset and post-drop frames bounce
+  // at the server's pre-admission door.
+  EXPECT_EQ(stats.rejected_mutations, 2u);
+  EXPECT_EQ(stats.completed_requests, 3u);
+}
+
+TEST(DeltaNet, FailedMutationsRefundAdmissionExactlyOnce) {
+  // The v3 refund regression (the join-path sibling is
+  // QueueFullBurstDoesNotDrainRateBucket): a mutation frame that fails
+  // after TryAdmit — undecodable payload or the service's typed content
+  // rejection — did no index work, so both the rate token and the bytes
+  // come back. Without the refund, the garbage burst below would drain a
+  // 2-token bucket and the later *valid* mutation would bounce
+  // kRateLimited.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  ServerOptions nopts;
+  nopts.admission.rate_limit_qps = 1e-6;  // refill negligible in-test
+  nopts.admission.rate_burst = 2;
+  TestServer ts = TestServer::Make(sopts, nopts);
+
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+
+  // 5 undecodable ADD_POLYGONS frames > burst 2, over a raw socket (the
+  // payload must be garbage, which JoinClient refuses to produce). Each
+  // answers kMalformedPayload — recoverable, same socket — and refunds.
+  std::string error;
+  UniqueFd raw = ConnectTcp(ts.server->host(), ts.server->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> frame = EncodeAddPolygonsFrame(
+        100 + static_cast<uint64_t>(i), 0, {});
+    // Truncate the payload mid-count: still a valid frame, undecodable
+    // payload.
+    frame[16] = 4;  // payload_bytes: 4 of the blob's 8-byte count
+    frame.resize(kFrameHeaderBytes + 4);
+    ASSERT_TRUE(SendAll(raw.get(), frame.data(), frame.size(), &error));
+    uint8_t header_bytes[kFrameHeaderBytes];
+    ASSERT_TRUE(RecvAll(raw.get(), header_bytes, sizeof(header_bytes),
+                        &error))
+        << error;
+    FrameHeader header;
+    size_t frame_bytes = 0;
+    WireError parse_err = WireError::kNone;
+    // Header-only span: kNeedMoreData, but *header is already filled.
+    ASSERT_NE(TryParseFrame({header_bytes, sizeof(header_bytes)},
+                            kDefaultMaxFrameBytes, &header, &frame_bytes,
+                            &parse_err),
+              FrameParse::kProtocolError);
+    ASSERT_EQ(header.type, MessageType::kError);
+    std::vector<uint8_t> payload(header.payload_bytes);
+    ASSERT_TRUE(RecvAll(raw.get(), payload.data(), payload.size(), &error));
+    WireError code = WireError::kNone;
+    std::string message;
+    ASSERT_TRUE(DecodeError(payload, &code, &message));
+    EXPECT_EQ(code, WireError::kMalformedPayload) << "bounce " << i;
+  }
+  EXPECT_EQ(ts.server->admission_counters().refunded, 5u);
+  EXPECT_EQ(ts.server->admission_counters().rate_limited, 0u);
+
+  // Typed service rejections refund too: 3 empty adds decode fine, reach
+  // the worker, and come back kInvalidMutation — never kRateLimited.
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  for (int i = 0; i < 3; ++i) {
+    JoinClient::Reply reply = client.AddPolygons(0, {});
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, WireError::kInvalidMutation) << "bounce " << i;
+  }
+  EXPECT_EQ(ts.server->admission_counters().refunded, 8u);
+  EXPECT_EQ(ts.server->admission_counters().rate_limited, 0u);
+
+  // The bucket still holds its full burst: a real mutation lands.
+  JoinClient::Reply ok = client.AddPolygons(0, {ds.polygons[0]});
+  ASSERT_TRUE(ok.ok) << "token was not refunded: " << ok.message;
+  EXPECT_EQ(ts.server->admission_counters().refunded, 8u);
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  EXPECT_EQ(stats.mutations_applied, 1u);
+}
+
 }  // namespace
 }  // namespace actjoin::net

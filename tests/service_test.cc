@@ -963,5 +963,315 @@ TEST(ServiceCache, LruEvictsUnderTinyCapacity) {
   EXPECT_GT(stats.cache_misses, 0u);
 }
 
+// --- Live mutation (delta apply, journal, cache migration) -----------------
+
+TEST(DeltaService, ApplyDeltaAddByteIdenticalToFreshBuild) {
+  // The shard router is a static Hilbert-range split, so a delta-applied
+  // index and a from-scratch build over the final polygon set must agree
+  // shard by shard — byte-identical pairs in both modes, not merely
+  // equivalent results.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> base_set(ds.polygons.begin(),
+                                      ds.polygons.begin() +
+                                          static_cast<ptrdiff_t>(half));
+  std::vector<geom::Polygon> add_set(ds.polygons.begin() +
+                                         static_cast<ptrdiff_t>(half),
+                                     ds.polygons.end());
+
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  bopts.precision_bound_m = 80.0;
+  auto base = BuildShared(base_set, grid, {.num_shards = 3, .build = bopts});
+  auto fresh = BuildShared(ds.polygons, grid,
+                           {.num_shards = 3, .build = bopts});
+
+  ShardedIndex::Delta delta;
+  delta.add = add_set;
+  ShardedIndex::DeltaResult res = ShardedIndex::ApplyDelta(*base, delta);
+  ASSERT_NE(res.index, nullptr);
+  EXPECT_EQ(res.first_added_id, static_cast<uint32_t>(half));
+  EXPECT_EQ(res.index->num_polygons(), ds.polygons.size());
+  EXPECT_FALSE(res.touched_ranges.empty());
+  // The invalidation set must be sorted and coalesced — the cache's
+  // binary search depends on it.
+  for (size_t i = 0; i < res.touched_ranges.size(); ++i) {
+    EXPECT_LE(res.touched_ranges[i].first, res.touched_ranges[i].second);
+    if (i > 0) {
+      EXPECT_GT(res.touched_ranges[i].first,
+                res.touched_ranges[i - 1].second);
+    }
+  }
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 71);
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    EXPECT_EQ(res.index->JoinPairs(pts.AsJoinInput(), mode),
+              fresh->JoinPairs(pts.AsJoinInput(), mode));
+  }
+  ExpectStatsEqual(res.index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
+                   fresh->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}));
+}
+
+TEST(DeltaService, RemoveKeepsIdSlotsAndFiltersPairs) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.08);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 4, .build = bopts});
+
+  std::vector<uint32_t> removed;
+  for (uint32_t gid = 1; gid < ds.polygons.size(); gid += 3) {
+    removed.push_back(gid);
+  }
+  ShardedIndex::Delta delta;
+  delta.remove = removed;
+  ShardedIndex::DeltaResult res = ShardedIndex::ApplyDelta(*full, delta);
+  ASSERT_NE(res.index, nullptr);
+  // Ids are assign-only: a remove never shrinks the id space (a survivor
+  // keeps its global id; removed slots just count zero forever).
+  EXPECT_EQ(res.index->num_polygons(), ds.polygons.size());
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 3000, grid, 72);
+  auto all_pairs = full->JoinPairs(pts.AsJoinInput(), JoinMode::kExact);
+  decltype(all_pairs) want_pairs;
+  std::vector<bool> is_removed(ds.polygons.size(), false);
+  for (uint32_t gid : removed) is_removed[gid] = true;
+  for (const auto& pair : all_pairs) {
+    if (!is_removed[pair.second]) want_pairs.push_back(pair);
+  }
+  EXPECT_EQ(res.index->JoinPairs(pts.AsJoinInput(), JoinMode::kExact),
+            want_pairs);
+
+  act::JoinStats stats =
+      res.index->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+  ASSERT_EQ(stats.counts.size(), ds.polygons.size());
+  for (uint32_t gid : removed) EXPECT_EQ(stats.counts[gid], 0u);
+}
+
+TEST(DeltaService, LiveMutationsTypedVerdictsAndDropLifecycle) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> base_set(ds.polygons.begin(),
+                                      ds.polygons.begin() +
+                                          static_cast<ptrdiff_t>(half));
+  std::vector<geom::Polygon> add_set(ds.polygons.begin() +
+                                         static_cast<ptrdiff_t>(half),
+                                     ds.polygons.end());
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto base = BuildShared(base_set, grid, {.num_shards = 2, .build = bopts});
+  auto fresh = BuildShared(ds.polygons, grid,
+                           {.num_shards = 2, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 800, grid, 73);
+  act::JoinStats want_full =
+      fresh->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  JoinService service(base, sopts);  // dataset 0 at epoch 1
+
+  // Applied add: contiguous ids from the previous num_polygons, epoch
+  // bumped, joins serve the union immediately.
+  MutationResult add = service.AddPolygons(0, add_set);
+  ASSERT_EQ(add.status, MutationStatus::kApplied);
+  EXPECT_EQ(add.epoch, 2u);
+  EXPECT_EQ(add.first_id, static_cast<uint32_t>(half));
+  EXPECT_EQ(add.num_polygons, ds.polygons.size());
+  JoinResult joined = service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+  EXPECT_EQ(joined.epoch, 2u);
+  EXPECT_EQ(joined.stats.counts, want_full.counts);
+
+  // Typed rejections leave the dataset untouched: empty batches,
+  // out-of-range removes, unassigned ids.
+  EXPECT_EQ(service.AddPolygons(0, {}).status,
+            MutationStatus::kInvalidMutation);
+  EXPECT_EQ(service
+                .RemovePolygons(
+                    0, {static_cast<uint32_t>(ds.polygons.size())})
+                .status,
+            MutationStatus::kInvalidMutation);
+  EXPECT_EQ(service.RemovePolygons(0, {}).status,
+            MutationStatus::kInvalidMutation);
+  EXPECT_EQ(service.AddPolygons(9, add_set).status,
+            MutationStatus::kUnknownDataset);
+  EXPECT_EQ(service.epoch(), 2u);
+
+  // Applied remove: id slots survive (counts vector keeps its length).
+  MutationResult rm = service.RemovePolygons(0, {0});
+  ASSERT_EQ(rm.status, MutationStatus::kApplied);
+  EXPECT_EQ(rm.epoch, 3u);
+  EXPECT_EQ(rm.num_polygons, ds.polygons.size());
+  JoinResult after_rm =
+      service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+  ASSERT_EQ(after_rm.stats.counts.size(), ds.polygons.size());
+  EXPECT_EQ(after_rm.stats.counts[0], 0u);
+
+  // Drop: tombstoned, joins and mutations reject typed, id stays assigned.
+  MutationResult drop = service.DropDataset(0);
+  ASSERT_EQ(drop.status, MutationStatus::kApplied);
+  EXPECT_EQ(drop.epoch, 4u);
+  EXPECT_EQ(drop.num_polygons, 0u);
+  EXPECT_TRUE(service.catalog().IsDropped(0));
+  EXPECT_FALSE(service.catalog().Servable(0));
+  EXPECT_EQ(service.AddPolygons(0, add_set).status,
+            MutationStatus::kDropped);
+  EXPECT_EQ(service.DropDataset(0).status, MutationStatus::kDropped);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.mutations_applied, 3u);  // add, remove, drop
+  EXPECT_EQ(stats.rejected_mutations, 6u);
+
+  // A full publish resurrects the slot: tombstone cleared, joins serve.
+  uint64_t epoch = service.SwapIndex(fresh);
+  EXPECT_EQ(epoch, 5u);
+  EXPECT_FALSE(service.catalog().IsDropped(0));
+  JoinResult revived =
+      service.Submit(MakeBatch(pts, JoinMode::kExact)).get();
+  EXPECT_EQ(revived.stats.counts, want_full.counts);
+  service.Shutdown();
+}
+
+TEST(DeltaService, CachedJoinsIdenticalToUncachedAcrossMutations) {
+  // End-to-end gate on InvalidateRanges: a cached service must stay
+  // byte-identical to an uncached one across live adds and removes — a
+  // carried-forward entry that should have been evicted would diverge
+  // here on the post-mutation rounds.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.06);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> base_set(ds.polygons.begin(),
+                                      ds.polygons.begin() +
+                                          static_cast<ptrdiff_t>(half));
+  std::vector<geom::Polygon> add_set(ds.polygons.begin() +
+                                         static_cast<ptrdiff_t>(half),
+                                     ds.polygons.end());
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  bopts.precision_bound_m = 80.0;
+  auto base = BuildShared(base_set, grid, {.num_shards = 2, .build = bopts});
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 74);
+
+  ServiceOptions cached_opts;
+  cached_opts.worker_threads = 1;
+  cached_opts.cell_cache_capacity = 4096;
+  JoinService cached(base, cached_opts);
+  ServiceOptions plain_opts;
+  plain_opts.worker_threads = 1;
+  JoinService plain(base, plain_opts);
+
+  auto expect_identical = [&](const char* stage) {
+    for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+      JoinResult want = plain.Submit(MakeBatch(pts, mode)).get();
+      for (int round = 0; round < 2; ++round) {  // fill, then hit
+        JoinResult got = cached.Submit(MakeBatch(pts, mode)).get();
+        EXPECT_EQ(got.stats.counts, want.stats.counts)
+            << stage << " round " << round;
+        EXPECT_EQ(got.stats.result_pairs, want.stats.result_pairs);
+        EXPECT_EQ(got.stats.matched_points, want.stats.matched_points);
+      }
+    }
+  };
+
+  expect_identical("baseline");
+  ASSERT_EQ(cached.AddPolygons(0, add_set).status,
+            MutationStatus::kApplied);
+  ASSERT_EQ(plain.AddPolygons(0, add_set).status, MutationStatus::kApplied);
+  expect_identical("after add");
+  std::vector<uint32_t> removed;
+  for (uint32_t gid = 0; gid < ds.polygons.size(); gid += 2) {
+    removed.push_back(gid);
+  }
+  ASSERT_EQ(cached.RemovePolygons(0, removed).status,
+            MutationStatus::kApplied);
+  ASSERT_EQ(plain.RemovePolygons(0, removed).status,
+            MutationStatus::kApplied);
+  expect_identical("after remove");
+  EXPECT_GT(cached.Stats().cache_hits, 0u);
+  cached.Shutdown();
+  plain.Shutdown();
+}
+
+TEST(DeltaCache, InvalidateRangesEvictsExactlyTouchedEntries) {
+  HotCellCache cache(/*capacity=*/1024, /*num_shards=*/4);
+  std::vector<CellRef> refs{{3, false}};
+  for (uint64_t cell = 0; cell < 100; ++cell) {
+    cache.Insert(/*dataset=*/0, cell, /*epoch=*/1, refs);
+    cache.Insert(/*dataset=*/1, cell, /*epoch=*/1, refs);
+  }
+  // Dataset 0 publishes epoch 2 touching [10,19] and [50,59]; dataset 1
+  // is untouched.
+  cache.InvalidateRanges(0, /*old_epoch=*/1, /*new_epoch=*/2,
+                         {{10, 19}, {50, 59}});
+
+  std::vector<CellRef> got;
+  for (uint64_t cell = 0; cell < 100; ++cell) {
+    const bool touched = (cell >= 10 && cell <= 19) ||
+                         (cell >= 50 && cell <= 59);
+    // Touched entries are gone at every epoch; untouched ones were carried
+    // forward to epoch 2 (they no longer answer for epoch 1).
+    EXPECT_FALSE(cache.Lookup(0, cell, 1, &got)) << cell;
+    EXPECT_EQ(cache.Lookup(0, cell, 2, &got), !touched) << cell;
+    // The other dataset's entries are untouched at their old epoch.
+    EXPECT_TRUE(cache.Lookup(1, cell, 1, &got)) << cell;
+  }
+
+  // Drop: every entry of the dataset goes, at every epoch.
+  cache.InvalidateDataset(1);
+  for (uint64_t cell = 0; cell < 100; ++cell) {
+    EXPECT_FALSE(cache.Lookup(1, cell, 1, &got)) << cell;
+  }
+  EXPECT_GT(cache.size(), 0u);  // dataset 0's survivors remain
+}
+
+TEST(DeltaCache, RefreshRaceNeverServesStaleRefsAtNewEpoch) {
+  // Regression for the in-place epoch refresh: Insert used to overwrite
+  // an entry's refs and epoch separately, so a reader at the new epoch
+  // could observe the new epoch paired with the old refs (and an old
+  // writer could downgrade a newer entry). Hammered under TSan by the
+  // Delta* CI preset.
+  HotCellCache cache(/*capacity=*/64, /*num_shards=*/2);
+  constexpr uint64_t kCell = 42;
+  const std::vector<CellRef> old_refs{{1, false}, {2, false}};
+  const std::vector<CellRef> new_refs{{7, true}};
+
+  std::atomic<bool> stop{false};
+  struct Observation {
+    uint64_t hits = 0;
+    uint64_t stale = 0;
+  };
+  Observation obs;
+  std::thread old_writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Insert(0, kCell, /*epoch=*/1, old_refs);
+    }
+  });
+  std::thread new_writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Insert(0, kCell, /*epoch=*/2, new_refs);
+    }
+  });
+  std::thread reader([&] {
+    std::vector<CellRef> got;
+    for (int i = 0; i < 100'000; ++i) {
+      if (cache.Lookup(0, kCell, /*epoch=*/2, &got)) {
+        ++obs.hits;
+        if (got.size() != 1 || got[0].local_pid != 7 || !got[0].interior) {
+          ++obs.stale;
+        }
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  reader.join();
+  old_writer.join();
+  new_writer.join();
+
+  EXPECT_GT(obs.hits, 0u);
+  EXPECT_EQ(obs.stale, 0u);
+}
+
 }  // namespace
 }  // namespace actjoin::service

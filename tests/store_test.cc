@@ -155,8 +155,8 @@ TEST(StoreSnapshot, MultipleDatasetsAndGenerations) {
   // Manifest order is first-Put order; generations are current.
   std::vector<DatasetRecord> records = store.Datasets();
   ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0], (DatasetRecord{"alpha", 3}));
-  EXPECT_EQ(records[1], (DatasetRecord{"beta", 2}));
+  EXPECT_EQ(records[0], (DatasetRecord{"alpha", 3, 3, {}}));
+  EXPECT_EQ(records[1], (DatasetRecord{"beta", 2, 2, {}}));
 
   // alpha serves its *new* snapshot (the full polygon set).
   std::shared_ptr<const ShardedIndex> alpha = store.Load("alpha");
@@ -286,7 +286,7 @@ TEST(StoreCrash, ManifestTruncationAtEveryOffsetRecoversLastGeneration) {
     std::vector<DatasetRecord> records = store.Datasets();
     ASSERT_EQ(records.size(), 1u) << "cut=" << cut;
     // The .bak manifest is the generation-1 catalog.
-    EXPECT_EQ(records[0], (DatasetRecord{"zones", 1})) << "cut=" << cut;
+    EXPECT_EQ(records[0], (DatasetRecord{"zones", 1, 1, {}})) << "cut=" << cut;
     std::shared_ptr<const ShardedIndex> loaded = store.Load("zones");
     ASSERT_NE(loaded, nullptr) << "cut=" << cut;
     EXPECT_EQ(loaded->num_polygons(), first.size()) << "cut=" << cut;
@@ -328,8 +328,8 @@ TEST(StoreCrash, BothManifestsGoneRecoversByDirectoryScan) {
   ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
   std::vector<DatasetRecord> records = store.Datasets();
   ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0], (DatasetRecord{"zones", 3}));  // newest on disk
-  EXPECT_EQ(records[1], (DatasetRecord{"alpha", 2}));
+  EXPECT_EQ(records[0], (DatasetRecord{"zones", 3, 3, {}}));  // newest on disk
+  EXPECT_EQ(records[1], (DatasetRecord{"alpha", 2, 2, {}}));
   std::shared_ptr<const ShardedIndex> loaded = store.Load("zones");
   ASSERT_NE(loaded, nullptr);
   ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
@@ -669,6 +669,391 @@ TEST(StoreWarmRestart, UnloadableDatasetGoesOfflineWithoutShiftingIds) {
   service.SwapIndex(0, index);
   QueryBatch repaired{pts.cell_ids(), pts.points(), JoinMode::kExact, 0};
   EXPECT_GT(service.Submit(std::move(repaired)).get().stats.result_pairs, 0u);
+}
+
+// --- Delta chains: live-mutation persistence -------------------------------
+
+TEST(DeltaStore, PutDeltaLoadReplaysChainByteIdenticalBothModes) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> base_polys(ds.polygons.begin(),
+                                        ds.polygons.begin() + half);
+  std::vector<geom::Polygon> add_polys(ds.polygons.begin() + half,
+                                       ds.polygons.end());
+  auto base = BuildIndex(base_polys, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 81);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("delta_chain")}, &error)) << error;
+
+  // A delta with no base full snapshot is unreplayable: refused.
+  service::MutationRecord add_rec;
+  add_rec.kind = service::MutationRecord::Kind::kAdd;
+  add_rec.added = add_polys;
+  EXPECT_FALSE(store.PutDelta("zones", {add_rec}, nullptr, &error));
+
+  ASSERT_TRUE(store.Put("zones", *base, nullptr, &error)) << error;
+  uint64_t gen = 0;
+  ASSERT_TRUE(store.PutDelta("zones", {add_rec}, &gen, &error)) << error;
+  EXPECT_EQ(gen, 2u);
+  service::MutationRecord remove_rec;
+  remove_rec.kind = service::MutationRecord::Kind::kRemove;
+  remove_rec.removed = {0, 3, 7};
+  ASSERT_TRUE(store.PutDelta("zones", {remove_rec}, &gen, &error)) << error;
+  EXPECT_EQ(gen, 3u);
+
+  // The manifest records the chain: base full + ascending deltas.
+  std::vector<DatasetRecord> records = store.Datasets();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0],
+            (DatasetRecord{"zones", 3, 1, {2, 3}}));
+
+  // The replayed chain is the live ApplyDelta result, byte for byte.
+  service::ShardedIndex::Delta add_delta;
+  add_delta.add = add_polys;
+  auto applied = service::ShardedIndex::ApplyDelta(*base, add_delta).index;
+  service::ShardedIndex::Delta remove_delta;
+  remove_delta.remove = {0, 3, 7};
+  auto want = service::ShardedIndex::ApplyDelta(*applied, remove_delta).index;
+
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  EXPECT_EQ(report.error, LoadError::kNone);
+  EXPECT_EQ(report.generation, 3u);
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_FALSE(report.dropped);
+  EXPECT_EQ(loaded->num_polygons(), want->num_polygons());
+  for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+    ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {mode, 1}),
+                     want->Join(pts.AsJoinInput(), {mode, 1}));
+    EXPECT_EQ(loaded->JoinPairs(pts.AsJoinInput(), mode),
+              want->JoinPairs(pts.AsJoinInput(), mode));
+  }
+
+  // A full Put compacts: the chain resets and GC removes the deltas.
+  ASSERT_TRUE(store.Put("zones", *want, &gen, &error)) << error;
+  EXPECT_EQ(gen, 4u);
+  records = store.Datasets();
+  EXPECT_EQ(records[0], (DatasetRecord{"zones", 4, 4, {}}));
+  EXPECT_GE(store.GarbageCollect(&error), 2) << error;
+  EXPECT_FALSE(FileExists(store.DeltaPath("zones", 2)));
+  EXPECT_FALSE(FileExists(store.DeltaPath("zones", 3)));
+}
+
+TEST(DeltaStore, CorruptMiddleDeltaFallsBackTypedToLastFullGeneration) {
+  // One bad block in the middle of the chain must cost the *deltas*, not
+  // the dataset: Load abandons the chain typed (kBadChecksum) and serves
+  // the base full generation alone.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t third = ds.polygons.size() / 3;
+  std::vector<geom::Polygon> base_polys(ds.polygons.begin(),
+                                        ds.polygons.begin() + third);
+  std::vector<geom::Polygon> add1(ds.polygons.begin() + third,
+                                  ds.polygons.begin() + 2 * third);
+  std::vector<geom::Polygon> add2(ds.polygons.begin() + 2 * third,
+                                  ds.polygons.end());
+  auto base = BuildIndex(base_polys, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1000, grid, 82);
+  act::JoinStats base_want =
+      base->Join(pts.AsJoinInput(), {JoinMode::kExact, 1});
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("delta_corrupt")}, &error))
+      << error;
+  ASSERT_TRUE(store.Put("zones", *base, nullptr, &error)) << error;
+  service::MutationRecord rec;
+  rec.kind = service::MutationRecord::Kind::kAdd;
+  rec.added = add1;
+  ASSERT_TRUE(store.PutDelta("zones", {rec}, nullptr, &error)) << error;
+  rec.added = add2;
+  ASSERT_TRUE(store.PutDelta("zones", {rec}, nullptr, &error)) << error;
+
+  // Flip one payload byte in the *middle* delta (generation 2); the last
+  // delta (generation 3) is intact but unreplayable without its
+  // predecessor.
+  const std::string middle = store.DeltaPath("zones", 2);
+  const std::string pristine = ReadFile(middle);
+  ASSERT_GT(pristine.size(), 64u);
+  std::string flipped = pristine;
+  flipped[pristine.size() / 2] =
+      static_cast<char>(flipped[pristine.size() / 2] ^ 0x20);
+  WriteFile(middle, flipped);
+
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  EXPECT_EQ(report.error, LoadError::kBadChecksum);
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(report.deltas_applied, 0u);
+  EXPECT_EQ(loaded->num_polygons(), base_polys.size());
+  ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
+                   base_want);
+
+  // A *missing* middle delta is the same story, typed kMissing.
+  std::remove(middle.c_str());
+  loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  EXPECT_EQ(report.error, LoadError::kMissing);
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(loaded->num_polygons(), base_polys.size());
+
+  // Restored: the full chain replays again.
+  WriteFile(middle, pristine);
+  loaded = store.Load("zones", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_EQ(loaded->num_polygons(), ds.polygons.size());
+}
+
+TEST(DeltaStore, CheckpointerWritesDeltasAndCompactsAtChainLimit) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> base_polys(ds.polygons.begin(),
+                                        ds.polygons.begin() + half);
+  auto base = BuildIndex(base_polys, grid, 2);
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1000, grid, 83);
+
+  SnapshotStore store;
+  std::string error;
+  ASSERT_TRUE(store.Open({.dir = FreshDir("delta_ckpt")}, &error)) << error;
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  JoinService service(base, sopts);
+  CheckpointerOptions copts;
+  copts.autostart = false;
+  copts.max_delta_chain = 2;
+  Checkpointer ckpt(&store, &service, copts);
+
+  // First checkpoint of a dataset is always a full snapshot.
+  EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+  EXPECT_EQ(ckpt.stats().delta_checkpoints, 0u);
+
+  // A live mutation whose journal span is covered persists as a delta.
+  std::vector<geom::Polygon> add1(ds.polygons.begin() + half,
+                                  ds.polygons.begin() + half + half / 2);
+  ASSERT_EQ(service.AddPolygons(0, add1).status,
+            service::MutationStatus::kApplied);
+  EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+  EXPECT_EQ(ckpt.stats().delta_checkpoints, 1u);
+  ASSERT_EQ(service.RemovePolygons(0, {1}).status,
+            service::MutationStatus::kApplied);
+  EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+  EXPECT_EQ(ckpt.stats().delta_checkpoints, 2u);
+  std::vector<DatasetRecord> records = store.Datasets();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].base_generation, 1u);
+  EXPECT_EQ(records[0].delta_generations.size(), 2u);
+
+  // The chain is at max_delta_chain: the next checkpoint compacts to a
+  // fresh full snapshot and resets the chain.
+  std::vector<geom::Polygon> add2(ds.polygons.begin() + half + half / 2,
+                                  ds.polygons.end());
+  ASSERT_EQ(service.AddPolygons(0, add2).status,
+            service::MutationStatus::kApplied);
+  EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+  EXPECT_EQ(ckpt.stats().delta_checkpoints, 2u);  // unchanged: it was full
+  records = store.Datasets();
+  EXPECT_EQ(records[0].base_generation, records[0].generation);
+  EXPECT_TRUE(records[0].delta_generations.empty());
+
+  // What the store serves is what the service serves, at every point.
+  LoadReport report;
+  std::shared_ptr<const ShardedIndex> loaded =
+      store.Load("default", &report);
+  ASSERT_NE(loaded, nullptr) << report.detail;
+  QueryBatch batch{pts.cell_ids(), pts.points(), JoinMode::kExact, 0};
+  service::JoinResult live = service.Submit(std::move(batch)).get();
+  ExpectStatsEqual(loaded->Join(pts.AsJoinInput(), {JoinMode::kExact, 1}),
+                   live.stats);
+}
+
+TEST(DeltaStore, StopQuiescesNeverStartedCheckpointerAndRacingSwaps) {
+  // The shutdown race regression: an epoch published concurrently with
+  // Stop — or under an autostart=false checkpointer that never ran — must
+  // still be durable when Stop returns.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.04);
+  const size_t half = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> first(ds.polygons.begin(),
+                                   ds.polygons.begin() + half);
+  auto small = BuildIndex(first, grid, 2);
+  auto big = BuildIndex(ds.polygons, grid, 2);
+
+  {
+    // Never started: Stop still owes the quiesce sweeps.
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = FreshDir("quiesce_cold")}, &error))
+        << error;
+    ServiceOptions sopts;
+    sopts.worker_threads = 1;
+    JoinService service(small, sopts);
+    Checkpointer ckpt(&store, &service, {.autostart = false});
+    service.SwapIndex(big);
+    ckpt.Stop();
+    std::shared_ptr<const ShardedIndex> loaded = store.Load("default");
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->num_polygons(), ds.polygons.size());
+    ckpt.Stop();  // repeated Stop is a no-op
+    EXPECT_GE(ckpt.stats().sweeps, 1u);
+  }
+
+  {
+    // Swaps racing the background thread and Stop itself: whatever was
+    // published before Stop returned must be on disk (TSan coverage for
+    // the quiesce loop vs SwapIndex).
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = FreshDir("quiesce_race")}, &error))
+        << error;
+    ServiceOptions sopts;
+    sopts.worker_threads = 1;
+    JoinService service(small, sopts);
+    CheckpointerOptions copts;
+    copts.interval_ms = 1;
+    Checkpointer ckpt(&store, &service, copts);
+    std::thread swapper([&] {
+      for (int i = 0; i < 10; ++i) {
+        service.SwapIndex(i % 2 == 0 ? big : small);
+      }
+      service.SwapIndex(big);  // the state Stop must make durable
+    });
+    swapper.join();
+    ckpt.Stop();
+    std::shared_ptr<const ShardedIndex> loaded = store.Load("default");
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->num_polygons(), ds.polygons.size());
+  }
+}
+
+TEST(DeltaStore, WarmRestartOverDeltaChainByteIdenticalOverTheWire) {
+  // The live-mutation acceptance contract, end to end: a dataset mutated
+  // over the wire, checkpointed as full -> delta -> delta, torn down, and
+  // warm-started from the store must serve JOIN_BATCH byte-identical to
+  // (a) the pre-restart live service and (b) a fresh full build of the
+  // same final polygon set, in both join modes. Then: a corrupt middle
+  // delta downgrades the restart — typed — to the last full generation,
+  // and a persisted drop keeps rejecting typed after restart.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t third = ds.polygons.size() / 3;
+  std::vector<geom::Polygon> base_polys(ds.polygons.begin(),
+                                        ds.polygons.begin() + third);
+  std::vector<geom::Polygon> add1(ds.polygons.begin() + third,
+                                  ds.polygons.begin() + 2 * third);
+  std::vector<geom::Polygon> add2(ds.polygons.begin() + 2 * third,
+                                  ds.polygons.end());
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 2000, grid, 84);
+
+  std::string dir = FreshDir("warm_delta");
+  std::vector<service::JoinResult> want;  // [mode] before the restart
+  {
+    auto base = BuildIndex(base_polys, grid, 2);
+    ServiceOptions sopts;
+    sopts.worker_threads = 2;
+    JoinService service(base, sopts);
+    net::JoinServer server(&service, net::ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    net::JoinClient client;
+    ASSERT_TRUE(client.Connect(server.host(), server.port(), &error))
+        << error;
+
+    SnapshotStore store;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    Checkpointer ckpt(&store, &service, {.autostart = false});
+    EXPECT_EQ(ckpt.CheckpointNow(), 1u);  // full (generation 1)
+
+    // Two streamed adds, each checkpointed as one O(churn) delta.
+    ASSERT_TRUE(client.AddPolygons(0, add1).ok);
+    EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+    ASSERT_TRUE(client.AddPolygons(0, add2).ok);
+    EXPECT_EQ(ckpt.CheckpointNow(), 1u);
+    EXPECT_EQ(ckpt.stats().delta_checkpoints, 2u);
+    std::vector<DatasetRecord> records = store.Datasets();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].delta_generations.size(), 2u);
+
+    for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+      QueryBatch batch{pts.cell_ids(), pts.points(), mode, 0};
+      net::JoinClient::Reply reply = client.Join(batch);
+      ASSERT_TRUE(reply.ok) << reply.message;
+      want.push_back(reply.result);
+    }
+    server.Stop();
+  }  // the process is gone; only the store directory survives
+
+  // --- Restart from full + delta + delta ---
+  auto fresh_full = BuildIndex(ds.polygons, grid, 2);
+  {
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    ServiceOptions sopts;
+    sopts.worker_threads = 2;
+    JoinService service(sopts);
+    std::vector<std::string> failed;
+    ASSERT_EQ(WarmStart(store, &service.catalog(), &failed), 1u)
+        << (failed.empty() ? "" : failed[0]);
+    net::JoinServer server(&service, net::ServerOptions{});
+    ASSERT_TRUE(server.Start(&error)) << error;
+    net::JoinClient client;
+    ASSERT_TRUE(client.Connect(server.host(), server.port(), &error))
+        << error;
+
+    size_t i = 0;
+    for (JoinMode mode : {JoinMode::kExact, JoinMode::kApproximate}) {
+      QueryBatch batch{pts.cell_ids(), pts.points(), mode, 0};
+      net::JoinClient::Reply reply = client.Join(batch);
+      ASSERT_TRUE(reply.ok) << reply.message;
+      // Byte-identical to the pre-restart live service...
+      ExpectStatsEqual(reply.result.stats, want[i].stats);
+      // ...and to a fresh full rebuild of the final polygon set.
+      ExpectStatsEqual(reply.result.stats,
+                       fresh_full->Join(pts.AsJoinInput(), {mode, 1}));
+      ++i;
+    }
+
+    // Drop the dataset live, checkpoint it, and keep the store.
+    ASSERT_TRUE(client.DropDataset(0).ok);
+    Checkpointer drop_ckpt(&store, &service, {.autostart = false});
+    EXPECT_GE(drop_ckpt.CheckpointNow(), 1u);
+    net::JoinClient::Reply dead = client.Join(
+        QueryBatch{pts.cell_ids(), pts.points(), JoinMode::kExact, 0});
+    EXPECT_FALSE(dead.ok);
+    EXPECT_EQ(dead.error, net::WireError::kDatasetDropped);
+    server.Stop();
+  }
+
+  // --- Restart again: the drop survived ---
+  {
+    SnapshotStore store;
+    std::string error;
+    ASSERT_TRUE(store.Open({.dir = dir}, &error)) << error;
+    LoadReport report;
+    std::shared_ptr<const ShardedIndex> loaded =
+        store.Load("default", &report);
+    ASSERT_NE(loaded, nullptr) << report.detail;
+    EXPECT_TRUE(report.dropped);
+    EXPECT_EQ(loaded->num_polygons(), 0u);
+    ServiceOptions sopts;
+    sopts.worker_threads = 1;
+    JoinService service(sopts);
+    EXPECT_EQ(WarmStart(store, &service.catalog(), nullptr), 1u);
+    EXPECT_TRUE(service.catalog().IsDropped(0));
+    EXPECT_FALSE(service.catalog().Servable(0));
+  }
 }
 
 }  // namespace
