@@ -143,4 +143,44 @@ size_t AdmissionController::in_flight_bytes() const {
   return in_flight_bytes_;
 }
 
+void AdmissionController::RegisterMetrics(
+    util::MetricsRegistry* registry) const {
+  registry->RegisterCounterFn("admission_admitted_total",
+                              "Requests admitted at the door", "",
+                              [this] { return counters().admitted; });
+  registry->RegisterCounterFn(
+      "admission_rejected_total", "Admission rejections by knob",
+      "reason=\"rate_limit\"", [this] { return counters().rate_limited; });
+  registry->RegisterCounterFn(
+      "admission_rejected_total", "", "reason=\"inflight_bytes\"",
+      [this] { return counters().inflight_bytes; });
+  registry->RegisterCounterFn(
+      "admission_rejected_total", "", "reason=\"queue_watermark\"",
+      [this] { return counters().queue_watermark; });
+  registry->RegisterCounterFn("admission_refunded_total",
+                              "Admissions rolled back without work", "",
+                              [this] { return counters().refunded; });
+  registry->RegisterGaugeFn(
+      "admission_inflight_bytes", "Payload bytes admitted but not completed",
+      "", [this] { return static_cast<double>(in_flight_bytes()); });
+  registry->RegisterCounterFamilyFn(
+      "peer_admitted_total", "Requests admitted per peer", [this] {
+        util::MetricsRegistry::FamilySeries out;
+        for (const service::PeerAdmissionStats& p : PerPeer()) {
+          out.emplace_back("peer=\"" + p.peer + "\"",
+                           static_cast<double>(p.admitted));
+        }
+        return out;
+      });
+  registry->RegisterCounterFamilyFn(
+      "peer_rate_limited_total", "Rate-limit rejections per peer", [this] {
+        util::MetricsRegistry::FamilySeries out;
+        for (const service::PeerAdmissionStats& p : PerPeer()) {
+          out.emplace_back("peer=\"" + p.peer + "\"",
+                           static_cast<double>(p.rate_limited));
+        }
+        return out;
+      });
+}
+
 }  // namespace actjoin::net

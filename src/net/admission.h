@@ -133,6 +133,11 @@ class AdmissionController {
   size_t in_flight_bytes() const;
   const AdmissionPolicy& policy() const { return policy_; }
 
+  /// Registers the controller's counters (global splits + per-peer
+  /// families) into `registry` as collection-time callbacks; the
+  /// controller must outlive collections.
+  void RegisterMetrics(util::MetricsRegistry* registry) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 

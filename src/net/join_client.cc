@@ -180,6 +180,46 @@ bool JoinClient::GetStats(service::ServiceStats* out, std::string* error) {
   return true;
 }
 
+bool JoinClient::GetMetrics(MetricsReport* out, std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeGetMetricsFrame(id, MetricsFormat::kBinary), id,
+            MessageType::kMetricsResult, &payload, &reply)) {
+    if (error != nullptr) *error = reply.message;
+    return false;
+  }
+  MetricsFormat format = MetricsFormat::kBinary;
+  std::string text;
+  if (!DecodeMetricsResult(payload, &format, &text, out) ||
+      format != MetricsFormat::kBinary) {
+    Close();
+    if (error != nullptr) *error = "undecodable metrics response";
+    return false;
+  }
+  return true;
+}
+
+bool JoinClient::GetMetricsText(std::string* out, std::string* error) {
+  Reply reply;
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  if (!Call(EncodeGetMetricsFrame(id, MetricsFormat::kText), id,
+            MessageType::kMetricsResult, &payload, &reply)) {
+    if (error != nullptr) *error = reply.message;
+    return false;
+  }
+  MetricsFormat format = MetricsFormat::kText;
+  MetricsReport report;
+  if (!DecodeMetricsResult(payload, &format, out, &report) ||
+      format != MetricsFormat::kText) {
+    Close();
+    if (error != nullptr) *error = "undecodable metrics response";
+    return false;
+  }
+  return true;
+}
+
 bool JoinClient::ListDatasets(std::vector<service::DatasetInfo>* out,
                               std::string* error) {
   Reply reply;

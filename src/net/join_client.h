@@ -69,6 +69,12 @@ class JoinClient {
 
   bool Ping(std::string* error = nullptr);
   bool GetStats(service::ServiceStats* out, std::string* error = nullptr);
+  /// Fetches the server's metrics in structured binary form (samples +
+  /// event log + slow-query ring). Wire v4; an older server answers with
+  /// the recoverable kUnknownType, surfaced here as false + *error.
+  bool GetMetrics(MetricsReport* out, std::string* error = nullptr);
+  /// Fetches the Prometheus text exposition (what a scraper would relay).
+  bool GetMetricsText(std::string* out, std::string* error = nullptr);
   /// Enumerates the server's dataset catalog (id, name, epoch, sizes).
   bool ListDatasets(std::vector<service::DatasetInfo>* out,
                     std::string* error = nullptr);

@@ -14,7 +14,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "service/trace.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace actjoin::net {
 
@@ -92,6 +94,27 @@ JoinServer::JoinServer(service::JoinService* service,
   if (opts_.io_threads < 1) opts_.io_threads = 1;
   if (opts_.max_frame_bytes < kFrameHeaderBytes) {
     opts_.max_frame_bytes = kFrameHeaderBytes;
+  }
+  if (util::MetricsRegistry* registry = service_->metrics()) {
+    registry->RegisterCounterFn(
+        "server_connections_accepted_total", "Sockets accepted", "", [this] {
+          return connections_accepted_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "server_connections_closed_total", "Sockets closed", "", [this] {
+          return connections_closed_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "server_frames_received_total", "Well-framed requests received", "",
+        [this] { return frames_received_.load(std::memory_order_relaxed); });
+    registry->RegisterCounterFn(
+        "server_responses_sent_total", "Response frames fully flushed", "",
+        [this] { return responses_sent_.load(std::memory_order_relaxed); });
+    registry->RegisterCounterFn(
+        "server_protocol_errors_total",
+        "Malformed frames, unknown types, oversized payloads", "",
+        [this] { return protocol_errors_.load(std::memory_order_relaxed); });
+    admission_.RegisterMetrics(registry);
   }
 }
 
@@ -463,6 +486,38 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
                     EncodeDatasetListFrame(header.request_id,
                                            service_->catalog().List()));
       return;
+    case MessageType::kGetMetrics: {
+      MetricsFormat format;
+      if (!DecodeGetMetrics(payload, &format)) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        QueueResponse(
+            io, conn,
+            EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                             ToString(WireError::kMalformedPayload)));
+        return;
+      }
+      // Collection walks registered callbacks under the registry mutex —
+      // bounded by instrument count, not data size — so it is answered
+      // from the event loop like STATS. A service built with
+      // enable_metrics=false answers with an empty exposition rather than
+      // an error: scrapers should not have to special-case that config.
+      util::MetricsRegistry* registry = service_->metrics();
+      if (format == MetricsFormat::kText) {
+        QueueResponse(io, conn,
+                      EncodeMetricsTextFrame(
+                          header.request_id,
+                          registry != nullptr ? registry->RenderPrometheus()
+                                              : std::string()));
+      } else {
+        MetricsReport report;
+        if (registry != nullptr) {
+          report = BuildMetricsReport(*registry, &service_->slow_queries());
+        }
+        QueueResponse(io, conn,
+                      EncodeMetricsReportFrame(header.request_id, report));
+      }
+      return;
+    }
     case MessageType::kJoinBatch:
       HandleJoinBatch(t, io, conn, header, payload);
       return;
@@ -485,6 +540,10 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
 void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
                                  const FrameHeader& header,
                                  std::span<const uint8_t> payload) {
+  // Started unconditionally (one clock read; the trace flag is not known
+  // until the payload is decoded). kAdmission covers entry through the
+  // admission verdict; kDecode covers the payload decode.
+  util::WallTimer stage_timer;
   // Load shedding comes first, and it only needs the payload *size*:
   // a rejected request must cost O(1), not an O(payload) decode.
   if (stopping_.load(std::memory_order_acquire)) {
@@ -521,6 +580,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
                                              ToString(code)));
     return;
   }
+  const double admission_us = stage_timer.ElapsedSeconds() * 1e6;
 
   service::QueryBatch batch;
   if (!DecodeQueryBatch(payload, &batch)) {
@@ -532,6 +592,7 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
                          ToString(WireError::kMalformedPayload)));
     return;
   }
+  const double decode_us = stage_timer.ElapsedSeconds() * 1e6 - admission_us;
 
   bool stopping_now = false;
   {
@@ -557,12 +618,28 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
   const uint64_t conn_id = conn.id;
   const uint64_t request_id = header.request_id;
   batch.dataset_id = header.dataset_id;
+  // The wire request id doubles as the trace id so a slow-query entry or
+  // inline stage breakdown is joinable back to the client's own request.
+  batch.trace_id = header.request_id;
   service::SubmitStatus status = service_->TrySubmitAsync(
       std::move(batch),
       // Runs on the service worker that executed the join.
-      [this, t, conn_id, request_id, bytes](service::JoinResult result) {
+      [this, t, conn_id, request_id, bytes, admission_us,
+       decode_us](service::JoinResult result) {
+        if (result.trace.enabled) {
+          // The service fills queue/decompose/probe/merge; the server owns
+          // the stages on either side of the submit boundary.
+          result.trace.at(service::TraceStage::kAdmission) = admission_us;
+          result.trace.at(service::TraceStage::kDecode) = decode_us;
+        }
+        util::WallTimer respond_timer;
         std::vector<uint8_t> frame =
             EncodeJoinResultFrame(request_id, result);
+        if (result.trace.enabled) {
+          // The respond stage times the encode of the very frame that
+          // carries it, so it is patched into the trailer after the fact.
+          PatchRespondStage(&frame, respond_timer.ElapsedSeconds() * 1e6);
+        }
         admission_.Release(bytes);
         DeliverAsync(t, conn_id, std::move(frame));
         {

@@ -129,13 +129,14 @@ std::vector<uint8_t> EncodeFrame(MessageType type, uint64_t request_id,
 }
 
 // QueryBatch payload:
-//   u8 mode (0 = approximate, 1 = exact), u8[3] reserved,
+//   u8 mode (0 = approximate, 1 = exact), u8 flags (bit 0: trace; was
+//   reserved before v4), u16 reserved,
 //   u32 num_points, u64 cell_ids[num_points], f64 {x, y}[num_points]
 void AppendQueryBatch(const service::QueryBatch& batch, util::ByteWriter* w) {
   ACT_CHECK_MSG(batch.cell_ids.size() == batch.points.size(),
                 "QueryBatch cell_ids and points must be parallel arrays");
   w->PutU8(batch.mode == act::JoinMode::kExact ? 1 : 0);
-  w->PutU8(0);
+  w->PutU8(batch.trace ? 1 : 0);
   w->PutU16(0);
   w->PutU32(static_cast<uint32_t>(batch.points.size()));
   for (uint64_t id : batch.cell_ids) w->PutU64(id);
@@ -149,14 +150,15 @@ bool DecodeQueryBatch(std::span<const uint8_t> payload,
                       service::QueryBatch* out) {
   util::ByteReader r(payload);
   uint8_t mode = r.U8();
-  uint8_t pad8 = r.U8();
+  uint8_t flags = r.U8();
   uint16_t pad16 = r.U16();
   uint32_t n = r.U32();
-  if (!r.ok() || mode > 1 || pad8 != 0 || pad16 != 0) return false;
+  if (!r.ok() || mode > 1 || flags > 1 || pad16 != 0) return false;
   // Exact-size check before allocating: a forged count cannot make us
   // reserve more than the payload that actually arrived.
   if (r.remaining() != static_cast<size_t>(n) * 24) return false;
   out->mode = mode == 1 ? act::JoinMode::kExact : act::JoinMode::kApproximate;
+  out->trace = (flags & 1) != 0;
   out->cell_ids.resize(n);
   for (uint32_t i = 0; i < n; ++i) out->cell_ids[i] = r.U64();
   out->points.resize(n);
@@ -169,7 +171,11 @@ bool DecodeQueryBatch(std::span<const uint8_t> payload,
 
 // JoinResult payload:
 //   u64 epoch, f64 queue_wait_ms, f64 service_ms, then act::JoinStats as
-//   8 u64 counters, f64 seconds, u64 counts_len, u64 counts[]
+//   8 u64 counters, f64 seconds, u64 counts_len, u64 counts[], then (v4)
+//   u8 traced + u8[3] reserved, and — only when traced — u64 trace
+//   request id + kNumTraceStages f64 stage times in microseconds (stage
+//   order per service::TraceStage; the respond slot is last, written 0 by
+//   the encoder and patched in place via PatchRespondStage).
 void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w) {
   w->PutU64(result.epoch);
   w->PutF64(result.queue_wait_ms);
@@ -186,6 +192,13 @@ void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w) {
   w->PutF64(s.seconds);
   w->PutU64(s.counts.size());
   for (uint64_t c : s.counts) w->PutU64(c);
+  w->PutU8(result.trace.enabled ? 1 : 0);
+  w->PutU8(0);
+  w->PutU16(0);
+  if (result.trace.enabled) {
+    w->PutU64(result.trace.request_id);
+    for (double us : result.trace.stage_us) w->PutF64(us);
+  }
 }
 
 bool DecodeJoinResult(std::span<const uint8_t> payload,
@@ -205,19 +218,42 @@ bool DecodeJoinResult(std::span<const uint8_t> payload,
   s.sth_points = r.U64();
   s.seconds = r.F64();
   uint64_t counts_len = r.U64();
+  if (!r.ok()) return false;
   // Divide, don't multiply: counts_len is attacker-controlled and
-  // counts_len * 8 can wrap past the size check into a giant resize.
-  if (!r.ok() || r.remaining() % 8 != 0 || counts_len != r.remaining() / 8) {
+  // counts_len * 8 can wrap past the size check into a giant resize. The
+  // v4 trailer after the counts is 4 bytes (traced flag + pad), plus the
+  // trace id and stage array when traced.
+  const size_t rem = r.remaining();
+  constexpr size_t kTraceBytes = 8 + 8 * service::kNumTraceStages;
+  if (rem < 4 || counts_len > (rem - 4) / 8) return false;
+  const size_t counts_bytes = static_cast<size_t>(counts_len) * 8;
+  if (rem != counts_bytes + 4 && rem != counts_bytes + 4 + kTraceBytes) {
     return false;
   }
   s.counts.resize(counts_len);
   for (uint64_t i = 0; i < counts_len; ++i) s.counts[i] = r.U64();
+  uint8_t traced = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  if (!r.ok() || traced > 1 || pad8 != 0 || pad16 != 0) return false;
+  out->trace = service::TraceContext{};
+  if (traced == 1) {
+    if (rem != counts_bytes + 4 + kTraceBytes) return false;
+    out->trace.enabled = true;
+    out->trace.request_id = r.U64();
+    for (double& us : out->trace.stage_us) us = r.F64();
+  } else if (rem != counts_bytes + 4) {
+    return false;
+  }
   return r.AtEnd();
 }
 
 // ServiceStats payload: the struct's fields in declaration order, then the
 // per-peer admission table (u32 count, per peer: length-prefixed key, u64
-// admitted, u64 rate_limited).
+// admitted, u64 rate_limited), then (v4) f64 queue_wait_p999_ms, f64
+// service_p999_ms and the per-dataset split table (u32 count, per split:
+// u16 id, u16 flags (bit 0: dropped), u64 epoch, u64 points_served, u64
+// completed, length-prefixed name).
 void AppendServiceStats(const service::ServiceStats& stats,
                         util::ByteWriter* w) {
   w->PutU64(stats.completed_requests);
@@ -248,6 +284,17 @@ void AppendServiceStats(const service::ServiceStats& stats,
     w->PutString(peer.peer);
     w->PutU64(peer.admitted);
     w->PutU64(peer.rate_limited);
+  }
+  w->PutF64(stats.queue_wait_p999_ms);
+  w->PutF64(stats.service_p999_ms);
+  w->PutU32(static_cast<uint32_t>(stats.dataset_splits.size()));
+  for (const service::DatasetSplit& split : stats.dataset_splits) {
+    w->PutU16(split.id);
+    w->PutU16(split.dropped ? 1 : 0);
+    w->PutU64(split.epoch);
+    w->PutU64(split.points_served);
+    w->PutU64(split.completed_requests);
+    w->PutString(split.name);
   }
 }
 
@@ -290,6 +337,25 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
     peer.rate_limited = r.U64();
     if (!r.ok()) return false;
     out->peers.push_back(std::move(peer));
+  }
+  out->queue_wait_p999_ms = r.F64();
+  out->service_p999_ms = r.F64();
+  uint32_t num_splits = r.U32();
+  // A split entry costs >= 32 payload bytes (forged-count bound, as above).
+  if (!r.ok() || num_splits > r.remaining() / 32 + 1) return false;
+  out->dataset_splits.clear();
+  out->dataset_splits.reserve(num_splits);
+  for (uint32_t i = 0; i < num_splits; ++i) {
+    service::DatasetSplit split;
+    split.id = r.U16();
+    uint16_t flags = r.U16();
+    split.epoch = r.U64();
+    split.points_served = r.U64();
+    split.completed_requests = r.U64();
+    split.name = r.String();
+    if (!r.ok() || flags > 1) return false;
+    split.dropped = (flags & 1) != 0;
+    out->dataset_splits.push_back(std::move(split));
   }
   return r.AtEnd();
 }
@@ -394,6 +460,155 @@ bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out) {
   return true;
 }
 
+MetricsReport BuildMetricsReport(const util::MetricsRegistry& registry,
+                                 const service::SlowQueryLog* slow_queries) {
+  MetricsReport report;
+  for (const util::CollectedMetric& m : registry.Collect()) {
+    const uint8_t kind = static_cast<uint8_t>(m.kind);
+    for (const util::MetricSeries& s : m.series) {
+      if (m.kind == util::MetricKind::kHistogram) {
+        const util::LatencyHistogram& h = s.hist;
+        report.samples.push_back(
+            {m.name + "_count", s.labels, kind,
+             static_cast<double>(h.count())});
+        report.samples.push_back(
+            {m.name + "_sum", s.labels, kind, h.sum_micros() / 1e6});
+        report.samples.push_back(
+            {m.name + "_p50", s.labels, kind, h.P50Micros() / 1e6});
+        report.samples.push_back(
+            {m.name + "_p99", s.labels, kind, h.P99Micros() / 1e6});
+        report.samples.push_back(
+            {m.name + "_p999", s.labels, kind, h.P999Micros() / 1e6});
+      } else {
+        report.samples.push_back({m.name, s.labels, kind, s.value});
+      }
+    }
+  }
+  report.events = registry.events().Snapshot();
+  if (slow_queries != nullptr) report.slow_queries = slow_queries->TopK();
+  return report;
+}
+
+// Binary metrics form: three length-prefixed tables —
+//   u32 num_samples, per sample: string name, string labels, u8 kind,
+//     u8[3] reserved, f64 value;
+//   u32 num_events, per event: u64 seq, f64 uptime_s, string kind,
+//     string subject, string detail;
+//   u32 num_slow, per entry: u64 request_id, u16 dataset_id, u16 reserved,
+//     u64 num_points, u64 epoch, f64 queue_wait_us, f64 service_us.
+void AppendMetricsReport(const MetricsReport& report, util::ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(report.samples.size()));
+  for (const MetricSample& s : report.samples) {
+    w->PutString(s.name);
+    w->PutString(s.labels);
+    w->PutU8(s.kind);
+    w->PutU8(0);
+    w->PutU16(0);
+    w->PutF64(s.value);
+  }
+  w->PutU32(static_cast<uint32_t>(report.events.size()));
+  for (const util::MetricEvent& e : report.events) {
+    w->PutU64(e.seq);
+    w->PutF64(e.uptime_s);
+    w->PutString(e.kind);
+    w->PutString(e.subject);
+    w->PutString(e.detail);
+  }
+  w->PutU32(static_cast<uint32_t>(report.slow_queries.size()));
+  for (const service::SlowQuery& q : report.slow_queries) {
+    w->PutU64(q.request_id);
+    w->PutU16(q.dataset_id);
+    w->PutU16(0);
+    w->PutU64(q.num_points);
+    w->PutU64(q.epoch);
+    w->PutF64(q.queue_wait_us);
+    w->PutF64(q.service_us);
+  }
+}
+
+bool DecodeMetricsReport(std::span<const uint8_t> payload,
+                         MetricsReport* out) {
+  util::ByteReader r(payload);
+  uint32_t num_samples = r.U32();
+  // A sample costs >= 20 payload bytes (forged-count bound, as elsewhere).
+  if (!r.ok() || num_samples > r.remaining() / 20 + 1) return false;
+  out->samples.clear();
+  out->samples.reserve(num_samples);
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    MetricSample s;
+    s.name = r.String();
+    s.labels = r.String();
+    s.kind = r.U8();
+    uint8_t pad8 = r.U8();
+    uint16_t pad16 = r.U16();
+    s.value = r.F64();
+    if (!r.ok() || s.kind > 2 || pad8 != 0 || pad16 != 0) return false;
+    out->samples.push_back(std::move(s));
+  }
+  uint32_t num_events = r.U32();
+  // An event costs >= 28 payload bytes.
+  if (!r.ok() || num_events > r.remaining() / 28 + 1) return false;
+  out->events.clear();
+  out->events.reserve(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    util::MetricEvent e;
+    e.seq = r.U64();
+    e.uptime_s = r.F64();
+    e.kind = r.String();
+    e.subject = r.String();
+    e.detail = r.String();
+    if (!r.ok()) return false;
+    out->events.push_back(std::move(e));
+  }
+  uint32_t num_slow = r.U32();
+  // A slow-query entry costs exactly 44 payload bytes.
+  if (!r.ok() || num_slow > r.remaining() / 44 + 1) return false;
+  out->slow_queries.clear();
+  out->slow_queries.reserve(num_slow);
+  for (uint32_t i = 0; i < num_slow; ++i) {
+    service::SlowQuery q;
+    q.request_id = r.U64();
+    q.dataset_id = r.U16();
+    uint16_t pad16 = r.U16();
+    q.num_points = r.U64();
+    q.epoch = r.U64();
+    q.queue_wait_us = r.F64();
+    q.service_us = r.F64();
+    if (!r.ok() || pad16 != 0) return false;
+    out->slow_queries.push_back(q);
+  }
+  return r.AtEnd();
+}
+
+bool DecodeGetMetrics(std::span<const uint8_t> payload,
+                      MetricsFormat* format) {
+  util::ByteReader r(payload);
+  uint8_t fmt = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  if (!r.ok() || !r.AtEnd() || fmt > 1 || pad8 != 0 || pad16 != 0) {
+    return false;
+  }
+  *format = static_cast<MetricsFormat>(fmt);
+  return true;
+}
+
+bool DecodeMetricsResult(std::span<const uint8_t> payload,
+                         MetricsFormat* format, std::string* text,
+                         MetricsReport* report) {
+  util::ByteReader r(payload);
+  uint8_t fmt = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  if (!r.ok() || fmt > 1 || pad8 != 0 || pad16 != 0) return false;
+  *format = static_cast<MetricsFormat>(fmt);
+  if (*format == MetricsFormat::kText) {
+    *text = r.String();
+    return r.ok() && r.AtEnd();
+  }
+  return DecodeMetricsReport(payload.subspan(4), report);
+}
+
 // Error payload: u16 code, u16 reserved, length-prefixed message.
 bool DecodeError(std::span<const uint8_t> payload, WireError* code,
                  std::string* message) {
@@ -467,6 +682,50 @@ std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
   BeginFrame(&w, MessageType::kMutateResult, request_id);
   AppendMutationAck(ack, &w);
   return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeGetMetricsFrame(uint64_t request_id,
+                                           MetricsFormat format) {
+  util::ByteWriter w(kFrameHeaderBytes + 4);
+  BeginFrame(&w, MessageType::kGetMetrics, request_id);
+  w.PutU8(static_cast<uint8_t>(format));
+  w.PutU8(0);
+  w.PutU16(0);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeMetricsTextFrame(uint64_t request_id,
+                                            std::string_view text) {
+  util::ByteWriter w(kFrameHeaderBytes + 8 + text.size());
+  BeginFrame(&w, MessageType::kMetricsResult, request_id);
+  w.PutU8(static_cast<uint8_t>(MetricsFormat::kText));
+  w.PutU8(0);
+  w.PutU16(0);
+  w.PutString(text);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeMetricsReportFrame(uint64_t request_id,
+                                              const MetricsReport& report) {
+  util::ByteWriter w(kFrameHeaderBytes + 16 + report.samples.size() * 64);
+  BeginFrame(&w, MessageType::kMetricsResult, request_id);
+  w.PutU8(static_cast<uint8_t>(MetricsFormat::kBinary));
+  w.PutU8(0);
+  w.PutU16(0);
+  AppendMetricsReport(report, &w);
+  return FinishFrame(std::move(w));
+}
+
+void PatchRespondStage(std::vector<uint8_t>* frame, double respond_us) {
+  // The respond slot is the trace array's last f64, which AppendJoinResult
+  // writes last — so it sits in the frame's final 8 bytes. Same encoding
+  // as ByteWriter::PutF64: IEEE bits, little-endian.
+  ACT_CHECK_MSG(frame->size() >= kFrameHeaderBytes + 8,
+                "PatchRespondStage on a non-traced frame");
+  uint64_t bits;
+  std::memcpy(&bits, &respond_us, sizeof(bits));
+  uint8_t* p = frame->data() + frame->size() - 8;
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(bits >> (8 * i));
 }
 
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,

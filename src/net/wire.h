@@ -36,7 +36,12 @@
 // REMOVE_POLYGONS / DROP_DATASET -> MUTATE_RESULT), the DATASET_DROPPED
 // and INVALID_MUTATION errors, the mutation counters in STATS_RESULT, and
 // turned the DATASET_LIST per-entry reserved u16 into a flags field
-// (bit 0: dropped).
+// (bit 0: dropped). v4 is the observability release: GET_METRICS ->
+// METRICS_RESULT (Prometheus text exposition or a structured binary
+// report with the event log and slow-query dump), a JOIN_BATCH trace
+// flag (the QueryBatch reserved u8 became flags, bit 0: trace) whose
+// response carries the per-stage breakdown inline, and STATS_RESULT
+// extended with p999 quantiles plus per-dataset epoch/traffic splits.
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -50,12 +55,14 @@
 #include "geometry/polygon.h"
 #include "service/join_service.h"
 #include "service/service_stats.h"
+#include "service/slow_query_log.h"
 #include "util/byte_io.h"
+#include "util/metrics.h"
 
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -73,6 +80,7 @@ enum class MessageType : uint8_t {
   kAddPolygons = 6,     // polygons blob      -> kMutateResult
   kRemovePolygons = 7,  // u32 count + ids    -> kMutateResult
   kDropDataset = 8,     // empty payload      -> kMutateResult
+  kGetMetrics = 9,      // u8 format (v4)     -> kMetricsResult
   // Responses.
   kJoinResult = 65,
   kPong = 66,
@@ -80,7 +88,14 @@ enum class MessageType : uint8_t {
   kShutdownAck = 68,
   kDatasetList = 69,
   kMutateResult = 70,
+  kMetricsResult = 71,
   kError = 127,
+};
+
+/// GET_METRICS payload: which export form the response should carry.
+enum class MetricsFormat : uint8_t {
+  kBinary = 0,  // structured MetricsReport (samples + events + slow queries)
+  kText = 1,    // Prometheus text exposition format, verbatim
 };
 
 /// Typed error codes carried by kError responses.
@@ -200,6 +215,43 @@ bool DecodeRemovePolygons(std::span<const uint8_t> payload,
 void AppendMutationAck(const MutationAck& ack, util::ByteWriter* w);
 bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out);
 
+/// One flattened sample of the binary metrics form. Histograms are
+/// flattened into five samples sharing the family's kind byte —
+/// `<name>_count`, `<name>_sum`, `<name>_p50`, `<name>_p99`,
+/// `<name>_p999` — with the time-valued ones in seconds, matching the
+/// text exposition.
+struct MetricSample {
+  std::string name;    // without the actjoin_ exposition prefix
+  std::string labels;  // rendered inner label list ("" for none)
+  uint8_t kind = 0;    // util::MetricKind of the source family
+  double value = 0;
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// METRICS_RESULT's structured binary form: the whole registry flattened,
+/// plus the event ring and the slow-query dump (which the text form omits
+/// — Prometheus has no exposition for either).
+struct MetricsReport {
+  std::vector<MetricSample> samples;
+  std::vector<util::MetricEvent> events;
+  std::vector<service::SlowQuery> slow_queries;
+};
+
+/// Flattens a registry collection (+ optional event/slow-query sources)
+/// into the wire report. Shared by the server and the in-process tests.
+MetricsReport BuildMetricsReport(const util::MetricsRegistry& registry,
+                                 const service::SlowQueryLog* slow_queries);
+
+void AppendMetricsReport(const MetricsReport& report, util::ByteWriter* w);
+bool DecodeMetricsReport(std::span<const uint8_t> payload, MetricsReport* out);
+
+/// METRICS_RESULT payload: u8 format, u8[3] reserved, then the
+/// format-specific body (length-prefixed text, or the binary report).
+bool DecodeMetricsResult(std::span<const uint8_t> payload,
+                         MetricsFormat* format, std::string* text,
+                         MetricsReport* report);
+
 bool DecodeError(std::span<const uint8_t> payload, WireError* code,
                  std::string* message);
 
@@ -223,6 +275,22 @@ std::vector<uint8_t> EncodeDropDatasetFrame(uint64_t request_id,
                                             uint16_t dataset_id);
 std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
                                              const MutationAck& ack);
+/// GET_METRICS request: u8 format, u8[3] reserved.
+std::vector<uint8_t> EncodeGetMetricsFrame(uint64_t request_id,
+                                           MetricsFormat format);
+std::vector<uint8_t> EncodeMetricsTextFrame(uint64_t request_id,
+                                            std::string_view text);
+std::vector<uint8_t> EncodeMetricsReportFrame(uint64_t request_id,
+                                              const MetricsReport& report);
+bool DecodeGetMetrics(std::span<const uint8_t> payload, MetricsFormat* format);
+
+/// Overwrites the respond-stage slot (the last f64 of a traced JOIN_RESULT
+/// frame) in place. The respond stage times the response *encode*, which
+/// cannot know its own duration while being encoded — so the encoder
+/// leaves a zero and the server patches the measured value here just
+/// before handing the frame to the event loop. No-op contract: only call
+/// on a frame built by EncodeJoinResultFrame from a trace-enabled result.
+void PatchRespondStage(std::vector<uint8_t>* frame, double respond_us);
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
                                       std::string_view message);
 /// PING / PONG / STATS / SHUTDOWN / SHUTDOWN_ACK carry no payload.

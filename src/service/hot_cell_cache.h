@@ -31,6 +31,7 @@
 
 #include "service/sharded_index.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace actjoin::service {
 
@@ -163,6 +164,23 @@ class HotCellCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Registers hit/miss/occupancy instruments into `registry` as
+  /// collection-time callbacks; the cache must outlive collections.
+  void RegisterMetrics(util::MetricsRegistry* registry) const {
+    registry->RegisterCounterFn("cache_hits_total",
+                                "Hot-cell cache hits", "",
+                                [this] { return hits(); });
+    registry->RegisterCounterFn("cache_misses_total",
+                                "Hot-cell cache misses", "",
+                                [this] { return misses(); });
+    registry->RegisterGaugeFn("cache_size", "Hot-cell cache entries", "",
+                              [this] { return static_cast<double>(size()); });
+    registry->RegisterGaugeFn("cache_capacity", "Hot-cell cache entry budget",
+                              "", [this] {
+                                return static_cast<double>(capacity());
+                              });
+  }
   /// Total entries the cache can hold; >= the requested budget (the
   /// at-least-one-entry-per-shard floor can round a tiny budget up).
   size_t capacity() const { return total_capacity_; }

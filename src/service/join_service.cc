@@ -62,7 +62,8 @@ JoinService::JoinService(Snapshot initial, const ServiceOptions& opts)
 JoinService::JoinService(const ServiceOptions& opts)
     : opts_(opts),
       queue_(std::max<size_t>(1, opts.queue_capacity)),
-      stats_(ResolveWorkers(opts.worker_threads)) {
+      stats_(ResolveWorkers(opts.worker_threads)),
+      slow_queries_(opts.slow_query_log_capacity) {
   opts_.queue_capacity = queue_.capacity();
   opts_.worker_threads = ResolveWorkers(opts_.worker_threads);
   if (opts_.threads_per_join < 1) opts_.threads_per_join = 1;
@@ -75,6 +76,15 @@ JoinService::JoinService(const ServiceOptions& opts)
   if (opts_.cell_cache_capacity > 0) {
     cell_cache_ = std::make_unique<HotCellCache>(opts_.cell_cache_capacity,
                                                  opts_.cell_cache_shards);
+  }
+  // Same reservation discipline as the catalog's slot vector: reserve the
+  // whole u16 id space so push_back in CountersFor never reallocates under
+  // a concurrent lock-free read in Execute.
+  dataset_counters_.reserve(size_t{1} << 16);
+  if (opts_.enable_metrics) {
+    metrics_ = std::make_unique<util::MetricsRegistry>(
+        std::max<size_t>(1, opts_.event_log_capacity));
+    RegisterMetrics();
   }
   if (opts_.autostart) Start();
 }
@@ -89,6 +99,83 @@ void JoinService::Start() {
   for (int w = 0; w < opts_.worker_threads; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
+}
+
+JoinService::DatasetCounters& JoinService::CountersFor(uint16_t dataset_id) {
+  // Lock-free fast path, mirroring ServiceCatalog::Find: the slot array
+  // never reallocates (reserved to the full id space) and size_ is
+  // release-published after the slots exist.
+  const size_t want = static_cast<size_t>(dataset_id) + 1;
+  if (want > dataset_counters_size_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(dataset_counters_mu_);
+    while (dataset_counters_.size() < want) {
+      dataset_counters_.push_back(std::make_unique<DatasetCounters>());
+    }
+    if (dataset_counters_size_.load(std::memory_order_relaxed) < want) {
+      dataset_counters_size_.store(dataset_counters_.size(),
+                                   std::memory_order_release);
+    }
+  }
+  return *dataset_counters_[dataset_id];
+}
+
+void JoinService::RegisterMetrics() {
+  util::MetricsRegistry* r = metrics_.get();
+  stats_.RegisterMetrics(r);
+  r->RegisterGaugeFn("queue_depth", "Requests waiting in the bounded queue",
+                     "", [this] { return static_cast<double>(queue_.size()); });
+  r->RegisterGaugeFn("datasets", "Datasets in the catalog", "",
+                     [this] { return static_cast<double>(catalog_.size()); });
+  // Per-dataset splits as family callbacks: series appear the moment a
+  // dataset enters the catalog — including datasets added behind the
+  // service's back via catalog().Add on the warm-restart path.
+  r->RegisterGaugeFamilyFn(
+      "dataset_epoch", "Current snapshot epoch per dataset", [this] {
+        util::MetricsRegistry::FamilySeries out;
+        for (const DatasetInfo& info : catalog_.List()) {
+          out.emplace_back("dataset=\"" + info.name + "\"",
+                           static_cast<double>(info.epoch));
+        }
+        return out;
+      });
+  r->RegisterCounterFamilyFn(
+      "dataset_points_served_total", "Probe points served per dataset",
+      [this] {
+        util::MetricsRegistry::FamilySeries out;
+        const size_t n = dataset_counters_size_.load(std::memory_order_acquire);
+        for (const DatasetInfo& info : catalog_.List()) {
+          const uint64_t v =
+              info.id < n ? dataset_counters_[info.id]->points_served.load(
+                                std::memory_order_relaxed)
+                          : 0;
+          out.emplace_back("dataset=\"" + info.name + "\"",
+                           static_cast<double>(v));
+        }
+        return out;
+      });
+  r->RegisterCounterFamilyFn(
+      "dataset_requests_completed_total", "Join requests completed per dataset",
+      [this] {
+        util::MetricsRegistry::FamilySeries out;
+        const size_t n = dataset_counters_size_.load(std::memory_order_acquire);
+        for (const DatasetInfo& info : catalog_.List()) {
+          const uint64_t v =
+              info.id < n ? dataset_counters_[info.id]->completed.load(
+                                std::memory_order_relaxed)
+                          : 0;
+          out.emplace_back("dataset=\"" + info.name + "\"",
+                           static_cast<double>(v));
+        }
+        return out;
+      });
+  if (cell_cache_ != nullptr) cell_cache_->RegisterMetrics(r);
+}
+
+void JoinService::AppendEvent(std::string kind, std::string subject,
+                              std::string detail) {
+  if (metrics_ == nullptr) return;
+  metrics_->events().Append(std::move(kind), std::move(subject),
+                            std::move(detail));
 }
 
 std::future<JoinResult> JoinService::Submit(QueryBatch batch) {
@@ -155,6 +242,8 @@ uint64_t JoinService::SwapIndex(uint16_t dataset_id, Snapshot next) {
     journal->Reset(epoch);
   }
   catalog_.MarkDropped(dataset_id, false);
+  AppendEvent("swap", catalog_.NameOf(dataset_id),
+              "epoch " + std::to_string(epoch));
   return epoch;
 }
 
@@ -263,6 +352,8 @@ MutationResult JoinService::Mutate(uint16_t dataset_id,
                                     delta_result.touched_ranges);
     }
   }
+  const size_t added_count = add.size();
+  const size_t removed_count = remove.size();
   if (MutationJournal* journal = catalog_.JournalOf(dataset_id)) {
     MutationRecord rec;
     rec.kind = kind;
@@ -272,6 +363,22 @@ MutationResult JoinService::Mutate(uint16_t dataset_id,
     journal->Append(std::move(rec));
   }
   stats_.RecordMutationApplied();
+  switch (kind) {
+    case MutationRecord::Kind::kAdd:
+      AppendEvent("delta_apply", catalog_.NameOf(dataset_id),
+                  "epoch " + std::to_string(out.epoch) + ", +" +
+                      std::to_string(added_count) + " polygons");
+      break;
+    case MutationRecord::Kind::kRemove:
+      AppendEvent("delta_apply", catalog_.NameOf(dataset_id),
+                  "epoch " + std::to_string(out.epoch) + ", -" +
+                      std::to_string(removed_count) + " polygons");
+      break;
+    case MutationRecord::Kind::kDrop:
+      AppendEvent("drop", catalog_.NameOf(dataset_id),
+                  "epoch " + std::to_string(out.epoch));
+      break;
+  }
   return out;
 }
 
@@ -321,6 +428,23 @@ ServiceStats JoinService::Stats() const {
   if (cell_cache_ != nullptr) {
     out.cache_hits = cell_cache_->hits();
     out.cache_misses = cell_cache_->misses();
+  }
+  // Per-dataset splits: identity from the catalog, traffic from the
+  // service's counter slots (zero for a dataset never served).
+  const size_t counters =
+      dataset_counters_size_.load(std::memory_order_acquire);
+  for (const DatasetInfo& info : catalog_.List()) {
+    DatasetSplit split;
+    split.id = info.id;
+    split.dropped = info.dropped;
+    split.epoch = info.epoch;
+    split.name = info.name;
+    if (info.id < counters) {
+      const DatasetCounters& c = *dataset_counters_[info.id];
+      split.points_served = c.points_served.load(std::memory_order_relaxed);
+      split.completed_requests = c.completed.load(std::memory_order_relaxed);
+    }
+    out.dataset_splits.push_back(std::move(split));
   }
   return out;
 }
@@ -463,20 +587,52 @@ void JoinService::Execute(Request& req, int worker_id) {
   ACT_CHECK_MSG(registry != nullptr, "request routed to an unknown dataset");
   Snapshot snapshot = registry->Acquire(&result.epoch);
   act::JoinInput input{req.batch.cell_ids, req.batch.points};
+  ShardedIndex::JoinPhaseTimes phases;
+  const bool traced = req.batch.trace;
   if (cell_cache_ != nullptr) {
     result.stats = CachedJoin(*snapshot, input, req.batch.mode,
                               req.batch.dataset_id, result.epoch);
+    // The cached path interleaves lookup/probe/count per point; there is
+    // no decompose/merge boundary to time, so its whole wall is probe.
+    if (traced) phases.probe_us = result.stats.seconds * 1e6;
   } else {
     // With a shared pool the join's task units drain through it (and this
     // worker helps); otherwise the executor is threads_per_join wide.
-    result.stats = snapshot->Join(
-        input, {req.batch.mode, opts_.threads_per_join}, join_pool_.get());
+    result.stats =
+        snapshot->Join(input, {req.batch.mode, opts_.threads_per_join},
+                       join_pool_.get(), traced ? &phases : nullptr);
   }
   result.queue_wait_ms = queue_wait_ms;
   result.service_ms = service_timer.ElapsedMillis();
 
+  if (traced) {
+    result.trace.enabled = true;
+    result.trace.request_id = req.batch.trace_id;
+    result.trace.at(TraceStage::kQueue) = queue_wait_ms * 1e3;
+    result.trace.at(TraceStage::kDecompose) = phases.route_us;
+    result.trace.at(TraceStage::kProbe) = phases.probe_us;
+    // Merge absorbs the service-wall leftover (snapshot pin, stats copy,
+    // anything between the measured phases), so the stages tile the
+    // request's server-side time instead of under-reporting it.
+    const double leftover = result.service_ms * 1e3 - phases.route_us -
+                            phases.probe_us - phases.merge_us;
+    result.trace.at(TraceStage::kMerge) =
+        phases.merge_us + (leftover > 0 ? leftover : 0);
+  }
+
   stats_.RecordServed(worker_id, queue_wait_ms * 1e3, result.service_ms * 1e3,
                       input.size());
+  DatasetCounters& counters = CountersFor(req.batch.dataset_id);
+  counters.points_served.fetch_add(input.size(), std::memory_order_relaxed);
+  counters.completed.fetch_add(1, std::memory_order_relaxed);
+  SlowQuery slow;
+  slow.request_id = req.batch.trace_id;
+  slow.dataset_id = req.batch.dataset_id;
+  slow.num_points = input.size();
+  slow.epoch = result.epoch;
+  slow.queue_wait_us = queue_wait_ms * 1e3;
+  slow.service_us = result.service_ms * 1e3;
+  slow_queries_.Record(slow);
   if (req.done) {
     req.done(std::move(result));
   } else {

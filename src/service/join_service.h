@@ -45,6 +45,9 @@
 #include "service/service_catalog.h"
 #include "service/service_stats.h"
 #include "service/sharded_index.h"
+#include "service/slow_query_log.h"
+#include "service/trace.h"
+#include "util/metrics.h"
 #include "util/mpmc_queue.h"
 #include "util/timer.h"
 #include "util/work_stealing_pool.h"
@@ -84,6 +87,17 @@ struct ServiceOptions {
   size_t cell_cache_capacity = 0;
   /// Mutex shards inside the cache (rounded up to a power of two).
   int cell_cache_shards = 8;
+  /// Own a util::MetricsRegistry and register every subsystem's counters,
+  /// latency histograms, per-dataset splits, slow-query log, and event log
+  /// into it (exported over the wire via GET_METRICS). Instruments are
+  /// collection-time callbacks over state the hot path already maintains,
+  /// so the recording cost is two relaxed counter adds per request — the
+  /// bench smoke gates the end-to-end overhead at < 5%.
+  bool enable_metrics = true;
+  /// Capacity of the slow-query log (top-K completed requests by service
+  /// time, always on) and of the structured event ring.
+  size_t slow_query_log_capacity = 32;
+  size_t event_log_capacity = 256;
 };
 
 /// Typed verdict of a non-blocking submit. Everything except kAccepted is
@@ -131,6 +145,13 @@ struct QueryBatch {
   std::vector<geom::Point> points;
   act::JoinMode mode = act::JoinMode::kExact;
   uint16_t dataset_id = 0;
+  /// Request a per-stage trace: JoinResult::trace comes back enabled with
+  /// the stage breakdown (and, over the wire, inline in the response).
+  bool trace = false;
+  /// Request id carried into the trace and the slow-query log. The network
+  /// front-end sets it from the frame header; in-process callers may leave
+  /// it 0.
+  uint64_t trace_id = 0;
 };
 
 struct JoinResult {
@@ -139,6 +160,10 @@ struct JoinResult {
   uint64_t epoch = 0;
   double queue_wait_ms = 0;
   double service_ms = 0;
+  /// Stage breakdown; enabled iff the request set QueryBatch::trace. The
+  /// service fills queue/decompose/probe/merge; the network front-end
+  /// fills admission/decode/respond around them.
+  TraceContext trace;
 };
 
 class JoinService {
@@ -259,6 +284,16 @@ class JoinService {
 
   ServiceStats Stats() const;
 
+  /// The service's metrics registry (null when ServiceOptions
+  /// enable_metrics is false). Other layers — the network front-end, the
+  /// store, the checkpointer — register their instruments here so one
+  /// GET_METRICS collects the whole stack.
+  util::MetricsRegistry* metrics() { return metrics_.get(); }
+  const util::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Always-on top-K slow-query log (dumpable via GET_METRICS).
+  const SlowQueryLog& slow_queries() const { return slow_queries_; }
+
   size_t QueueDepth() const { return queue_.size(); }
   const ServiceOptions& options() const { return opts_; }
 
@@ -275,9 +310,22 @@ class JoinService {
     util::WallTimer enqueued;  // starts ticking at Submit time
   };
 
+  /// Per-dataset traffic counters, catalog-style: a slot vector reserved
+  /// to the full u16 id space so growth never invalidates the lock-free
+  /// id-indexed read, with two relaxed adds per request on the hot path.
+  struct DatasetCounters {
+    std::atomic<uint64_t> points_served{0};
+    std::atomic<uint64_t> completed{0};
+  };
+
   void WorkerLoop(int worker_id);
   void Execute(Request& req, int worker_id);
   SubmitStatus Enqueue(std::unique_ptr<Request> req);
+  /// The dataset's counter slot, growing the vector on first touch (ids
+  /// are catalog-assigned, hence dense and < 2^16).
+  DatasetCounters& CountersFor(uint16_t dataset_id);
+  void RegisterMetrics();
+  void AppendEvent(std::string kind, std::string subject, std::string detail);
   MutationResult Mutate(uint16_t dataset_id, MutationRecord::Kind kind,
                         std::vector<geom::Polygon> add,
                         std::vector<uint32_t> remove);
@@ -291,6 +339,12 @@ class JoinService {
   std::unique_ptr<util::WorkStealingPool> join_pool_;  // null when disabled
   std::unique_ptr<HotCellCache> cell_cache_;           // null when disabled
   ServiceStatsRecorder stats_;
+  std::unique_ptr<util::MetricsRegistry> metrics_;     // null when disabled
+  SlowQueryLog slow_queries_;
+  /// Index == dataset id, same reservation discipline as ServiceCatalog.
+  std::vector<std::unique_ptr<DatasetCounters>> dataset_counters_;
+  std::atomic<size_t> dataset_counters_size_{0};
+  std::mutex dataset_counters_mu_;
   std::vector<std::thread> workers_;
   std::mutex lifecycle_mu_;  // guards Start/Shutdown transitions
   /// Serializes mutations and full swaps across all datasets, so each

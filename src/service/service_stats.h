@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/latency_histogram.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace actjoin::service {
@@ -31,6 +32,19 @@ struct PeerAdmissionStats {
 
   friend bool operator==(const PeerAdmissionStats&,
                          const PeerAdmissionStats&) = default;
+};
+
+/// Per-dataset serving figures. The catalog owns identity (id, name,
+/// epoch); the service owns the traffic counters.
+struct DatasetSplit {
+  uint16_t id = 0;
+  bool dropped = false;
+  uint64_t epoch = 0;
+  uint64_t points_served = 0;
+  uint64_t completed_requests = 0;
+  std::string name;
+
+  friend bool operator==(const DatasetSplit&, const DatasetSplit&) = default;
 };
 
 /// One consistent snapshot of a JoinService's counters.
@@ -68,14 +82,19 @@ struct ServiceStats {
   double points_per_s = 0;
   double queue_wait_p50_ms = 0;
   double queue_wait_p99_ms = 0;
+  double queue_wait_p999_ms = 0;
   double service_p50_ms = 0;        // join execution only
   double service_p99_ms = 0;
+  double service_p999_ms = 0;
   size_t queue_depth = 0;
   uint64_t epoch = 0;      // snapshot epoch of dataset 0 (compat metric)
   uint64_t num_datasets = 0;
   /// Per-peer admission splits (net::JoinServer overlays these, sorted by
   /// peer key; empty on a bare JoinService).
   std::vector<PeerAdmissionStats> peers;
+  /// Per-dataset epoch + traffic splits, in catalog id order. Fixes the
+  /// dataset-0-only `epoch` field above: every dataset's epoch is here.
+  std::vector<DatasetSplit> dataset_splits;
 };
 
 class ServiceStatsRecorder {
@@ -120,12 +139,26 @@ class ServiceStatsRecorder {
   ServiceStats Snapshot(size_t queue_depth, uint64_t epoch) const {
     util::LatencyHistogram queue_wait, service;
     ServiceStats out;
+    // Copy each slot under its lock (a trivially-copyable array copy),
+    // merge outside: the O(kNumBuckets) Merge never runs while a worker
+    // is blocked on RecordServed.
+    util::LatencyHistogram scratch;
     for (const auto& slot : slots_) {
-      std::lock_guard<std::mutex> lock(slot->mu);
-      queue_wait.Merge(slot->queue_wait);
-      service.Merge(slot->service);
-      out.points_served += slot->points;
-      out.completed_requests += slot->completed;
+      uint64_t points, completed;
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        scratch = slot->queue_wait;
+        points = slot->points;
+        completed = slot->completed;
+      }
+      queue_wait.Merge(scratch);
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        scratch = slot->service;
+      }
+      service.Merge(scratch);
+      out.points_served += points;
+      out.completed_requests += completed;
     }
     out.rejected_queue_full =
         rejected_queue_full_.load(std::memory_order_relaxed);
@@ -144,14 +177,93 @@ class ServiceStatsRecorder {
     }
     out.queue_wait_p50_ms = queue_wait.P50Micros() / 1e3;
     out.queue_wait_p99_ms = queue_wait.P99Micros() / 1e3;
+    out.queue_wait_p999_ms = queue_wait.P999Micros() / 1e3;
     out.service_p50_ms = service.P50Micros() / 1e3;
     out.service_p99_ms = service.P99Micros() / 1e3;
+    out.service_p999_ms = service.P999Micros() / 1e3;
     out.queue_depth = queue_depth;
     out.epoch = epoch;
     return out;
   }
 
+  /// Merged copy of one latency histogram across all worker slots (same
+  /// copy-then-merge discipline as Snapshot). For the metrics exporter.
+  util::LatencyHistogram MergedQueueWait() const {
+    return MergedHistogram(/*service=*/false);
+  }
+  util::LatencyHistogram MergedService() const {
+    return MergedHistogram(/*service=*/true);
+  }
+
+  /// Registers the recorder's counters and histograms into `registry` as
+  /// collection-time callbacks — recording stays on the worker-slot path,
+  /// untouched. The recorder must outlive the registry's collections.
+  void RegisterMetrics(util::MetricsRegistry* registry) const {
+    registry->RegisterCounterFn(
+        "requests_rejected_total", "Requests refused at the service door",
+        "reason=\"queue_full\"", [this] {
+          return rejected_queue_full_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "requests_rejected_total", "", "reason=\"shutdown\"", [this] {
+          return rejected_shutdown_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "requests_rejected_total", "", "reason=\"unknown_dataset\"", [this] {
+          return rejected_unknown_dataset_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "mutations_applied_total", "Live mutations published as new epochs",
+        "", [this] {
+          return mutations_applied_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "mutations_rejected_total", "Mutations refused with a typed error",
+        "", [this] {
+          return rejected_mutations_.load(std::memory_order_relaxed);
+        });
+    registry->RegisterCounterFn(
+        "requests_completed_total", "Join requests completed", "", [this] {
+          uint64_t total = 0;
+          for (const auto& slot : slots_) {
+            std::lock_guard<std::mutex> lock(slot->mu);
+            total += slot->completed;
+          }
+          return total;
+        });
+    registry->RegisterCounterFn(
+        "points_served_total", "Probe points served across all joins", "",
+        [this] {
+          uint64_t total = 0;
+          for (const auto& slot : slots_) {
+            std::lock_guard<std::mutex> lock(slot->mu);
+            total += slot->points;
+          }
+          return total;
+        });
+    registry->RegisterGaugeFn("uptime_seconds", "Service uptime", "",
+                              [this] { return uptime_.ElapsedSeconds(); });
+    registry->RegisterHistogramFn(
+        "queue_wait_seconds", "Bounded-queue wait before a worker picks up",
+        "", [this] { return MergedQueueWait(); });
+    registry->RegisterHistogramFn(
+        "service_seconds", "Join execution time (decompose+probe+merge)", "",
+        [this] { return MergedService(); });
+  }
+
  private:
+  util::LatencyHistogram MergedHistogram(bool service) const {
+    util::LatencyHistogram merged, scratch;
+    for (const auto& slot : slots_) {
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        scratch = service ? slot->service : slot->queue_wait;
+      }
+      merged.Merge(scratch);
+    }
+    return merged;
+  }
+
   struct WorkerSlot {
     mutable std::mutex mu;
     util::LatencyHistogram queue_wait;

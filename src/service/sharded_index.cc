@@ -364,7 +364,8 @@ void RunTasks(size_t num_tasks, int budget, util::WorkStealingPool* pool,
 
 act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
                                   const act::JoinOptions& opts,
-                                  util::WorkStealingPool* pool) const {
+                                  util::WorkStealingPool* pool,
+                                  JoinPhaseTimes* phases) const {
   util::WallTimer timer;
   const uint64_t n = input.size();
   act::JoinStats out;
@@ -375,6 +376,7 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
     return out;
   }
 
+  util::WallTimer phase_timer;
   std::vector<uint64_t> offsets, cells;
   std::vector<geom::Point> points;
   RouteBatch(*this, input, &offsets, &cells, &points, nullptr);
@@ -387,9 +389,11 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
   // parallelism comes only from the task fan-out, so nothing nests.
   const int budget = util::EffectiveWidth(pool, opts.threads);
   std::vector<TaskUnit> tasks = DecomposeBatch(*this, offsets, n, budget);
+  if (phases != nullptr) phases->route_us = phase_timer.ElapsedSeconds() * 1e6;
   std::vector<act::JoinStats> task_stats(tasks.size());
   act::JoinOptions task_opts = opts;
   task_opts.threads = 1;
+  phase_timer.Restart();
   RunTasks(tasks.size(), budget, pool, [&](uint64_t t) {
     const TaskUnit& u = tasks[t];
     const uint64_t count = u.end - u.begin;
@@ -397,10 +401,12 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
                        std::span(points).subspan(u.begin, count)};
     task_stats[t] = shards_[u.shard].index->Join(sub, task_opts);
   });
+  if (phases != nullptr) phases->probe_us = phase_timer.ElapsedSeconds() * 1e6;
 
   // Deterministic merge: task order is shard-major/range-minor by
   // construction and JoinStats fields are exact integer counters, so the
   // execution interleaving cannot leak into the result.
+  phase_timer.Restart();
   for (size_t t = 0; t < tasks.size(); ++t) {
     const Shard& shard = shards_[tasks[t].shard];
     const act::JoinStats& st = task_stats[t];
@@ -415,6 +421,7 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
     // miss (the sharded analog of the sentinel probe).
     out.sth_points += offsets[s + 1] - offsets[s];
   }
+  if (phases != nullptr) phases->merge_us = phase_timer.ElapsedSeconds() * 1e6;
   out.seconds = timer.ElapsedSeconds();  // includes routing, fair total
   return out;
 }

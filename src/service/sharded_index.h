@@ -135,6 +135,16 @@ class ShardedIndex {
   /// base.num_polygons() (checked).
   static DeltaResult ApplyDelta(const ShardedIndex& base, const Delta& delta);
 
+  /// Wall time per executor phase for one Join call, microseconds. The
+  /// request-tracing seam: route covers bucket-sort + task decomposition,
+  /// probe covers the work-stealing drain (wall, not CPU-sum), merge
+  /// covers the fixed-order remap back to global ids.
+  struct JoinPhaseTimes {
+    double route_us = 0;
+    double probe_us = 0;
+    double merge_us = 0;
+  };
+
   /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
   /// by shard, splits each shard's slice into (shard, sub-range) task
   /// units, and drains them work-stealing-wide across the whole thread
@@ -148,8 +158,12 @@ class ShardedIndex {
   /// opts.threads entirely — budget and task granularity both come from
   /// util::EffectiveWidth(pool, ...). A null pool spawns a transient pool
   /// of opts.threads for this call.
+  ///
+  /// A non-null `phases` receives the per-phase wall breakdown; timing is
+  /// three WallTimer reads, so passing it costs nothing measurable.
   act::JoinStats Join(const act::JoinInput& input, const act::JoinOptions& opts,
-                      util::WorkStealingPool* pool = nullptr) const;
+                      util::WorkStealingPool* pool = nullptr,
+                      JoinPhaseTimes* phases = nullptr) const;
 
   /// The pre-work-stealing executor: shards run concurrently, each owning
   /// a static 1/num_shards slice of the thread budget. Kept as the A/B

@@ -1,0 +1,95 @@
+// Always-on slow-query log: the top-K completed requests by service time,
+// dumpable over the wire via GET_METRICS.
+//
+// The hot path pays one relaxed load per request: floor_us_ caches the
+// smallest service time currently in the log (0 until the log fills), so
+// the overwhelming majority of requests — anything faster than the current
+// K-th slowest — skip the mutex entirely. Only qualifying requests take
+// the lock to displace the minimum.
+
+#ifndef ACTJOIN_SERVICE_SLOW_QUERY_LOG_H_
+#define ACTJOIN_SERVICE_SLOW_QUERY_LOG_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace actjoin::service {
+
+struct SlowQuery {
+  uint64_t request_id = 0;
+  uint16_t dataset_id = 0;
+  uint64_t num_points = 0;
+  uint64_t epoch = 0;
+  double queue_wait_us = 0;
+  double service_us = 0;
+
+  friend bool operator==(const SlowQuery&, const SlowQuery&) = default;
+};
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Records a completed request if it ranks among the top-K by service
+  /// time. Lock-free rejection for anything below the current floor.
+  void Record(const SlowQuery& q) {
+    // Relaxed is enough: a stale floor only costs one needless lock
+    // acquisition (floor moved up) or one missed borderline entry whose
+    // service time equals the floor — never a wrong entry in the log.
+    if (q.service_us <= floor_us_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() < capacity_) {
+      entries_.push_back(q);
+      if (entries_.size() == capacity_) UpdateFloorLocked();
+      return;
+    }
+    size_t min_at = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].service_us < entries_[min_at].service_us) min_at = i;
+    }
+    if (q.service_us <= entries_[min_at].service_us) return;  // raced
+    entries_[min_at] = q;
+    UpdateFloorLocked();
+  }
+
+  /// Entries sorted by service time, slowest first.
+  std::vector<SlowQuery> TopK() const {
+    std::vector<SlowQuery> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out = entries_;
+    }
+    std::sort(out.begin(), out.end(), [](const SlowQuery& a, const SlowQuery& b) {
+      return a.service_us > b.service_us;
+    });
+    return out;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void UpdateFloorLocked() {
+    // Only meaningful once full; while filling, everything qualifies.
+    if (entries_.size() < capacity_) return;
+    double floor = entries_[0].service_us;
+    for (const SlowQuery& e : entries_) {
+      if (e.service_us < floor) floor = e.service_us;
+    }
+    floor_us_.store(floor, std::memory_order_relaxed);
+  }
+
+  const size_t capacity_;
+  std::atomic<double> floor_us_{0};
+  mutable std::mutex mu_;
+  std::vector<SlowQuery> entries_;
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_SLOW_QUERY_LOG_H_

@@ -1,0 +1,67 @@
+// Per-request tracing: a TraceContext allocated at frame decode rides the
+// request through every serving stage and comes back inline in the
+// JOIN_BATCH response when the client sets the trace flag.
+//
+// The stages tile the request's server-side lifetime: admission check,
+// payload decode, queue wait, shard decomposition, probe/refine across
+// task units, fixed-order merge, and response encode+write. Their sum is
+// the server's view of end-to-end service time — the acceptance contract
+// is that it lands within 10% of the wall time a loopback client measures
+// around the call (the remainder is transport).
+
+#ifndef ACTJOIN_SERVICE_TRACE_H_
+#define ACTJOIN_SERVICE_TRACE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace actjoin::service {
+
+enum class TraceStage : uint8_t {
+  kAdmission = 0,  // admission-control decision (rate/bytes/watermark)
+  kDecode = 1,     // wire payload -> QueryBatch
+  kQueue = 2,      // bounded-queue wait until a worker picks it up
+  kDecompose = 3,  // route batch to shards + carve (shard, range) tasks
+  kProbe = 4,      // per-task probe/refine across the pool (wall, not CPU)
+  kMerge = 5,      // fixed-order merge of per-task results
+  kRespond = 6,    // response encode + delivery to the event loop
+};
+
+inline constexpr int kNumTraceStages = 7;
+
+inline const char* TraceStageName(TraceStage s) {
+  switch (s) {
+    case TraceStage::kAdmission: return "admission";
+    case TraceStage::kDecode: return "decode";
+    case TraceStage::kQueue: return "queue";
+    case TraceStage::kDecompose: return "decompose";
+    case TraceStage::kProbe: return "probe";
+    case TraceStage::kMerge: return "merge";
+    case TraceStage::kRespond: return "respond";
+  }
+  return "?";
+}
+
+/// Stage breakdown for one request. Plain data: copied into JoinResult and
+/// encoded inline in the response when enabled.
+struct TraceContext {
+  uint64_t request_id = 0;
+  bool enabled = false;
+  /// Wall time spent in each stage, microseconds, indexed by TraceStage.
+  std::array<double, kNumTraceStages> stage_us{};
+
+  double& at(TraceStage s) { return stage_us[static_cast<int>(s)]; }
+  double at(TraceStage s) const { return stage_us[static_cast<int>(s)]; }
+
+  double TotalMicros() const {
+    double total = 0;
+    for (double v : stage_us) total += v;
+    return total;
+  }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_TRACE_H_

@@ -18,6 +18,26 @@ Checkpointer::Checkpointer(SnapshotStore* store,
   ACT_CHECK_MSG(store_->is_open(), "Checkpointer requires an open store");
   if (opts_.interval_ms < 1) opts_.interval_ms = 1;
   if (opts_.max_delta_chain < 0) opts_.max_delta_chain = 0;
+  if (util::MetricsRegistry* r = opts_.metrics) {
+    r->RegisterCounterFn("checkpointer_sweeps_total", "Catalog sweeps run",
+                         "", [this] { return stats().sweeps; });
+    r->RegisterCounterFn(
+        "checkpointer_checkpoints_total",
+        "Snapshots persisted, by kind (full + delta)", "kind=\"full\"",
+        [this] {
+          CheckpointerStats s = stats();
+          return s.checkpoints - s.delta_checkpoints;
+        });
+    r->RegisterCounterFn("checkpointer_checkpoints_total", "",
+                         "kind=\"delta\"",
+                         [this] { return stats().delta_checkpoints; });
+    r->RegisterCounterFn("checkpointer_failures_total",
+                         "Put failures (retried next sweep)", "",
+                         [this] { return stats().failures; });
+    r->RegisterCounterFn("checkpointer_files_removed_total",
+                         "Files reclaimed by post-sweep GC", "",
+                         [this] { return stats().files_removed; });
+  }
   if (opts_.autostart) Start();
 }
 
@@ -70,6 +90,12 @@ void Checkpointer::Loop() {
 
 uint64_t Checkpointer::CheckpointNow() {
   std::lock_guard<std::mutex> sweep_lock(sweep_mu_);
+  auto event = [this](const char* kind, const std::string& subject,
+                      std::string detail) {
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->events().Append(kind, subject, std::move(detail));
+    }
+  };
   uint64_t persisted = 0;
   uint64_t delta_persisted = 0;
   uint64_t failures = 0;
@@ -99,6 +125,7 @@ uint64_t Checkpointer::CheckpointNow() {
         service_->catalog().JournalOf(info.id);
     std::string error;
     bool done = false;
+    event("checkpoint_begin", info.name, "epoch " + std::to_string(epoch));
 
     // Delta path: the journal must cover the exact epoch span since the
     // last checkpoint, and the chain must still have room — otherwise
@@ -118,6 +145,8 @@ uint64_t Checkpointer::CheckpointNow() {
         ++persisted;
         ++delta_persisted;
         done = true;
+        event("checkpoint_end", info.name,
+              "epoch " + std::to_string(epoch) + ", delta");
       } else if (!records.empty()) {
         std::fprintf(stderr,
                      "[checkpointer] dataset '%s': delta put failed (%s); "
@@ -148,10 +177,14 @@ uint64_t Checkpointer::CheckpointNow() {
           }
         }
         ++persisted;
+        event("checkpoint_end", info.name,
+              "epoch " + std::to_string(epoch) + ", full");
       } else {
         ++failures;
         std::fprintf(stderr, "[checkpointer] dataset '%s': put failed: %s\n",
                      info.name.c_str(), error.c_str());
+        event("checkpoint_end", info.name,
+              "epoch " + std::to_string(epoch) + ", failed: " + error);
       }
     }
   }

@@ -41,6 +41,7 @@
 
 #include "service/join_service.h"
 #include "store/snapshot_store.h"
+#include "util/metrics.h"
 
 namespace actjoin::store {
 
@@ -61,6 +62,12 @@ struct CheckpointerOptions {
   /// compacts the chain back to a full (bounds restart replay cost).
   /// Clamped to >= 0; 0 compacts every time, like deltas = false.
   int max_delta_chain = 8;
+  /// Optional observability sink (typically the serving JoinService's
+  /// registry): the constructor registers checkpointer_* counters as
+  /// collection-time callbacks, and each dataset persist brackets a
+  /// checkpoint_begin / checkpoint_end event pair. Must outlive the
+  /// checkpointer. Null: no registration, no events.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 struct CheckpointerStats {

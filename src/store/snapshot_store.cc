@@ -608,6 +608,9 @@ bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
     if (error != nullptr) *error = ErrnoMessage("mkdir " + opts_.dir);
     return false;
   }
+  // Past this point every path opens the store, so the callbacks never
+  // outlive a failed Open.
+  RegisterMetrics();
 
   // Manifest recovery ladder: primary -> .bak -> directory scan. Each
   // rung only engages when the one above is missing or fails validation,
@@ -628,11 +631,17 @@ bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
     if (ParseManifest(bytes, &manifest_.next_generation, &manifest_.entries,
                       &read_error)) {
       open_ = true;
+      dataset_count_.store(manifest_.entries.size(),
+                           std::memory_order_relaxed);
       manifest_primary_healthy_ = candidate == kManifestName;
       if (candidate != kManifestName) {
         std::fprintf(stderr,
                      "[store] %s unusable (%s); recovered catalog from %s\n",
                      kManifestName, act::ToString(manifest_error), candidate);
+        AppendEvent("manifest_recovery", opts_.dir,
+                    std::string("primary unusable (") +
+                        act::ToString(manifest_error) + "); recovered from " +
+                        candidate);
         // Heal the primary now: the next WriteManifestLocked hard-links
         // the primary over the .bak before renaming, so leaving a
         // corrupt primary in place would let a crash inside that next
@@ -710,14 +719,56 @@ bool SnapshotStore::Open(const StoreOptions& opts, std::string* error) {
                  "directory scan — catalog ids may be renumbered, clients "
                  "should re-resolve names via LIST_DATASETS\n",
                  act::ToString(manifest_error), manifest_.entries.size());
+    AppendEvent("manifest_recovery", opts_.dir,
+                "directory scan recovered " +
+                    std::to_string(manifest_.entries.size()) + " dataset(s)");
   }
   open_ = true;
+  dataset_count_.store(manifest_.entries.size(), std::memory_order_relaxed);
   return true;
 }
 
 std::vector<DatasetRecord> SnapshotStore::Datasets() const {
   std::lock_guard<std::mutex> lock(mu_);
   return manifest_.entries;
+}
+
+void SnapshotStore::RegisterMetrics() {
+  util::MetricsRegistry* r = opts_.metrics;
+  if (r == nullptr) return;
+  r->RegisterCounterFn(
+      "store_puts_total", "Snapshot files committed, by kind",
+      "kind=\"full\"",
+      [this] { return puts_.load(std::memory_order_relaxed); });
+  r->RegisterCounterFn(
+      "store_puts_total", "", "kind=\"delta\"",
+      [this] { return delta_puts_.load(std::memory_order_relaxed); });
+  r->RegisterCounterFn(
+      "store_put_failures_total", "Put/PutDelta attempts that failed", "",
+      [this] { return put_failures_.load(std::memory_order_relaxed); });
+  r->RegisterCounterFn(
+      "store_loads_total", "Snapshot load attempts", "",
+      [this] { return loads_.load(std::memory_order_relaxed); });
+  r->RegisterCounterFn(
+      "store_load_fallbacks_total",
+      "Loads served by an older generation or an abandoned delta chain", "",
+      [this] { return load_fallbacks_.load(std::memory_order_relaxed); });
+  r->RegisterCounterFn(
+      "store_gc_files_removed_total", "Files reclaimed by GarbageCollect",
+      "",
+      [this] { return gc_files_removed_.load(std::memory_order_relaxed); });
+  r->RegisterGaugeFn("store_datasets", "Datasets in the manifest", "",
+                     [this] {
+                       return static_cast<double>(
+                           dataset_count_.load(std::memory_order_relaxed));
+                     });
+}
+
+void SnapshotStore::AppendEvent(std::string kind, std::string subject,
+                                std::string detail) const {
+  if (opts_.metrics == nullptr) return;
+  opts_.metrics->events().Append(std::move(kind), std::move(subject),
+                                 std::move(detail));
 }
 
 bool SnapshotStore::WriteManifestLocked(std::string* error) {
@@ -764,6 +815,7 @@ bool SnapshotStore::Put(const std::string& name,
   if (!WriteFileDurable(opts_.dir, SnapshotPath(name, gen),
                         EncodeSnapshot(name, gen, index), opts_.fsync,
                         error)) {
+    put_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -790,8 +842,11 @@ bool SnapshotStore::Put(const std::string& name,
   }
   if (!WriteManifestLocked(error)) {
     manifest_ = std::move(rollback);  // the orphan file is GC's problem
+    put_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  dataset_count_.store(manifest_.entries.size(), std::memory_order_relaxed);
   if (generation != nullptr) *generation = gen;
   return true;
 }
@@ -841,6 +896,7 @@ bool SnapshotStore::PutDelta(const std::string& name,
           EncodeDelta(name, gen, rec->base_generation, rec->generation,
                       records),
           opts_.fsync, error)) {
+    put_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -850,8 +906,10 @@ bool SnapshotStore::PutDelta(const std::string& name,
   rec->delta_generations.push_back(gen);
   if (!WriteManifestLocked(error)) {
     manifest_ = std::move(rollback);  // the orphan file is GC's problem
+    put_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  delta_puts_.fetch_add(1, std::memory_order_relaxed);
   if (generation != nullptr) *generation = gen;
   return true;
 }
@@ -876,6 +934,7 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
   LoadReport local;
   LoadReport& rep = report != nullptr ? *report : local;
   rep = LoadReport{};
+  loads_.fetch_add(1, std::memory_order_relaxed);
 
   DatasetRecord rec;
   {
@@ -938,6 +997,7 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
         }
       }
       if (!ok) {
+        load_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         rep.error = err;
         rep.fell_back = true;
         rep.deltas_applied = 0;
@@ -966,6 +1026,7 @@ std::shared_ptr<const service::ShardedIndex> SnapshotStore::Load(
   for (uint64_t gen : DiskGenerations(name)) {
     if (gen >= rec.base_generation) continue;
     if (auto index = try_generation(gen, &err)) {
+      load_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       rep.generation = gen;
       rep.fell_back = true;
       std::fprintf(stderr,
@@ -1077,6 +1138,12 @@ int SnapshotStore::GarbageCollect(std::string* error) {
     }
   }
   if (removed > 0 && opts_.fsync) FsyncDir(dir);
+  if (removed > 0) {
+    gc_files_removed_.fetch_add(static_cast<uint64_t>(removed),
+                                std::memory_order_relaxed);
+    AppendEvent("gc", opts_.dir,
+                std::to_string(removed) + " file(s) removed");
+  }
   return removed;
 }
 

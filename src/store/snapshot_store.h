@@ -80,6 +80,7 @@
 #ifndef ACTJOIN_STORE_SNAPSHOT_STORE_H_
 #define ACTJOIN_STORE_SNAPSHOT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,7 @@
 #include "service/mutation_journal.h"
 #include "service/service_catalog.h"
 #include "service/sharded_index.h"
+#include "util/metrics.h"
 
 namespace actjoin::store {
 
@@ -104,6 +106,11 @@ struct StoreOptions {
   /// current one plus keep_generations - 1 older fallbacks for Load's
   /// corruption recovery.
   int keep_generations = 2;
+  /// Optional observability sink (typically the serving JoinService's
+  /// registry): Open registers store_* counters as collection-time
+  /// callbacks, and manifest recoveries / GC sweeps append to its event
+  /// log. Must outlive the store. Null: no registration, no events.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 struct DatasetRecord {
@@ -212,9 +219,26 @@ class SnapshotStore {
   bool WriteManifestLocked(std::string* error);
   /// All on-disk generations of `name`, newest first.
   std::vector<uint64_t> DiskGenerations(const std::string& name) const;
+  /// Registers store_* instruments into opts_.metrics (no-op when null).
+  /// Every callback reads only atomics, so collection never touches mu_.
+  void RegisterMetrics();
+  /// Appends to opts_.metrics' event log (no-op when null).
+  void AppendEvent(std::string kind, std::string subject,
+                   std::string detail) const;
 
   StoreOptions opts_;
   bool open_ = false;
+
+  /// Observability counters, atomic so metric collection (which runs
+  /// under the registry mutex) never takes mu_ — no lock-order edge
+  /// between the two.
+  mutable std::atomic<uint64_t> puts_{0};
+  mutable std::atomic<uint64_t> delta_puts_{0};
+  mutable std::atomic<uint64_t> put_failures_{0};
+  mutable std::atomic<uint64_t> loads_{0};
+  mutable std::atomic<uint64_t> load_fallbacks_{0};
+  mutable std::atomic<uint64_t> gc_files_removed_{0};
+  mutable std::atomic<uint64_t> dataset_count_{0};
 
   mutable std::mutex mu_;
   Manifest manifest_;

@@ -68,6 +68,32 @@ class LatencyHistogram {
 
   double P50Micros() const { return QuantileMicros(0.50); }
   double P99Micros() const { return QuantileMicros(0.99); }
+  double P999Micros() const { return QuantileMicros(0.999); }
+
+  double sum_micros() const { return sum_micros_; }
+  uint64_t bucket_count(int b) const { return buckets_[b]; }
+
+  /// Upper edge of bucket b in microseconds (exposed for the metrics
+  /// exporter, which renders cumulative le series from the raw buckets).
+  static double BucketUpperEdgeMicros(int b) { return BucketUpperMicros(b); }
+
+  /// Bucket index a sample lands in (exposed for util::Histogram, the
+  /// atomic-bucket twin that shares this geometry).
+  static int BucketIndexOf(double micros) { return BucketOf(micros); }
+
+  /// Reassembles a histogram from raw parts — the inverse of the accessors
+  /// above, used to turn an atomic util::Histogram snapshot back into a
+  /// quantile-capable value without re-recording samples.
+  static LatencyHistogram FromParts(
+      uint64_t count, double sum_micros, double max_micros,
+      const std::array<uint64_t, kNumBuckets>& buckets) {
+    LatencyHistogram h;
+    h.count_ = count;
+    h.sum_micros_ = sum_micros;
+    h.max_micros_ = max_micros;
+    h.buckets_ = buckets;
+    return h;
+  }
 
  private:
   static int BucketOf(double micros) {

@@ -14,6 +14,7 @@
 // Seeding convention (full rationale in util_test.cc): random data comes
 // only from the workload factories with explicit literal seeds.
 
+#include <algorithm>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "net/wire.h"
 #include "service/join_service.h"
 #include "service/sharded_index.h"
+#include "util/timer.h"
 #include "workloads/datasets.h"
 
 namespace actjoin::net {
@@ -266,13 +268,17 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   stats.points_per_s = 4938.0;
   stats.queue_wait_p50_ms = 0.1;
   stats.queue_wait_p99_ms = 0.9;
+  stats.queue_wait_p999_ms = 1.8;
   stats.service_p50_ms = 1.5;
   stats.service_p99_ms = 6.5;
+  stats.service_p999_ms = 21.0;
   stats.queue_depth = 3;
   stats.epoch = 8;
   stats.num_datasets = 2;
   stats.peers.push_back({"10.0.0.1", 40, 2});
   stats.peers.push_back({"10.0.0.2:5151", 1, 0});
+  stats.dataset_splits.push_back({0, false, 8, 10000, 9, "default"});
+  stats.dataset_splits.push_back({1, true, 3, 2345, 2, "census-2020"});
 
   util::ByteWriter w;
   AppendServiceStats(stats, &w);
@@ -295,11 +301,197 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   EXPECT_EQ(got.rejected_unknown_dataset, stats.rejected_unknown_dataset);
   EXPECT_EQ(got.num_datasets, stats.num_datasets);
   EXPECT_EQ(got.peers, stats.peers);
+  // v4 additions: tail quantiles and the per-dataset split table.
+  EXPECT_EQ(got.queue_wait_p999_ms, stats.queue_wait_p999_ms);
+  EXPECT_EQ(got.service_p999_ms, stats.service_p999_ms);
+  EXPECT_EQ(got.dataset_splits, stats.dataset_splits);
 
-  // The per-peer table is length-delimited: truncating inside it fails.
+  // The trailing tables are length-delimited: truncating inside fails.
   std::vector<uint8_t> bytes = w.bytes();
   std::vector<uint8_t> bad(bytes.begin(), bytes.end() - 1);
   EXPECT_FALSE(DecodeServiceStats(bad, &got));
+}
+
+TEST(NetWire, TracedJoinResultRoundTripAndRespondPatch) {
+  service::JoinResult result;
+  result.epoch = 3;
+  result.queue_wait_ms = 0.5;
+  result.service_ms = 2.0;
+  result.stats.num_points = 10;
+  result.stats.counts = {1, 2};
+  result.trace.enabled = true;
+  result.trace.request_id = 99;
+  result.trace.at(service::TraceStage::kAdmission) = 1.5;
+  result.trace.at(service::TraceStage::kDecode) = 2.5;
+  result.trace.at(service::TraceStage::kQueue) = 500.0;
+  result.trace.at(service::TraceStage::kDecompose) = 10.0;
+  result.trace.at(service::TraceStage::kProbe) = 1800.0;
+  result.trace.at(service::TraceStage::kMerge) = 190.0;
+  // Respond cannot know itself at encode time: left zero, patched below.
+
+  util::ByteWriter w;
+  AppendJoinResult(result, &w);
+  service::JoinResult got;
+  ASSERT_TRUE(DecodeJoinResult(w.bytes(), &got));
+  EXPECT_EQ(got.trace, result.trace);
+
+  // Truncating inside the trace block fails typed.
+  std::vector<uint8_t> bytes = w.bytes();
+  for (size_t cut = 1; cut <= 8 * service::kNumTraceStages + 8; cut += 7) {
+    std::vector<uint8_t> bad(bytes.begin(),
+                             bytes.begin() + static_cast<ptrdiff_t>(
+                                                 bytes.size() - cut));
+    EXPECT_FALSE(DecodeJoinResult(bad, &got)) << "cut=" << cut;
+  }
+  // A traced flag above 1 (or dirty pad bytes) is malformed.
+  std::vector<uint8_t> bad_flag = bytes;
+  const size_t flag_at = bytes.size() - (8 + 8 * service::kNumTraceStages) - 4;
+  bad_flag[flag_at] = 2;
+  EXPECT_FALSE(DecodeJoinResult(bad_flag, &got));
+  bad_flag = bytes;
+  bad_flag[flag_at + 1] = 1;
+  EXPECT_FALSE(DecodeJoinResult(bad_flag, &got));
+
+  // The server patches the measured respond time into the encoded frame's
+  // last f64 just before handing it to the event loop.
+  std::vector<uint8_t> frame = EncodeJoinResultFrame(99, result);
+  PatchRespondStage(&frame, 12.5);
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kFrame);
+  ASSERT_TRUE(DecodeJoinResult(
+      std::span(frame).subspan(kFrameHeaderBytes, header.payload_bytes),
+      &got));
+  EXPECT_EQ(got.trace.at(service::TraceStage::kRespond), 12.5);
+  result.trace.at(service::TraceStage::kRespond) = 12.5;
+  EXPECT_EQ(got.trace, result.trace);
+
+  // An untraced result round-trips with a disabled, all-zero context.
+  service::JoinResult untraced;
+  untraced.stats.counts = {4};
+  util::ByteWriter w2;
+  AppendJoinResult(untraced, &w2);
+  ASSERT_TRUE(DecodeJoinResult(w2.bytes(), &got));
+  EXPECT_FALSE(got.trace.enabled);
+  EXPECT_EQ(got.trace.TotalMicros(), 0.0);
+}
+
+TEST(NetWire, GetMetricsCodecRejectsMalformed) {
+  for (MetricsFormat format : {MetricsFormat::kBinary, MetricsFormat::kText}) {
+    std::vector<uint8_t> frame = EncodeGetMetricsFrame(21, format);
+    FrameHeader header;
+    size_t frame_bytes = 0;
+    WireError err = WireError::kNone;
+    ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header,
+                            &frame_bytes, &err),
+              FrameParse::kFrame);
+    EXPECT_EQ(header.type, MessageType::kGetMetrics);
+    EXPECT_EQ(header.request_id, 21u);
+    std::span<const uint8_t> payload =
+        std::span(frame).subspan(kFrameHeaderBytes, header.payload_bytes);
+    MetricsFormat got = MetricsFormat::kBinary;
+    ASSERT_TRUE(DecodeGetMetrics(payload, &got));
+    EXPECT_EQ(got, format);
+
+    // Unknown format byte, dirty pad, truncation, trailing garbage: all
+    // malformed, never a silent default.
+    std::vector<uint8_t> bad(payload.begin(), payload.end());
+    bad[0] = 2;
+    EXPECT_FALSE(DecodeGetMetrics(bad, &got));
+    bad.assign(payload.begin(), payload.end());
+    bad[1] = 1;
+    EXPECT_FALSE(DecodeGetMetrics(bad, &got));
+    EXPECT_FALSE(DecodeGetMetrics(payload.first(3), &got));
+    bad.assign(payload.begin(), payload.end());
+    bad.push_back(0);
+    EXPECT_FALSE(DecodeGetMetrics(bad, &got));
+  }
+}
+
+TEST(NetWire, MetricsReportRoundTripAndRejectsMalformed) {
+  MetricsReport report;
+  report.samples.push_back({"requests_completed_total", "", 0, 42.0});
+  report.samples.push_back(
+      {"dataset_epoch", "dataset=\"census\"", 1, 7.0});
+  report.samples.push_back({"service_seconds_p99", "", 2, 0.0065});
+  report.events.push_back({1, 0.5, "swap", "default", "epoch 2"});
+  report.events.push_back({2, 1.25, "gc", "/tmp/store", "3 file(s) removed"});
+  service::SlowQuery slow;
+  slow.request_id = 9;
+  slow.dataset_id = 1;
+  slow.num_points = 1000;
+  slow.epoch = 2;
+  slow.queue_wait_us = 80.0;
+  slow.service_us = 6500.0;
+  report.slow_queries.push_back(slow);
+
+  util::ByteWriter w;
+  AppendMetricsReport(report, &w);
+  MetricsReport got;
+  ASSERT_TRUE(DecodeMetricsReport(w.bytes(), &got));
+  EXPECT_EQ(got.samples, report.samples);
+  EXPECT_EQ(got.events, report.events);
+  EXPECT_EQ(got.slow_queries, report.slow_queries);
+
+  // Truncation at every byte boundary fails typed, never crashes.
+  std::vector<uint8_t> good = w.bytes();
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<uint8_t> bad(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeMetricsReport(bad, &got)) << "cut=" << cut;
+  }
+  // Trailing garbage, forged sample count, out-of-range kind, dirty pad.
+  std::vector<uint8_t> bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(DecodeMetricsReport(bad, &got));
+  bad = good;
+  bad[0] = 0xFF;
+  bad[1] = 0xFF;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  EXPECT_FALSE(DecodeMetricsReport(bad, &got));
+  // First sample's kind byte sits after the count and two length-prefixed
+  // strings (u32 len + "requests_completed_total", u32 empty labels).
+  const size_t kind_at = 4 + (4 + 24) + 4;
+  bad = good;
+  bad[kind_at] = 3;
+  EXPECT_FALSE(DecodeMetricsReport(bad, &got));
+  bad = good;
+  bad[kind_at + 1] = 1;
+  EXPECT_FALSE(DecodeMetricsReport(bad, &got));
+
+  // METRICS_RESULT wraps either form behind a format byte.
+  std::vector<uint8_t> binary_frame = EncodeMetricsReportFrame(7, report);
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(binary_frame, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(header.type, MessageType::kMetricsResult);
+  MetricsFormat format = MetricsFormat::kText;
+  std::string text;
+  got = MetricsReport{};
+  ASSERT_TRUE(DecodeMetricsResult(
+      std::span(binary_frame)
+          .subspan(kFrameHeaderBytes, header.payload_bytes),
+      &format, &text, &got));
+  EXPECT_EQ(format, MetricsFormat::kBinary);
+  EXPECT_EQ(got.samples, report.samples);
+
+  const std::string exposition = "# TYPE actjoin_up gauge\nactjoin_up 1\n";
+  std::vector<uint8_t> text_frame = EncodeMetricsTextFrame(8, exposition);
+  ASSERT_EQ(TryParseFrame(text_frame, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kFrame);
+  ASSERT_TRUE(DecodeMetricsResult(
+      std::span(text_frame).subspan(kFrameHeaderBytes, header.payload_bytes),
+      &format, &text, &got));
+  EXPECT_EQ(format, MetricsFormat::kText);
+  EXPECT_EQ(text, exposition);
 }
 
 TEST(NetWire, ErrorFrameRoundTripAndRecoverability) {
@@ -360,6 +552,15 @@ TEST(NetWire, TryParseFrameEdges) {
   // Wrong version: typed, with the id echoed for the error response.
   std::vector<uint8_t> bad_version = frame;
   bad_version[4] = kWireVersion + 1;
+  EXPECT_EQ(TryParseFrame(bad_version, kDefaultMaxFrameBytes, &header,
+                          &frame_bytes, &err),
+            FrameParse::kProtocolError);
+  EXPECT_EQ(err, WireError::kUnsupportedVersion);
+  EXPECT_EQ(header.request_id, 9u);
+
+  // A v3 client (pre-metrics protocol) stays a *typed* rejection after the
+  // v4 bump — old peers get kUnsupportedVersion, not a desync or a crash.
+  bad_version[4] = 3;
   EXPECT_EQ(TryParseFrame(bad_version, kDefaultMaxFrameBytes, &header,
                           &frame_bytes, &err),
             FrameParse::kProtocolError);
@@ -1069,6 +1270,208 @@ TEST(NetServer, StopWhileIdleAndDoubleStop) {
   ts.server->Stop();  // idempotent
   std::string error;
   EXPECT_FALSE(ts.server->Start(&error));  // not restartable
+}
+
+// --- Observability over the wire (v4) --------------------------------------
+
+TEST(NetServer, TracedJoinStagesTileLoopbackWallTime) {
+  // The tracing acceptance contract: the seven stages of a traced
+  // JOIN_BATCH tile the request's server-side lifetime, and their sum
+  // lands within 10% of the wall time a loopback client measures around
+  // the call — the remainder is transport. A big exact-mode batch makes
+  // the join dominate transport so the bound is meaningful.
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  Grid grid;
+  // Stack the neighborhoods set on top of itself: every probe point hits
+  // ~12x the references, so the join — not the 30k-point transfer —
+  // dominates the client's wall time and the 10% bound is meaningful.
+  wl::PolygonDataset ds = wl::Neighborhoods(1.0);
+  std::vector<geom::Polygon> stacked;
+  for (int copy = 0; copy < 12; ++copy) {
+    stacked.insert(stacked.end(), ds.polygons.begin(), ds.polygons.end());
+  }
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(stacked, grid, {.num_shards = 4,
+                                           .build = bopts});
+  JoinService service(index, sopts);
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 30000, grid, 71);
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+
+  // Warm the connection first: the initial transfer pays TCP window
+  // growth, buffer reallocation, and cold caches — none of which is what
+  // the stage breakdown accounts for.
+  ASSERT_TRUE(client.Join(MakeBatch(pts, JoinMode::kExact)).ok);
+
+  // Assert the tiling bound on the least-noisy of a few attempts: a
+  // scheduler preemption between the client's timer start and the
+  // server's frame-complete entry inflates the wall without touching any
+  // stage, and must not flake the contract.
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  batch.trace = true;
+  JoinClient::Reply reply;
+  double wall_us = 0;
+  double best_ratio = 0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    util::WallTimer wall;
+    JoinClient::Reply r = client.Join(batch);
+    const double w = wall.ElapsedSeconds() * 1e6;
+    ASSERT_TRUE(r.ok) << r.message;
+    ASSERT_TRUE(r.result.trace.enabled);
+    const double ratio = r.result.trace.TotalMicros() / w;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      reply = std::move(r);
+      wall_us = w;
+    }
+    if (best_ratio >= 0.9) break;
+  }
+  const service::TraceContext& trace = reply.result.trace;
+  ASSERT_TRUE(trace.enabled);
+  EXPECT_NE(trace.request_id, 0u);  // echoes the frame's request id
+
+  for (int s = 0; s < service::kNumTraceStages; ++s) {
+    EXPECT_GE(trace.stage_us[static_cast<size_t>(s)], 0.0)
+        << service::TraceStageName(static_cast<service::TraceStage>(s));
+  }
+  // The stages each server layer owns actually ran.
+  EXPECT_GT(trace.at(service::TraceStage::kAdmission), 0.0);
+  EXPECT_GT(trace.at(service::TraceStage::kDecode), 0.0);
+  EXPECT_GT(trace.at(service::TraceStage::kProbe), 0.0);
+  EXPECT_GT(trace.at(service::TraceStage::kRespond), 0.0);
+  // Queue and join stages agree with the coarse JoinResult figures.
+  EXPECT_NEAR(trace.at(service::TraceStage::kQueue),
+              reply.result.queue_wait_ms * 1e3, 1e-6);
+  EXPECT_NEAR(trace.at(service::TraceStage::kDecompose) +
+                  trace.at(service::TraceStage::kProbe) +
+                  trace.at(service::TraceStage::kMerge),
+              reply.result.service_ms * 1e3,
+              1e-6 * std::max(1.0, reply.result.service_ms * 1e3));
+  // The acceptance bound: the stage sum explains the client's wall time.
+  const double total_us = trace.TotalMicros();
+  EXPECT_LE(total_us, wall_us * 1.001);
+  EXPECT_GE(total_us, wall_us * 0.9)
+      << "stages " << total_us << " us vs wall " << wall_us << " us";
+
+  // Tracing is opt-in per request: the next untraced join on the same
+  // connection comes back with a disabled, all-zero context.
+  JoinClient::Reply untraced = client.Join(MakeBatch(pts, JoinMode::kExact));
+  ASSERT_TRUE(untraced.ok) << untraced.message;
+  EXPECT_FALSE(untraced.result.trace.enabled);
+  EXPECT_EQ(untraced.result.trace.TotalMicros(), 0.0);
+}
+
+TEST(NetServer, GetMetricsOverLoopbackBothFormats) {
+  // One GET_METRICS collects the whole stack — service counters, latency
+  // histograms, per-dataset families, net-layer counters, the event ring,
+  // and the slow-query dump — in both exposition text and binary form.
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  const size_t half_count = ds.polygons.size() / 2;
+  std::vector<geom::Polygon> half_set(ds.polygons.begin(),
+                                      ds.polygons.begin() + half_count);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto half = BuildShared(half_set, grid, {.num_shards = 2, .build = bopts});
+  auto full = BuildShared(ds.polygons, grid,
+                          {.num_shards = 4, .build = bopts});
+
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  JoinService service(half, sopts);  // dataset 0 = "default"
+  ASSERT_TRUE(service.catalog().Add("census", full).has_value());
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 500, grid, 72);
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  ASSERT_TRUE(client.Join(batch).ok);
+  batch.dataset_id = 1;
+  ASSERT_TRUE(client.Join(batch).ok);
+  service.SwapIndex(0, half);  // "default" -> epoch 2, lands in the events
+
+  std::string text;
+  ASSERT_TRUE(client.GetMetricsText(&text, &error)) << error;
+  for (const char* needle :
+       {"# TYPE actjoin_requests_completed_total counter",
+        "actjoin_requests_completed_total 2",
+        "actjoin_dataset_epoch{dataset=\"default\"} 2",
+        "actjoin_dataset_epoch{dataset=\"census\"} 1",
+        "actjoin_dataset_points_served_total{dataset=\"census\"} 500",
+        "# TYPE actjoin_service_seconds histogram",
+        "actjoin_service_seconds_bucket{le=\"+Inf\"} 2",
+        "actjoin_server_frames_received_total",
+        "actjoin_admission_admitted_total 2"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+
+  MetricsReport report;
+  ASSERT_TRUE(client.GetMetrics(&report, &error)) << error;
+  ASSERT_FALSE(report.samples.empty());
+  bool saw_completed = false, saw_p99 = false;
+  for (const MetricSample& s : report.samples) {
+    if (s.name == "requests_completed_total" && s.labels.empty()) {
+      saw_completed = true;
+      EXPECT_EQ(s.kind, 0);  // counter
+      EXPECT_EQ(s.value, 2.0);
+    }
+    if (s.name == "service_seconds_p99") {
+      saw_p99 = true;
+      EXPECT_EQ(s.kind, 2);  // flattened from the histogram family
+      EXPECT_GT(s.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_completed);
+  EXPECT_TRUE(saw_p99);
+  bool saw_swap = false;
+  for (const util::MetricEvent& e : report.events) {
+    if (e.kind == "swap" && e.subject == "default") saw_swap = true;
+  }
+  EXPECT_TRUE(saw_swap);
+  ASSERT_EQ(report.slow_queries.size(), 2u);
+  EXPECT_GT(report.slow_queries[0].service_us, 0.0);
+  EXPECT_EQ(report.slow_queries[0].num_points, pts.size());
+
+  // STATS carries the v4 per-dataset splits over the wire too.
+  service::ServiceStats stats;
+  ASSERT_TRUE(client.GetStats(&stats, &error)) << error;
+  ASSERT_EQ(stats.dataset_splits.size(), 2u);
+  EXPECT_EQ(stats.dataset_splits[0].name, "default");
+  EXPECT_EQ(stats.dataset_splits[0].epoch, 2u);
+  EXPECT_EQ(stats.dataset_splits[0].points_served, pts.size());
+  EXPECT_EQ(stats.dataset_splits[1].name, "census");
+  EXPECT_EQ(stats.dataset_splits[1].epoch, 1u);
+  EXPECT_EQ(stats.dataset_splits[1].completed_requests, 1u);
+}
+
+TEST(NetServer, GetMetricsOnDisabledMetricsServiceAnswersEmpty) {
+  // enable_metrics=false is a service configuration, not a protocol
+  // change: scrapers get an empty document, not an error.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.enable_metrics = false;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  std::string text = "sentinel";
+  ASSERT_TRUE(client.GetMetricsText(&text, &error)) << error;
+  EXPECT_TRUE(text.empty());
+  MetricsReport report;
+  ASSERT_TRUE(client.GetMetrics(&report, &error)) << error;
+  EXPECT_TRUE(report.samples.empty());
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_TRUE(report.slow_queries.empty());
 }
 
 // --- Live mutation over the wire (v3) --------------------------------------
