@@ -184,8 +184,14 @@ JoinStats ExecuteJoin(const Index& index, const LookupTable& table,
   return out;
 }
 
-/// Materializing variant used by tests and examples: returns sorted (point
+/// Materializing variant used by tests and examples: returns (point
 /// index, polygon id) pairs instead of counts. Single-threaded.
+///
+/// Ordering contract: the output is sorted ascending by (point index,
+/// polygon id) and duplicate-free. This is a stable API guarantee, not an
+/// implementation detail — ShardedIndex::JoinPairs and the join2 pair
+/// producers promise the same shape, so any two producers of the same
+/// predicate can be compared byte-for-byte (memcmp of the vectors).
 template <typename Index>
 std::vector<std::pair<uint64_t, uint32_t>> ExecuteJoinPairs(
     const Index& index, const LookupTable& table, const JoinInput& input,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/pip.h"
+#include "geometry/poly_poly.h"
 #include "util/check.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
@@ -341,6 +342,63 @@ bool RTree::CheckInvariants() const {
   return r.ok && r.depth == height_ && r.entries == size_;
 }
 
+std::vector<std::pair<uint32_t, uint32_t>> RTree::CrossMatchCandidates(
+    const RTree& other) const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (root_ == nullptr || other.root_ == nullptr) return out;
+  struct NodePair {
+    const Node* a;
+    const Node* b;
+  };
+  const geom::Rect mbr_a = root_->Mbr();
+  const geom::Rect mbr_b = other.root_->Mbr();
+  if (!mbr_a.Intersects(mbr_b)) return out;
+  std::vector<NodePair> pending{{root_, other.root_}};
+  while (!pending.empty()) {
+    const NodePair p = pending.back();
+    pending.pop_back();
+    if (p.a->is_leaf && p.b->is_leaf) {
+      for (int i = 0; i < p.a->count; ++i) {
+        for (int j = 0; j < p.b->count; ++j) {
+          if (p.a->rects[i].Intersects(p.b->rects[j])) {
+            out.emplace_back(p.a->slots[i].id, p.b->slots[j].id);
+          }
+        }
+      }
+    } else if (p.a->is_leaf) {
+      // Mixed meet (trees of different heights): keep the leaf whole and
+      // descend only the inner side, one pending pair per child whose MBR
+      // reaches the leaf at all. No depth bookkeeping needed.
+      const geom::Rect am = p.a->Mbr();
+      for (int j = 0; j < p.b->count; ++j) {
+        if (am.Intersects(p.b->rects[j])) {
+          pending.push_back({p.a, p.b->slots[j].child});
+        }
+      }
+    } else if (p.b->is_leaf) {
+      const geom::Rect bm = p.b->Mbr();
+      for (int i = 0; i < p.a->count; ++i) {
+        if (p.a->rects[i].Intersects(bm)) {
+          pending.push_back({p.a->slots[i].child, p.b});
+        }
+      }
+    } else {
+      for (int i = 0; i < p.a->count; ++i) {
+        for (int j = 0; j < p.b->count; ++j) {
+          if (p.a->rects[i].Intersects(p.b->rects[j])) {
+            pending.push_back({p.a->slots[i].child, p.b->slots[j].child});
+          }
+        }
+      }
+    }
+  }
+  // Entry pairs are emitted exactly once (leaf/leaf meets partition the
+  // entry space), but LIFO processing leaves them unordered.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Join driver
 // ---------------------------------------------------------------------------
@@ -355,6 +413,32 @@ RTree BuildPolygonRTree(const std::vector<geom::Polygon>& polygons,
   }
   tree.BulkLoad(entries);
   return tree;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> RTreeCrossMatch(
+    const RTree& a, const std::vector<geom::Polygon>& polys_a,
+    const RTree& b, const std::vector<geom::Polygon>& polys_b,
+    bool contains_mode, RTreeCrossMatchStats* stats) {
+  util::WallTimer timer;
+  std::vector<std::pair<uint32_t, uint32_t>> candidates =
+      a.CrossMatchCandidates(b);
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(candidates.size());
+  for (const auto& [ida, idb] : candidates) {
+    ACT_CHECK(ida < polys_a.size() && idb < polys_b.size());
+    const bool hit =
+        contains_mode
+            ? geom::PolygonCovers(polys_a[ida], polys_b[idb])
+            : geom::PolygonsIntersect(polys_a[ida], polys_b[idb]);
+    if (hit) out.emplace_back(ida, idb);
+  }
+  // Candidates are already sorted unique; the keep-filter preserves that.
+  if (stats != nullptr) {
+    stats->candidate_pairs = candidates.size();
+    stats->result_pairs = out.size();
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
 }
 
 act::JoinStats RTreeJoin(const RTree& tree,

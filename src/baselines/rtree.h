@@ -71,6 +71,19 @@ class RTree {
     if (root_ != nullptr) QueryPointRec(root_, p, fn);
   }
 
+  /// Pairwise crossmatch filter: synchronized descent of this tree
+  /// against `other` with a pending node-pair worklist — the classic
+  /// R-tree spatial join. A node pair whose MBRs are disjoint prunes its
+  /// whole entry cross-product; a leaf/leaf meet emits every overlapping
+  /// entry-MBR pair as a candidate (this tree's id first); a mixed pair
+  /// descends into the inner node's children. Returns sorted unique
+  /// candidate (id, id) pairs — the filter half of the A/B baseline the
+  /// dual-trie crossmatch is benched against; the refine half shares
+  /// geom::PolygonsIntersect / PolygonCovers so verdicts (and bytes) can
+  /// only differ if candidate *recall* differs.
+  std::vector<std::pair<uint32_t, uint32_t>> CrossMatchCandidates(
+      const RTree& other) const;
+
   size_t size() const { return size_; }
   int height() const { return height_; }
   uint64_t node_count() const { return node_count_; }
@@ -112,6 +125,27 @@ act::JoinStats RTreeJoin(const RTree& tree,
 /// Builds an R-tree over the polygons' MBRs (entry id = polygon id).
 RTree BuildPolygonRTree(const std::vector<geom::Polygon>& polygons,
                         int max_entries = 8);
+
+/// Statistics of one RTreeCrossMatch call (the baseline analog of
+/// join2::CrossMatchStats, for the bench's filter-effectiveness columns).
+struct RTreeCrossMatchStats {
+  uint64_t candidate_pairs = 0;  // leaf/leaf MBR-overlap pairs
+  uint64_t result_pairs = 0;     // pairs surviving refinement
+  double seconds = 0;            // filter + refine wall time
+};
+
+/// The complete A/B baseline: `a` × `b` crossmatch, candidates from the
+/// synchronized MBR descent, each refined with the shared geometry
+/// predicates (geom::PolygonsIntersect when contains_mode is false,
+/// geom::PolygonCovers(a, b) when true). The entry ids of both trees must
+/// index into the matching polygon vector. Output carries the sorted
+/// unique (id_a, id_b) ordering contract of act::ExecuteJoinPairs, so it
+/// is byte-comparable against join2::CrossMatch and the brute-force
+/// oracle — this doubles as the second oracle in tests.
+std::vector<std::pair<uint32_t, uint32_t>> RTreeCrossMatch(
+    const RTree& a, const std::vector<geom::Polygon>& polys_a,
+    const RTree& b, const std::vector<geom::Polygon>& polys_b,
+    bool contains_mode = false, RTreeCrossMatchStats* stats = nullptr);
 
 }  // namespace actjoin::baselines
 

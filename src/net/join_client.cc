@@ -10,6 +10,42 @@ bool JoinClient::Connect(const std::string& host, uint16_t port,
   return fd_.valid();
 }
 
+bool JoinClient::RecvResponse(uint64_t request_id, FrameHeader* header,
+                              std::vector<uint8_t>* payload,
+                              std::string* message) {
+  std::string err;
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!RecvAll(fd_.get(), header_bytes, sizeof(header_bytes), &err)) {
+    Close();
+    *message = err;
+    return false;
+  }
+  size_t frame_bytes = 0;
+  WireError parse_err = WireError::kNone;
+  // The header alone decides validity; payload length is known after it.
+  if (TryParseFrame({header_bytes, sizeof(header_bytes)}, max_frame_bytes_,
+                    header, &frame_bytes,
+                    &parse_err) == FrameParse::kProtocolError) {
+    Close();
+    *message = std::string("protocol error in response header: ") +
+               ToString(parse_err);
+    return false;
+  }
+  payload->resize(header->payload_bytes);
+  if (header->payload_bytes > 0 &&
+      !RecvAll(fd_.get(), payload->data(), payload->size(), &err)) {
+    Close();
+    *message = err;
+    return false;
+  }
+  if (header->request_id != request_id) {
+    Close();
+    *message = "response request id does not match the request";
+    return false;
+  }
+  return true;
+}
+
 bool JoinClient::Call(const std::vector<uint8_t>& frame, uint64_t request_id,
                       MessageType expect, std::vector<uint8_t>* payload,
                       Reply* reply) {
@@ -25,35 +61,8 @@ bool JoinClient::Call(const std::vector<uint8_t>& frame, uint64_t request_id,
     reply->message = err;
     return false;
   }
-
-  uint8_t header_bytes[kFrameHeaderBytes];
-  if (!RecvAll(fd_.get(), header_bytes, sizeof(header_bytes), &err)) {
-    Close();
-    reply->message = err;
-    return false;
-  }
   FrameHeader header;
-  size_t frame_bytes = 0;
-  WireError parse_err = WireError::kNone;
-  // The header alone decides validity; payload length is known after it.
-  if (TryParseFrame({header_bytes, sizeof(header_bytes)}, max_frame_bytes_,
-                    &header, &frame_bytes,
-                    &parse_err) == FrameParse::kProtocolError) {
-    Close();
-    reply->message = std::string("protocol error in response header: ") +
-                     ToString(parse_err);
-    return false;
-  }
-  payload->resize(header.payload_bytes);
-  if (header.payload_bytes > 0 &&
-      !RecvAll(fd_.get(), payload->data(), payload->size(), &err)) {
-    Close();
-    reply->message = err;
-    return false;
-  }
-  if (header.request_id != request_id) {
-    Close();
-    reply->message = "response request id does not match the request";
+  if (!RecvResponse(request_id, &header, payload, &reply->message)) {
     return false;
   }
   if (header.type == MessageType::kError) {
@@ -95,6 +104,91 @@ JoinClient::Reply JoinClient::Join(const service::QueryBatch& batch) {
     reply.ok = false;
     reply.message = "undecodable join result";
   }
+  return reply;
+}
+
+JoinClient::CrossMatchReply JoinClient::CrossMatch(
+    uint16_t dataset_a, const JoinDatasetsRequest& req) {
+  CrossMatchReply reply;
+  if (!fd_.valid()) {
+    reply.message = "not connected";
+    return reply;
+  }
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> frame = EncodeJoinDatasetsFrame(id, dataset_a, req);
+  std::string err;
+  if (!SendAll(fd_.get(), frame.data(), frame.size(), &err)) {
+    Close();
+    reply.message = err;
+    return reply;
+  }
+  // Success is a chunk *stream*: accept PAIR_RESULT frames until one
+  // carries the last flag, validating the sequence as it arrives. A typed
+  // error can only be the first (and then only) response frame.
+  uint64_t total_pairs = 0;
+  for (uint32_t expect_index = 0;; ++expect_index) {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    if (!RecvResponse(id, &header, &payload, &reply.message)) {
+      return reply;
+    }
+    if (header.type == MessageType::kError) {
+      if (expect_index != 0) {
+        Close();
+        reply.message = "error frame in the middle of a pair stream";
+        return reply;
+      }
+      WireError code = WireError::kNone;
+      std::string message;
+      if (!DecodeError(payload, &code, &message)) {
+        Close();
+        reply.message = "undecodable error response";
+        return reply;
+      }
+      reply.error = code;
+      reply.message = std::move(message);
+      if (!IsRecoverable(code)) Close();
+      return reply;
+    }
+    if (header.type != MessageType::kPairResult) {
+      Close();
+      reply.message = "unexpected response type";
+      return reply;
+    }
+    PairChunk chunk;
+    if (!DecodePairChunk(payload, &chunk)) {
+      Close();
+      reply.message = "undecodable pair chunk";
+      return reply;
+    }
+    if (chunk.chunk_index != expect_index) {
+      Close();
+      reply.message = "pair chunk out of sequence";
+      return reply;
+    }
+    if (expect_index == 0) {
+      total_pairs = chunk.total_pairs;
+      reply.pairs.reserve(total_pairs);
+    } else if (chunk.total_pairs != total_pairs) {
+      Close();
+      reply.message = "pair chunks disagree on total_pairs";
+      return reply;
+    }
+    reply.pairs.insert(reply.pairs.end(), chunk.pairs.begin(),
+                       chunk.pairs.end());
+    ++reply.num_chunks;
+    if (chunk.last) {
+      if (reply.pairs.size() != total_pairs) {
+        Close();
+        reply.pairs.clear();
+        reply.message = "pair stream does not add up to total_pairs";
+        return reply;
+      }
+      reply.stats = chunk.stats;
+      break;
+    }
+  }
+  reply.ok = true;
   return reply;
 }
 

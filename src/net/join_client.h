@@ -51,6 +51,21 @@ class JoinClient {
     MutationAck ack;
   };
 
+  /// Result of a JOIN_DATASETS crossmatch (wire v5): the reassembled pair
+  /// stream plus the stats tail from the final chunk. `pairs` arrives
+  /// sorted ascending by (gid_a, gid_b) and unique — the server streams
+  /// the pages of one sorted sequence, and the client verifies the chunk
+  /// indexes are consecutive, so concatenation preserves the order.
+  struct CrossMatchReply {
+    bool ok = false;
+    WireError error = WireError::kNone;
+    std::string message;
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    PairChunkStats stats;
+    /// How many PAIR_RESULT chunks carried the stream (>= 1 on ok).
+    uint32_t num_chunks = 0;
+  };
+
   /// Round-trips one JOIN_BATCH against batch.dataset_id. The batch's
   /// cell_ids/points must be parallel arrays (same length). A server
   /// without that dataset answers with a recoverable kUnknownDataset
@@ -66,6 +81,16 @@ class JoinClient {
   Reply RemovePolygons(uint16_t dataset_id,
                        const std::vector<uint32_t>& polygon_ids);
   Reply DropDataset(uint16_t dataset_id);
+
+  /// Round-trips one JOIN_DATASETS (wire v5): crossmatch dataset_a against
+  /// req.dataset_b and stream back every result pair. Success is a
+  /// sequence of PAIR_RESULT chunks, which this call reassembles (and
+  /// validates: echoed request id, consecutive chunk indexes, a stable
+  /// total_pairs, the advertised total matched by the concatenation).
+  /// Either side unknown or dropped answers with a single recoverable
+  /// typed error naming the offending dataset in its message.
+  CrossMatchReply CrossMatch(uint16_t dataset_a,
+                             const JoinDatasetsRequest& req);
 
   bool Ping(std::string* error = nullptr);
   bool GetStats(service::ServiceStats* out, std::string* error = nullptr);
@@ -91,6 +116,12 @@ class JoinClient {
   /// type, returns the raw payload for the caller to decode.
   bool Call(const std::vector<uint8_t>& frame, uint64_t request_id,
             MessageType expect, std::vector<uint8_t>* payload, Reply* reply);
+
+  /// Blocks for one response frame to `request_id` (any type; the caller
+  /// inspects header->type). False + *message on transport or protocol
+  /// failure — the connection is closed. Does NOT interpret kError.
+  bool RecvResponse(uint64_t request_id, FrameHeader* header,
+                    std::vector<uint8_t>* payload, std::string* message);
 
   UniqueFd fd_;
   uint64_t next_request_id_ = 1;

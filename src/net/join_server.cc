@@ -89,6 +89,7 @@ JoinServer::JoinServer(service::JoinService* service,
     : service_(service),
       opts_(opts),
       admission_(opts.admission, service->options().queue_capacity),
+      matcher_(service),
       next_conn_id_(kFirstConnId) {
   ACT_CHECK_MSG(service_ != nullptr, "JoinServer requires a JoinService");
   if (opts_.io_threads < 1) opts_.io_threads = 1;
@@ -521,6 +522,9 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
     case MessageType::kJoinBatch:
       HandleJoinBatch(t, io, conn, header, payload);
       return;
+    case MessageType::kJoinDatasets:
+      HandleJoinDatasets(t, io, conn, header, payload);
+      return;
     case MessageType::kAddPolygons:
     case MessageType::kRemovePolygons:
     case MessageType::kDropDataset:
@@ -669,6 +673,207 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
       case service::SubmitStatus::kUnknownDataset:
         // Unreachable in practice (checked pre-admission above), but the
         // mapping stays total in case the service grows new door checks.
+        code = WireError::kUnknownDataset;
+        break;
+      default:
+        code = WireError::kShuttingDown;
+        break;
+    }
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(request_id, code, ToString(code)));
+  }
+}
+
+namespace {
+
+/// Splits a finished crossmatch into PAIR_RESULT frames. Exactly one
+/// last-flagged chunk even for an empty result; pairs keep their sorted
+/// order, cut at page boundaries.
+std::vector<std::vector<uint8_t>> EncodePairChunks(
+    uint64_t request_id, const join2::CrossMatchOutcome& outcome,
+    uint32_t page_size) {
+  uint32_t page = page_size == 0 ? kDefaultPairPageSize : page_size;
+  page = std::min(page, kMaxPairPageSize);
+  const uint64_t total = outcome.pairs.size();
+  const uint64_t num_chunks = total == 0 ? 1 : (total + page - 1) / page;
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    PairChunk chunk;
+    chunk.chunk_index = static_cast<uint32_t>(c);
+    chunk.last = c + 1 == num_chunks;
+    chunk.total_pairs = total;
+    const uint64_t lo = c * page;
+    const uint64_t hi = std::min(total, lo + page);
+    chunk.pairs.assign(outcome.pairs.begin() + static_cast<ptrdiff_t>(lo),
+                       outcome.pairs.begin() + static_cast<ptrdiff_t>(hi));
+    if (chunk.last) {
+      chunk.stats = {.candidate_pairs = outcome.stats.candidate_pairs,
+                     .refined_pairs = outcome.stats.refined_pairs,
+                     .pruned_pairs = outcome.stats.pruned_pairs,
+                     .max_depth = outcome.stats.max_depth,
+                     .epoch_a = outcome.epoch_a,
+                     .epoch_b = outcome.epoch_b,
+                     .service_us = outcome.service_us,
+                     .queue_wait_us = outcome.queue_wait_us};
+    }
+    frames.push_back(EncodePairChunkFrame(request_id, chunk));
+  }
+  return frames;
+}
+
+/// Typed rejection for a crossmatch side, with the offending dataset
+/// named in the message so a client joining two datasets knows which one
+/// to fix.
+std::vector<uint8_t> EncodeCrossMatchError(
+    uint64_t request_id, const join2::CrossMatchOutcome& outcome,
+    uint16_t dataset_a) {
+  WireError code = outcome.status == join2::CrossMatchStatus::kDatasetDropped
+                       ? WireError::kDatasetDropped
+                       : WireError::kUnknownDataset;
+  std::string message = std::string(ToString(code)) +
+                        (outcome.offending_dataset == dataset_a
+                             ? " (dataset_a=": " (dataset_b=") +
+                        std::to_string(outcome.offending_dataset) + ")";
+  return EncodeErrorFrame(request_id, code, message);
+}
+
+}  // namespace
+
+void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
+                                    const FrameHeader& header,
+                                    std::span<const uint8_t> payload) {
+  // Same shape as HandleJoinBatch: shed load first (O(1), no decode),
+  // then the knowable-from-the-header a-side check before the admission
+  // knobs, then decode, then the authoritative drain check.
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+  if (!service_->catalog().Servable(header.dataset_id)) {
+    WireError code = service_->catalog().IsDropped(header.dataset_id)
+                         ? WireError::kDatasetDropped
+                         : WireError::kUnknownDataset;
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, code,
+                         std::string(ToString(code)) + " (dataset_a=" +
+                             std::to_string(header.dataset_id) + ")"));
+    return;
+  }
+  const size_t bytes = payload.size();
+  Admission verdict =
+      admission_.TryAdmit(bytes, service_->QueueDepth(), conn.peer);
+  if (verdict != Admission::kAdmitted) {
+    WireError code = ToWireError(verdict);
+    QueueResponse(io, conn, EncodeErrorFrame(header.request_id, code,
+                                             ToString(code)));
+    return;
+  }
+  JoinDatasetsRequest wire_req;
+  if (!DecodeJoinDatasets(payload, &wire_req)) {
+    admission_.Release(bytes);  // garbage still burns the rate token
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                         ToString(WireError::kMalformedPayload)));
+    return;
+  }
+  // The b-side needs the decoded payload, so its check lands after
+  // admission: refund (the request did no index work), reject typed with
+  // the side named. The matcher re-validates both sides on the worker —
+  // that verdict, not this early out, decides races with in-queue drops.
+  if (!service_->catalog().Servable(wire_req.dataset_b)) {
+    WireError code = service_->catalog().IsDropped(wire_req.dataset_b)
+                         ? WireError::kDatasetDropped
+                         : WireError::kUnknownDataset;
+    admission_.Refund(bytes, conn.peer);
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, code,
+                         std::string(ToString(code)) + " (dataset_b=" +
+                             std::to_string(wire_req.dataset_b) + ")"));
+    return;
+  }
+
+  bool stopping_now = false;
+  {
+    // Authoritative stopping check; see HandleJoinBatch.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      stopping_now = true;
+    } else {
+      ++inflight_joins_;
+    }
+  }
+  if (stopping_now) {
+    admission_.Refund(bytes, conn.peer);
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+
+  const uint64_t conn_id = conn.id;
+  const uint64_t request_id = header.request_id;
+  const uint16_t dataset_a = header.dataset_id;
+  join2::CrossMatchRequest req;
+  req.dataset_a = dataset_a;
+  req.dataset_b = wire_req.dataset_b;
+  req.mode = static_cast<join2::CrossMatchMode>(wire_req.mode);
+  req.request_id = request_id;
+  const uint32_t page_size = wire_req.page_size;
+  service::SubmitStatus status = matcher_.TryCrossMatchAsync(
+      req,
+      // Runs on the service worker that executed the crossmatch. Chunks
+      // are posted one DeliverAsync at a time: the owner thread's inbox
+      // is FIFO, so the stream arrives in order with nothing interleaved
+      // between chunks of one response.
+      [this, t, conn_id, request_id, bytes, dataset_a,
+       page_size](join2::CrossMatchOutcome outcome) {
+        if (outcome.status != join2::CrossMatchStatus::kOk) {
+          admission_.Release(bytes);
+          DeliverAsync(t, conn_id,
+                       EncodeCrossMatchError(request_id, outcome, dataset_a));
+        } else {
+          std::vector<std::vector<uint8_t>> frames =
+              EncodePairChunks(request_id, outcome, page_size);
+          admission_.Release(bytes);
+          for (auto& frame : frames) {
+            DeliverAsync(t, conn_id, std::move(frame));
+          }
+        }
+        {
+          // Notify under the lock; see the join hook.
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          --inflight_joins_;
+          inflight_cv_.notify_all();
+        }
+      });
+  if (status != service::SubmitStatus::kAccepted) {
+    admission_.Refund(bytes, conn.peer);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_joins_;
+      inflight_cv_.notify_all();
+    }
+    WireError code;
+    switch (status) {
+      case service::SubmitStatus::kQueueFull:
+        code = WireError::kQueueFull;
+        break;
+      case service::SubmitStatus::kUnknownDataset:
+        // Unreachable in practice (a-side checked pre-admission; the
+        // matcher's door only rejects never-assigned a-sides).
         code = WireError::kUnknownDataset;
         break;
       default:

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "join2/dataset_cross_matcher.h"
 #include "net/admission.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -140,6 +141,15 @@ class JoinServer {
   void HandleMutation(int t, IoThread& io, Connection& conn,
                       const FrameHeader& header,
                       std::span<const uint8_t> payload);
+  /// JOIN_DATASETS (v5): admission + drain discipline of HandleJoinBatch,
+  /// routed through DatasetCrossMatcher::TryCrossMatchAsync. The
+  /// completion hook encodes the result as a stream of PAIR_RESULT chunks
+  /// and posts them, in order, to the connection's owner thread (the
+  /// per-thread inbox preserves delivery order, so chunks cannot
+  /// interleave or reorder). Typed rejects name the offending side.
+  void HandleJoinDatasets(int t, IoThread& io, Connection& conn,
+                          const FrameHeader& header,
+                          std::span<const uint8_t> payload);
   /// Appends a response and flushes as much as the socket accepts.
   void QueueResponse(IoThread& io, Connection& conn,
                      std::vector<uint8_t> frame);
@@ -160,6 +170,9 @@ class JoinServer {
   service::JoinService* service_;
   ServerOptions opts_;
   AdmissionController admission_;
+  /// Serves JOIN_DATASETS against the service's catalog (registers its
+  /// crossmatch instruments into the service's metrics registry).
+  join2::DatasetCrossMatcher matcher_;
 
   UniqueFd listener_;
   uint16_t port_ = 0;

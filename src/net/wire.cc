@@ -74,7 +74,8 @@ FrameParse TryParseFrame(std::span<const uint8_t> buffer,
   const bool routed = header->type == MessageType::kJoinBatch ||
                       header->type == MessageType::kAddPolygons ||
                       header->type == MessageType::kRemovePolygons ||
-                      header->type == MessageType::kDropDataset;
+                      header->type == MessageType::kDropDataset ||
+                      header->type == MessageType::kJoinDatasets;
   if (magic != kWireMagic || reserved2 != 0 ||
       (header->dataset_id != 0 && !routed)) {
     // A bad magic means the id field is garbage too; don't echo it.
@@ -460,6 +461,97 @@ bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out) {
   return true;
 }
 
+// JOIN_DATASETS payload: u16 dataset_b, u8 mode, u8 reserved, u32
+// page_size (dataset_a rides the header's dataset_id).
+void AppendJoinDatasets(const JoinDatasetsRequest& req, util::ByteWriter* w) {
+  w->PutU16(req.dataset_b);
+  w->PutU8(req.mode);
+  w->PutU8(0);
+  w->PutU32(req.page_size);
+}
+
+bool DecodeJoinDatasets(std::span<const uint8_t> payload,
+                        JoinDatasetsRequest* out) {
+  util::ByteReader r(payload);
+  out->dataset_b = r.U16();
+  out->mode = r.U8();
+  uint8_t pad8 = r.U8();
+  out->page_size = r.U32();
+  // mode is an enum on the wire: reject unknown values instead of letting
+  // a future client silently run the wrong predicate.
+  return r.ok() && r.AtEnd() && pad8 == 0 && out->mode <= 1;
+}
+
+// PAIR_RESULT payload: u32 chunk_index, u8 flags (bit 0: last), u8[3]
+// reserved, u64 total_pairs, u32 num_pairs, num_pairs x (u32, u32), then
+// on the last chunk the stats tail.
+void AppendPairChunk(const PairChunk& chunk, util::ByteWriter* w) {
+  w->PutU32(chunk.chunk_index);
+  w->PutU8(chunk.last ? 1 : 0);
+  w->PutU8(0);
+  w->PutU16(0);
+  w->PutU64(chunk.total_pairs);
+  w->PutU32(static_cast<uint32_t>(chunk.pairs.size()));
+  for (const auto& [a, b] : chunk.pairs) {
+    w->PutU32(a);
+    w->PutU32(b);
+  }
+  if (chunk.last) {
+    const PairChunkStats& s = chunk.stats;
+    w->PutU64(s.candidate_pairs);
+    w->PutU64(s.refined_pairs);
+    w->PutU64(s.pruned_pairs);
+    w->PutU32(s.max_depth);
+    w->PutU32(0);
+    w->PutU64(s.epoch_a);
+    w->PutU64(s.epoch_b);
+    w->PutF64(s.service_us);
+    w->PutF64(s.queue_wait_us);
+  }
+}
+
+bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out) {
+  util::ByteReader r(payload);
+  out->chunk_index = r.U32();
+  uint8_t flags = r.U8();
+  uint8_t pad8 = r.U8();
+  uint16_t pad16 = r.U16();
+  out->total_pairs = r.U64();
+  uint32_t n = r.U32();
+  if (!r.ok() || pad8 != 0 || pad16 != 0 || (flags & ~uint8_t{1}) != 0) {
+    return false;
+  }
+  out->last = (flags & 1) != 0;
+  // Forged-count bound: the pair array must fit what is actually left
+  // (divide, don't multiply — n * 8 could wrap).
+  const size_t tail = out->last ? 64 : 0;  // stats block on the last chunk
+  if (r.remaining() < tail || (r.remaining() - tail) / 8 < n ||
+      (r.remaining() - tail) != static_cast<size_t>(n) * 8) {
+    return false;
+  }
+  out->pairs.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t a = r.U32();
+    uint32_t b = r.U32();
+    out->pairs[i] = {a, b};
+  }
+  out->stats = PairChunkStats{};
+  if (out->last) {
+    PairChunkStats& s = out->stats;
+    s.candidate_pairs = r.U64();
+    s.refined_pairs = r.U64();
+    s.pruned_pairs = r.U64();
+    s.max_depth = r.U32();
+    uint32_t pad32 = r.U32();
+    s.epoch_a = r.U64();
+    s.epoch_b = r.U64();
+    s.service_us = r.F64();
+    s.queue_wait_us = r.F64();
+    if (pad32 != 0) return false;
+  }
+  return r.ok() && r.AtEnd();
+}
+
 MetricsReport BuildMetricsReport(const util::MetricsRegistry& registry,
                                  const service::SlowQueryLog* slow_queries) {
   MetricsReport report;
@@ -673,6 +765,24 @@ std::vector<uint8_t> EncodeDropDatasetFrame(uint64_t request_id,
                                             uint16_t dataset_id) {
   util::ByteWriter w(kFrameHeaderBytes);
   BeginFrame(&w, MessageType::kDropDataset, request_id, dataset_id);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeJoinDatasetsFrame(uint64_t request_id,
+                                             uint16_t dataset_a,
+                                             const JoinDatasetsRequest& req) {
+  util::ByteWriter w(kFrameHeaderBytes + 8);
+  BeginFrame(&w, MessageType::kJoinDatasets, request_id, dataset_a);
+  AppendJoinDatasets(req, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodePairChunkFrame(uint64_t request_id,
+                                          const PairChunk& chunk) {
+  util::ByteWriter w(kFrameHeaderBytes + 20 + chunk.pairs.size() * 8 +
+                     (chunk.last ? 64 : 0));
+  BeginFrame(&w, MessageType::kPairResult, request_id);
+  AppendPairChunk(chunk, &w);
   return FinishFrame(std::move(w));
 }
 

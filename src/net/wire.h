@@ -15,11 +15,15 @@
 //   24      ...   payload (layout per message type; see docs/wire_protocol.md)
 //
 // All integers are little-endian; doubles travel as their IEEE-754 bit
-// pattern (util::ByteWriter / ByteReader). Requests are JOIN_BATCH, PING,
-// STATS, LIST_DATASETS, SHUTDOWN, and the mutation trio ADD_POLYGONS /
-// REMOVE_POLYGONS / DROP_DATASET; every request gets exactly one
-// response — the matching success type or ERROR with a typed WireError
-// code. Admission rejections, UNKNOWN_DATASET, DATASET_DROPPED, and
+// pattern (util::ByteWriter / ByteReader). Requests are JOIN_BATCH,
+// JOIN_DATASETS, PING, STATS, LIST_DATASETS, SHUTDOWN, and the mutation
+// trio ADD_POLYGONS / REMOVE_POLYGONS / DROP_DATASET; every request gets
+// exactly one response — the matching success type or ERROR with a typed
+// WireError code — except JOIN_DATASETS, whose success answer is a
+// *sequence* of PAIR_RESULT chunks (result size is O(pairs), so the
+// response streams; the last chunk is flagged). A failed JOIN_DATASETS
+// still gets exactly one ERROR frame and no chunks.
+// Admission rejections, UNKNOWN_DATASET, DATASET_DROPPED, and
 // INVALID_MUTATION are ordinary ERROR responses: the server never blocks
 // and never drops the connection for them. Framing errors (bad magic, bad
 // version, oversized frame) are not recoverable — the server answers with
@@ -42,6 +46,10 @@
 // flag (the QueryBatch reserved u8 became flags, bit 0: trace) whose
 // response carries the per-stage breakdown inline, and STATS_RESULT
 // extended with p999 quantiles plus per-dataset epoch/traffic splits.
+// v5 adds the index–index join: JOIN_DATASETS (dataset_a in the header's
+// dataset_id, dataset_b + mode + page size in the payload) answered by a
+// chunked stream of PAIR_RESULT frames — the protocol's first multi-frame
+// response — with the per-join stats tail riding the flagged last chunk.
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -62,7 +70,7 @@
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 4;
+inline constexpr uint8_t kWireVersion = 5;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -81,6 +89,10 @@ enum class MessageType : uint8_t {
   kRemovePolygons = 7,  // u32 count + ids    -> kMutateResult
   kDropDataset = 8,     // empty payload      -> kMutateResult
   kGetMetrics = 9,      // u8 format (v4)     -> kMetricsResult
+  /// Index–index join (v5): dataset_a in the header's dataset_id, the
+  /// rest in the payload. Success answers with a stream of kPairResult
+  /// chunks; failure with one kError.
+  kJoinDatasets = 10,
   // Responses.
   kJoinResult = 65,
   kPong = 66,
@@ -89,6 +101,7 @@ enum class MessageType : uint8_t {
   kDatasetList = 69,
   kMutateResult = 70,
   kMetricsResult = 71,
+  kPairResult = 72,     // one chunk of a JOIN_DATASETS result (v5)
   kError = 127,
 };
 
@@ -215,6 +228,73 @@ bool DecodeRemovePolygons(std::span<const uint8_t> payload,
 void AppendMutationAck(const MutationAck& ack, util::ByteWriter* w);
 bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out);
 
+// --- JOIN_DATASETS / PAIR_RESULT (v5) --------------------------------------
+
+/// JOIN_DATASETS payload (dataset_a travels in the header's dataset_id):
+/// u16 dataset_b, u8 mode, u8 reserved (must be 0), u32 page_size.
+struct JoinDatasetsRequest {
+  uint16_t dataset_b = 0;
+  /// join2::CrossMatchMode on the wire: 0 intersects, 1 contains. Decode
+  /// rejects anything else (kMalformedPayload, not a silent default).
+  uint8_t mode = 0;
+  /// Pairs per PAIR_RESULT chunk; 0 means the server default
+  /// (kDefaultPairPageSize). The server clamps, never rejects, a large
+  /// value — page size shapes framing, not semantics.
+  uint32_t page_size = 0;
+
+  friend bool operator==(const JoinDatasetsRequest&,
+                         const JoinDatasetsRequest&) = default;
+};
+
+/// Per-join figures riding the last chunk of a PAIR_RESULT stream: the
+/// wire form of join2::CrossMatchStats plus the two pinned epochs and the
+/// request's timing splits.
+struct PairChunkStats {
+  uint64_t candidate_pairs = 0;
+  uint64_t refined_pairs = 0;
+  uint64_t pruned_pairs = 0;
+  uint32_t max_depth = 0;
+  uint64_t epoch_a = 0;
+  uint64_t epoch_b = 0;
+  double service_us = 0;
+  double queue_wait_us = 0;
+
+  friend bool operator==(const PairChunkStats&,
+                         const PairChunkStats&) = default;
+};
+
+/// One PAIR_RESULT chunk. Payload layout: u32 chunk_index, u8 flags
+/// (bit 0: last), u8[3] reserved (must be 0), u64 total_pairs (of the
+/// whole result, identical in every chunk), u32 num_pairs, then num_pairs
+/// × (u32 a, u32 b), then — on the last chunk only — the PairChunkStats
+/// tail (three u64, u32 + u32 reserved, two u64, two f64). Pairs arrive
+/// in the result's sorted order, split at page boundaries; an empty
+/// result is one last-flagged chunk with zero pairs.
+struct PairChunk {
+  uint32_t chunk_index = 0;
+  bool last = false;
+  uint64_t total_pairs = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  /// Meaningful only when `last` is set; default elsewhere.
+  PairChunkStats stats;
+
+  friend bool operator==(const PairChunk&, const PairChunk&) = default;
+};
+
+/// Server-side default and hard cap for pairs per chunk. The cap keeps a
+/// forged page_size from asking for a chunk above the frame limit: 8 B
+/// per pair, so 2^20 pairs is an 8 MiB payload, comfortably under
+/// kDefaultMaxFrameBytes.
+inline constexpr uint32_t kDefaultPairPageSize = 8192;
+inline constexpr uint32_t kMaxPairPageSize = 1u << 20;
+
+void AppendJoinDatasets(const JoinDatasetsRequest& req, util::ByteWriter* w);
+bool DecodeJoinDatasets(std::span<const uint8_t> payload,
+                        JoinDatasetsRequest* out);
+
+void AppendPairChunk(const PairChunk& chunk, util::ByteWriter* w);
+bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out);
+
 /// One flattened sample of the binary metrics form. Histograms are
 /// flattened into five samples sharing the family's kind byte —
 /// `<name>_count`, `<name>_sum`, `<name>_p50`, `<name>_p99`,
@@ -275,6 +355,11 @@ std::vector<uint8_t> EncodeDropDatasetFrame(uint64_t request_id,
                                             uint16_t dataset_id);
 std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
                                              const MutationAck& ack);
+std::vector<uint8_t> EncodeJoinDatasetsFrame(uint64_t request_id,
+                                             uint16_t dataset_a,
+                                             const JoinDatasetsRequest& req);
+std::vector<uint8_t> EncodePairChunkFrame(uint64_t request_id,
+                                          const PairChunk& chunk);
 /// GET_METRICS request: u8 format, u8[3] reserved.
 std::vector<uint8_t> EncodeGetMetricsFrame(uint64_t request_id,
                                            MetricsFormat format);

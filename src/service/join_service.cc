@@ -405,6 +405,27 @@ SubmitStatus JoinService::TryMutateAsync(uint16_t dataset_id,
   return SubmitStatus::kQueueFull;
 }
 
+SubmitStatus JoinService::TryRunAsync(std::function<void()> work) {
+  // No catalog door: the task owns its dataset validation (it may touch
+  // several datasets, each with its own typed verdict). Queue rejections
+  // still count so backpressure stays visible in ServiceStats.
+  auto req = std::make_unique<Request>();
+  req->work = std::move(work);
+  if (queue_.TryPush(req)) return SubmitStatus::kAccepted;
+  if (queue_.closed()) {
+    stats_.RecordRejectedShutdown();
+    return SubmitStatus::kShutDown;
+  }
+  stats_.RecordRejectedQueueFull();
+  return SubmitStatus::kQueueFull;
+}
+
+void JoinService::ChargeDatasetServed(uint16_t dataset_id, uint64_t points) {
+  DatasetCounters& counters = CountersFor(dataset_id);
+  counters.points_served.fetch_add(points, std::memory_order_relaxed);
+  counters.completed.fetch_add(1, std::memory_order_relaxed);
+}
+
 void JoinService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);

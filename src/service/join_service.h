@@ -259,6 +259,15 @@ class JoinService {
   SubmitStatus TryMutateAsync(uint16_t dataset_id,
                               std::function<void()> work);
 
+  /// Queue-routed generic task: on kAccepted, `work` runs exactly once on
+  /// a worker thread. The seam higher layers (join2's dataset crossmatch)
+  /// use to run multi-dataset operations on the service's workers with
+  /// the service's backpressure — no catalog door here, because such an
+  /// operation validates its datasets itself and delivers typed verdicts;
+  /// queue-full / shutdown rejections are counted like any join's. On
+  /// rejection `work` is dropped unrun.
+  SubmitStatus TryRunAsync(std::function<void()> work);
+
   /// Pins and returns dataset 0's published snapshot (null before any
   /// dataset exists).
   Snapshot CurrentIndex() const {
@@ -293,6 +302,21 @@ class JoinService {
 
   /// Always-on top-K slow-query log (dumpable via GET_METRICS).
   const SlowQueryLog& slow_queries() const { return slow_queries_; }
+
+  /// Entry point for higher layers that execute on the service's workers
+  /// (TryRunAsync) and want their requests ranked with everything else.
+  void RecordSlowQuery(const SlowQuery& q) { slow_queries_.Record(q); }
+
+  /// The shared join pool (null when ServiceOptions.shared_pool_workers
+  /// is 0). Tasks run via TryRunAsync may pass it to parallel executors;
+  /// it must never be used from *inside* one of its own pool tasks.
+  util::WorkStealingPool* shared_pool() { return join_pool_.get(); }
+
+  /// Charges one completed request of `points` work units against a
+  /// dataset's traffic counters (points_served / completed). Joins charge
+  /// automatically; queue-routed tasks (TryRunAsync) charge each dataset
+  /// they touched through this — the crossmatch charges both sides.
+  void ChargeDatasetServed(uint16_t dataset_id, uint64_t points);
 
   size_t QueueDepth() const { return queue_.size(); }
   const ServiceOptions& options() const { return opts_; }

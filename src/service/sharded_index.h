@@ -174,7 +174,11 @@ class ShardedIndex {
                                  const act::JoinOptions& opts) const;
 
   /// Routed equivalent of act::PolygonIndex::JoinPairs: sorted (point
-  /// index, global polygon id) pairs. `threads` follows the library
+  /// index, global polygon id) pairs. Carries the same ordering contract
+  /// as act::ExecuteJoinPairs — ascending by (point index, polygon id),
+  /// duplicate-free — so results from any pair producer with that
+  /// contract (including join2::CrossMatch pair output) are
+  /// byte-comparable. `threads` follows the library
   /// convention (0 => DefaultThreadCount()); the default 1 preserves the
   /// historical single-threaded behavior. Output is identical at every
   /// width: per-task pair lists are concatenated in fixed shard-then-range
