@@ -1,0 +1,448 @@
+#include "net/async_join_client.h"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace actjoin::net {
+
+bool AsyncJoinClient::Connect(const std::string& host, uint16_t port,
+                              std::string* error) {
+  Close();  // drop any previous connection and its reader
+  fd_ = ConnectTcp(host, port, error);
+  if (!fd_.valid()) return false;
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_ = false;
+    fail_code_ = WireError::kNone;
+    fail_message_.clear();
+  }
+  connected_.store(true, std::memory_order_release);
+  reader_ = std::thread(&AsyncJoinClient::ReaderLoop, this);
+  return true;
+}
+
+void AsyncJoinClient::Close() {
+  if (fd_.valid()) {
+    FailConnection(WireError::kNone, "connection closed");
+  }
+  if (reader_.joinable()) reader_.join();
+  fd_.Reset();
+  wake_fd_.Reset();
+}
+
+void AsyncJoinClient::WakeReader() {
+  if (!wake_fd_.valid()) return;
+  const uint64_t one = 1;
+  // Best-effort: EAGAIN means the counter is already nonzero — the reader
+  // has a wake pending and will re-arm regardless.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+size_t AsyncJoinClient::outstanding_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void AsyncJoinClient::CompleteFailure(Slot* slot, WireError code,
+                                      const std::string& message) {
+  switch (slot->kind) {
+    case SlotKind::kSingle: {
+      RawReply reply;
+      reply.error = code;
+      reply.message = message;
+      slot->promise.set_value(std::move(reply));
+      break;
+    }
+    case SlotKind::kStream: {
+      // Reuse the accumulator so a mid-stream failure reports how far the
+      // stream got, but never surface a partial pair list as data.
+      slot->stream.ok = false;
+      slot->stream.error = code;
+      slot->stream.message = message;
+      slot->stream.pairs.clear();
+      slot->stream_promise.set_value(std::move(slot->stream));
+      break;
+    }
+    case SlotKind::kSubscribe:
+    case SlotKind::kUnsubscribe: {
+      SubscribeReply reply;
+      reply.error = code;
+      reply.message = message;
+      slot->sub_promise.set_value(std::move(reply));
+      break;
+    }
+  }
+}
+
+void AsyncJoinClient::FailConnection(WireError code,
+                                     const std::string& message) {
+  std::map<uint64_t, std::unique_ptr<Slot>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      fail_code_ = code;
+      fail_message_ = message;
+    }
+    pending.swap(pending_);
+    subs_.clear();
+  }
+  connected_.store(false, std::memory_order_release);
+  // Shut down (don't close) so concurrent senders hit EPIPE instead of a
+  // recycled descriptor; the reader's recv wakes with 0. The fd itself is
+  // released only by Close()/Connect(), after the reader has joined.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  for (auto& [id, slot] : pending) CompleteFailure(slot.get(), code, message);
+}
+
+void AsyncJoinClient::Dispatch(const std::vector<uint8_t>& frame,
+                               uint64_t request_id,
+                               std::unique_ptr<Slot> slot) {
+  if (!connected()) {
+    CompleteFailure(slot.get(), WireError::kNone, "not connected");
+    return;
+  }
+  if (frame.size() > max_frame_bytes()) {
+    CompleteFailure(slot.get(), WireError::kNone,
+                    "frame exceeds max_frame_bytes");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) {
+      CompleteFailure(slot.get(), WireError::kNone, "not connected");
+      return;
+    }
+    pending_[request_id] = std::move(slot);
+  }
+  // The reader may be parked in poll() with no deadline (nothing was
+  // pending when it went to sleep); poke it so the receive timeout arms
+  // for this request even if the server never sends a byte.
+  WakeReader();
+  std::string err;
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    sent = SendAll(fd_.get(), frame.data(), frame.size(), &err);
+  }
+  // A failed send leaves the outbound stream at an unknown position; the
+  // whole connection is done for (this also completes our own slot).
+  if (!sent) FailConnection(WireError::kNone, err);
+}
+
+std::future<AsyncJoinClient::RawReply> AsyncJoinClient::Call(
+    const std::vector<uint8_t>& frame, uint64_t request_id,
+    MessageType expect) {
+  auto slot = std::make_unique<Slot>();
+  slot->kind = SlotKind::kSingle;
+  slot->expect = expect;
+  std::future<RawReply> future = slot->promise.get_future();
+  Dispatch(frame, request_id, std::move(slot));
+  return future;
+}
+
+std::future<CrossMatchReply> AsyncJoinClient::CallCrossMatch(
+    const std::vector<uint8_t>& frame, uint64_t request_id) {
+  auto slot = std::make_unique<Slot>();
+  slot->kind = SlotKind::kStream;
+  std::future<CrossMatchReply> future = slot->stream_promise.get_future();
+  Dispatch(frame, request_id, std::move(slot));
+  return future;
+}
+
+std::future<AsyncJoinClient::SubscribeReply> AsyncJoinClient::Subscribe(
+    uint16_t dataset_id, const service::SubscriptionSpec& spec,
+    EventHandler on_events, GapHandler on_gap) {
+  auto slot = std::make_unique<Slot>();
+  slot->kind = SlotKind::kSubscribe;
+  slot->on_events = std::move(on_events);
+  slot->on_gap = std::move(on_gap);
+  std::future<SubscribeReply> future = slot->sub_promise.get_future();
+  const uint64_t id = NextRequestId();
+  Dispatch(EncodeSubscribeFrame(id, dataset_id, spec), id, std::move(slot));
+  return future;
+}
+
+std::future<AsyncJoinClient::SubscribeReply> AsyncJoinClient::Unsubscribe(
+    uint64_t subscription_id) {
+  auto slot = std::make_unique<Slot>();
+  slot->kind = SlotKind::kUnsubscribe;
+  slot->unsubscribe_id = subscription_id;
+  std::future<SubscribeReply> future = slot->sub_promise.get_future();
+  const uint64_t id = NextRequestId();
+  Dispatch(EncodeUnsubscribeFrame(id, subscription_id), id, std::move(slot));
+  return future;
+}
+
+void AsyncJoinClient::ReaderLoop() {
+  std::vector<uint8_t> buffer;
+  size_t consumed = 0;
+  for (;;) {
+    // Drain every complete frame already buffered.
+    for (;;) {
+      FrameHeader header;
+      size_t frame_bytes = 0;
+      WireError parse_err = WireError::kNone;
+      std::span<const uint8_t> view(buffer.data() + consumed,
+                                    buffer.size() - consumed);
+      FrameParse parsed = TryParseFrame(view, max_frame_bytes(), &header,
+                                        &frame_bytes, &parse_err);
+      if (parsed == FrameParse::kProtocolError) {
+        FailConnection(WireError::kNone,
+                       std::string("protocol error in response header: ") +
+                           ToString(parse_err));
+        return;
+      }
+      if (parsed == FrameParse::kNeedMoreData) break;
+      if (!HandleFrame(header,
+                       view.subspan(kFrameHeaderBytes, header.payload_bytes))) {
+        return;
+      }
+      consumed += frame_bytes;
+    }
+    if (consumed > 0) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<ptrdiff_t>(consumed));
+      consumed = 0;
+    }
+    // The deadline arms only while an answer is owed or a frame is
+    // half-read; an idle subscription-only connection waits forever.
+    int timeout_ms = recv_timeout_ms();
+    if (timeout_ms > 0) {
+      bool waiting = !buffer.empty();
+      if (!waiting) {
+        std::lock_guard<std::mutex> lock(mu_);
+        waiting = !pending_.empty();
+      }
+      if (!waiting) timeout_ms = -1;
+    } else {
+      timeout_ms = -1;
+    }
+    struct pollfd pfds[2];
+    pfds[0].fd = fd_.get();
+    pfds[0].events = POLLIN;
+    pfds[0].revents = 0;
+    pfds[1].fd = wake_fd_.valid() ? wake_fd_.get() : -1;  // -1: ignored
+    pfds[1].events = POLLIN;
+    pfds[1].revents = 0;
+    int rc = ::poll(pfds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      FailConnection(WireError::kNone, ErrnoMessage("poll failed"));
+      return;
+    }
+    if (rc == 0) {
+      FailConnection(WireError::kTimedOut, "receive deadline exceeded");
+      return;
+    }
+    if (pfds[1].revents != 0) {
+      // WakeReader poked us: drain the counter and re-evaluate the
+      // deadline arming state with the now-current pending set.
+      uint64_t drained;
+      while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+      }
+    }
+    if (pfds[0].revents == 0) continue;  // wake only — nothing to read yet
+    uint8_t chunk[64 * 1024];
+    ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailConnection(WireError::kNone, ErrnoMessage("recv failed"));
+      return;
+    }
+    if (n == 0) {
+      // Peer close — or our own Close()/FailConnection shutdown.
+      FailConnection(WireError::kNone, "connection closed");
+      return;
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+}
+
+bool AsyncJoinClient::HandleFrame(const FrameHeader& header,
+                                  std::span<const uint8_t> payload) {
+  // Server-initiated push frames route by subscription id, not request id.
+  if (header.type == MessageType::kEvent) {
+    service::EventBatch batch;
+    if (!DecodeEventBatch(payload, &batch)) {
+      FailConnection(WireError::kNone, "undecodable event frame");
+      return false;
+    }
+    EventHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = subs_.find(batch.subscription_id);
+      if (it != subs_.end()) handler = it->second.on_events;
+    }
+    // Unknown sub id: events racing an unsubscribe ack; drop silently.
+    if (handler) handler(batch);
+    return true;
+  }
+  if (header.type == MessageType::kEventGap) {
+    EventGap gap;
+    if (!DecodeEventGap(payload, &gap)) {
+      FailConnection(WireError::kNone, "undecodable event gap frame");
+      return false;
+    }
+    GapHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = subs_.find(gap.subscription_id);
+      if (it != subs_.end()) handler = it->second.on_gap;
+    }
+    if (handler) handler(gap);
+    return true;
+  }
+
+  // Everything else answers a request. Take the slot out of the table;
+  // whoever holds a slot owns completing it exactly once.
+  std::unique_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(header.request_id);
+    if (it != pending_.end()) {
+      slot = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  if (slot == nullptr) {
+    FailConnection(WireError::kNone,
+                   "response request id does not match the request");
+    return false;
+  }
+
+  // A protocol violation completes the offending slot with its specific
+  // message, then fails the connection (draining everything else).
+  auto fail_closed = [&](const std::string& message) {
+    CompleteFailure(slot.get(), WireError::kNone, message);
+    FailConnection(WireError::kNone, message);
+    return false;
+  };
+
+  if (header.type == MessageType::kError) {
+    if (slot->kind == SlotKind::kStream && slot->next_chunk != 0) {
+      return fail_closed("error frame in the middle of a pair stream");
+    }
+    WireError code = WireError::kNone;
+    std::string message;
+    if (!DecodeError(payload, &code, &message)) {
+      return fail_closed("undecodable error response");
+    }
+    CompleteFailure(slot.get(), code, message);
+    if (!IsRecoverable(code)) {
+      FailConnection(code, message);
+      return false;
+    }
+    return true;
+  }
+
+  switch (slot->kind) {
+    case SlotKind::kSingle: {
+      if (header.type != slot->expect) {
+        return fail_closed("unexpected response type");
+      }
+      RawReply reply;
+      reply.ok = true;
+      reply.type = header.type;
+      reply.payload.assign(payload.begin(), payload.end());
+      slot->promise.set_value(std::move(reply));
+      return true;
+    }
+    case SlotKind::kStream: {
+      if (header.type != MessageType::kPairResult) {
+        return fail_closed("unexpected response type");
+      }
+      PairChunk chunk;
+      if (!DecodePairChunk(payload, &chunk)) {
+        return fail_closed("undecodable pair chunk");
+      }
+      if (chunk.chunk_index != slot->next_chunk) {
+        return fail_closed("pair chunk out of sequence");
+      }
+      if (slot->next_chunk == 0) {
+        slot->total_pairs = chunk.total_pairs;
+        slot->stream.pairs.reserve(chunk.total_pairs);
+      } else if (chunk.total_pairs != slot->total_pairs) {
+        return fail_closed("pair chunks disagree on total_pairs");
+      }
+      slot->stream.pairs.insert(slot->stream.pairs.end(), chunk.pairs.begin(),
+                                chunk.pairs.end());
+      ++slot->stream.num_chunks;
+      ++slot->next_chunk;
+      if (chunk.last) {
+        if (slot->stream.pairs.size() != slot->total_pairs) {
+          return fail_closed("pair stream does not add up to total_pairs");
+        }
+        slot->stream.stats = chunk.stats;
+        slot->stream.ok = true;
+        slot->stream_promise.set_value(std::move(slot->stream));
+        return true;
+      }
+      // Stream continues: hand the slot back — unless the connection
+      // failed while we processed this chunk, in which case the failure's
+      // recorded reason completes it here (FailConnection can no longer
+      // see it).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!failed_) {
+          pending_[header.request_id] = std::move(slot);
+          return true;
+        }
+      }
+      WireError code;
+      std::string message;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        code = fail_code_;
+        message = fail_message_;
+      }
+      CompleteFailure(slot.get(), code, message);
+      return false;
+    }
+    case SlotKind::kSubscribe: {
+      if (header.type != MessageType::kSubscriptionResult) {
+        return fail_closed("unexpected response type");
+      }
+      SubscribeReply reply;
+      if (!DecodeSubscriptionInfo(payload, &reply.info)) {
+        return fail_closed("undecodable subscription ack");
+      }
+      reply.ok = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!failed_) {
+          Handlers& handlers = subs_[reply.info.id];
+          handlers.on_events = std::move(slot->on_events);
+          handlers.on_gap = std::move(slot->on_gap);
+        }
+      }
+      slot->sub_promise.set_value(std::move(reply));
+      return true;
+    }
+    case SlotKind::kUnsubscribe: {
+      if (header.type != MessageType::kSubscriptionResult) {
+        return fail_closed("unexpected response type");
+      }
+      SubscribeReply reply;
+      if (!DecodeSubscriptionInfo(payload, &reply.info)) {
+        return fail_closed("undecodable subscription ack");
+      }
+      reply.ok = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        subs_.erase(slot->unsubscribe_id);
+      }
+      slot->sub_promise.set_value(std::move(reply));
+      return true;
+    }
+  }
+  return true;  // unreachable; every kind returns above
+}
+
+}  // namespace actjoin::net

@@ -4,94 +4,23 @@
 
 namespace actjoin::net {
 
-bool JoinClient::Connect(const std::string& host, uint16_t port,
-                         std::string* error) {
-  fd_ = ConnectTcp(host, port, error);
-  return fd_.valid();
-}
-
-bool JoinClient::RecvResponse(uint64_t request_id, FrameHeader* header,
-                              std::vector<uint8_t>* payload,
-                              std::string* message) {
-  std::string err;
-  uint8_t header_bytes[kFrameHeaderBytes];
-  if (!RecvAll(fd_.get(), header_bytes, sizeof(header_bytes), &err)) {
-    Close();
-    *message = err;
-    return false;
-  }
-  size_t frame_bytes = 0;
-  WireError parse_err = WireError::kNone;
-  // The header alone decides validity; payload length is known after it.
-  if (TryParseFrame({header_bytes, sizeof(header_bytes)}, max_frame_bytes_,
-                    header, &frame_bytes,
-                    &parse_err) == FrameParse::kProtocolError) {
-    Close();
-    *message = std::string("protocol error in response header: ") +
-               ToString(parse_err);
-    return false;
-  }
-  payload->resize(header->payload_bytes);
-  if (header->payload_bytes > 0 &&
-      !RecvAll(fd_.get(), payload->data(), payload->size(), &err)) {
-    Close();
-    *message = err;
-    return false;
-  }
-  if (header->request_id != request_id) {
-    Close();
-    *message = "response request id does not match the request";
-    return false;
-  }
-  return true;
-}
-
 bool JoinClient::Call(const std::vector<uint8_t>& frame, uint64_t request_id,
                       MessageType expect, std::vector<uint8_t>* payload,
                       Reply* reply) {
-  reply->ok = false;
-  reply->error = WireError::kNone;
-  if (!fd_.valid()) {
-    reply->message = "not connected";
-    return false;
-  }
-  std::string err;
-  if (!SendAll(fd_.get(), frame.data(), frame.size(), &err)) {
-    Close();
-    reply->message = err;
-    return false;
-  }
-  FrameHeader header;
-  if (!RecvResponse(request_id, &header, payload, &reply->message)) {
-    return false;
-  }
-  if (header.type == MessageType::kError) {
-    WireError code = WireError::kNone;
-    std::string message;
-    if (!DecodeError(*payload, &code, &message)) {
-      Close();
-      reply->message = "undecodable error response";
-      return false;
-    }
-    reply->error = code;
-    reply->message = std::move(message);
-    if (!IsRecoverable(code)) Close();
-    return false;
-  }
-  if (header.type != expect) {
-    Close();
-    reply->message = "unexpected response type";
-    return false;
-  }
-  reply->ok = true;
+  AsyncJoinClient::RawReply raw = core_->Call(frame, request_id, expect).get();
+  reply->ok = raw.ok;
+  reply->error = raw.error;
+  reply->message = std::move(raw.message);
+  if (!raw.ok) return false;
+  *payload = std::move(raw.payload);
   return true;
 }
 
 JoinClient::Reply JoinClient::Join(const service::QueryBatch& batch) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> frame = EncodeJoinBatchFrame(id, batch);
-  if (frame.size() > max_frame_bytes_) {
+  if (frame.size() > max_frame_bytes()) {
     reply.message = "batch exceeds max_frame_bytes";
     return reply;
   }
@@ -109,96 +38,23 @@ JoinClient::Reply JoinClient::Join(const service::QueryBatch& batch) {
 
 JoinClient::CrossMatchReply JoinClient::CrossMatch(
     uint16_t dataset_a, const JoinDatasetsRequest& req) {
-  CrossMatchReply reply;
-  if (!fd_.valid()) {
+  if (!connected()) {
+    CrossMatchReply reply;
     reply.message = "not connected";
     return reply;
   }
-  const uint64_t id = next_request_id_++;
-  std::vector<uint8_t> frame = EncodeJoinDatasetsFrame(id, dataset_a, req);
-  std::string err;
-  if (!SendAll(fd_.get(), frame.data(), frame.size(), &err)) {
-    Close();
-    reply.message = err;
-    return reply;
-  }
-  // Success is a chunk *stream*: accept PAIR_RESULT frames until one
-  // carries the last flag, validating the sequence as it arrives. A typed
-  // error can only be the first (and then only) response frame.
-  uint64_t total_pairs = 0;
-  for (uint32_t expect_index = 0;; ++expect_index) {
-    FrameHeader header;
-    std::vector<uint8_t> payload;
-    if (!RecvResponse(id, &header, &payload, &reply.message)) {
-      return reply;
-    }
-    if (header.type == MessageType::kError) {
-      if (expect_index != 0) {
-        Close();
-        reply.message = "error frame in the middle of a pair stream";
-        return reply;
-      }
-      WireError code = WireError::kNone;
-      std::string message;
-      if (!DecodeError(payload, &code, &message)) {
-        Close();
-        reply.message = "undecodable error response";
-        return reply;
-      }
-      reply.error = code;
-      reply.message = std::move(message);
-      if (!IsRecoverable(code)) Close();
-      return reply;
-    }
-    if (header.type != MessageType::kPairResult) {
-      Close();
-      reply.message = "unexpected response type";
-      return reply;
-    }
-    PairChunk chunk;
-    if (!DecodePairChunk(payload, &chunk)) {
-      Close();
-      reply.message = "undecodable pair chunk";
-      return reply;
-    }
-    if (chunk.chunk_index != expect_index) {
-      Close();
-      reply.message = "pair chunk out of sequence";
-      return reply;
-    }
-    if (expect_index == 0) {
-      total_pairs = chunk.total_pairs;
-      reply.pairs.reserve(total_pairs);
-    } else if (chunk.total_pairs != total_pairs) {
-      Close();
-      reply.message = "pair chunks disagree on total_pairs";
-      return reply;
-    }
-    reply.pairs.insert(reply.pairs.end(), chunk.pairs.begin(),
-                       chunk.pairs.end());
-    ++reply.num_chunks;
-    if (chunk.last) {
-      if (reply.pairs.size() != total_pairs) {
-        Close();
-        reply.pairs.clear();
-        reply.message = "pair stream does not add up to total_pairs";
-        return reply;
-      }
-      reply.stats = chunk.stats;
-      break;
-    }
-  }
-  reply.ok = true;
-  return reply;
+  const uint64_t id = core_->NextRequestId();
+  return core_->CallCrossMatch(EncodeJoinDatasetsFrame(id, dataset_a, req), id)
+      .get();
 }
 
 JoinClient::Reply JoinClient::AddPolygons(
     uint16_t dataset_id, const std::vector<geom::Polygon>& polygons) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> frame =
       EncodeAddPolygonsFrame(id, dataset_id, polygons);
-  if (frame.size() > max_frame_bytes_) {
+  if (frame.size() > max_frame_bytes()) {
     reply.message = "polygon batch exceeds max_frame_bytes";
     return reply;
   }
@@ -217,7 +73,7 @@ JoinClient::Reply JoinClient::AddPolygons(
 JoinClient::Reply JoinClient::RemovePolygons(
     uint16_t dataset_id, const std::vector<uint32_t>& polygon_ids) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeRemovePolygonsFrame(id, dataset_id, polygon_ids), id,
             MessageType::kMutateResult, &payload, &reply)) {
@@ -233,7 +89,7 @@ JoinClient::Reply JoinClient::RemovePolygons(
 
 JoinClient::Reply JoinClient::DropDataset(uint16_t dataset_id) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeDropDatasetFrame(id, dataset_id), id,
             MessageType::kMutateResult, &payload, &reply)) {
@@ -249,7 +105,7 @@ JoinClient::Reply JoinClient::DropDataset(uint16_t dataset_id) {
 
 bool JoinClient::Ping(std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   bool ok = Call(EncodeEmptyFrame(MessageType::kPing, id), id,
                  MessageType::kPong, &payload, &reply);
@@ -259,7 +115,7 @@ bool JoinClient::Ping(std::string* error) {
 
 bool JoinClient::GetStats(service::ServiceStats* out, std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeEmptyFrame(MessageType::kStats, id), id,
             MessageType::kStatsResult, &payload, &reply)) {
@@ -276,7 +132,7 @@ bool JoinClient::GetStats(service::ServiceStats* out, std::string* error) {
 
 bool JoinClient::GetMetrics(MetricsReport* out, std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeGetMetricsFrame(id, MetricsFormat::kBinary), id,
             MessageType::kMetricsResult, &payload, &reply)) {
@@ -296,7 +152,7 @@ bool JoinClient::GetMetrics(MetricsReport* out, std::string* error) {
 
 bool JoinClient::GetMetricsText(std::string* out, std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeGetMetricsFrame(id, MetricsFormat::kText), id,
             MessageType::kMetricsResult, &payload, &reply)) {
@@ -317,7 +173,7 @@ bool JoinClient::GetMetricsText(std::string* out, std::string* error) {
 bool JoinClient::ListDatasets(std::vector<service::DatasetInfo>* out,
                               std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   if (!Call(EncodeEmptyFrame(MessageType::kListDatasets, id), id,
             MessageType::kDatasetList, &payload, &reply)) {
@@ -334,7 +190,7 @@ bool JoinClient::ListDatasets(std::vector<service::DatasetInfo>* out,
 
 bool JoinClient::RequestShutdown(std::string* error) {
   Reply reply;
-  const uint64_t id = next_request_id_++;
+  const uint64_t id = core_->NextRequestId();
   std::vector<uint8_t> payload;
   bool ok = Call(EncodeEmptyFrame(MessageType::kShutdown, id), id,
                  MessageType::kShutdownAck, &payload, &reply);

@@ -1,9 +1,11 @@
 #include "net/join_server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <deque>
 #include <fcntl.h>
+#include <map>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -65,12 +67,37 @@ struct JoinServer::Connection {
   /// Inbound bytes; [in_start, in.size()) is the unparsed suffix.
   std::vector<uint8_t> in;
   size_t in_start = 0;
+  /// One queued outbound frame. Event frames (sub != 0) are tagged with
+  /// their subscription and seq range so the overflow policy can drop
+  /// them — and account the hole — without reparsing bytes; responses
+  /// stay untagged and are never dropped.
+  struct OutFrame {
+    std::vector<uint8_t> bytes;
+    uint64_t sub = 0;
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+  };
   /// Outbound frames; out_offset is the flushed prefix of out.front().
-  std::deque<std::vector<uint8_t>> out;
+  std::deque<OutFrame> out;
   size_t out_offset = 0;
   bool want_write = false;       // EPOLLOUT currently armed
   bool close_after_flush = false;  // protocol error: drain writes, then close
   bool dead = false;             // fatal I/O error: close at next safe point
+
+  /// Standing subscriptions held by this connection, with the admission
+  /// bytes each one keeps charged until unsubscribe / close.
+  struct SubEntry {
+    uint64_t id = 0;
+    size_t admitted_bytes = 0;
+  };
+  std::vector<SubEntry> subs;
+  /// EVENT frames currently queued in `out` (the droppable ones).
+  size_t event_frames_queued = 0;
+  /// Seq ranges the overflow policy dropped, per subscription, not yet
+  /// announced: coalesced here and flushed as one EVENT_GAP before that
+  /// subscription's next event frame (so repeated overflow cannot fill
+  /// the outbox with gap markers).
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> pending_gaps;
 };
 
 struct JoinServer::IoThread {
@@ -82,6 +109,10 @@ struct JoinServer::IoThread {
   std::mutex inbox_mu;
   std::vector<int> pending_accepts;
   std::vector<std::pair<uint64_t, std::vector<uint8_t>>> pending_responses;
+  /// Pushed event batches awaiting adoption by this thread's loop (the
+  /// subscription matcher's sinks run on service workers; only the owner
+  /// thread may touch a connection's outbox).
+  std::vector<std::pair<uint64_t, service::EventBatch>> pending_events;
 };
 
 JoinServer::JoinServer(service::JoinService* service,
@@ -90,12 +121,17 @@ JoinServer::JoinServer(service::JoinService* service,
       opts_(opts),
       admission_(opts.admission, service->options().queue_capacity),
       matcher_(service),
+      subscriptions_(&service->catalog()),
       next_conn_id_(kFirstConnId) {
   ACT_CHECK_MSG(service_ != nullptr, "JoinServer requires a JoinService");
   if (opts_.io_threads < 1) opts_.io_threads = 1;
   if (opts_.max_frame_bytes < kFrameHeaderBytes) {
     opts_.max_frame_bytes = kFrameHeaderBytes;
   }
+  if (opts_.event_outbox_frames < 1) opts_.event_outbox_frames = 1;
+  // From here on, join workers probe the matcher after every point batch
+  // and mutations notify it of epoch swaps.
+  service_->set_subscription_matcher(&subscriptions_);
   if (util::MetricsRegistry* registry = service_->metrics()) {
     registry->RegisterCounterFn(
         "server_connections_accepted_total", "Sockets accepted", "", [this] {
@@ -115,6 +151,24 @@ JoinServer::JoinServer(service::JoinService* service,
         "server_protocol_errors_total",
         "Malformed frames, unknown types, oversized payloads", "",
         [this] { return protocol_errors_.load(std::memory_order_relaxed); });
+    registry->RegisterCounterFn(
+        "server_events_pushed_total",
+        "Subscription events enqueued to connection outboxes", "",
+        [this] { return events_pushed_.load(std::memory_order_relaxed); });
+    registry->RegisterCounterFn(
+        "server_events_dropped_total",
+        "Subscription events discarded by the bounded-outbox overflow "
+        "policy",
+        "",
+        [this] { return events_dropped_.load(std::memory_order_relaxed); });
+    registry->RegisterGaugeFn(
+        "server_outstanding_requests",
+        "Requests admitted but not yet answered (summed over connections)",
+        "", [this] {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          return static_cast<double>(inflight_joins_);
+        });
+    subscriptions_.RegisterMetrics(registry);
     admission_.RegisterMetrics(registry);
   }
 }
@@ -171,6 +225,12 @@ void JoinServer::Stop() {
     if (!started_ || stopped_) return;
     stopped_ = true;
   }
+  // Detach the subscription matcher first: once the drain begins, no
+  // worker should start feeding events into loops that are about to die.
+  // (Workers already past the acquire-load finish against the matcher,
+  // which outlives Stop(); their sinks post into inboxes that also
+  // outlive Stop() — the frames are simply never written.)
+  service_->set_subscription_matcher(nullptr);
   // Phase 1: refuse new joins but keep the loops flushing, so every
   // admitted join still gets its response on the wire. stopping_ flips
   // under inflight_mu_: HandleJoinBatch checks it under the same mutex
@@ -201,6 +261,7 @@ void JoinServer::Stop() {
     for (int fd : io->pending_accepts) ::close(fd);
     io->pending_accepts.clear();
     io->pending_responses.clear();
+    io->pending_events.clear();
   }
   listener_.Reset();
 }
@@ -236,6 +297,14 @@ service::ServiceStats JoinServer::StatsWithAdmission() const {
   out.rejected_requests = out.rejected_queue_full + out.rejected_shutdown +
                           out.rejected_unknown_dataset + a.TotalRejected();
   out.peers = admission_.PerPeer();
+  // Continuous-query overlay (v6): the bare service knows none of these.
+  out.active_subscriptions = subscriptions_.active_subscriptions();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    out.outstanding_requests = inflight_joins_;
+  }
+  out.events_pushed = events_pushed_.load(std::memory_order_relaxed);
+  out.events_dropped = events_dropped_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -247,6 +316,8 @@ ServerCounters JoinServer::counters() const {
   out.frames_received = frames_received_.load(std::memory_order_relaxed);
   out.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.events_pushed = events_pushed_.load(std::memory_order_relaxed);
+  out.events_dropped = events_dropped_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -317,18 +388,22 @@ void JoinServer::FlushPendingBlocking(Connection& conn) {
   ::setsockopt(conn.fd.get(), SOL_SOCKET, SO_SNDTIMEO, &timeout,
                sizeof(timeout));
   while (!conn.out.empty()) {
-    const std::vector<uint8_t>& front = conn.out.front();
-    ssize_t w = ::send(conn.fd.get(), front.data() + conn.out_offset,
-                       front.size() - conn.out_offset, MSG_NOSIGNAL);
+    const Connection::OutFrame& front = conn.out.front();
+    ssize_t w = ::send(conn.fd.get(), front.bytes.data() + conn.out_offset,
+                       front.bytes.size() - conn.out_offset, MSG_NOSIGNAL);
     if (w <= 0) {
       if (w < 0 && errno == EINTR) continue;
       return;  // timed out or the peer is gone: best effort is over
     }
     conn.out_offset += static_cast<size_t>(w);
-    if (conn.out_offset == front.size()) {
+    if (conn.out_offset == front.bytes.size()) {
+      if (front.sub == 0) {
+        responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      } else if (front.last_seq != 0) {
+        --conn.event_frames_queued;
+      }
       conn.out.pop_front();
       conn.out_offset = 0;
-      responses_sent_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -373,10 +448,12 @@ void JoinServer::AcceptNewConnections(IoThread& io) {
 void JoinServer::ProcessInbox(int t, IoThread& io) {
   std::vector<int> accepts;
   std::vector<std::pair<uint64_t, std::vector<uint8_t>>> responses;
+  std::vector<std::pair<uint64_t, service::EventBatch>> events;
   {
     std::lock_guard<std::mutex> lock(io.inbox_mu);
     accepts.swap(io.pending_accepts);
     responses.swap(io.pending_responses);
+    events.swap(io.pending_events);
   }
   for (int cfd : accepts) {
     auto conn = std::make_unique<Connection>();
@@ -399,6 +476,13 @@ void JoinServer::ProcessInbox(int t, IoThread& io) {
     if (conn.dead || (conn.close_after_flush && conn.out.empty())) {
       CloseConnection(io, conn_id);
     }
+  }
+  for (auto& [conn_id, batch] : events) {
+    auto it = io.conns.find(conn_id);
+    if (it == io.conns.end()) continue;  // connection gone; events die too
+    Connection& conn = *it->second;
+    QueueEvent(io, conn, std::move(batch));
+    if (conn.dead) CloseConnection(io, conn_id);
   }
   (void)t;
 }
@@ -529,6 +613,12 @@ void JoinServer::DispatchFrame(int t, IoThread& io, Connection& conn,
     case MessageType::kRemovePolygons:
     case MessageType::kDropDataset:
       HandleMutation(t, io, conn, header, payload);
+      return;
+    case MessageType::kSubscribe:
+      HandleSubscribe(t, io, conn, header, payload);
+      return;
+    case MessageType::kUnsubscribe:
+      HandleUnsubscribe(io, conn, header, payload);
       return;
     default:
       // Framing is intact, only the type is unknown: typed error, keep the
@@ -1056,17 +1146,207 @@ void JoinServer::HandleMutation(int t, IoThread& io, Connection& conn,
   }
 }
 
+void JoinServer::HandleSubscribe(int t, IoThread& io, Connection& conn,
+                                 const FrameHeader& header,
+                                 std::span<const uint8_t> payload) {
+  // Same door order as joins: shed load O(1), reject never-servable
+  // targets before burning a rate token, then decode.
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kShuttingDown,
+                         ToString(WireError::kShuttingDown)));
+    return;
+  }
+  if (!service_->catalog().Servable(header.dataset_id)) {
+    WireError code = service_->catalog().IsDropped(header.dataset_id)
+                         ? WireError::kDatasetDropped
+                         : WireError::kUnknownDataset;
+    rejected_unknown_dataset_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(header.request_id, code, ToString(code)));
+    return;
+  }
+  const size_t bytes = payload.size();
+  Admission verdict =
+      admission_.TryAdmit(bytes, service_->QueueDepth(), conn.peer);
+  if (verdict != Admission::kAdmitted) {
+    WireError code = ToWireError(verdict);
+    QueueResponse(io, conn, EncodeErrorFrame(header.request_id, code,
+                                             ToString(code)));
+    return;
+  }
+  // Unlike a one-shot request, an accepted subscription keeps its
+  // admission bytes charged for its whole lifetime: a standing query
+  // holds index coverage and an outbox lane, so it holds admission too.
+  // Every refusal past this point refunds in full.
+  service::SubscriptionSpec spec;
+  if (!DecodeSubscribe(payload, &spec)) {
+    admission_.Refund(bytes, conn.peer);
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                         ToString(WireError::kMalformedPayload)));
+    return;
+  }
+  if (conn.subs.size() >= opts_.max_subscriptions_per_connection) {
+    admission_.Refund(bytes, conn.peer);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kSubscriptionLimit,
+                         ToString(WireError::kSubscriptionLimit)));
+    return;
+  }
+  const uint64_t conn_id = conn.id;
+  std::optional<service::SubscriptionInfo> info = subscriptions_.Add(
+      header.dataset_id, std::move(spec),
+      // Runs on the service worker that computed the transition; the
+      // inbox + eventfd wake is the only cross-thread traffic.
+      [this, t, conn_id](service::EventBatch&& batch) {
+        DeliverEventAsync(t, conn_id, std::move(batch));
+      });
+  if (!info.has_value()) {
+    // Spec content the matcher refuses (polygon ids out of range, an
+    // empty id list) — or a drop that raced the Servable check above.
+    admission_.Refund(bytes, conn.peer);
+    WireError code = service_->catalog().Servable(header.dataset_id)
+                         ? WireError::kMalformedPayload
+                         : WireError::kDatasetDropped;
+    if (code == WireError::kMalformedPayload) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    QueueResponse(io, conn,
+                  EncodeErrorFrame(header.request_id, code, ToString(code)));
+    return;
+  }
+  conn.subs.push_back({info->id, bytes});
+  QueueResponse(io, conn,
+                EncodeSubscriptionResultFrame(header.request_id, *info));
+}
+
+void JoinServer::HandleUnsubscribe(IoThread& io, Connection& conn,
+                                   const FrameHeader& header,
+                                   std::span<const uint8_t> payload) {
+  uint64_t sub_id = 0;
+  if (!DecodeUnsubscribe(payload, &sub_id)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kMalformedPayload,
+                         ToString(WireError::kMalformedPayload)));
+    return;
+  }
+  auto it = std::find_if(
+      conn.subs.begin(), conn.subs.end(),
+      [&](const Connection::SubEntry& e) { return e.id == sub_id; });
+  if (it == conn.subs.end()) {
+    // Unknown — or another connection's: a connection may only retire
+    // subscriptions it opened. Recoverable either way.
+    QueueResponse(
+        io, conn,
+        EncodeErrorFrame(header.request_id, WireError::kUnknownSubscription,
+                         ToString(WireError::kUnknownSubscription)));
+    return;
+  }
+  subscriptions_.Remove(sub_id);
+  admission_.Release(it->admitted_bytes);
+  conn.subs.erase(it);
+  // Announce any hole overflow carved before the ack; the ack echoes the
+  // id with the figures zeroed, and nothing for this id follows it.
+  FlushPendingGap(conn, sub_id);
+  service::SubscriptionInfo info;
+  info.id = sub_id;
+  QueueResponse(io, conn,
+                EncodeSubscriptionResultFrame(header.request_id, info));
+}
+
 void JoinServer::QueueResponse(IoThread& io, Connection& conn,
                                std::vector<uint8_t> frame) {
+  Connection::OutFrame out;
+  out.bytes = std::move(frame);
+  conn.out.push_back(std::move(out));
+  FlushWrites(io, conn);
+}
+
+void JoinServer::FlushPendingGap(Connection& conn, uint64_t sub) {
+  auto it = conn.pending_gaps.find(sub);
+  if (it == conn.pending_gaps.end()) return;
+  EventGap gap;
+  gap.subscription_id = sub;
+  gap.first_skipped_seq = it->second.first;
+  gap.last_skipped_seq = it->second.second;
+  conn.pending_gaps.erase(it);
+  // Tagged with the sub but zero seqs: identifiable as push traffic (not
+  // counted as a response) yet NOT droppable — the gap marker is the one
+  // frame the overflow policy must never eat. The caller flushes.
+  Connection::OutFrame frame;
+  frame.bytes = EncodeEventGapFrame(gap);
+  frame.sub = sub;
   conn.out.push_back(std::move(frame));
+}
+
+void JoinServer::QueueEvent(IoThread& io, Connection& conn,
+                            service::EventBatch&& batch) {
+  if (conn.dead || conn.close_after_flush) return;
+  if (batch.events.empty()) return;
+  const uint64_t sub = batch.subscription_id;
+  // A batch for a subscription this connection no longer holds (the
+  // worker's sink raced an unsubscribe) dies here: nothing may follow
+  // the unsubscribe ack.
+  if (!std::any_of(conn.subs.begin(), conn.subs.end(),
+                   [&](const Connection::SubEntry& e) { return e.id == sub; })) {
+    return;
+  }
+  // Overflow policy: drop the oldest droppable event frame — never a
+  // response, never the partially-written front (its bytes are already on
+  // the wire) — and coalesce the hole into that subscription's pending
+  // gap. The loop never blocks on a slow push consumer.
+  while (conn.event_frames_queued >= opts_.event_outbox_frames) {
+    bool dropped = false;
+    for (size_t i = 0; i < conn.out.size(); ++i) {
+      Connection::OutFrame& f = conn.out[i];
+      if (f.sub == 0 || f.last_seq == 0) continue;  // response or gap marker
+      if (i == 0 && conn.out_offset > 0) continue;
+      auto [git, inserted] =
+          conn.pending_gaps.try_emplace(f.sub, f.first_seq, f.last_seq);
+      if (!inserted) {
+        git->second.first = std::min(git->second.first, f.first_seq);
+        git->second.second = std::max(git->second.second, f.last_seq);
+      }
+      events_dropped_.fetch_add(f.last_seq - f.first_seq + 1,
+                                std::memory_order_relaxed);
+      conn.out.erase(conn.out.begin() + static_cast<ptrdiff_t>(i));
+      --conn.event_frames_queued;
+      dropped = true;
+      break;
+    }
+    // Only undroppable frames left (responses, in-flight front): exceed
+    // the bound by this one frame rather than blocking or losing it.
+    if (!dropped) break;
+  }
+  // Seq-order bookkeeping: announce the hole before newer events of the
+  // same subscription. (Events of *other* subs queued between the drop
+  // and this flush may overtake the marker; the skipped range is
+  // authoritative regardless of arrival order.)
+  FlushPendingGap(conn, sub);
+  Connection::OutFrame frame;
+  frame.bytes = EncodeEventFrame(batch);
+  frame.sub = sub;
+  frame.first_seq = batch.first_seq;
+  frame.last_seq = batch.first_seq + batch.events.size() - 1;
+  conn.out.push_back(std::move(frame));
+  ++conn.event_frames_queued;
+  events_pushed_.fetch_add(batch.events.size(), std::memory_order_relaxed);
   FlushWrites(io, conn);
 }
 
 bool JoinServer::FlushWrites(IoThread& io, Connection& conn) {
   while (!conn.out.empty()) {
-    const std::vector<uint8_t>& front = conn.out.front();
-    ssize_t w = ::send(conn.fd.get(), front.data() + conn.out_offset,
-                       front.size() - conn.out_offset, MSG_NOSIGNAL);
+    const Connection::OutFrame& front = conn.out.front();
+    ssize_t w = ::send(conn.fd.get(), front.bytes.data() + conn.out_offset,
+                       front.bytes.size() - conn.out_offset, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -1077,10 +1357,14 @@ bool JoinServer::FlushWrites(IoThread& io, Connection& conn) {
       return false;
     }
     conn.out_offset += static_cast<size_t>(w);
-    if (conn.out_offset == front.size()) {
+    if (conn.out_offset == front.bytes.size()) {
+      if (front.sub == 0) {
+        responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      } else if (front.last_seq != 0) {
+        --conn.event_frames_queued;  // a droppable event frame left the box
+      }
       conn.out.pop_front();
       conn.out_offset = 0;
-      responses_sent_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   UpdateEpollInterest(io, conn, /*want_write=*/false);
@@ -1098,9 +1382,21 @@ void JoinServer::UpdateEpollInterest(IoThread& io, Connection& conn,
             0);
 }
 
+void JoinServer::ReleaseSubscriptions(Connection& conn) {
+  for (const Connection::SubEntry& e : conn.subs) {
+    subscriptions_.Remove(e.id);
+    admission_.Release(e.admitted_bytes);
+  }
+  conn.subs.clear();
+  conn.pending_gaps.clear();
+}
+
 void JoinServer::CloseConnection(IoThread& io, uint64_t conn_id) {
   auto it = io.conns.find(conn_id);
   if (it == io.conns.end()) return;
+  // A dying connection takes its standing queries with it: unregister
+  // them and give their admission bytes back before the fd goes.
+  ReleaseSubscriptions(*it->second);
   // close() removes the fd from the epoll set implicitly.
   io.conns.erase(it);
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
@@ -1112,6 +1408,16 @@ void JoinServer::DeliverAsync(int t, uint64_t conn_id,
   {
     std::lock_guard<std::mutex> lock(io.inbox_mu);
     io.pending_responses.emplace_back(conn_id, std::move(frame));
+  }
+  WakeThread(io);
+}
+
+void JoinServer::DeliverEventAsync(int t, uint64_t conn_id,
+                                   service::EventBatch batch) {
+  IoThread& io = *io_[static_cast<size_t>(t)];
+  {
+    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    io.pending_events.emplace_back(conn_id, std::move(batch));
   }
   WakeThread(io);
 }

@@ -43,6 +43,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "service/join_service.h"
+#include "service/subscription_matcher.h"
 
 namespace actjoin::net {
 
@@ -64,6 +65,14 @@ struct ServerOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   AdmissionPolicy admission;
   PeerKeyPolicy peer_key = PeerKeyPolicy::kIp;
+  /// Standing-query caps (v6). A connection may hold at most this many
+  /// subscriptions; the next SUBSCRIBE answers kSubscriptionLimit.
+  size_t max_subscriptions_per_connection = 64;
+  /// Bound on EVENT frames queued per connection. A slow reader overflows
+  /// by losing its *oldest* queued event frames (responses are never
+  /// dropped), each loss coalescing into one EVENT_GAP marker per
+  /// subscription — the event loop never blocks on a push channel.
+  size_t event_outbox_frames = 256;
 };
 
 /// Transport-level counters (distinct from ServiceStats, which counts
@@ -74,6 +83,10 @@ struct ServerCounters {
   uint64_t frames_received = 0;
   uint64_t responses_sent = 0;
   uint64_t protocol_errors = 0;
+  /// Push-channel delivery (v6): events enqueued to connection outboxes,
+  /// and events discarded by the bounded-outbox overflow policy.
+  uint64_t events_pushed = 0;
+  uint64_t events_dropped = 0;
 };
 
 class JoinServer {
@@ -150,9 +163,31 @@ class JoinServer {
   void HandleJoinDatasets(int t, IoThread& io, Connection& conn,
                           const FrameHeader& header,
                           std::span<const uint8_t> payload);
+  /// SUBSCRIBE (v6): registers a standing geofence query with the
+  /// subscription matcher, entirely on the event loop (no service work).
+  /// The admission bytes stay charged for the subscription's lifetime — a
+  /// standing query holds resources, so it holds its admission too.
+  void HandleSubscribe(int t, IoThread& io, Connection& conn,
+                       const FrameHeader& header,
+                       std::span<const uint8_t> payload);
+  void HandleUnsubscribe(IoThread& io, Connection& conn,
+                         const FrameHeader& header,
+                         std::span<const uint8_t> payload);
   /// Appends a response and flushes as much as the socket accepts.
   void QueueResponse(IoThread& io, Connection& conn,
                      std::vector<uint8_t> frame);
+  /// Appends one EVENT frame, applying the bounded-outbox overflow policy
+  /// first (drop-oldest event frame + coalesced EVENT_GAP; never blocks,
+  /// never drops a response frame).
+  void QueueEvent(IoThread& io, Connection& conn,
+                  service::EventBatch&& batch);
+  /// Emits the coalesced EVENT_GAP for `sub` if overflow recorded one, so
+  /// the hole is announced before that subscription's next event (or its
+  /// unsubscribe ack).
+  void FlushPendingGap(Connection& conn, uint64_t sub);
+  /// Unregisters every subscription the connection holds and returns its
+  /// admission bytes (connection teardown).
+  void ReleaseSubscriptions(Connection& conn);
   /// Writes queued bytes; arms/disarms EPOLLOUT as needed. False when the
   /// connection died mid-write.
   bool FlushWrites(IoThread& io, Connection& conn);
@@ -165,6 +200,10 @@ class JoinServer {
   /// Posts a completed join response to the connection's owner thread
   /// (called from service worker threads).
   void DeliverAsync(int t, uint64_t conn_id, std::vector<uint8_t> frame);
+  /// Posts a pushed event batch to the connection's owner thread (called
+  /// from the service workers that ran the triggering point batch or
+  /// epoch swap — the eventfd wake is the only cross-thread signal).
+  void DeliverEventAsync(int t, uint64_t conn_id, service::EventBatch batch);
   void WakeThread(IoThread& io);
 
   service::JoinService* service_;
@@ -173,6 +212,11 @@ class JoinServer {
   /// Serves JOIN_DATASETS against the service's catalog (registers its
   /// crossmatch instruments into the service's metrics registry).
   join2::DatasetCrossMatcher matcher_;
+  /// Standing geofence queries (v6). The constructor attaches this to the
+  /// service (set_subscription_matcher), so join workers feed it point
+  /// batches and mutations notify epoch swaps; Stop() detaches it before
+  /// tearing down the loops its sinks deliver into.
+  service::SubscriptionMatcher subscriptions_;
 
   UniqueFd listener_;
   uint16_t port_ = 0;
@@ -212,6 +256,9 @@ class JoinServer {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  /// Push-channel delivery counters (v6); see ServerCounters.
+  std::atomic<uint64_t> events_pushed_{0};
+  std::atomic<uint64_t> events_dropped_{0};
 };
 
 }  // namespace actjoin::net

@@ -37,6 +37,12 @@ const char* ToString(WireError error) {
       return "dataset dropped";
     case WireError::kInvalidMutation:
       return "invalid mutation";
+    case WireError::kUnknownSubscription:
+      return "unknown subscription id";
+    case WireError::kSubscriptionLimit:
+      return "subscription limit reached";
+    case WireError::kTimedOut:
+      return "receive deadline exceeded";
   }
   return "unknown error";
 }
@@ -46,6 +52,9 @@ bool IsRecoverable(WireError error) {
     case WireError::kMalformedFrame:
     case WireError::kUnsupportedVersion:
     case WireError::kFrameTooLarge:
+    // Client-side: the deadline fired mid-stream, so byte sync is
+    // indeterminate and the client closes the connection.
+    case WireError::kTimedOut:
       return false;
     default:
       return true;
@@ -75,7 +84,8 @@ FrameParse TryParseFrame(std::span<const uint8_t> buffer,
                       header->type == MessageType::kAddPolygons ||
                       header->type == MessageType::kRemovePolygons ||
                       header->type == MessageType::kDropDataset ||
-                      header->type == MessageType::kJoinDatasets;
+                      header->type == MessageType::kJoinDatasets ||
+                      header->type == MessageType::kSubscribe;
   if (magic != kWireMagic || reserved2 != 0 ||
       (header->dataset_id != 0 && !routed)) {
     // A bad magic means the id field is garbage too; don't echo it.
@@ -297,6 +307,11 @@ void AppendServiceStats(const service::ServiceStats& stats,
     w->PutU64(split.completed_requests);
     w->PutString(split.name);
   }
+  // v6 continuous-query figures, appended at the tail like the v4 block.
+  w->PutU64(stats.active_subscriptions);
+  w->PutU64(stats.outstanding_requests);
+  w->PutU64(stats.events_pushed);
+  w->PutU64(stats.events_dropped);
 }
 
 bool DecodeServiceStats(std::span<const uint8_t> payload,
@@ -358,6 +373,10 @@ bool DecodeServiceStats(std::span<const uint8_t> payload,
     split.dropped = (flags & 1) != 0;
     out->dataset_splits.push_back(std::move(split));
   }
+  out->active_subscriptions = r.U64();
+  out->outstanding_requests = r.U64();
+  out->events_pushed = r.U64();
+  out->events_dropped = r.U64();
   return r.AtEnd();
 }
 
@@ -550,6 +569,139 @@ bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out) {
     if (pad32 != 0) return false;
   }
   return r.ok() && r.AtEnd();
+}
+
+void AppendSubscribe(const service::SubscriptionSpec& spec,
+                     util::ByteWriter* w) {
+  using Selector = service::SubscriptionSpec::Selector;
+  w->PutU8(static_cast<uint8_t>(spec.selector));
+  w->PutU8(static_cast<uint8_t>(spec.mode));
+  w->PutU16(0);
+  switch (spec.selector) {
+    case Selector::kAll:
+      break;
+    case Selector::kPolygonIds:
+      w->PutU32(static_cast<uint32_t>(spec.polygon_ids.size()));
+      for (uint32_t id : spec.polygon_ids) w->PutU32(id);
+      break;
+    case Selector::kCellRange:
+      w->PutU64(spec.cell_lo);
+      w->PutU64(spec.cell_hi);
+      break;
+  }
+}
+
+bool DecodeSubscribe(std::span<const uint8_t> payload,
+                     service::SubscriptionSpec* out) {
+  using Selector = service::SubscriptionSpec::Selector;
+  util::ByteReader r(payload);
+  const uint8_t selector = r.U8();
+  const uint8_t mode = r.U8();
+  const uint16_t reserved = r.U16();
+  if (!r.ok() || selector > 2 || mode > 2 || reserved != 0) return false;
+  *out = service::SubscriptionSpec{};
+  out->selector = static_cast<Selector>(selector);
+  out->mode = static_cast<service::SubscriptionMode>(mode);
+  switch (out->selector) {
+    case Selector::kAll:
+      break;
+    case Selector::kPolygonIds: {
+      const uint32_t count = r.U32();
+      // 4 payload bytes per id: a forged count cannot reserve more than
+      // what actually arrived.
+      if (!r.ok() || count == 0 || count > r.remaining() / 4) return false;
+      out->polygon_ids.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) out->polygon_ids.push_back(r.U32());
+      break;
+    }
+    case Selector::kCellRange:
+      out->cell_lo = r.U64();
+      out->cell_hi = r.U64();
+      if (!r.ok() || out->cell_lo > out->cell_hi) return false;
+      break;
+  }
+  return r.ok() && r.AtEnd();
+}
+
+bool DecodeUnsubscribe(std::span<const uint8_t> payload,
+                       uint64_t* subscription_id) {
+  util::ByteReader r(payload);
+  *subscription_id = r.U64();
+  return r.ok() && r.AtEnd();
+}
+
+void AppendSubscriptionInfo(const service::SubscriptionInfo& info,
+                            util::ByteWriter* w) {
+  w->PutU64(info.id);
+  w->PutU64(info.epoch);
+  w->PutU32(info.watched_polygons);
+  w->PutU32(info.coverage_intervals);
+}
+
+bool DecodeSubscriptionInfo(std::span<const uint8_t> payload,
+                            service::SubscriptionInfo* out) {
+  util::ByteReader r(payload);
+  out->id = r.U64();
+  out->epoch = r.U64();
+  out->watched_polygons = r.U32();
+  out->coverage_intervals = r.U32();
+  return r.ok() && r.AtEnd();
+}
+
+void AppendEventBatch(const service::EventBatch& batch, util::ByteWriter* w) {
+  w->PutU64(batch.subscription_id);
+  w->PutU64(batch.first_seq);
+  w->PutU64(batch.epoch);
+  w->PutU32(static_cast<uint32_t>(batch.events.size()));
+  w->PutU32(0);
+  for (const service::GeoEvent& e : batch.events) {
+    w->PutU8(static_cast<uint8_t>(e.kind));
+    w->PutU8(0);
+    w->PutU16(0);
+    w->PutU32(e.track_id);
+    w->PutU32(e.polygon_id);
+  }
+}
+
+bool DecodeEventBatch(std::span<const uint8_t> payload,
+                      service::EventBatch* out) {
+  util::ByteReader r(payload);
+  out->subscription_id = r.U64();
+  out->first_seq = r.U64();
+  out->epoch = r.U64();
+  const uint32_t count = r.U32();
+  const uint32_t reserved = r.U32();
+  // 12 payload bytes per event (forged-count bound, as elsewhere).
+  if (!r.ok() || reserved != 0 || count > r.remaining() / 12) return false;
+  out->events.clear();
+  out->events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t kind = r.U8();
+    const uint8_t pad8 = r.U8();
+    const uint16_t pad16 = r.U16();
+    service::GeoEvent e;
+    e.kind = static_cast<service::GeoEventKind>(kind);
+    e.track_id = r.U32();
+    e.polygon_id = r.U32();
+    if (!r.ok() || kind > 1 || pad8 != 0 || pad16 != 0) return false;
+    out->events.push_back(e);
+  }
+  return r.AtEnd();
+}
+
+void AppendEventGap(const EventGap& gap, util::ByteWriter* w) {
+  w->PutU64(gap.subscription_id);
+  w->PutU64(gap.first_skipped_seq);
+  w->PutU64(gap.last_skipped_seq);
+}
+
+bool DecodeEventGap(std::span<const uint8_t> payload, EventGap* out) {
+  util::ByteReader r(payload);
+  out->subscription_id = r.U64();
+  out->first_skipped_seq = r.U64();
+  out->last_skipped_seq = r.U64();
+  return r.ok() && r.AtEnd() &&
+         out->first_skipped_seq <= out->last_skipped_seq;
 }
 
 MetricsReport BuildMetricsReport(const util::MetricsRegistry& registry,
@@ -791,6 +943,45 @@ std::vector<uint8_t> EncodeMutateResultFrame(uint64_t request_id,
   util::ByteWriter w(kFrameHeaderBytes + 24);
   BeginFrame(&w, MessageType::kMutateResult, request_id);
   AppendMutationAck(ack, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeSubscribeFrame(
+    uint64_t request_id, uint16_t dataset_id,
+    const service::SubscriptionSpec& spec) {
+  util::ByteWriter w(kFrameHeaderBytes + 24 + spec.polygon_ids.size() * 4);
+  BeginFrame(&w, MessageType::kSubscribe, request_id, dataset_id);
+  AppendSubscribe(spec, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeUnsubscribeFrame(uint64_t request_id,
+                                            uint64_t subscription_id) {
+  util::ByteWriter w(kFrameHeaderBytes + 8);
+  BeginFrame(&w, MessageType::kUnsubscribe, request_id);
+  w.PutU64(subscription_id);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeSubscriptionResultFrame(
+    uint64_t request_id, const service::SubscriptionInfo& info) {
+  util::ByteWriter w(kFrameHeaderBytes + 24);
+  BeginFrame(&w, MessageType::kSubscriptionResult, request_id);
+  AppendSubscriptionInfo(info, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeEventFrame(const service::EventBatch& batch) {
+  util::ByteWriter w(kFrameHeaderBytes + 28 + batch.events.size() * 12);
+  BeginFrame(&w, MessageType::kEvent, /*request_id=*/0);
+  AppendEventBatch(batch, &w);
+  return FinishFrame(std::move(w));
+}
+
+std::vector<uint8_t> EncodeEventGapFrame(const EventGap& gap) {
+  util::ByteWriter w(kFrameHeaderBytes + 24);
+  BeginFrame(&w, MessageType::kEventGap, /*request_id=*/0);
+  AppendEventGap(gap, &w);
   return FinishFrame(std::move(w));
 }
 

@@ -50,6 +50,20 @@
 // dataset_id, dataset_b + mode + page size in the payload) answered by a
 // chunked stream of PAIR_RESULT frames — the protocol's first multi-frame
 // response — with the per-join stats tail riding the flagged last chunk.
+// v6 inverts the request/response core: SUBSCRIBE registers a standing
+// geofence query (polygon ids, a leaf-cell region, or the whole dataset,
+// plus an ENTER/LEAVE direction filter) answered by SUBSCRIPTION_RESULT,
+// UNSUBSCRIBE retires it, and the server may thereafter interleave
+// *server-initiated* EVENT frames (request_id 0 — they answer no request)
+// carrying dense seq-numbered ENTER/LEAVE transitions, epoch-tagged, on
+// the same connection as ordinary responses. EVENT_GAP (also server-
+// initiated) replaces events the bounded per-connection outbox had to
+// drop, carrying the skipped seq range — delivery may gap, but never
+// silently and never by blocking the event loop. STATS_RESULT grows the
+// subscription figures (active subscriptions, outstanding requests,
+// events pushed/dropped). Clients must treat request_id-0 frames as
+// out-of-band: a pipelined demultiplexer routes them by subscription id,
+// never to a request slot.
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -64,13 +78,14 @@
 #include "service/join_service.h"
 #include "service/service_stats.h"
 #include "service/slow_query_log.h"
+#include "service/subscription_matcher.h"
 #include "util/byte_io.h"
 #include "util/metrics.h"
 
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 5;
+inline constexpr uint8_t kWireVersion = 6;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -93,6 +108,10 @@ enum class MessageType : uint8_t {
   /// rest in the payload. Success answers with a stream of kPairResult
   /// chunks; failure with one kError.
   kJoinDatasets = 10,
+  // Continuous queries (v6). SUBSCRIBE routes by the header's dataset_id;
+  // UNSUBSCRIBE names the subscription in its payload (dataset_id 0).
+  kSubscribe = 11,      // SubscriptionSpec   -> kSubscriptionResult
+  kUnsubscribe = 12,    // u64 subscription   -> kSubscriptionResult
   // Responses.
   kJoinResult = 65,
   kPong = 66,
@@ -102,6 +121,11 @@ enum class MessageType : uint8_t {
   kMutateResult = 70,
   kMetricsResult = 71,
   kPairResult = 72,     // one chunk of a JOIN_DATASETS result (v5)
+  kSubscriptionResult = 73,  // ack for kSubscribe / kUnsubscribe (v6)
+  /// Server-initiated push (v6): request_id is always 0 — these answer no
+  /// request and may interleave with responses anywhere on the stream.
+  kEvent = 74,          // a dense run of seq-numbered ENTER/LEAVE events
+  kEventGap = 75,       // events the bounded outbox dropped (seq range)
   kError = 127,
 };
 
@@ -139,6 +163,19 @@ enum class WireError : uint16_t {
   /// remove ids out of range, polygon id space exhausted. Connection
   /// survives.
   kInvalidMutation = 28,
+  /// UNSUBSCRIBE naming a subscription id this connection does not hold
+  /// (never assigned, already unsubscribed, or someone else's — ids are
+  /// per-connection-private). Connection survives.
+  kUnknownSubscription = 29,
+  /// SUBSCRIBE beyond the per-connection standing-query cap
+  /// (ServerOptions::max_subscriptions_per_connection). Connection
+  /// survives; unsubscribe something first.
+  kSubscriptionLimit = 30,
+  /// Client-side only: the configured receive deadline expired with a
+  /// response (possibly a partial frame) still outstanding. The client
+  /// closes the connection — a half-read frame means byte sync is gone —
+  /// so this is not recoverable.
+  kTimedOut = 31,
 };
 
 const char* ToString(WireError error);
@@ -295,6 +332,54 @@ bool DecodeJoinDatasets(std::span<const uint8_t> payload,
 void AppendPairChunk(const PairChunk& chunk, util::ByteWriter* w);
 bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out);
 
+// --- SUBSCRIBE / EVENT push channel (v6) -----------------------------------
+
+/// SUBSCRIBE payload (dataset in the header's dataset_id): u8 selector,
+/// u8 mode, u16 reserved (must be 0), then the selector body — polygon
+/// ids: u32 count + count × u32; cell range: u64 lo + u64 hi; all:
+/// nothing. Decode rejects unknown selector/mode bytes and a count that
+/// overruns the payload.
+void AppendSubscribe(const service::SubscriptionSpec& spec,
+                     util::ByteWriter* w);
+bool DecodeSubscribe(std::span<const uint8_t> payload,
+                     service::SubscriptionSpec* out);
+
+/// UNSUBSCRIBE payload: exactly one u64 subscription id.
+bool DecodeUnsubscribe(std::span<const uint8_t> payload,
+                       uint64_t* subscription_id);
+
+/// SUBSCRIPTION_RESULT payload (SubscriptionInfo on the wire): u64
+/// subscription id, u64 epoch, u32 watched polygons, u32 coverage
+/// intervals. An UNSUBSCRIBE ack echoes the id with the figures zeroed.
+void AppendSubscriptionInfo(const service::SubscriptionInfo& info,
+                            util::ByteWriter* w);
+bool DecodeSubscriptionInfo(std::span<const uint8_t> payload,
+                            service::SubscriptionInfo* out);
+
+/// EVENT payload (service::EventBatch on the wire): u64 subscription id,
+/// u64 first_seq, u64 epoch, u32 count, u32 reserved (0), then count ×
+/// (u8 kind: 0 ENTER / 1 LEAVE, u8 + u16 reserved, u32 track id, u32
+/// polygon id). The i-th event's seq is first_seq + i — seqs are dense
+/// within a frame, so only EVENT_GAP (or a fresh connection) explains a
+/// jump between frames.
+void AppendEventBatch(const service::EventBatch& batch, util::ByteWriter* w);
+bool DecodeEventBatch(std::span<const uint8_t> payload,
+                      service::EventBatch* out);
+
+/// EVENT_GAP payload: u64 subscription id, u64 first_skipped_seq, u64
+/// last_skipped_seq (inclusive — the overflow policy dropped exactly
+/// those events).
+struct EventGap {
+  uint64_t subscription_id = 0;
+  uint64_t first_skipped_seq = 0;
+  uint64_t last_skipped_seq = 0;
+
+  friend bool operator==(const EventGap&, const EventGap&) = default;
+};
+
+void AppendEventGap(const EventGap& gap, util::ByteWriter* w);
+bool DecodeEventGap(std::span<const uint8_t> payload, EventGap* out);
+
 /// One flattened sample of the binary metrics form. Histograms are
 /// flattened into five samples sharing the family's kind byte —
 /// `<name>_count`, `<name>_sum`, `<name>_p50`, `<name>_p99`,
@@ -360,6 +445,16 @@ std::vector<uint8_t> EncodeJoinDatasetsFrame(uint64_t request_id,
                                              const JoinDatasetsRequest& req);
 std::vector<uint8_t> EncodePairChunkFrame(uint64_t request_id,
                                           const PairChunk& chunk);
+std::vector<uint8_t> EncodeSubscribeFrame(uint64_t request_id,
+                                          uint16_t dataset_id,
+                                          const service::SubscriptionSpec& spec);
+std::vector<uint8_t> EncodeUnsubscribeFrame(uint64_t request_id,
+                                            uint64_t subscription_id);
+std::vector<uint8_t> EncodeSubscriptionResultFrame(
+    uint64_t request_id, const service::SubscriptionInfo& info);
+/// Server-initiated: request_id is 0 by protocol.
+std::vector<uint8_t> EncodeEventFrame(const service::EventBatch& batch);
+std::vector<uint8_t> EncodeEventGapFrame(const EventGap& gap);
 /// GET_METRICS request: u8 format, u8[3] reserved.
 std::vector<uint8_t> EncodeGetMetricsFrame(uint64_t request_id,
                                            MetricsFormat format);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "geometry/pip.h"
+#include "service/subscription_matcher.h"
 #include "util/check.h"
 #include "util/parallel_for.h"
 
@@ -234,33 +235,50 @@ SubmitStatus JoinService::TrySubmitAsync(QueryBatch batch,
 uint64_t JoinService::SwapIndex(uint16_t dataset_id, Snapshot next) {
   ServiceCatalog::Registry* registry = catalog_.Find(dataset_id);
   ACT_CHECK_MSG(registry != nullptr, "SwapIndex on an unassigned dataset id");
-  std::lock_guard<std::mutex> lock(mutation_mu_);
-  uint64_t epoch = registry->Publish(std::move(next));
-  // A full publish obsoletes the delta chain: nothing at or before this
-  // epoch will ever need replay, and a tombstoned dataset is resurrected.
-  if (MutationJournal* journal = catalog_.JournalOf(dataset_id)) {
-    journal->Reset(epoch);
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    epoch = registry->Publish(std::move(next));
+    // A full publish obsoletes the delta chain: nothing at or before this
+    // epoch will ever need replay, and a tombstoned dataset is resurrected.
+    if (MutationJournal* journal = catalog_.JournalOf(dataset_id)) {
+      journal->Reset(epoch);
+    }
+    catalog_.MarkDropped(dataset_id, false);
+    AppendEvent("swap", catalog_.NameOf(dataset_id),
+                "epoch " + std::to_string(epoch));
   }
-  catalog_.MarkDropped(dataset_id, false);
-  AppendEvent("swap", catalog_.NameOf(dataset_id),
-              "epoch " + std::to_string(epoch));
+  NotifyEpochSwap(dataset_id);
   return epoch;
+}
+
+void JoinService::NotifyEpochSwap(uint16_t dataset_id) {
+  if (SubscriptionMatcher* subs =
+          subscriptions_.load(std::memory_order_acquire)) {
+    subs->OnEpochSwap(dataset_id);
+  }
 }
 
 MutationResult JoinService::AddPolygons(uint16_t dataset_id,
                                         std::vector<geom::Polygon> polygons) {
-  return Mutate(dataset_id, MutationRecord::Kind::kAdd, std::move(polygons),
-                {});
+  MutationResult out = Mutate(dataset_id, MutationRecord::Kind::kAdd,
+                              std::move(polygons), {});
+  if (out.status == MutationStatus::kApplied) NotifyEpochSwap(dataset_id);
+  return out;
 }
 
 MutationResult JoinService::RemovePolygons(
     uint16_t dataset_id, std::vector<uint32_t> polygon_ids) {
-  return Mutate(dataset_id, MutationRecord::Kind::kRemove, {},
-                std::move(polygon_ids));
+  MutationResult out = Mutate(dataset_id, MutationRecord::Kind::kRemove, {},
+                              std::move(polygon_ids));
+  if (out.status == MutationStatus::kApplied) NotifyEpochSwap(dataset_id);
+  return out;
 }
 
 MutationResult JoinService::DropDataset(uint16_t dataset_id) {
-  return Mutate(dataset_id, MutationRecord::Kind::kDrop, {}, {});
+  MutationResult out = Mutate(dataset_id, MutationRecord::Kind::kDrop, {}, {});
+  if (out.status == MutationStatus::kApplied) NotifyEpochSwap(dataset_id);
+  return out;
 }
 
 MutationResult JoinService::Mutate(uint16_t dataset_id,
@@ -654,6 +672,13 @@ void JoinService::Execute(Request& req, int worker_id) {
   slow.queue_wait_us = queue_wait_ms * 1e3;
   slow.service_us = result.service_ms * 1e3;
   slow_queries_.Record(slow);
+  if (SubscriptionMatcher* subs =
+          subscriptions_.load(std::memory_order_acquire)) {
+    if (subs->HasSubscriptions(req.batch.dataset_id)) {
+      subs->OnPointBatch(req.batch.dataset_id, req.batch.cell_ids,
+                         req.batch.points);
+    }
+  }
   if (req.done) {
     req.done(std::move(result));
   } else {

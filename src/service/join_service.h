@@ -54,6 +54,8 @@
 
 namespace actjoin::service {
 
+class SubscriptionMatcher;
+
 struct ServiceOptions {
   /// Worker threads draining the request queue. Library convention:
   /// 0 => util::DefaultThreadCount().
@@ -321,6 +323,19 @@ class JoinService {
   size_t QueueDepth() const { return queue_.size(); }
   const ServiceOptions& options() const { return opts_; }
 
+  /// Attaches a continuous-query matcher (owned by the caller; must
+  /// outlive the service or be detached with nullptr first). When set,
+  /// every executed point batch feeds SubscriptionMatcher::OnPointBatch
+  /// on the worker that ran it, and every publish (mutation or full
+  /// swap) triggers OnEpochSwap on the publishing thread — the two hooks
+  /// that turn standing subscriptions into pushed ENTER/LEAVE events.
+  void set_subscription_matcher(SubscriptionMatcher* matcher) {
+    subscriptions_.store(matcher, std::memory_order_release);
+  }
+  SubscriptionMatcher* subscription_matcher() const {
+    return subscriptions_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Request {
     QueryBatch batch;
@@ -353,6 +368,9 @@ class JoinService {
   MutationResult Mutate(uint16_t dataset_id, MutationRecord::Kind kind,
                         std::vector<geom::Polygon> add,
                         std::vector<uint32_t> remove);
+  /// Runs the attached matcher's OnEpochSwap (outside mutation_mu_, so
+  /// the track resync never extends the publish critical section).
+  void NotifyEpochSwap(uint16_t dataset_id);
   act::JoinStats CachedJoin(const ShardedIndex& index,
                             const act::JoinInput& input, act::JoinMode mode,
                             uint16_t dataset_id, uint64_t epoch);
@@ -367,6 +385,7 @@ class JoinService {
   SlowQueryLog slow_queries_;
   /// Index == dataset id, same reservation discipline as ServiceCatalog.
   std::vector<std::unique_ptr<DatasetCounters>> dataset_counters_;
+  std::atomic<SubscriptionMatcher*> subscriptions_{nullptr};
   std::atomic<size_t> dataset_counters_size_{0};
   std::mutex dataset_counters_mu_;
   std::vector<std::thread> workers_;

@@ -89,6 +89,15 @@ struct ServiceStats {
   size_t queue_depth = 0;
   uint64_t epoch = 0;      // snapshot epoch of dataset 0 (compat metric)
   uint64_t num_datasets = 0;
+  /// Continuous-query figures (v6). Always zero on a bare JoinService:
+  /// net::JoinServer overlays them when composing a STATS response —
+  /// standing subscriptions, requests admitted but not yet answered, and
+  /// the push-channel delivery counters (events enqueued to connection
+  /// outboxes / events discarded by the bounded-outbox overflow policy).
+  uint64_t active_subscriptions = 0;
+  uint64_t outstanding_requests = 0;
+  uint64_t events_pushed = 0;
+  uint64_t events_dropped = 0;
   /// Per-peer admission splits (net::JoinServer overlays these, sorted by
   /// peer key; empty on a bare JoinService).
   std::vector<PeerAdmissionStats> peers;

@@ -1,0 +1,232 @@
+// SubscriptionMatcher: standing geofence queries over the catalog.
+//
+// A subscription names a dataset, a polygon selection (explicit ids, a
+// leaf-cell-id region, or the whole dataset), and a direction filter; the
+// matcher then turns every point batch the service executes — and every
+// epoch swap a mutation publishes — into incremental ENTER / LEAVE
+// transition events for the tracks (batch point indexes, i.e. device ids)
+// it has seen.
+//
+// The matcher reuses the serving index instead of building its own: each
+// subscription flattens the per-shard ACT coverings into a sorted,
+// disjoint list of leaf-cell-id *coverage intervals* — the same
+// clip-to-shard-interval walk join2::IntervalView::FromIndex does, reduced
+// to a presence filter over the watched polygon set. A probed point whose
+// leaf cell misses every interval is skipped with one binary search;
+// points inside coverage replay ShardedIndex::ProbeCell (interior cells
+// are definitive hits, candidate cells refine through geom::ContainsPoint
+// — exactly the join's probe contract), diff the resulting membership set
+// against the track's previous one, and emit the difference.
+//
+// Determinism contract (what the wire layer promises subscribers):
+// per subscription, events are totally ordered — seq starts at 1 and
+// increments by exactly 1 per *emitted* event (direction filtering
+// happens before numbering, so a gap in seq always means delivery
+// dropped, never "the matcher skipped one"). Within one transition
+// (one point batch, or one epoch swap) events order by ascending track
+// id, LEAVEs before ENTERs per track, each group in ascending polygon
+// id. Every batch is tagged with the snapshot epoch it was computed
+// against. A subscription's state is serialized by a per-subscription
+// mutex, so seq monotonicity holds under concurrent batches; with a
+// single driver the full event sequence is reproducible byte-for-byte
+// (asserted against a recompute-from-scratch oracle in the tests).
+//
+// Epoch swaps: the matcher re-resolves coverage lazily — the first batch
+// (or OnEpochSwap call) that observes a new epoch rebuilds the
+// subscription's coverage and re-evaluates every known track against the
+// new snapshot, so REMOVE_POLYGONS produces LEAVEs and ADD_POLYGONS
+// produces ENTERs without any point traffic.
+
+#ifndef ACTJOIN_SERVICE_SUBSCRIPTION_MATCHER_H_
+#define ACTJOIN_SERVICE_SUBSCRIPTION_MATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "service/service_catalog.h"
+#include "service/sharded_index.h"
+#include "util/metrics.h"
+
+namespace actjoin::service {
+
+/// Direction filter: which transitions a subscription wants delivered.
+/// Filtering is emission-only — the matcher's membership state always
+/// tracks both directions, so flipping the filter never desynchronizes.
+enum class SubscriptionMode : uint8_t {
+  kBoth = 0,
+  kEnterOnly = 1,
+  kLeaveOnly = 2,
+};
+
+enum class GeoEventKind : uint8_t { kEnter = 0, kLeave = 1 };
+
+/// One transition: track `track_id` crossed the boundary of watched
+/// polygon `polygon_id` (global id in the subscription's dataset).
+struct GeoEvent {
+  GeoEventKind kind = GeoEventKind::kEnter;
+  uint32_t track_id = 0;
+  uint32_t polygon_id = 0;
+
+  friend bool operator==(const GeoEvent&, const GeoEvent&) = default;
+};
+
+/// One delivery to a subscription's sink: a dense run of events with
+/// sequence numbers [first_seq, first_seq + events.size()), all computed
+/// against `epoch`.
+struct EventBatch {
+  uint64_t subscription_id = 0;
+  uint64_t first_seq = 1;
+  uint64_t epoch = 0;
+  std::vector<GeoEvent> events;
+
+  friend bool operator==(const EventBatch&, const EventBatch&) = default;
+};
+
+/// What a subscription watches inside its dataset.
+struct SubscriptionSpec {
+  enum class Selector : uint8_t {
+    kAll = 0,         // every polygon, including ones added later
+    kPolygonIds = 1,  // the explicit id list (must exist at subscribe time)
+    kCellRange = 2,   // polygons whose covering touches [cell_lo, cell_hi]
+  };
+  Selector selector = Selector::kAll;
+  std::vector<uint32_t> polygon_ids;  // kPolygonIds
+  uint64_t cell_lo = 0;               // kCellRange, inclusive leaf ids
+  uint64_t cell_hi = 0;
+  SubscriptionMode mode = SubscriptionMode::kBoth;
+};
+
+/// Add()'s receipt: the registry id plus the coverage figures resolved
+/// against the subscribe-time snapshot (also the SUBSCRIPTION_RESULT wire
+/// payload).
+struct SubscriptionInfo {
+  uint64_t id = 0;
+  uint64_t epoch = 0;
+  uint32_t watched_polygons = 0;
+  uint32_t coverage_intervals = 0;
+
+  friend bool operator==(const SubscriptionInfo&,
+                         const SubscriptionInfo&) = default;
+};
+
+class SubscriptionMatcher {
+ public:
+  /// Delivery callback. Runs on whatever thread drove the transition (a
+  /// service worker for point batches, the mutating thread for epoch
+  /// swaps) with the subscription's lock held — sinks must be cheap and
+  /// must never re-enter the matcher. The net layer's sink hands the
+  /// batch to an event-loop inbox and returns.
+  using EventSink = std::function<void(EventBatch&&)>;
+
+  /// The catalog must outlive the matcher.
+  explicit SubscriptionMatcher(const ServiceCatalog* catalog)
+      : catalog_(catalog) {}
+
+  SubscriptionMatcher(const SubscriptionMatcher&) = delete;
+  SubscriptionMatcher& operator=(const SubscriptionMatcher&) = delete;
+
+  /// Registers a standing query against a servable dataset. nullopt when
+  /// the dataset has no published snapshot, or an explicit polygon id is
+  /// out of range at subscribe time. Events begin with the next point
+  /// batch — Add itself emits nothing (a track's initial memberships
+  /// arrive as ENTERs on its first sighting).
+  std::optional<SubscriptionInfo> Add(uint16_t dataset_id,
+                                      SubscriptionSpec spec, EventSink sink);
+
+  /// Unregisters; false for an id that was never assigned or was already
+  /// removed. The sink is dropped under the subscription's lock, so no
+  /// delivery starts after Remove returns.
+  bool Remove(uint64_t subscription_id);
+
+  /// Cheap serving-path gate: false ⇒ OnPointBatch would be a no-op for
+  /// this dataset (one relaxed load when the matcher is globally idle).
+  bool HasSubscriptions(uint16_t dataset_id) const;
+
+  /// Feeds one executed point batch (parallel cell_ids / points arrays,
+  /// track id = array index). Pins the dataset's current snapshot once
+  /// and advances every subscription on it.
+  void OnPointBatch(uint16_t dataset_id, std::span<const uint64_t> cell_ids,
+                    std::span<const geom::Point> points);
+
+  /// Re-evaluates every subscription on the dataset against its newest
+  /// snapshot (coverage rebuild + full track resync). Call after any
+  /// publish: delta mutations, full swaps, drops.
+  void OnEpochSwap(uint16_t dataset_id);
+
+  size_t active_subscriptions() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  uint64_t events_emitted() const {
+    return events_emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Gauges/counters for GET_METRICS; the matcher must outlive collection.
+  void RegisterMetrics(util::MetricsRegistry* registry) const;
+
+ private:
+  /// One track's last known state: where it was probed and which watched
+  /// polygons contained it (sorted global ids).
+  struct Track {
+    bool known = false;
+    uint64_t cell = 0;
+    geom::Point point{0, 0};
+    std::vector<uint32_t> inside;
+  };
+
+  struct Sub {
+    uint64_t id = 0;
+    uint16_t dataset = 0;
+    SubscriptionSpec spec;
+    EventSink sink;
+    std::mutex mu;  // serializes everything below
+    uint64_t epoch = 0;  // snapshot the coverage was resolved against
+    bool watch_all = false;
+    std::vector<uint32_t> watched;  // sorted; unused when watch_all
+    /// Sorted, disjoint, coalesced [lo, hi] leaf-cell-id intervals
+    /// covering every covering cell that references a watched polygon.
+    std::vector<std::pair<uint64_t, uint64_t>> coverage;
+    std::vector<Track> tracks;  // index == track id
+    uint64_t next_seq = 1;
+  };
+
+  /// Resolves watched set + coverage intervals against `index` (clip each
+  /// shard's covering cells to the shard's Hilbert interval, keep cells
+  /// referencing a watched id, coalesce). Caller holds sub.mu.
+  static void BuildCoverage(const ShardedIndex& index, Sub* sub);
+
+  /// Sorted watched membership of one probed point. Caller holds sub.mu.
+  static void Membership(const ShardedIndex& index, const Sub& sub,
+                         uint64_t cell, const geom::Point& pt,
+                         std::vector<CellRef>* scratch,
+                         std::vector<uint32_t>* out);
+
+  /// Advances one subscription to `epoch`/`index` (coverage rebuild + track
+  /// resync if the epoch moved), then applies the optional point batch.
+  /// Emits at most one EventBatch. Caller holds sub.mu.
+  void Process(Sub* sub, const ShardedIndex& index, uint64_t epoch,
+               std::span<const uint64_t> cell_ids,
+               std::span<const geom::Point> points);
+
+  /// Subscriptions on one dataset, in id order (determinism of multi-sub
+  /// delivery order within one driver thread).
+  std::vector<std::shared_ptr<Sub>> SubsFor(uint16_t dataset_id) const;
+
+  const ServiceCatalog* catalog_;
+  mutable std::mutex registry_mu_;
+  std::map<uint64_t, std::shared_ptr<Sub>> subs_;  // ordered: id order
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> events_emitted_{0};
+};
+
+}  // namespace actjoin::service
+
+#endif  // ACTJOIN_SERVICE_SUBSCRIPTION_MATCHER_H_

@@ -275,6 +275,10 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   stats.queue_depth = 3;
   stats.epoch = 8;
   stats.num_datasets = 2;
+  stats.active_subscriptions = 5;
+  stats.outstanding_requests = 7;
+  stats.events_pushed = 900;
+  stats.events_dropped = 13;
   stats.peers.push_back({"10.0.0.1", 40, 2});
   stats.peers.push_back({"10.0.0.2:5151", 1, 0});
   stats.dataset_splits.push_back({0, false, 8, 10000, 9, "default"});
@@ -305,6 +309,11 @@ TEST(NetWire, ServiceStatsRoundTrip) {
   EXPECT_EQ(got.queue_wait_p999_ms, stats.queue_wait_p999_ms);
   EXPECT_EQ(got.service_p999_ms, stats.service_p999_ms);
   EXPECT_EQ(got.dataset_splits, stats.dataset_splits);
+  // v6 additions: standing-query gauges and push-channel counters.
+  EXPECT_EQ(got.active_subscriptions, stats.active_subscriptions);
+  EXPECT_EQ(got.outstanding_requests, stats.outstanding_requests);
+  EXPECT_EQ(got.events_pushed, stats.events_pushed);
+  EXPECT_EQ(got.events_dropped, stats.events_dropped);
 
   // The trailing tables are length-delimited: truncating inside fails.
   std::vector<uint8_t> bytes = w.bytes();
