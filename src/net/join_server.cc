@@ -70,12 +70,17 @@ struct JoinServer::Connection {
   /// One queued outbound frame. Event frames (sub != 0) are tagged with
   /// their subscription and seq range so the overflow policy can drop
   /// them — and account the hole — without reparsing bytes; responses
-  /// stay untagged and are never dropped.
+  /// stay untagged and are never dropped. Gap markers (is_gap) are also
+  /// undroppable, but carry the skipped range they announce so that
+  /// later overflow can widen a still-unsent marker in place instead of
+  /// queueing another frame — that in-place merge is what keeps the
+  /// outbox bounded under sustained overflow against a stalled reader.
   struct OutFrame {
     std::vector<uint8_t> bytes;
     uint64_t sub = 0;
     uint64_t first_seq = 0;
     uint64_t last_seq = 0;
+    bool is_gap = false;
   };
   /// Outbound frames; out_offset is the flushed prefix of out.front().
   std::deque<OutFrame> out;
@@ -94,9 +99,11 @@ struct JoinServer::Connection {
   /// EVENT frames currently queued in `out` (the droppable ones).
   size_t event_frames_queued = 0;
   /// Seq ranges the overflow policy dropped, per subscription, not yet
-  /// announced: coalesced here and flushed as one EVENT_GAP before that
-  /// subscription's next event frame (so repeated overflow cannot fill
-  /// the outbox with gap markers).
+  /// announced: coalesced here and flushed as one EVENT_GAP ordered
+  /// before that subscription's queued events with newer seqs. The flush
+  /// widens a still-unsent queued marker in place when the ranges are
+  /// contiguous, so repeated overflow cannot fill the outbox with gap
+  /// markers.
   std::map<uint64_t, std::pair<uint64_t, uint64_t>> pending_gaps;
 };
 
@@ -399,7 +406,7 @@ void JoinServer::FlushPendingBlocking(Connection& conn) {
     if (conn.out_offset == front.bytes.size()) {
       if (front.sub == 0) {
         responses_sent_.fetch_add(1, std::memory_order_relaxed);
-      } else if (front.last_seq != 0) {
+      } else if (!front.is_gap) {
         --conn.event_frames_queued;
       }
       conn.out.pop_front();
@@ -1278,13 +1285,52 @@ void JoinServer::FlushPendingGap(Connection& conn, uint64_t sub) {
   gap.first_skipped_seq = it->second.first;
   gap.last_skipped_seq = it->second.second;
   conn.pending_gaps.erase(it);
-  // Tagged with the sub but zero seqs: identifiable as push traffic (not
-  // counted as a response) yet NOT droppable — the gap marker is the one
-  // frame the overflow policy must never eat. The caller flushes.
+  // Frames whose bytes have started onto the wire are immutable.
+  const size_t first_mutable = conn.out_offset > 0 ? 1 : 0;
+  // Prefer widening a marker already queued for this subscription over
+  // appending another frame. Gap markers are undroppable, so this merge
+  // is what bounds the outbox under sustained overflow against a
+  // stalled reader: once a marker is queued, every further drop-and-
+  // flush cycle rewrites it in place and the queue stops growing.
+  // Contiguity holds by construction — drops take the oldest droppable
+  // frame first, so everything between a queued marker's range and the
+  // pending one was itself dropped into that range. The check guards
+  // the one exception (a delivered in-flight frame between two drop
+  // windows); a disjoint range gets its own marker below.
+  for (size_t i = first_mutable; i < conn.out.size(); ++i) {
+    Connection::OutFrame& f = conn.out[i];
+    if (f.sub != sub || !f.is_gap) continue;
+    if (gap.first_skipped_seq > f.last_seq + 1) continue;
+    f.first_seq = std::min(f.first_seq, gap.first_skipped_seq);
+    f.last_seq = std::max(f.last_seq, gap.last_skipped_seq);
+    gap.first_skipped_seq = f.first_seq;
+    gap.last_skipped_seq = f.last_seq;
+    f.bytes = EncodeEventGapFrame(gap);
+    return;
+  }
+  // No mergeable marker: queue one where seq order puts it — after this
+  // subscription's frames below the skipped range (they are closer to
+  // the wire), before its queued events above it, so the client sees
+  // the hole announced before the first event that jumps past it.
+  // Tagged is_gap: identifiable as push traffic (not counted as a
+  // response) yet NOT droppable — the gap marker is the one frame the
+  // overflow policy must never eat. The caller flushes.
   Connection::OutFrame frame;
   frame.bytes = EncodeEventGapFrame(gap);
   frame.sub = sub;
-  conn.out.push_back(std::move(frame));
+  frame.first_seq = gap.first_skipped_seq;
+  frame.last_seq = gap.last_skipped_seq;
+  frame.is_gap = true;
+  size_t pos = conn.out.size();
+  for (size_t i = first_mutable; i < conn.out.size(); ++i) {
+    const Connection::OutFrame& f = conn.out[i];
+    if (f.sub == sub && f.first_seq > gap.last_skipped_seq) {
+      pos = i;
+      break;
+    }
+  }
+  conn.out.insert(conn.out.begin() + static_cast<ptrdiff_t>(pos),
+                  std::move(frame));
 }
 
 void JoinServer::QueueEvent(IoThread& io, Connection& conn,
@@ -1307,29 +1353,44 @@ void JoinServer::QueueEvent(IoThread& io, Connection& conn,
     bool dropped = false;
     for (size_t i = 0; i < conn.out.size(); ++i) {
       Connection::OutFrame& f = conn.out[i];
-      if (f.sub == 0 || f.last_seq == 0) continue;  // response or gap marker
+      if (f.sub == 0 || f.is_gap) continue;  // response or gap marker
       if (i == 0 && conn.out_offset > 0) continue;
-      auto [git, inserted] =
-          conn.pending_gaps.try_emplace(f.sub, f.first_seq, f.last_seq);
-      if (!inserted) {
-        git->second.first = std::min(git->second.first, f.first_seq);
-        git->second.second = std::max(git->second.second, f.last_seq);
-      }
-      events_dropped_.fetch_add(f.last_seq - f.first_seq + 1,
+      const uint64_t dropped_sub = f.sub;
+      const uint64_t dropped_first = f.first_seq;
+      const uint64_t dropped_last = f.last_seq;
+      events_dropped_.fetch_add(dropped_last - dropped_first + 1,
                                 std::memory_order_relaxed);
+      // Erase before touching pending_gaps: a non-contiguous range below
+      // flushes a marker into conn.out, which would shift index i.
       conn.out.erase(conn.out.begin() + static_cast<ptrdiff_t>(i));
       --conn.event_frames_queued;
+      auto [git, inserted] = conn.pending_gaps.try_emplace(
+          dropped_sub, dropped_first, dropped_last);
+      if (!inserted) {
+        if (dropped_first > git->second.second + 1) {
+          // Seqs between the pending range and this drop were delivered
+          // (an in-flight front frame that has since left): one merged
+          // range would falsely claim them skipped. Announce the pending
+          // range as its own marker and start a fresh one.
+          FlushPendingGap(conn, dropped_sub);
+          conn.pending_gaps.emplace(
+              dropped_sub, std::make_pair(dropped_first, dropped_last));
+        } else {
+          git->second.first = std::min(git->second.first, dropped_first);
+          git->second.second = std::max(git->second.second, dropped_last);
+        }
+      }
       dropped = true;
       break;
     }
-    // Only undroppable frames left (responses, in-flight front): exceed
-    // the bound by this one frame rather than blocking or losing it.
+    // Only undroppable frames left (responses, gap markers, in-flight
+    // front): exceed the bound by this one frame rather than blocking or
+    // losing it.
     if (!dropped) break;
   }
-  // Seq-order bookkeeping: announce the hole before newer events of the
-  // same subscription. (Events of *other* subs queued between the drop
-  // and this flush may overtake the marker; the skipped range is
-  // authoritative regardless of arrival order.)
+  // Announce the hole before this subscription's queued events with
+  // newer seqs (FlushPendingGap orders — or merges — the marker by seq,
+  // so a client never sees a jump before the gap explaining it).
   FlushPendingGap(conn, sub);
   Connection::OutFrame frame;
   frame.bytes = EncodeEventFrame(batch);
@@ -1360,7 +1421,7 @@ bool JoinServer::FlushWrites(IoThread& io, Connection& conn) {
     if (conn.out_offset == front.bytes.size()) {
       if (front.sub == 0) {
         responses_sent_.fetch_add(1, std::memory_order_relaxed);
-      } else if (front.last_seq != 0) {
+      } else if (!front.is_gap) {
         --conn.event_frames_queued;  // a droppable event frame left the box
       }
       conn.out.pop_front();

@@ -71,7 +71,9 @@ struct ServerOptions {
   /// Bound on EVENT frames queued per connection. A slow reader overflows
   /// by losing its *oldest* queued event frames (responses are never
   /// dropped), each loss coalescing into one EVENT_GAP marker per
-  /// subscription — the event loop never blocks on a push channel.
+  /// subscription that later drops widen in place while it is unsent —
+  /// so the outbox stays bounded under sustained overflow and the event
+  /// loop never blocks on a push channel.
   size_t event_outbox_frames = 256;
 };
 

@@ -259,7 +259,15 @@ void SubscriptionMatcher::Process(Sub* sub, const ShardedIndex& index,
     }
   };
 
-  if (sub->epoch != epoch) {
+  // Never regress: a worker can reach here holding a snapshot acquired
+  // *before* a swap that another worker already applied to this
+  // subscription. Rebuilding coverage against that older snapshot would
+  // roll the subscription back and emit phantom LEAVE/ENTER transitions
+  // that the next batch at the new epoch reverses again. Callers
+  // re-acquire the current snapshot when they detect this; the guard
+  // keeps any future caller from regressing state.
+  if (epoch < sub->epoch) return;
+  if (epoch > sub->epoch) {
     // The snapshot moved under us: re-resolve coverage, then re-evaluate
     // every known track so removals LEAVE and additions ENTER without any
     // point traffic.
@@ -316,6 +324,14 @@ void SubscriptionMatcher::OnPointBatch(uint16_t dataset_id,
   if (snap == nullptr) return;
   for (auto& sub : subs) {
     std::lock_guard<std::mutex> lock(sub->mu);
+    // Our snapshot lost the race with a swap another worker has already
+    // applied to this subscription. Registry epochs are monotone, so
+    // re-acquiring yields a snapshot at least as new as sub->epoch —
+    // the batch's positions still land, just against the fresher index.
+    if (epoch < sub->epoch) {
+      snap = reg->Acquire(&epoch);
+      if (snap == nullptr) return;
+    }
     Process(sub.get(), *snap, epoch, cell_ids, points);
   }
 }
@@ -331,6 +347,12 @@ void SubscriptionMatcher::OnEpochSwap(uint16_t dataset_id) {
   if (snap == nullptr) return;
   for (auto& sub : subs) {
     std::lock_guard<std::mutex> lock(sub->mu);
+    // Same stale-snapshot race as OnPointBatch: never hand Process an
+    // epoch older than what the subscription has already seen.
+    if (epoch < sub->epoch) {
+      snap = reg->Acquire(&epoch);
+      if (snap == nullptr) return;
+    }
     Process(sub.get(), *snap, epoch, {}, {});
   }
 }

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -469,6 +470,55 @@ TEST(SubscribeMatcher, ModeFilterIsEmissionOnlyAndSeqsStayDense) {
   EXPECT_EQ(leave_seq - 1, leaves.size());
 }
 
+TEST(SubscribeMatcher, EpochTagsNeverRegressUnderConcurrentSwaps) {
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.05);
+  ServiceOptions sopts;
+  sopts.worker_threads = 4;
+  JoinService service(BuildShared(ds.polygons, grid, 2), sopts);
+  SubscriptionMatcher matcher(&service.catalog());
+  service.set_subscription_matcher(&matcher);
+
+  EventLog log;
+  auto info = matcher.Add(0, SubscriptionSpec{}, log.Sink());
+  ASSERT_TRUE(info.has_value());
+
+  const uint64_t kTracks = 64;
+  wl::PointSet pos_a = wl::TaxiPoints(ds.mbr, kTracks, grid, 95);
+  wl::PointSet pos_b = wl::TaxiPoints(ds.mbr, kTracks, grid, 96);
+
+  // Point batches race live mutations: a worker that acquired its
+  // snapshot just before a swap (or behind a faster worker at the new
+  // epoch) must not roll the subscription back to the older epoch —
+  // the regression rebuilt coverage against the stale index and emitted
+  // phantom LEAVE/ENTER flaps the next batch reversed. The black-box
+  // signature of that rollback is a delivered batch tagged with a lower
+  // epoch than one already delivered.
+  std::thread mutator([&] {
+    for (size_t i = 0; i < 24; ++i) {
+      service.AddPolygons(0, {ds.polygons[i % ds.polygons.size()]});
+    }
+  });
+  std::vector<std::future<service::JoinResult>> in_flight;
+  for (int i = 0; i < 48; ++i) {
+    in_flight.push_back(
+        service.Submit(MakeBatch(i % 2 == 0 ? pos_a : pos_b,
+                                 JoinMode::kExact)));
+  }
+  for (auto& f : in_flight) f.get();
+  mutator.join();
+
+  uint64_t prev_epoch = 0;
+  uint64_t next_seq = 1;
+  for (const EventBatch& b : log.Take()) {
+    EXPECT_GE(b.epoch, prev_epoch) << "delivered epoch regressed";
+    prev_epoch = std::max(prev_epoch, b.epoch);
+    EXPECT_EQ(b.first_seq, next_seq) << "seq space tore under the race";
+    next_seq += b.events.size();
+  }
+  EXPECT_EQ(matcher.events_emitted(), next_seq - 1);
+}
+
 TEST(SubscribeMatcher, AddRefusesUnknownDatasetAndOutOfRangeIds) {
   Grid grid;
   wl::PolygonDataset ds = wl::Neighborhoods(0.05);
@@ -729,17 +779,24 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
 
   // Alternate every track between two positions without reading a byte:
   // each batch is one EVENT frame, and once the socket backs up the
-  // bounded outbox must start dropping its oldest frames.
+  // bounded outbox must start dropping its oldest frames. Keep pushing
+  // well past the first drop — sustained overflow against a reader that
+  // never drains is exactly the case where the outbox must stay bounded
+  // (every drop-and-flush cycle widens the one queued gap marker in
+  // place instead of queueing another undroppable frame).
   const uint64_t kTracks = 2048;
   wl::PointSet pos_a = wl::TaxiPoints(ts.ds.mbr, kTracks, grid, 91);
   wl::PointSet pos_b = wl::TaxiPoints(ts.ds.mbr, kTracks, grid, 92);
   bool dropped = false;
-  for (int i = 0; i < 300 && !dropped; ++i) {
+  int batches_after_drop = 0;
+  for (int i = 0; i < 300 && batches_after_drop < 100; ++i) {
     const wl::PointSet& pos = (i % 2 == 0) ? pos_a : pos_b;
     ts.service->Submit(MakeBatch(pos, JoinMode::kExact)).get();
     dropped = ts.server->counters().events_dropped > 0;
+    if (dropped) ++batches_after_drop;
   }
   ASSERT_TRUE(dropped) << "outbox never overflowed";
+  ASSERT_GE(batches_after_drop, 100) << "sustained-overflow phase cut short";
 
   // UNSUBSCRIBE flushes the coalesced pending gap before its ack, so the
   // ack is a fence: once it arrives, every event and gap is in hand.
@@ -750,7 +807,7 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
 
   const uint64_t total = ts.service->subscription_matcher()->events_emitted();
   ASSERT_GT(total, 0u);
-  std::vector<std::pair<uint64_t, uint64_t>> received, skipped;
+  std::vector<std::pair<uint64_t, uint64_t>> received, skipped, arrival;
   bool saw_ack = false;
   while (ReadFrame(fd, &buf, &header, &payload)) {
     if (header.type == MessageType::kEvent) {
@@ -760,6 +817,7 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
       if (!batch.events.empty()) {
         received.emplace_back(batch.first_seq,
                               batch.first_seq + batch.events.size() - 1);
+        arrival.push_back(received.back());
       }
     } else if (header.type == MessageType::kEventGap) {
       EventGap gap;
@@ -767,6 +825,7 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
       EXPECT_EQ(gap.subscription_id, info.id);
       ASSERT_LE(gap.first_skipped_seq, gap.last_skipped_seq);
       skipped.emplace_back(gap.first_skipped_seq, gap.last_skipped_seq);
+      arrival.push_back(skipped.back());
     } else {
       ASSERT_EQ(header.type, MessageType::kSubscriptionResult);
       EXPECT_EQ(header.request_id, 2u);
@@ -777,10 +836,24 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
   ASSERT_TRUE(saw_ack) << "unsubscribe ack never arrived";
   ASSERT_FALSE(skipped.empty()) << "drops recorded but no EVENT_GAP frame";
 
+  // Boundedness: gap markers are undroppable, so if every drop-and-flush
+  // cycle queued a fresh one, ~100 sustained-overflow batches would leak
+  // ~100 frames into the outbox of a connection that never drains. The
+  // in-place widening caps the stream at a handful of markers (one per
+  // stretch of uninterrupted stall, not one per drop).
+  EXPECT_LE(skipped.size(), 8u)
+      << "sustained overflow queued a gap marker per drop";
+
+  // Ordering: within one subscription the hole is announced before the
+  // first event that jumps past it, so the frames arrive in seq order —
+  // adjacent arrival ranges never go backwards.
+  for (size_t i = 1; i < arrival.size(); ++i) {
+    EXPECT_GT(arrival[i].first, arrival[i - 1].second)
+        << "frame " << i << " arrived out of seq order";
+  }
+
   // Delivered and skipped ranges must tile the seq space [1, total]
-  // exactly: every emitted event is accounted for exactly once. (A gap
-  // frame may arrive after higher-seq events — the ranges, not the
-  // arrival order, are the contract.)
+  // exactly: every emitted event is accounted for exactly once.
   std::vector<std::pair<uint64_t, uint64_t>> all = received;
   all.insert(all.end(), skipped.begin(), skipped.end());
   std::sort(all.begin(), all.end());
