@@ -13,21 +13,54 @@
 // --clients (loopback client threads), --workers (service worker
 // threads; default = --threads), --io_threads (server event loops).
 
+#include <sys/socket.h>
+
+#include <atomic>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "net/admin_server.h"
 #include "net/join_client.h"
 #include "net/join_server.h"
+#include "net/socket.h"
 #include "service/join_service.h"
 #include "service/sharded_index.h"
+#include "util/cpu_profiler.h"
 #include "util/timer.h"
 
 namespace actjoin::bench {
 namespace {
+
+/// One blocking HTTP GET against the admin plane; returns the body ("" on
+/// any failure).
+std::string AdminGet(uint16_t port, const std::string& target) {
+  std::string error;
+  net::UniqueFd fd = net::ConnectTcp("127.0.0.1", port, &error);
+  if (!fd.valid()) return {};
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!net::SendAll(fd.get(), reinterpret_cast<const uint8_t*>(request.data()),
+                    request.size(), &error)) {
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd.get(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  const size_t body_at = response.find("\r\n\r\n");
+  if (response.rfind("HTTP/1.1 200", 0) != 0 || body_at == std::string::npos) {
+    return {};
+  }
+  return response.substr(body_at + 4);
+}
 
 int Run(int argc, char** argv) {
   util::Flags flags;
@@ -117,9 +150,12 @@ int Run(int argc, char** argv) {
   // `passes` replays the batch list that many times per run: the smoke
   // workload is a single batch, and an A/B gate on one 5 ms request would
   // be measuring connection setup, not the hot path.
+  // `admin_plane` additionally stands up the HTTP admin endpoint next to
+  // the wire server (the "everything on" arm's deployment shape) and
+  // scrapes /metrics once per rep to prove the plane is live.
   auto run_loopback = [&](const service::ServiceOptions& sopts, bool traced,
-                          int passes, int reps,
-                          service::ServiceStats* out_stats) -> double {
+                          int passes, int reps, service::ServiceStats* out_stats,
+                          bool admin_plane = false) -> double {
     std::vector<service::QueryBatch> work;
     work.reserve(batches.size() * static_cast<size_t>(passes));
     for (int p = 0; p < passes; ++p) {
@@ -143,6 +179,17 @@ int Run(int argc, char** argv) {
       if (!server.Start(&error)) {
         std::fprintf(stderr, "JoinServer start failed: %s\n", error.c_str());
         return -1;
+      }
+      std::unique_ptr<net::AdminServer> admin;
+      if (admin_plane) {
+        admin = std::make_unique<net::AdminServer>(&service,
+                                                   net::AdminOptions{},
+                                                   &server);
+        if (!admin->Start(&error)) {
+          std::fprintf(stderr, "AdminServer start failed: %s\n",
+                       error.c_str());
+          return -1;
+        }
       }
       // Clients pull batch indices round-robin; every batch is sent once.
       std::vector<std::thread> pool;
@@ -176,6 +223,10 @@ int Run(int argc, char** argv) {
         mps = std::max(mps, static_cast<double>(served) / seconds / 1e6);
       }
       *out_stats = server.StatsWithAdmission();
+      if (admin != nullptr && AdminGet(admin->port(), "/metrics").empty()) {
+        std::fprintf(stderr, "admin /metrics scrape failed\n");
+        return -1;
+      }
       server.Stop();
     }
     return mps;
@@ -198,9 +249,11 @@ int Run(int argc, char** argv) {
   }
 
   // Observability A/B: the same loopback drive with every instrument off
-  // (no registry, no traces) versus everything on (registry + per-request
-  // stage traces). The delta is the full price of PR 7's observability
-  // layer on the hot path; the smoke run *gates* it at < 5%.
+  // (no registry, no traces, no admin plane) versus everything on
+  // (registry + per-request stage traces + hardware stage counters + the
+  // HTTP admin endpoint). The delta is the full price of the
+  // observability stack on the hot path; the smoke run *gates* it at
+  // < 5%.
   double obs_off_mps = 0;
   double obs_on_mps = 0;
   double best_pair_ratio = 0;
@@ -218,6 +271,7 @@ int Run(int argc, char** argv) {
     off.enable_metrics = false;
     service::ServiceOptions on;
     on.worker_threads = workers;  // enable_metrics defaults true
+    on.stage_perf_counters = true;
     service::ServiceStats off_stats, on_stats;
     for (int pair = 0; pair < ab_pairs; ++pair) {
       service::ServiceStats sstats;
@@ -228,8 +282,8 @@ int Run(int argc, char** argv) {
         obs_off_mps = off_mps;
         off_stats = sstats;
       }
-      double on_mps =
-          run_loopback(on, /*traced=*/true, ab_passes, /*reps=*/1, &sstats);
+      double on_mps = run_loopback(on, /*traced=*/true, ab_passes, /*reps=*/1,
+                                   &sstats, /*admin_plane=*/true);
       if (on_mps < 0) return 1;
       if (on_mps > obs_on_mps) {
         obs_on_mps = on_mps;
@@ -276,6 +330,65 @@ int Run(int argc, char** argv) {
                  "Mpts/s, max on %.2f Mpts/s)\n",
                  best_pair_ratio, obs_off_mps, obs_on_mps);
     return 1;
+  }
+
+  // /profilez under saturation: drive the server flat-out while the admin
+  // plane samples the process for a second, and require the collapsed
+  // stacks to name the join hot path — the acceptance check that the
+  // profiler sees through the serving stack, not just the bench driver.
+  if (util::CpuProfiler::Supported()) {
+    service::ServiceOptions sopts;
+    sopts.worker_threads = workers;
+    sopts.stage_perf_counters = true;
+    service::JoinService service(index, sopts);
+    net::ServerOptions nopts;
+    nopts.io_threads = io_threads;
+    net::JoinServer server(&service, nopts);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "JoinServer start failed: %s\n", error.c_str());
+      return 1;
+    }
+    net::AdminServer admin(&service, net::AdminOptions{}, &server);
+    if (!admin.Start(&error)) {
+      std::fprintf(stderr, "AdminServer start failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        net::JoinClient client;
+        if (!client.Connect(server.host(), server.port())) return;
+        for (size_t k = static_cast<size_t>(c); !stop.load();
+             k += static_cast<size_t>(clients)) {
+          client.Join(batches[k % batches.size()]);
+        }
+      });
+    }
+    const std::string collapsed = AdminGet(admin.port(), "/profilez?seconds=1");
+    stop.store(true);
+    for (auto& t : pool) t.join();
+
+    bool hot_path_named = false;
+    for (const char* frame :
+         {"Probe", "ShardedIndex", "WorkStealingPool", "CellTrie", "actjoin"}) {
+      if (collapsed.find(frame) != std::string::npos) {
+        hot_path_named = true;
+        break;
+      }
+    }
+    std::printf("/profilez under saturation: %d samples, %s\n",
+                util::CpuProfiler::last_sample_count(),
+                hot_path_named ? "join hot path named in collapsed stacks"
+                               : "hot path NOT found");
+    if (env.smoke && (collapsed.empty() || !hot_path_named)) {
+      std::fprintf(stderr,
+                   "FAIL: /profilez of a saturated run returned no "
+                   "join-path frames (%zu bytes of collapsed stacks)\n",
+                   collapsed.size());
+      return 1;
+    }
   }
   return 0;
 }

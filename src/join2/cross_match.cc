@@ -359,8 +359,9 @@ TaskResult Descend(const IntervalView& va, const IntervalView& vb,
 std::vector<std::pair<uint32_t, uint32_t>> CrossMatch(
     const IntervalView& a, const IntervalView& b,
     const CrossMatchOptions& opts, util::WorkStealingPool* pool,
-    CrossMatchStats* stats) {
+    CrossMatchStats* stats, CrossMatchPhaseTimes* phases) {
   util::WallTimer timer;
+  util::WallTimer phase_timer;
   CrossMatchStats local;
   std::vector<std::pair<uint32_t, uint32_t>> out;
   if (a.size() != 0 && b.size() != 0) {
@@ -418,6 +419,12 @@ std::vector<std::pair<uint32_t, uint32_t>> CrossMatch(
                                  CandidateSamePair),
                      candidates.end());
     local.candidate_pairs = candidates.size();
+    // Descend = expansion + parallel descent + dedup (phases 1-3): the
+    // filter half of the join; refinement below is the predicate half.
+    if (phases != nullptr) {
+      phases->descend_us = phase_timer.ElapsedSeconds() * 1e6;
+      phase_timer.Restart();
+    }
 
     // Phase 4 (parallel): refine candidates in fixed chunks; chunk outputs
     // concatenate in chunk order, and the input is sorted, so the output
@@ -466,6 +473,7 @@ std::vector<std::pair<uint32_t, uint32_t>> CrossMatch(
   }
   local.result_pairs = out.size();
   local.seconds = timer.ElapsedSeconds();
+  if (phases != nullptr) phases->refine_us = phase_timer.ElapsedSeconds() * 1e6;
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -473,9 +481,12 @@ std::vector<std::pair<uint32_t, uint32_t>> CrossMatch(
 std::vector<std::pair<uint32_t, uint32_t>> CrossMatchIndexes(
     const service::ShardedIndex& a, const service::ShardedIndex& b,
     const CrossMatchOptions& opts, util::WorkStealingPool* pool,
-    CrossMatchStats* stats) {
-  return CrossMatch(IntervalView::FromIndex(a), IntervalView::FromIndex(b),
-                    opts, pool, stats);
+    CrossMatchStats* stats, CrossMatchPhaseTimes* phases) {
+  util::WallTimer pin_timer;
+  IntervalView view_a = IntervalView::FromIndex(a);
+  IntervalView view_b = IntervalView::FromIndex(b);
+  if (phases != nullptr) phases->pin_us = pin_timer.ElapsedSeconds() * 1e6;
+  return CrossMatch(view_a, view_b, opts, pool, stats, phases);
 }
 
 std::vector<std::pair<uint32_t, uint32_t>> BruteForceCrossMatch(

@@ -168,23 +168,37 @@ class IntervalView {
   std::vector<Loc> locs_;  // indexed by global polygon id
 };
 
+/// Wall time per crossmatch phase, microseconds — the request-tracing
+/// seam, mirroring ShardedIndex::JoinPhaseTimes. pin covers flattening +
+/// coarsening both probe surfaces (CrossMatchIndexes only; CrossMatch over
+/// prebuilt views reports 0), descend covers the synchronized descent
+/// through candidate dedup, refine covers predicate evaluation and output
+/// assembly.
+struct CrossMatchPhaseTimes {
+  double pin_us = 0;
+  double descend_us = 0;
+  double refine_us = 0;
+};
+
 /// Runs the synchronized descent of `a` against `b` and refines the
 /// candidates. Returns sorted unique (gid_a, gid_b) pairs: in kIntersects
 /// mode the pairs whose closed regions share a point; in kContains mode
 /// the pairs where a's polygon covers b's. Deterministic at every width;
 /// see the header comment. A non-null `pool` with workers supplies the
 /// parallelism (the caller helps); otherwise opts.threads drives a
-/// transient pool.
+/// transient pool. A non-null `phases` receives the per-phase wall
+/// breakdown (two extra WallTimer reads — free).
 std::vector<std::pair<uint32_t, uint32_t>> CrossMatch(
     const IntervalView& a, const IntervalView& b,
     const CrossMatchOptions& opts, util::WorkStealingPool* pool = nullptr,
-    CrossMatchStats* stats = nullptr);
+    CrossMatchStats* stats = nullptr, CrossMatchPhaseTimes* phases = nullptr);
 
-/// Convenience: builds both views, then runs CrossMatch.
+/// Convenience: builds both views, then runs CrossMatch. The view builds
+/// are the pin phase of `phases`.
 std::vector<std::pair<uint32_t, uint32_t>> CrossMatchIndexes(
     const service::ShardedIndex& a, const service::ShardedIndex& b,
     const CrossMatchOptions& opts, util::WorkStealingPool* pool = nullptr,
-    CrossMatchStats* stats = nullptr);
+    CrossMatchStats* stats = nullptr, CrossMatchPhaseTimes* phases = nullptr);
 
 /// Index-free oracle: tests every polygon pair (MBR-pruned) with the same
 /// predicates. `skip_a` / `skip_b` name global ids to exclude (removed

@@ -88,9 +88,26 @@ CrossMatchOutcome DatasetCrossMatcher::Execute(const CrossMatchRequest& req,
   CrossMatchOptions opts;
   opts.mode = req.mode;
   opts.threads = service_->options().threads_per_join;
+  CrossMatchPhaseTimes phases;
   out.pairs = CrossMatchIndexes(*snap_a, *snap_b, opts,
-                                service_->shared_pool(), &out.stats);
+                                service_->shared_pool(), &out.stats,
+                                req.trace ? &phases : nullptr);
   out.service_us = timer.ElapsedSeconds() * 1e6;
+
+  if (req.trace) {
+    out.trace.enabled = true;
+    out.trace.request_id = req.request_id;
+    out.trace.at(CrossMatchStage::kQueue) = out.queue_wait_us;
+    out.trace.at(CrossMatchStage::kPin) = phases.pin_us;
+    out.trace.at(CrossMatchStage::kDescend) = phases.descend_us;
+    // Refine absorbs the service-wall leftover (validation, snapshot
+    // acquire, result move) so the worker-side stages tile service_us —
+    // the same discipline as JOIN_BATCH's merge stage.
+    const double leftover =
+        out.service_us - phases.pin_us - phases.descend_us - phases.refine_us;
+    out.trace.at(CrossMatchStage::kRefine) =
+        phases.refine_us + (leftover > 0 ? leftover : 0);
+  }
 
   // Both sides served one request each; the work unit is the polygon set
   // the join scanned on that side (the crossmatch analogue of a point

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "join2/cross_match.h"
+#include "join2/cross_match_trace.h"
 #include "service/join_service.h"
 #include "util/metrics.h"
 
@@ -39,6 +40,10 @@ struct CrossMatchRequest {
   CrossMatchMode mode = CrossMatchMode::kIntersects;
   /// Echoed into the slow-query log (the wire request id).
   uint64_t request_id = 0;
+  /// Request a per-stage trace: CrossMatchOutcome::trace comes back
+  /// enabled with the pin/descend/refine breakdown (queue filled from the
+  /// submit hop; admission/decode/stream are the network front-end's).
+  bool trace = false;
 };
 
 enum class CrossMatchStatus : uint8_t {
@@ -64,6 +69,11 @@ struct CrossMatchOutcome {
   uint64_t epoch_b = 0;
   double queue_wait_us = 0;
   double service_us = 0;
+  /// Stage breakdown; enabled iff the request set trace. The matcher
+  /// fills queue/pin/descend/refine (refine absorbs the service-wall
+  /// leftover so the worker-side stages tile service_us); the network
+  /// front-end fills admission/decode/stream around them.
+  CrossMatchTrace trace;
 };
 
 class DatasetCrossMatcher {

@@ -1,0 +1,120 @@
+// AdminServer: the process's observability plane, one HTTP/1.1 endpoint
+// on its own port and threads — deliberately not a route on the binary
+// wire protocol. Operators, Prometheus, and load balancers speak HTTP;
+// making them learn ACTJ framing (or making the data-plane epoll loops
+// parse HTTP) would couple the two planes that must fail independently:
+// a wedged join queue should never take /healthz down with it.
+//
+// The server is intentionally minimal: GET only, one request per
+// connection (Connection: close, Content-Length framing, no keep-alive,
+// no TLS, no chunked encoding). Every route renders from lock-free or
+// snapshot-style reads of the serving stack, so a scrape never blocks a
+// join.
+//
+// Routes:
+//   /metrics   Prometheus text exposition (MetricsRegistry renderer).
+//   /healthz   liveness: 200 once Start() succeeded.
+//   /readyz    readiness: 200 iff at least one catalog dataset is
+//              servable (published snapshot, not tombstoned) — the
+//              warm-restart boot path flips this when the first dataset
+//              publishes.
+//   /statusz   human-readable: uptime, build info, service stats,
+//              per-dataset epochs, hardware stage counters, and (when a
+//              JoinServer is attached) wire-layer + admission counters.
+//   /tracez    slow-query ring (top-K by service time) + the structured
+//              event log.
+//   /profilez  ?seconds=N (clamped): runs the sampling CPU profiler and
+//              returns collapsed stacks; 503 where SIGPROF profiling is
+//              unsupported. Concurrent requests serialize inside
+//              CpuProfiler rather than erroring.
+//
+// Unknown paths 404; non-GET methods 405 with Allow: GET.
+
+#ifndef ACTJOIN_NET_ADMIN_SERVER_H_
+#define ACTJOIN_NET_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "service/join_service.h"
+
+namespace actjoin::net {
+
+class JoinServer;
+
+struct AdminOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-chosen ephemeral port (tests); read it back via port().
+  uint16_t port = 0;
+  /// Accept/handle threads. Two keeps a long /profilez from starving
+  /// /healthz; scrapes are rare enough that more buys nothing.
+  int workers = 2;
+  /// Upper clamp for /profilez?seconds=N. Bounds how long one HTTP
+  /// request can pin a worker thread.
+  double max_profile_seconds = 30.0;
+  /// Sampling frequency handed to CpuProfiler.
+  int profile_hz = 200;
+};
+
+class AdminServer {
+ public:
+  /// `service` must outlive the server. `server` (optional) adds the
+  /// wire-layer view — admission + connection + push-channel counters —
+  /// to /statusz; it too must outlive the AdminServer when given.
+  explicit AdminServer(service::JoinService* service,
+                       const AdminOptions& opts = {},
+                       JoinServer* server = nullptr);
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Stop()s if still running.
+  ~AdminServer();
+
+  /// Binds, listens, launches the worker threads. False + *error on bind
+  /// failure. Not restartable after Stop().
+  bool Start(std::string* error = nullptr);
+
+  /// Joins the workers and closes the listener. In-flight requests finish
+  /// (a running /profilez completes its window). Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return opts_.host; }
+
+  /// Route dispatch without the socket: returns the full HTTP response
+  /// bytes for a request line. Exposed for tests that want to hit every
+  /// route without standing up real connections.
+  std::string HandleRequest(const std::string& method,
+                            const std::string& target) const;
+
+ private:
+  void WorkerLoop();
+  /// Reads one request (bounded size, bounded time), writes one response,
+  /// closes. All failure modes just drop the connection.
+  void ServeConnection(int fd) const;
+
+  std::string RouteMetrics() const;
+  std::string RouteReadyz() const;
+  std::string RouteStatusz() const;
+  std::string RouteTracez() const;
+  std::string RouteProfilez(const std::string& query) const;
+
+  service::JoinService* service_;
+  JoinServer* server_;
+  AdminOptions opts_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace actjoin::net
+
+#endif  // ACTJOIN_NET_ADMIN_SERVER_H_

@@ -380,6 +380,7 @@ bool AsyncJoinClient::HandleFrame(const FrameHeader& header,
           return fail_closed("pair stream does not add up to total_pairs");
         }
         slot->stream.stats = chunk.stats;
+        slot->stream.trace = chunk.trace;
         slot->stream.ok = true;
         slot->stream_promise.set_value(std::move(slot->stream));
         return true;

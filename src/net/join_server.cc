@@ -41,6 +41,21 @@ constexpr size_t kCompactThreshold = 64 * 1024;
 // roughly max_frame_bytes (one partial frame) + this.
 constexpr size_t kMaxReadBytesPerEvent = 256 * 1024;
 
+// Per-IO-thread hardware-counter group for the stages the event loop owns
+// (admission, decode). perf counts the opening thread, so the group is
+// opened lazily on first use by each IO thread — never on a worker.
+// Returns null when opening failed (counters stay all-zero but the trace
+// section still frames; the worker-side `available` flag tells clients).
+util::StagePerfCounters* IoThreadStageCounters(bool simulate_denied) {
+  thread_local std::unique_ptr<util::StagePerfCounters> group;
+  if (group == nullptr) {
+    util::StagePerfCounters::Options o;
+    o.simulate_denied = simulate_denied;
+    group = std::make_unique<util::StagePerfCounters>(o);
+  }
+  return group->available() ? group.get() : nullptr;
+}
+
 WireError ToWireError(Admission verdict) {
   switch (verdict) {
     case Admission::kRateLimited:
@@ -81,6 +96,9 @@ struct JoinServer::Connection {
     uint64_t first_seq = 0;
     uint64_t last_seq = 0;
     bool is_gap = false;
+    /// Enqueue time (server uptime micros) of event frames, for the
+    /// delivery-lag histogram; 0 on responses and gap markers.
+    double born_us = 0;
   };
   /// Outbound frames; out_offset is the flushed prefix of out.front().
   std::deque<OutFrame> out;
@@ -168,6 +186,23 @@ JoinServer::JoinServer(service::JoinService* service,
         "policy",
         "",
         [this] { return events_dropped_.load(std::memory_order_relaxed); });
+    registry->RegisterCounterFn(
+        "server_event_gap_frames_total",
+        "EVENT_GAP markers queued by the overflow policy (holes announced, "
+        "not events skipped)",
+        "", [this] { return gap_frames_.load(std::memory_order_relaxed); });
+    registry->RegisterGaugeFn(
+        "server_event_outbox_frames",
+        "EVENT frames queued across connection outboxes (the droppable "
+        "push-path depth)",
+        "", [this] {
+          return static_cast<double>(
+              event_outbox_depth_.load(std::memory_order_relaxed));
+        });
+    event_delivery_lag_us_ = registry->GetHistogram(
+        "server_event_delivery_lag_us",
+        "Outbox dwell of fully-flushed EVENT frames (enqueue to last byte "
+        "written)");
     registry->RegisterGaugeFn(
         "server_outstanding_requests",
         "Requests admitted but not yet answered (summed over connections)",
@@ -325,6 +360,7 @@ ServerCounters JoinServer::counters() const {
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   out.events_pushed = events_pushed_.load(std::memory_order_relaxed);
   out.events_dropped = events_dropped_.load(std::memory_order_relaxed);
+  out.gap_frames = gap_frames_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -382,7 +418,14 @@ void JoinServer::IoLoop(int t) {
   // readers a bounded chance at bytes the nonblocking path could not
   // write (an admitted join's response should not die with the loop).
   ProcessInbox(t, io);
-  for (auto& [id, conn] : io.conns) FlushPendingBlocking(*conn);
+  for (auto& [id, conn] : io.conns) {
+    FlushPendingBlocking(*conn);
+    // Whatever the bounded flush could not deliver dies with the
+    // connection; keep the push-path depth gauge honest.
+    event_outbox_depth_.fetch_sub(
+        static_cast<int64_t>(conn->event_frames_queued),
+        std::memory_order_relaxed);
+  }
   connections_closed_.fetch_add(io.conns.size(), std::memory_order_relaxed);
   io.conns.clear();
 }
@@ -408,6 +451,7 @@ void JoinServer::FlushPendingBlocking(Connection& conn) {
         responses_sent_.fetch_add(1, std::memory_order_relaxed);
       } else if (!front.is_gap) {
         --conn.event_frames_queued;
+        event_outbox_depth_.fetch_sub(1, std::memory_order_relaxed);
       }
       conn.out.pop_front();
       conn.out_offset = 0;
@@ -645,6 +689,18 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
   // until the payload is decoded). kAdmission covers entry through the
   // admission verdict; kDecode covers the payload decode.
   util::WallTimer stage_timer;
+  // Hardware-counter attribution for the event-loop stages. The trace
+  // flag proper is decoded later, but it sits at a fixed payload offset
+  // (QueryBatch flags byte, bit 0) — peeked here so only traced requests
+  // pay the counter reads, and rejected ones pay nothing.
+  util::StagePerfCounters* io_perf = nullptr;
+  util::StageCounterSample perf_entry{};
+  if (service_->options().stage_perf_counters && payload.size() >= 2 &&
+      (payload[1] & 1) != 0) {
+    io_perf = IoThreadStageCounters(
+        service_->options().stage_perf_simulate_denied);
+    if (io_perf != nullptr) perf_entry = io_perf->Read();
+  }
   // Load shedding comes first, and it only needs the payload *size*:
   // a rejected request must cost O(1), not an O(payload) decode.
   if (stopping_.load(std::memory_order_acquire)) {
@@ -682,6 +738,12 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
     return;
   }
   const double admission_us = stage_timer.ElapsedSeconds() * 1e6;
+  util::StageCounterSample admission_counters{};
+  util::StageCounterSample perf_admitted{};
+  if (io_perf != nullptr) {
+    perf_admitted = io_perf->Read();
+    admission_counters = perf_admitted - perf_entry;
+  }
 
   service::QueryBatch batch;
   if (!DecodeQueryBatch(payload, &batch)) {
@@ -694,6 +756,10 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
     return;
   }
   const double decode_us = stage_timer.ElapsedSeconds() * 1e6 - admission_us;
+  util::StageCounterSample decode_counters{};
+  if (io_perf != nullptr) {
+    decode_counters = io_perf->Read() - perf_admitted;
+  }
 
   bool stopping_now = false;
   {
@@ -725,21 +791,54 @@ void JoinServer::HandleJoinBatch(int t, IoThread& io, Connection& conn,
   service::SubmitStatus status = service_->TrySubmitAsync(
       std::move(batch),
       // Runs on the service worker that executed the join.
-      [this, t, conn_id, request_id, bytes, admission_us,
-       decode_us](service::JoinResult result) {
+      [this, t, conn_id, request_id, bytes, admission_us, decode_us,
+       admission_counters, decode_counters](service::JoinResult result) {
         if (result.trace.enabled) {
           // The service fills queue/decompose/probe/merge; the server owns
           // the stages on either side of the submit boundary.
           result.trace.at(service::TraceStage::kAdmission) = admission_us;
           result.trace.at(service::TraceStage::kDecode) = decode_us;
+          if (result.trace.counters_enabled) {
+            result.trace.counters(service::TraceStage::kAdmission) =
+                admission_counters;
+            result.trace.counters(service::TraceStage::kDecode) =
+                decode_counters;
+            service_->RecordStageCounters(service::TraceStage::kAdmission,
+                                          admission_counters);
+            service_->RecordStageCounters(service::TraceStage::kDecode,
+                                          decode_counters);
+          }
         }
+        // This hook runs on the worker that executed the join, so the
+        // worker's own counter group attributes the response encode.
+        util::StagePerfCounters* worker_perf =
+            service_->options().stage_perf_counters
+                ? service::JoinService::CurrentThreadStageCounters()
+                : nullptr;
+        if (worker_perf != nullptr && !worker_perf->available()) {
+          worker_perf = nullptr;
+        }
+        util::StageCounterSample respond_before{};
+        if (worker_perf != nullptr) respond_before = worker_perf->Read();
         util::WallTimer respond_timer;
         std::vector<uint8_t> frame =
             EncodeJoinResultFrame(request_id, result);
+        const double respond_us = respond_timer.ElapsedSeconds() * 1e6;
+        util::StageCounterSample respond_counters{};
+        if (worker_perf != nullptr) {
+          respond_counters = worker_perf->Read() - respond_before;
+          service_->RecordStageCounters(service::TraceStage::kRespond,
+                                        respond_counters);
+        }
         if (result.trace.enabled) {
           // The respond stage times the encode of the very frame that
           // carries it, so it is patched into the trailer after the fact.
-          PatchRespondStage(&frame, respond_timer.ElapsedSeconds() * 1e6);
+          if (result.trace.counters_enabled) {
+            PatchRespondStageWithCounters(&frame, respond_us,
+                                          respond_counters);
+          } else {
+            PatchRespondStage(&frame, respond_us);
+          }
         }
         admission_.Release(bytes);
         DeliverAsync(t, conn_id, std::move(frame));
@@ -805,6 +904,9 @@ std::vector<std::vector<uint8_t>> EncodePairChunks(
     chunk.pairs.assign(outcome.pairs.begin() + static_cast<ptrdiff_t>(lo),
                        outcome.pairs.begin() + static_cast<ptrdiff_t>(hi));
     if (chunk.last) {
+      // The trace tail rides the last chunk (stream slot still zero; the
+      // caller patches it after timing the encode+post of the stream).
+      chunk.trace = outcome.trace;
       chunk.stats = {.candidate_pairs = outcome.stats.candidate_pairs,
                      .refined_pairs = outcome.stats.refined_pairs,
                      .pruned_pairs = outcome.stats.pruned_pairs,
@@ -842,7 +944,9 @@ void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
                                     std::span<const uint8_t> payload) {
   // Same shape as HandleJoinBatch: shed load first (O(1), no decode),
   // then the knowable-from-the-header a-side check before the admission
-  // knobs, then decode, then the authoritative drain check.
+  // knobs, then decode, then the authoritative drain check. The stage
+  // timer serves the v7 trace; untraced requests pay two clock reads.
+  util::WallTimer stage_timer;
   if (stopping_.load(std::memory_order_acquire)) {
     rejected_stopping_.fetch_add(1, std::memory_order_relaxed);
     QueueResponse(
@@ -872,6 +976,7 @@ void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
                                              ToString(code)));
     return;
   }
+  const double admission_us = stage_timer.ElapsedSeconds() * 1e6;
   JoinDatasetsRequest wire_req;
   if (!DecodeJoinDatasets(payload, &wire_req)) {
     admission_.Release(bytes);  // garbage still burns the rate token
@@ -920,6 +1025,7 @@ void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
     return;
   }
 
+  const double decode_us = stage_timer.ElapsedSeconds() * 1e6 - admission_us;
   const uint64_t conn_id = conn.id;
   const uint64_t request_id = header.request_id;
   const uint16_t dataset_a = header.dataset_id;
@@ -928,6 +1034,7 @@ void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
   req.dataset_b = wire_req.dataset_b;
   req.mode = static_cast<join2::CrossMatchMode>(wire_req.mode);
   req.request_id = request_id;
+  req.trace = wire_req.trace;
   const uint32_t page_size = wire_req.page_size;
   service::SubmitStatus status = matcher_.TryCrossMatchAsync(
       req,
@@ -935,19 +1042,37 @@ void JoinServer::HandleJoinDatasets(int t, IoThread& io, Connection& conn,
       // are posted one DeliverAsync at a time: the owner thread's inbox
       // is FIFO, so the stream arrives in order with nothing interleaved
       // between chunks of one response.
-      [this, t, conn_id, request_id, bytes, dataset_a,
-       page_size](join2::CrossMatchOutcome outcome) {
+      [this, t, conn_id, request_id, bytes, dataset_a, page_size,
+       admission_us, decode_us](join2::CrossMatchOutcome outcome) {
         if (outcome.status != join2::CrossMatchStatus::kOk) {
           admission_.Release(bytes);
           DeliverAsync(t, conn_id,
                        EncodeCrossMatchError(request_id, outcome, dataset_a));
         } else {
+          if (outcome.trace.enabled) {
+            // The matcher filled queue/pin/descend/refine; the front-end
+            // owns the stages on either side of the submit boundary.
+            outcome.trace.at(join2::CrossMatchStage::kAdmission) =
+                admission_us;
+            outcome.trace.at(join2::CrossMatchStage::kDecode) = decode_us;
+          }
+          // The stream stage times the chunk encode + the posts to the
+          // event loop — the cost of shipping the result — and, like the
+          // JOIN_BATCH respond slot, is patched into the frame that
+          // carries it after the fact (all chunks but the last are posted
+          // before the clock is read, so their cost is inside).
+          util::WallTimer stream_timer;
           std::vector<std::vector<uint8_t>> frames =
               EncodePairChunks(request_id, outcome, page_size);
           admission_.Release(bytes);
-          for (auto& frame : frames) {
-            DeliverAsync(t, conn_id, std::move(frame));
+          for (size_t i = 0; i + 1 < frames.size(); ++i) {
+            DeliverAsync(t, conn_id, std::move(frames[i]));
           }
+          if (outcome.trace.enabled) {
+            PatchStreamStage(&frames.back(),
+                             stream_timer.ElapsedSeconds() * 1e6);
+          }
+          DeliverAsync(t, conn_id, std::move(frames.back()));
         }
         {
           // Notify under the lock; see the join hook.
@@ -1321,6 +1446,7 @@ void JoinServer::FlushPendingGap(Connection& conn, uint64_t sub) {
   frame.first_seq = gap.first_skipped_seq;
   frame.last_seq = gap.last_skipped_seq;
   frame.is_gap = true;
+  gap_frames_.fetch_add(1, std::memory_order_relaxed);
   size_t pos = conn.out.size();
   for (size_t i = first_mutable; i < conn.out.size(); ++i) {
     const Connection::OutFrame& f = conn.out[i];
@@ -1364,6 +1490,7 @@ void JoinServer::QueueEvent(IoThread& io, Connection& conn,
       // flushes a marker into conn.out, which would shift index i.
       conn.out.erase(conn.out.begin() + static_cast<ptrdiff_t>(i));
       --conn.event_frames_queued;
+      event_outbox_depth_.fetch_sub(1, std::memory_order_relaxed);
       auto [git, inserted] = conn.pending_gaps.try_emplace(
           dropped_sub, dropped_first, dropped_last);
       if (!inserted) {
@@ -1397,8 +1524,10 @@ void JoinServer::QueueEvent(IoThread& io, Connection& conn,
   frame.sub = sub;
   frame.first_seq = batch.first_seq;
   frame.last_seq = batch.first_seq + batch.events.size() - 1;
+  frame.born_us = uptime_timer_.ElapsedSeconds() * 1e6;
   conn.out.push_back(std::move(frame));
   ++conn.event_frames_queued;
+  event_outbox_depth_.fetch_add(1, std::memory_order_relaxed);
   events_pushed_.fetch_add(batch.events.size(), std::memory_order_relaxed);
   FlushWrites(io, conn);
 }
@@ -1423,6 +1552,11 @@ bool JoinServer::FlushWrites(IoThread& io, Connection& conn) {
         responses_sent_.fetch_add(1, std::memory_order_relaxed);
       } else if (!front.is_gap) {
         --conn.event_frames_queued;  // a droppable event frame left the box
+        event_outbox_depth_.fetch_sub(1, std::memory_order_relaxed);
+        if (event_delivery_lag_us_ != nullptr) {
+          event_delivery_lag_us_->Record(
+              uptime_timer_.ElapsedSeconds() * 1e6 - front.born_us);
+        }
       }
       conn.out.pop_front();
       conn.out_offset = 0;
@@ -1456,7 +1590,12 @@ void JoinServer::CloseConnection(IoThread& io, uint64_t conn_id) {
   auto it = io.conns.find(conn_id);
   if (it == io.conns.end()) return;
   // A dying connection takes its standing queries with it: unregister
-  // them and give their admission bytes back before the fd goes.
+  // them and give their admission bytes back before the fd goes. Event
+  // frames still queued die with the outbox — the depth gauge must not
+  // count ghosts.
+  event_outbox_depth_.fetch_sub(
+      static_cast<int64_t>(it->second->event_frames_queued),
+      std::memory_order_relaxed);
   ReleaseSubscriptions(*it->second);
   // close() removes the fd from the epoll set implicitly.
   io.conns.erase(it);

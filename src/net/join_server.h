@@ -44,6 +44,7 @@
 #include "net/wire.h"
 #include "service/join_service.h"
 #include "service/subscription_matcher.h"
+#include "util/timer.h"
 
 namespace actjoin::net {
 
@@ -89,6 +90,9 @@ struct ServerCounters {
   /// and events discarded by the bounded-outbox overflow policy.
   uint64_t events_pushed = 0;
   uint64_t events_dropped = 0;
+  /// EVENT_GAP markers queued by the overflow policy (v6; each marker may
+  /// cover many dropped events — the count of holes, not their width).
+  uint64_t gap_frames = 0;
 };
 
 class JoinServer {
@@ -261,6 +265,19 @@ class JoinServer {
   /// Push-channel delivery counters (v6); see ServerCounters.
   std::atomic<uint64_t> events_pushed_{0};
   std::atomic<uint64_t> events_dropped_{0};
+  /// EVENT_GAP markers queued (widening an unsent marker in place does
+  /// not count again — the metric counts holes announced, not rewrites).
+  std::atomic<uint64_t> gap_frames_{0};
+  /// EVENT frames currently queued across every connection's outbox (the
+  /// droppable ones), exported as the push-path depth gauge. Decremented
+  /// wherever a frame leaves an outbox: flushed, dropped by the overflow
+  /// policy, or destroyed with its connection.
+  std::atomic<int64_t> event_outbox_depth_{0};
+  /// Per-connection outbox dwell of fully-flushed EVENT frames; null when
+  /// metrics are disabled.
+  util::Histogram* event_delivery_lag_us_ = nullptr;
+  /// Clock for OutFrame birth stamps (delivery-lag measurement).
+  util::WallTimer uptime_timer_;
 };
 
 }  // namespace actjoin::net

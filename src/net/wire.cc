@@ -183,10 +183,14 @@ bool DecodeQueryBatch(std::span<const uint8_t> payload,
 // JoinResult payload:
 //   u64 epoch, f64 queue_wait_ms, f64 service_ms, then act::JoinStats as
 //   8 u64 counters, f64 seconds, u64 counts_len, u64 counts[], then (v4)
-//   u8 traced + u8[3] reserved, and — only when traced — u64 trace
-//   request id + kNumTraceStages f64 stage times in microseconds (stage
-//   order per service::TraceStage; the respond slot is last, written 0 by
-//   the encoder and patched in place via PatchRespondStage).
+//   u8 traced + u8 flags + u16 reserved, and — only when traced — u64
+//   trace request id + kNumTraceStages f64 stage times in microseconds
+//   (stage order per service::TraceStage; the respond slot is last,
+//   written 0 by the encoder and patched in place via PatchRespondStage).
+//   flags bit 0 (v7, traced only): a hardware-counter section follows the
+//   stage times — u8 available + u8[7] reserved, then kNumTraceStages ×
+//   (u64 cycles, u64 instructions, u64 llc_misses); the respond triple is
+//   last and patched via PatchRespondStageWithCounters.
 void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w) {
   w->PutU64(result.epoch);
   w->PutF64(result.queue_wait_ms);
@@ -203,12 +207,22 @@ void AppendJoinResult(const service::JoinResult& result, util::ByteWriter* w) {
   w->PutF64(s.seconds);
   w->PutU64(s.counts.size());
   for (uint64_t c : s.counts) w->PutU64(c);
+  const bool counters = result.trace.enabled && result.trace.counters_enabled;
   w->PutU8(result.trace.enabled ? 1 : 0);
-  w->PutU8(0);
+  w->PutU8(counters ? 1 : 0);
   w->PutU16(0);
   if (result.trace.enabled) {
     w->PutU64(result.trace.request_id);
     for (double us : result.trace.stage_us) w->PutF64(us);
+    if (counters) {
+      w->PutU8(result.trace.counters_available ? 1 : 0);
+      for (int i = 0; i < 7; ++i) w->PutU8(0);
+      for (const util::StageCounterSample& c : result.trace.stage_counters) {
+        w->PutU64(c.cycles);
+        w->PutU64(c.instructions);
+        w->PutU64(c.llc_misses);
+      }
+    }
   }
 }
 
@@ -232,31 +246,47 @@ bool DecodeJoinResult(std::span<const uint8_t> payload,
   if (!r.ok()) return false;
   // Divide, don't multiply: counts_len is attacker-controlled and
   // counts_len * 8 can wrap past the size check into a giant resize. The
-  // v4 trailer after the counts is 4 bytes (traced flag + pad), plus the
-  // trace id and stage array when traced.
+  // v4 trailer after the counts is 4 bytes (traced flag + flags + pad),
+  // plus the trace id and stage array when traced, plus the counter
+  // section when flags bit 0 is set (v7).
   const size_t rem = r.remaining();
   constexpr size_t kTraceBytes = 8 + 8 * service::kNumTraceStages;
+  constexpr size_t kCounterBytes = 8 + 24 * service::kNumTraceStages;
   if (rem < 4 || counts_len > (rem - 4) / 8) return false;
   const size_t counts_bytes = static_cast<size_t>(counts_len) * 8;
-  if (rem != counts_bytes + 4 && rem != counts_bytes + 4 + kTraceBytes) {
-    return false;
-  }
   s.counts.resize(counts_len);
   for (uint64_t i = 0; i < counts_len; ++i) s.counts[i] = r.U64();
   uint8_t traced = r.U8();
-  uint8_t pad8 = r.U8();
+  uint8_t flags = r.U8();
   uint16_t pad16 = r.U16();
-  if (!r.ok() || traced > 1 || pad8 != 0 || pad16 != 0) return false;
+  if (!r.ok() || traced > 1 || flags > 1 || pad16 != 0) return false;
+  // The counter section rides the trace: flags bit 0 without traced is a
+  // conformance error, not a layout this decoder will guess at.
+  if (flags == 1 && traced != 1) return false;
+  const size_t want = counts_bytes + 4 + (traced == 1 ? kTraceBytes : 0) +
+                      (flags == 1 ? kCounterBytes : 0);
+  if (rem != want) return false;
   out->trace = service::TraceContext{};
   if (traced == 1) {
-    if (rem != counts_bytes + 4 + kTraceBytes) return false;
     out->trace.enabled = true;
     out->trace.request_id = r.U64();
     for (double& us : out->trace.stage_us) us = r.F64();
-  } else if (rem != counts_bytes + 4) {
-    return false;
   }
-  return r.AtEnd();
+  if (flags == 1) {
+    uint8_t available = r.U8();
+    if (available > 1) return false;
+    for (int i = 0; i < 7; ++i) {
+      if (r.U8() != 0) return false;
+    }
+    out->trace.counters_enabled = true;
+    out->trace.counters_available = available == 1;
+    for (util::StageCounterSample& c : out->trace.stage_counters) {
+      c.cycles = r.U64();
+      c.instructions = r.U64();
+      c.llc_misses = r.U64();
+    }
+  }
+  return r.ok() && r.AtEnd();
 }
 
 // ServiceStats payload: the struct's fields in declaration order, then the
@@ -480,12 +510,12 @@ bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out) {
   return true;
 }
 
-// JOIN_DATASETS payload: u16 dataset_b, u8 mode, u8 reserved, u32
-// page_size (dataset_a rides the header's dataset_id).
+// JOIN_DATASETS payload: u16 dataset_b, u8 mode, u8 flags (bit 0: trace,
+// v7), u32 page_size (dataset_a rides the header's dataset_id).
 void AppendJoinDatasets(const JoinDatasetsRequest& req, util::ByteWriter* w) {
   w->PutU16(req.dataset_b);
   w->PutU8(req.mode);
-  w->PutU8(0);
+  w->PutU8(req.trace ? 1 : 0);
   w->PutU32(req.page_size);
 }
 
@@ -494,19 +524,25 @@ bool DecodeJoinDatasets(std::span<const uint8_t> payload,
   util::ByteReader r(payload);
   out->dataset_b = r.U16();
   out->mode = r.U8();
-  uint8_t pad8 = r.U8();
+  uint8_t flags = r.U8();
   out->page_size = r.U32();
+  out->trace = (flags & 1) != 0;
   // mode is an enum on the wire: reject unknown values instead of letting
-  // a future client silently run the wrong predicate.
-  return r.ok() && r.AtEnd() && pad8 == 0 && out->mode <= 1;
+  // a future client silently run the wrong predicate. Same for unknown
+  // flag bits — a client asking for an extension this server does not
+  // speak must fail typed.
+  return r.ok() && r.AtEnd() && (flags & ~uint8_t{1}) == 0 && out->mode <= 1;
 }
 
-// PAIR_RESULT payload: u32 chunk_index, u8 flags (bit 0: last), u8[3]
-// reserved, u64 total_pairs, u32 num_pairs, num_pairs x (u32, u32), then
-// on the last chunk the stats tail.
+// PAIR_RESULT payload: u32 chunk_index, u8 flags (bit 0: last; bit 1:
+// traced, v7, last-chunk-only), u8[3] reserved, u64 total_pairs, u32
+// num_pairs, num_pairs x (u32, u32), then on the last chunk the stats
+// tail, then when traced the trace tail (u64 trace request id +
+// kNumCrossMatchStages f64 stage micros, stream slot last).
 void AppendPairChunk(const PairChunk& chunk, util::ByteWriter* w) {
+  const bool traced = chunk.last && chunk.trace.enabled;
   w->PutU32(chunk.chunk_index);
-  w->PutU8(chunk.last ? 1 : 0);
+  w->PutU8(static_cast<uint8_t>((chunk.last ? 1 : 0) | (traced ? 2 : 0)));
   w->PutU8(0);
   w->PutU16(0);
   w->PutU64(chunk.total_pairs);
@@ -527,6 +563,10 @@ void AppendPairChunk(const PairChunk& chunk, util::ByteWriter* w) {
     w->PutF64(s.service_us);
     w->PutF64(s.queue_wait_us);
   }
+  if (traced) {
+    w->PutU64(chunk.trace.request_id);
+    for (double us : chunk.trace.stage_us) w->PutF64(us);
+  }
 }
 
 bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out) {
@@ -537,13 +577,19 @@ bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out) {
   uint16_t pad16 = r.U16();
   out->total_pairs = r.U64();
   uint32_t n = r.U32();
-  if (!r.ok() || pad8 != 0 || pad16 != 0 || (flags & ~uint8_t{1}) != 0) {
+  if (!r.ok() || pad8 != 0 || pad16 != 0 || (flags & ~uint8_t{3}) != 0) {
     return false;
   }
   out->last = (flags & 1) != 0;
+  const bool traced = (flags & 2) != 0;
+  // The trace tail rides the stats tail: a traced non-last chunk is a
+  // conformance error.
+  if (traced && !out->last) return false;
+  constexpr size_t kCrossTraceBytes = 8 + 8 * join2::kNumCrossMatchStages;
   // Forged-count bound: the pair array must fit what is actually left
   // (divide, don't multiply — n * 8 could wrap).
-  const size_t tail = out->last ? 64 : 0;  // stats block on the last chunk
+  const size_t tail =
+      (out->last ? 64 : 0) + (traced ? kCrossTraceBytes : 0);
   if (r.remaining() < tail || (r.remaining() - tail) / 8 < n ||
       (r.remaining() - tail) != static_cast<size_t>(n) * 8) {
     return false;
@@ -567,6 +613,12 @@ bool DecodePairChunk(std::span<const uint8_t> payload, PairChunk* out) {
     s.service_us = r.F64();
     s.queue_wait_us = r.F64();
     if (pad32 != 0) return false;
+  }
+  out->trace = join2::CrossMatchTrace{};
+  if (traced) {
+    out->trace.enabled = true;
+    out->trace.request_id = r.U64();
+    for (double& us : out->trace.stage_us) us = r.F64();
   }
   return r.ok() && r.AtEnd();
 }
@@ -932,7 +984,8 @@ std::vector<uint8_t> EncodeJoinDatasetsFrame(uint64_t request_id,
 std::vector<uint8_t> EncodePairChunkFrame(uint64_t request_id,
                                           const PairChunk& chunk) {
   util::ByteWriter w(kFrameHeaderBytes + 20 + chunk.pairs.size() * 8 +
-                     (chunk.last ? 64 : 0));
+                     (chunk.last ? 64 : 0) +
+                     (chunk.last && chunk.trace.enabled ? 64 : 0));
   BeginFrame(&w, MessageType::kPairResult, request_id);
   AppendPairChunk(chunk, &w);
   return FinishFrame(std::move(w));
@@ -1017,16 +1070,55 @@ std::vector<uint8_t> EncodeMetricsReportFrame(uint64_t request_id,
   return FinishFrame(std::move(w));
 }
 
+namespace {
+
+// In-place little-endian writes into an already-encoded frame — the same
+// encoding as ByteWriter::PutF64 / PutU64.
+void PatchF64At(std::vector<uint8_t>* frame, size_t tail_offset,
+                double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  uint8_t* p = frame->data() + frame->size() - tail_offset;
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(bits >> (8 * i));
+}
+
+void PatchU64At(std::vector<uint8_t>* frame, size_t tail_offset,
+                uint64_t bits) {
+  uint8_t* p = frame->data() + frame->size() - tail_offset;
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(bits >> (8 * i));
+}
+
+}  // namespace
+
 void PatchRespondStage(std::vector<uint8_t>* frame, double respond_us) {
   // The respond slot is the trace array's last f64, which AppendJoinResult
-  // writes last — so it sits in the frame's final 8 bytes. Same encoding
-  // as ByteWriter::PutF64: IEEE bits, little-endian.
+  // writes last — so it sits in the frame's final 8 bytes.
   ACT_CHECK_MSG(frame->size() >= kFrameHeaderBytes + 8,
                 "PatchRespondStage on a non-traced frame");
-  uint64_t bits;
-  std::memcpy(&bits, &respond_us, sizeof(bits));
-  uint8_t* p = frame->data() + frame->size() - 8;
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(bits >> (8 * i));
+  PatchF64At(frame, 8, respond_us);
+}
+
+void PatchRespondStageWithCounters(std::vector<uint8_t>* frame,
+                                   double respond_us,
+                                   const util::StageCounterSample& respond) {
+  // Counter-section layout puts 8 header bytes + kNumTraceStages triples
+  // after the stage doubles: the respond f64 sits kCounterBytes + 8 from
+  // the end, and the respond triple occupies the final 24 bytes.
+  constexpr size_t kCounterBytes = 8 + 24 * service::kNumTraceStages;
+  ACT_CHECK_MSG(frame->size() >= kFrameHeaderBytes + kCounterBytes + 8,
+                "PatchRespondStageWithCounters on a counter-less frame");
+  PatchF64At(frame, kCounterBytes + 8, respond_us);
+  PatchU64At(frame, 24, respond.cycles);
+  PatchU64At(frame, 16, respond.instructions);
+  PatchU64At(frame, 8, respond.llc_misses);
+}
+
+void PatchStreamStage(std::vector<uint8_t>* frame, double stream_us) {
+  // The stream slot is the crossmatch trace array's last f64, which
+  // AppendPairChunk writes last on a traced last chunk.
+  ACT_CHECK_MSG(frame->size() >= kFrameHeaderBytes + 8,
+                "PatchStreamStage on a non-traced chunk");
+  PatchF64At(frame, 8, stream_us);
 }
 
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,

@@ -64,6 +64,21 @@
 // events pushed/dropped). Clients must treat request_id-0 frames as
 // out-of-band: a pipelined demultiplexer routes them by subscription id,
 // never to a request slot.
+// v7 is the profiling-plane release. A traced JOIN_RESULT may carry an
+// optional hardware-counter section: the reserved u8 after the traced flag
+// became a flags byte (bit 0: counters present, only valid when traced)
+// and, when set, the trace is followed by a per-stage counter block — u8
+// available + u8[7] reserved, then kNumTraceStages × (u64 cycles, u64
+// instructions, u64 llc_misses). `available` 0 means perf_event_open was
+// denied and the deltas are all zero (the section still frames
+// identically, so clients need no second code path). JOIN_DATASETS gained
+// a trace flag (the reserved u8 became flags, bit 0: trace), answered on
+// the *last* PAIR_RESULT chunk by a trace tail (flags bit 1) after the
+// stats block: u64 trace request id + kNumCrossMatchStages f64 stage
+// times in microseconds (admission, decode, queue, pin, descend, refine,
+// stream — the stream slot is patched at delivery, like JOIN_BATCH's
+// respond slot). An untraced v7 stream is byte-identical to v6 behind the
+// version byte.
 
 #ifndef ACTJOIN_NET_WIRE_H_
 #define ACTJOIN_NET_WIRE_H_
@@ -75,17 +90,19 @@
 #include <vector>
 
 #include "geometry/polygon.h"
+#include "join2/cross_match_trace.h"
 #include "service/join_service.h"
 #include "service/service_stats.h"
 #include "service/slow_query_log.h"
 #include "service/subscription_matcher.h"
 #include "util/byte_io.h"
 #include "util/metrics.h"
+#include "util/perf_counters.h"
 
 namespace actjoin::net {
 
 inline constexpr uint32_t kWireMagic = 0x4A544341;  // "ACTJ"
-inline constexpr uint8_t kWireVersion = 6;
+inline constexpr uint8_t kWireVersion = 7;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on one frame (header + payload); a JOIN_BATCH point costs
 /// 24 payload bytes, so this admits ~2.7 M points per batch.
@@ -268,7 +285,8 @@ bool DecodeMutationAck(std::span<const uint8_t> payload, MutationAck* out);
 // --- JOIN_DATASETS / PAIR_RESULT (v5) --------------------------------------
 
 /// JOIN_DATASETS payload (dataset_a travels in the header's dataset_id):
-/// u16 dataset_b, u8 mode, u8 reserved (must be 0), u32 page_size.
+/// u16 dataset_b, u8 mode, u8 flags (bit 0: trace, v7; other bits must be
+/// 0), u32 page_size.
 struct JoinDatasetsRequest {
   uint16_t dataset_b = 0;
   /// join2::CrossMatchMode on the wire: 0 intersects, 1 contains. Decode
@@ -278,6 +296,8 @@ struct JoinDatasetsRequest {
   /// (kDefaultPairPageSize). The server clamps, never rejects, a large
   /// value — page size shapes framing, not semantics.
   uint32_t page_size = 0;
+  /// Request the per-stage breakdown on the last PAIR_RESULT chunk (v7).
+  bool trace = false;
 
   friend bool operator==(const JoinDatasetsRequest&,
                          const JoinDatasetsRequest&) = default;
@@ -301,12 +321,16 @@ struct PairChunkStats {
 };
 
 /// One PAIR_RESULT chunk. Payload layout: u32 chunk_index, u8 flags
-/// (bit 0: last), u8[3] reserved (must be 0), u64 total_pairs (of the
-/// whole result, identical in every chunk), u32 num_pairs, then num_pairs
-/// × (u32 a, u32 b), then — on the last chunk only — the PairChunkStats
-/// tail (three u64, u32 + u32 reserved, two u64, two f64). Pairs arrive
-/// in the result's sorted order, split at page boundaries; an empty
-/// result is one last-flagged chunk with zero pairs.
+/// (bit 0: last; bit 1: traced, v7, last-chunk-only), u8[3] reserved
+/// (must be 0), u64 total_pairs (of the whole result, identical in every
+/// chunk), u32 num_pairs, then num_pairs × (u32 a, u32 b), then — on the
+/// last chunk only — the PairChunkStats tail (three u64, u32 + u32
+/// reserved, two u64, two f64), then — when traced — the trace tail:
+/// u64 trace request id + kNumCrossMatchStages f64 stage times in
+/// microseconds (the stream slot last, patched in place at delivery via
+/// PatchStreamStage). Pairs arrive in the result's sorted order, split at
+/// page boundaries; an empty result is one last-flagged chunk with zero
+/// pairs.
 struct PairChunk {
   uint32_t chunk_index = 0;
   bool last = false;
@@ -314,6 +338,9 @@ struct PairChunk {
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
   /// Meaningful only when `last` is set; default elsewhere.
   PairChunkStats stats;
+  /// Stage breakdown (v7); enabled only on the last chunk of a traced
+  /// JOIN_DATASETS stream.
+  join2::CrossMatchTrace trace;
 
   friend bool operator==(const PairChunk&, const PairChunk&) = default;
 };
@@ -471,6 +498,20 @@ bool DecodeGetMetrics(std::span<const uint8_t> payload, MetricsFormat* format);
 /// before handing the frame to the event loop. No-op contract: only call
 /// on a frame built by EncodeJoinResultFrame from a trace-enabled result.
 void PatchRespondStage(std::vector<uint8_t>* frame, double respond_us);
+/// The counter-section variant (v7): on a traced frame carrying the
+/// hardware-counter section, the respond f64 sits before the 176-byte
+/// counter block, and the respond stage's own counter triple is the
+/// block's last 24 bytes — both unknowable while the frame is being
+/// encoded, so the server patches the measured values here. Only call on
+/// a frame built from a trace-enabled result with counters_enabled.
+void PatchRespondStageWithCounters(std::vector<uint8_t>* frame,
+                                   double respond_us,
+                                   const util::StageCounterSample& respond);
+/// JOIN_DATASETS analogue: overwrites the stream-stage slot (the last f64
+/// of a traced last PAIR_RESULT chunk) just before the frame is handed to
+/// the event loop. Only call on a frame built by EncodePairChunkFrame
+/// from a last chunk with trace.enabled.
+void PatchStreamStage(std::vector<uint8_t>* frame, double stream_us);
 std::vector<uint8_t> EncodeErrorFrame(uint64_t request_id, WireError code,
                                       std::string_view message);
 /// PING / PONG / STATS / SHUTDOWN / SHUTDOWN_ACK carry no payload.

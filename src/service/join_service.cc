@@ -16,6 +16,12 @@ int ResolveWorkers(int requested) {
   return requested <= 0 ? util::DefaultThreadCount() : requested;
 }
 
+/// The calling worker's stage-attribution counter group. Set for the
+/// worker thread's lifetime by WorkerLoop when stage_perf_counters is on;
+/// the completion hooks the network front-end installs run on the same
+/// thread, which is how they reach the group for the respond stage.
+thread_local util::StagePerfCounters* tls_stage_perf = nullptr;
+
 std::future<JoinResult> FailedFuture(const char* what) {
   std::promise<JoinResult> p;
   p.set_exception(std::make_exception_ptr(std::runtime_error(what)));
@@ -170,6 +176,61 @@ void JoinService::RegisterMetrics() {
         return out;
       });
   if (cell_cache_ != nullptr) cell_cache_->RegisterMetrics(r);
+  if (opts_.stage_perf_counters) {
+    for (int i = 0; i < kNumTraceStages; ++i) {
+      const auto s = static_cast<TraceStage>(i);
+      // A queued request burns no attributable CPU; the stage exists on
+      // the wire (zeros) but gets no histogram series.
+      if (s == TraceStage::kQueue) continue;
+      const std::string labels =
+          std::string("stage=\"") + TraceStageName(s) + "\"";
+      stage_cycles_hist_[i] = r->GetHistogram(
+          "stage_cycles",
+          "CPU cycles per request per serving stage (raw counts; the "
+          "exposition's seconds scaling makes buckets 1e-6 of the count)",
+          labels);
+      stage_instructions_hist_[i] = r->GetHistogram(
+          "stage_instructions",
+          "Instructions retired per request per serving stage (raw counts)",
+          labels);
+      stage_llc_hist_[i] = r->GetHistogram(
+          "stage_llc_misses",
+          "Last-level cache misses per request per serving stage (raw counts)",
+          labels);
+    }
+  }
+}
+
+JoinService::StagePerfTotals JoinService::StagePerfSnapshot() const {
+  StagePerfTotals out;
+  out.enabled = opts_.stage_perf_counters;
+  out.available = stage_perf_available_.load(std::memory_order_acquire);
+  for (int i = 0; i < kNumTraceStages; ++i) {
+    const StageCounterTotals& t = stage_perf_totals_[i];
+    out.stage[i].cycles = t.cycles.load(std::memory_order_relaxed);
+    out.stage[i].instructions = t.instructions.load(std::memory_order_relaxed);
+    out.stage[i].llc_misses = t.llc_misses.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+util::StagePerfCounters* JoinService::CurrentThreadStageCounters() {
+  return tls_stage_perf;
+}
+
+void JoinService::RecordStageCounters(TraceStage stage,
+                                      const util::StageCounterSample& delta) {
+  const int i = static_cast<int>(stage);
+  StageCounterTotals& t = stage_perf_totals_[i];
+  t.cycles.fetch_add(delta.cycles, std::memory_order_relaxed);
+  t.instructions.fetch_add(delta.instructions, std::memory_order_relaxed);
+  t.llc_misses.fetch_add(delta.llc_misses, std::memory_order_relaxed);
+  if (stage_cycles_hist_[i] != nullptr) {
+    stage_cycles_hist_[i]->Record(static_cast<double>(delta.cycles));
+    stage_instructions_hist_[i]->Record(
+        static_cast<double>(delta.instructions));
+    stage_llc_hist_[i]->Record(static_cast<double>(delta.llc_misses));
+  }
 }
 
 void JoinService::AppendEvent(std::string kind, std::string subject,
@@ -489,7 +550,21 @@ ServiceStats JoinService::Stats() const {
 }
 
 void JoinService::WorkerLoop(int worker_id) {
+  // Per-thread counter group, opened once on the worker itself (perf
+  // events with pid=0 count the opening thread). Unavailable groups stay
+  // owned anyway: availability is per-open, and the request path checks.
+  std::unique_ptr<util::StagePerfCounters> stage_perf;
+  if (opts_.stage_perf_counters) {
+    stage_perf = std::make_unique<util::StagePerfCounters>(
+        util::StagePerfCounters::Options{
+            .simulate_denied = opts_.stage_perf_simulate_denied});
+    tls_stage_perf = stage_perf.get();
+    if (stage_perf->available()) {
+      stage_perf_available_.store(true, std::memory_order_release);
+    }
+  }
   while (auto req = queue_.Pop()) Execute(**req, worker_id);
+  tls_stage_perf = nullptr;
 }
 
 namespace {
@@ -628,18 +703,32 @@ void JoinService::Execute(Request& req, int worker_id) {
   act::JoinInput input{req.batch.cell_ids, req.batch.points};
   ShardedIndex::JoinPhaseTimes phases;
   const bool traced = req.batch.trace;
+  // Stage attribution reads this worker's counter group at the phase
+  // boundaries for *every* request (the histograms want the fleet, not
+  // just traced requests); the deltas ride the wire only when traced.
+  const util::StagePerfCounters* stage_perf =
+      opts_.stage_perf_counters ? tls_stage_perf : nullptr;
+  const bool want_phases = traced || stage_perf != nullptr;
   if (cell_cache_ != nullptr) {
+    const bool count_stages = stage_perf != nullptr && stage_perf->available();
+    util::StageCounterSample before;
+    if (count_stages) before = stage_perf->Read();
     result.stats = CachedJoin(*snapshot, input, req.batch.mode,
                               req.batch.dataset_id, result.epoch);
     // The cached path interleaves lookup/probe/count per point; there is
     // no decompose/merge boundary to time, so its whole wall is probe.
     if (traced) phases.probe_us = result.stats.seconds * 1e6;
+    if (count_stages) {
+      phases.probe_counters = stage_perf->Read() - before;
+      phases.counters_valid = true;
+    }
   } else {
     // With a shared pool the join's task units drain through it (and this
     // worker helps); otherwise the executor is threads_per_join wide.
     result.stats =
         snapshot->Join(input, {req.batch.mode, opts_.threads_per_join},
-                       join_pool_.get(), traced ? &phases : nullptr);
+                       join_pool_.get(), want_phases ? &phases : nullptr,
+                       stage_perf);
   }
   result.queue_wait_ms = queue_wait_ms;
   result.service_ms = service_timer.ElapsedMillis();
@@ -657,6 +746,20 @@ void JoinService::Execute(Request& req, int worker_id) {
                             phases.probe_us - phases.merge_us;
     result.trace.at(TraceStage::kMerge) =
         phases.merge_us + (leftover > 0 ? leftover : 0);
+    if (opts_.stage_perf_counters) {
+      result.trace.counters_enabled = true;
+      result.trace.counters_available = phases.counters_valid;
+      if (phases.counters_valid) {
+        result.trace.counters(TraceStage::kDecompose) = phases.route_counters;
+        result.trace.counters(TraceStage::kProbe) = phases.probe_counters;
+        result.trace.counters(TraceStage::kMerge) = phases.merge_counters;
+      }
+    }
+  }
+  if (phases.counters_valid) {
+    RecordStageCounters(TraceStage::kDecompose, phases.route_counters);
+    RecordStageCounters(TraceStage::kProbe, phases.probe_counters);
+    RecordStageCounters(TraceStage::kMerge, phases.merge_counters);
   }
 
   stats_.RecordServed(worker_id, queue_wait_ms * 1e3, result.service_ms * 1e3,

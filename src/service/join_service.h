@@ -100,6 +100,21 @@ struct ServiceOptions {
   /// time, always on) and of the structured event ring.
   size_t slow_query_log_capacity = 32;
   size_t event_log_capacity = 256;
+  /// Opt-in hardware-counter stage attribution: every worker thread opens
+  /// one per-thread util::StagePerfCounters group (cycles / instructions /
+  /// LLC misses) at loop entry, and each request's decompose/probe/merge
+  /// stages charge counter deltas read at the existing phase boundaries —
+  /// one group read() per boundary, so the hot-path cost stays inside the
+  /// bench smoke's 5% gate. Traced requests carry the per-stage deltas
+  /// inline in the wire response's trace block; every request (traced or
+  /// not) feeds the stage_cycles / stage_instructions / stage_llc_misses
+  /// registry histograms and the /statusz totals. When the kernel denies
+  /// perf_event_open the mode degrades to all-zero deltas flagged
+  /// unavailable — never fabricated numbers.
+  bool stage_perf_counters = false;
+  /// Test seam: force the denied-open fallback even where perf works (see
+  /// util::StagePerfCounters::Options::simulate_denied).
+  bool stage_perf_simulate_denied = false;
 };
 
 /// Typed verdict of a non-blocking submit. Everything except kAccepted is
@@ -309,6 +324,29 @@ class JoinService {
   /// (TryRunAsync) and want their requests ranked with everything else.
   void RecordSlowQuery(const SlowQuery& q) { slow_queries_.Record(q); }
 
+  /// Stage-attribution snapshot for /statusz: whether the mode is on,
+  /// whether any worker actually opened its counter group, and per-stage
+  /// totals accumulated across all workers since start.
+  struct StagePerfTotals {
+    bool enabled = false;
+    bool available = false;
+    std::array<util::StageCounterSample, kNumTraceStages> stage{};
+  };
+  StagePerfTotals StagePerfSnapshot() const;
+
+  /// The per-thread counter group of the calling service worker; null off
+  /// the workers or when stage_perf_counters is off. The network
+  /// front-end's completion hooks — which run on the executing worker —
+  /// use it to attribute the respond stage (encode + delivery handoff).
+  static util::StagePerfCounters* CurrentThreadStageCounters();
+
+  /// Adds one stage's counter delta to the totals and the registry
+  /// histograms. The worker path charges decompose/probe/merge through
+  /// this; the network front-end charges admission/decode/respond (its
+  /// stages run on its own threads, with their own per-thread groups).
+  void RecordStageCounters(TraceStage stage,
+                           const util::StageCounterSample& delta);
+
   /// The shared join pool (null when ServiceOptions.shared_pool_workers
   /// is 0). Tasks run via TryRunAsync may pass it to parallel executors;
   /// it must never be used from *inside* one of its own pool tasks.
@@ -383,6 +421,18 @@ class JoinService {
   ServiceStatsRecorder stats_;
   std::unique_ptr<util::MetricsRegistry> metrics_;     // null when disabled
   SlowQueryLog slow_queries_;
+  /// Stage-attribution accumulators (relaxed adds on the worker path) and
+  /// cached histogram instruments (null when metrics or the mode is off).
+  struct StageCounterTotals {
+    std::atomic<uint64_t> cycles{0};
+    std::atomic<uint64_t> instructions{0};
+    std::atomic<uint64_t> llc_misses{0};
+  };
+  std::array<StageCounterTotals, kNumTraceStages> stage_perf_totals_{};
+  std::atomic<bool> stage_perf_available_{false};
+  std::array<util::Histogram*, kNumTraceStages> stage_cycles_hist_{};
+  std::array<util::Histogram*, kNumTraceStages> stage_instructions_hist_{};
+  std::array<util::Histogram*, kNumTraceStages> stage_llc_hist_{};
   /// Index == dataset id, same reservation discipline as ServiceCatalog.
   std::vector<std::unique_ptr<DatasetCounters>> dataset_counters_;
   std::atomic<SubscriptionMatcher*> subscriptions_{nullptr};

@@ -365,8 +365,16 @@ void RunTasks(size_t num_tasks, int budget, util::WorkStealingPool* pool,
 act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
                                   const act::JoinOptions& opts,
                                   util::WorkStealingPool* pool,
-                                  JoinPhaseTimes* phases) const {
+                                  JoinPhaseTimes* phases,
+                                  const util::StagePerfCounters* stage_perf) const {
   util::WallTimer timer;
+  // Counter attribution is phase-boundary group reads on this thread; an
+  // unavailable group degrades to counters_valid = false, never to zeros
+  // masquerading as measurements.
+  const bool count_stages =
+      phases != nullptr && stage_perf != nullptr && stage_perf->available();
+  util::StageCounterSample perf_mark;
+  if (count_stages) perf_mark = stage_perf->Read();
   const uint64_t n = input.size();
   act::JoinStats out;
   out.num_points = n;
@@ -390,6 +398,12 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
   const int budget = util::EffectiveWidth(pool, opts.threads);
   std::vector<TaskUnit> tasks = DecomposeBatch(*this, offsets, n, budget);
   if (phases != nullptr) phases->route_us = phase_timer.ElapsedSeconds() * 1e6;
+  if (count_stages) {
+    util::StageCounterSample now = stage_perf->Read();
+    phases->route_counters = now - perf_mark;
+    perf_mark = now;
+    phases->counters_valid = true;
+  }
   std::vector<act::JoinStats> task_stats(tasks.size());
   act::JoinOptions task_opts = opts;
   task_opts.threads = 1;
@@ -402,6 +416,11 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
     task_stats[t] = shards_[u.shard].index->Join(sub, task_opts);
   });
   if (phases != nullptr) phases->probe_us = phase_timer.ElapsedSeconds() * 1e6;
+  if (count_stages) {
+    util::StageCounterSample now = stage_perf->Read();
+    phases->probe_counters = now - perf_mark;
+    perf_mark = now;
+  }
 
   // Deterministic merge: task order is shard-major/range-minor by
   // construction and JoinStats fields are exact integer counters, so the
@@ -422,6 +441,9 @@ act::JoinStats ShardedIndex::Join(const act::JoinInput& input,
     out.sth_points += offsets[s + 1] - offsets[s];
   }
   if (phases != nullptr) phases->merge_us = phase_timer.ElapsedSeconds() * 1e6;
+  if (count_stages) {
+    phases->merge_counters = stage_perf->Read() - perf_mark;
+  }
   out.seconds = timer.ElapsedSeconds();  // includes routing, fair total
   return out;
 }

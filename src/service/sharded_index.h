@@ -46,6 +46,7 @@
 #include "act/pipeline.h"
 #include "geo/grid.h"
 #include "geometry/polygon.h"
+#include "util/perf_counters.h"
 #include "util/work_stealing_pool.h"
 
 namespace actjoin::service {
@@ -143,6 +144,16 @@ class ShardedIndex {
     double route_us = 0;
     double probe_us = 0;
     double merge_us = 0;
+    /// Hardware-counter deltas per phase, from the caller-supplied
+    /// StagePerfCounters group (valid only when `counters_valid`). The
+    /// group counts the *calling* thread, so for a pool-parallel probe the
+    /// probe delta covers this thread's share of the drain — the stealing
+    /// workers' cycles are not attributed (documented limitation; the
+    /// wall/CPU distinction the probe stage time already carries).
+    bool counters_valid = false;
+    util::StageCounterSample route_counters;
+    util::StageCounterSample probe_counters;
+    util::StageCounterSample merge_counters;
   };
 
   /// Routed equivalent of act::PolygonIndex::Join: bucket-sorts the batch
@@ -160,10 +171,14 @@ class ShardedIndex {
   /// of opts.threads for this call.
   ///
   /// A non-null `phases` receives the per-phase wall breakdown; timing is
-  /// three WallTimer reads, so passing it costs nothing measurable.
+  /// three WallTimer reads, so passing it costs nothing measurable. A
+  /// non-null `stage_perf` (an available per-thread group opened by the
+  /// calling thread) additionally fills the phase counter deltas — one
+  /// group read() per phase boundary.
   act::JoinStats Join(const act::JoinInput& input, const act::JoinOptions& opts,
                       util::WorkStealingPool* pool = nullptr,
-                      JoinPhaseTimes* phases = nullptr) const;
+                      JoinPhaseTimes* phases = nullptr,
+                      const util::StagePerfCounters* stage_perf = nullptr) const;
 
   /// The pre-work-stealing executor: shards run concurrently, each owning
   /// a static 1/num_shards slice of the thread budget. Kept as the A/B

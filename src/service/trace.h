@@ -15,6 +15,8 @@
 #include <array>
 #include <cstdint>
 
+#include "util/perf_counters.h"
+
 namespace actjoin::service {
 
 enum class TraceStage : uint8_t {
@@ -50,8 +52,27 @@ struct TraceContext {
   /// Wall time spent in each stage, microseconds, indexed by TraceStage.
   std::array<double, kNumTraceStages> stage_us{};
 
+  /// Hardware-counter attribution (ServiceOptions::stage_perf_counters):
+  /// cycles / instructions / LLC-miss deltas per stage, measured by the
+  /// per-thread StagePerfCounters group of whichever thread ran the stage.
+  /// `counters_enabled` marks the mode on for this request (the wire block
+  /// carries the section); `counters_available` is false when the kernel
+  /// denied perf_event_open — the deltas are then all zero and flagged
+  /// unavailable, never fabricated. kQueue stays zero by construction (a
+  /// queued request burns no CPU anywhere attributable).
+  bool counters_enabled = false;
+  bool counters_available = false;
+  std::array<util::StageCounterSample, kNumTraceStages> stage_counters{};
+
   double& at(TraceStage s) { return stage_us[static_cast<int>(s)]; }
   double at(TraceStage s) const { return stage_us[static_cast<int>(s)]; }
+
+  util::StageCounterSample& counters(TraceStage s) {
+    return stage_counters[static_cast<int>(s)];
+  }
+  const util::StageCounterSample& counters(TraceStage s) const {
+    return stage_counters[static_cast<int>(s)];
+  }
 
   double TotalMicros() const {
     double total = 0;

@@ -1,0 +1,269 @@
+#include "util/cpu_profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+#include <ucontext.h>
+#endif
+
+namespace actjoin::util {
+
+namespace {
+
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+constexpr bool kSupported = true;
+#else
+constexpr bool kSupported = false;
+#endif
+
+// Sample storage: fixed-depth slots claimed with one atomic increment so
+// handlers on different threads never contend on anything but the counter.
+// 16k samples x 32 frames x 8 bytes = 4 MiB, allocated lazily on first use
+// and kept for the process lifetime (a signal handler cannot allocate).
+constexpr int kMaxDepth = 32;
+constexpr int kMaxSamples = 16384;
+
+struct Sample {
+  int32_t depth;
+  uintptr_t pc[kMaxDepth];
+};
+
+Sample* g_samples = nullptr;           // allocated before arming, never freed
+std::atomic<int> g_count{0};           // slots claimed (may overrun kMaxSamples)
+std::atomic<bool> g_armed{false};      // handler captures only while set
+std::atomic<int> g_active{0};          // handlers currently inside capture
+std::atomic<int> g_last_samples{0};    // result of the last completed run
+
+std::mutex& ProfileMutex() {
+  static std::mutex mu;  // serializes ProfileFor: callers queue, never double-arm
+  return mu;
+}
+
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+
+/// Extracts the interrupted PC / frame pointer / stack pointer from the
+/// signal ucontext. Everything here is async-signal-safe: plain loads.
+void ContextRegs(void* uc_raw, uintptr_t* pc, uintptr_t* fp, uintptr_t* sp) {
+  ucontext_t* uc = static_cast<ucontext_t*>(uc_raw);
+#if defined(__x86_64__)
+  *pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  *fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  *sp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+  *pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+  *fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+  *sp = static_cast<uintptr_t>(uc->uc_mcontext.sp);
+#endif
+}
+
+/// SIGPROF handler. Claims one sample slot and walks the frame-pointer
+/// chain of the interrupted thread. Every dereference is guarded by
+/// monotonicity + window checks against the stack pointer, so a frame
+/// built without a frame pointer ends the walk instead of faulting.
+void ProfilerSignalHandler(int, siginfo_t*, void* uc_raw) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  g_active.fetch_add(1, std::memory_order_acq_rel);
+  // Re-check under the active guard: Stop() clears armed first, then waits
+  // for active to drain, so a capture that passes this check finishes
+  // before the ring is read.
+  if (!g_armed.load(std::memory_order_acquire) || g_samples == nullptr) {
+    g_active.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  int saved_errno = errno;
+
+  int idx = g_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx < kMaxSamples) {
+    uintptr_t pc = 0, fp = 0, sp = 0;
+    ContextRegs(uc_raw, &pc, &fp, &sp);
+    Sample& s = g_samples[idx];
+    int depth = 0;
+    if (pc != 0) s.pc[depth++] = pc;
+    // Frame layout on both ABIs: [saved fp][return address] at *fp.
+    // Bound the walk to an 8 MiB window above sp (default thread stacks)
+    // and require strict monotonic growth so a cycle cannot spin forever.
+    const uintptr_t limit = sp + (8u << 20);
+    uintptr_t frame = fp;
+    while (depth < kMaxDepth && frame >= sp && frame < limit &&
+           (frame & 0x7) == 0) {
+      const uintptr_t* slot = reinterpret_cast<const uintptr_t*>(frame);
+      uintptr_t next = slot[0];
+      uintptr_t ret = slot[1];
+      if (ret < 0x1000) break;  // not a plausible code address
+      s.pc[depth++] = ret;
+      if (next <= frame) break;  // must move up the stack
+      frame = next;
+    }
+    s.depth = depth;
+  }
+
+  errno = saved_errno;
+  g_active.fetch_sub(1, std::memory_order_release);
+}
+
+void InstallHandlerOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = ProfilerSignalHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGPROF, &sa, nullptr);
+  });
+}
+
+/// Best-effort symbol name for a return address. Uses pc-1 so a call at
+/// the end of a function doesn't attribute to the function after it.
+std::string Symbolize(uintptr_t pc) {
+  Dl_info info;
+  if (dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name = (status == 0 && demangled) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Collapsed format separates frames with ';' and ends with " count";
+    // scrub both from the name so downstream parsers don't mis-split.
+    for (char& c : name) {
+      if (c == ';' || c == ' ') c = '_';
+    }
+    return name;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR, pc);
+  return buf;
+}
+
+#endif  // supported platform
+
+}  // namespace
+
+bool CpuProfiler::Supported() { return kSupported; }
+
+int CpuProfiler::last_sample_count() {
+  return g_last_samples.load(std::memory_order_acquire);
+}
+
+std::string CpuProfiler::ProfileFor(double seconds, const Options& opts) {
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+  seconds = std::clamp(seconds, 0.05, 120.0);
+  const int hz = std::clamp(opts.hz, 1, 4000);
+
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  InstallHandlerOnce();
+  if (g_samples == nullptr) g_samples = new Sample[kMaxSamples];
+
+  g_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = std::max(1, 1000000 / hz);
+  timer.it_value = timer.it_interval;
+  setitimer(ITIMER_PROF, &timer, nullptr);
+
+  // Sleep out the window. ITIMER_PROF only ticks while the process burns
+  // CPU, so this thread sleeping costs nothing; SA_RESTART means our own
+  // nanosleep is restarted if a sample lands on this thread anyway —
+  // hence the absolute-deadline loop.
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += static_cast<time_t>(seconds);
+  deadline.tv_nsec +=
+      static_cast<long>((seconds - static_cast<time_t>(seconds)) * 1e9);
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1000000000L;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr) ==
+         EINTR) {
+  }
+
+  // Disarm: stop the timer, forbid new captures, then wait for handlers
+  // already past the armed check to finish writing their slots. The
+  // acquire loads pair with the handler's releasing fetch_sub, making
+  // every slot write visible below.
+  std::memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  while (g_active.load(std::memory_order_acquire) != 0) {
+    timespec ts{0, 100000};  // 100us
+    nanosleep(&ts, nullptr);
+  }
+
+  const int captured = std::min(g_count.load(std::memory_order_relaxed),
+                                kMaxSamples);
+  g_last_samples.store(captured, std::memory_order_release);
+
+  // Aggregate identical stacks, then symbolize each distinct PC once.
+  std::map<std::vector<uintptr_t>, int> stacks;
+  for (int i = 0; i < captured; ++i) {
+    const Sample& s = g_samples[i];
+    if (s.depth <= 0) continue;
+    std::vector<uintptr_t> key(s.pc, s.pc + s.depth);
+    ++stacks[key];
+  }
+  std::unordered_map<uintptr_t, std::string> names;
+  for (const auto& [key, _] : stacks) {
+    for (uintptr_t pc : key) {
+      if (!names.count(pc)) names.emplace(pc, Symbolize(pc));
+    }
+  }
+
+  struct Line {
+    std::string text;
+    int count;
+  };
+  std::vector<Line> lines;
+  lines.reserve(stacks.size());
+  for (const auto& [key, count] : stacks) {
+    // Samples are stored leaf-first (pc[0] is the interrupted address);
+    // collapsed format wants root-first with the leaf last.
+    std::string text;
+    for (auto it = key.rbegin(); it != key.rend(); ++it) {
+      if (!text.empty()) text += ';';
+      text += names[*it];
+    }
+    text += ' ';
+    text += std::to_string(count);
+    lines.push_back({std::move(text), count});
+  }
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.text < b.text;
+  });
+
+  std::string out;
+  for (const Line& l : lines) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+#else
+  (void)seconds;
+  (void)opts;
+  return std::string();
+#endif
+}
+
+}  // namespace actjoin::util

@@ -1,0 +1,64 @@
+// Sampling CPU profiler for the admin plane's /profilez endpoint.
+//
+// ITIMER_PROF arms a SIGPROF that fires against whichever thread is
+// burning CPU; the async-signal-safe handler walks frame pointers from the
+// interrupted context into a preallocated ring of raw PCs (no allocation,
+// no locks, errno preserved). Stop disarms the timer, waits for in-flight
+// handlers to drain, then symbolizes off-signal (dladdr + demangle) and
+// aggregates identical stacks into collapsed-stack lines —
+// "root;caller;leaf count" — the format flamegraph.pl and speedscope eat
+// directly.
+//
+// The walk needs frame pointers: the build compiles everything with
+// -fno-omit-frame-pointer, and CMAKE_ENABLE_EXPORTS (-rdynamic) puts the
+// binary's own functions in the dynamic symbol table so dladdr can name
+// them. PCs that still don't resolve render as raw hex rather than being
+// dropped, so a stack is never silently shortened.
+//
+// Concurrency contract (the admin server relies on it): ProfileFor
+// serializes on a process-wide mutex — concurrent /profilez requests
+// queue, they never double-arm the timer. The SIGPROF handler is
+// installed once and never restored: SIGPROF's default action terminates
+// the process, so uninstalling while one last timer tick is in flight
+// would turn a benign late signal into a kill. A disarmed handler returns
+// immediately.
+
+#ifndef ACTJOIN_UTIL_CPU_PROFILER_H_
+#define ACTJOIN_UTIL_CPU_PROFILER_H_
+
+#include <string>
+
+namespace actjoin::util {
+
+class CpuProfiler {
+ public:
+  struct Options {
+    /// Sampling frequency. 200 Hz ≈ 0.5% overhead on a busy process and
+    /// enough samples for a 1-second window to show the hot path.
+    int hz = 200;
+  };
+
+  /// True when SIGPROF sampling with a frame-pointer walk works on this
+  /// platform (Linux on x86-64 / aarch64).
+  static bool Supported();
+
+  /// Samples the whole process for `seconds` (clamped to [0.05, 120]) and
+  /// returns collapsed-stack text, one "frame;frame;leaf count" line per
+  /// distinct stack, highest count first. Empty string when nothing was
+  /// on-CPU during the window (an idle process is a valid answer) or the
+  /// platform is unsupported. Blocks the calling thread for the duration;
+  /// concurrent callers queue on an internal mutex.
+  static std::string ProfileFor(double seconds, const Options& opts);
+  static std::string ProfileFor(double seconds) {
+    return ProfileFor(seconds, Options());
+  }
+
+  /// Total samples captured by the last completed ProfileFor (including
+  /// ones whose walk found only the leaf PC). For tests and /profilez
+  /// headers.
+  static int last_sample_count();
+};
+
+}  // namespace actjoin::util
+
+#endif  // ACTJOIN_UTIL_CPU_PROFILER_H_

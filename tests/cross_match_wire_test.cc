@@ -34,6 +34,7 @@
 #include "net/wire.h"
 #include "service/join_service.h"
 #include "service/sharded_index.h"
+#include "util/timer.h"
 #include "workloads/polygon_gen.h"
 
 namespace actjoin::net {
@@ -139,15 +140,22 @@ TEST(CrossMatchWireCodec, JoinDatasetsRejectsMalformed) {
   extra.push_back(0);
   EXPECT_FALSE(DecodeJoinDatasets(extra, &out));
 
-  // Unknown mode byte (offset 2) and nonzero reserved byte (offset 3).
+  // Unknown mode byte (offset 2) rejects.
   std::vector<uint8_t> bad_mode = good;
   bad_mode[2] = 2;
   EXPECT_FALSE(DecodeJoinDatasets(bad_mode, &out));
   bad_mode[2] = 255;
   EXPECT_FALSE(DecodeJoinDatasets(bad_mode, &out));
-  std::vector<uint8_t> bad_reserved = good;
-  bad_reserved[3] = 1;
-  EXPECT_FALSE(DecodeJoinDatasets(bad_reserved, &out));
+  // Offset 3 is the v7 flags byte: bit 0 requests a stage trace and is
+  // legal; any other bit is an unknown flag and rejects.
+  std::vector<uint8_t> flags = good;
+  flags[3] = 1;
+  ASSERT_TRUE(DecodeJoinDatasets(flags, &out));
+  EXPECT_TRUE(out.trace);
+  flags[3] = 2;
+  EXPECT_FALSE(DecodeJoinDatasets(flags, &out));
+  flags[3] = 255;
+  EXPECT_FALSE(DecodeJoinDatasets(flags, &out));
 }
 
 TEST(CrossMatchWireCodec, PairChunkRoundTrip) {
@@ -162,6 +170,40 @@ TEST(CrossMatchWireCodec, PairChunkRoundTrip) {
     ASSERT_TRUE(DecodePairChunk(w.bytes(), &got));
     EXPECT_EQ(got, chunk);
   }
+}
+
+TEST(CrossMatchWireCodec, PairChunkTraceRoundTrip) {
+  // v7: a traced last chunk carries the stage tail; decode restores every
+  // stage double and the trace's request id exactly.
+  PairChunk chunk = MakeChunk(7, true, 1000, 5);
+  chunk.trace.enabled = true;
+  chunk.trace.request_id = 555;
+  for (int s = 0; s < join2::kNumCrossMatchStages; ++s) {
+    chunk.trace.stage_us[static_cast<size_t>(s)] = 10.5 * (s + 1);
+  }
+  util::ByteWriter w;
+  AppendPairChunk(chunk, &w);
+  PairChunk got;
+  ASSERT_TRUE(DecodePairChunk(w.bytes(), &got));
+  EXPECT_EQ(got, chunk);
+  EXPECT_TRUE(got.trace.enabled);
+  EXPECT_EQ(got.trace.request_id, 555u);
+
+  // The trace rides only the last chunk: a middle chunk's enabled flag is
+  // not encoded, so it decodes back disabled.
+  PairChunk middle = MakeChunk(2, false, 1000, 5);
+  middle.trace.enabled = true;
+  util::ByteWriter wm;
+  AppendPairChunk(middle, &wm);
+  ASSERT_TRUE(DecodePairChunk(wm.bytes(), &got));
+  EXPECT_FALSE(got.trace.enabled);
+
+  // Forged traced-without-last (flags bit 1 alone) rejects typed.
+  util::ByteWriter wf;
+  AppendPairChunk(MakeChunk(2, false, 1000, 5), &wf);
+  std::vector<uint8_t> forged = wf.bytes();
+  forged[4] |= 2;
+  EXPECT_FALSE(DecodePairChunk(forged, &got));
 }
 
 TEST(CrossMatchWireCodec, PairChunkRejectsMalformed) {
@@ -288,6 +330,48 @@ TEST(CrossMatchWireServer, PaginationReassemblesTheSortedStream) {
 
   // Same connection still serves point joins and pings afterwards.
   ASSERT_TRUE(client.Ping(&error)) << error;
+}
+
+TEST(CrossMatchWireServer, TracedCrossMatchStagesTileWallTime) {
+  ServerFixture fx;
+  std::string error;
+  ASSERT_TRUE(fx.Start(&error)) << error;
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(fx.server->host(), fx.server->port(), &error))
+      << error;
+
+  // An untraced request stays v6-shaped: no trace comes back.
+  JoinClient::CrossMatchReply plain =
+      client.CrossMatch(fx.id_a, {.dataset_b = fx.id_b});
+  ASSERT_TRUE(plain.ok) << plain.message;
+  EXPECT_FALSE(plain.trace.enabled);
+
+  util::WallTimer wall;
+  JoinClient::CrossMatchReply reply =
+      client.CrossMatch(fx.id_a, {.dataset_b = fx.id_b, .trace = true});
+  const double wall_us = wall.ElapsedSeconds() * 1e6;
+  ASSERT_TRUE(reply.ok) << reply.message;
+  ASSERT_TRUE(reply.trace.enabled);
+  EXPECT_EQ(reply.pairs, plain.pairs);
+
+  // Every stage is a non-negative duration, the pin/descend/refine core
+  // and the stream patch all ran, and the whole breakdown tiles within
+  // the observed round-trip wall time.
+  double sum = 0;
+  for (int s = 0; s < join2::kNumCrossMatchStages; ++s) {
+    const double us = reply.trace.stage_us[static_cast<size_t>(s)];
+    EXPECT_GE(us, 0.0) << "stage " << s;
+    sum += us;
+  }
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LE(sum, wall_us);
+  EXPECT_DOUBLE_EQ(sum, reply.trace.TotalMicros());
+  using join2::CrossMatchStage;
+  EXPECT_GT(reply.trace.at(CrossMatchStage::kRefine) +
+                reply.trace.at(CrossMatchStage::kDescend) +
+                reply.trace.at(CrossMatchStage::kPin),
+            0.0);
+  EXPECT_GT(reply.trace.at(CrossMatchStage::kStream), 0.0);
 }
 
 TEST(CrossMatchWireServer, TypedRejectsNameTheOffendingSide) {

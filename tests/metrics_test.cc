@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exposition_test_util.h"
 #include "geo/grid.h"
 #include "service/join_service.h"
 #include "service/slow_query_log.h"
@@ -91,46 +92,10 @@ TEST(Metrics, HistogramMatchesLatencyHistogramGeometry) {
   }
 }
 
-// A minimal exposition-format check: every line is a comment or
-// `name{labels} value` with the actjoin_ prefix and a strtod-parsable
-// value that consumes the rest of the line.
-void ExpectParsesAsExposition(const std::string& text) {
-  std::set<std::string> typed;
-  size_t start = 0;
-  while (start < text.size()) {
-    size_t end = text.find('\n', start);
-    ASSERT_NE(end, std::string::npos) << "missing trailing newline";
-    std::string line = text.substr(start, end - start);
-    start = end + 1;
-    if (line.rfind("# TYPE actjoin_", 0) == 0) {
-      std::string rest = line.substr(std::string("# TYPE ").size());
-      size_t sp = rest.find(' ');
-      ASSERT_NE(sp, std::string::npos) << line;
-      std::string kind = rest.substr(sp + 1);
-      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
-          << line;
-      typed.insert(rest.substr(0, sp));
-      continue;
-    }
-    if (line.rfind("# HELP ", 0) == 0) continue;
-    ASSERT_FALSE(line.empty());
-    ASSERT_EQ(line.rfind("actjoin_", 0), 0u) << line;
-    // name[{labels}] value
-    size_t sp = line.rfind(' ');
-    ASSERT_NE(sp, std::string::npos) << line;
-    const std::string value = line.substr(sp + 1);
-    char* parse_end = nullptr;
-    std::strtod(value.c_str(), &parse_end);
-    EXPECT_EQ(*parse_end, '\0') << line;
-    std::string name = line.substr(0, sp);
-    size_t brace = name.find('{');
-    if (brace != std::string::npos) {
-      EXPECT_EQ(name.back(), '}') << line;
-      name = name.substr(0, brace);
-    }
-  }
-  EXPECT_FALSE(typed.empty());
-}
+// The exposition-format grammar check lives in exposition_test_util.h so
+// the admin endpoint's /metrics test validates scrapes with the same
+// parser.
+using actjoin::testutil::ExpectParsesAsExposition;
 
 TEST(Metrics, RenderPrometheusIsValidExposition) {
   MetricsRegistry registry;

@@ -388,6 +388,88 @@ TEST(NetWire, TracedJoinResultRoundTripAndRespondPatch) {
   EXPECT_EQ(got.trace.TotalMicros(), 0.0);
 }
 
+TEST(NetWire, JoinResultCounterSectionRoundTripAndPatch) {
+  // v7: a traced result with stage_perf_counters on carries the hardware
+  // counter section — availability flag plus per-stage cycle /
+  // instruction / LLC-miss triples.
+  service::JoinResult result;
+  result.epoch = 2;
+  result.stats.counts = {3, 1};
+  result.trace.enabled = true;
+  result.trace.request_id = 7;
+  result.trace.at(service::TraceStage::kProbe) = 900.0;
+  result.trace.counters_enabled = true;
+  result.trace.counters_available = true;
+  for (int s = 0; s < service::kNumTraceStages; ++s) {
+    const auto u = static_cast<uint64_t>(s);
+    result.trace.stage_counters[static_cast<size_t>(s)] = {
+        1000 * u + 1, 2000 * u + 2, 30 * u};
+  }
+
+  util::ByteWriter w;
+  AppendJoinResult(result, &w);
+  service::JoinResult got;
+  ASSERT_TRUE(DecodeJoinResult(w.bytes(), &got));
+  EXPECT_EQ(got.trace, result.trace);
+  EXPECT_TRUE(got.trace.counters_available);
+
+  const std::vector<uint8_t> bytes = w.bytes();
+  constexpr size_t kCounterBytes = 8 + 24 * service::kNumTraceStages;
+  constexpr size_t kTraceBytes = 8 + 8 * service::kNumTraceStages;
+  // Truncation anywhere inside the counter section fails typed.
+  for (size_t cut = 1; cut <= kCounterBytes; cut += 11) {
+    std::vector<uint8_t> bad(
+        bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(bytes.size() - cut));
+    EXPECT_FALSE(DecodeJoinResult(bad, &got)) << "cut=" << cut;
+  }
+  // The availability byte admits only 0 / 1, and its 7 pad bytes must be
+  // clean.
+  std::vector<uint8_t> bad = bytes;
+  const size_t avail_at = bytes.size() - kCounterBytes;
+  bad[avail_at] = 2;
+  EXPECT_FALSE(DecodeJoinResult(bad, &got));
+  bad = bytes;
+  bad[avail_at + 3] = 1;
+  EXPECT_FALSE(DecodeJoinResult(bad, &got));
+  // A counter section without a trace block (flags bit set, traced clear)
+  // is malformed: the section is defined as a traced extension.
+  bad = bytes;
+  const size_t traced_at = bytes.size() - kCounterBytes - kTraceBytes - 4;
+  bad[traced_at] = 0;
+  EXPECT_FALSE(DecodeJoinResult(bad, &got));
+
+  // The counter-aware respond patch lands both the f64 stage time and the
+  // respond triple without disturbing anything around them.
+  std::vector<uint8_t> frame = EncodeJoinResultFrame(7, result);
+  PatchRespondStageWithCounters(&frame, 33.25, {111, 222, 3});
+  FrameHeader header;
+  size_t frame_bytes = 0;
+  WireError err = WireError::kNone;
+  ASSERT_EQ(TryParseFrame(frame, kDefaultMaxFrameBytes, &header, &frame_bytes,
+                          &err),
+            FrameParse::kFrame);
+  ASSERT_TRUE(DecodeJoinResult(
+      std::span(frame).subspan(kFrameHeaderBytes, header.payload_bytes),
+      &got));
+  EXPECT_EQ(got.trace.at(service::TraceStage::kRespond), 33.25);
+  const util::StageCounterSample respond =
+      got.trace.counters(service::TraceStage::kRespond);
+  EXPECT_EQ(respond.cycles, 111u);
+  EXPECT_EQ(respond.instructions, 222u);
+  EXPECT_EQ(respond.llc_misses, 3u);
+  EXPECT_EQ(got.trace.counters(service::TraceStage::kProbe),
+            result.trace.counters(service::TraceStage::kProbe));
+
+  // Counters off: the traced result stays byte-identical to v6's shape
+  // (no section, flags byte zero).
+  result.trace.counters_enabled = false;
+  util::ByteWriter w2;
+  AppendJoinResult(result, &w2);
+  ASSERT_TRUE(DecodeJoinResult(w2.bytes(), &got));
+  EXPECT_FALSE(got.trace.counters_enabled);
+  EXPECT_EQ(w2.bytes().size(), bytes.size() - kCounterBytes);
+}
+
 TEST(NetWire, GetMetricsCodecRejectsMalformed) {
   for (MetricsFormat format : {MetricsFormat::kBinary, MetricsFormat::kText}) {
     std::vector<uint8_t> frame = EncodeGetMetricsFrame(21, format);
@@ -1374,6 +1456,101 @@ TEST(NetServer, TracedJoinStagesTileLoopbackWallTime) {
   ASSERT_TRUE(untraced.ok) << untraced.message;
   EXPECT_FALSE(untraced.result.trace.enabled);
   EXPECT_EQ(untraced.result.trace.TotalMicros(), 0.0);
+}
+
+TEST(NetServer, StagePerfCountersRideTracedJoins) {
+  // ServiceOptions::stage_perf_counters: a traced join comes back with
+  // the hardware-counter section — real deltas when the kernel grants
+  // perf_event_open, a typed all-zero `unavailable` block when it
+  // doesn't. Untraced joins never carry the section either way.
+  ServiceOptions sopts;
+  sopts.worker_threads = 2;
+  sopts.stage_perf_counters = true;
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.4);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid, {.num_shards = 2,
+                                               .build = bopts});
+  JoinService service(index, sopts);
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 5000, grid, 13);
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  batch.trace = true;
+  JoinClient::Reply reply = client.Join(batch);
+  ASSERT_TRUE(reply.ok) << reply.message;
+  const service::TraceContext& trace = reply.result.trace;
+  ASSERT_TRUE(trace.enabled);
+  ASSERT_TRUE(trace.counters_enabled);
+  using service::TraceStage;
+  // kQueue burns no attributable CPU by construction.
+  EXPECT_EQ(trace.counters(TraceStage::kQueue), util::StageCounterSample{});
+  if (trace.counters_available) {
+    // The worker-side join stages and both front-end sides measured real
+    // work: a 5k-point exact join retires instructions everywhere.
+    EXPECT_GT(trace.counters(TraceStage::kProbe).cycles, 0u);
+    EXPECT_GT(trace.counters(TraceStage::kProbe).instructions, 0u);
+    EXPECT_GT(trace.counters(TraceStage::kDecode).cycles, 0u);
+    EXPECT_GT(trace.counters(TraceStage::kRespond).cycles, 0u);
+  } else {
+    // Denied kernel: typed unavailable, never fabricated numbers.
+    for (int s = 0; s < service::kNumTraceStages; ++s) {
+      EXPECT_EQ(trace.stage_counters[static_cast<size_t>(s)],
+                util::StageCounterSample{})
+          << service::TraceStageName(static_cast<TraceStage>(s));
+    }
+  }
+  // The registry grew the per-stage histogram families.
+  ASSERT_NE(service.metrics(), nullptr);
+  const std::string text = service.metrics()->RenderPrometheus();
+  EXPECT_NE(text.find("actjoin_stage_cycles"), std::string::npos);
+
+  // Untraced joins on the same connection stay counter-free.
+  JoinClient::Reply untraced = client.Join(MakeBatch(pts, JoinMode::kExact));
+  ASSERT_TRUE(untraced.ok) << untraced.message;
+  EXPECT_FALSE(untraced.result.trace.counters_enabled);
+}
+
+TEST(NetServer, StagePerfSimulatedDenialIsTypedAllZero) {
+  // The simulate_denied seam forces the denied path even where perf
+  // works: the section still rides the response, flagged unavailable,
+  // all-zero — the graceful-fallback acceptance criterion.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.stage_perf_counters = true;
+  sopts.stage_perf_simulate_denied = true;
+  Grid grid;
+  wl::PolygonDataset ds = wl::Neighborhoods(0.2);
+  act::BuildOptions bopts;
+  bopts.threads = 1;
+  auto index = BuildShared(ds.polygons, grid, {.num_shards = 1,
+                                               .build = bopts});
+  JoinService service(index, sopts);
+  JoinServer server(&service, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  wl::PointSet pts = wl::TaxiPoints(ds.mbr, 1000, grid, 29);
+  JoinClient client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port(), &error)) << error;
+  QueryBatch batch = MakeBatch(pts, JoinMode::kExact);
+  batch.trace = true;
+  JoinClient::Reply reply = client.Join(batch);
+  ASSERT_TRUE(reply.ok) << reply.message;
+  ASSERT_TRUE(reply.result.trace.counters_enabled);
+  EXPECT_FALSE(reply.result.trace.counters_available);
+  for (int s = 0; s < service::kNumTraceStages; ++s) {
+    EXPECT_EQ(reply.result.trace.stage_counters[static_cast<size_t>(s)],
+              util::StageCounterSample{});
+  }
+  // The wall-clock stage trace itself is unaffected by the denial.
+  EXPECT_GT(reply.result.trace.at(service::TraceStage::kProbe), 0.0);
 }
 
 TEST(NetServer, GetMetricsOverLoopbackBothFormats) {

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <map>
 #include <memory>
@@ -693,6 +694,55 @@ TEST(SubscribeServer, EndToEndEnterLeaveOverLoopback) {
   EXPECT_TRUE(client.Ping(&error)) << error;
 }
 
+TEST(SubscribeServer, PushInstrumentsExportedToRegistry) {
+  // The push-path instruments ride the service's MetricsRegistry: outbox
+  // depth as a gauge, gap markers as a counter, and delivery lag as a
+  // histogram that records once per fully-flushed EVENT frame.
+  ServiceOptions sopts;
+  sopts.worker_threads = 1;
+  TestServer ts = TestServer::Make(sopts, ServerOptions{});
+  Grid grid;
+
+  JoinClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(ts.server->host(), ts.server->port(), &error))
+      << error;
+  ClientLog log;
+  AsyncJoinClient::SubscribeReply sub =
+      client.Subscribe(0, SubscriptionSpec{}, log.OnEvents(), log.OnGap());
+  ASSERT_TRUE(sub.ok) << sub.message;
+
+  // Enough tracks that some point lands inside some polygon, so at least
+  // one EVENT frame is queued, flushed, and lag-stamped.
+  wl::PointSet pos = wl::TaxiPoints(ts.ds.mbr, 256, grid, 93);
+  ASSERT_TRUE(client.Join(MakeBatch(pos, JoinMode::kExact)).ok);
+  ASSERT_TRUE(log.WaitForEvents(1));
+
+  const std::string text = ts.service->metrics()->RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE actjoin_server_event_outbox_frames gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE actjoin_server_event_gap_frames_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE actjoin_server_event_delivery_lag_us histogram"),
+            std::string::npos);
+  // The flushed EVENT frame recorded a delivery-lag sample.
+  const size_t count_at = text.find("actjoin_server_event_delivery_lag_us_count ");
+  ASSERT_NE(count_at, std::string::npos);
+  EXPECT_GE(std::strtod(text.c_str() +
+                            count_at +
+                            std::string("actjoin_server_event_delivery_lag_us_count ")
+                                .size(),
+                        nullptr),
+            1.0);
+  // Flushed means drained: with the client reading freely the depth gauge
+  // is back to zero, and nothing ever overflowed into a gap.
+  EXPECT_NE(text.find("actjoin_server_event_outbox_frames 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("actjoin_server_event_gap_frames_total 0\n"),
+            std::string::npos);
+  EXPECT_EQ(ts.server->counters().gap_frames, 0u);
+}
+
 TEST(SubscribeServer, PerConnectionSubscriptionCapIsTyped) {
   ServerOptions nopts;
   nopts.max_subscriptions_per_connection = 2;
@@ -868,6 +918,9 @@ TEST(SubscribeServer, OverflowCoalescesIntoEventGapWithoutBlocking) {
   for (const auto& [lo, hi] : skipped) skipped_total += hi - lo + 1;
   EXPECT_EQ(ts.server->counters().events_dropped, skipped_total);
   EXPECT_EQ(ts.server->counters().events_pushed, total);
+  // gap_frames counts holes announced (new markers), not drops: one per
+  // EVENT_GAP frame that reached the wire.
+  EXPECT_EQ(ts.server->counters().gap_frames, skipped.size());
 
   ::close(fd);
 }
